@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for the diffusion models: simulation
+//! throughput of MFC versus the reference models at growing network
+//! scales — backing the claim that MFC runs at Epinions/Slashdot scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isomit_datasets::{epinions_like_scaled, paper_weights};
+use isomit_diffusion::{
+    DiffusionModel, IndependentCascade, LinearThreshold, Mfc, PolarityIc, SeedSet, Sir,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_models(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let social = epinions_like_scaled(0.05, &mut rng); // ~6.6k nodes
+    let diffusion = paper_weights(&social, &mut rng);
+    let seeds = SeedSet::sample(&diffusion, 50, 0.5, &mut rng);
+
+    let models: Vec<(&str, Box<dyn DiffusionModel>)> = vec![
+        ("mfc", Box::new(Mfc::new(3.0).unwrap())),
+        ("ic", Box::new(IndependentCascade::new())),
+        ("lt", Box::new(LinearThreshold::new())),
+        ("sir", Box::new(Sir::new(0.5).unwrap())),
+        ("pic", Box::new(PolarityIc::new(0.5).unwrap())),
+    ];
+    let mut group = c.benchmark_group("diffusion_models");
+    for (name, model) in &models {
+        group.bench_function(*name, |b| {
+            let mut rng = StdRng::seed_from_u64(11);
+            b.iter(|| model.simulate(&diffusion, &seeds, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mfc_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mfc_scaling");
+    group.sample_size(10);
+    for scale in [0.02, 0.05, 0.1, 0.2] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let social = epinions_like_scaled(scale, &mut rng);
+        let diffusion = paper_weights(&social, &mut rng);
+        let n_seeds = ((1000.0 * scale) as usize).max(10);
+        let seeds = SeedSet::sample(&diffusion, n_seeds, 0.5, &mut rng);
+        let model = Mfc::new(3.0).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(diffusion.node_count()),
+            &diffusion,
+            |b, g| {
+                let mut rng = StdRng::seed_from_u64(11);
+                b.iter(|| model.simulate(g, &seeds, &mut rng))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models, bench_mfc_scaling);
+criterion_main!(benches);

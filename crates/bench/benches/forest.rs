@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks for the structural algorithms: connected
+//! components, Chu-Liu/Edmonds maximum branching, and the binary-tree
+//! transformation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isomit_forest::{binarize, maximum_branching, weakly_connected_components, WeightedArc};
+use isomit_graph::{Edge, NodeId, Sign, SignedDigraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_graph(n: usize, m: usize, seed: u64) -> SignedDigraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges = (0..m).filter_map(|_| {
+        let a = rng.gen_range(0..n) as u32;
+        let b = rng.gen_range(0..n) as u32;
+        (a != b).then(|| {
+            Edge::new(
+                NodeId(a),
+                NodeId(b),
+                if rng.gen_bool(0.8) { Sign::Positive } else { Sign::Negative },
+                rng.gen_range(0.01..1.0),
+            )
+        })
+    });
+    SignedDigraph::from_edges(n, edges).unwrap()
+}
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components");
+    for n in [1_000usize, 10_000, 50_000] {
+        let g = random_graph(n, n * 6, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| weakly_connected_components(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_branching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edmonds_branching");
+    group.sample_size(20);
+    for n in [1_000usize, 10_000, 50_000] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let arcs: Vec<WeightedArc> = (0..n * 6)
+            .filter_map(|_| {
+                let src = rng.gen_range(0..n);
+                let dst = rng.gen_range(0..n);
+                (src != dst).then(|| WeightedArc {
+                    src,
+                    dst,
+                    weight: rng.gen_range(0.01..1.0),
+                })
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &arcs, |b, arcs| {
+            b.iter(|| maximum_branching(n, arcs))
+        });
+    }
+    group.finish();
+}
+
+fn bench_binarize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binarize");
+    for n in [1_000usize, 100_000] {
+        // Random recursive tree with heavy fan-out at the root.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut children = vec![Vec::new(); n];
+        for v in 1..n {
+            let parent = rng.gen_range(0..v);
+            children[parent].push(v);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &children, |b, ch| {
+            b.iter(|| binarize(0, ch))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_components, bench_branching, bench_binarize);
+criterion_main!(benches);

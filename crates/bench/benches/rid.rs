@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks for the detection side: end-to-end RID
+//! latency on simulated outbreaks, the cascade-forest extraction stage,
+//! and the two per-tree dynamic programs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isomit_bench::{build_trial, ExpOptions, Network};
+use isomit_core::{extract_cascade_forest, InitiatorDetector, Rid, RidTree, TreeDp};
+
+fn bench_detectors(c: &mut Criterion) {
+    let opts = ExpOptions {
+        scale: 0.05,
+        trials: 1,
+        seed: 13,
+    };
+    let trial = build_trial(Network::Epinions, &opts, 0);
+    let snapshot = &trial.scenario.snapshot;
+
+    let mut group = c.benchmark_group("detectors_e2e");
+    group.bench_function("rid_beta_2.5", |b| {
+        let rid = Rid::new(3.0, 2.5).unwrap();
+        b.iter(|| rid.detect(snapshot))
+    });
+    group.bench_function("rid_beta_0.1", |b| {
+        let rid = Rid::new(3.0, 0.1).unwrap();
+        b.iter(|| rid.detect(snapshot))
+    });
+    group.bench_function("rid_tree", |b| {
+        let det = RidTree::new(3.0).unwrap();
+        b.iter(|| det.detect(snapshot))
+    });
+    group.finish();
+}
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rid_stages");
+    for scale in [0.05, 0.1] {
+        let opts = ExpOptions {
+            scale,
+            trials: 1,
+            seed: 13,
+        };
+        let trial = build_trial(Network::Epinions, &opts, 0);
+        let snapshot = &trial.scenario.snapshot;
+        group.bench_with_input(
+            BenchmarkId::new("forest_extraction", snapshot.node_count()),
+            snapshot,
+            |b, s| b.iter(|| extract_cascade_forest(s, 3.0)),
+        );
+        let (trees, _) = extract_cascade_forest(snapshot, 3.0);
+        let biggest = trees
+            .iter()
+            .max_by_key(|t| t.len())
+            .expect("at least one tree")
+            .clone();
+        group.bench_with_input(
+            BenchmarkId::new("dp_probability_sum", biggest.len()),
+            &biggest,
+            |b, t| b.iter(|| TreeDp::solve_probability_sum(t, 3.0, 2.5)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dp_penalized_loglik", biggest.len()),
+            &biggest,
+            |b, t| b.iter(|| TreeDp::solve_penalized(t, 3.0, 2.5)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dp_budgeted_k8", biggest.len()),
+            &biggest,
+            |b, t| b.iter(|| TreeDp::solve(t, 3.0, 8)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors, bench_pipeline_stages);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation study of RID's design choices (the knobs DESIGN.md calls
+//! out): the per-tree objective (the paper's probability-sum vs the
+//! maximum-likelihood reading) and the external-support term of the
+//! probability-sum DP — each evaluated across the β sweep.
+//!
+//! Expected outcome: probability-sum + support dominates at matched
+//! detection counts; removing support shifts splits away from
+//! well-explained dense regions; the log-likelihood objective needs much
+//! larger β for comparable behaviour.
+
+use isomit_bench::{
+    build_trials, evaluate_identity_over_trials, mean_std, ExpOptions, Network,
+};
+use isomit_core::{Rid, RidObjective};
+
+fn main() {
+    let opts = ExpOptions::parse(std::env::args().skip(1));
+    println!(
+        "== Ablation: RID design choices (scale {}, {} trials) ==",
+        opts.scale, opts.trials
+    );
+    type MakeRid = Box<dyn Fn(f64) -> Rid>;
+    let variants: Vec<(&str, MakeRid)> = vec![
+        (
+            "prob-sum + support",
+            Box::new(|beta| Rid::new(3.0, beta).expect("valid")),
+        ),
+        (
+            "prob-sum, no support",
+            Box::new(|beta| {
+                Rid::new(3.0, beta)
+                    .expect("valid")
+                    .with_external_support(false)
+            }),
+        ),
+        (
+            "log-likelihood",
+            Box::new(|beta| {
+                Rid::new(3.0, beta)
+                    .expect("valid")
+                    .with_objective(RidObjective::LogLikelihood)
+            }),
+        ),
+    ];
+    for network in Network::ALL {
+        let trials = build_trials(network, &opts);
+        println!("\n-- {} --", network.name());
+        for (label, make) in &variants {
+            println!("{label}:");
+            println!(
+                "  {:>6} {:>9} {:>12} {:>12} {:>12}",
+                "beta", "detected", "precision", "recall", "F1"
+            );
+            for beta in [0.5, 1.0, 2.0, 3.0, 5.0] {
+                let detector = make(beta);
+                let (prfs, counts) = evaluate_identity_over_trials(&detector, &trials);
+                let (p, _) = mean_std(&prfs.iter().map(|x| x.precision).collect::<Vec<_>>());
+                let (r, _) = mean_std(&prfs.iter().map(|x| x.recall).collect::<Vec<_>>());
+                let (f, _) = mean_std(&prfs.iter().map(|x| x.f1).collect::<Vec<_>>());
+                let (c, _) = mean_std(&counts.iter().map(|&x| x as f64).collect::<Vec<_>>());
+                println!(
+                    "  {:>6.2} {:>9.0} {:>12.3} {:>12.3} {:>12.3}",
+                    beta, c, p, r, f
+                );
+            }
+        }
+    }
+}

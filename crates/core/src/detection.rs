@@ -1,0 +1,115 @@
+use isomit_diffusion::InfectedNetwork;
+use isomit_graph::{NodeId, NodeState};
+use serde::{Deserialize, Serialize};
+
+/// One detected rumor initiator: identity (in **original-network** ids)
+/// plus inferred initial state.
+///
+/// Tree-root baselines report the observed snapshot state (possibly
+/// [`NodeState::Unknown`]); the full RID dynamic program always infers a
+/// concrete `+1`/`−1` state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectedInitiator {
+    /// The initiator's id in the original diffusion network.
+    pub node: NodeId,
+    /// The inferred (or observed) initial opinion.
+    pub state: NodeState,
+}
+
+/// The output of an [`InitiatorDetector`]: the inferred initiator set
+/// `(I*, S*)` together with pipeline diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Detected initiators, ascending by node id.
+    pub initiators: Vec<DetectedInitiator>,
+    /// Number of infected weakly-connected components.
+    pub component_count: usize,
+    /// Number of cascade trees in the extracted forest (a lower bound on
+    /// the number of initiators, per §III-E3).
+    pub tree_count: usize,
+    /// Total penalized objective value `Σ_T (−OPT + (k−1)β)`; `0.0` for
+    /// baselines that do not optimize an objective.
+    pub objective: f64,
+}
+
+impl Detection {
+    /// `true` if `node` (original-network id) was detected.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.initiators.iter().any(|d| d.node == node)
+    }
+
+    /// Inferred state of a detected initiator, `None` if not detected.
+    pub fn state_of(&self, node: NodeId) -> Option<NodeState> {
+        self.initiators
+            .iter()
+            .find(|d| d.node == node)
+            .map(|d| d.state)
+    }
+
+    /// Number of detected initiators.
+    pub fn len(&self) -> usize {
+        self.initiators.len()
+    }
+
+    /// `true` if nothing was detected.
+    pub fn is_empty(&self) -> bool {
+        self.initiators.is_empty()
+    }
+
+    /// The detected node ids, ascending.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.initiators.iter().map(|d| d.node).collect()
+    }
+
+    pub(crate) fn sort(&mut self) {
+        self.initiators.sort_by_key(|d| d.node);
+    }
+}
+
+/// A rumor-initiator detection algorithm solving the ISOMIT problem on
+/// an infected snapshot.
+///
+/// Implemented by [`Rid`](crate::Rid), [`RidTree`](crate::RidTree) and
+/// [`RidPositive`](crate::RidPositive); object-safe so experiment
+/// harnesses can iterate over `Vec<Box<dyn InitiatorDetector>>`.
+pub trait InitiatorDetector: std::fmt::Debug {
+    /// Human-readable detector name used in reports, e.g. `"RID(0.1)"`.
+    fn name(&self) -> String;
+
+    /// Runs detection on an infected snapshot. Reported initiator ids are
+    /// translated back to the original network through the snapshot's
+    /// [`mapping`](InfectedNetwork::mapping).
+    fn detect(&self, snapshot: &InfectedNetwork) -> Detection;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_helpers() {
+        let mut d = Detection {
+            initiators: vec![
+                DetectedInitiator {
+                    node: NodeId(5),
+                    state: NodeState::Positive,
+                },
+                DetectedInitiator {
+                    node: NodeId(2),
+                    state: NodeState::Negative,
+                },
+            ],
+            component_count: 1,
+            tree_count: 2,
+            objective: 1.5,
+        };
+        d.sort();
+        assert_eq!(d.nodes(), vec![NodeId(2), NodeId(5)]);
+        assert!(d.contains(NodeId(2)));
+        assert!(!d.contains(NodeId(3)));
+        assert_eq!(d.state_of(NodeId(5)), Some(NodeState::Positive));
+        assert_eq!(d.state_of(NodeId(9)), None);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+use std::fmt;
+
+/// Errors produced while configuring RID detectors.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RidError {
+    /// A detector parameter was outside its valid range.
+    InvalidParameter {
+        /// Parameter name, e.g. `"beta"`.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for RidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RidError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "parameter {name} = {value} is invalid: {constraint}"),
+        }
+    }
+}
+
+impl std::error::Error for RidError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_parameter() {
+        let e = RidError::InvalidParameter {
+            name: "beta",
+            value: -1.0,
+            constraint: "must be >= 0",
+        };
+        assert!(e.to_string().contains("beta = -1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RidError>();
+    }
+}

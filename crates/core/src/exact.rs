@@ -1,0 +1,259 @@
+//! Exact (exponential-time) solvers for the ISOMIT problem, used to
+//! validate the RID heuristic on small instances and to exercise the
+//! §III-C NP-hardness apparatus.
+//!
+//! The key observation: under the §III-B likelihood,
+//! `P(G_I | I, S) = 1` holds **iff every infected node is reachable from
+//! an initiator through a chain of probability-1, sign-consistent
+//! diffusion links** (a path's contribution is `Π g` and the noisy-or
+//! over paths reaches 1 only if some path has product 1), and every
+//! initiator's assumed state matches its observation. These routines work
+//! with that deterministic-reachability characterization, which is exact
+//! and avoids enumerating paths.
+
+use crate::likelihood::g_factor;
+use isomit_diffusion::InfectedNetwork;
+use isomit_graph::{NodeId, NodeState, Sign};
+use std::collections::VecDeque;
+
+/// Hard cap on nodes for subset-enumeration solvers.
+pub const EXACT_SEARCH_LIMIT: usize = 20;
+
+/// `true` iff seeding `initiators` (with the given states) infects the
+/// whole snapshot **with probability 1** under MFC with boosting
+/// `alpha` — the `P(G_I | I, S) = 1` condition of Lemma 3.1.
+///
+/// # Panics
+///
+/// Panics if any snapshot state is [`NodeState::Unknown`] (the
+/// deterministic characterization needs fully observed states), if an
+/// initiator is out of bounds, or if `alpha < 1`.
+pub fn certainly_infected(
+    snapshot: &InfectedNetwork,
+    alpha: f64,
+    initiators: &[(NodeId, Sign)],
+) -> bool {
+    assert!(alpha >= 1.0, "alpha {alpha} must be >= 1");
+    assert!(
+        snapshot.states().iter().all(|s| !s.is_unknown()),
+        "certainly_infected requires fully observed states"
+    );
+    let g = snapshot.graph();
+    let mut reached = vec![false; g.node_count()];
+    let mut queue = VecDeque::new();
+    for &(node, state) in initiators {
+        assert!(g.contains(node), "initiator {node} out of bounds");
+        // An initiator whose assumed state contradicts the snapshot can
+        // never produce it with probability 1.
+        if snapshot.state(node) != NodeState::from_sign(state) {
+            return false;
+        }
+        if !reached[node.index()] {
+            reached[node.index()] = true;
+            queue.push_back(node);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for e in g.out_edges(u) {
+            if reached[e.dst.index()] {
+                continue;
+            }
+            let f = g_factor(alpha, snapshot.state(u), e.sign, snapshot.state(e.dst), e.weight);
+            if f >= 1.0 {
+                reached[e.dst.index()] = true;
+                queue.push_back(e.dst);
+            }
+        }
+    }
+    reached.iter().all(|&r| r)
+}
+
+/// Finds a **minimum** initiator set achieving `P(G_I | I, S) = 1`, by
+/// brute-force subset enumeration in increasing cardinality — the exact
+/// solution of the NP-hard problem of Lemma 3.1.
+///
+/// Returns `None` if even seeding every node fails (impossible when
+/// states are fully observed, since seeding everything trivially matches
+/// the snapshot).
+///
+/// # Panics
+///
+/// Panics if the snapshot exceeds [`EXACT_SEARCH_LIMIT`] nodes or
+/// contains unknown states, or if `alpha < 1`.
+pub fn minimum_certain_initiators(
+    snapshot: &InfectedNetwork,
+    alpha: f64,
+) -> Option<Vec<(NodeId, Sign)>> {
+    let n = snapshot.node_count();
+    assert!(
+        n <= EXACT_SEARCH_LIMIT,
+        "exact search limited to {EXACT_SEARCH_LIMIT} nodes, got {n}"
+    );
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    // Initiator states are forced to the observed states (anything else
+    // yields probability 0), so the search is over node subsets only.
+    let as_seed = |v: usize| -> (NodeId, Sign) {
+        let id = NodeId::from_index(v);
+        (
+            id,
+            snapshot
+                .state(id)
+                .sign()
+                .expect("states are fully observed"),
+        )
+    };
+    for size in 1..=n {
+        // Enumerate subsets of the given size via bitmasks.
+        let mut found: Option<Vec<(NodeId, Sign)>> = None;
+        for mask in 0u32..(1u32 << n) {
+            if mask.count_ones() as usize != size {
+                continue;
+            }
+            let seeds: Vec<(NodeId, Sign)> =
+                (0..n).filter(|v| mask & (1 << v) != 0).map(as_seed).collect();
+            if certainly_infected(snapshot, alpha, &seeds) {
+                found = Some(seeds);
+                break;
+            }
+        }
+        if found.is_some() {
+            return found;
+        }
+    }
+    None
+}
+
+/// Exhaustively maximizes the exact §III-B snapshot likelihood over all
+/// initiator sets of size at most `max_size` (states forced to the
+/// observations). Used to validate RID's heuristic choices on tiny
+/// instances.
+///
+/// Returns `(best initiator set, best likelihood)`.
+///
+/// # Panics
+///
+/// Panics under the same limits as
+/// [`likelihood::snapshot_likelihood`](crate::likelihood::snapshot_likelihood)
+/// plus [`EXACT_SEARCH_LIMIT`], and if states contain unknowns.
+pub fn best_initiators_by_likelihood(
+    snapshot: &InfectedNetwork,
+    alpha: f64,
+    max_size: usize,
+) -> (Vec<(NodeId, Sign)>, f64) {
+    let n = snapshot.node_count();
+    assert!(
+        n <= EXACT_SEARCH_LIMIT,
+        "exact search limited to {EXACT_SEARCH_LIMIT} nodes, got {n}"
+    );
+    assert!(
+        snapshot.states().iter().all(|s| !s.is_unknown()),
+        "exhaustive likelihood search requires fully observed states"
+    );
+    let mut best = (Vec::new(), 0.0f64);
+    for mask in 1u32..(1u32 << n) {
+        if (mask.count_ones() as usize) > max_size {
+            continue;
+        }
+        let seeds: Vec<(NodeId, Sign)> = (0..n)
+            .filter(|v| mask & (1 << v) != 0)
+            .map(|v| {
+                let id = NodeId::from_index(v);
+                (id, snapshot.state(id).sign().expect("observed"))
+            })
+            .collect();
+        let l = crate::likelihood::snapshot_likelihood(snapshot, alpha, &seeds);
+        if l > best.1 {
+            best = (seeds, l);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isomit_graph::{Edge, SignedDigraph};
+    use NodeState::{Negative as N, Positive as P};
+
+    fn snapshot(edges: &[(u32, u32, Sign, f64)], states: &[NodeState]) -> InfectedNetwork {
+        let g = SignedDigraph::from_edges(
+            states.len(),
+            edges
+                .iter()
+                .map(|&(a, b, s, w)| Edge::new(NodeId(a), NodeId(b), s, w)),
+        )
+        .unwrap();
+        InfectedNetwork::from_parts(g, states.to_vec())
+    }
+
+    #[test]
+    fn certainty_follows_probability_one_edges() {
+        // 0 -> 1 with w = 0.5, alpha = 2 → boosted to 1.0.
+        let s = snapshot(&[(0, 1, Sign::Positive, 0.5)], &[P, P]);
+        assert!(certainly_infected(&s, 2.0, &[(NodeId(0), Sign::Positive)]));
+        // alpha = 1: probability 0.5 < 1 → not certain.
+        assert!(!certainly_infected(&s, 1.0, &[(NodeId(0), Sign::Positive)]));
+    }
+
+    #[test]
+    fn wrong_initiator_state_fails() {
+        let s = snapshot(&[], &[P]);
+        assert!(!certainly_infected(&s, 2.0, &[(NodeId(0), Sign::Negative)]));
+        assert!(certainly_infected(&s, 2.0, &[(NodeId(0), Sign::Positive)]));
+    }
+
+    #[test]
+    fn inconsistent_edges_do_not_transmit_certainty() {
+        let s = snapshot(&[(0, 1, Sign::Positive, 1.0)], &[P, N]);
+        assert!(!certainly_infected(&s, 3.0, &[(NodeId(0), Sign::Positive)]));
+    }
+
+    #[test]
+    fn minimum_set_on_deterministic_chain_is_the_root() {
+        let s = snapshot(
+            &[(0, 1, Sign::Positive, 1.0), (1, 2, Sign::Negative, 1.0)],
+            &[P, P, N],
+        );
+        let min = minimum_certain_initiators(&s, 1.0).unwrap();
+        assert_eq!(min, vec![(NodeId(0), Sign::Positive)]);
+    }
+
+    #[test]
+    fn weak_edge_forces_second_initiator() {
+        let s = snapshot(
+            &[(0, 1, Sign::Positive, 1.0), (1, 2, Sign::Negative, 0.5)],
+            &[P, P, N],
+        );
+        // The negative edge is never boosted: node 2 needs its own seed.
+        let min = minimum_certain_initiators(&s, 3.0).unwrap();
+        assert_eq!(min.len(), 2);
+        assert!(min.contains(&(NodeId(0), Sign::Positive)));
+        assert!(min.contains(&(NodeId(2), Sign::Negative)));
+    }
+
+    #[test]
+    fn likelihood_search_prefers_true_root() {
+        let s = snapshot(
+            &[(0, 1, Sign::Positive, 0.8), (1, 2, Sign::Positive, 0.8)],
+            &[P, P, P],
+        );
+        let (best, l) = best_initiators_by_likelihood(&s, 1.0, 1);
+        assert_eq!(best, vec![(NodeId(0), Sign::Positive)]);
+        assert!((l - 0.8 * 0.64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_snapshot_needs_no_initiators() {
+        let s = snapshot(&[], &[]);
+        assert_eq!(minimum_certain_initiators(&s, 2.0), Some(vec![]));
+    }
+
+    #[test]
+    #[should_panic(expected = "fully observed")]
+    fn unknown_states_rejected() {
+        let s = snapshot(&[], &[NodeState::Unknown]);
+        certainly_infected(&s, 2.0, &[]);
+    }
+}

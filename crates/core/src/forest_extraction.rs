@@ -1,0 +1,444 @@
+use crate::likelihood::g_factor_discounted;
+use isomit_diffusion::InfectedNetwork;
+use isomit_forest::{maximum_branching, weakly_connected_components, WeightedArc};
+use isomit_graph::{NodeId, NodeState, Sign};
+use serde::{Deserialize, Serialize};
+
+/// One extracted cascade tree (Definition 7): a maximum-likelihood guess
+/// at "who activated whom" within part of an infected component.
+///
+/// Node identity is layered: a tree stores *snapshot ids* (ids within the
+/// [`InfectedNetwork`]'s subgraph) and additionally numbers its own nodes
+/// with dense *local ids* `0..len` used by the dynamic program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CascadeTree {
+    /// Local id → snapshot id.
+    nodes: Vec<NodeId>,
+    /// Local id of the root.
+    root: usize,
+    /// Children lists in local ids.
+    children: Vec<Vec<usize>>,
+    /// Attributes (sign, raw weight) of the activation edge entering each
+    /// local node; `None` for the root.
+    parent_edge: Vec<Option<(Sign, f64)>>,
+    /// Observed state of each local node.
+    states: Vec<NodeState>,
+}
+
+impl CascadeTree {
+    /// Number of nodes in the tree.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the tree is empty (never produced by
+    /// [`extract_cascade_forest`]).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Local id of the root.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Snapshot id of a local node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of bounds.
+    pub fn snapshot_id(&self, local: usize) -> NodeId {
+        self.nodes[local]
+    }
+
+    /// Children (local ids) of a local node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of bounds.
+    pub fn children(&self, local: usize) -> &[usize] {
+        &self.children[local]
+    }
+
+    /// Children lists for all local nodes, indexed by local id.
+    pub fn children_lists(&self) -> &[Vec<usize>] {
+        &self.children
+    }
+
+    /// Activation-edge attributes `(sign, raw weight)` of a local node,
+    /// `None` for the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of bounds.
+    pub fn parent_edge(&self, local: usize) -> Option<(Sign, f64)> {
+        self.parent_edge[local]
+    }
+
+    /// Observed snapshot state of a local node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of bounds.
+    pub fn state(&self, local: usize) -> NodeState {
+        self.states[local]
+    }
+}
+
+/// Builds the candidate activation arcs of an infected snapshot: **every**
+/// diffusion link of `G_I` (the paper's Algorithm 2 considers all
+/// in-links), weighted by the flip-discounted MFC activation likelihood
+/// [`g_factor_discounted`] — the boosted probability
+/// `w̄ = min(1, α·w)` / `w` on sign-consistent links
+/// ([`NodeState::Unknown`] endpoints are wildcards), and
+/// `FLIP_DISCOUNT · w̄` on inconsistent links (explainable only via a
+/// later flip).
+///
+/// Arc endpoints are snapshot-subgraph indices, ready for
+/// [`maximum_branching`].
+///
+/// [`FLIP_DISCOUNT`]: crate::likelihood::FLIP_DISCOUNT
+///
+/// # Panics
+///
+/// Panics (debug) if `alpha < 1`.
+pub fn usable_arcs(snapshot: &InfectedNetwork, alpha: f64) -> Vec<WeightedArc> {
+    snapshot
+        .graph()
+        .edges()
+        .map(|e| WeightedArc {
+            src: e.src.index(),
+            dst: e.dst.index(),
+            weight: g_factor_discounted(
+                alpha,
+                snapshot.state(e.src),
+                e.sign,
+                snapshot.state(e.dst),
+                e.weight,
+            ),
+        })
+        .collect()
+}
+
+/// Extracts the maximum-likelihood signed infected cascade forest of a
+/// snapshot (the paper's Algorithms 2–4 pipeline):
+///
+/// 1. weight every arc with its flip-discounted activation likelihood,
+/// 2. run Chu-Liu/Edmonds [`maximum_branching`] — since usable arcs never
+///    cross components, one global run equals per-component runs,
+/// 3. split the branching into its trees.
+///
+/// Returns the trees (ordered by root snapshot id) and the number of
+/// weakly-connected infected components.
+pub fn extract_cascade_forest(
+    snapshot: &InfectedNetwork,
+    alpha: f64,
+) -> (Vec<CascadeTree>, usize) {
+    let component_count = weakly_connected_components(snapshot.graph()).len();
+    let n = snapshot.node_count();
+    let arcs = usable_arcs(snapshot, alpha);
+    let branching = maximum_branching(n, &arcs);
+    let children = branching.children();
+
+    let mut trees = Vec::new();
+    for root in branching.roots() {
+        // Local numbering by DFS pre-order from the root.
+        let mut nodes = Vec::new();
+        let mut local_children: Vec<Vec<usize>> = Vec::new();
+        let mut parent_edge: Vec<Option<(Sign, f64)>> = Vec::new();
+        let mut states = Vec::new();
+        let mut stack: Vec<(usize, Option<usize>)> = vec![(root, None)];
+        while let Some((sub_idx, parent_local)) = stack.pop() {
+            let local = nodes.len();
+            let sub_id = NodeId::from_index(sub_idx);
+            nodes.push(sub_id);
+            local_children.push(Vec::new());
+            states.push(snapshot.state(sub_id));
+            match parent_local {
+                None => parent_edge.push(None),
+                Some(pl) => {
+                    local_children[pl].push(local);
+                    let parent_sub = nodes[pl];
+                    let e = snapshot
+                        .graph()
+                        .edge(parent_sub, sub_id)
+                        .expect("branching arc exists in snapshot graph");
+                    parent_edge.push(Some((e.sign, e.weight)));
+                }
+            }
+            for &c in &children[sub_idx] {
+                stack.push((c, Some(local)));
+            }
+        }
+        trees.push(CascadeTree {
+            nodes,
+            root: 0,
+            children: local_children,
+            parent_edge,
+            states,
+        });
+    }
+    trees.sort_by_key(|t| t.snapshot_id(t.root()));
+    (trees, component_count)
+}
+
+/// Computes each tree node's **external support**: the noisy-or
+/// probability that it could be activated by some *plausible alternative
+/// activator* in `G_I`,
+/// `s_v = 1 − Π_u (1 − g̃(u, v))`,
+/// where `g̃` is the flip-discounted activation likelihood and `u`
+/// ranges over the in-neighbours of `v` that are **neither its tree
+/// parent nor one of its tree descendants** — activation strictly
+/// precedes in a cascade, so a node's activator can never be its own
+/// descendant (counting descendants would let a rumor initiator look
+/// "explained" by the very nodes it infected, e.g. over reciprocal
+/// trust links).
+///
+/// This recovers the §III-B noisy-or over all paths that the
+/// single-tree-path product loses: a node with many plausible activators
+/// is well explained even when its tree path is weak, so RID's
+/// probability-sum objective will not waste an initiator on it — splits
+/// concentrate where explanations are genuinely missing. Indexed by the
+/// tree's local ids; see
+/// [`TreeDp::solve_probability_sum_with_support`](crate::TreeDp::solve_probability_sum_with_support).
+pub fn external_support(snapshot: &InfectedNetwork, tree: &CascadeTree, alpha: f64) -> Vec<f64> {
+    let n = tree.len();
+    // Snapshot id of each local node's parent (or None for the root).
+    let mut parent_snapshot: Vec<Option<NodeId>> = vec![None; n];
+    for local in 0..n {
+        for &c in tree.children(local) {
+            parent_snapshot[c] = Some(tree.snapshot_id(local));
+        }
+    }
+    // Euler intervals for O(1) is-descendant tests, plus a snapshot-id →
+    // local-id map restricted to this tree.
+    let mut tin = vec![0u32; n];
+    let mut tout = vec![0u32; n];
+    let mut clock = 0u32;
+    let mut stack = vec![(tree.root(), false)];
+    while let Some((x, expanded)) = stack.pop() {
+        if expanded {
+            tout[x] = clock;
+        } else {
+            tin[x] = clock;
+            clock += 1;
+            stack.push((x, true));
+            for &c in tree.children(x) {
+                stack.push((c, false));
+            }
+        }
+    }
+    let mut local_of: std::collections::HashMap<NodeId, usize> =
+        std::collections::HashMap::with_capacity(n);
+    for local in 0..n {
+        local_of.insert(tree.snapshot_id(local), local);
+    }
+    let is_descendant =
+        |anc: usize, node: usize| tin[anc] <= tin[node] && tout[node] <= tout[anc];
+
+    (0..n)
+        .map(|local| {
+            let v = tree.snapshot_id(local);
+            let mut miss = 1.0;
+            for e in snapshot.graph().in_edges(v) {
+                if Some(e.src) == parent_snapshot[local] {
+                    continue;
+                }
+                if let Some(&src_local) = local_of.get(&e.src) {
+                    if is_descendant(local, src_local) {
+                        continue;
+                    }
+                }
+                // Strict factor: an inconsistent in-edge is not a
+                // plausible *alternative* activator on its own (the flip
+                // explanation needs a second, consistent edge).
+                let g = crate::likelihood::g_factor(
+                    alpha,
+                    snapshot.state(e.src),
+                    e.sign,
+                    snapshot.state(e.dst),
+                    e.weight,
+                );
+                miss *= 1.0 - g;
+            }
+            1.0 - miss
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isomit_graph::{Edge, SignedDigraph};
+    use NodeState::{Negative as N, Positive as P, Unknown as U};
+
+    fn snapshot(edges: &[(u32, u32, Sign, f64)], states: &[NodeState]) -> InfectedNetwork {
+        let g = SignedDigraph::from_edges(
+            states.len(),
+            edges
+                .iter()
+                .map(|&(a, b, s, w)| Edge::new(NodeId(a), NodeId(b), s, w)),
+        )
+        .unwrap();
+        InfectedNetwork::from_parts(g, states.to_vec())
+    }
+
+    #[test]
+    fn usable_arcs_discount_inconsistent() {
+        let s = snapshot(
+            &[
+                (0, 1, Sign::Positive, 0.4), // consistent P -> P
+                (0, 2, Sign::Positive, 0.4), // inconsistent P -> N
+                (0, 3, Sign::Negative, 0.4), // consistent P -> N via -
+            ],
+            &[P, P, N, N],
+        );
+        let arcs = usable_arcs(&s, 2.0);
+        // Every edge is a candidate (Algorithm 2 keeps all in-links)...
+        assert_eq!(arcs.len(), 3);
+        let w: Vec<f64> = arcs.iter().map(|a| a.weight).collect();
+        // ...consistent positive is boosted (0.8), consistent negative
+        // keeps its raw weight (0.4), inconsistent is flip-discounted.
+        assert!(w.contains(&0.8));
+        assert!(w.contains(&0.4));
+        assert!(w.contains(&(crate::likelihood::FLIP_DISCOUNT * 0.8)));
+    }
+
+    #[test]
+    fn unknown_states_keep_arcs_usable() {
+        let s = snapshot(&[(0, 1, Sign::Positive, 0.3)], &[U, N]);
+        assert_eq!(usable_arcs(&s, 2.0).len(), 1);
+    }
+
+    #[test]
+    fn chain_yields_single_tree() {
+        let s = snapshot(
+            &[(0, 1, Sign::Positive, 0.5), (1, 2, Sign::Negative, 0.5)],
+            &[P, P, N],
+        );
+        let (trees, components) = extract_cascade_forest(&s, 2.0);
+        assert_eq!(components, 1);
+        assert_eq!(trees.len(), 1);
+        let t = &trees[0];
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.snapshot_id(t.root()), NodeId(0));
+        assert_eq!(t.parent_edge(t.root()), None);
+        // Non-root nodes carry their activation edge's raw attributes.
+        for local in 0..t.len() {
+            if local != t.root() {
+                let (sign, w) = t.parent_edge(local).unwrap();
+                assert!((w - 0.5).abs() < 1e-12);
+                let _ = sign;
+            }
+        }
+    }
+
+    #[test]
+    fn inconsistent_edge_kept_with_discount() {
+        // 0 -(+)-> 1 but 1 is negative: the edge stays a candidate (a
+        // flip could explain it), so the forest is one tree; the DP
+        // decides later whether node 1 is cheaper as an initiator.
+        let s = snapshot(&[(0, 1, Sign::Positive, 0.9)], &[P, N]);
+        let (trees, components) = extract_cascade_forest(&s, 2.0);
+        assert_eq!(components, 1);
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].len(), 2);
+    }
+
+    #[test]
+    fn heaviest_parent_is_selected() {
+        // Node 2 could be activated by 0 (boosted 0.9·2 → 1.0 capped) or
+        // 1 (negative, 0.95). The boosted positive wins.
+        let s = snapshot(
+            &[(0, 2, Sign::Positive, 0.9), (1, 2, Sign::Negative, 0.95)],
+            &[P, N, P],
+        );
+        let (trees, _) = extract_cascade_forest(&s, 2.0);
+        // Roots: 0 and 1; node 2 hangs under 0.
+        assert_eq!(trees.len(), 2);
+        let t0 = trees
+            .iter()
+            .find(|t| t.snapshot_id(t.root()) == NodeId(0))
+            .unwrap();
+        assert_eq!(t0.len(), 2);
+        let t1 = trees
+            .iter()
+            .find(|t| t.snapshot_id(t.root()) == NodeId(1))
+            .unwrap();
+        assert_eq!(t1.len(), 1);
+    }
+
+    #[test]
+    fn multiple_components_multiple_trees() {
+        let s = snapshot(
+            &[(0, 1, Sign::Positive, 0.5), (2, 3, Sign::Positive, 0.5)],
+            &[P, P, N, N],
+        );
+        let (trees, components) = extract_cascade_forest(&s, 2.0);
+        assert_eq!(components, 2);
+        assert_eq!(trees.len(), 2);
+        // Trees sorted by root id.
+        assert_eq!(trees[0].snapshot_id(trees[0].root()), NodeId(0));
+        assert_eq!(trees[1].snapshot_id(trees[1].root()), NodeId(2));
+    }
+
+    #[test]
+    fn forest_covers_every_infected_node_exactly_once() {
+        let s = snapshot(
+            &[
+                (0, 1, Sign::Positive, 0.5),
+                (1, 2, Sign::Positive, 0.5),
+                (2, 0, Sign::Positive, 0.5), // cycle, broken by Edmonds
+                (3, 2, Sign::Negative, 0.7),
+            ],
+            &[P, P, P, N],
+        );
+        let (trees, _) = extract_cascade_forest(&s, 2.0);
+        let mut all: Vec<NodeId> = trees
+            .iter()
+            .flat_map(|t| (0..t.len()).map(|l| t.snapshot_id(l)))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let s = snapshot(&[], &[]);
+        let (trees, components) = extract_cascade_forest(&s, 2.0);
+        assert!(trees.is_empty());
+        assert_eq!(components, 0);
+    }
+
+    #[test]
+    fn external_support_counts_non_parent_in_edges() {
+        // Node 2 has two in-edges: from 0 (its tree parent, the heavier)
+        // and from 1. Support must count only the edge from 1.
+        let s = snapshot(
+            &[
+                (0, 2, Sign::Positive, 0.4), // boosted to 0.8, tree parent
+                (1, 2, Sign::Positive, 0.2), // boosted to 0.4, support
+                (0, 1, Sign::Positive, 0.3),
+            ],
+            &[P, P, P],
+        );
+        let (trees, _) = extract_cascade_forest(&s, 2.0);
+        assert_eq!(trees.len(), 1);
+        let t = &trees[0];
+        let support = external_support(&s, t, 2.0);
+        let local2 = (0..t.len()).find(|&l| t.snapshot_id(l) == NodeId(2)).unwrap();
+        assert!((support[local2] - 0.4).abs() < 1e-12);
+        // The root has no parent, so every in-edge counts (it has none).
+        assert_eq!(support[t.root()], 0.0);
+    }
+
+    #[test]
+    fn tree_states_match_snapshot() {
+        let s = snapshot(&[(0, 1, Sign::Negative, 0.5)], &[P, N]);
+        let (trees, _) = extract_cascade_forest(&s, 2.0);
+        let t = &trees[0];
+        for local in 0..t.len() {
+            assert_eq!(t.state(local), s.state(t.snapshot_id(local)));
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! The fixed-budget variant of the detection problem: given the infected
+//! snapshot and a known initiator count `k`, find the best `k`
+//! initiators across the **whole forest** — the paper's k-ISOMIT
+//! generalized from one binary tree to the full snapshot.
+//!
+//! Per-tree budgeted costs come from [`TreeDp::solve`]; the budget is
+//! then distributed across trees with a second (convexity-free) knapsack
+//! over per-tree cost tables. Every tree needs at least one initiator
+//! (its root has no incoming activation link), so `k` must be at least
+//! the number of extracted trees.
+
+use crate::detection::{DetectedInitiator, Detection};
+use crate::dp::TreeDp;
+use crate::forest_extraction::extract_cascade_forest;
+use isomit_diffusion::InfectedNetwork;
+use isomit_graph::NodeState;
+
+/// Solves the fixed-budget ISOMIT problem on a snapshot: the `k`
+/// initiators (identities and states) minimizing the total negative
+/// log-likelihood of the extracted cascade forest.
+///
+/// Returns `None` when the budget is infeasible: `k` smaller than the
+/// number of extracted trees (each tree root is a forced initiator) or
+/// larger than the number of infected nodes.
+///
+/// The returned [`Detection`]'s `objective` is the total cost
+/// `Σ_T −OPT_T(k_T)` under the optimal budget split `Σ k_T = k`.
+///
+/// # Panics
+///
+/// Panics if `alpha < 1`.
+///
+/// ```
+/// use isomit_core::solve_k_isomit;
+/// use isomit_diffusion::InfectedNetwork;
+/// use isomit_graph::{Edge, NodeId, NodeState, Sign, SignedDigraph};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = SignedDigraph::from_edges(
+///     3,
+///     [
+///         Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.2),
+///         Edge::new(NodeId(1), NodeId(2), Sign::Positive, 0.9),
+///     ],
+/// )?;
+/// let snapshot = InfectedNetwork::from_parts(
+///     g,
+///     vec![NodeState::Positive; 3],
+/// );
+/// // k = 2: the root plus the node whose in-edge is weakest.
+/// let detection = solve_k_isomit(&snapshot, 3.0, 2).expect("feasible");
+/// assert_eq!(detection.len(), 2);
+/// assert!(detection.contains(NodeId(0)));
+/// assert!(detection.contains(NodeId(1)));
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_k_isomit(snapshot: &InfectedNetwork, alpha: f64, k: usize) -> Option<Detection> {
+    assert!(alpha >= 1.0, "alpha {alpha} must be >= 1");
+    let (trees, component_count) = extract_cascade_forest(snapshot, alpha);
+    let t = trees.len();
+    if k < t || k > snapshot.node_count() {
+        return None;
+    }
+    if t == 0 {
+        return Some(Detection {
+            initiators: Vec::new(),
+            component_count,
+            tree_count: 0,
+            objective: 0.0,
+        });
+    }
+
+    // Per-tree budgeted cost tables (index = budget, 1-based).
+    let spare = k - t; // budget beyond the forced one-per-tree minimum
+    let dps: Vec<TreeDp> = trees
+        .iter()
+        .map(|tree| TreeDp::solve(tree, alpha, (1 + spare).min(tree.len())))
+        .collect();
+
+    // Knapsack across trees: best[j] = min total cost using j spare
+    // initiators over the trees processed so far; choice[i][j] = spare
+    // given to tree i in the optimum.
+    let mut best = vec![f64::INFINITY; spare + 1];
+    best[0] = 0.0;
+    let mut choice: Vec<Vec<usize>> = Vec::with_capacity(t);
+    for dp in &dps {
+        let max_extra = dp.k_max() - 1;
+        let mut next = vec![f64::INFINITY; spare + 1];
+        let mut chosen = vec![0usize; spare + 1];
+        for j in 0..=spare {
+            for extra in 0..=max_extra.min(j) {
+                let prev = best[j - extra];
+                if !prev.is_finite() {
+                    continue;
+                }
+                let total = prev + dp.cost(1 + extra);
+                if total < next[j] {
+                    next[j] = total;
+                    chosen[j] = extra;
+                }
+            }
+        }
+        best = next;
+        choice.push(chosen);
+    }
+
+    // All spare budget is usable only if trees are big enough; find the
+    // best feasible total spend <= spare, preferring the full budget.
+    let spent = (0..=spare).rev().find(|&j| best[j].is_finite())?;
+    let objective = best[spent];
+
+    // Traceback the per-tree budgets.
+    let mut budgets = vec![1usize; t];
+    let mut j = spent;
+    for i in (0..t).rev() {
+        let extra = choice[i][j];
+        budgets[i] = 1 + extra;
+        j -= extra;
+    }
+
+    let mut initiators = Vec::with_capacity(k);
+    for (dp, &budget) in dps.iter().zip(&budgets) {
+        for (sub_id, state) in dp.initiators(budget) {
+            initiators.push(DetectedInitiator {
+                node: snapshot
+                    .mapping()
+                    .to_original(sub_id)
+                    .expect("snapshot id maps to original network"),
+                state: NodeState::from_sign(state),
+            });
+        }
+    }
+    let mut detection = Detection {
+        initiators,
+        component_count,
+        tree_count: t,
+        objective,
+    };
+    detection.sort();
+    Some(detection)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isomit_graph::{Edge, NodeId, Sign, SignedDigraph};
+    use NodeState::{Negative as N, Positive as P};
+
+    fn snapshot(edges: &[(u32, u32, Sign, f64)], states: &[NodeState]) -> InfectedNetwork {
+        let g = SignedDigraph::from_edges(
+            states.len(),
+            edges
+                .iter()
+                .map(|&(a, b, s, w)| Edge::new(NodeId(a), NodeId(b), s, w)),
+        )
+        .unwrap();
+        InfectedNetwork::from_parts(g, states.to_vec())
+    }
+
+    #[test]
+    fn budget_below_tree_count_is_infeasible() {
+        // Two disconnected chains → two trees.
+        let s = snapshot(
+            &[(0, 1, Sign::Positive, 0.5), (2, 3, Sign::Positive, 0.5)],
+            &[P, P, N, N],
+        );
+        assert!(solve_k_isomit(&s, 3.0, 1).is_none());
+        assert!(solve_k_isomit(&s, 3.0, 5).is_none());
+        let d = solve_k_isomit(&s, 3.0, 2).unwrap();
+        assert_eq!(d.nodes(), vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn extra_budget_goes_to_the_weakest_explanation() {
+        // One tree: 0 -> 1 (weak) and 0 -> 2 (strong, boosted to 1).
+        let s = snapshot(
+            &[(0, 1, Sign::Positive, 0.05), (0, 2, Sign::Positive, 0.5)],
+            &[P, P, P],
+        );
+        let d = solve_k_isomit(&s, 3.0, 2).unwrap();
+        assert!(d.contains(NodeId(0)));
+        assert!(d.contains(NodeId(1)), "weak child should take the budget");
+        assert!(!d.contains(NodeId(2)));
+    }
+
+    #[test]
+    fn budget_split_across_trees_favours_expensive_tree() {
+        // Tree A: cheap chain (prob 1 edges). Tree B: expensive chain.
+        let s = snapshot(
+            &[
+                (0, 1, Sign::Positive, 0.9), // boosted to 1: free
+                (2, 3, Sign::Negative, 0.1), // cost -ln 0.1
+            ],
+            &[P, P, P, N],
+        );
+        let d = solve_k_isomit(&s, 3.0, 3).unwrap();
+        // The spare initiator must land on node 3 (the expensive edge).
+        assert!(d.contains(NodeId(0)));
+        assert!(d.contains(NodeId(2)));
+        assert!(d.contains(NodeId(3)));
+        assert!((d.objective - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_budget_means_everyone() {
+        let s = snapshot(&[(0, 1, Sign::Positive, 0.4)], &[P, P]);
+        let d = solve_k_isomit(&s, 3.0, 2).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.objective, 0.0);
+    }
+
+    #[test]
+    fn objective_decreases_with_budget() {
+        let s = snapshot(
+            &[
+                (0, 1, Sign::Negative, 0.3),
+                (1, 2, Sign::Negative, 0.4),
+                (2, 3, Sign::Negative, 0.5),
+            ],
+            &[P, N, P, N],
+        );
+        let mut last = f64::INFINITY;
+        for k in 1..=4 {
+            let d = solve_k_isomit(&s, 3.0, k).unwrap();
+            assert_eq!(d.len(), k);
+            assert!(d.objective <= last + 1e-12, "objective rose at k={k}");
+            last = d.objective;
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_needs_zero_budget() {
+        let s = snapshot(&[], &[]);
+        let d = solve_k_isomit(&s, 3.0, 0).unwrap();
+        assert!(d.is_empty());
+        assert!(solve_k_isomit(&s, 3.0, 1).is_none());
+    }
+}

@@ -1,0 +1,375 @@
+//! The §III-B infection likelihood of the paper: the per-edge factor
+//! `g(s(x), s_I(x,y), s(y), w_I(x,y))`, the per-node infection
+//! probability `P(u, s(u) | I, S)` (exact, by path enumeration — only
+//! tractable on small graphs), and the snapshot likelihood
+//! `P(G_I | I, S)`.
+//!
+//! The paper's prose and displayed equation disagree on the
+//! sign-inconsistent case (prose: "assigned with value one", equation:
+//! `0`). We follow the **equation** — an inconsistent edge cannot be an
+//! activation link, so a path through it explains nothing — and expose
+//! [`g_factor_lenient`] for the prose convention, which treats
+//! inconsistent edges as transparent.
+
+use isomit_diffusion::InfectedNetwork;
+use isomit_graph::{NodeId, NodeState, Sign};
+use std::collections::HashMap;
+
+/// `true` if the diffusion link `(x, y)` is *sign consistent*
+/// (Definition 5): `s(x) · s(x,y) = s(y)`. [`NodeState::Unknown`]
+/// endpoints are wildcards and make any edge consistent;
+/// [`NodeState::Inactive`] endpoints make it inconsistent (an inactive
+/// node neither transmits nor holds an opinion).
+pub fn sign_consistent(s_x: NodeState, edge_sign: Sign, s_y: NodeState) -> bool {
+    match (s_x.sign(), s_y.sign()) {
+        (Some(sx), Some(sy)) => sx * edge_sign == sy,
+        _ => s_x.is_unknown() || s_y.is_unknown(),
+    }
+}
+
+/// The boosted activation probability `w̄`: `min(1, α·w)` on positive
+/// links, `w` on negative links.
+///
+/// # Panics
+///
+/// Panics (debug) if `alpha < 1` or `w` outside `[0, 1]`.
+pub fn boosted_probability(alpha: f64, sign: Sign, weight: f64) -> f64 {
+    debug_assert!(alpha >= 1.0, "alpha {alpha} must be >= 1");
+    debug_assert!((0.0..=1.0).contains(&weight), "weight {weight} out of range");
+    match sign {
+        Sign::Positive => (alpha * weight).min(1.0),
+        Sign::Negative => weight,
+    }
+}
+
+/// The paper's per-edge likelihood factor `g`:
+///
+/// * `min(1, α·w)` — sign-consistent positive link;
+/// * `w` — sign-consistent negative link;
+/// * `0` — sign-inconsistent link (the displayed equation's convention).
+pub fn g_factor(alpha: f64, s_x: NodeState, edge_sign: Sign, s_y: NodeState, weight: f64) -> f64 {
+    if sign_consistent(s_x, edge_sign, s_y) {
+        boosted_probability(alpha, edge_sign, weight)
+    } else {
+        0.0
+    }
+}
+
+/// The prose variant of [`g_factor`]: inconsistent links contribute `1`
+/// (they are treated as "was an activation link but the state was later
+/// flipped by someone else"), so paths passing through them are not
+/// killed. Provided for completeness and ablation.
+pub fn g_factor_lenient(
+    alpha: f64,
+    s_x: NodeState,
+    edge_sign: Sign,
+    s_y: NodeState,
+    weight: f64,
+) -> f64 {
+    if sign_consistent(s_x, edge_sign, s_y) {
+        boosted_probability(alpha, edge_sign, weight)
+    } else {
+        1.0
+    }
+}
+
+/// Probability discount applied to *sign-inconsistent* links when they
+/// are used as activation-link candidates.
+///
+/// The paper's two conventions for inconsistent links — the displayed
+/// equation's `g = 0` ("cannot be an activation link") and the prose's
+/// `g = 1` ("was an activation link but the target was later flipped") —
+/// bracket the truth: an inconsistent link *can* be the original
+/// activation link, but only in conjunction with a later flip, a
+/// strictly less likely compound event. RID's pipeline approximates that
+/// compound probability as `FLIP_DISCOUNT · w̄`, which keeps the
+/// extraction faithful to Algorithm 2 (every in-link is a candidate, so
+/// tree roots are exactly the nodes nobody could have activated) while
+/// still strongly preferring consistent explanations.
+pub const FLIP_DISCOUNT: f64 = 1e-3;
+
+/// The activation-link likelihood used by RID's forest extraction and
+/// dynamic program: `w̄` (the boosted probability) on sign-consistent
+/// links, `FLIP_DISCOUNT · w̄` on inconsistent ones.
+pub fn g_factor_discounted(
+    alpha: f64,
+    s_x: NodeState,
+    edge_sign: Sign,
+    s_y: NodeState,
+    weight: f64,
+) -> f64 {
+    let base = boosted_probability(alpha, edge_sign, weight);
+    if sign_consistent(s_x, edge_sign, s_y) {
+        base
+    } else {
+        FLIP_DISCOUNT * base
+    }
+}
+
+/// Negative log of [`g_factor`]; `f64::INFINITY` when the factor is `0`.
+/// This is the edge cost used by the k-ISOMIT-BT dynamic program.
+pub fn edge_cost(alpha: f64, s_x: NodeState, edge_sign: Sign, s_y: NodeState, weight: f64) -> f64 {
+    let g = g_factor(alpha, s_x, edge_sign, s_y, weight);
+    if g <= 0.0 {
+        f64::INFINITY
+    } else {
+        -g.ln()
+    }
+}
+
+/// Hard cap on nodes for the exact path-enumeration routines; beyond
+/// this the number of simple paths explodes.
+pub const EXACT_NODE_LIMIT: usize = 24;
+
+/// Exact `P(u, s(u) | I, S)` by enumeration of simple paths from every
+/// initiator to `u` (the paper's §III-B formula):
+///
+/// `P = 1 − Π_{i∈I} Π_{p∈P(i,u)} (1 − Π_{(x,y)∈p} g(...))`.
+///
+/// Initiator states in `assumed` override the snapshot states (this is
+/// how candidate `(I, S)` pairs are scored); an initiator `u` itself has
+/// probability `1` if its assumed state matches the snapshot (or the
+/// snapshot is unknown) and `0` otherwise.
+///
+/// # Panics
+///
+/// Panics if the network exceeds [`EXACT_NODE_LIMIT`] nodes, if `u` or
+/// an initiator is out of bounds, or if `alpha < 1`.
+pub fn node_infection_probability(
+    inf: &InfectedNetwork,
+    alpha: f64,
+    initiators: &[(NodeId, Sign)],
+    u: NodeId,
+) -> f64 {
+    assert!(
+        inf.node_count() <= EXACT_NODE_LIMIT,
+        "exact path enumeration limited to {EXACT_NODE_LIMIT} nodes, got {}",
+        inf.node_count()
+    );
+    assert!(alpha >= 1.0, "alpha {alpha} must be >= 1");
+    let g = inf.graph();
+    assert!(g.contains(u), "node {u} out of bounds");
+    let assumed: HashMap<NodeId, Sign> = initiators.iter().copied().collect();
+    let state_of = |v: NodeId| -> NodeState {
+        match assumed.get(&v) {
+            Some(&s) => NodeState::from_sign(s),
+            None => inf.state(v),
+        }
+    };
+
+    if let Some(&s) = assumed.get(&u) {
+        let observed = inf.state(u);
+        return if observed.is_unknown() || observed.sign() == Some(s) {
+            1.0
+        } else {
+            0.0
+        };
+    }
+
+    // DFS over simple paths from each initiator, multiplying g factors.
+    let mut miss_product = 1.0f64; // Π (1 − path strength)
+    let mut on_path = vec![false; g.node_count()];
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        g: &isomit_graph::SignedDigraph,
+        alpha: f64,
+        target: NodeId,
+        cur: NodeId,
+        strength: f64,
+        on_path: &mut Vec<bool>,
+        state_of: &dyn Fn(NodeId) -> NodeState,
+        miss_product: &mut f64,
+    ) {
+        if cur == target {
+            *miss_product *= 1.0 - strength;
+            return;
+        }
+        on_path[cur.index()] = true;
+        for e in g.out_edges(cur) {
+            if on_path[e.dst.index()] {
+                continue;
+            }
+            let f = g_factor(alpha, state_of(cur), e.sign, state_of(e.dst), e.weight);
+            if f > 0.0 {
+                dfs(
+                    g,
+                    alpha,
+                    target,
+                    e.dst,
+                    strength * f,
+                    on_path,
+                    state_of,
+                    miss_product,
+                );
+            }
+        }
+        on_path[cur.index()] = false;
+    }
+    for &(i, _) in initiators {
+        assert!(g.contains(i), "initiator {i} out of bounds");
+        dfs(
+            g,
+            alpha,
+            u,
+            i,
+            1.0,
+            &mut on_path,
+            &state_of,
+            &mut miss_product,
+        );
+    }
+    1.0 - miss_product
+}
+
+/// Exact snapshot likelihood `P(G_I | I, S) = Π_u P(u, s(u) | I, S)`
+/// (§III-B), by path enumeration.
+///
+/// # Panics
+///
+/// Same conditions as [`node_infection_probability`].
+pub fn snapshot_likelihood(
+    inf: &InfectedNetwork,
+    alpha: f64,
+    initiators: &[(NodeId, Sign)],
+) -> f64 {
+    inf.graph()
+        .nodes()
+        .map(|u| node_infection_probability(inf, alpha, initiators, u))
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isomit_diffusion::InfectedNetwork;
+    use isomit_graph::{Edge, SignedDigraph};
+
+    fn inf(edges: &[(u32, u32, Sign, f64)], states: &[NodeState]) -> InfectedNetwork {
+        let g = SignedDigraph::from_edges(
+            states.len(),
+            edges
+                .iter()
+                .map(|&(a, b, s, w)| Edge::new(NodeId(a), NodeId(b), s, w)),
+        )
+        .unwrap();
+        InfectedNetwork::from_parts(g, states.to_vec())
+    }
+
+    use NodeState::{Negative as N, Positive as P, Unknown as U};
+
+    #[test]
+    fn consistency_table() {
+        assert!(sign_consistent(P, Sign::Positive, P));
+        assert!(sign_consistent(P, Sign::Negative, N));
+        assert!(sign_consistent(N, Sign::Negative, P));
+        assert!(!sign_consistent(P, Sign::Positive, N));
+        assert!(!sign_consistent(N, Sign::Positive, P));
+        // Unknown is a wildcard.
+        assert!(sign_consistent(U, Sign::Positive, N));
+        assert!(sign_consistent(P, Sign::Negative, U));
+        // Inactive transmits nothing.
+        assert!(!sign_consistent(NodeState::Inactive, Sign::Positive, P));
+    }
+
+    #[test]
+    fn g_factor_values() {
+        assert!((g_factor(3.0, P, Sign::Positive, P, 0.2) - 0.6).abs() < 1e-12);
+        assert!((g_factor(3.0, P, Sign::Positive, P, 0.5) - 1.0).abs() < 1e-12);
+        assert!((g_factor(3.0, P, Sign::Negative, N, 0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(g_factor(3.0, P, Sign::Positive, N, 0.9), 0.0);
+        assert_eq!(g_factor_lenient(3.0, P, Sign::Positive, N, 0.9), 1.0);
+    }
+
+    #[test]
+    fn edge_cost_is_neg_log() {
+        let c = edge_cost(1.0, P, Sign::Negative, N, 0.5);
+        assert!((c - 0.5f64.ln().abs()).abs() < 1e-12);
+        assert!(edge_cost(1.0, P, Sign::Positive, N, 0.5).is_infinite());
+        assert_eq!(edge_cost(2.0, P, Sign::Positive, P, 0.5), 0.0); // p = 1
+    }
+
+    #[test]
+    fn single_edge_probability() {
+        let inf = inf(&[(0, 1, Sign::Positive, 0.25)], &[P, P]);
+        let p = node_infection_probability(&inf, 2.0, &[(NodeId(0), Sign::Positive)], NodeId(1));
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn initiator_probability_is_indicator() {
+        let inf = inf(&[], &[P]);
+        assert_eq!(
+            node_infection_probability(&inf, 2.0, &[(NodeId(0), Sign::Positive)], NodeId(0)),
+            1.0
+        );
+        assert_eq!(
+            node_infection_probability(&inf, 2.0, &[(NodeId(0), Sign::Negative)], NodeId(0)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn two_parallel_paths_combine_noisy_or() {
+        // 0 -> 1 -> 3 and 0 -> 2 -> 3, each path strength 0.25;
+        // P = 1 - (1 - 0.25)^2 = 0.4375.
+        let inf = inf(
+            &[
+                (0, 1, Sign::Positive, 0.5),
+                (1, 3, Sign::Positive, 0.5),
+                (0, 2, Sign::Positive, 0.5),
+                (2, 3, Sign::Positive, 0.5),
+            ],
+            &[P, P, P, P],
+        );
+        let p = node_infection_probability(&inf, 1.0, &[(NodeId(0), Sign::Positive)], NodeId(3));
+        assert!((p - 0.4375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inconsistent_edge_kills_path() {
+        // 0 -(+)-> 1 observed negative: inconsistent, so no path reaches 1.
+        let inf = inf(&[(0, 1, Sign::Positive, 0.9)], &[P, N]);
+        let p = node_infection_probability(&inf, 2.0, &[(NodeId(0), Sign::Positive)], NodeId(1));
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn unknown_state_lets_path_through() {
+        let inf = inf(&[(0, 1, Sign::Positive, 0.5)], &[P, U]);
+        let p = node_infection_probability(&inf, 2.0, &[(NodeId(0), Sign::Positive)], NodeId(1));
+        assert!((p - 1.0).abs() < 1e-12); // boosted to 1.0
+    }
+
+    #[test]
+    fn snapshot_likelihood_multiplies_nodes() {
+        // Chain 0 -> 1 -> 2, consistent, alpha 1, weights 0.5:
+        // P(0) = 1 (initiator), P(1) = 0.5, P(2) = 0.25.
+        let inf = inf(
+            &[(0, 1, Sign::Positive, 0.5), (1, 2, Sign::Positive, 0.5)],
+            &[P, P, P],
+        );
+        let l = snapshot_likelihood(&inf, 1.0, &[(NodeId(0), Sign::Positive)]);
+        assert!((l - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn better_initiator_set_scores_higher() {
+        // True seed 0: choosing 0 should beat choosing leaf 2.
+        let inf = inf(
+            &[(0, 1, Sign::Positive, 0.5), (1, 2, Sign::Positive, 0.5)],
+            &[P, P, P],
+        );
+        let with_root = snapshot_likelihood(&inf, 1.0, &[(NodeId(0), Sign::Positive)]);
+        let with_leaf = snapshot_likelihood(&inf, 1.0, &[(NodeId(2), Sign::Positive)]);
+        assert!(with_root > with_leaf);
+        assert_eq!(with_leaf, 0.0); // nothing reaches 0 or 1 from 2
+    }
+
+    #[test]
+    #[should_panic(expected = "exact path enumeration limited")]
+    fn large_network_rejected() {
+        let states = vec![P; EXACT_NODE_LIMIT + 1];
+        let inf = inf(&[], &states);
+        node_infection_probability(&inf, 1.0, &[], NodeId(0));
+    }
+}

@@ -1,0 +1,350 @@
+//! The §III-C NP-hardness apparatus: set-cover instances, their exact and
+//! greedy solvers, and the paper's reduction gadget mapping a set-cover
+//! instance to an ISOMIT instance.
+//!
+//! # Faithfulness note
+//!
+//! We build the gadget **exactly as printed** in the paper's Proof 1
+//! (element nodes → set nodes with weight 1, element nodes → dummy `d`
+//! with weight `1/n`, `d` → set nodes with weight 1, all signs `+1`, all
+//! states `+1`). As printed, element nodes have no incoming links, so
+//! *every* element must be an initiator and the minimum-certainty
+//! initiator set is `{all elements}` plus `d` when `α < n` — a quantity
+//! independent of the cover structure (the reduction as published does
+//! not actually vary with the chosen cover; see DESIGN.md for the
+//! analysis). The gadget is still valuable: it exercises the
+//! `P(G_I|I,S) = 1` machinery of [`crate::exact`], and
+//! [`minimum_gadget_initiators`] states the provable optimum so tests can
+//! pin the behaviour.
+
+use isomit_diffusion::InfectedNetwork;
+use isomit_graph::{NodeId, NodeState, Sign, SignedDigraphBuilder};
+
+/// A set-cover instance: `universe` elements `0..universe` and a family
+/// of subsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetCoverInstance {
+    universe: usize,
+    sets: Vec<Vec<usize>>,
+}
+
+impl SetCoverInstance {
+    /// Creates an instance, validating element ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a set references an element `>= universe`.
+    pub fn new(universe: usize, sets: Vec<Vec<usize>>) -> Self {
+        for (j, set) in sets.iter().enumerate() {
+            for &e in set {
+                assert!(e < universe, "set {j} references element {e} >= {universe}");
+            }
+        }
+        SetCoverInstance { universe, sets }
+    }
+
+    /// Number of elements.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// The subsets.
+    pub fn sets(&self) -> &[Vec<usize>] {
+        &self.sets
+    }
+
+    /// `true` if the chosen set indices cover the universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn is_cover(&self, chosen: &[usize]) -> bool {
+        let mut covered = vec![false; self.universe];
+        for &j in chosen {
+            for &e in &self.sets[j] {
+                covered[e] = true;
+            }
+        }
+        covered.iter().all(|&c| c)
+    }
+
+    /// The classical greedy `ln n`-approximation: repeatedly pick the set
+    /// covering the most uncovered elements. Returns `None` if no cover
+    /// exists.
+    pub fn greedy_cover(&self) -> Option<Vec<usize>> {
+        let mut covered = vec![false; self.universe];
+        let mut remaining = self.universe;
+        let mut chosen = Vec::new();
+        while remaining > 0 {
+            let (best_j, gain) = self
+                .sets
+                .iter()
+                .enumerate()
+                .map(|(j, s)| (j, s.iter().filter(|&&e| !covered[e]).count()))
+                .max_by_key(|&(_, gain)| gain)?;
+            if gain == 0 {
+                return None;
+            }
+            chosen.push(best_j);
+            for &e in &self.sets[best_j] {
+                if !covered[e] {
+                    covered[e] = true;
+                    remaining -= 1;
+                }
+            }
+        }
+        chosen.sort_unstable();
+        Some(chosen)
+    }
+
+    /// Exact minimum cover by subset enumeration (exponential in the
+    /// number of sets). Returns `None` if no cover exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than 20 sets.
+    pub fn exact_cover(&self) -> Option<Vec<usize>> {
+        let m = self.sets.len();
+        assert!(m <= 20, "exact cover limited to 20 sets, got {m}");
+        if self.universe == 0 {
+            return Some(Vec::new());
+        }
+        let masks: Vec<u64> = self
+            .sets
+            .iter()
+            .map(|s| s.iter().fold(0u64, |acc, &e| acc | (1 << e)))
+            .collect();
+        let full = if self.universe == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.universe) - 1
+        };
+        let mut best: Option<Vec<usize>> = None;
+        for choice in 0u32..(1u32 << m) {
+            let covered = (0..m)
+                .filter(|j| choice & (1 << j) != 0)
+                .fold(0u64, |acc, j| acc | masks[j]);
+            if covered & full == full {
+                let size = choice.count_ones() as usize;
+                if best.as_ref().is_none_or(|b| size < b.len()) {
+                    best = Some((0..m).filter(|j| choice & (1 << j) != 0).collect());
+                }
+            }
+        }
+        best
+    }
+}
+
+/// The ISOMIT gadget built from a set-cover instance, with named access
+/// to the three node groups of the paper's construction.
+#[derive(Debug, Clone)]
+pub struct Gadget {
+    network: InfectedNetwork,
+    universe: usize,
+    set_count: usize,
+}
+
+impl Gadget {
+    /// The infected snapshot of the gadget (all states `+1`).
+    pub fn network(&self) -> &InfectedNetwork {
+        &self.network
+    }
+
+    /// Node standing for element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn element_node(&self, i: usize) -> NodeId {
+        assert!(i < self.universe, "element {i} out of range");
+        NodeId::from_index(i)
+    }
+
+    /// Node standing for set `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn set_node(&self, j: usize) -> NodeId {
+        assert!(j < self.set_count, "set {j} out of range");
+        NodeId::from_index(self.universe + j)
+    }
+
+    /// The dummy node `d`.
+    pub fn dummy_node(&self) -> NodeId {
+        NodeId::from_index(self.universe + self.set_count)
+    }
+
+    /// Total node count (`n + m + 1`).
+    pub fn len(&self) -> usize {
+        self.universe + self.set_count + 1
+    }
+
+    /// `true` for a degenerate empty gadget (never produced — the dummy
+    /// always exists).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Builds the paper's Proof-1 gadget for a set-cover instance: a directed
+/// all-positive infected network with
+///
+/// * `element → set` links of weight 1 for every membership `e_i ∈ L_j`,
+/// * `element → d` links of weight `1/n`,
+/// * `d → set` links of weight 1,
+///
+/// and every node observed in state `+1`.
+pub fn set_cover_to_isomit(instance: &SetCoverInstance) -> Gadget {
+    let n = instance.universe();
+    let m = instance.sets().len();
+    let mut b = SignedDigraphBuilder::with_nodes(n + m + 1);
+    let d = NodeId::from_index(n + m);
+    let inv_n = if n == 0 { 1.0 } else { 1.0 / n as f64 };
+    for (j, set) in instance.sets().iter().enumerate() {
+        let set_node = NodeId::from_index(n + j);
+        for &e in set {
+            b.add_edge(NodeId::from_index(e), set_node, Sign::Positive, 1.0)
+                .expect("gadget edges are valid");
+        }
+        b.add_edge(d, set_node, Sign::Positive, 1.0)
+            .expect("gadget edges are valid");
+    }
+    for e in 0..n {
+        b.add_edge(NodeId::from_index(e), d, Sign::Positive, inv_n)
+            .expect("gadget edges are valid");
+    }
+    let graph = b.build();
+    let states = vec![NodeState::Positive; graph.node_count()];
+    Gadget {
+        network: InfectedNetwork::from_parts(graph, states),
+        universe: n,
+        set_count: m,
+    }
+}
+
+/// The provable minimum-certainty initiator set of the printed gadget:
+/// all element nodes, plus `d` iff `α < n` (the `1/n`-weight links are
+/// only boosted to probability 1 when `α ≥ n`).
+///
+/// Returned in ascending node order, states all `+1`. Validated against
+/// the exponential [`minimum_certain_initiators`](crate::exact::minimum_certain_initiators) in tests.
+pub fn minimum_gadget_initiators(gadget: &Gadget, alpha: f64) -> Vec<(NodeId, Sign)> {
+    let mut seeds: Vec<(NodeId, Sign)> = (0..gadget.universe)
+        .map(|i| (gadget.element_node(i), Sign::Positive))
+        .collect();
+    let n = gadget.universe as f64;
+    if alpha < n || gadget.universe == 0 {
+        seeds.push((gadget.dummy_node(), Sign::Positive));
+    }
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact;
+
+    fn small_instance() -> SetCoverInstance {
+        // Universe {0, 1, 2, 3}; sets: {0, 1}, {1, 2}, {2, 3}, {0, 3}.
+        SetCoverInstance::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]])
+    }
+
+    #[test]
+    fn cover_checking() {
+        let inst = small_instance();
+        assert!(inst.is_cover(&[0, 2]));
+        assert!(inst.is_cover(&[1, 3]));
+        assert!(!inst.is_cover(&[0, 1]));
+    }
+
+    #[test]
+    fn greedy_finds_a_cover() {
+        let inst = small_instance();
+        let cover = inst.greedy_cover().unwrap();
+        assert!(inst.is_cover(&cover));
+    }
+
+    #[test]
+    fn exact_cover_is_minimum() {
+        let inst = small_instance();
+        let exact = inst.exact_cover().unwrap();
+        assert!(inst.is_cover(&exact));
+        assert_eq!(exact.len(), 2);
+    }
+
+    #[test]
+    fn uncoverable_instance() {
+        let inst = SetCoverInstance::new(3, vec![vec![0], vec![1]]);
+        assert_eq!(inst.greedy_cover(), None);
+        assert_eq!(inst.exact_cover(), None);
+    }
+
+    #[test]
+    fn empty_universe_needs_no_sets() {
+        let inst = SetCoverInstance::new(0, vec![]);
+        assert_eq!(inst.exact_cover(), Some(vec![]));
+        assert!(inst.is_cover(&[]));
+    }
+
+    #[test]
+    fn gadget_structure_matches_paper() {
+        let inst = SetCoverInstance::new(2, vec![vec![0], vec![0, 1]]);
+        let gadget = set_cover_to_isomit(&inst);
+        assert_eq!(gadget.len(), 5); // 2 elements + 2 sets + d
+        let g = gadget.network().graph();
+        // e0 -> L0, e0 -> L1, e1 -> L1 memberships.
+        assert!(g.has_edge(gadget.element_node(0), gadget.set_node(0)));
+        assert!(g.has_edge(gadget.element_node(0), gadget.set_node(1)));
+        assert!(g.has_edge(gadget.element_node(1), gadget.set_node(1)));
+        assert!(!g.has_edge(gadget.element_node(1), gadget.set_node(0)));
+        // d -> sets, elements -> d with weight 1/n.
+        assert!(g.has_edge(gadget.dummy_node(), gadget.set_node(0)));
+        let e = g.edge(gadget.element_node(0), gadget.dummy_node()).unwrap();
+        assert!((e.weight - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gadget_minimum_matches_exact_solver_small_alpha() {
+        // alpha = 1 < n = 2: d must be seeded too.
+        let inst = SetCoverInstance::new(2, vec![vec![0, 1]]);
+        let gadget = set_cover_to_isomit(&inst);
+        let predicted = minimum_gadget_initiators(&gadget, 1.0);
+        let exact = exact::minimum_certain_initiators(gadget.network(), 1.0).unwrap();
+        assert_eq!(exact.len(), predicted.len());
+        assert!(exact::certainly_infected(gadget.network(), 1.0, &predicted));
+    }
+
+    #[test]
+    fn gadget_minimum_matches_exact_solver_large_alpha() {
+        // alpha = 4 >= n = 2: the 1/n links boost to probability 1, so d
+        // is reachable from the elements and need not be seeded.
+        let inst = SetCoverInstance::new(2, vec![vec![0, 1]]);
+        let gadget = set_cover_to_isomit(&inst);
+        let predicted = minimum_gadget_initiators(&gadget, 4.0);
+        assert_eq!(predicted.len(), 2); // elements only
+        let exact = exact::minimum_certain_initiators(gadget.network(), 4.0).unwrap();
+        assert_eq!(exact.len(), predicted.len());
+        assert!(exact::certainly_infected(gadget.network(), 4.0, &predicted));
+    }
+
+    #[test]
+    fn dropping_any_element_breaks_certainty() {
+        let inst = small_instance();
+        let gadget = set_cover_to_isomit(&inst);
+        let full = minimum_gadget_initiators(&gadget, 1.0);
+        assert!(exact::certainly_infected(gadget.network(), 1.0, &full));
+        for skip in 0..full.len() {
+            let partial: Vec<_> = full
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, &s)| s)
+                .collect();
+            assert!(
+                !exact::certainly_infected(gadget.network(), 1.0, &partial),
+                "dropping seed {skip} should break certainty"
+            );
+        }
+    }
+}

@@ -1,0 +1,105 @@
+use isomit_graph::{jaccard_weights, SignedDigraph};
+use rand::Rng;
+
+/// Applies the paper's §IV-B3 experimental weighting pipeline to a social
+/// network and returns the resulting **diffusion** network:
+///
+/// 1. every social link `(v, u)` is weighted with its Jaccard coefficient
+///    `JC(v, u) = |Γ_out(v) ∩ Γ_in(u)| / |Γ_out(v) ∪ Γ_in(u)|`;
+/// 2. links whose coefficient is `0` (sparse networks have many) get a
+///    weight drawn uniformly from `(0, 0.1]`, "just as existing works do
+///    for the IC diffusion model";
+/// 3. the network is reversed (Definition 2): the diffusion link `(u, v)`
+///    inherits the sign and weight of the social link `(v, u)`.
+///
+/// ```
+/// use isomit_datasets::paper_weights;
+/// use isomit_graph::{Edge, NodeId, Sign, SignedDigraph};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), isomit_graph::GraphError> {
+/// let social = SignedDigraph::from_edges(
+///     2,
+///     [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.0)],
+/// )?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let diffusion = paper_weights(&social, &mut rng);
+/// // The social edge (0, 1) became the diffusion edge (1, 0).
+/// assert!(diffusion.edge(NodeId(1), NodeId(0)).is_some());
+/// # Ok(())
+/// # }
+/// ```
+pub fn paper_weights<R: Rng + ?Sized>(social: &SignedDigraph, rng: &mut R) -> SignedDigraph {
+    let weighted = jaccard_weights(social);
+    let filled = weighted.map_weights(|e| {
+        if e.weight == 0.0 {
+            // Uniform on (0, 0.1]: avoid exactly-zero weights, which would
+            // make the link dead under both IC and MFC.
+            let draw: f64 = rng.gen_range(0.0..0.1);
+            (0.1 - draw).max(f64::MIN_POSITIVE)
+        } else {
+            e.weight
+        }
+    });
+    filled.reversed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isomit_graph::{Edge, NodeId, Sign};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn social() -> SignedDigraph {
+        // 0 follows 1 and 2; 1 follows 2; 2 follows 0 (negative).
+        SignedDigraph::from_edges(
+            3,
+            [
+                Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.0),
+                Edge::new(NodeId(0), NodeId(2), Sign::Positive, 1.0),
+                Edge::new(NodeId(1), NodeId(2), Sign::Negative, 1.0),
+                Edge::new(NodeId(2), NodeId(0), Sign::Negative, 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reverses_and_keeps_signs() {
+        let d = paper_weights(&social(), &mut StdRng::seed_from_u64(0));
+        assert_eq!(d.edge_count(), 4);
+        let e = d.edge(NodeId(2), NodeId(1)).unwrap();
+        assert_eq!(e.sign, Sign::Negative); // social (1, 2) was negative
+        assert!(d.edge(NodeId(1), NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn nonzero_jaccard_weights_survive() {
+        // Social (0, 2): out(0) = {1, 2}, in(2) = {0, 1} → JC = 1/3; it
+        // becomes diffusion (2, 0).
+        let d = paper_weights(&social(), &mut StdRng::seed_from_u64(0));
+        let e = d.edge(NodeId(2), NodeId(0)).unwrap();
+        assert!((e.weight - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_jaccard_weights_filled_in_range() {
+        let d = paper_weights(&social(), &mut StdRng::seed_from_u64(42));
+        for e in d.edges() {
+            assert!(e.weight > 0.0, "dead edge ({}, {})", e.src, e.dst);
+            assert!(e.weight <= 1.0);
+        }
+        // Social (2, 0): out(2) = {0}, in(0) = {2} → JC = 0 → filled with
+        // a draw in (0, 0.1].
+        let e = d.edge(NodeId(0), NodeId(2)).unwrap();
+        assert!(e.weight > 0.0 && e.weight <= 0.1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = paper_weights(&social(), &mut StdRng::seed_from_u64(5));
+        let b = paper_weights(&social(), &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

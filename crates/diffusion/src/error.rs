@@ -1,0 +1,74 @@
+use isomit_graph::NodeId;
+use std::fmt;
+
+/// Errors produced when configuring or running diffusion models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DiffusionError {
+    /// A model parameter was outside its valid range.
+    InvalidParameter {
+        /// Parameter name, e.g. `"alpha"`.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint, e.g. `"must be >= 1"`.
+        constraint: &'static str,
+    },
+    /// The same node appeared twice in a seed set.
+    DuplicateSeed(
+        /// The repeated node.
+        NodeId,
+    ),
+    /// A seed node lies outside the diffusion network.
+    SeedOutOfBounds {
+        /// The offending seed.
+        node: NodeId,
+        /// Number of nodes in the network.
+        node_count: usize,
+    },
+}
+
+impl fmt::Display for DiffusionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffusionError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "parameter {name} = {value} is invalid: {constraint}"),
+            DiffusionError::DuplicateSeed(node) => {
+                write!(f, "seed {node} appears more than once")
+            }
+            DiffusionError::SeedOutOfBounds { node, node_count } => write!(
+                f,
+                "seed {node} is out of bounds for a network with {node_count} nodes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DiffusionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_specific() {
+        let e = DiffusionError::InvalidParameter {
+            name: "alpha",
+            value: 0.5,
+            constraint: "must be >= 1",
+        };
+        assert!(e.to_string().contains("alpha = 0.5"));
+        assert!(DiffusionError::DuplicateSeed(NodeId(4))
+            .to_string()
+            .contains("n4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DiffusionError>();
+    }
+}

@@ -1,0 +1,247 @@
+use crate::model::gen_unit;
+use crate::Cascade;
+use isomit_graph::{NodeId, NodeMapping, NodeState, SignedDigraph};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// The snapshot handed to the detection side of the paper: the infected
+/// diffusion network `G_I` (Definition 3) together with the observed node
+/// states.
+///
+/// Nodes are renumbered densely (`0..node_count` in the subgraph);
+/// [`mapping`](InfectedNetwork::mapping) translates back to the original
+/// network. States are indexed by subgraph id and are
+/// [`NodeState::Positive`], [`NodeState::Negative`] or — after
+/// [`with_masked_states`](InfectedNetwork::with_masked_states) —
+/// [`NodeState::Unknown`]. `Inactive` never appears: inactive nodes are
+/// by definition outside `G_I`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InfectedNetwork {
+    graph: SignedDigraph,
+    states: Vec<NodeState>,
+    mapping: NodeMapping,
+}
+
+impl InfectedNetwork {
+    /// Extracts the infected network from a finished simulation: the
+    /// subgraph of `diffusion` induced by the opinion-holding nodes, with
+    /// their final states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cascade` was produced on a different graph (node-count
+    /// mismatch).
+    pub fn from_cascade(diffusion: &SignedDigraph, cascade: &Cascade) -> Self {
+        assert_eq!(
+            diffusion.node_count(),
+            cascade.states().len(),
+            "cascade and diffusion network node counts differ"
+        );
+        let infected = cascade.infected_nodes();
+        let (graph, mapping) = diffusion.induced_subgraph(infected);
+        let states = mapping
+            .original_ids()
+            .iter()
+            .map(|&orig| cascade.state(orig))
+            .collect();
+        InfectedNetwork {
+            graph,
+            states,
+            mapping,
+        }
+    }
+
+    /// Builds an infected network directly from a subgraph and observed
+    /// states, with an identity node mapping — convenient for hand-built
+    /// detection inputs and tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != graph.node_count()` or any state is
+    /// [`NodeState::Inactive`] (inactive nodes cannot be in `G_I`).
+    pub fn from_parts(graph: SignedDigraph, states: Vec<NodeState>) -> Self {
+        assert_eq!(
+            states.len(),
+            graph.node_count(),
+            "one state per node required"
+        );
+        assert!(
+            states.iter().all(|s| *s != NodeState::Inactive),
+            "inactive nodes cannot appear in an infected network"
+        );
+        let ids: Vec<NodeId> = graph.nodes().collect();
+        let mapping = crate::infected::identity_mapping(&ids);
+        InfectedNetwork {
+            graph,
+            states,
+            mapping,
+        }
+    }
+
+    /// The infected diffusion subgraph (dense subgraph ids).
+    pub fn graph(&self) -> &SignedDigraph {
+        &self.graph
+    }
+
+    /// Observed state of every subgraph node.
+    pub fn states(&self) -> &[NodeState] {
+        &self.states
+    }
+
+    /// Observed state of one subgraph node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn state(&self, node: NodeId) -> NodeState {
+        self.states[node.index()]
+    }
+
+    /// Mapping between subgraph ids and original network ids.
+    pub fn mapping(&self) -> &NodeMapping {
+        &self.mapping
+    }
+
+    /// Number of infected nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of nodes whose state is observed (not `Unknown`).
+    pub fn observed_count(&self) -> usize {
+        self.states.iter().filter(|s| !s.is_unknown()).count()
+    }
+
+    /// Returns a copy with each node's state independently replaced by
+    /// [`NodeState::Unknown`] with probability `fraction` — the paper's
+    /// setting where "the states of many nodes in large-scale networks
+    /// are often unknown".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn with_masked_states(&self, fraction: f64, rng: &mut dyn RngCore) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction {fraction} must lie in [0, 1]"
+        );
+        let states = self
+            .states
+            .iter()
+            .map(|&s| {
+                if gen_unit(rng) < fraction {
+                    NodeState::Unknown
+                } else {
+                    s
+                }
+            })
+            .collect();
+        InfectedNetwork {
+            graph: self.graph.clone(),
+            states,
+            mapping: self.mapping.clone(),
+        }
+    }
+}
+
+/// Builds an identity [`NodeMapping`] over the given ids by round-tripping
+/// through `induced_subgraph` on a trivial graph — kept private to avoid
+/// widening `isomit-graph`'s API surface.
+fn identity_mapping(ids: &[NodeId]) -> NodeMapping {
+    let g = SignedDigraph::from_edges(ids.len(), []).expect("empty edge set is valid");
+    let (_, mapping) = g.induced_subgraph(ids.iter().copied());
+    mapping
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DiffusionModel, Mfc, SeedSet};
+    use isomit_graph::{Edge, Sign};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (SignedDigraph, Cascade) {
+        // 0 -> 1 -> 2 deterministic; node 3 unreachable.
+        let g = SignedDigraph::from_edges(
+            4,
+            [
+                Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.0),
+                Edge::new(NodeId(1), NodeId(2), Sign::Negative, 1.0),
+                Edge::new(NodeId(3), NodeId(0), Sign::Positive, 0.0),
+            ],
+        )
+        .unwrap();
+        let seeds = SeedSet::single(NodeId(0), Sign::Positive);
+        let c = Mfc::new(2.0)
+            .unwrap()
+            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(0));
+        (g, c)
+    }
+
+    #[test]
+    fn from_cascade_keeps_only_infected() {
+        let (g, c) = setup();
+        let inf = InfectedNetwork::from_cascade(&g, &c);
+        assert_eq!(inf.node_count(), 3);
+        // Node 3 (inactive) must be excluded.
+        assert!(inf.mapping().to_subgraph(NodeId(3)).is_none());
+        // States carried over in subgraph order 0, 1, 2.
+        assert_eq!(
+            inf.states(),
+            &[NodeState::Positive, NodeState::Positive, NodeState::Negative]
+        );
+        // Edges among infected survive; edge from node 3 does not.
+        assert_eq!(inf.graph().edge_count(), 2);
+    }
+
+    #[test]
+    fn from_parts_identity_mapping() {
+        let g = SignedDigraph::from_edges(
+            2,
+            [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5)],
+        )
+        .unwrap();
+        let inf = InfectedNetwork::from_parts(g, vec![NodeState::Positive, NodeState::Negative]);
+        assert_eq!(inf.mapping().to_original(NodeId(1)), Some(NodeId(1)));
+        assert_eq!(inf.state(NodeId(1)), NodeState::Negative);
+        assert_eq!(inf.observed_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one state per node")]
+    fn from_parts_length_mismatch_panics() {
+        let g = SignedDigraph::from_edges(2, []).unwrap();
+        InfectedNetwork::from_parts(g, vec![NodeState::Positive]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inactive nodes cannot appear")]
+    fn from_parts_rejects_inactive() {
+        let g = SignedDigraph::from_edges(1, []).unwrap();
+        InfectedNetwork::from_parts(g, vec![NodeState::Inactive]);
+    }
+
+    #[test]
+    fn masking_hides_roughly_the_requested_fraction() {
+        let (g, c) = setup();
+        let inf = InfectedNetwork::from_cascade(&g, &c);
+        let mut rng = StdRng::seed_from_u64(1);
+        let all_hidden = inf.with_masked_states(1.0, &mut rng);
+        assert_eq!(all_hidden.observed_count(), 0);
+        let none_hidden = inf.with_masked_states(0.0, &mut rng);
+        assert_eq!(none_hidden.observed_count(), inf.node_count());
+        // Graph structure untouched.
+        assert_eq!(all_hidden.graph(), inf.graph());
+    }
+
+    #[test]
+    fn mask_fraction_statistics() {
+        let g = SignedDigraph::from_edges(1000, []).unwrap();
+        let inf = InfectedNetwork::from_parts(g, vec![NodeState::Positive; 1000]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let masked = inf.with_masked_states(0.3, &mut rng);
+        let hidden = 1000 - masked.observed_count();
+        assert!((250..=350).contains(&hidden), "hidden {hidden} far from 300");
+    }
+}

@@ -1,0 +1,200 @@
+use crate::model::gen_unit;
+use crate::{ActivationEvent, Cascade, DiffusionModel, SeedSet};
+use isomit_graph::{NodeId, NodeState, Sign, SignedDigraph};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// The **Linear Threshold** model of Kempe, Kleinberg & Tardos (KDD
+/// 2003), adapted to signed state-carrying networks for comparison
+/// against MFC.
+///
+/// Each node `v` draws a threshold `θ_v ~ U[0, 1)` once per simulation.
+/// In every round, an inactive node whose active in-neighbours' total
+/// incoming edge weight reaches `θ_v` becomes active. The adopted opinion
+/// is the *weighted signed majority* of its active in-neighbours:
+/// `sign(Σ_u w(u,v) · s(u) · s_D(u,v))` (ties resolve positive). As in
+/// the classic model, active nodes never change state.
+///
+/// Incoming weights are normalized by the node's total in-weight so the
+/// classic `Σ w ≤ 1` pre-condition holds on arbitrary inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LinearThreshold {
+    _private: (),
+}
+
+impl LinearThreshold {
+    /// Creates the parameter-free LT model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DiffusionModel for LinearThreshold {
+    fn name(&self) -> &'static str {
+        "LT"
+    }
+
+    fn simulate(&self, graph: &SignedDigraph, seeds: &SeedSet, rng: &mut dyn RngCore) -> Cascade {
+        seeds
+            .validate_against(graph)
+            .expect("seed set must lie within the diffusion network");
+        let n = graph.node_count();
+        let mut cascade = Cascade::new(n, seeds);
+        let thresholds: Vec<f64> = (0..n).map(|_| gen_unit(rng)).collect();
+        let total_in_weight: Vec<f64> = (0..n)
+            .map(|i| {
+                graph
+                    .in_edges(NodeId::from_index(i))
+                    .map(|e| e.weight)
+                    .sum::<f64>()
+            })
+            .collect();
+
+        let mut rounds = 0usize;
+        loop {
+            rounds += 1;
+            let mut newly: Vec<(NodeId, NodeId, Sign)> = Vec::new();
+            for i in 0..n {
+                let v = NodeId::from_index(i);
+                if cascade.state(v) != NodeState::Inactive || total_in_weight[i] <= 0.0 {
+                    continue;
+                }
+                let mut active_weight = 0.0;
+                let mut signed_influence = 0.0;
+                // Track the heaviest active in-neighbour as the nominal
+                // activator for cascade-tree bookkeeping.
+                let mut best: Option<(f64, NodeId, Sign)> = None;
+                for e in graph.in_edges(v) {
+                    if let Some(su) = cascade.state(e.src).sign() {
+                        active_weight += e.weight;
+                        let contribution = e.weight * f64::from(su.value()) * f64::from(e.sign.value());
+                        signed_influence += contribution;
+                        let candidate_state = su * e.sign;
+                        if best.is_none_or(|(bw, _, _)| e.weight > bw) {
+                            best = Some((e.weight, e.src, candidate_state));
+                        }
+                    }
+                }
+                if active_weight / total_in_weight[i] >= thresholds[i] {
+                    let opinion = if signed_influence >= 0.0 {
+                        Sign::Positive
+                    } else {
+                        Sign::Negative
+                    };
+                    let (_, activator, _) =
+                        best.expect("threshold reached implies an active in-neighbour");
+                    newly.push((v, activator, opinion));
+                }
+            }
+            if newly.is_empty() {
+                break;
+            }
+            for (v, activator, opinion) in newly {
+                cascade.record(ActivationEvent {
+                    step: rounds,
+                    src: activator,
+                    dst: v,
+                    new_state: opinion,
+                    flip: false,
+                });
+            }
+        }
+        cascade.finish(rounds, false);
+        cascade
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isomit_graph::Edge;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn full_weight_neighbor_always_activates() {
+        // v's only in-neighbour is active with normalized weight 1 ≥ any
+        // threshold in [0, 1).
+        let g = SignedDigraph::from_edges(
+            2,
+            [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.7)],
+        )
+        .unwrap();
+        let seeds = SeedSet::single(NodeId(0), Sign::Positive);
+        for s in 0..20 {
+            let c = LinearThreshold::new().simulate(&g, &seeds, &mut rng(s));
+            assert_eq!(c.state(NodeId(1)), NodeState::Positive);
+        }
+    }
+
+    #[test]
+    fn signed_majority_decides_opinion() {
+        // Two positive-opinion activators: one trusts (+, 0.9), one
+        // distrusted path (−, 0.1) → majority positive.
+        let g = SignedDigraph::from_edges(
+            3,
+            [
+                Edge::new(NodeId(0), NodeId(2), Sign::Positive, 0.9),
+                Edge::new(NodeId(1), NodeId(2), Sign::Negative, 0.1),
+            ],
+        )
+        .unwrap();
+        let seeds = SeedSet::from_pairs([
+            (NodeId(0), Sign::Positive),
+            (NodeId(1), Sign::Positive),
+        ])
+        .unwrap();
+        for s in 0..20 {
+            let c = LinearThreshold::new().simulate(&g, &seeds, &mut rng(s));
+            assert_eq!(c.state(NodeId(2)), NodeState::Positive);
+        }
+    }
+
+    #[test]
+    fn negative_majority_gives_negative_opinion() {
+        let g = SignedDigraph::from_edges(
+            2,
+            [Edge::new(NodeId(0), NodeId(1), Sign::Negative, 0.8)],
+        )
+        .unwrap();
+        let seeds = SeedSet::single(NodeId(0), Sign::Positive);
+        for s in 0..20 {
+            let c = LinearThreshold::new().simulate(&g, &seeds, &mut rng(s));
+            assert_eq!(c.state(NodeId(1)), NodeState::Negative);
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_stay_inactive() {
+        let g = SignedDigraph::from_edges(
+            3,
+            [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.0)],
+        )
+        .unwrap();
+        let seeds = SeedSet::single(NodeId(0), Sign::Positive);
+        let c = LinearThreshold::new().simulate(&g, &seeds, &mut rng(0));
+        assert_eq!(c.state(NodeId(2)), NodeState::Inactive);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = SignedDigraph::from_edges(
+            4,
+            [
+                Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.4),
+                Edge::new(NodeId(0), NodeId(2), Sign::Negative, 0.6),
+                Edge::new(NodeId(1), NodeId(3), Sign::Positive, 0.5),
+                Edge::new(NodeId(2), NodeId(3), Sign::Positive, 0.5),
+            ],
+        )
+        .unwrap();
+        let seeds = SeedSet::single(NodeId(0), Sign::Positive);
+        let a = LinearThreshold::new().simulate(&g, &seeds, &mut rng(11));
+        let b = LinearThreshold::new().simulate(&g, &seeds, &mut rng(11));
+        assert_eq!(a, b);
+    }
+}

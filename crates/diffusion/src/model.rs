@@ -1,0 +1,117 @@
+use crate::{Cascade, SeedSet};
+use isomit_graph::SignedDigraph;
+use rand::RngCore;
+
+/// A discrete-step information-diffusion model over a weighted signed
+/// diffusion network.
+///
+/// Implementations simulate forward from a seed set and return the full
+/// [`Cascade`] record. The trait is object-safe so harnesses can run a
+/// heterogeneous collection of models:
+///
+/// ```
+/// use isomit_diffusion::{DiffusionModel, IndependentCascade, Mfc};
+///
+/// # fn main() -> Result<(), isomit_diffusion::DiffusionError> {
+/// let models: Vec<Box<dyn DiffusionModel>> = vec![
+///     Box::new(Mfc::new(3.0)?),
+///     Box::new(IndependentCascade::new()),
+/// ];
+/// assert_eq!(models.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub trait DiffusionModel: std::fmt::Debug {
+    /// Human-readable model name (used in experiment reports).
+    fn name(&self) -> &'static str;
+
+    /// Runs one simulation of the model on `graph` starting from `seeds`.
+    ///
+    /// `graph` is interpreted as a *diffusion* network: an edge `(u, v)`
+    /// means influence flows from `u` to `v` (callers reverse social
+    /// networks first, per Definition 2 of the paper). Any `&mut rng`
+    /// implementing [`rand::RngCore`] can be passed; it coerces to the
+    /// trait object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any seed is out of bounds for `graph`; validate with
+    /// [`SeedSet::validate_against`] when the seed set is untrusted.
+    fn simulate(&self, graph: &SignedDigraph, seeds: &SeedSet, rng: &mut dyn RngCore) -> Cascade;
+}
+
+/// Draws a uniform `f64` in `[0, 1)` from any RNG, including through
+/// `&mut dyn RngCore` (53-bit mantissa method).
+#[inline]
+pub(crate) fn gen_unit(rng: &mut (impl RngCore + ?Sized)) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Runs `runs` independent simulations and returns the average infected
+/// count — the basic statistic of the paper's diffusion analyses.
+///
+/// # Panics
+///
+/// Panics if `runs == 0`.
+pub fn mean_infected<M, R>(
+    model: &M,
+    graph: &SignedDigraph,
+    seeds: &SeedSet,
+    runs: usize,
+    rng: &mut R,
+) -> f64
+where
+    M: DiffusionModel + ?Sized,
+    R: RngCore,
+{
+    assert!(runs > 0, "runs must be positive");
+    let total: usize = (0..runs)
+        .map(|_| model.simulate(graph, seeds, rng).infected_count())
+        .sum();
+    total as f64 / runs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mfc;
+    use isomit_graph::{Edge, NodeId, Sign};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gen_unit_stays_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = gen_unit(&mut rng);
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn mean_infected_on_deterministic_chain() {
+        let g = SignedDigraph::from_edges(
+            3,
+            [
+                Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.0),
+                Edge::new(NodeId(1), NodeId(2), Sign::Positive, 1.0),
+            ],
+        )
+        .unwrap();
+        let seeds = SeedSet::single(NodeId(0), Sign::Positive);
+        let model = Mfc::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mean = mean_infected(&model, &g, &seeds, 4, &mut rng);
+        assert!((mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "runs must be positive")]
+    fn mean_infected_rejects_zero_runs() {
+        let g = SignedDigraph::from_edges(1, []).unwrap();
+        let seeds = SeedSet::single(NodeId(0), Sign::Positive);
+        let model = Mfc::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        mean_infected(&model, &g, &seeds, 0, &mut rng);
+    }
+}

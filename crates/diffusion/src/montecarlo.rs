@@ -1,0 +1,189 @@
+//! Monte-Carlo estimation of per-node infection probabilities — the
+//! empirical counterpart to the closed-form §III-B likelihood, used to
+//! validate analytical formulas and to answer "how likely is user X to
+//! end up believing the rumor?" questions on networks too large for
+//! exact path enumeration.
+
+use crate::{DiffusionModel, SeedSet};
+use isomit_graph::{NodeId, SignedDigraph};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Empirical per-node outcome frequencies over repeated simulations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InfectionEstimate {
+    runs: usize,
+    infected: Vec<u32>,
+    positive: Vec<u32>,
+}
+
+impl InfectionEstimate {
+    /// Number of simulation runs behind the estimate.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// Estimated probability that `node` ends up holding *any* opinion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn infection_probability(&self, node: NodeId) -> f64 {
+        self.infected[node.index()] as f64 / self.runs as f64
+    }
+
+    /// Estimated probability that `node` ends up with the positive
+    /// opinion specifically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn positive_probability(&self, node: NodeId) -> f64 {
+        self.positive[node.index()] as f64 / self.runs as f64
+    }
+
+    /// Estimated expected outbreak size.
+    pub fn expected_infected(&self) -> f64 {
+        self.infected.iter().map(|&c| c as f64).sum::<f64>() / self.runs as f64
+    }
+
+    /// Half-width of a ~95% normal-approximation confidence interval for
+    /// [`infection_probability`](InfectionEstimate::infection_probability).
+    pub fn confidence_halfwidth(&self, node: NodeId) -> f64 {
+        let p = self.infection_probability(node);
+        1.96 * (p * (1.0 - p) / self.runs as f64).sqrt()
+    }
+}
+
+/// Runs `runs` independent simulations of `model` and tallies per-node
+/// outcome frequencies.
+///
+/// # Panics
+///
+/// Panics if `runs == 0` or the seed set is invalid for `graph`.
+pub fn estimate_infection_probabilities<M>(
+    model: &M,
+    graph: &SignedDigraph,
+    seeds: &SeedSet,
+    runs: usize,
+    rng: &mut dyn RngCore,
+) -> InfectionEstimate
+where
+    M: DiffusionModel + ?Sized,
+{
+    assert!(runs > 0, "runs must be positive");
+    let n = graph.node_count();
+    let mut infected = vec![0u32; n];
+    let mut positive = vec![0u32; n];
+    for _ in 0..runs {
+        let cascade = model.simulate(graph, seeds, rng);
+        for (i, state) in cascade.states().iter().enumerate() {
+            if state.is_active() {
+                infected[i] += 1;
+            }
+            if *state == isomit_graph::NodeState::Positive {
+                positive[i] += 1;
+            }
+        }
+    }
+    InfectionEstimate {
+        runs,
+        infected,
+        positive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IndependentCascade, Mfc};
+    use isomit_graph::{Edge, Sign};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tree_ic_probabilities_match_path_products() {
+        // On a tree under IC, P(node infected) is exactly the product of
+        // edge weights along the unique path from the seed.
+        let g = SignedDigraph::from_edges(
+            4,
+            [
+                Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.6),
+                Edge::new(NodeId(1), NodeId(2), Sign::Positive, 0.5),
+                Edge::new(NodeId(0), NodeId(3), Sign::Negative, 0.3),
+            ],
+        )
+        .unwrap();
+        let seeds = SeedSet::single(NodeId(0), Sign::Positive);
+        let mut rng = StdRng::seed_from_u64(0);
+        let est = estimate_infection_probabilities(
+            &IndependentCascade::new(),
+            &g,
+            &seeds,
+            40_000,
+            &mut rng,
+        );
+        assert_eq!(est.infection_probability(NodeId(0)), 1.0);
+        for (node, expected) in [(1u32, 0.6), (2, 0.3), (3, 0.3)] {
+            let p = est.infection_probability(NodeId(node));
+            let tolerance = est.confidence_halfwidth(NodeId(node)) * 2.0;
+            assert!(
+                (p - expected).abs() < tolerance.max(0.01),
+                "node {node}: estimated {p}, expected {expected}"
+            );
+        }
+        // Node 3 is reached over a negative edge: never positive.
+        assert_eq!(est.positive_probability(NodeId(3)), 0.0);
+    }
+
+    #[test]
+    fn mfc_boost_shows_up_in_estimates() {
+        let g = SignedDigraph::from_edges(
+            2,
+            [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.3)],
+        )
+        .unwrap();
+        let seeds = SeedSet::single(NodeId(0), Sign::Positive);
+        let mut rng = StdRng::seed_from_u64(1);
+        let est = estimate_infection_probabilities(
+            &Mfc::new(3.0).unwrap(),
+            &g,
+            &seeds,
+            20_000,
+            &mut rng,
+        );
+        // Boosted probability min(1, 3·0.3) = 0.9.
+        let p = est.infection_probability(NodeId(1));
+        assert!((p - 0.9).abs() < 0.02, "estimated {p}");
+    }
+
+    #[test]
+    fn expected_infected_sums_probabilities() {
+        let g = SignedDigraph::from_edges(
+            2,
+            [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5)],
+        )
+        .unwrap();
+        let seeds = SeedSet::single(NodeId(0), Sign::Positive);
+        let mut rng = StdRng::seed_from_u64(2);
+        let est = estimate_infection_probabilities(
+            &IndependentCascade::new(),
+            &g,
+            &seeds,
+            10_000,
+            &mut rng,
+        );
+        let total = est.expected_infected();
+        assert!((total - 1.5).abs() < 0.05, "expected size {total}");
+        assert_eq!(est.runs(), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "runs must be positive")]
+    fn zero_runs_panics() {
+        let g = SignedDigraph::from_edges(1, []).unwrap();
+        let seeds = SeedSet::single(NodeId(0), Sign::Positive);
+        let mut rng = StdRng::seed_from_u64(0);
+        estimate_infection_probabilities(&IndependentCascade::new(), &g, &seeds, 0, &mut rng);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the diffusion models: structural invariants
+//! that must hold for every random graph, seed set and RNG stream.
+
+use isomit_diffusion::{
+    Cascade, DiffusionModel, IndependentCascade, InfectedNetwork, LinearThreshold, Mfc,
+    PolarityIc, SeedSet, Sir,
+};
+use isomit_graph::{Edge, NodeId, NodeState, Sign, SignedDigraph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// Random (graph, seeds) scenario.
+fn arb_scenario() -> impl Strategy<Value = (SignedDigraph, SeedSet)> {
+    (3u32..20).prop_flat_map(|n| {
+        let edge = (0..n, 0..n, any::<bool>(), 0.0f64..=1.0).prop_filter_map(
+            "no self-loops",
+            move |(a, b, pos, w)| {
+                (a != b).then(|| {
+                    Edge::new(
+                        NodeId(a),
+                        NodeId(b),
+                        if pos { Sign::Positive } else { Sign::Negative },
+                        w,
+                    )
+                })
+            },
+        );
+        let edges = proptest::collection::vec(edge, 0..60);
+        let seeds = proptest::collection::btree_map(0..n, any::<bool>(), 1..=(n as usize).min(5));
+        (edges, seeds).prop_map(move |(edges, seed_map)| {
+            let g = SignedDigraph::from_edges(n as usize, edges).unwrap();
+            let seeds = SeedSet::from_pairs(seed_map.into_iter().map(|(id, pos)| {
+                (
+                    NodeId(id),
+                    if pos { Sign::Positive } else { Sign::Negative },
+                )
+            }))
+            .unwrap();
+            (g, seeds)
+        })
+    })
+}
+
+/// Invariants every model's cascade must satisfy.
+fn check_common_invariants(g: &SignedDigraph, seeds: &SeedSet, c: &Cascade) {
+    // Seeds always end up infected (they may be flipped, never cured).
+    for (node, _) in seeds.iter() {
+        assert!(c.state(node).is_active(), "seed {node} lost its state");
+    }
+    // No Unknown states from simulation.
+    assert!(c.states().iter().all(|s| *s != NodeState::Unknown));
+    // Every event uses a real edge, and the recorded state matches the
+    // sign product along that edge for non-flip events.
+    for e in c.events() {
+        let edge = g
+            .edge(e.src, e.dst)
+            .unwrap_or_else(|| panic!("event uses non-edge ({}, {})", e.src, e.dst));
+        let _ = edge;
+    }
+    // first_parent pointers form an acyclic forest rooted at seeds.
+    let infected: HashSet<NodeId> = c.infected_nodes().into_iter().collect();
+    for &v in &infected {
+        if seeds.contains(v) {
+            assert_eq!(c.first_parent(v), None, "seed {v} has a first parent");
+            continue;
+        }
+        // Walk to a root; must terminate within n steps at a seed.
+        let mut cur = v;
+        for _ in 0..=g.node_count() {
+            match c.first_parent(cur) {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        assert!(
+            seeds.contains(cur),
+            "walk from {v} ended at non-seed {cur}"
+        );
+    }
+    // Non-infected nodes have no parents.
+    for u in g.nodes() {
+        if !infected.contains(&u) {
+            assert_eq!(c.first_parent(u), None);
+            assert_eq!(c.last_parent(u), None);
+            assert_eq!(c.state(u), NodeState::Inactive);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mfc_invariants(((g, seeds), rng_seed) in (arb_scenario(), any::<u64>())) {
+        // Cap rounds: with probability-1 boosted edges, MFC flip waves
+        // can oscillate around positive cycles forever (see the
+        // `flip_wave_oscillates_forever` unit test in mfc.rs); the
+        // structural invariants hold regardless of truncation.
+        let model = Mfc::new(3.0).unwrap().with_max_rounds(5_000);
+        let c = model.simulate(&g, &seeds, &mut StdRng::seed_from_u64(rng_seed));
+        check_common_invariants(&g, &seeds, &c);
+        // MFC-specific: flips only ever happen across positive edges.
+        for e in c.events().iter().filter(|e| e.flip) {
+            let edge = g.edge(e.src, e.dst).unwrap();
+            prop_assert!(edge.sign.is_positive(), "flip across negative edge");
+        }
+    }
+
+    #[test]
+    fn ic_invariants(((g, seeds), rng_seed) in (arb_scenario(), any::<u64>())) {
+        let c = IndependentCascade::new()
+            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(rng_seed));
+        check_common_invariants(&g, &seeds, &c);
+        // IC never flips: one event per infected non-seed, none for seeds.
+        prop_assert_eq!(c.flip_count(), 0);
+        let non_seed_infected = c
+            .infected_nodes()
+            .iter()
+            .filter(|v| !seeds.contains(**v))
+            .count();
+        prop_assert_eq!(c.events().len(), non_seed_infected);
+    }
+
+    #[test]
+    fn lt_invariants(((g, seeds), rng_seed) in (arb_scenario(), any::<u64>())) {
+        let c = LinearThreshold::new()
+            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(rng_seed));
+        check_common_invariants(&g, &seeds, &c);
+        prop_assert_eq!(c.flip_count(), 0);
+    }
+
+    #[test]
+    fn sir_invariants(((g, seeds), rng_seed) in (arb_scenario(), any::<u64>())) {
+        let c = Sir::new(0.5).unwrap()
+            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(rng_seed));
+        check_common_invariants(&g, &seeds, &c);
+        prop_assert_eq!(c.flip_count(), 0);
+    }
+
+    #[test]
+    fn pic_invariants(((g, seeds), rng_seed) in (arb_scenario(), any::<u64>())) {
+        let c = PolarityIc::new(0.5).unwrap()
+            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(rng_seed));
+        check_common_invariants(&g, &seeds, &c);
+        prop_assert_eq!(c.flip_count(), 0);
+    }
+
+    #[test]
+    fn infected_network_is_consistent(((g, seeds), rng_seed) in (arb_scenario(), any::<u64>())) {
+        let model = Mfc::new(3.0).unwrap();
+        let c = model.simulate(&g, &seeds, &mut StdRng::seed_from_u64(rng_seed));
+        let inf = InfectedNetwork::from_cascade(&g, &c);
+        prop_assert_eq!(inf.node_count(), c.infected_count());
+        // Every subgraph state matches the cascade state of the original node.
+        for v in inf.graph().nodes() {
+            let orig = inf.mapping().to_original(v).unwrap();
+            prop_assert_eq!(inf.state(v), c.state(orig));
+        }
+        // Every subgraph edge exists in the diffusion network with the
+        // same sign and weight.
+        for e in inf.graph().edges() {
+            let src = inf.mapping().to_original(e.src).unwrap();
+            let dst = inf.mapping().to_original(e.dst).unwrap();
+            let orig = g.edge(src, dst).unwrap();
+            prop_assert_eq!(orig.sign, e.sign);
+            prop_assert!((orig.weight - e.weight).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn simulation_determinism(((g, seeds), rng_seed) in (arb_scenario(), any::<u64>())) {
+        let model = Mfc::new(2.5).unwrap();
+        let a = model.simulate(&g, &seeds, &mut StdRng::seed_from_u64(rng_seed));
+        let b = model.simulate(&g, &seeds, &mut StdRng::seed_from_u64(rng_seed));
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,185 @@
+use crate::{Edge, GraphError, NodeId, Sign, SignedDigraph};
+
+/// Incremental constructor for [`SignedDigraph`].
+///
+/// The builder validates edges as they arrive (weights must be finite and
+/// in `[0, 1]`; self-loops are rejected) and grows the node set to cover
+/// every referenced id. Duplicate `(src, dst)` pairs are permitted; the
+/// last-added edge wins at [`build`](SignedDigraphBuilder::build) time.
+///
+/// ```
+/// use isomit_graph::{NodeId, Sign, SignedDigraphBuilder};
+/// # fn main() -> Result<(), isomit_graph::GraphError> {
+/// let mut b = SignedDigraphBuilder::new();
+/// let a = b.add_node();
+/// let c = b.add_node();
+/// b.add_edge(a, c, Sign::Positive, 0.4)?;
+/// let g = b.build();
+/// assert_eq!(g.node_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SignedDigraphBuilder {
+    node_count: usize,
+    edges: Vec<Edge>,
+}
+
+impl SignedDigraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder that already contains `nodes` isolated nodes
+    /// (ids `0..nodes`).
+    pub fn with_nodes(nodes: usize) -> Self {
+        SignedDigraphBuilder {
+            node_count: nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Pre-allocates capacity for `edges` edges.
+    pub fn with_edge_capacity(mut self, edges: usize) -> Self {
+        self.edges.reserve(edges);
+        self
+    }
+
+    /// Adds a fresh isolated node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::from_index(self.node_count);
+        self.node_count += 1;
+        id
+    }
+
+    /// Grows the node set so that `node` is valid; no-op if it already is.
+    pub fn ensure_node(&mut self, node: NodeId) {
+        self.node_count = self.node_count.max(node.index() + 1);
+    }
+
+    /// Number of nodes currently in the builder.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of edges added so far (duplicates included).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the directed edge `(src, dst)`, growing the node set as
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::InvalidWeight`] if `weight` is not a finite value in
+    ///   `[0, 1]`.
+    /// * [`GraphError::SelfLoop`] if `src == dst`.
+    pub fn add_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        sign: Sign,
+        weight: f64,
+    ) -> Result<(), GraphError> {
+        if !weight.is_finite() || !(0.0..=1.0).contains(&weight) {
+            return Err(GraphError::InvalidWeight { src, dst, weight });
+        }
+        if src == dst {
+            return Err(GraphError::SelfLoop(src));
+        }
+        self.ensure_node(src);
+        self.ensure_node(dst);
+        self.edges.push(Edge::new(src, dst, sign, weight));
+        Ok(())
+    }
+
+    /// Consumes the builder and produces the immutable graph.
+    pub fn build(self) -> SignedDigraph {
+        SignedDigraph::from_validated_edges(self.node_count, self.edges)
+    }
+}
+
+impl Extend<Edge> for SignedDigraphBuilder {
+    /// Extends the builder with edges, panicking on the first invalid one.
+    ///
+    /// Use [`add_edge`](SignedDigraphBuilder::add_edge) when the input is
+    /// untrusted.
+    fn extend<T: IntoIterator<Item = Edge>>(&mut self, iter: T) {
+        for e in iter {
+            self.add_edge(e.src, e.dst, e.sign, e.weight)
+                .expect("invalid edge passed to Extend<Edge>");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_node_set_from_edges() {
+        let mut b = SignedDigraphBuilder::new();
+        b.add_edge(NodeId(5), NodeId(2), Sign::Negative, 0.3).unwrap();
+        assert_eq!(b.node_count(), 6);
+        let g = b.build();
+        assert_eq!(g.node_count(), 6);
+        assert!(g.has_edge(NodeId(5), NodeId(2)));
+    }
+
+    #[test]
+    fn add_node_returns_sequential_ids() {
+        let mut b = SignedDigraphBuilder::with_nodes(3);
+        assert_eq!(b.add_node(), NodeId(3));
+        assert_eq!(b.add_node(), NodeId(4));
+    }
+
+    #[test]
+    fn ensure_node_is_idempotent() {
+        let mut b = SignedDigraphBuilder::new();
+        b.ensure_node(NodeId(9));
+        b.ensure_node(NodeId(4));
+        assert_eq!(b.node_count(), 10);
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        let mut b = SignedDigraphBuilder::new();
+        assert!(matches!(
+            b.add_edge(NodeId(0), NodeId(1), Sign::Positive, -0.1),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(NodeId(0), NodeId(0), Sign::Positive, 0.5),
+            Err(GraphError::SelfLoop(_))
+        ));
+        // Failed adds must not grow the node set.
+        assert_eq!(b.node_count(), 0);
+    }
+
+    #[test]
+    fn extend_accepts_valid_edges() {
+        let mut b = SignedDigraphBuilder::new();
+        b.extend([
+            Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.0),
+            Edge::new(NodeId(1), NodeId(2), Sign::Negative, 0.0),
+        ]);
+        assert_eq!(b.edge_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid edge")]
+    fn extend_panics_on_invalid() {
+        let mut b = SignedDigraphBuilder::new();
+        b.extend([Edge::new(NodeId(0), NodeId(0), Sign::Positive, 0.5)]);
+    }
+
+    #[test]
+    fn boundary_weights_accepted() {
+        let mut b = SignedDigraphBuilder::new();
+        b.add_edge(NodeId(0), NodeId(1), Sign::Positive, 0.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(0), Sign::Positive, 1.0).unwrap();
+        assert_eq!(b.build().edge_count(), 2);
+    }
+}

@@ -1,0 +1,106 @@
+use crate::NodeId;
+use std::fmt;
+
+/// Errors produced while constructing or loading signed graphs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge weight was outside `[0, 1]` or not finite.
+    InvalidWeight {
+        /// Source node of the offending edge.
+        src: NodeId,
+        /// Destination node of the offending edge.
+        dst: NodeId,
+        /// The rejected weight.
+        weight: f64,
+    },
+    /// A self-loop was supplied where none are permitted.
+    SelfLoop(
+        /// The node that pointed at itself.
+        NodeId,
+    ),
+    /// A node id referenced a node outside the graph.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A line of an edge-list file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of what went wrong.
+        message: String,
+    },
+    /// An underlying I/O failure, carried as a string to keep the error
+    /// `Clone + PartialEq`.
+    Io(
+        /// Stringified [`std::io::Error`].
+        String,
+    ),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidWeight { src, dst, weight } => write!(
+                f,
+                "edge ({src}, {dst}) has weight {weight}, expected a finite value in [0, 1]"
+            ),
+            GraphError::SelfLoop(node) => {
+                write!(f, "self-loop on {node} is not permitted")
+            }
+            GraphError::NodeOutOfBounds { node, node_count } => write!(
+                f,
+                "{node} is out of bounds for a graph with {node_count} nodes"
+            ),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Io(message) => write!(f, "i/o error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(err: std::io::Error) -> Self {
+        GraphError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = GraphError::InvalidWeight {
+            src: NodeId(1),
+            dst: NodeId(2),
+            weight: 1.5,
+        };
+        assert!(e.to_string().contains("weight 1.5"));
+        let e = GraphError::Parse {
+            line: 3,
+            message: "expected 3 fields".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,474 @@
+use crate::{Edge, EdgeRef, GraphError, NodeId, Sign, SignedDigraphBuilder};
+use serde::{Deserialize, Serialize};
+
+/// An immutable weighted signed directed graph in compressed-sparse-row
+/// form.
+///
+/// Nodes are the dense range `0..node_count`. Both out- and in-adjacency
+/// are stored, each sorted by neighbour id, so that
+/// [`edge`](SignedDigraph::edge) lookups are `O(log degree)` and both
+/// diffusion (out-edges) and initiator inference (in-edges) iterate in
+/// cache-friendly order.
+///
+/// Construct one through [`SignedDigraphBuilder`] or
+/// [`SignedDigraph::from_edges`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignedDigraph {
+    node_count: usize,
+    // Out-adjacency CSR: edges leaving node u live at
+    // out_dst[out_offsets[u]..out_offsets[u + 1]], sorted by destination.
+    out_offsets: Vec<usize>,
+    out_dst: Vec<NodeId>,
+    out_sign: Vec<Sign>,
+    out_weight: Vec<f64>,
+    // In-adjacency CSR, mirror of the above sorted by source.
+    in_offsets: Vec<usize>,
+    in_src: Vec<NodeId>,
+    in_sign: Vec<Sign>,
+    in_weight: Vec<f64>,
+}
+
+impl SignedDigraph {
+    /// Builds a graph from an iterator of edges, sizing the node set to the
+    /// largest id seen (or `min_nodes`, whichever is larger).
+    ///
+    /// Later duplicates of the same `(src, dst)` pair replace earlier ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidWeight`] for weights outside `[0, 1]`
+    /// and [`GraphError::SelfLoop`] for self-loops.
+    ///
+    /// ```
+    /// use isomit_graph::{Edge, NodeId, Sign, SignedDigraph};
+    /// # fn main() -> Result<(), isomit_graph::GraphError> {
+    /// let g = SignedDigraph::from_edges(
+    ///     4,
+    ///     [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5)],
+    /// )?;
+    /// assert_eq!(g.node_count(), 4);
+    /// assert_eq!(g.edge_count(), 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_edges<I>(min_nodes: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = Edge>,
+    {
+        let mut builder = SignedDigraphBuilder::with_nodes(min_nodes);
+        for e in edges {
+            builder.add_edge(e.src, e.dst, e.sign, e.weight)?;
+        }
+        Ok(builder.build())
+    }
+
+    /// Internal constructor used by the builder. `edges` must already be
+    /// validated; duplicates are resolved here (last wins).
+    pub(crate) fn from_validated_edges(node_count: usize, mut edges: Vec<Edge>) -> Self {
+        // Stable sort keyed on (src, dst); stability preserves insertion
+        // order within a duplicate group so "last wins" is the final
+        // element of each group.
+        edges.sort_by_key(|e| (e.src, e.dst));
+        edges.dedup_by(|next, prev| {
+            // dedup_by visits (prev, next) adjacent pairs with `next` being
+            // removed on true; copy the later edge's payload into `prev` so
+            // the survivor carries the last-inserted attributes.
+            if next.src == prev.src && next.dst == prev.dst {
+                *prev = *next;
+                true
+            } else {
+                false
+            }
+        });
+
+        let m = edges.len();
+        let mut out_offsets = vec![0usize; node_count + 1];
+        for e in &edges {
+            out_offsets[e.src.index() + 1] += 1;
+        }
+        for i in 0..node_count {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let mut out_dst = Vec::with_capacity(m);
+        let mut out_sign = Vec::with_capacity(m);
+        let mut out_weight = Vec::with_capacity(m);
+        for e in &edges {
+            out_dst.push(e.dst);
+            out_sign.push(e.sign);
+            out_weight.push(e.weight);
+        }
+
+        // In-adjacency: counting sort by destination, then sort each bucket
+        // by source for binary-searchable lookups.
+        let mut in_offsets = vec![0usize; node_count + 1];
+        for e in &edges {
+            in_offsets[e.dst.index() + 1] += 1;
+        }
+        for i in 0..node_count {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets[..node_count].to_vec();
+        let mut in_src = vec![NodeId(0); m];
+        let mut in_sign = vec![Sign::Positive; m];
+        let mut in_weight = vec![0.0f64; m];
+        for e in &edges {
+            let slot = cursor[e.dst.index()];
+            cursor[e.dst.index()] += 1;
+            in_src[slot] = e.src;
+            in_sign[slot] = e.sign;
+            in_weight[slot] = e.weight;
+        }
+        // Buckets were filled in src-sorted order already (edges sorted by
+        // (src, dst)), so in_src within each bucket is sorted by source.
+        SignedDigraph {
+            node_count,
+            out_offsets,
+            out_dst,
+            out_sign,
+            out_weight,
+            in_offsets,
+            in_src,
+            in_sign,
+            in_weight,
+        }
+    }
+
+    /// Number of nodes (`|V|`).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of directed edges (`|E|`).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_dst.len()
+    }
+
+    /// Iterator over all node ids, `0..node_count`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count as u32).map(NodeId)
+    }
+
+    /// `true` if `node` is inside the graph.
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        node.index() < self.node_count
+    }
+
+    #[inline]
+    fn out_range(&self, u: NodeId) -> std::ops::Range<usize> {
+        debug_assert!(self.contains(u), "node {u} out of bounds");
+        self.out_offsets[u.index()]..self.out_offsets[u.index() + 1]
+    }
+
+    #[inline]
+    fn in_range(&self, u: NodeId) -> std::ops::Range<usize> {
+        debug_assert!(self.contains(u), "node {u} out of bounds");
+        self.in_offsets[u.index()]..self.in_offsets[u.index() + 1]
+    }
+
+    /// Out-degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of bounds.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.out_range(u).len()
+    }
+
+    /// In-degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of bounds.
+    #[inline]
+    pub fn in_degree(&self, u: NodeId) -> usize {
+        self.in_range(u).len()
+    }
+
+    /// Edges leaving `u`, sorted by destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of bounds.
+    pub fn out_edges(&self, u: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.out_range(u).map(move |i| EdgeRef {
+            src: u,
+            dst: self.out_dst[i],
+            sign: self.out_sign[i],
+            weight: self.out_weight[i],
+        })
+    }
+
+    /// Edges entering `u`, sorted by source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of bounds.
+    pub fn in_edges(&self, u: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.in_range(u).map(move |i| EdgeRef {
+            src: self.in_src[i],
+            dst: u,
+            sign: self.in_sign[i],
+            weight: self.in_weight[i],
+        })
+    }
+
+    /// All edges of the graph in `(src, dst)` order.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.nodes().flat_map(move |u| self.out_edges(u))
+    }
+
+    /// Looks up the edge `(u, v)`, if present, in `O(log out_degree(u))`.
+    ///
+    /// Returns `None` when either endpoint is out of bounds.
+    pub fn edge(&self, u: NodeId, v: NodeId) -> Option<EdgeRef> {
+        if !self.contains(u) || !self.contains(v) {
+            return None;
+        }
+        let range = self.out_offsets[u.index()]..self.out_offsets[u.index() + 1];
+        let bucket = &self.out_dst[range.clone()];
+        let pos = bucket.binary_search(&v).ok()?;
+        let i = range.start + pos;
+        Some(EdgeRef {
+            src: u,
+            dst: v,
+            sign: self.out_sign[i],
+            weight: self.out_weight[i],
+        })
+    }
+
+    /// `true` if the directed edge `(u, v)` exists.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge(u, v).is_some()
+    }
+
+    /// Out-neighbours of `u` (destinations only), sorted.
+    pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.out_dst[self.out_range(u)]
+    }
+
+    /// In-neighbours of `u` (sources only), sorted.
+    pub fn in_neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.in_src[self.in_range(u)]
+    }
+
+    /// Returns the reversed graph: every edge `(u, v)` becomes `(v, u)`
+    /// with the same sign and weight.
+    ///
+    /// This is Definition 2 of the paper: the diffusion network `G_D` is
+    /// the reversal of the social network `G` ("if B trusts A, information
+    /// flows from A to B"). Reversal is an involution:
+    /// `g.reversed().reversed() == g`.
+    pub fn reversed(&self) -> Self {
+        let edges: Vec<Edge> = self.edges().map(|e| e.to_edge().reversed()).collect();
+        SignedDigraph::from_validated_edges(self.node_count, edges)
+    }
+
+    /// Rebuilds the graph with every edge weight replaced by
+    /// `f(edge)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` produces a weight outside `[0, 1]` or a non-finite
+    /// value — weight invariants are part of the type's contract.
+    pub fn map_weights<F>(&self, mut f: F) -> Self
+    where
+        F: FnMut(EdgeRef) -> f64,
+    {
+        let edges: Vec<Edge> = self
+            .edges()
+            .map(|e| {
+                let w = f(e);
+                assert!(
+                    w.is_finite() && (0.0..=1.0).contains(&w),
+                    "map_weights produced invalid weight {w} for edge ({}, {})",
+                    e.src,
+                    e.dst
+                );
+                Edge::new(e.src, e.dst, e.sign, w)
+            })
+            .collect();
+        SignedDigraph::from_validated_edges(self.node_count, edges)
+    }
+
+    /// Total number of positive edges.
+    pub fn positive_edge_count(&self) -> usize {
+        self.out_sign.iter().filter(|s| s.is_positive()).count()
+    }
+
+    /// Fraction of edges that are positive; `0.0` on an empty edge set.
+    pub fn positive_edge_fraction(&self) -> f64 {
+        if self.edge_count() == 0 {
+            0.0
+        } else {
+            self.positive_edge_count() as f64 / self.edge_count() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> SignedDigraph {
+        // 0 -> 1 (+.9), 0 -> 2 (-.4), 1 -> 3 (+.7), 2 -> 3 (-.2)
+        SignedDigraph::from_edges(
+            4,
+            [
+                Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.9),
+                Edge::new(NodeId(0), NodeId(2), Sign::Negative, 0.4),
+                Edge::new(NodeId(1), NodeId(3), Sign::Positive, 0.7),
+                Edge::new(NodeId(2), NodeId(3), Sign::Negative, 0.2),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert_eq!(g.in_degree(NodeId(3)), 2);
+        assert_eq!(g.out_degree(NodeId(3)), 0);
+        assert_eq!(g.in_degree(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn edge_lookup() {
+        let g = diamond();
+        let e = g.edge(NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(e.sign, Sign::Negative);
+        assert!((e.weight - 0.4).abs() < 1e-12);
+        assert!(g.edge(NodeId(2), NodeId(0)).is_none());
+        assert!(g.edge(NodeId(0), NodeId(99)).is_none());
+        assert!(g.has_edge(NodeId(1), NodeId(3)));
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = diamond();
+        assert_eq!(g.out_neighbors(NodeId(0)), &[NodeId(1), NodeId(2)]);
+        assert_eq!(g.in_neighbors(NodeId(3)), &[NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn reversal_is_involution() {
+        let g = diamond();
+        assert_eq!(g.reversed().reversed(), g);
+        let r = g.reversed();
+        let e = r.edge(NodeId(3), NodeId(1)).unwrap();
+        assert_eq!(e.sign, Sign::Positive);
+        assert!((e.weight - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_edges_last_wins() {
+        let g = SignedDigraph::from_edges(
+            2,
+            [
+                Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.1),
+                Edge::new(NodeId(0), NodeId(1), Sign::Negative, 0.6),
+            ],
+        )
+        .unwrap();
+        assert_eq!(g.edge_count(), 1);
+        let e = g.edge(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(e.sign, Sign::Negative);
+        assert!((e.weight - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_weight_rejected() {
+        let err = SignedDigraph::from_edges(
+            2,
+            [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.5)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::InvalidWeight { .. }));
+        let err = SignedDigraph::from_edges(
+            2,
+            [Edge::new(NodeId(0), NodeId(1), Sign::Positive, f64::NAN)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::InvalidWeight { .. }));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let err = SignedDigraph::from_edges(
+            2,
+            [Edge::new(NodeId(1), NodeId(1), Sign::Positive, 0.5)],
+        )
+        .unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop(NodeId(1)));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = SignedDigraph::from_edges(0, []).unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.nodes().count(), 0);
+        assert_eq!(g.positive_edge_fraction(), 0.0);
+    }
+
+    #[test]
+    fn isolated_nodes_allowed() {
+        let g = SignedDigraph::from_edges(
+            10,
+            [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5)],
+        )
+        .unwrap();
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.out_degree(NodeId(7)), 0);
+        assert_eq!(g.in_degree(NodeId(7)), 0);
+    }
+
+    #[test]
+    fn map_weights_rebuilds() {
+        let g = diamond();
+        let h = g.map_weights(|e| e.weight / 2.0);
+        assert_eq!(h.edge_count(), g.edge_count());
+        let e = h.edge(NodeId(0), NodeId(1)).unwrap();
+        assert!((e.weight - 0.45).abs() < 1e-12);
+        // Signs untouched.
+        assert_eq!(
+            h.edge(NodeId(2), NodeId(3)).unwrap().sign,
+            Sign::Negative
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn map_weights_panics_on_bad_weight() {
+        diamond().map_weights(|_| 2.0);
+    }
+
+    #[test]
+    fn positive_fraction() {
+        let g = diamond();
+        assert_eq!(g.positive_edge_count(), 2);
+        assert!((g.positive_edge_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edges_iterates_in_src_dst_order() {
+        let g = diamond();
+        let all: Vec<_> = g.edges().map(|e| (e.src.0, e.dst.0)).collect();
+        assert_eq!(all, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = diamond();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: SignedDigraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, g);
+    }
+}

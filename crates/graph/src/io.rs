@@ -1,0 +1,310 @@
+//! Reading and writing signed edge lists in the SNAP text format.
+//!
+//! The [Stanford SNAP](https://snap.stanford.edu/data/) signed-network
+//! dumps used by the paper (`soc-sign-epinions.txt`,
+//! `soc-sign-Slashdot090221.txt`) are whitespace-separated triples:
+//!
+//! ```text
+//! # Directed signed network of Epinions
+//! # FromNodeId  ToNodeId  Sign
+//! 0   1   -1
+//! 2   3   1
+//! ```
+//!
+//! Lines starting with `#` are comments. Because SNAP files carry no edge
+//! weights, [`read_snap`] assigns every edge weight `1.0`; callers then
+//! re-weight with [`jaccard_weights`](crate::jaccard_weights) (as the
+//! paper's §IV-B3 does) or any custom scheme. [`write_snap`] emits the
+//! same format, dropping weights.
+
+use crate::{GraphError, NodeId, Sign, SignedDigraph, SignedDigraphBuilder};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Parses a SNAP-format signed edge list from any reader.
+///
+/// Duplicate edges follow the builder's last-wins rule; self-loops (which
+/// do occur in raw SNAP dumps) are **skipped**, matching the paper's
+/// trust-centric semantics where self-trust carries no diffusion.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for malformed lines (wrong field count,
+/// non-integer ids, sign not in `{-1, 1}`) and [`GraphError::Io`] for
+/// reader failures. A mutable reference is a fine argument here:
+/// `read_snap(&mut file)`.
+pub fn read_snap<R: Read>(reader: R) -> Result<SignedDigraph, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut builder = SignedDigraphBuilder::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let (src, dst, sign) = match (fields.next(), fields.next(), fields.next(), fields.next())
+        {
+            (Some(a), Some(b), Some(s), None) => (a, b, s),
+            _ => {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    message: format!("expected 3 whitespace-separated fields, got {trimmed:?}"),
+                })
+            }
+        };
+        let src: u32 = src.parse().map_err(|_| GraphError::Parse {
+            line: line_no,
+            message: format!("invalid source node id {src:?}"),
+        })?;
+        let dst: u32 = dst.parse().map_err(|_| GraphError::Parse {
+            line: line_no,
+            message: format!("invalid destination node id {dst:?}"),
+        })?;
+        let sign_val: i64 = sign.parse().map_err(|_| GraphError::Parse {
+            line: line_no,
+            message: format!("invalid sign {sign:?}"),
+        })?;
+        let sign = Sign::from_value(sign_val).ok_or_else(|| GraphError::Parse {
+            line: line_no,
+            message: "sign must be -1 or 1, got 0".to_string(),
+        })?;
+        if src == dst {
+            continue; // Self-trust carries no diffusion; skip like the paper.
+        }
+        builder
+            .add_edge(NodeId(src), NodeId(dst), sign, 1.0)
+            .expect("weight 1.0 and src != dst are always valid");
+    }
+    Ok(builder.build())
+}
+
+/// Reads a SNAP-format edge list from a file path.
+///
+/// # Errors
+///
+/// See [`read_snap`]; additionally fails if the file cannot be opened.
+pub fn read_snap_file<P: AsRef<Path>>(path: P) -> Result<SignedDigraph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_snap(file)
+}
+
+/// Writes the graph as a SNAP-format signed edge list (weights are not
+/// representable in the format and are dropped). A mutable reference is a
+/// fine argument here: `write_snap(&g, &mut buf)`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] if the writer fails.
+pub fn write_snap<W: Write>(graph: &SignedDigraph, mut writer: W) -> Result<(), GraphError> {
+    writeln!(writer, "# Directed signed network: {} nodes, {} edges", graph.node_count(), graph.edge_count())?;
+    writeln!(writer, "# FromNodeId\tToNodeId\tSign")?;
+    for e in graph.edges() {
+        writeln!(writer, "{}\t{}\t{}", e.src.0, e.dst.0, e.sign.value())?;
+    }
+    Ok(())
+}
+
+/// Writes the graph in the weighted TSV format
+/// `src<TAB>dst<TAB>sign<TAB>weight` (one edge per line, `#` comments) —
+/// a lossless companion to the SNAP format, which cannot carry weights.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] if the writer fails.
+pub fn write_weighted<W: Write>(graph: &SignedDigraph, mut writer: W) -> Result<(), GraphError> {
+    writeln!(
+        writer,
+        "# Weighted signed network: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    )?;
+    writeln!(writer, "# FromNodeId	ToNodeId	Sign	Weight")?;
+    for e in graph.edges() {
+        // `{:?}` prints f64 with full round-trip precision.
+        writeln!(writer, "{}	{}	{}	{:?}", e.src.0, e.dst.0, e.sign.value(), e.weight)?;
+    }
+    Ok(())
+}
+
+/// Parses the weighted TSV format produced by [`write_weighted`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for malformed lines (wrong field count,
+/// bad ids/signs, weights outside `[0, 1]`) and [`GraphError::Io`] for
+/// reader failures.
+pub fn read_weighted<R: Read>(reader: R) -> Result<SignedDigraph, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut builder = SignedDigraphBuilder::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: format!("expected 4 whitespace-separated fields, got {trimmed:?}"),
+            });
+        }
+        let parse_id = |s: &str| -> Result<u32, GraphError> {
+            s.parse().map_err(|_| GraphError::Parse {
+                line: line_no,
+                message: format!("invalid node id {s:?}"),
+            })
+        };
+        let src = parse_id(fields[0])?;
+        let dst = parse_id(fields[1])?;
+        let sign_val: i64 = fields[2].parse().map_err(|_| GraphError::Parse {
+            line: line_no,
+            message: format!("invalid sign {:?}", fields[2]),
+        })?;
+        let sign = Sign::from_value(sign_val).ok_or_else(|| GraphError::Parse {
+            line: line_no,
+            message: "sign must be -1 or 1, got 0".to_string(),
+        })?;
+        let weight: f64 = fields[3].parse().map_err(|_| GraphError::Parse {
+            line: line_no,
+            message: format!("invalid weight {:?}", fields[3]),
+        })?;
+        builder.add_edge(NodeId(src), NodeId(dst), sign, weight)?;
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# comment line
+# another
+
+0 1 -1
+1\t2\t1
+3   0   1
+";
+
+    #[test]
+    fn parses_sample() {
+        let g = read_snap(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.edge(NodeId(0), NodeId(1)).unwrap().sign, Sign::Negative);
+        assert_eq!(g.edge(NodeId(1), NodeId(2)).unwrap().sign, Sign::Positive);
+        assert!((g.edge(NodeId(3), NodeId(0)).unwrap().weight - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skips_self_loops() {
+        let g = read_snap("0 0 1\n0 1 1\n".as_bytes()).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn rejects_wrong_field_count() {
+        let err = read_snap("0 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = read_snap("0 1 1 extra\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_ids_and_signs() {
+        assert!(matches!(
+            read_snap("x 1 1\n".as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
+        assert!(matches!(
+            read_snap("0 y 1\n".as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
+        assert!(matches!(
+            read_snap("0 1 maybe\n".as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
+        let err = read_snap("0 1 0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("sign must be -1 or 1"));
+    }
+
+    #[test]
+    fn error_reports_correct_line() {
+        let err = read_snap("# ok\n0 1 1\nbroken\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn negative_sign_values_accepted() {
+        let g = read_snap("0 1 -4\n".as_bytes()).unwrap();
+        assert_eq!(g.edge(NodeId(0), NodeId(1)).unwrap().sign, Sign::Negative);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let original = read_snap(SAMPLE.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_snap(&original, &mut buf).unwrap();
+        let back = read_snap(buf.as_slice()).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_snap("".as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("isomit-graph-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.txt");
+        std::fs::write(&path, SAMPLE).unwrap();
+        let g = read_snap_file(&path).unwrap();
+        assert_eq!(g.edge_count(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn weighted_round_trip_is_lossless() {
+        let g = read_snap(SAMPLE.as_bytes())
+            .unwrap()
+            .map_weights(|e| 1.0 / (e.src.0 as f64 + 3.0));
+        let mut buf = Vec::new();
+        write_weighted(&g, &mut buf).unwrap();
+        let back = read_weighted(buf.as_slice()).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn weighted_rejects_malformed_lines() {
+        assert!(matches!(
+            read_weighted("0 1 1
+".as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
+        assert!(matches!(
+            read_weighted("0 1 1 nan?
+".as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
+        // Out-of-range weight surfaces as the builder's validation error.
+        assert!(matches!(
+            read_weighted("0 1 1 3.5
+".as_bytes()),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_snap_file("/nonexistent/isomit/file.txt").unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+}

@@ -1,0 +1,139 @@
+use crate::{NodeId, SignedDigraph};
+
+/// Size of the intersection of two strictly sorted id slices.
+fn sorted_intersection_len(a: &[NodeId], b: &[NodeId]) -> usize {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Jaccard coefficient of the social link `(u, v)`:
+/// `|Γ_out(u) ∩ Γ_in(v)| / |Γ_out(u) ∪ Γ_in(v)|`,
+/// where `Γ_out(u)` is the set of users `u` follows and `Γ_in(v)` the
+/// followers of `v` (Liben-Nowell & Kleinberg's link-prediction score, as
+/// used by the paper's §IV-B3 to weight diffusion links).
+///
+/// Returns `0.0` when both neighbourhoods are empty.
+///
+/// # Panics
+///
+/// Panics if either node is out of bounds.
+///
+/// ```
+/// use isomit_graph::{jaccard_coefficient, Edge, NodeId, Sign, SignedDigraph};
+/// # fn main() -> Result<(), isomit_graph::GraphError> {
+/// // 0 follows {1, 2}; 2's followers are {0, 1}. Intersection {1},
+/// // union {0, 1, 2} → JC = 1/3.
+/// let g = SignedDigraph::from_edges(
+///     3,
+///     [
+///         Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.0),
+///         Edge::new(NodeId(0), NodeId(2), Sign::Positive, 1.0),
+///         Edge::new(NodeId(1), NodeId(2), Sign::Positive, 1.0),
+///     ],
+/// )?;
+/// let jc = jaccard_coefficient(&g, NodeId(0), NodeId(2));
+/// assert!((jc - 1.0 / 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn jaccard_coefficient(social: &SignedDigraph, u: NodeId, v: NodeId) -> f64 {
+    let followees = social.out_neighbors(u);
+    let followers = social.in_neighbors(v);
+    let inter = sorted_intersection_len(followees, followers);
+    let union = followees.len() + followers.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Re-weights every edge `(u, v)` of a social network with its Jaccard
+/// coefficient [`jaccard_coefficient`]`(social, u, v)`.
+///
+/// Edges whose coefficient is zero keep weight `0.0`; the paper replaces
+/// those with draws from `U(0, 0.1]` — that stochastic fill lives in
+/// `isomit-datasets` so this function stays deterministic.
+pub fn jaccard_weights(social: &SignedDigraph) -> SignedDigraph {
+    social.map_weights(|e| jaccard_coefficient(social, e.src, e.dst))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Edge, Sign};
+
+    fn g(edges: &[(u32, u32)]) -> SignedDigraph {
+        SignedDigraph::from_edges(
+            0,
+            edges
+                .iter()
+                .map(|&(a, b)| Edge::new(NodeId(a), NodeId(b), Sign::Positive, 1.0)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_neighborhoods_give_zero() {
+        let g = g(&[(0, 1)]);
+        // Node 1 follows nobody, node 0 has no followers.
+        assert_eq!(jaccard_coefficient(&g, NodeId(1), NodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn identical_neighborhoods_give_one() {
+        // 0 follows {2, 3}; followers of 1 are {2, 3}.
+        let g = g(&[(0, 2), (0, 3), (2, 1), (3, 1)]);
+        assert!((jaccard_coefficient(&g, NodeId(0), NodeId(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // 0 follows {1, 2, 3}; followers of 4 are {3, 5}.
+        // Intersection {3}, union {1, 2, 3, 5} → 1/4.
+        let g = g(&[(0, 1), (0, 2), (0, 3), (3, 4), (5, 4)]);
+        assert!((jaccard_coefficient(&g, NodeId(0), NodeId(4)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_weights_rebuilds_all_edges() {
+        let g = g(&[(0, 1), (0, 2), (1, 2)]);
+        let w = jaccard_weights(&g);
+        assert_eq!(w.edge_count(), 3);
+        // (0, 2): out(0) = {1, 2}, in(2) = {0, 1} → 1/3.
+        let e = w.edge(NodeId(0), NodeId(2)).unwrap();
+        assert!((e.weight - 1.0 / 3.0).abs() < 1e-12);
+        // Edge with no overlap gets zero weight.
+        let e = w.edge(NodeId(1), NodeId(2)).unwrap();
+        // out(1) = {2}, in(2) = {0, 1}: intersection empty → 0.
+        assert_eq!(e.weight, 0.0);
+    }
+
+    #[test]
+    fn weights_stay_in_unit_interval() {
+        let g = g(&[(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)]);
+        let w = jaccard_weights(&g);
+        for e in w.edges() {
+            assert!((0.0..=1.0).contains(&e.weight));
+        }
+    }
+
+    #[test]
+    fn intersection_helper() {
+        let a = [NodeId(1), NodeId(3), NodeId(5)];
+        let b = [NodeId(2), NodeId(3), NodeId(5), NodeId(9)];
+        assert_eq!(sorted_intersection_len(&a, &b), 2);
+        assert_eq!(sorted_intersection_len(&a, &[]), 0);
+    }
+}

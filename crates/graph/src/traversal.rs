@@ -1,0 +1,219 @@
+//! Graph traversal utilities: BFS/DFS orders, hop distances and
+//! reachability over the directed structure (signs and weights are
+//! ignored here — these are purely structural helpers used by the
+//! detection pipeline and by analyses).
+
+use crate::{NodeId, SignedDigraph};
+use std::collections::VecDeque;
+
+/// Direction of traversal along directed edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow edges from source to destination (`out_edges`).
+    Forward,
+    /// Follow edges destination to source (`in_edges`).
+    Backward,
+}
+
+fn neighbors(g: &SignedDigraph, u: NodeId, dir: Direction) -> &[NodeId] {
+    match dir {
+        Direction::Forward => g.out_neighbors(u),
+        Direction::Backward => g.in_neighbors(u),
+    }
+}
+
+/// Breadth-first order from `start` along `direction`, including
+/// `start` itself.
+///
+/// # Panics
+///
+/// Panics if `start` is out of bounds.
+pub fn bfs_order(g: &SignedDigraph, start: NodeId, direction: Direction) -> Vec<NodeId> {
+    assert!(g.contains(start), "start {start} out of bounds");
+    let mut visited = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    visited[start.index()] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in neighbors(g, u, direction) {
+            if !visited[v.index()] {
+                visited[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Depth-first pre-order from `start` along `direction` (iterative, so
+/// deep graphs do not overflow the stack). Children are visited in
+/// ascending id order.
+///
+/// # Panics
+///
+/// Panics if `start` is out of bounds.
+pub fn dfs_order(g: &SignedDigraph, start: NodeId, direction: Direction) -> Vec<NodeId> {
+    assert!(g.contains(start), "start {start} out of bounds");
+    let mut visited = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    let mut stack = vec![start];
+    while let Some(u) = stack.pop() {
+        if visited[u.index()] {
+            continue;
+        }
+        visited[u.index()] = true;
+        order.push(u);
+        // Push in reverse so the smallest neighbour is popped first.
+        for &v in neighbors(g, u, direction).iter().rev() {
+            if !visited[v.index()] {
+                stack.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// Hop distance (unweighted shortest path length) from every node in
+/// `sources` to each node, `None` where unreachable. Multi-source BFS.
+///
+/// # Panics
+///
+/// Panics if any source is out of bounds.
+pub fn hop_distances(
+    g: &SignedDigraph,
+    sources: &[NodeId],
+    direction: Direction,
+) -> Vec<Option<usize>> {
+    let mut dist: Vec<Option<usize>> = vec![None; g.node_count()];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        assert!(g.contains(s), "source {s} out of bounds");
+        if dist[s.index()].is_none() {
+            dist[s.index()] = Some(0);
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u.index()].expect("queued nodes have distances");
+        for &v in neighbors(g, u, direction) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(d + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The set of nodes reachable from `sources` (inclusive) along
+/// `direction`, ascending.
+pub fn reachable_set(g: &SignedDigraph, sources: &[NodeId], direction: Direction) -> Vec<NodeId> {
+    hop_distances(g, sources, direction)
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.is_some())
+        .map(|(i, _)| NodeId::from_index(i))
+        .collect()
+}
+
+/// `true` if there is a directed path from `from` to `to`.
+///
+/// # Panics
+///
+/// Panics if either node is out of bounds.
+pub fn is_reachable(g: &SignedDigraph, from: NodeId, to: NodeId) -> bool {
+    assert!(g.contains(to), "target {to} out of bounds");
+    hop_distances(g, &[from], Direction::Forward)[to.index()].is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Edge, Sign};
+
+    fn g(n: usize, edges: &[(u32, u32)]) -> SignedDigraph {
+        SignedDigraph::from_edges(
+            n,
+            edges
+                .iter()
+                .map(|&(a, b)| Edge::new(NodeId(a), NodeId(b), Sign::Positive, 0.5)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bfs_visits_by_level() {
+        // 0 -> {1, 2}; 1 -> 3; 2 -> 3.
+        let g = g(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let order = bfs_order(&g, NodeId(0), Direction::Forward);
+        assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn dfs_goes_deep_first() {
+        let g = g(4, &[(0, 1), (0, 2), (1, 3)]);
+        let order = dfs_order(&g, NodeId(0), Direction::Forward);
+        assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(3), NodeId(2)]);
+    }
+
+    #[test]
+    fn backward_traversal_follows_in_edges() {
+        let g = g(3, &[(0, 2), (1, 2)]);
+        let order = bfs_order(&g, NodeId(2), Direction::Backward);
+        assert_eq!(order, vec![NodeId(2), NodeId(0), NodeId(1)]);
+        assert_eq!(bfs_order(&g, NodeId(2), Direction::Forward), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn distances_multi_source() {
+        // 0 -> 1 -> 2 -> 3 and a second source at 2.
+        let g = g(5, &[(0, 1), (1, 2), (2, 3)]);
+        let d = hop_distances(&g, &[NodeId(0), NodeId(2)], Direction::Forward);
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[2], Some(0));
+        assert_eq!(d[3], Some(1));
+        assert_eq!(d[4], None);
+    }
+
+    #[test]
+    fn reachability_checks() {
+        let g = g(4, &[(0, 1), (1, 2)]);
+        assert!(is_reachable(&g, NodeId(0), NodeId(2)));
+        assert!(!is_reachable(&g, NodeId(2), NodeId(0)));
+        assert!(is_reachable(&g, NodeId(3), NodeId(3)));
+        assert_eq!(
+            reachable_set(&g, &[NodeId(0)], Direction::Forward),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn cycle_terminates() {
+        let g = g(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(bfs_order(&g, NodeId(0), Direction::Forward).len(), 3);
+        assert_eq!(dfs_order(&g, NodeId(0), Direction::Forward).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bad_start_panics() {
+        let g = g(2, &[(0, 1)]);
+        bfs_order(&g, NodeId(9), Direction::Forward);
+    }
+
+    #[test]
+    fn empty_sources_reach_nothing() {
+        let g = g(3, &[(0, 1)]);
+        assert!(reachable_set(&g, &[], Direction::Forward).is_empty());
+    }
+
+    #[test]
+    fn deep_chain_dfs_does_not_overflow() {
+        let edges: Vec<(u32, u32)> = (0..80_000).map(|i| (i, i + 1)).collect();
+        let g = g(80_001, &edges);
+        assert_eq!(dfs_order(&g, NodeId(0), Direction::Forward).len(), 80_001);
+    }
+}

@@ -1,0 +1,52 @@
+//! Sweeps RID's penalty β and prints a CSV of the precision/recall
+//! trade-off and state-inference quality — the data behind the paper's
+//! Figures 5 and 6, ready for plotting.
+//!
+//! ```sh
+//! cargo run --release --example parameter_sweep > sweep.csv
+//! ```
+
+use isomit::prelude::*;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let social = epinions_like_scaled(0.05, &mut rng);
+    let scenario = build_scenario(
+        &social,
+        &ScenarioConfig::default().with_initiators(50),
+        &mut rng,
+    );
+    let truth: Vec<NodeId> = scenario.ground_truth.nodes().collect();
+    let truth_pairs = scenario.ground_truth_pairs();
+
+    println!("beta,detected,precision,recall,f1,state_accuracy,state_mae,state_r2");
+    let betas = [
+        0.0, 0.05, 0.09, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.25, 1.5, 1.75,
+        2.0, 2.5, 3.0, 4.0,
+    ];
+    for beta in betas {
+        let detection = Rid::new(3.0, beta)?.detect(&scenario.snapshot);
+        let prf = evaluate_identities(&detection.nodes(), &truth);
+        let pairs: Vec<(NodeId, i8)> = detection
+            .initiators
+            .iter()
+            .filter_map(|d| d.state.opinion().map(|s| (d.node, s)))
+            .collect();
+        let (_, states) = evaluate_detection(&pairs, &truth_pairs);
+        let (acc, mae, r2) = states.map_or((f64::NAN, f64::NAN, f64::NAN), |s| {
+            (s.accuracy, s.mae, s.r2)
+        });
+        println!(
+            "{beta},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            detection.len(),
+            prf.precision,
+            prf.recall,
+            prf.f1,
+            acc,
+            mae,
+            r2,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Quickstart: build a small signed network by hand, spread a rumor with
+//! MFC, and ask RID who started it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use isomit::prelude::*;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A hand-made trust network. Social semantics: an edge (a, b) means
+    // "a trusts/distrusts b", so information flows b -> a after reversal.
+    let mut builder = SignedDigraphBuilder::new();
+    let edges = [
+        // (follower, followee, sign, intimacy)
+        (1, 0, Sign::Positive, 0.9), // 1 trusts 0
+        (2, 0, Sign::Positive, 0.8),
+        (3, 1, Sign::Positive, 0.7),
+        (4, 1, Sign::Negative, 0.6), // 4 distrusts 1
+        (5, 2, Sign::Positive, 0.9),
+        (6, 5, Sign::Negative, 0.8),
+        (7, 6, Sign::Positive, 0.9),
+    ];
+    for (src, dst, sign, w) in edges {
+        builder.add_edge(NodeId(src), NodeId(dst), sign, w)?;
+    }
+    let social = builder.build();
+
+    // Definition 2: reverse into the diffusion network.
+    let diffusion = social.reversed();
+
+    // Node 0 starts a rumor it believes (+1); MFC spreads it (alpha = 3).
+    let seeds = SeedSet::single(NodeId(0), Sign::Positive);
+    let mfc = Mfc::new(3.0)?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let cascade = mfc.simulate(&diffusion, &seeds, &mut rng);
+
+    println!("rumor reached {} of {} users:", cascade.infected_count(), diffusion.node_count());
+    for node in cascade.infected_nodes() {
+        println!(
+            "  {node}: state {} (first activated by {:?})",
+            cascade.state(node),
+            cascade.first_parent(node),
+        );
+    }
+
+    // Detection side: all RID sees is the infected snapshot.
+    let snapshot = InfectedNetwork::from_cascade(&diffusion, &cascade);
+    let detection = Rid::new(3.0, 0.5)?.detect(&snapshot);
+
+    println!("\nRID found {} initiator(s):", detection.len());
+    for d in &detection.initiators {
+        println!("  {} with initial state {}", d.node, d.state);
+    }
+    assert!(detection.contains(NodeId(0)), "the true initiator is found");
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Integration tests for the fixed-budget k-ISOMIT solver on simulated
+//! outbreaks.
+
+use isomit::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scenario(seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let social = epinions_like_scaled(0.01, &mut rng);
+    build_scenario(
+        &social,
+        &ScenarioConfig::default().with_initiators(12),
+        &mut rng,
+    )
+}
+
+#[test]
+fn budget_equal_to_tree_count_matches_forced_roots() {
+    let sc = scenario(21);
+    let free = Rid::new(3.0, 1e9).unwrap().detect(&sc.snapshot);
+    let t = free.tree_count;
+    let fixed = solve_k_isomit(&sc.snapshot, 3.0, t).expect("tree count is feasible");
+    assert_eq!(fixed.len(), t);
+    // The forced roots are identical regardless of solver.
+    assert_eq!(fixed.nodes(), free.nodes());
+}
+
+#[test]
+fn objective_weakly_decreases_with_budget() {
+    let sc = scenario(22);
+    let t = Rid::new(3.0, 1e9).unwrap().detect(&sc.snapshot).tree_count;
+    let mut last = f64::INFINITY;
+    for k in t..(t + 6).min(sc.snapshot.node_count()) {
+        let d = solve_k_isomit(&sc.snapshot, 3.0, k).expect("feasible budget");
+        assert_eq!(d.len(), k, "k = {k}");
+        assert!(
+            d.objective <= last + 1e-9,
+            "objective rose from {last} to {} at k = {k}",
+            d.objective
+        );
+        last = d.objective;
+    }
+}
+
+#[test]
+fn infeasible_budgets_return_none() {
+    let sc = scenario(23);
+    let t = Rid::new(3.0, 1e9).unwrap().detect(&sc.snapshot).tree_count;
+    if t > 1 {
+        assert!(solve_k_isomit(&sc.snapshot, 3.0, t - 1).is_none());
+    }
+    assert!(solve_k_isomit(&sc.snapshot, 3.0, sc.snapshot.node_count() + 1).is_none());
+}
+
+#[test]
+fn recall_improves_with_budget_on_merged_trees() {
+    let sc = scenario(24);
+    let truth: Vec<NodeId> = sc.ground_truth.nodes().collect();
+    let t = Rid::new(3.0, 1e9).unwrap().detect(&sc.snapshot).tree_count;
+    let base = solve_k_isomit(&sc.snapshot, 3.0, t).unwrap();
+    let extended = solve_k_isomit(
+        &sc.snapshot,
+        3.0,
+        (t + 10).min(sc.snapshot.node_count()),
+    )
+    .unwrap();
+    let base_recall = evaluate_identities(&base.nodes(), &truth).recall;
+    let ext_recall = evaluate_identities(&extended.nodes(), &truth).recall;
+    assert!(
+        ext_recall >= base_recall,
+        "recall should not fall with budget: {base_recall} -> {ext_recall}"
+    );
+}

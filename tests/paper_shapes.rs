@@ -1,0 +1,158 @@
+//! Guard-rail tests for the paper's qualitative claims — the shapes the
+//! benchmark binaries reproduce, pinned at small scale with fixed seeds
+//! so regressions are caught by `cargo test`.
+
+use isomit::prelude::*;
+use isomit_bench::{build_trials, evaluate_identity_over_trials, mean_std, ExpOptions, Network};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn options() -> ExpOptions {
+    ExpOptions {
+        scale: 0.03,
+        trials: 4,
+        seed: 505,
+    }
+}
+
+fn mean_f1(detector: &dyn InitiatorDetector, trials: &[isomit_bench::Trial]) -> (f64, f64, f64) {
+    let (prfs, _) = evaluate_identity_over_trials(detector, trials);
+    let (p, _) = mean_std(&prfs.iter().map(|x| x.precision).collect::<Vec<_>>());
+    let (r, _) = mean_std(&prfs.iter().map(|x| x.recall).collect::<Vec<_>>());
+    let (f, _) = mean_std(&prfs.iter().map(|x| x.f1).collect::<Vec<_>>());
+    (p, r, f)
+}
+
+#[test]
+fn figure4_shape_rid_tree_perfect_precision_low_recall() {
+    for network in Network::ALL {
+        let trials = build_trials(network, &options());
+        let detector = RidTree::new(3.0).unwrap();
+        let (prfs, counts) = evaluate_identity_over_trials(&detector, &trials);
+        for (prf, count) in prfs.iter().zip(&counts) {
+            // Precision is 0 by convention on an empty detection; every
+            // non-empty detection must be perfectly precise.
+            if *count > 0 {
+                assert!(
+                    prf.precision > 0.999,
+                    "{}: RID-Tree precision {}",
+                    network.name(),
+                    prf.precision
+                );
+            }
+            assert!(
+                prf.recall < 0.6,
+                "{}: RID-Tree recall {} not low",
+                network.name(),
+                prf.recall
+            );
+        }
+    }
+}
+
+#[test]
+fn figure4_shape_calibrated_rid_beats_baselines_recall() {
+    // RID splits trees, so at matched (calibrated) beta it must recover
+    // strictly more true initiators than the roots-only baseline.
+    for network in Network::ALL {
+        let trials = build_trials(network, &options());
+        let (_, r_rid, _) = mean_f1(&Rid::new(3.0, 2.5).unwrap(), &trials);
+        let (_, r_tree, _) = mean_f1(&RidTree::new(3.0).unwrap(), &trials);
+        assert!(
+            r_rid >= r_tree,
+            "{}: RID recall {r_rid} below RID-Tree {r_tree}",
+            network.name()
+        );
+    }
+}
+
+#[test]
+fn figure5_shape_precision_rises_recall_falls_with_beta() {
+    let trials = build_trials(Network::Epinions, &options());
+    let low = mean_f1(&Rid::new(3.0, 0.2).unwrap(), &trials);
+    let high = mean_f1(&Rid::new(3.0, 3.0).unwrap(), &trials);
+    assert!(
+        high.0 > low.0,
+        "precision should rise with beta: {} -> {}",
+        low.0,
+        high.0
+    );
+    assert!(
+        high.1 < low.1,
+        "recall should fall with beta: {} -> {}",
+        low.1,
+        high.1
+    );
+}
+
+#[test]
+fn figure6_shape_state_quality_improves_with_beta() {
+    let trials = build_trials(Network::Slashdot, &options());
+    let metrics_at = |beta: f64| {
+        let m = isomit_bench::evaluate_states_over_trials(&Rid::new(3.0, beta).unwrap(), &trials);
+        let (acc, _) = mean_std(&m.iter().map(|x| x.accuracy).collect::<Vec<_>>());
+        let (mae, _) = mean_std(&m.iter().map(|x| x.mae).collect::<Vec<_>>());
+        (acc, mae)
+    };
+    let (acc_low, mae_low) = metrics_at(0.2);
+    let (acc_high, mae_high) = metrics_at(3.0);
+    assert!(
+        acc_high >= acc_low,
+        "state accuracy should improve with beta: {acc_low} -> {acc_high}"
+    );
+    assert!(
+        mae_high <= mae_low,
+        "state MAE should drop with beta: {mae_low} -> {mae_high}"
+    );
+    assert!(acc_high > 0.9, "high-beta accuracy {acc_high} should approach 1");
+    assert!(mae_high < 0.2, "high-beta MAE {mae_high} should drop below 0.2");
+}
+
+#[test]
+fn diffusion_shape_mfc_outreaches_ic_and_unboosted_mfc() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let social = epinions_like_scaled(0.03, &mut rng);
+    let diffusion = paper_weights(&social, &mut rng);
+    let seeds = SeedSet::sample(&diffusion, 30, 0.5, &mut rng);
+    let reach = |model: &dyn DiffusionModel| {
+        let mut total = 0usize;
+        for r in 0..10 {
+            let mut rng = StdRng::seed_from_u64(900 + r);
+            total += model.simulate(&diffusion, &seeds, &mut rng).infected_count();
+        }
+        total as f64 / 10.0
+    };
+    let mfc3 = reach(&Mfc::new(3.0).unwrap());
+    let mfc1 = reach(&Mfc::new(1.0).unwrap());
+    let ic = reach(&IndependentCascade::new());
+    assert!(mfc3 > 2.0 * mfc1, "boosting should expand reach: {mfc3} vs {mfc1}");
+    assert!(mfc3 > 2.0 * ic, "MFC should out-reach IC: {mfc3} vs {ic}");
+}
+
+#[test]
+fn diffusion_shape_only_mfc_flips() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let social = slashdot_like_scaled(0.02, &mut rng);
+    let diffusion = paper_weights(&social, &mut rng);
+    let seeds = SeedSet::sample(&diffusion, 30, 0.5, &mut rng);
+    let models: Vec<Box<dyn DiffusionModel>> = vec![
+        Box::new(IndependentCascade::new()),
+        Box::new(LinearThreshold::new()),
+        Box::new(Sir::new(0.5).unwrap()),
+        Box::new(PolarityIc::new(0.5).unwrap()),
+    ];
+    for model in &models {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = model.simulate(&diffusion, &seeds, &mut rng);
+        assert_eq!(c.flip_count(), 0, "{} must not flip", model.name());
+    }
+    // MFC flips at least once across a few runs on this mixed-sign graph.
+    let mfc = Mfc::new(3.0).unwrap();
+    let flips: usize = (0..5)
+        .map(|r| {
+            let mut rng = StdRng::seed_from_u64(r);
+            mfc.simulate(&diffusion, &seeds, &mut rng).flip_count()
+        })
+        .sum();
+    assert!(flips > 0, "MFC should produce flips on a mixed-sign network");
+}
