@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks for the diffusion models: simulation
+//! Micro-benchmarks for the diffusion models: simulation
 //! throughput of MFC versus the reference models at growing network
 //! scales — backing the claim that MFC runs at Epinions/Slashdot scale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isomit_bench::report::{BenchmarkId, Harness};
 use isomit_datasets::{epinions_like_scaled, paper_weights};
 use isomit_diffusion::{
     DiffusionModel, IndependentCascade, LinearThreshold, Mfc, PolarityIc, SeedSet, Sir,
@@ -10,7 +10,7 @@ use isomit_diffusion::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn bench_models(c: &mut Criterion) {
+fn bench_models(c: &mut Harness) {
     let mut rng = StdRng::seed_from_u64(7);
     let social = epinions_like_scaled(0.05, &mut rng); // ~6.6k nodes
     let diffusion = paper_weights(&social, &mut rng);
@@ -33,7 +33,7 @@ fn bench_models(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_mfc_scaling(c: &mut Criterion) {
+fn bench_mfc_scaling(c: &mut Harness) {
     let mut group = c.benchmark_group("mfc_scaling");
     group.sample_size(10);
     for scale in [0.02, 0.05, 0.1, 0.2] {
@@ -55,5 +55,9 @@ fn bench_mfc_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_models, bench_mfc_scaling);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::new("diffusion");
+    bench_models(&mut harness);
+    bench_mfc_scaling(&mut harness);
+    harness.finish().expect("write bench artifact");
+}

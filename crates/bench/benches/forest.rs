@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks for the structural algorithms: connected
+//! Micro-benchmarks for the structural algorithms: connected
 //! components, Chu-Liu/Edmonds maximum branching, and the binary-tree
 //! transformation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isomit_bench::report::{BenchmarkId, Harness};
 use isomit_forest::{binarize, maximum_branching, weakly_connected_components, WeightedArc};
 use isomit_graph::{Edge, NodeId, Sign, SignedDigraph};
 use rand::rngs::StdRng;
@@ -17,7 +17,11 @@ fn random_graph(n: usize, m: usize, seed: u64) -> SignedDigraph {
             Edge::new(
                 NodeId(a),
                 NodeId(b),
-                if rng.gen_bool(0.8) { Sign::Positive } else { Sign::Negative },
+                if rng.gen_bool(0.8) {
+                    Sign::Positive
+                } else {
+                    Sign::Negative
+                },
                 rng.gen_range(0.01..1.0),
             )
         })
@@ -25,7 +29,7 @@ fn random_graph(n: usize, m: usize, seed: u64) -> SignedDigraph {
     SignedDigraph::from_edges(n, edges).unwrap()
 }
 
-fn bench_components(c: &mut Criterion) {
+fn bench_components(c: &mut Harness) {
     let mut group = c.benchmark_group("components");
     for n in [1_000usize, 10_000, 50_000] {
         let g = random_graph(n, n * 6, 3);
@@ -36,7 +40,7 @@ fn bench_components(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_branching(c: &mut Criterion) {
+fn bench_branching(c: &mut Harness) {
     let mut group = c.benchmark_group("edmonds_branching");
     group.sample_size(20);
     for n in [1_000usize, 10_000, 50_000] {
@@ -59,7 +63,7 @@ fn bench_branching(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_binarize(c: &mut Criterion) {
+fn bench_binarize(c: &mut Harness) {
     let mut group = c.benchmark_group("binarize");
     for n in [1_000usize, 100_000] {
         // Random recursive tree with heavy fan-out at the root.
@@ -76,5 +80,10 @@ fn bench_binarize(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_components, bench_branching, bench_binarize);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::new("forest");
+    bench_components(&mut harness);
+    bench_branching(&mut harness);
+    bench_binarize(&mut harness);
+    harness.finish().expect("write bench artifact");
+}

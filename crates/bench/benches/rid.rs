@@ -1,16 +1,17 @@
-//! Criterion micro-benchmarks for the detection side: end-to-end RID
+//! Micro-benchmarks for the detection side: end-to-end RID
 //! latency on simulated outbreaks, the cascade-forest extraction stage,
 //! and the two per-tree dynamic programs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isomit_bench::report::{BenchmarkId, Harness};
 use isomit_bench::{build_trial, ExpOptions, Network};
 use isomit_core::{extract_cascade_forest, InitiatorDetector, Rid, RidTree, TreeDp};
 
-fn bench_detectors(c: &mut Criterion) {
+fn bench_detectors(c: &mut Harness) {
     let opts = ExpOptions {
         scale: 0.05,
         trials: 1,
         seed: 13,
+        ..ExpOptions::default()
     };
     let trial = build_trial(Network::Epinions, &opts, 0);
     let snapshot = &trial.scenario.snapshot;
@@ -31,13 +32,14 @@ fn bench_detectors(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_pipeline_stages(c: &mut Criterion) {
+fn bench_pipeline_stages(c: &mut Harness) {
     let mut group = c.benchmark_group("rid_stages");
     for scale in [0.05, 0.1] {
         let opts = ExpOptions {
             scale,
             trials: 1,
             seed: 13,
+            ..ExpOptions::default()
         };
         let trial = build_trial(Network::Epinions, &opts, 0);
         let snapshot = &trial.scenario.snapshot;
@@ -71,5 +73,9 @@ fn bench_pipeline_stages(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_detectors, bench_pipeline_stages);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::new("rid");
+    bench_detectors(&mut harness);
+    bench_pipeline_stages(&mut harness);
+    harness.finish().expect("write bench artifact");
+}

@@ -8,9 +8,7 @@
 //! well-explained dense regions; the log-likelihood objective needs much
 //! larger β for comparable behaviour.
 
-use isomit_bench::{
-    build_trials, evaluate_identity_over_trials, mean_std, ExpOptions, Network,
-};
+use isomit_bench::{build_trials, evaluate_identity_over_trials, mean_std, ExpOptions, Network};
 use isomit_core::{Rid, RidObjective};
 
 fn main() {

@@ -7,12 +7,14 @@
 //! precision 1.0 at low recall; RID-Positive has low precision;
 //! calibrated RID achieves the best F1.
 
+use isomit_bench::report::BenchReport;
 use isomit_bench::{
     build_trials, evaluate_identity_over_trials, figure4_detectors, mean_std, ExpOptions, Network,
 };
 
 fn main() {
     let opts = ExpOptions::parse(std::env::args().skip(1));
+    let mut report = BenchReport::new("fig4");
     println!(
         "== Figure 4: rumor initiator detection comparison (scale {}, {} trials) ==",
         opts.scale, opts.trials
@@ -51,10 +53,27 @@ fn main() {
                 f,
                 fs
             );
+            report.add_metrics(
+                network.name(),
+                detector.name(),
+                vec![
+                    ("precision".into(), p),
+                    ("precision_std".into(), ps),
+                    ("recall".into(), r),
+                    ("recall_std".into(), rs),
+                    ("f1".into(), f),
+                    ("f1_std".into(), fs),
+                    ("detected".into(), c),
+                    ("trials".into(), opts.trials as f64),
+                    ("scale".into(), opts.scale),
+                ],
+            );
         }
     }
     println!(
         "\npaper shape check: RID-Tree precision = 1.0 with low recall; \
          RID-Positive low precision; calibrated RID best F1."
     );
+    let path = report.write().expect("write bench artifact");
+    println!("wrote {}", path.display());
 }

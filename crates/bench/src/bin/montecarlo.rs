@@ -1,0 +1,89 @@
+//! Benchmarks the deterministic parallel Monte-Carlo estimator against
+//! the sequential reference: verifies **bit-identical** output for the
+//! same master seed, times both paths, and writes the speedup to
+//! `BENCH_montecarlo.json`.
+//!
+//! Accepts the common options (`--scale`, `--trials` as MC-run
+//! multiplier, `--seed`, `--threads`); the run count is
+//! `1000 · trials`, clamped to at least 1000.
+
+use isomit_bench::report::{BenchReport, TimingStats};
+use isomit_bench::{ExpOptions, Network};
+use isomit_datasets::paper_weights;
+use isomit_diffusion::{
+    estimate_infection_probabilities_seeded, par_estimate_infection_probabilities, Mfc, SeedSet,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let opts = ExpOptions::parse(std::env::args().skip(1));
+    let runs = (1000 * opts.trials).max(1000);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let social = Network::Epinions.generate(opts.scale, &mut rng);
+    let diffusion = paper_weights(&social, &mut rng);
+    let n_seeds = opts.initiators_for(Network::Epinions);
+    let seeds = SeedSet::sample(&diffusion, n_seeds, 0.5, &mut rng);
+    let model = Mfc::new(3.0).expect("valid alpha");
+
+    opts.install(|| {
+        let threads = rayon::current_num_threads();
+        println!(
+            "== Monte-Carlo estimator: {} runs, {} nodes, {} threads ==",
+            runs,
+            diffusion.node_count(),
+            threads
+        );
+
+        let t0 = Instant::now();
+        let sequential =
+            estimate_infection_probabilities_seeded(&model, &diffusion, &seeds, runs, opts.seed);
+        let seq_ns = t0.elapsed().as_nanos() as f64;
+
+        let t1 = Instant::now();
+        let parallel =
+            par_estimate_infection_probabilities(&model, &diffusion, &seeds, runs, opts.seed);
+        let par_ns = t1.elapsed().as_nanos() as f64;
+
+        assert_eq!(
+            sequential, parallel,
+            "parallel estimate must be bit-identical to the sequential reference"
+        );
+        let speedup = seq_ns / par_ns;
+        println!(
+            "sequential {:.1} ms, parallel {:.1} ms, speedup {:.2}x — estimates bit-identical",
+            seq_ns / 1e6,
+            par_ns / 1e6,
+            speedup
+        );
+
+        let mut report = BenchReport::new("montecarlo");
+        report.add_timing(
+            "mc",
+            "sequential",
+            TimingStats::from_samples(&[seq_ns / runs as f64]),
+        );
+        report.add_timing(
+            "mc",
+            "parallel",
+            TimingStats::from_samples(&[par_ns / runs as f64]),
+        );
+        report.add_metrics(
+            "mc",
+            "summary",
+            vec![
+                ("runs".into(), runs as f64),
+                ("nodes".into(), diffusion.node_count() as f64),
+                ("threads".into(), threads as f64),
+                ("sequential_ns".into(), seq_ns),
+                ("parallel_ns".into(), par_ns),
+                ("speedup".into(), speedup),
+                ("bit_identical".into(), 1.0),
+                ("expected_infected".into(), parallel.expected_infected()),
+            ],
+        );
+        let path = report.write().expect("write bench artifact");
+        println!("wrote {}", path.display());
+    });
+}

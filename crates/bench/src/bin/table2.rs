@@ -5,6 +5,7 @@
 //! Run `--full` for the paper's exact sizes (a few seconds); the default
 //! `--scale 0.1` keeps the same shape at a tenth of the nodes.
 
+use isomit_bench::report::BenchReport;
 use isomit_bench::{ExpOptions, Network};
 use isomit_graph::GraphStats;
 use rand::rngs::StdRng;
@@ -12,7 +13,11 @@ use rand::SeedableRng;
 
 fn main() {
     let opts = ExpOptions::parse(std::env::args().skip(1));
-    println!("== Table II: properties of different networks (scale {}) ==", opts.scale);
+    let mut report = BenchReport::new("table2");
+    println!(
+        "== Table II: properties of different networks (scale {}) ==",
+        opts.scale
+    );
     println!(
         "{:<10} {:>10} {:>10} {:>10} {:>10} {:>8} {:>10}",
         "network", "# nodes", "# links", "paper n", "paper m", "% pos", "link type"
@@ -43,5 +48,22 @@ fn main() {
             stats.in_degree.max,
             paper_pos,
         );
+        report.add_metrics(
+            "table2",
+            network.name(),
+            vec![
+                ("scale".into(), opts.scale),
+                ("nodes".into(), stats.nodes as f64),
+                ("edges".into(), stats.edges as f64),
+                ("positive_fraction".into(), stats.positive_fraction),
+                ("paper_nodes".into(), paper_nodes as f64),
+                ("paper_links".into(), paper_links as f64),
+                ("paper_positive_fraction".into(), paper_pos / 100.0),
+                ("out_degree_mean".into(), stats.out_degree.mean),
+                ("in_degree_mean".into(), stats.in_degree.mean),
+            ],
+        );
     }
+    let path = report.write().expect("write bench artifact");
+    println!("\nwrote {}", path.display());
 }

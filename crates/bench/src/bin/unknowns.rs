@@ -13,8 +13,8 @@
 use isomit_bench::{mean_std, ExpOptions, Network};
 use isomit_core::{InitiatorDetector, Rid};
 use isomit_datasets::{build_scenario, ScenarioConfig};
-use isomit_metrics::{evaluate_detection, evaluate_identities};
 use isomit_graph::NodeId;
+use isomit_metrics::{evaluate_detection, evaluate_identities};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -77,5 +77,7 @@ fn main() {
             );
         }
     }
-    println!("\nextension check: identity metrics degrade gracefully; state accuracy suffers first.");
+    println!(
+        "\nextension check: identity metrics degrade gracefully; state accuracy suffers first."
+    );
 }

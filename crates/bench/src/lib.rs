@@ -12,16 +12,53 @@
 //! | §IV-B3 diffusion analysis | `diffusion_analysis` | mean infected counts of MFC vs IC / LT / SIR / P-IC |
 //! | design ablation | `ablation` | RID objective and external-support variants across β |
 //! | extension | `unknowns` | detection quality under masked (unknown) states |
+//! | engine check | `montecarlo` | sequential vs parallel Monte-Carlo: bit-identity assertion and speedup |
 //!
 //! All binaries accept `--scale <f>` (network scale, default `0.1`),
-//! `--trials <n>` (default `5`), `--seed <u64>` (default `2026`) and
-//! `--full` (shortcut for `--scale 1.0`, the paper's Table-II sizes).
-//! Experiments run trials in parallel (one thread per trial).
+//! `--trials <n>` (default `5`), `--seed <u64>` (default `2026`),
+//! `--threads <n>` (worker threads for parallel sections; default
+//! automatic, also settable via `RAYON_NUM_THREADS`; `1` forces the
+//! sequential path) and `--full` (shortcut for `--scale 1.0`, the
+//! paper's Table-II sizes). Experiments run trials in parallel on a
+//! bounded rayon pool; results are bit-identical for every thread count
+//! because each trial draws from its own seed-derived RNG stream.
 //!
-//! Criterion micro-benchmarks live in `benches/`: diffusion-model
-//! throughput, forest-algorithm scaling, and end-to-end RID latency.
+//! Micro-benchmarks live in `benches/` (diffusion-model throughput,
+//! forest-algorithm scaling, end-to-end RID latency), driven by the
+//! in-repo [`report`] harness.
+//!
+//! # `BENCH_<name>.json` artifacts
+//!
+//! Experiment binaries and `benches/` targets serialize their results
+//! through [`report::BenchReport`] to `BENCH_<name>.json` at the
+//! workspace root (the nearest ancestor directory with a `Cargo.lock`;
+//! override with the `ISOMIT_BENCH_DIR` environment variable). The
+//! schema:
+//!
+//! ```json
+//! {
+//!   "schema": "isomit-bench/1",
+//!   "name": "montecarlo",
+//!   "created_unix": 1770000000,
+//!   "threads": 8,
+//!   "entries": [
+//!     {"group": "mc", "id": "parallel",
+//!      "metrics": {"speedup": 3.4},
+//!      "timing": {"samples": 20, "mean_ns": 1.0e6, "std_ns": 2.0e4,
+//!                 "min_ns": 9.7e5, "max_ns": 1.1e6}}
+//!   ]
+//! }
+//! ```
+//!
+//! `schema` is the artifact version tag; `threads` is the rayon worker
+//! count the run used; each entry carries a `group`/`id` pair plus
+//! `metrics` (named scalars — precision, node counts, speedups, ...)
+//! and/or `timing` (per-iteration statistics in nanoseconds). Absent
+//! sections are omitted rather than emitted empty.
 
 #![deny(missing_docs)]
+
+pub mod report;
 
 use isomit_core::{InitiatorDetector, Rid, RidPositive, RidTree, RumorCentrality};
 use isomit_datasets::{
@@ -31,6 +68,7 @@ use isomit_graph::{NodeId, SignedDigraph};
 use isomit_metrics::{evaluate_detection, evaluate_identities, Prf, StateMetrics};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 /// Which synthetic network family an experiment runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +117,10 @@ pub struct ExpOptions {
     pub trials: usize,
     /// Base RNG seed; trial `t` uses `seed + t`.
     pub seed: u64,
+    /// Worker threads for parallel sections; `None` defers to
+    /// `RAYON_NUM_THREADS` / hardware parallelism, `Some(1)` forces the
+    /// sequential path.
+    pub threads: Option<usize>,
 }
 
 impl Default for ExpOptions {
@@ -87,13 +129,15 @@ impl Default for ExpOptions {
             scale: 0.1,
             trials: 5,
             seed: 2026,
+            threads: None,
         }
     }
 }
 
 impl ExpOptions {
-    /// Parses `--scale`, `--trials`, `--seed`, `--full` from an argument
-    /// iterator, ignoring anything it does not recognize.
+    /// Parses `--scale`, `--trials`, `--seed`, `--threads`, `--full`
+    /// from an argument iterator, ignoring anything it does not
+    /// recognize.
     ///
     /// # Panics
     ///
@@ -115,13 +159,36 @@ impl ExpOptions {
                     let v = iter.next().expect("--seed needs a value");
                     opts.seed = v.parse().expect("--seed needs an integer");
                 }
+                "--threads" => {
+                    let v = iter.next().expect("--threads needs a value");
+                    opts.threads = Some(v.parse().expect("--threads needs an integer"));
+                }
                 "--full" => opts.scale = 1.0,
                 _ => {}
             }
         }
-        assert!(opts.scale > 0.0 && opts.scale <= 1.0, "scale must lie in (0, 1]");
+        assert!(
+            opts.scale > 0.0 && opts.scale <= 1.0,
+            "scale must lie in (0, 1]"
+        );
         assert!(opts.trials > 0, "trials must be positive");
+        assert!(opts.threads != Some(0), "threads must be positive");
         opts
+    }
+
+    /// Runs `f` under this option set's thread count: with
+    /// `--threads n` the rayon sections inside `f` use exactly `n`
+    /// workers, otherwise the ambient configuration
+    /// (`RAYON_NUM_THREADS`, hardware parallelism) applies.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        match self.threads {
+            Some(n) => rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .expect("thread pool construction cannot fail")
+                .install(f),
+            None => f(),
+        }
     }
 
     /// The paper plants `N = 1000` initiators in the full Epinions
@@ -165,13 +232,15 @@ pub fn build_trial(network: Network, options: &ExpOptions, t: usize) -> Trial {
     }
 }
 
-/// Builds `options.trials` trials in parallel (one thread each).
+/// Builds `options.trials` trials on the bounded rayon pool (honoring
+/// `options.threads`). Trial `t` is seeded from `(options.seed, t)`
+/// alone, so the result is identical for every thread count.
 pub fn build_trials(network: Network, options: &ExpOptions) -> Vec<Trial> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..options.trials)
-            .map(|t| scope.spawn(move || build_trial(network, options, t)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("trial thread")).collect()
+    options.install(|| {
+        (0..options.trials)
+            .into_par_iter()
+            .map(|t| build_trial(network, options, t))
+            .collect()
     })
 }
 
@@ -301,6 +370,7 @@ mod tests {
             scale: 0.005,
             trials: 1,
             seed: 4,
+            ..ExpOptions::default()
         };
         let a = build_trial(Network::Epinions, &opts, 0);
         let b = build_trial(Network::Epinions, &opts, 0);
@@ -314,6 +384,7 @@ mod tests {
             scale: 0.01,
             trials: 2,
             seed: 1,
+            ..ExpOptions::default()
         };
         let trials = build_trials(Network::Slashdot, &opts);
         assert_eq!(trials.len(), 2);

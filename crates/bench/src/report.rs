@@ -1,0 +1,473 @@
+//! Benchmark and experiment reporting: every harness run serializes its
+//! results to a `BENCH_<name>.json` artifact (see the crate docs for the
+//! schema) so CI can upload machine-readable numbers next to the
+//! human-readable stdout tables.
+//!
+//! The timing side ([`Harness`] / [`Group`] / [`Bencher`]) keeps the
+//! criterion call shape (`benchmark_group` → `bench_function` /
+//! `bench_with_input` → `b.iter(...)`) so the `benches/` sources read
+//! the same as before the offline port, while recording criterion-style
+//! summary statistics (mean / std / min / max nanoseconds per
+//! iteration) instead of full sample dumps.
+
+use isomit_graph::json::Value;
+use std::fmt;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Directory override for report artifacts; falls back to the nearest
+/// ancestor of the current directory containing a `Cargo.lock` — the
+/// repo root whether the binary runs under `cargo run` (cwd = workspace
+/// root) or `cargo bench` (cwd = package dir).
+pub const BENCH_DIR_ENV: &str = "ISOMIT_BENCH_DIR";
+
+/// Nearest ancestor of the current directory containing a `Cargo.lock`,
+/// or `.` when there is none (e.g. an installed binary run elsewhere).
+fn workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return dir.to_path_buf();
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return PathBuf::from("."),
+        }
+    }
+}
+
+/// Summary statistics of one timed benchmark, in nanoseconds per
+/// iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingStats {
+    /// Number of measured iterations.
+    pub samples: usize,
+    /// Mean wall-clock time per iteration.
+    pub mean_ns: f64,
+    /// Population standard deviation across iterations.
+    pub std_ns: f64,
+    /// Fastest iteration.
+    pub min_ns: f64,
+    /// Slowest iteration.
+    pub max_ns: f64,
+}
+
+impl TimingStats {
+    /// Summarizes a sample of per-iteration durations (nanoseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples_ns` is empty.
+    pub fn from_samples(samples_ns: &[f64]) -> Self {
+        assert!(
+            !samples_ns.is_empty(),
+            "timing requires at least one sample"
+        );
+        let n = samples_ns.len() as f64;
+        let mean = samples_ns.iter().sum::<f64>() / n;
+        let var = samples_ns.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+        TimingStats {
+            samples: samples_ns.len(),
+            mean_ns: mean,
+            std_ns: var.sqrt(),
+            min_ns: samples_ns.iter().copied().fold(f64::INFINITY, f64::min),
+            max_ns: samples_ns.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    fn to_json_value(self) -> Value {
+        Value::Object(vec![
+            ("samples".into(), Value::Number(self.samples as f64)),
+            ("mean_ns".into(), Value::Number(self.mean_ns)),
+            ("std_ns".into(), Value::Number(self.std_ns)),
+            ("min_ns".into(), Value::Number(self.min_ns)),
+            ("max_ns".into(), Value::Number(self.max_ns)),
+        ])
+    }
+}
+
+/// One line of a report: a timing result, a set of experiment metrics,
+/// or both.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Logical group (criterion group name or experiment section).
+    pub group: String,
+    /// Identifier within the group.
+    pub id: String,
+    /// Named scalar metrics (precision, node counts, speedups, ...).
+    pub metrics: Vec<(String, f64)>,
+    /// Timing statistics, for timed benchmarks.
+    pub timing: Option<TimingStats>,
+}
+
+impl BenchEntry {
+    fn to_json_value(&self) -> Value {
+        let mut fields = vec![
+            ("group".into(), Value::String(self.group.clone())),
+            ("id".into(), Value::String(self.id.clone())),
+        ];
+        if !self.metrics.is_empty() {
+            fields.push((
+                "metrics".into(),
+                Value::Object(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Number(*v)))
+                        .collect(),
+                ),
+            ));
+        }
+        if let Some(t) = self.timing {
+            fields.push(("timing".into(), t.to_json_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+/// An accumulating report, written out as `BENCH_<name>.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    name: String,
+    entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Creates an empty report; `name` becomes the artifact file name
+    /// (`BENCH_<name>.json`).
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchReport {
+            name: name.into(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// The report name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Entries recorded so far.
+    pub fn entries(&self) -> &[BenchEntry] {
+        &self.entries
+    }
+
+    /// Records experiment metrics under `group`/`id`.
+    pub fn add_metrics(
+        &mut self,
+        group: impl Into<String>,
+        id: impl Into<String>,
+        metrics: Vec<(String, f64)>,
+    ) {
+        self.entries.push(BenchEntry {
+            group: group.into(),
+            id: id.into(),
+            metrics,
+            timing: None,
+        });
+    }
+
+    /// Records a timing result under `group`/`id`.
+    pub fn add_timing(
+        &mut self,
+        group: impl Into<String>,
+        id: impl Into<String>,
+        timing: TimingStats,
+    ) {
+        self.entries.push(BenchEntry {
+            group: group.into(),
+            id: id.into(),
+            metrics: Vec::new(),
+            timing: Some(timing),
+        });
+    }
+
+    /// Serializes the report (see the crate docs for the schema).
+    pub fn to_json_string(&self) -> String {
+        let created = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        Value::Object(vec![
+            ("schema".into(), Value::String("isomit-bench/1".into())),
+            ("name".into(), Value::String(self.name.clone())),
+            ("created_unix".into(), Value::Number(created as f64)),
+            (
+                "threads".into(),
+                Value::Number(rayon::current_num_threads() as f64),
+            ),
+            (
+                "entries".into(),
+                Value::Array(self.entries.iter().map(|e| e.to_json_value()).collect()),
+            ),
+        ])
+        .to_json()
+    }
+
+    /// The artifact path this report writes to: `BENCH_<name>.json` in
+    /// [`BENCH_DIR_ENV`], or in the nearest ancestor directory holding a
+    /// `Cargo.lock` (the workspace root; `cargo bench` sets the cwd to
+    /// the *package* dir), or the current directory as a last resort.
+    pub fn path(&self) -> PathBuf {
+        let dir = std::env::var(BENCH_DIR_ENV)
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| workspace_root());
+        dir.join(format!("BENCH_{}.json", self.name))
+    }
+
+    /// Writes the artifact and returns its path, creating the target
+    /// directory if necessary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = self.path();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(&path, self.to_json_string())?;
+        Ok(path)
+    }
+}
+
+/// Identifier of one benchmark within a group — same call shape as
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A compound id `<name>/<parameter>`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Default measured iterations per benchmark; override per group with
+/// [`Group::sample_size`].
+pub const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Top-level timing harness, the criterion stand-in driving the
+/// `benches/` targets. Create one, open groups, and call
+/// [`finish`](Harness::finish) to write the `BENCH_<name>.json`
+/// artifact.
+#[derive(Debug)]
+pub struct Harness {
+    report: BenchReport,
+}
+
+impl Harness {
+    /// Creates a harness whose artifact will be `BENCH_<name>.json`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Harness {
+            report: BenchReport::new(name),
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group {
+            report: &mut self.report,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// Writes the artifact and returns its path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn finish(self) -> std::io::Result<PathBuf> {
+        let path = self.report.write()?;
+        println!("wrote {}", path.display());
+        Ok(path)
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct Group<'a> {
+    report: &'a mut BenchReport,
+    name: String,
+    sample_size: usize,
+}
+
+impl Group<'_> {
+    /// Sets the measured iterations per benchmark in this group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times `f` (which must call [`Bencher::iter`]) and records the
+    /// result under this group.
+    pub fn bench_function(&mut self, id: impl fmt::Display, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let stats = TimingStats::from_samples(&bencher.samples_ns);
+        println!(
+            "{}/{}: mean {:.1} µs (±{:.1}, n={})",
+            self.name,
+            id,
+            stats.mean_ns / 1e3,
+            stats.std_ns / 1e3,
+            stats.samples
+        );
+        self.report.add_timing(&self.name, id.to_string(), stats);
+    }
+
+    /// Like [`bench_function`](Group::bench_function) with an explicit
+    /// input handed through to the closure.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (criterion-compatible no-op; results were already
+    /// recorded per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Collects per-iteration timings for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Runs `f` for one warm-up iteration and then `sample_size` timed
+    /// iterations.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        black_box(f());
+        self.samples_ns.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting benchmarked
+/// work (forwarding to [`std::hint::black_box`]).
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isomit_graph::json::Value;
+
+    #[test]
+    fn timing_stats_summarize() {
+        let stats = TimingStats::from_samples(&[10.0, 20.0, 30.0]);
+        assert_eq!(stats.samples, 3);
+        assert_eq!(stats.mean_ns, 20.0);
+        assert_eq!(stats.min_ns, 10.0);
+        assert_eq!(stats.max_ns, 30.0);
+        assert!((stats.std_ns - (200.0f64 / 3.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_serializes_to_schema() {
+        let mut report = BenchReport::new("unit");
+        report.add_metrics(
+            "g",
+            "exp",
+            vec![("precision".into(), 0.75), ("nodes".into(), 42.0)],
+        );
+        report.add_timing("g", "timed", TimingStats::from_samples(&[5.0, 7.0]));
+        let doc = Value::parse(&report.to_json_string()).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("isomit-bench/1"));
+        assert_eq!(doc.get("name").unwrap().as_str(), Some("unit"));
+        assert!(doc.get("threads").unwrap().as_usize().unwrap() >= 1);
+        let entries = doc.get("entries").unwrap().as_array().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(
+            entries[0]
+                .get("metrics")
+                .unwrap()
+                .get("precision")
+                .unwrap()
+                .as_f64(),
+            Some(0.75)
+        );
+        assert_eq!(
+            entries[1]
+                .get("timing")
+                .unwrap()
+                .get("samples")
+                .unwrap()
+                .as_f64(),
+            Some(2.0)
+        );
+        assert!(entries[1].get("metrics").is_none());
+    }
+
+    #[test]
+    fn harness_records_benchmarks() {
+        let mut harness = Harness::new("unit_harness");
+        let mut group = harness.benchmark_group("math");
+        group.sample_size(3);
+        group.bench_function("add", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, &x| b.iter(|| x * x));
+        group.finish();
+        let entries = harness.report.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].id, "add");
+        assert_eq!(entries[1].id, "mul/7");
+        assert_eq!(entries[1].timing.unwrap().samples, 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("dp", 128).to_string(), "dp/128");
+        assert_eq!(BenchmarkId::from_parameter(50_000).to_string(), "50000");
+    }
+
+    #[test]
+    fn artifact_path_honors_env_dir() {
+        let report = BenchReport::new("pathcheck");
+        // Not setting the env var here (tests run in parallel); the
+        // default path lands next to a Cargo.lock, never inside a
+        // package subdirectory.
+        if std::env::var(BENCH_DIR_ENV).is_err() {
+            let path = report.path();
+            assert_eq!(path.file_name().unwrap(), "BENCH_pathcheck.json");
+            let dir = path.parent().unwrap();
+            assert!(
+                dir.as_os_str() == "." || dir.join("Cargo.lock").is_file(),
+                "unexpected artifact dir {dir:?}"
+            );
+        }
+    }
+}

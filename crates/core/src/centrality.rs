@@ -75,8 +75,7 @@ pub fn tree_rumor_centralities(parent: &[usize]) -> Vec<f64> {
     let mut queue = VecDeque::from([root]);
     while let Some(v) = queue.pop_front() {
         for &c in &children[v] {
-            log_r[c] =
-                log_r[v] + (size[c] as f64).ln() - ((n - size[c]) as f64).ln();
+            log_r[c] = log_r[v] + (size[c] as f64).ln() - ((n - size[c]) as f64).ln();
             queue.push_back(c);
         }
     }
@@ -86,11 +85,8 @@ pub fn tree_rumor_centralities(parent: &[usize]) -> Vec<f64> {
 /// BFS spanning tree (undirected view) of the subgraph induced by
 /// `component`, as parent pointers over component-local indices.
 fn bfs_spanning_tree(graph: &SignedDigraph, component: &[NodeId]) -> Vec<usize> {
-    let local_of: std::collections::HashMap<NodeId, usize> = component
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, i))
-        .collect();
+    let local_of: std::collections::HashMap<NodeId, usize> =
+        component.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut parent = vec![usize::MAX; component.len()];
     let mut visited = vec![false; component.len()];
     visited[0] = true;
@@ -180,7 +176,9 @@ mod tests {
     #[test]
     fn path_center_has_max_centrality() {
         let log_r = tree_rumor_centralities(&chain_parents(5));
-        let best = (0..5).max_by(|&a, &b| log_r[a].total_cmp(&log_r[b])).unwrap();
+        let best = (0..5)
+            .max_by(|&a, &b| log_r[a].total_cmp(&log_r[b]))
+            .unwrap();
         assert_eq!(best, 2, "centre of a 5-path");
         // Symmetry: ends tie, next-to-ends tie.
         assert!((log_r[0] - log_r[4]).abs() < 1e-9);

@@ -58,7 +58,13 @@ pub fn certainly_infected(
             if reached[e.dst.index()] {
                 continue;
             }
-            let f = g_factor(alpha, snapshot.state(u), e.sign, snapshot.state(e.dst), e.weight);
+            let f = g_factor(
+                alpha,
+                snapshot.state(u),
+                e.sign,
+                snapshot.state(e.dst),
+                e.weight,
+            );
             if f >= 1.0 {
                 reached[e.dst.index()] = true;
                 queue.push_back(e.dst);
@@ -111,8 +117,10 @@ pub fn minimum_certain_initiators(
             if mask.count_ones() as usize != size {
                 continue;
             }
-            let seeds: Vec<(NodeId, Sign)> =
-                (0..n).filter(|v| mask & (1 << v) != 0).map(as_seed).collect();
+            let seeds: Vec<(NodeId, Sign)> = (0..n)
+                .filter(|v| mask & (1 << v) != 0)
+                .map(as_seed)
+                .collect();
             if certainly_infected(snapshot, alpha, &seeds) {
                 found = Some(seeds);
                 break;

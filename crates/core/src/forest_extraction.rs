@@ -2,6 +2,7 @@ use crate::likelihood::g_factor_discounted;
 use isomit_diffusion::InfectedNetwork;
 use isomit_forest::{maximum_branching, weakly_connected_components, WeightedArc};
 use isomit_graph::{NodeId, NodeState, Sign};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One extracted cascade tree (Definition 7): a maximum-likelihood guess
@@ -130,56 +131,66 @@ pub fn usable_arcs(snapshot: &InfectedNetwork, alpha: f64) -> Vec<WeightedArc> {
 ///
 /// Returns the trees (ordered by root snapshot id) and the number of
 /// weakly-connected infected components.
-pub fn extract_cascade_forest(
-    snapshot: &InfectedNetwork,
-    alpha: f64,
-) -> (Vec<CascadeTree>, usize) {
+///
+/// Trees are materialized in parallel, one task per branching root
+/// (configure the worker count with `RAYON_NUM_THREADS` or a rayon
+/// `ThreadPool`); each tree depends only on its own root's reachable
+/// set, and the final sort by root snapshot id makes the output
+/// independent of thread count and scheduling order.
+pub fn extract_cascade_forest(snapshot: &InfectedNetwork, alpha: f64) -> (Vec<CascadeTree>, usize) {
     let component_count = weakly_connected_components(snapshot.graph()).len();
     let n = snapshot.node_count();
     let arcs = usable_arcs(snapshot, alpha);
     let branching = maximum_branching(n, &arcs);
     let children = branching.children();
 
-    let mut trees = Vec::new();
-    for root in branching.roots() {
-        // Local numbering by DFS pre-order from the root.
-        let mut nodes = Vec::new();
-        let mut local_children: Vec<Vec<usize>> = Vec::new();
-        let mut parent_edge: Vec<Option<(Sign, f64)>> = Vec::new();
-        let mut states = Vec::new();
-        let mut stack: Vec<(usize, Option<usize>)> = vec![(root, None)];
-        while let Some((sub_idx, parent_local)) = stack.pop() {
-            let local = nodes.len();
-            let sub_id = NodeId::from_index(sub_idx);
-            nodes.push(sub_id);
-            local_children.push(Vec::new());
-            states.push(snapshot.state(sub_id));
-            match parent_local {
-                None => parent_edge.push(None),
-                Some(pl) => {
-                    local_children[pl].push(local);
-                    let parent_sub = nodes[pl];
-                    let e = snapshot
-                        .graph()
-                        .edge(parent_sub, sub_id)
-                        .expect("branching arc exists in snapshot graph");
-                    parent_edge.push(Some((e.sign, e.weight)));
-                }
-            }
-            for &c in &children[sub_idx] {
-                stack.push((c, Some(local)));
-            }
-        }
-        trees.push(CascadeTree {
-            nodes,
-            root: 0,
-            children: local_children,
-            parent_edge,
-            states,
-        });
-    }
+    let roots = branching.roots();
+    let mut trees: Vec<CascadeTree> = roots
+        .par_iter()
+        .map(|&root| build_tree(snapshot, &children, root))
+        .collect();
     trees.sort_by_key(|t| t.snapshot_id(t.root()));
     (trees, component_count)
+}
+
+/// Materializes the cascade tree rooted at `root` (a snapshot-subgraph
+/// index) from the branching's children lists, numbering nodes by DFS
+/// pre-order from the root.
+fn build_tree(snapshot: &InfectedNetwork, children: &[Vec<usize>], root: usize) -> CascadeTree {
+    let mut nodes = Vec::new();
+    let mut local_children: Vec<Vec<usize>> = Vec::new();
+    let mut parent_edge: Vec<Option<(Sign, f64)>> = Vec::new();
+    let mut states = Vec::new();
+    let mut stack: Vec<(usize, Option<usize>)> = vec![(root, None)];
+    while let Some((sub_idx, parent_local)) = stack.pop() {
+        let local = nodes.len();
+        let sub_id = NodeId::from_index(sub_idx);
+        nodes.push(sub_id);
+        local_children.push(Vec::new());
+        states.push(snapshot.state(sub_id));
+        match parent_local {
+            None => parent_edge.push(None),
+            Some(pl) => {
+                local_children[pl].push(local);
+                let parent_sub = nodes[pl];
+                let e = snapshot
+                    .graph()
+                    .edge(parent_sub, sub_id)
+                    .expect("branching arc exists in snapshot graph");
+                parent_edge.push(Some((e.sign, e.weight)));
+            }
+        }
+        for &c in &children[sub_idx] {
+            stack.push((c, Some(local)));
+        }
+    }
+    CascadeTree {
+        nodes,
+        root: 0,
+        children: local_children,
+        parent_edge,
+        states,
+    }
 }
 
 /// Computes each tree node's **external support**: the noisy-or
@@ -233,8 +244,7 @@ pub fn external_support(snapshot: &InfectedNetwork, tree: &CascadeTree, alpha: f
     for local in 0..n {
         local_of.insert(tree.snapshot_id(local), local);
     }
-    let is_descendant =
-        |anc: usize, node: usize| tin[anc] <= tin[node] && tout[node] <= tout[anc];
+    let is_descendant = |anc: usize, node: usize| tin[anc] <= tin[node] && tout[node] <= tout[anc];
 
     (0..n)
         .map(|local| {
@@ -426,7 +436,9 @@ mod tests {
         assert_eq!(trees.len(), 1);
         let t = &trees[0];
         let support = external_support(&s, t, 2.0);
-        let local2 = (0..t.len()).find(|&l| t.snapshot_id(l) == NodeId(2)).unwrap();
+        let local2 = (0..t.len())
+            .find(|&l| t.snapshot_id(l) == NodeId(2))
+            .unwrap();
         assert!((support[local2] - 0.4).abs() < 1e-12);
         // The root has no parent, so every in-edge counts (it has none).
         assert_eq!(support[t.root()], 0.0);

@@ -35,7 +35,10 @@ pub fn sign_consistent(s_x: NodeState, edge_sign: Sign, s_y: NodeState) -> bool 
 /// Panics (debug) if `alpha < 1` or `w` outside `[0, 1]`.
 pub fn boosted_probability(alpha: f64, sign: Sign, weight: f64) -> f64 {
     debug_assert!(alpha >= 1.0, "alpha {alpha} must be >= 1");
-    debug_assert!((0.0..=1.0).contains(&weight), "weight {weight} out of range");
+    debug_assert!(
+        (0.0..=1.0).contains(&weight),
+        "weight {weight} out of range"
+    );
     match sign {
         Sign::Positive => (alpha * weight).min(1.0),
         Sign::Negative => weight,

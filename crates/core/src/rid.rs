@@ -4,6 +4,7 @@ use crate::error::RidError;
 use crate::forest_extraction::{external_support, extract_cascade_forest};
 use isomit_diffusion::InfectedNetwork;
 use isomit_graph::NodeState;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Which per-tree objective RID optimizes when selecting the number of
@@ -126,10 +127,13 @@ impl InitiatorDetector for Rid {
 
     fn detect(&self, snapshot: &InfectedNetwork) -> Detection {
         let (trees, component_count) = extract_cascade_forest(snapshot, self.alpha);
-        let mut initiators = Vec::new();
-        let mut objective = 0.0;
-        for tree in &trees {
-            let outcome = match self.objective {
+        // Trees are independent DP instances: solve them in parallel,
+        // collected back in tree order so the sequential objective fold
+        // below adds floats in a fixed order — the detection is
+        // bit-identical for every thread count.
+        let outcomes: Vec<_> = trees
+            .par_iter()
+            .map(|tree| match self.objective {
                 RidObjective::ProbabilitySum => {
                     let support = self
                         .external_support
@@ -141,10 +145,12 @@ impl InitiatorDetector for Rid {
                         support.as_deref(),
                     )
                 }
-                RidObjective::LogLikelihood => {
-                    TreeDp::solve_penalized(tree, self.alpha, self.beta)
-                }
-            };
+                RidObjective::LogLikelihood => TreeDp::solve_penalized(tree, self.alpha, self.beta),
+            })
+            .collect();
+        let mut initiators = Vec::new();
+        let mut objective = 0.0;
+        for outcome in outcomes {
             objective += outcome.objective;
             for (sub_id, state) in outcome.initiators {
                 let node = snapshot
@@ -224,11 +230,8 @@ mod tests {
             ],
         )
         .unwrap();
-        let seeds = SeedSet::from_pairs([
-            (NodeId(0), Sign::Positive),
-            (NodeId(2), Sign::Negative),
-        ])
-        .unwrap();
+        let seeds = SeedSet::from_pairs([(NodeId(0), Sign::Positive), (NodeId(2), Sign::Negative)])
+            .unwrap();
         let cascade = Mfc::new(3.0)
             .unwrap()
             .simulate(&g, &seeds, &mut StdRng::seed_from_u64(7));
@@ -278,7 +281,11 @@ mod tests {
                 Edge::new(
                     NodeId(i),
                     NodeId(i + 1),
-                    if i % 2 == 0 { Sign::Positive } else { Sign::Negative },
+                    if i % 2 == 0 {
+                        Sign::Positive
+                    } else {
+                        Sign::Negative
+                    },
                     0.4,
                 )
             }),

@@ -33,7 +33,13 @@ fn arb_snapshot(max_nodes: u32) -> impl Strategy<Value = InfectedNetwork> {
             let g = SignedDigraph::from_edges(n as usize, edges).unwrap();
             let states = states
                 .into_iter()
-                .map(|p| if p { NodeState::Positive } else { NodeState::Negative })
+                .map(|p| {
+                    if p {
+                        NodeState::Positive
+                    } else {
+                        NodeState::Negative
+                    }
+                })
                 .collect();
             InfectedNetwork::from_parts(g, states)
         })

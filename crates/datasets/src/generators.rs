@@ -52,7 +52,10 @@ pub struct PaConfig {
 impl PaConfig {
     fn validate(&self) {
         assert!(self.nodes >= 2, "need at least 2 nodes");
-        assert!(self.mean_out_degree > 0.0, "mean_out_degree must be positive");
+        assert!(
+            self.mean_out_degree > 0.0,
+            "mean_out_degree must be positive"
+        );
         assert!(
             (0.0..=1.0).contains(&self.positive_fraction),
             "positive_fraction must lie in [0, 1]"
@@ -138,8 +141,8 @@ pub fn preferential_attachment_signed<R: Rng + ?Sized>(
     // mean_out_degree), clamped to the number of available targets.
     // Closure edges come on top, so the base mean is scaled down to keep
     // the configured overall mean.
-    let base_mean = config.mean_out_degree
-        / ((1.0 + config.closure_probability) * (1.0 + config.reciprocity));
+    let base_mean =
+        config.mean_out_degree / ((1.0 + config.closure_probability) * (1.0 + config.reciprocity));
     let max_m = (2.0 * base_mean).max(1.0);
     let mut chosen: HashSet<u32> = HashSet::new();
     let mut closure_extra: HashSet<u32> = HashSet::new();
@@ -364,7 +367,10 @@ mod tests {
         };
         let g = preferential_attachment_signed(&cfg, &mut rng(2));
         let pos = g.positive_edge_fraction();
-        assert!((pos - 0.8).abs() < 0.05, "positive fraction {pos} far from 0.8");
+        assert!(
+            (pos - 0.8).abs() < 0.05,
+            "positive fraction {pos} far from 0.8"
+        );
     }
 
     #[test]

@@ -39,8 +39,8 @@ mod weighting;
 
 pub use generators::{
     epinions_like, epinions_like_scaled, erdos_renyi_signed, preferential_attachment_signed,
-    slashdot_like, slashdot_like_scaled, PaConfig, EPINIONS_EDGES, EPINIONS_NODES,
-    SLASHDOT_EDGES, SLASHDOT_NODES,
+    slashdot_like, slashdot_like_scaled, PaConfig, EPINIONS_EDGES, EPINIONS_NODES, SLASHDOT_EDGES,
+    SLASHDOT_NODES,
 };
 pub use polarized::{camp_of, polarized_communities, PolarizedConfig};
 pub use scenario::{build_scenario, Scenario, ScenarioConfig};

@@ -48,7 +48,10 @@ impl PolarizedConfig {
             self.nodes >= 2 * self.communities,
             "need at least 2 nodes per camp"
         );
-        assert!(self.mean_out_degree > 0.0, "mean_out_degree must be positive");
+        assert!(
+            self.mean_out_degree > 0.0,
+            "mean_out_degree must be positive"
+        );
         for (name, v) in [
             ("intra_fraction", self.intra_fraction),
             ("intra_positive", self.intra_positive),

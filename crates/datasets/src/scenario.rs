@@ -143,7 +143,10 @@ mod tests {
         assert_eq!(s.ground_truth.len(), 20);
         // Every seed is infected and present in the snapshot.
         for (node, sign) in s.ground_truth.iter() {
-            assert_eq!(s.cascade.state(node).sign(), Some(s.cascade.state(node).sign().unwrap()));
+            assert_eq!(
+                s.cascade.state(node).sign(),
+                Some(s.cascade.state(node).sign().unwrap())
+            );
             assert!(s.snapshot.mapping().to_subgraph(node).is_some());
             let _ = sign;
         }

@@ -102,34 +102,30 @@ mod tests {
     fn no_boosting_in_ic() {
         // A 0.3-weight positive edge fires ~30% of the time in IC even
         // though MFC at alpha=3 would fire ~90%.
-        let g = SignedDigraph::from_edges(
-            2,
-            [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.3)],
-        )
-        .unwrap();
+        let g =
+            SignedDigraph::from_edges(2, [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.3)])
+                .unwrap();
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         let model = IndependentCascade::new();
         let hits = (0..2000)
             .filter(|&s| model.simulate(&g, &seeds, &mut rng(s)).infected_count() == 2)
             .count();
         let rate = hits as f64 / 2000.0;
-        assert!((rate - 0.3).abs() < 0.05, "empirical rate {rate} far from 0.3");
+        assert!(
+            (rate - 0.3).abs() < 0.05,
+            "empirical rate {rate} far from 0.3"
+        );
     }
 
     #[test]
     fn no_flipping_in_ic() {
         // Both seeded with opposite opinions over a strong trust edge:
         // IC never revisits an active node.
-        let g = SignedDigraph::from_edges(
-            2,
-            [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.0)],
-        )
-        .unwrap();
-        let seeds = SeedSet::from_pairs([
-            (NodeId(0), Sign::Positive),
-            (NodeId(1), Sign::Negative),
-        ])
-        .unwrap();
+        let g =
+            SignedDigraph::from_edges(2, [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.0)])
+                .unwrap();
+        let seeds = SeedSet::from_pairs([(NodeId(0), Sign::Positive), (NodeId(1), Sign::Negative)])
+            .unwrap();
         let c = IndependentCascade::new().simulate(&g, &seeds, &mut rng(0));
         assert_eq!(c.state(NodeId(1)), NodeState::Negative);
         assert_eq!(c.flip_count(), 0);

@@ -1,5 +1,6 @@
 use crate::model::gen_unit;
 use crate::Cascade;
+use isomit_graph::json::{JsonError, Value};
 use isomit_graph::{NodeId, NodeMapping, NodeState, SignedDigraph};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -112,6 +113,79 @@ impl InfectedNetwork {
         self.states.iter().filter(|s| !s.is_unknown()).count()
     }
 
+    /// Encodes the snapshot as compact JSON:
+    /// `{"graph": <SignedDigraph>, "states": ["+", "-", ...],
+    /// "mapping": [orig_id, ...]}` — see `isomit_graph::json` for the
+    /// graph schema. Weights survive the round trip bit-exactly.
+    pub fn to_json_string(&self) -> String {
+        let states = self
+            .states
+            .iter()
+            .map(|s| Value::String(s.as_symbol().to_owned()))
+            .collect();
+        let mapping = self
+            .mapping
+            .original_ids()
+            .iter()
+            .map(|id| Value::Number(id.0 as f64))
+            .collect();
+        Value::Object(vec![
+            ("graph".into(), self.graph.to_json_value()),
+            ("states".into(), Value::Array(states)),
+            ("mapping".into(), Value::Array(mapping)),
+        ])
+        .to_json()
+    }
+
+    /// Decodes a snapshot produced by
+    /// [`to_json_string`](InfectedNetwork::to_json_string).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on malformed JSON, schema mismatches, or
+    /// inconsistent lengths between graph, states and mapping.
+    pub fn from_json_str(input: &str) -> Result<Self, JsonError> {
+        let doc = Value::parse(input)?;
+        let graph = SignedDigraph::from_json_value(doc.require("graph")?)?;
+        let states = doc
+            .require("states")?
+            .as_array()
+            .ok_or_else(|| JsonError::new("`states` must be an array"))?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .ok_or_else(|| JsonError::new("each state must be a string"))
+                    .and_then(NodeState::from_symbol)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let original_ids = doc
+            .require("mapping")?
+            .as_array()
+            .ok_or_else(|| JsonError::new("`mapping` must be an array"))?
+            .iter()
+            .map(|v| {
+                v.as_usize()
+                    .map(NodeId::from_index)
+                    .ok_or_else(|| JsonError::new("each mapping entry must be a node id"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if states.len() != graph.node_count() || original_ids.len() != graph.node_count() {
+            return Err(JsonError::new(
+                "graph, states and mapping disagree on node count",
+            ));
+        }
+        if states.contains(&NodeState::Inactive) {
+            return Err(JsonError::new(
+                "inactive nodes cannot appear in an infected network",
+            ));
+        }
+        Ok(InfectedNetwork {
+            graph,
+            states,
+            mapping: NodeMapping::from_original_ids(original_ids),
+        })
+    }
+
     /// Returns a copy with each node's state independently replaced by
     /// [`NodeState::Unknown`] with probability `fraction` — the paper's
     /// setting where "the states of many nodes in large-scale networks
@@ -189,7 +263,11 @@ mod tests {
         // States carried over in subgraph order 0, 1, 2.
         assert_eq!(
             inf.states(),
-            &[NodeState::Positive, NodeState::Positive, NodeState::Negative]
+            &[
+                NodeState::Positive,
+                NodeState::Positive,
+                NodeState::Negative
+            ]
         );
         // Edges among infected survive; edge from node 3 does not.
         assert_eq!(inf.graph().edge_count(), 2);
@@ -197,11 +275,9 @@ mod tests {
 
     #[test]
     fn from_parts_identity_mapping() {
-        let g = SignedDigraph::from_edges(
-            2,
-            [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5)],
-        )
-        .unwrap();
+        let g =
+            SignedDigraph::from_edges(2, [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5)])
+                .unwrap();
         let inf = InfectedNetwork::from_parts(g, vec![NodeState::Positive, NodeState::Negative]);
         assert_eq!(inf.mapping().to_original(NodeId(1)), Some(NodeId(1)));
         assert_eq!(inf.state(NodeId(1)), NodeState::Negative);
@@ -242,6 +318,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let masked = inf.with_masked_states(0.3, &mut rng);
         let hidden = 1000 - masked.observed_count();
-        assert!((250..=350).contains(&hidden), "hidden {hidden} far from 300");
+        assert!(
+            (250..=350).contains(&hidden),
+            "hidden {hidden} far from 300"
+        );
     }
 }

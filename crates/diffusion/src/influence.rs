@@ -45,8 +45,8 @@ fn estimate_spread<M: DiffusionModel + ?Sized>(
     runs: usize,
     rng: &mut dyn RngCore,
 ) -> f64 {
-    let seed_set = SeedSet::from_pairs(seeds.iter().map(|&n| (n, Sign::Positive)))
-        .expect("distinct seeds");
+    let seed_set =
+        SeedSet::from_pairs(seeds.iter().map(|&n| (n, Sign::Positive))).expect("distinct seeds");
     let total: usize = (0..runs)
         .map(|_| model.simulate(graph, &seed_set, rng).infected_count())
         .sum();
@@ -190,7 +190,11 @@ mod tests {
                 Edge::new(
                     NodeId(i),
                     NodeId(i + 1),
-                    if i % 2 == 0 { Sign::Positive } else { Sign::Negative },
+                    if i % 2 == 0 {
+                        Sign::Positive
+                    } else {
+                        Sign::Negative
+                    },
                     0.5,
                 )
             }),

@@ -70,8 +70,11 @@ pub use influence::{maximize_influence, InfluenceResult};
 pub use lt::LinearThreshold;
 pub use mfc::Mfc;
 pub use model::{mean_infected, DiffusionModel};
-pub use montecarlo::{estimate_infection_probabilities, InfectionEstimate};
-pub use timeline::{CascadeTimeline, RoundStats};
+pub use montecarlo::{
+    estimate_infection_probabilities, estimate_infection_probabilities_seeded,
+    par_estimate_infection_probabilities, InfectionEstimate,
+};
 pub use pic::PolarityIc;
 pub use seed::SeedSet;
 pub use sir::Sir;
+pub use timeline::{CascadeTimeline, RoundStats};

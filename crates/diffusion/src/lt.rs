@@ -67,7 +67,8 @@ impl DiffusionModel for LinearThreshold {
                 for e in graph.in_edges(v) {
                     if let Some(su) = cascade.state(e.src).sign() {
                         active_weight += e.weight;
-                        let contribution = e.weight * f64::from(su.value()) * f64::from(e.sign.value());
+                        let contribution =
+                            e.weight * f64::from(su.value()) * f64::from(e.sign.value());
                         signed_influence += contribution;
                         let candidate_state = su * e.sign;
                         if best.is_none_or(|(bw, _, _)| e.weight > bw) {
@@ -119,11 +120,9 @@ mod tests {
     fn full_weight_neighbor_always_activates() {
         // v's only in-neighbour is active with normalized weight 1 ≥ any
         // threshold in [0, 1).
-        let g = SignedDigraph::from_edges(
-            2,
-            [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.7)],
-        )
-        .unwrap();
+        let g =
+            SignedDigraph::from_edges(2, [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.7)])
+                .unwrap();
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         for s in 0..20 {
             let c = LinearThreshold::new().simulate(&g, &seeds, &mut rng(s));
@@ -143,11 +142,8 @@ mod tests {
             ],
         )
         .unwrap();
-        let seeds = SeedSet::from_pairs([
-            (NodeId(0), Sign::Positive),
-            (NodeId(1), Sign::Positive),
-        ])
-        .unwrap();
+        let seeds = SeedSet::from_pairs([(NodeId(0), Sign::Positive), (NodeId(1), Sign::Positive)])
+            .unwrap();
         for s in 0..20 {
             let c = LinearThreshold::new().simulate(&g, &seeds, &mut rng(s));
             assert_eq!(c.state(NodeId(2)), NodeState::Positive);
@@ -156,11 +152,9 @@ mod tests {
 
     #[test]
     fn negative_majority_gives_negative_opinion() {
-        let g = SignedDigraph::from_edges(
-            2,
-            [Edge::new(NodeId(0), NodeId(1), Sign::Negative, 0.8)],
-        )
-        .unwrap();
+        let g =
+            SignedDigraph::from_edges(2, [Edge::new(NodeId(0), NodeId(1), Sign::Negative, 0.8)])
+                .unwrap();
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         for s in 0..20 {
             let c = LinearThreshold::new().simulate(&g, &seeds, &mut rng(s));
@@ -170,11 +164,9 @@ mod tests {
 
     #[test]
     fn isolated_nodes_stay_inactive() {
-        let g = SignedDigraph::from_edges(
-            3,
-            [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.0)],
-        )
-        .unwrap();
+        let g =
+            SignedDigraph::from_edges(3, [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.0)])
+                .unwrap();
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         let c = LinearThreshold::new().simulate(&g, &seeds, &mut rng(0));
         assert_eq!(c.state(NodeId(2)), NodeState::Inactive);

@@ -260,7 +260,10 @@ mod tests {
         let hits = (0..200)
             .filter(|&s| model.simulate(&g, &seeds, &mut rng(s)).infected_count() == 2)
             .count();
-        assert!(hits > 195, "boosted edge should almost always fire, got {hits}");
+        assert!(
+            hits > 195,
+            "boosted edge should almost always fire, got {hits}"
+        );
     }
 
     #[test]
@@ -268,15 +271,16 @@ mod tests {
         // Node 2 is seeded negative; node 0 (positive seed) reaches it via
         // a negative edge → cannot flip. Via positive edge → can flip.
         let negative_path = g(&[(0, 2, Sign::Negative, 1.0)]);
-        let seeds = SeedSet::from_pairs([
-            (NodeId(0), Sign::Positive),
-            (NodeId(2), Sign::Negative),
-        ])
-        .unwrap();
+        let seeds = SeedSet::from_pairs([(NodeId(0), Sign::Positive), (NodeId(2), Sign::Negative)])
+            .unwrap();
         let c = Mfc::new(2.0)
             .unwrap()
             .simulate(&negative_path, &seeds, &mut rng(1));
-        assert_eq!(c.state(NodeId(2)), NodeState::Negative, "distrust cannot flip");
+        assert_eq!(
+            c.state(NodeId(2)),
+            NodeState::Negative,
+            "distrust cannot flip"
+        );
         assert_eq!(c.flip_count(), 0);
 
         let positive_path = g(&[(0, 2, Sign::Positive, 1.0)]);
@@ -294,11 +298,8 @@ mod tests {
     fn same_state_neighbors_are_not_reattempted() {
         // 0 (+) and 1 (+) both seeded; positive edge 0 -> 1 is ineligible.
         let g = g(&[(0, 1, Sign::Positive, 1.0)]);
-        let seeds = SeedSet::from_pairs([
-            (NodeId(0), Sign::Positive),
-            (NodeId(1), Sign::Positive),
-        ])
-        .unwrap();
+        let seeds = SeedSet::from_pairs([(NodeId(0), Sign::Positive), (NodeId(1), Sign::Positive)])
+            .unwrap();
         let c = Mfc::new(2.0).unwrap().simulate(&g, &seeds, &mut rng(0));
         assert!(c.events().is_empty());
     }
@@ -308,11 +309,8 @@ mod tests {
         // 0 (+) -> 1 (-, seeded) over trust; after the flip, 1 spreads +1
         // to 2 over a trust edge.
         let g = g(&[(0, 1, Sign::Positive, 1.0), (1, 2, Sign::Positive, 1.0)]);
-        let seeds = SeedSet::from_pairs([
-            (NodeId(0), Sign::Positive),
-            (NodeId(1), Sign::Negative),
-        ])
-        .unwrap();
+        let seeds = SeedSet::from_pairs([(NodeId(0), Sign::Positive), (NodeId(1), Sign::Negative)])
+            .unwrap();
         let c = Mfc::new(2.0).unwrap().simulate(&g, &seeds, &mut rng(3));
         assert_eq!(c.state(NodeId(1)), NodeState::Positive);
         assert_eq!(c.state(NodeId(2)), NodeState::Positive);
@@ -350,11 +348,8 @@ mod tests {
             (2, 0, Sign::Positive, 0.9),
             (3, 2, Sign::Positive, 0.9),
         ]);
-        let seeds = SeedSet::from_pairs([
-            (NodeId(2), Sign::Positive),
-            (NodeId(3), Sign::Negative),
-        ])
-        .unwrap();
+        let seeds = SeedSet::from_pairs([(NodeId(2), Sign::Positive), (NodeId(3), Sign::Negative)])
+            .unwrap();
         let c = Mfc::new(2.0)
             .unwrap()
             .with_max_rounds(1_000)

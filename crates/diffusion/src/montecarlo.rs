@@ -3,10 +3,23 @@
 //! validate analytical formulas and to answer "how likely is user X to
 //! end up believing the rumor?" questions on networks too large for
 //! exact path enumeration.
+//!
+//! # Determinism
+//!
+//! The seeded entry points give every run its own RNG stream derived
+//! from a master seed
+//! (`StdRng::seed_from_u64(master ^ run_index · RUN_STREAM)`), so run
+//! `i` draws the same numbers no matter which thread executes it or in
+//! what order. Per-run tallies are `u32` counters whose merge
+//! (element-wise addition) is commutative and associative, which makes
+//! [`par_estimate_infection_probabilities`] **bit-identical** to
+//! [`estimate_infection_probabilities_seeded`] for every thread count.
 
 use crate::{DiffusionModel, SeedSet};
 use isomit_graph::{NodeId, SignedDigraph};
-use rand::RngCore;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Empirical per-node outcome frequencies over repeated simulations.
@@ -93,6 +106,134 @@ where
     }
 }
 
+/// Per-worker outcome tallies; merging two is element-wise addition,
+/// which commutes — the property the parallel estimator's determinism
+/// rests on.
+struct Tally {
+    infected: Vec<u32>,
+    positive: Vec<u32>,
+}
+
+impl Tally {
+    fn new(n: usize) -> Self {
+        Tally {
+            infected: vec![0u32; n],
+            positive: vec![0u32; n],
+        }
+    }
+
+    fn record(&mut self, cascade: &crate::Cascade) {
+        for (i, state) in cascade.states().iter().enumerate() {
+            if state.is_active() {
+                self.infected[i] += 1;
+            }
+            if *state == isomit_graph::NodeState::Positive {
+                self.positive[i] += 1;
+            }
+        }
+    }
+
+    fn merge(mut self, other: Tally) -> Tally {
+        for (a, b) in self.infected.iter_mut().zip(&other.infected) {
+            *a += b;
+        }
+        for (a, b) in self.positive.iter_mut().zip(&other.positive) {
+            *a += b;
+        }
+        self
+    }
+}
+
+/// Odd multiplier (⌊2⁶⁴/φ⌋) spreading run indices across the seed
+/// space. A plain `master ^ run_index` would be wrong here: XOR with a
+/// small master merely permutes `{0..runs}`, so two small masters can
+/// cover the *same set* of per-run streams and — tallies being
+/// order-independent sums — yield identical aggregates.
+const RUN_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The RNG stream for run `run_index` of a master seed: fold the
+/// spread index into the seed, then let `seed_from_u64`'s SplitMix64
+/// expansion decorrelate the resulting values.
+#[inline]
+fn run_rng(master_seed: u64, run_index: usize) -> StdRng {
+    StdRng::seed_from_u64(master_seed ^ (run_index as u64).wrapping_mul(RUN_STREAM))
+}
+
+/// Sequential reference implementation of the seeded estimator: runs
+/// `runs` independent simulations, run `i` drawing from its own
+/// index-derived stream of `master_seed`.
+///
+/// [`par_estimate_infection_probabilities`] produces bit-identical
+/// output; keep this path for single-threaded use and as the regression
+/// oracle.
+///
+/// # Panics
+///
+/// Panics if `runs == 0` or the seed set is invalid for `graph`.
+pub fn estimate_infection_probabilities_seeded<M>(
+    model: &M,
+    graph: &SignedDigraph,
+    seeds: &SeedSet,
+    runs: usize,
+    master_seed: u64,
+) -> InfectionEstimate
+where
+    M: DiffusionModel + ?Sized,
+{
+    assert!(runs > 0, "runs must be positive");
+    let mut tally = Tally::new(graph.node_count());
+    for run in 0..runs {
+        let mut rng = run_rng(master_seed, run);
+        tally.record(&model.simulate(graph, seeds, &mut rng));
+    }
+    InfectionEstimate {
+        runs,
+        infected: tally.infected,
+        positive: tally.positive,
+    }
+}
+
+/// Parallel estimator: distributes the `runs` simulations across the
+/// current rayon worker count (configure with `RAYON_NUM_THREADS` or
+/// `ThreadPool::install`), **bit-identical** to
+/// [`estimate_infection_probabilities_seeded`] with the same arguments.
+///
+/// Each run seeds its own [`StdRng`] from its index-derived stream of
+/// `master_seed` and workers accumulate into thread-local tallies that
+/// are merged by element-wise addition, so neither scheduling order nor
+/// thread count can influence the result.
+///
+/// # Panics
+///
+/// Panics if `runs == 0` or the seed set is invalid for `graph`.
+pub fn par_estimate_infection_probabilities<M>(
+    model: &M,
+    graph: &SignedDigraph,
+    seeds: &SeedSet,
+    runs: usize,
+    master_seed: u64,
+) -> InfectionEstimate
+where
+    M: DiffusionModel + Sync + ?Sized,
+{
+    assert!(runs > 0, "runs must be positive");
+    let n = graph.node_count();
+    let tally = (0..runs).into_par_iter().fold_reduce(
+        || Tally::new(n),
+        |mut acc, run| {
+            let mut rng = run_rng(master_seed, run);
+            acc.record(&model.simulate(graph, seeds, &mut rng));
+            acc
+        },
+        Tally::merge,
+    );
+    InfectionEstimate {
+        runs,
+        infected: tally.infected,
+        positive: tally.positive,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,20 +279,13 @@ mod tests {
 
     #[test]
     fn mfc_boost_shows_up_in_estimates() {
-        let g = SignedDigraph::from_edges(
-            2,
-            [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.3)],
-        )
-        .unwrap();
+        let g =
+            SignedDigraph::from_edges(2, [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.3)])
+                .unwrap();
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         let mut rng = StdRng::seed_from_u64(1);
-        let est = estimate_infection_probabilities(
-            &Mfc::new(3.0).unwrap(),
-            &g,
-            &seeds,
-            20_000,
-            &mut rng,
-        );
+        let est =
+            estimate_infection_probabilities(&Mfc::new(3.0).unwrap(), &g, &seeds, 20_000, &mut rng);
         // Boosted probability min(1, 3·0.3) = 0.9.
         let p = est.infection_probability(NodeId(1));
         assert!((p - 0.9).abs() < 0.02, "estimated {p}");
@@ -159,11 +293,9 @@ mod tests {
 
     #[test]
     fn expected_infected_sums_probabilities() {
-        let g = SignedDigraph::from_edges(
-            2,
-            [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5)],
-        )
-        .unwrap();
+        let g =
+            SignedDigraph::from_edges(2, [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5)])
+                .unwrap();
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         let mut rng = StdRng::seed_from_u64(2);
         let est = estimate_infection_probabilities(

@@ -114,16 +114,12 @@ mod tests {
     fn negative_opinion_is_damped() {
         // Same weight; adoption of a negative opinion (via a negative
         // edge from a positive source) should fire less often.
-        let pos = SignedDigraph::from_edges(
-            2,
-            [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5)],
-        )
-        .unwrap();
-        let neg = SignedDigraph::from_edges(
-            2,
-            [Edge::new(NodeId(0), NodeId(1), Sign::Negative, 0.5)],
-        )
-        .unwrap();
+        let pos =
+            SignedDigraph::from_edges(2, [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5)])
+                .unwrap();
+        let neg =
+            SignedDigraph::from_edges(2, [Edge::new(NodeId(0), NodeId(1), Sign::Negative, 0.5)])
+                .unwrap();
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         let model = PolarityIc::new(0.2).unwrap();
         let fire = |g: &SignedDigraph| {
@@ -142,29 +138,26 @@ mod tests {
     #[test]
     fn delta_one_matches_plain_sign_aware_ic() {
         // With delta = 1 both polarities use the raw weight.
-        let g = SignedDigraph::from_edges(
-            2,
-            [Edge::new(NodeId(0), NodeId(1), Sign::Negative, 1.0)],
-        )
-        .unwrap();
+        let g =
+            SignedDigraph::from_edges(2, [Edge::new(NodeId(0), NodeId(1), Sign::Negative, 1.0)])
+                .unwrap();
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
-        let c = PolarityIc::new(1.0).unwrap().simulate(&g, &seeds, &mut rng(0));
+        let c = PolarityIc::new(1.0)
+            .unwrap()
+            .simulate(&g, &seeds, &mut rng(0));
         assert_eq!(c.state(NodeId(1)), NodeState::Negative);
     }
 
     #[test]
     fn no_flipping() {
-        let g = SignedDigraph::from_edges(
-            2,
-            [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.0)],
-        )
-        .unwrap();
-        let seeds = SeedSet::from_pairs([
-            (NodeId(0), Sign::Positive),
-            (NodeId(1), Sign::Negative),
-        ])
-        .unwrap();
-        let c = PolarityIc::new(0.5).unwrap().simulate(&g, &seeds, &mut rng(0));
+        let g =
+            SignedDigraph::from_edges(2, [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.0)])
+                .unwrap();
+        let seeds = SeedSet::from_pairs([(NodeId(0), Sign::Positive), (NodeId(1), Sign::Negative)])
+            .unwrap();
+        let c = PolarityIc::new(0.5)
+            .unwrap()
+            .simulate(&g, &seeds, &mut rng(0));
         assert_eq!(c.state(NodeId(1)), NodeState::Negative);
         assert_eq!(c.flip_count(), 0);
     }

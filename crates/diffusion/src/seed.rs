@@ -192,19 +192,16 @@ mod tests {
 
     fn graph(n: usize) -> SignedDigraph {
         let mut b = SignedDigraphBuilder::with_nodes(n);
-        b.extend((0..n as u32 - 1).map(|i| {
-            Edge::new(NodeId(i), NodeId(i + 1), Sign::Positive, 0.5)
-        }));
+        b.extend(
+            (0..n as u32 - 1).map(|i| Edge::new(NodeId(i), NodeId(i + 1), Sign::Positive, 0.5)),
+        );
         b.build()
     }
 
     #[test]
     fn duplicate_seed_rejected() {
-        let err = SeedSet::from_pairs([
-            (NodeId(1), Sign::Positive),
-            (NodeId(1), Sign::Negative),
-        ])
-        .unwrap_err();
+        let err = SeedSet::from_pairs([(NodeId(1), Sign::Positive), (NodeId(1), Sign::Negative)])
+            .unwrap_err();
         assert_eq!(err, DiffusionError::DuplicateSeed(NodeId(1)));
     }
 

@@ -140,11 +140,9 @@ mod tests {
     fn instant_recovery_reduces_to_one_shot() {
         // gamma = 1: every infectious node recovers after one round, so a
         // 3-chain needs the edge to fire first try each hop.
-        let g = SignedDigraph::from_edges(
-            2,
-            [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.0)],
-        )
-        .unwrap();
+        let g =
+            SignedDigraph::from_edges(2, [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.0)])
+                .unwrap();
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         let c = Sir::new(1.0).unwrap().simulate(&g, &seeds, &mut rng(0));
         assert_eq!(c.infected_count(), 2);
@@ -155,26 +153,25 @@ mod tests {
     fn persistent_infection_eventually_crosses_weak_edges() {
         // Weight 0.05 edge, gamma 0.001: transmit-before-recover chance
         // is ~ p / (p + γ) ≈ 0.98, so transmission is near-certain.
-        let g = SignedDigraph::from_edges(
-            2,
-            [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.05)],
-        )
-        .unwrap();
+        let g =
+            SignedDigraph::from_edges(2, [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.05)])
+                .unwrap();
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         let model = Sir::new(0.001).unwrap();
         let hits = (0..100)
             .filter(|&s| model.simulate(&g, &seeds, &mut rng(s)).infected_count() == 2)
             .count();
-        assert!(hits > 90, "weak edge should usually fire eventually, got {hits}");
+        assert!(
+            hits > 90,
+            "weak edge should usually fire eventually, got {hits}"
+        );
     }
 
     #[test]
     fn opinion_follows_sign_product() {
-        let g = SignedDigraph::from_edges(
-            2,
-            [Edge::new(NodeId(0), NodeId(1), Sign::Negative, 1.0)],
-        )
-        .unwrap();
+        let g =
+            SignedDigraph::from_edges(2, [Edge::new(NodeId(0), NodeId(1), Sign::Negative, 1.0)])
+                .unwrap();
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         let c = Sir::new(0.5).unwrap().simulate(&g, &seeds, &mut rng(1));
         assert_eq!(c.state(NodeId(1)), NodeState::Negative);

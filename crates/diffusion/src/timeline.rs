@@ -57,12 +57,7 @@ impl CascadeTimeline {
     pub fn from_cascade(cascade: &Cascade) -> Self {
         let n = cascade.states().len();
         let mut infection_round: Vec<Option<usize>> = vec![None; n];
-        let last_round = cascade
-            .events()
-            .iter()
-            .map(|e| e.step)
-            .max()
-            .unwrap_or(0);
+        let last_round = cascade.events().iter().map(|e| e.step).max().unwrap_or(0);
         let mut rounds = vec![RoundStats::default(); last_round];
         for event in cascade.events() {
             let slot = &mut rounds[event.step - 1];
@@ -203,16 +198,11 @@ mod tests {
     #[test]
     fn flips_are_counted_separately() {
         // 0 (+ seed) and 1 (- seed) joined by a trust edge: 1 flips.
-        let g = SignedDigraph::from_edges(
-            2,
-            [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.0)],
-        )
-        .unwrap();
-        let seeds = SeedSet::from_pairs([
-            (NodeId(0), Sign::Positive),
-            (NodeId(1), Sign::Negative),
-        ])
-        .unwrap();
+        let g =
+            SignedDigraph::from_edges(2, [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.0)])
+                .unwrap();
+        let seeds = SeedSet::from_pairs([(NodeId(0), Sign::Positive), (NodeId(1), Sign::Negative)])
+            .unwrap();
         let cascade = Mfc::new(2.0)
             .unwrap()
             .simulate(&g, &seeds, &mut StdRng::seed_from_u64(0));
@@ -226,11 +216,9 @@ mod tests {
 
     #[test]
     fn empty_cascade() {
-        let g = SignedDigraph::from_edges(
-            2,
-            [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.0)],
-        )
-        .unwrap();
+        let g =
+            SignedDigraph::from_edges(2, [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.0)])
+                .unwrap();
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         let cascade = Mfc::new(2.0)
             .unwrap()

@@ -2,8 +2,8 @@
 //! that must hold for every random graph, seed set and RNG stream.
 
 use isomit_diffusion::{
-    Cascade, DiffusionModel, IndependentCascade, InfectedNetwork, LinearThreshold, Mfc,
-    PolarityIc, SeedSet, Sir,
+    Cascade, DiffusionModel, IndependentCascade, InfectedNetwork, LinearThreshold, Mfc, PolarityIc,
+    SeedSet, Sir,
 };
 use isomit_graph::{Edge, NodeId, NodeState, Sign, SignedDigraph};
 use proptest::prelude::*;
@@ -74,10 +74,7 @@ fn check_common_invariants(g: &SignedDigraph, seeds: &SeedSet, c: &Cascade) {
                 None => break,
             }
         }
-        assert!(
-            seeds.contains(cur),
-            "walk from {v} ended at non-seed {cur}"
-        );
+        assert!(seeds.contains(cur), "walk from {v} ended at non-seed {cur}");
     }
     // Non-infected nodes have no parents.
     for u in g.nodes() {

@@ -310,7 +310,11 @@ mod tests {
         children[0] = (1..10).collect();
         let bt = binarize(0, &children);
         assert_eq!(bt.real_count(), 10);
-        assert!(bt.dummy_count() <= 7, "too many dummies: {}", bt.dummy_count());
+        assert!(
+            bt.dummy_count() <= 7,
+            "too many dummies: {}",
+            bt.dummy_count()
+        );
         check_ancestry(&bt, &children);
         // Depth of any leaf at most 1 + ceil(log2 9) = 5.
         for node in 0..bt.len() {
@@ -355,7 +359,15 @@ mod tests {
 
     #[test]
     fn real_ids_preserved_exactly() {
-        let children = vec![vec![3, 1], vec![2], vec![], vec![4, 5, 6], vec![], vec![], vec![]];
+        let children = vec![
+            vec![3, 1],
+            vec![2],
+            vec![],
+            vec![4, 5, 6],
+            vec![],
+            vec![],
+            vec![],
+        ];
         let bt = binarize(0, &children);
         assert_eq!(real_ids(&bt), vec![0, 1, 2, 3, 4, 5, 6]);
         check_ancestry(&bt, &children);

@@ -195,8 +195,7 @@ pub fn maximum_branching(n: usize, arcs: &[WeightedArc]) -> Branching {
                 None => true,
                 Some(cur) => {
                     let c = &edges[cur];
-                    e.weight > c.weight
-                        || (e.weight == c.weight && c.root_edge && !e.root_edge)
+                    e.weight > c.weight || (e.weight == c.weight && c.root_edge && !e.root_edge)
                 }
             };
             if better {
@@ -580,7 +579,15 @@ mod tests {
             rec(v + 1, n, in_arcs, arcs, parent, weight, best);
             for &i in &in_arcs[v] {
                 parent[v] = Some(arcs[i].src);
-                rec(v + 1, n, in_arcs, arcs, parent, weight + arcs[i].weight, best);
+                rec(
+                    v + 1,
+                    n,
+                    in_arcs,
+                    arcs,
+                    parent,
+                    weight + arcs[i].weight,
+                    best,
+                );
             }
             parent[v] = None;
         }

@@ -48,7 +48,15 @@ fn brute_force_weight(n: usize, arcs: &[WeightedArc]) -> f64 {
         rec(v + 1, n, in_arcs, arcs, parent, weight, best);
         for &i in &in_arcs[v] {
             parent[v] = Some(arcs[i].src);
-            rec(v + 1, n, in_arcs, arcs, parent, weight + arcs[i].weight, best);
+            rec(
+                v + 1,
+                n,
+                in_arcs,
+                arcs,
+                parent,
+                weight + arcs[i].weight,
+                best,
+            );
         }
         parent[v] = None;
     }
@@ -60,10 +68,10 @@ fn brute_force_weight(n: usize, arcs: &[WeightedArc]) -> f64 {
 
 fn arb_arcs() -> impl Strategy<Value = (usize, Vec<WeightedArc>)> {
     (2usize..7).prop_flat_map(|n| {
-        let arc = (0..n, 0..n, 0.01f64..1.0).prop_filter_map(
-            "no self-loops",
-            move |(src, dst, weight)| (src != dst).then_some(WeightedArc { src, dst, weight }),
-        );
+        let arc = (0..n, 0..n, 0.01f64..1.0)
+            .prop_filter_map("no self-loops", move |(src, dst, weight)| {
+                (src != dst).then_some(WeightedArc { src, dst, weight })
+            });
         proptest::collection::vec(arc, 0..14).prop_map(move |arcs| (n, arcs))
     })
 }

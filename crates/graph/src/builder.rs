@@ -121,7 +121,8 @@ mod tests {
     #[test]
     fn grows_node_set_from_edges() {
         let mut b = SignedDigraphBuilder::new();
-        b.add_edge(NodeId(5), NodeId(2), Sign::Negative, 0.3).unwrap();
+        b.add_edge(NodeId(5), NodeId(2), Sign::Negative, 0.3)
+            .unwrap();
         assert_eq!(b.node_count(), 6);
         let g = b.build();
         assert_eq!(g.node_count(), 6);
@@ -178,8 +179,10 @@ mod tests {
     #[test]
     fn boundary_weights_accepted() {
         let mut b = SignedDigraphBuilder::new();
-        b.add_edge(NodeId(0), NodeId(1), Sign::Positive, 0.0).unwrap();
-        b.add_edge(NodeId(1), NodeId(0), Sign::Positive, 1.0).unwrap();
+        b.add_edge(NodeId(0), NodeId(1), Sign::Positive, 0.0)
+            .unwrap();
+        b.add_edge(NodeId(1), NodeId(0), Sign::Positive, 1.0)
+            .unwrap();
         assert_eq!(b.build().edge_count(), 2);
     }
 }

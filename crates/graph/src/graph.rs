@@ -385,11 +385,9 @@ mod tests {
 
     #[test]
     fn invalid_weight_rejected() {
-        let err = SignedDigraph::from_edges(
-            2,
-            [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.5)],
-        )
-        .unwrap_err();
+        let err =
+            SignedDigraph::from_edges(2, [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.5)])
+                .unwrap_err();
         assert!(matches!(err, GraphError::InvalidWeight { .. }));
         let err = SignedDigraph::from_edges(
             2,
@@ -401,11 +399,9 @@ mod tests {
 
     #[test]
     fn self_loop_rejected() {
-        let err = SignedDigraph::from_edges(
-            2,
-            [Edge::new(NodeId(1), NodeId(1), Sign::Positive, 0.5)],
-        )
-        .unwrap_err();
+        let err =
+            SignedDigraph::from_edges(2, [Edge::new(NodeId(1), NodeId(1), Sign::Positive, 0.5)])
+                .unwrap_err();
         assert_eq!(err, GraphError::SelfLoop(NodeId(1)));
     }
 
@@ -420,11 +416,9 @@ mod tests {
 
     #[test]
     fn isolated_nodes_allowed() {
-        let g = SignedDigraph::from_edges(
-            10,
-            [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5)],
-        )
-        .unwrap();
+        let g =
+            SignedDigraph::from_edges(10, [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5)])
+                .unwrap();
         assert_eq!(g.node_count(), 10);
         assert_eq!(g.out_degree(NodeId(7)), 0);
         assert_eq!(g.in_degree(NodeId(7)), 0);
@@ -438,10 +432,7 @@ mod tests {
         let e = h.edge(NodeId(0), NodeId(1)).unwrap();
         assert!((e.weight - 0.45).abs() < 1e-12);
         // Signs untouched.
-        assert_eq!(
-            h.edge(NodeId(2), NodeId(3)).unwrap().sign,
-            Sign::Negative
-        );
+        assert_eq!(h.edge(NodeId(2), NodeId(3)).unwrap().sign, Sign::Negative);
     }
 
     #[test]
@@ -465,10 +456,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let g = diamond();
-        let json = serde_json::to_string(&g).unwrap();
-        let back: SignedDigraph = serde_json::from_str(&json).unwrap();
+        let json = g.to_json_string();
+        let back = SignedDigraph::from_json_str(&json).unwrap();
         assert_eq!(back, g);
     }
 }

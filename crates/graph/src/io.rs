@@ -44,8 +44,7 @@ pub fn read_snap<R: Read>(reader: R) -> Result<SignedDigraph, GraphError> {
             continue;
         }
         let mut fields = trimmed.split_whitespace();
-        let (src, dst, sign) = match (fields.next(), fields.next(), fields.next(), fields.next())
-        {
+        let (src, dst, sign) = match (fields.next(), fields.next(), fields.next(), fields.next()) {
             (Some(a), Some(b), Some(s), None) => (a, b, s),
             _ => {
                 return Err(GraphError::Parse {
@@ -98,7 +97,12 @@ pub fn read_snap_file<P: AsRef<Path>>(path: P) -> Result<SignedDigraph, GraphErr
 ///
 /// Returns [`GraphError::Io`] if the writer fails.
 pub fn write_snap<W: Write>(graph: &SignedDigraph, mut writer: W) -> Result<(), GraphError> {
-    writeln!(writer, "# Directed signed network: {} nodes, {} edges", graph.node_count(), graph.edge_count())?;
+    writeln!(
+        writer,
+        "# Directed signed network: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    )?;
     writeln!(writer, "# FromNodeId\tToNodeId\tSign")?;
     for e in graph.edges() {
         writeln!(writer, "{}\t{}\t{}", e.src.0, e.dst.0, e.sign.value())?;
@@ -123,7 +127,14 @@ pub fn write_weighted<W: Write>(graph: &SignedDigraph, mut writer: W) -> Result<
     writeln!(writer, "# FromNodeId	ToNodeId	Sign	Weight")?;
     for e in graph.edges() {
         // `{:?}` prints f64 with full round-trip precision.
-        writeln!(writer, "{}	{}	{}	{:?}", e.src.0, e.dst.0, e.sign.value(), e.weight)?;
+        writeln!(
+            writer,
+            "{}	{}	{}	{:?}",
+            e.src.0,
+            e.dst.0,
+            e.sign.value(),
+            e.weight
+        )?;
     }
     Ok(())
 }
@@ -285,19 +296,28 @@ mod tests {
     #[test]
     fn weighted_rejects_malformed_lines() {
         assert!(matches!(
-            read_weighted("0 1 1
-".as_bytes()),
+            read_weighted(
+                "0 1 1
+"
+                .as_bytes()
+            ),
             Err(GraphError::Parse { .. })
         ));
         assert!(matches!(
-            read_weighted("0 1 1 nan?
-".as_bytes()),
+            read_weighted(
+                "0 1 1 nan?
+"
+                .as_bytes()
+            ),
             Err(GraphError::Parse { .. })
         ));
         // Out-of-range weight surfaces as the builder's validation error.
         assert!(matches!(
-            read_weighted("0 1 1 3.5
-".as_bytes()),
+            read_weighted(
+                "0 1 1 3.5
+"
+                .as_bytes()
+            ),
             Err(GraphError::InvalidWeight { .. })
         ));
     }

@@ -51,6 +51,7 @@ mod stats;
 mod subgraph;
 
 pub mod io;
+pub mod json;
 pub mod traversal;
 
 pub use builder::SignedDigraphBuilder;

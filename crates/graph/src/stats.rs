@@ -189,7 +189,14 @@ mod tests {
         let s = GraphStats::compute(&g);
         assert_eq!(s.nodes, 0);
         assert_eq!(s.edges, 0);
-        assert_eq!(s.out_degree, DegreeStats { min: 0, max: 0, mean: 0.0 });
+        assert_eq!(
+            s.out_degree,
+            DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0
+            }
+        );
     }
 
     #[test]
@@ -235,11 +242,9 @@ mod tests {
 
     #[test]
     fn display_mentions_counts() {
-        let g = SignedDigraph::from_edges(
-            2,
-            [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.0)],
-        )
-        .unwrap();
+        let g =
+            SignedDigraph::from_edges(2, [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.0)])
+                .unwrap();
         let text = GraphStats::compute(&g).to_string();
         assert!(text.contains("2 nodes"));
         assert!(text.contains("1 edges"));

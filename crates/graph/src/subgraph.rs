@@ -17,6 +17,23 @@ pub struct NodeMapping {
 }
 
 impl NodeMapping {
+    /// Builds a mapping directly from the subgraph→original id table —
+    /// the inverse map is derived. Used when reconstructing a snapshot
+    /// from its serialized form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sub_to_orig` contains duplicate original ids.
+    pub fn from_original_ids(sub_to_orig: Vec<NodeId>) -> Self {
+        let mapping = NodeMapping::new(sub_to_orig);
+        assert_eq!(
+            mapping.orig_to_sub.len(),
+            mapping.sub_to_orig.len(),
+            "duplicate original ids in node mapping"
+        );
+        mapping
+    }
+
     pub(crate) fn new(sub_to_orig: Vec<NodeId>) -> Self {
         let orig_to_sub = sub_to_orig
             .iter()
@@ -122,7 +139,11 @@ mod tests {
                 Edge::new(
                     NodeId(i),
                     NodeId(i + 1),
-                    if i % 2 == 0 { Sign::Positive } else { Sign::Negative },
+                    if i % 2 == 0 {
+                        Sign::Positive
+                    } else {
+                        Sign::Negative
+                    },
                     0.1 * (i + 1) as f64,
                 )
             }),
@@ -148,8 +169,7 @@ mod tests {
     #[test]
     fn duplicates_and_out_of_bounds_ignored() {
         let g = chain();
-        let (sub, map) =
-            g.induced_subgraph([NodeId(2), NodeId(2), NodeId(99), NodeId(3)]);
+        let (sub, map) = g.induced_subgraph([NodeId(2), NodeId(2), NodeId(99), NodeId(3)]);
         assert_eq!(sub.node_count(), 2);
         assert_eq!(map.len(), 2);
         assert_eq!(map.to_original(NodeId(0)), Some(NodeId(2)));

@@ -163,7 +163,10 @@ mod tests {
         let g = g(3, &[(0, 2), (1, 2)]);
         let order = bfs_order(&g, NodeId(2), Direction::Backward);
         assert_eq!(order, vec![NodeId(2), NodeId(0), NodeId(1)]);
-        assert_eq!(bfs_order(&g, NodeId(2), Direction::Forward), vec![NodeId(2)]);
+        assert_eq!(
+            bfs_order(&g, NodeId(2), Direction::Forward),
+            vec![NodeId(2)]
+        );
     }
 
     #[test]

@@ -1,8 +1,6 @@
 //! Property-based tests for the graph substrate.
 
-use isomit_graph::{
-    io, jaccard_coefficient, jaccard_weights, Edge, NodeId, Sign, SignedDigraph,
-};
+use isomit_graph::{io, jaccard_coefficient, jaccard_weights, Edge, NodeId, Sign, SignedDigraph};
 use proptest::prelude::*;
 
 /// Strategy producing a valid edge set over `n` nodes (no self-loops,
@@ -22,8 +20,7 @@ fn arb_edges(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = (usize, 
                 })
             },
         );
-        proptest::collection::vec(edge, 0..max_edges)
-            .prop_map(move |edges| (n as usize, edges))
+        proptest::collection::vec(edge, 0..max_edges).prop_map(move |edges| (n as usize, edges))
     })
 }
 

@@ -241,10 +241,7 @@ mod tests {
 
     #[test]
     fn duplicates_collapsed() {
-        let prf = evaluate_identities(
-            &[NodeId(1), NodeId(1), NodeId(1)],
-            &[NodeId(1), NodeId(2)],
-        );
+        let prf = evaluate_identities(&[NodeId(1), NodeId(1), NodeId(1)], &[NodeId(1), NodeId(2)]);
         assert!((prf.precision - 1.0).abs() < 1e-12);
         assert!((prf.recall - 0.5).abs() < 1e-12);
     }

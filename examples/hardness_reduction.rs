@@ -24,7 +24,10 @@ fn main() {
     let greedy = instance.greedy_cover().expect("coverable");
     let exact_cover = instance.exact_cover().expect("coverable");
     println!("  greedy cover:  {greedy:?} (size {})", greedy.len());
-    println!("  minimum cover: {exact_cover:?} (size {})", exact_cover.len());
+    println!(
+        "  minimum cover: {exact_cover:?} (size {})",
+        exact_cover.len()
+    );
 
     // The paper's Proof-1 gadget (all-positive infected network).
     let gadget = reduction::set_cover_to_isomit(&instance);
@@ -47,7 +50,11 @@ fn main() {
             predicted.len(),
         );
         assert_eq!(optimum.len(), predicted.len());
-        assert!(exact::certainly_infected(gadget.network(), alpha, &predicted));
+        assert!(exact::certainly_infected(
+            gadget.network(),
+            alpha,
+            &predicted
+        ));
 
         // What does the polynomial-time heuristic make of the gadget?
         let detection = Rid::new(alpha.max(1.0), 0.5)

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let k = 5;
     let runs = 100;
     for (label, model) in [
-        ("MFC(a=3)", Box::new(Mfc::new(3.0)?) as Box<dyn DiffusionModel>),
+        (
+            "MFC(a=3)",
+            Box::new(Mfc::new(3.0)?) as Box<dyn DiffusionModel>,
+        ),
         ("IC", Box::new(IndependentCascade::new())),
     ] {
         let mut rng = rand::rngs::StdRng::seed_from_u64(99);
@@ -44,7 +47,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut total = 0usize;
         for r in 0..runs as u64 {
             let mut rng = rand::rngs::StdRng::seed_from_u64(1000 + r);
-            total += model.simulate(&diffusion, &random_seeds, &mut rng).infected_count();
+            total += model
+                .simulate(&diffusion, &random_seeds, &mut rng)
+                .infected_count();
         }
         let random_spread = total as f64 / runs as f64;
         println!(

@@ -41,8 +41,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut rng = rand::rngs::StdRng::seed_from_u64(100 + r);
             let c = model.simulate(&diffusion, &seeds, &mut rng);
             inf += c.infected_count();
-            pos += c.states().iter().filter(|s| **s == NodeState::Positive).count();
-            neg += c.states().iter().filter(|s| **s == NodeState::Negative).count();
+            pos += c
+                .states()
+                .iter()
+                .filter(|s| **s == NodeState::Positive)
+                .count();
+            neg += c
+                .states()
+                .iter()
+                .filter(|s| **s == NodeState::Negative)
+                .count();
             flips += c.flip_count();
             rounds += c.rounds();
         }

@@ -22,8 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("beta,detected,precision,recall,f1,state_accuracy,state_mae,state_r2");
     let betas = [
-        0.0, 0.05, 0.09, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.25, 1.5, 1.75,
-        2.0, 2.5, 3.0, 4.0,
+        0.0, 0.05, 0.09, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.25, 1.5, 1.75, 2.0,
+        2.5, 3.0, 4.0,
     ];
     for beta in betas {
         let detection = Rid::new(3.0, beta)?.detect(&scenario.snapshot);

@@ -24,8 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let diffusion = paper_weights(&social, &mut rng);
     // One believer in camp 0, one denier in camp 1.
     let seeds = SeedSet::from_pairs([
-        (NodeId(0), Sign::Positive),  // camp 0
-        (NodeId(1), Sign::Negative),  // camp 1
+        (NodeId(0), Sign::Positive), // camp 0
+        (NodeId(1), Sign::Negative), // camp 1
     ])?;
     let cascade = Mfc::new(3.0)?.simulate(&diffusion, &seeds, &mut rng);
     println!(

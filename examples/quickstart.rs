@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
     let cascade = mfc.simulate(&diffusion, &seeds, &mut rng);
 
-    println!("rumor reached {} of {} users:", cascade.infected_count(), diffusion.node_count());
+    println!(
+        "rumor reached {} of {} users:",
+        cascade.infected_count(),
+        diffusion.node_count()
+    );
     for node in cascade.infected_nodes() {
         println!(
             "  {node}: state {} (first activated by {:?})",

@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(RidTree::new(3.0)?),
         Box::new(RidPositive::new()),
     ];
-    println!("\n{:<14} {:>8} {:>10} {:>8} {:>8} | state accuracy", "method", "found", "precision", "recall", "F1");
+    println!(
+        "\n{:<14} {:>8} {:>10} {:>8} {:>8} | state accuracy",
+        "method", "found", "precision", "recall", "F1"
+    );
     for detector in detectors {
         let detection = detector.detect(&scenario.snapshot);
         let prf = evaluate_identities(&detection.nodes(), &truth);

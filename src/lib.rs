@@ -59,7 +59,8 @@ pub mod prelude {
         slashdot_like_scaled, Scenario, ScenarioConfig,
     };
     pub use isomit_diffusion::{
-        estimate_infection_probabilities, Cascade, CascadeTimeline, DiffusionModel,
+        estimate_infection_probabilities, estimate_infection_probabilities_seeded,
+        par_estimate_infection_probabilities, Cascade, CascadeTimeline, DiffusionModel,
         IndependentCascade, InfectedNetwork, InfectionEstimate, LinearThreshold, Mfc, PolarityIc,
         SeedSet, Sir,
     };

@@ -20,7 +20,11 @@ fn every_planted_seed_is_infected_and_mapped() {
     let sc = scenario(1, 0.01, 20);
     for (node, sign) in sc.ground_truth.iter() {
         assert!(sc.cascade.state(node).is_active());
-        let sub = sc.snapshot.mapping().to_subgraph(node).expect("seed in snapshot");
+        let sub = sc
+            .snapshot
+            .mapping()
+            .to_subgraph(node)
+            .expect("seed in snapshot");
         // Seeds keep an opinion; it may have been flipped, so only check
         // activity, and check the original seed sign is a valid sign.
         assert!(sc.snapshot.state(sub).is_active());
@@ -107,7 +111,12 @@ fn detection_survives_masked_states() {
     // concrete state even where the snapshot was masked.
     assert!(!detection.is_empty());
     for d in &detection.initiators {
-        assert!(d.state.is_active(), "initiator {} has state {}", d.node, d.state);
+        assert!(
+            d.state.is_active(),
+            "initiator {} has state {}",
+            d.node,
+            d.state
+        );
     }
 }
 
@@ -125,8 +134,8 @@ fn detected_ids_live_in_the_original_network() {
 #[test]
 fn snapshot_round_trips_through_serde() {
     let sc = scenario(8, 0.005, 5);
-    let json = serde_json::to_string(&sc.snapshot).expect("serialize");
-    let back: InfectedNetwork = serde_json::from_str(&json).expect("deserialize");
+    let json = sc.snapshot.to_json_string();
+    let back = InfectedNetwork::from_json_str(&json).expect("deserialize");
     assert_eq!(back, sc.snapshot);
     let rid = Rid::new(3.0, 1.0).unwrap();
     assert_eq!(rid.detect(&back), rid.detect(&sc.snapshot));
@@ -142,8 +151,5 @@ fn snap_io_round_trip_preserves_detection() {
     // SNAP drops weights; structure and signs survive.
     assert_eq!(reloaded.node_count(), social.node_count());
     assert_eq!(reloaded.edge_count(), social.edge_count());
-    assert_eq!(
-        reloaded.positive_edge_count(),
-        social.positive_edge_count()
-    );
+    assert_eq!(reloaded.positive_edge_count(), social.positive_edge_count());
 }

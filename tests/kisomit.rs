@@ -59,12 +59,8 @@ fn recall_improves_with_budget_on_merged_trees() {
     let truth: Vec<NodeId> = sc.ground_truth.nodes().collect();
     let t = Rid::new(3.0, 1e9).unwrap().detect(&sc.snapshot).tree_count;
     let base = solve_k_isomit(&sc.snapshot, 3.0, t).unwrap();
-    let extended = solve_k_isomit(
-        &sc.snapshot,
-        3.0,
-        (t + 10).min(sc.snapshot.node_count()),
-    )
-    .unwrap();
+    let extended =
+        solve_k_isomit(&sc.snapshot, 3.0, (t + 10).min(sc.snapshot.node_count())).unwrap();
     let base_recall = evaluate_identities(&base.nodes(), &truth).recall;
     let ext_recall = evaluate_identities(&extended.nodes(), &truth).recall;
     assert!(

@@ -12,6 +12,7 @@ fn options() -> ExpOptions {
         scale: 0.03,
         trials: 4,
         seed: 505,
+        ..ExpOptions::default()
     }
 }
 
@@ -104,8 +105,14 @@ fn figure6_shape_state_quality_improves_with_beta() {
         mae_high <= mae_low,
         "state MAE should drop with beta: {mae_low} -> {mae_high}"
     );
-    assert!(acc_high > 0.9, "high-beta accuracy {acc_high} should approach 1");
-    assert!(mae_high < 0.2, "high-beta MAE {mae_high} should drop below 0.2");
+    assert!(
+        acc_high > 0.9,
+        "high-beta accuracy {acc_high} should approach 1"
+    );
+    assert!(
+        mae_high < 0.2,
+        "high-beta MAE {mae_high} should drop below 0.2"
+    );
 }
 
 #[test]
@@ -118,14 +125,19 @@ fn diffusion_shape_mfc_outreaches_ic_and_unboosted_mfc() {
         let mut total = 0usize;
         for r in 0..10 {
             let mut rng = StdRng::seed_from_u64(900 + r);
-            total += model.simulate(&diffusion, &seeds, &mut rng).infected_count();
+            total += model
+                .simulate(&diffusion, &seeds, &mut rng)
+                .infected_count();
         }
         total as f64 / 10.0
     };
     let mfc3 = reach(&Mfc::new(3.0).unwrap());
     let mfc1 = reach(&Mfc::new(1.0).unwrap());
     let ic = reach(&IndependentCascade::new());
-    assert!(mfc3 > 2.0 * mfc1, "boosting should expand reach: {mfc3} vs {mfc1}");
+    assert!(
+        mfc3 > 2.0 * mfc1,
+        "boosting should expand reach: {mfc3} vs {mfc1}"
+    );
     assert!(mfc3 > 2.0 * ic, "MFC should out-reach IC: {mfc3} vs {ic}");
 }
 
@@ -154,5 +166,8 @@ fn diffusion_shape_only_mfc_flips() {
             mfc.simulate(&diffusion, &seeds, &mut rng).flip_count()
         })
         .sum();
-    assert!(flips > 0, "MFC should produce flips on a mixed-sign network");
+    assert!(
+        flips > 0,
+        "MFC should produce flips on a mixed-sign network"
+    );
 }

@@ -1,0 +1,555 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate, implementing the API subset this workspace's
+//! test suites use:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(...)]` header),
+//! * [`Strategy`] with `prop_map` / `prop_flat_map` / `prop_filter` /
+//!   `prop_filter_map`, tuples of strategies up to arity 6, and integer /
+//!   float range strategies,
+//! * [`any`](fn@any) for primitives, [`collection::vec`] and
+//!   [`collection::btree_map`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Differences from the real crate: cases are generated from a
+//! deterministic per-test seed (derived from the test name), there is
+//! **no shrinking** (the failing input is printed in full instead), and
+//! `.proptest-regressions` files are ignored. The `PROPTEST_CASES`
+//! environment variable caps the number of cases exactly like upstream,
+//! which CI uses to keep property runs fast.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration; only `cases` is supported.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-test RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// RNG for case `case` of the test whose name hashes to `test_hash`.
+    pub fn deterministic(test_hash: u64, case: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(
+            test_hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Generates one value; `None` means the draw was rejected by a
+    /// filter and the case should be retried.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds
+    /// out of it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Keeps only values satisfying `pred` (rejections retry the case).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            base: self,
+            _whence: whence,
+            pred,
+        }
+    }
+
+    /// Combined filter + map: `f` returning `None` rejects the draw.
+    fn prop_filter_map<U: Debug, F: Fn(Self::Value) -> Option<U>>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap {
+            base: self,
+            _whence: whence,
+            f,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> Option<U> {
+        self.base.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S2::Value> {
+        let inner = (self.f)(self.base.generate(rng)?);
+        inner.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    base: S,
+    _whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.base.generate(rng).filter(|v| (self.pred)(v))
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    base: S,
+    _whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> Option<U> {
+        self.base.generate(rng).and_then(&self.f)
+    }
+}
+
+/// A strategy producing one fixed value (mirror of `proptest::prelude::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.0.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.0.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.generate(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.0.gen_bool(0.5)
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                use rand::RngCore;
+                rng.0.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+/// Strategy returned by [`any`](fn@any).
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+/// The canonical strategy for `T`: `any::<bool>()`, `any::<u64>()`, …
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::BTreeMap;
+    use std::fmt::Debug;
+
+    /// Something usable as a collection size: a fixed `usize` or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            rng.0.gen_range(self.lo..=self.hi)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: `vec(element, 0..10)` or `vec(element, 12)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let len = self.size.sample(rng);
+            let mut out = Vec::with_capacity(len);
+            while out.len() < len {
+                // Retry rejected elements a bounded number of times, like
+                // upstream's local rejection handling.
+                let mut ok = false;
+                for _ in 0..100 {
+                    if let Some(v) = self.element.generate(rng) {
+                        out.push(v);
+                        ok = true;
+                        break;
+                    }
+                }
+                if !ok {
+                    return None;
+                }
+            }
+            Some(out)
+        }
+    }
+
+    /// Strategy for `BTreeMap` with `size` distinct keys.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// `BTreeMap` strategy; the generated map has a size drawn from
+    /// `size` when the key space allows it.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord + Debug,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+            let target = self.size.sample(rng);
+            let mut out = BTreeMap::new();
+            let mut attempts = 0usize;
+            while out.len() < target {
+                attempts += 1;
+                if attempts > 100 * (target + 1) {
+                    break; // Key space smaller than target; accept what we have.
+                }
+                let (Some(k), Some(v)) = (self.key.generate(rng), self.value.generate(rng)) else {
+                    continue;
+                };
+                out.insert(k, v);
+            }
+            if out.len() >= self.size.lo {
+                Some(out)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[doc(hidden)]
+pub fn __resolve_cases(config_cases: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("PROPTEST_CASES={v:?} is not a number")),
+        Err(_) => config_cases,
+    }
+}
+
+#[doc(hidden)]
+pub fn __hash_name(name: &str) -> u64 {
+    // FNV-1a.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[doc(hidden)]
+pub fn __generate_case<S: Strategy>(strategy: &S, rng: &mut TestRng) -> Option<S::Value> {
+    for _ in 0..1_000 {
+        if let Some(v) = strategy.generate(rng) {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// Mirrors `proptest::prop_assert!`: fails the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Mirrors `proptest::prop_assert_eq!`: fails the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Mirrors `proptest::prop_assert_ne!`: fails the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $cfg:expr;
+     $(#[test] fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let cases = $crate::__resolve_cases(config.cases);
+                let strategy = ($($strat,)+);
+                let test_hash = $crate::__hash_name(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..cases as u64 {
+                    let mut rng = $crate::TestRng::deterministic(test_hash, case);
+                    let Some(value) = $crate::__generate_case(&strategy, &mut rng) else {
+                        continue; // every draw rejected; skip this case
+                    };
+                    let repr = format!("{:?}", value);
+                    let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(move || {
+                        let ($($pat,)+) = value;
+                        $body
+                    }));
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest: {} failed at case {case}/{cases} with input:\n  {repr}",
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// The `proptest!` macro: wraps `#[test] fn name(binding in strategy, …)`
+/// items into seeded random-case runners.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Everything a property-test module usually imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3..10u32, y in 0.5f64..=0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.5..=0.75).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_patterns(((a, b), flag) in ((0..5usize, 5..9usize), any::<bool>())) {
+            prop_assert!(a < 5 && (5..9).contains(&b));
+            let _ = flag;
+        }
+
+        #[test]
+        fn vec_sizes(v in collection::vec(0..100u32, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn filter_map_rejections_retry(x in (0..100u32).prop_filter_map("even", |x| (x % 2 == 0).then_some(x))) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn btree_map_reaches_target(m in collection::btree_map(0..50u32, any::<bool>(), 1..=4)) {
+            prop_assert!((1..=4).contains(&m.len()));
+        }
+    }
+
+    #[test]
+    fn env_var_caps_cases() {
+        // Not set in this process: config value wins.
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(crate::__resolve_cases(48), 48);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable() {
+        use crate::Strategy;
+        let strat = (0..1_000_000u64,);
+        let mut a = crate::TestRng::deterministic(7, 3);
+        let mut b = crate::TestRng::deterministic(7, 3);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+}

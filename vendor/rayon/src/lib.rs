@@ -1,0 +1,571 @@
+//! Offline stand-in for [`rayon`](https://crates.io/crates/rayon),
+//! implementing the API subset this workspace uses on top of
+//! `std::thread::scope` with atomic chunk stealing.
+//!
+//! The build environment cannot reach a crates.io registry, so this
+//! vendored crate keeps the module paths of the real crate
+//! (`rayon::prelude::*`, [`ThreadPoolBuilder`], [`current_num_threads`],
+//! [`join`]) so that swapping in upstream rayon later is a one-line
+//! `Cargo.toml` change.
+//!
+//! # Determinism contract
+//!
+//! Work is split into **fixed chunks whose boundaries depend only on the
+//! item count** — never on the number of worker threads — and workers
+//! steal whole chunks off a shared atomic counter:
+//!
+//! * [`ParallelIterator::collect`] and
+//!   [`ParallelIterator::reduce`] place or combine chunk results **in
+//!   chunk order**, so their output is identical for every thread count
+//!   (including 1) and every scheduling interleaving.
+//! * [`ParallelIterator::fold_reduce`] keeps one accumulator per worker
+//!   and merges the per-worker accumulators at the end; its result is
+//!   schedule-independent **only when `merge` is commutative and
+//!   associative** (exactly true for the integer tallies the
+//!   Monte-Carlo estimator merges; float summation should use `reduce`
+//!   or `collect` + a sequential fold instead).
+//!
+//! Thread count resolution order: [`ThreadPool::install`] override →
+//! [`ThreadPoolBuilder::build_global`] → the `RAYON_NUM_THREADS`
+//! environment variable → `std::thread::available_parallelism()`.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+static GLOBAL_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    static INSTALL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn env_threads() -> Option<usize> {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Number of worker threads parallel operations currently use.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = INSTALL_OVERRIDE.with(|c| c.get()) {
+        return n;
+    }
+    if let Some(&n) = GLOBAL_THREADS.get() {
+        return n;
+    }
+    env_threads().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Error returned when the global pool is configured twice.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    message: &'static str,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for the (virtual) thread pool, mirroring
+/// `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; `0` means "automatic" (environment, then
+    /// hardware parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    fn resolve(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            env_threads().unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+        }
+    }
+
+    /// Fixes the global worker count. Errors if already configured.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS
+            .set(self.resolve())
+            .map_err(|_| ThreadPoolBuildError {
+                message: "the global thread pool has already been initialized",
+            })
+    }
+
+    /// Builds a scoped pool handle whose [`ThreadPool::install`] runs a
+    /// closure under a specific worker count.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.resolve(),
+        })
+    }
+}
+
+/// A handle fixing the worker count for closures run through
+/// [`install`](ThreadPool::install).
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's worker count (parallel operations inside
+    /// `f`, on this thread, use it instead of the global count).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = INSTALL_OVERRIDE.with(|c| c.replace(Some(self.threads)));
+        let result = f();
+        INSTALL_OVERRIDE.with(|c| c.set(prev));
+        result
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon-shim join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// Chunk size used to split `n` items, a function of `n` **only** so
+/// that chunk boundaries (and therefore `reduce` grouping) are identical
+/// for every thread count.
+fn chunk_size(n: usize) -> usize {
+    (n / 64).clamp(1, 8192)
+}
+
+/// Runs `work(chunk_index)` for every chunk index in `0..n_chunks`
+/// across the current worker count, stealing chunks off a shared
+/// counter. Results are returned sorted by chunk index.
+fn run_chunks<T: Send>(
+    n_chunks: usize,
+    threads: usize,
+    work: &(impl Fn(usize) -> T + Sync),
+) -> Vec<T> {
+    if threads <= 1 || n_chunks <= 1 {
+        return (0..n_chunks).map(work).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    let workers = threads.min(n_chunks);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let value = work(c);
+                results
+                    .lock()
+                    .expect("rayon-shim results mutex poisoned")
+                    .push((c, value));
+            });
+        }
+    });
+    let mut parts = results
+        .into_inner()
+        .expect("rayon-shim results mutex poisoned");
+    parts.sort_unstable_by_key(|&(c, _)| c);
+    parts.into_iter().map(|(_, v)| v).collect()
+}
+
+/// The parallel-iterator trait: an indexed source of items plus the
+/// consuming operations the workspace uses.
+pub trait ParallelIterator: Sized + Send + Sync {
+    /// The produced item type.
+    type Item: Send;
+
+    /// Number of items.
+    fn par_len(&self) -> usize;
+
+    /// Produces item `index`. Must be pure: the engine may evaluate items
+    /// in any order, on any worker.
+    fn par_eval(&self, index: usize) -> Self::Item;
+
+    /// Maps every item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Send + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Consumes the iterator, calling `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let n = self.par_len();
+        let chunk = chunk_size(n.max(1));
+        let n_chunks = n.div_ceil(chunk.max(1));
+        run_chunks(n_chunks, current_num_threads(), &|c| {
+            let lo = c * chunk;
+            let hi = n.min(lo + chunk);
+            for i in lo..hi {
+                f(self.par_eval(i));
+            }
+        });
+    }
+
+    /// Collects all items, in source order, into `C`.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Reduces items with `op`, starting each chunk from `identity()` and
+    /// combining chunk partials **in chunk order** — deterministic for
+    /// every thread count because chunk boundaries depend only on the
+    /// item count.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Send + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        let n = self.par_len();
+        if n == 0 {
+            return identity();
+        }
+        let chunk = chunk_size(n);
+        let n_chunks = n.div_ceil(chunk);
+        let partials = run_chunks(n_chunks, current_num_threads(), &|c| {
+            let lo = c * chunk;
+            let hi = n.min(lo + chunk);
+            let mut acc = identity();
+            for i in lo..hi {
+                acc = op(acc, self.par_eval(i));
+            }
+            acc
+        });
+        partials.into_iter().fold(identity(), &op)
+    }
+
+    /// Shim extension (upstream spelling: `.fold(init, fold).reduce(init,
+    /// merge)`): folds items into one accumulator **per worker thread**
+    /// and merges the per-worker accumulators at the end. Memory use is
+    /// `O(threads)` accumulators instead of `O(chunks)`.
+    ///
+    /// Schedule-independent only when `merge` is commutative and
+    /// associative (integer tallies: yes; float sums: use
+    /// [`reduce`](ParallelIterator::reduce) instead).
+    fn fold_reduce<A, INIT, FOLD, MERGE>(self, init: INIT, fold: FOLD, merge: MERGE) -> A
+    where
+        A: Send,
+        INIT: Fn() -> A + Send + Sync,
+        FOLD: Fn(A, Self::Item) -> A + Send + Sync,
+        MERGE: Fn(A, A) -> A + Send + Sync,
+    {
+        let n = self.par_len();
+        let threads = current_num_threads();
+        if threads <= 1 || n <= 1 {
+            return (0..n).fold(init(), |acc, i| fold(acc, self.par_eval(i)));
+        }
+        let chunk = chunk_size(n);
+        let n_chunks = n.div_ceil(chunk);
+        let next = AtomicUsize::new(0);
+        let accs: Mutex<Vec<A>> = Mutex::new(Vec::new());
+        let workers = threads.min(n_chunks);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    let mut acc = init();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let lo = c * chunk;
+                        let hi = n.min(lo + chunk);
+                        for i in lo..hi {
+                            acc = fold(acc, self.par_eval(i));
+                        }
+                    }
+                    accs.lock()
+                        .expect("rayon-shim accumulator mutex poisoned")
+                        .push(acc);
+                });
+            }
+        });
+        accs.into_inner()
+            .expect("rayon-shim accumulator mutex poisoned")
+            .into_iter()
+            .fold(init(), merge)
+    }
+}
+
+/// Collection types constructible from a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the collection, preserving source order.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par: P) -> Vec<T> {
+        let n = par.par_len();
+        let chunk = chunk_size(n.max(1));
+        let n_chunks = n.div_ceil(chunk.max(1));
+        let parts = run_chunks(n_chunks, current_num_threads(), &|c| {
+            let lo = c * chunk;
+            let hi = n.min(lo + chunk);
+            (lo..hi).map(|i| par.par_eval(i)).collect::<Vec<T>>()
+        });
+        let mut out = Vec::with_capacity(n);
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+}
+
+/// See [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Send + Sync,
+{
+    type Item = R;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn par_eval(&self, index: usize) -> R {
+        (self.f)(self.base.par_eval(index))
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeParIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeParIter<$t> {
+            type Item = $t;
+            fn par_len(&self) -> usize {
+                self.len
+            }
+            fn par_eval(&self, index: usize) -> $t {
+                self.start + index as $t
+            }
+        }
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = RangeParIter<$t>;
+            fn into_par_iter(self) -> RangeParIter<$t> {
+                RangeParIter {
+                    start: self.start,
+                    len: (self.end.saturating_sub(self.start)) as usize,
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(u32, u64, usize);
+
+/// Parallel iterator borrowing a slice.
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn par_eval(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// The produced item type.
+    type Item: Send;
+    /// The concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion into a borrowing parallel iterator (`par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The produced item type.
+    type Item: Send;
+    /// The concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+/// The traits a parallel caller imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
+
+    #[test]
+    fn collect_preserves_order_for_every_thread_count() {
+        let expected: Vec<usize> = (0..10_000).map(|i| i * 3).collect();
+        for threads in [1, 2, 3, 8] {
+            let got: Vec<usize> =
+                pool(threads).install(|| (0..10_000usize).into_par_iter().map(|i| i * 3).collect());
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn reduce_grouping_is_thread_count_independent() {
+        // Float addition is not associative, so identical results across
+        // thread counts prove the chunk tree is fixed.
+        let baseline: f64 = pool(1).install(|| {
+            (0..5_000usize)
+                .into_par_iter()
+                .map(|i| 1.0 / (i as f64 + 1.0))
+                .reduce(|| 0.0, |a, b| a + b)
+        });
+        for threads in [2, 5, 16] {
+            let got: f64 = pool(threads).install(|| {
+                (0..5_000usize)
+                    .into_par_iter()
+                    .map(|i| 1.0 / (i as f64 + 1.0))
+                    .reduce(|| 0.0, |a, b| a + b)
+            });
+            assert_eq!(got.to_bits(), baseline.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fold_reduce_matches_sequential_for_commutative_merge() {
+        let baseline: u64 = (0..100_000u64).sum();
+        for threads in [1, 4] {
+            let got = pool(threads).install(|| {
+                (0..100_000u64)
+                    .into_par_iter()
+                    .fold_reduce(|| 0u64, |a, i| a + i, |a, b| a + b)
+            });
+            assert_eq!(got, baseline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn slice_par_iter_borrows() {
+        let data: Vec<u32> = (0..1000).collect();
+        let doubled: Vec<u32> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled[999], 1998);
+        assert_eq!(doubled.len(), 1000);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let hits = AtomicUsize::new(0);
+        pool(4).install(|| {
+            (0..2_345usize).into_par_iter().for_each(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2_345);
+    }
+
+    #[test]
+    fn install_override_nests_and_restores() {
+        let outer = pool(3);
+        let inner = pool(1);
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            inner.install(|| assert_eq!(current_num_threads(), 1));
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn empty_range_is_fine() {
+        let v: Vec<usize> = (5..5usize).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+        let r = (5..5usize).into_par_iter().reduce(|| 7, |a, b| a + b);
+        assert_eq!(r, 7);
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline no-op stand-in for `serde`'s derive macros.
+//!
+//! This workspace's build environment cannot reach a crates.io registry,
+//! so types keep their `#[derive(Serialize, Deserialize)]` annotations
+//! (documenting serialization intent, and ready for the real `serde`
+//! once a registry is available) while this crate expands them to
+//! nothing. Actual serialization in the workspace is handled by the
+//! hand-written JSON codec in `isomit-graph::json` and the SNAP/TSV
+//! readers in `isomit-graph::io`.
+//!
+//! `#[serde(...)]` helper attributes (e.g. `#[serde(transparent)]`) are
+//! accepted and ignored.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepted, expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepted, expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
