@@ -1,3 +1,4 @@
+// lint:allow-file(panic) benchmark harness: fails fast on bad CLI options, IO errors, and fixed known-valid parameters rather than threading Result through experiment drivers
 //! Reproduces the §IV-B3 diffusion analysis: how far rumors spread under
 //! MFC compared with the reference models (IC, LT, SIR, P-IC), on both
 //! networks with the paper's parameters (`α = 3`, `θ = 0.5`).
@@ -47,7 +48,9 @@ fn main() {
                 let diffusion = paper_weights(&social, &mut rng);
                 let seeds =
                     SeedSet::sample(&diffusion, opts.initiators_for(network), 0.5, &mut rng);
-                let cascade = model.simulate(&diffusion, &seeds, &mut rng);
+                let cascade = model
+                    .simulate(&diffusion, &seeds, &mut rng)
+                    .expect("sampled seeds lie within the diffusion network");
                 infected.push(cascade.infected_count() as f64);
                 flips.push(cascade.flip_count() as f64);
                 rounds.push(cascade.rounds() as f64);

@@ -1,3 +1,4 @@
+// lint:allow-file(panic) benchmark harness: fails fast on bad CLI options, IO errors, and fixed known-valid parameters rather than threading Result through experiment drivers
 //! Benchmarks the deterministic parallel Monte-Carlo estimator against
 //! the sequential reference: verifies **bit-identical** output for the
 //! same master seed, times both paths, and writes the speedup to
@@ -38,12 +39,14 @@ fn main() {
 
         let t0 = Instant::now();
         let sequential =
-            estimate_infection_probabilities_seeded(&model, &diffusion, &seeds, runs, opts.seed);
+            estimate_infection_probabilities_seeded(&model, &diffusion, &seeds, runs, opts.seed)
+                .expect("sampled seeds lie within the diffusion network");
         let seq_ns = t0.elapsed().as_nanos() as f64;
 
         let t1 = Instant::now();
         let parallel =
-            par_estimate_infection_probabilities(&model, &diffusion, &seeds, runs, opts.seed);
+            par_estimate_infection_probabilities(&model, &diffusion, &seeds, runs, opts.seed)
+                .expect("sampled seeds lie within the diffusion network");
         let par_ns = t1.elapsed().as_nanos() as f64;
 
         assert_eq!(

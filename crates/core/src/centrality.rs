@@ -1,3 +1,4 @@
+// lint:allow-file(indexing) rumor-centrality recursion indexes parent/children/subtree arrays all allocated with the tree's node count n; parent entries are checked < n by CascadeTree::validate()
 //! The **rumor centrality** source detector of Shah & Zaman ("Rumors in
 //! a network: who's the culprit?", IEEE Trans. IT 2011) — the classic
 //! unsigned single-source estimator the paper's related work (§V)
@@ -35,6 +36,7 @@ pub fn tree_rumor_centralities(parent: &[usize]) -> Vec<f64> {
     assert!(n > 0, "empty tree");
     let root = (0..n)
         .find(|&v| parent[v] == usize::MAX)
+        // lint:allow(panic) structural invariant: a cascade tree's parent array has exactly one root entry
         .expect("tree must have a root");
 
     let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -85,7 +87,7 @@ pub fn tree_rumor_centralities(parent: &[usize]) -> Vec<f64> {
 /// BFS spanning tree (undirected view) of the subgraph induced by
 /// `component`, as parent pointers over component-local indices.
 fn bfs_spanning_tree(graph: &SignedDigraph, component: &[NodeId]) -> Vec<usize> {
-    let local_of: std::collections::HashMap<NodeId, usize> =
+    let local_of: std::collections::BTreeMap<NodeId, usize> =
         component.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut parent = vec![usize::MAX; component.len()];
     let mut visited = vec![false; component.len()];
@@ -140,12 +142,14 @@ impl InitiatorDetector for RumorCentrality {
             let log_r = tree_rumor_centralities(&parent);
             let best_local = (0..component.len())
                 .max_by(|&a, &b| log_r[a].total_cmp(&log_r[b]))
+                // lint:allow(panic) structural invariant: components returned by the forest extraction are non-empty
                 .expect("non-empty component");
             let sub_id = component[best_local];
             initiators.push(DetectedInitiator {
                 node: snapshot
                     .mapping()
                     .to_original(sub_id)
+                    // lint:allow(panic) structural invariant: every snapshot id has an original-network preimage in the mapping
                     .expect("snapshot id maps to original network"),
                 state: snapshot.state(sub_id),
             });

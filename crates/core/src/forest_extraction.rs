@@ -1,7 +1,8 @@
+// lint:allow-file(indexing) per-component arrays are allocated with the component's node count; sub-ids come from the same component enumeration and CascadeTree::validate() re-checks the parent structure
 use crate::likelihood::g_factor_discounted;
 use isomit_diffusion::InfectedNetwork;
 use isomit_forest::{maximum_branching, weakly_connected_components, WeightedArc};
-use isomit_graph::{NodeId, NodeState, Sign};
+use isomit_graph::{GraphError, NodeId, NodeState, Sign};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -84,6 +85,130 @@ impl CascadeTree {
     pub fn state(&self, local: usize) -> NodeState {
         self.states[local]
     }
+
+    /// Checks every structural invariant of the tree against the snapshot
+    /// it was extracted from.
+    ///
+    /// Verified invariants:
+    ///
+    /// * all parallel arrays (`nodes`, `children`, `parent_edge`,
+    ///   `states`) have equal length and `root` is in bounds;
+    /// * exactly the root has no parent edge, and every non-root appears
+    ///   in exactly one children list (the children lists encode a tree
+    ///   rooted at `root`);
+    /// * child indices are in bounds and no node is its own child;
+    /// * every snapshot id is distinct, exists in `snapshot`, and carries
+    ///   the snapshot's state;
+    /// * every parent edge exists in the snapshot graph with the recorded
+    ///   sign and weight.
+    ///
+    /// [`extract_cascade_forest`] upholds these by construction and
+    /// re-asserts them in debug builds; call this on trees arriving
+    /// through other channels (e.g. serde deserialization), not
+    /// per-query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Invariant`] naming the first violated
+    /// invariant.
+    ///
+    /// [`GraphError::Invariant`]: isomit_graph::GraphError
+    pub fn validate(&self, snapshot: &InfectedNetwork) -> Result<(), GraphError> {
+        let n = self.nodes.len();
+        let fail = |msg: String| Err(GraphError::Invariant(msg));
+        for (name, len) in [
+            ("children", self.children.len()),
+            ("parent_edge", self.parent_edge.len()),
+            ("states", self.states.len()),
+        ] {
+            if len != n {
+                return fail(format!("{name} has {len} entries for {n} nodes"));
+            }
+        }
+        if n == 0 {
+            return Ok(());
+        }
+        if self.root >= n {
+            return fail(format!("root {} out of bounds for {n} nodes", self.root));
+        }
+        // Tree shape: in-degree 1 everywhere except the root.
+        let mut parent_of: Vec<Option<usize>> = vec![None; n];
+        for (p, kids) in self.children.iter().enumerate() {
+            for &c in kids {
+                if c >= n {
+                    return fail(format!("child {c} of node {p} out of bounds"));
+                }
+                if c == p {
+                    return fail(format!("node {p} lists itself as a child"));
+                }
+                if let Some(prev) = parent_of.get(c).copied().flatten() {
+                    return fail(format!("node {c} has two parents: {prev} and {p}"));
+                }
+                if let Some(slot) = parent_of.get_mut(c) {
+                    *slot = Some(p);
+                }
+            }
+        }
+        if parent_of.get(self.root).copied().flatten().is_some() {
+            return fail(format!("root {} has a parent", self.root));
+        }
+        for (v, p) in parent_of.iter().enumerate() {
+            if v != self.root && p.is_none() {
+                return fail(format!("node {v} is unreachable from root {}", self.root));
+            }
+            let has_edge = self.parent_edge.get(v).copied().flatten().is_some();
+            if p.is_some() != has_edge {
+                return fail(format!(
+                    "node {v}: children lists and parent_edge disagree on rootness"
+                ));
+            }
+        }
+        // Snapshot consistency.
+        let mut seen: std::collections::BTreeSet<NodeId> = std::collections::BTreeSet::new();
+        for (local, &sub_id) in self.nodes.iter().enumerate() {
+            if !seen.insert(sub_id) {
+                return fail(format!("snapshot id {sub_id} appears twice"));
+            }
+            if sub_id.index() >= snapshot.node_count() {
+                return fail(format!(
+                    "snapshot id {sub_id} out of bounds for {} snapshot nodes",
+                    snapshot.node_count()
+                ));
+            }
+            if snapshot.state(sub_id)
+                != self
+                    .states
+                    .get(local)
+                    .copied()
+                    .unwrap_or(NodeState::Unknown)
+            {
+                return fail(format!(
+                    "node {local} records state {:?}, snapshot has {:?}",
+                    self.states.get(local),
+                    snapshot.state(sub_id)
+                ));
+            }
+            if let Some(p) = parent_of.get(local).copied().flatten() {
+                let Some(parent_sub) = self.nodes.get(p).copied() else {
+                    return fail(format!("parent {p} of node {local} out of bounds"));
+                };
+                let Some(e) = snapshot.graph().edge(parent_sub, sub_id) else {
+                    return fail(format!(
+                        "activation edge ({parent_sub}, {sub_id}) missing from the snapshot graph"
+                    ));
+                };
+                if let Some((sign, weight)) = self.parent_edge.get(local).copied().flatten() {
+                    if sign != e.sign || weight.to_bits() != e.weight.to_bits() {
+                        return fail(format!(
+                            "activation edge ({parent_sub}, {sub_id}) records ({sign:?}, {weight}), snapshot has ({:?}, {})",
+                            e.sign, e.weight
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Builds the candidate activation arcs of an infected snapshot: **every**
@@ -150,6 +275,11 @@ pub fn extract_cascade_forest(snapshot: &InfectedNetwork, alpha: f64) -> (Vec<Ca
         .map(|&root| build_tree(snapshot, &children, root))
         .collect();
     trees.sort_by_key(|t| t.snapshot_id(t.root()));
+    debug_assert!(
+        trees.iter().all(|t| t.validate(snapshot).is_ok()),
+        "extract_cascade_forest produced an invalid tree: {:?}",
+        trees.iter().find_map(|t| t.validate(snapshot).err())
+    );
     (trees, component_count)
 }
 
@@ -176,6 +306,7 @@ fn build_tree(snapshot: &InfectedNetwork, children: &[Vec<usize>], root: usize) 
                 let e = snapshot
                     .graph()
                     .edge(parent_sub, sub_id)
+                    // lint:allow(panic) structural invariant: the branching only selects arcs present in the snapshot graph
                     .expect("branching arc exists in snapshot graph");
                 parent_edge.push(Some((e.sign, e.weight)));
             }
@@ -239,8 +370,7 @@ pub fn external_support(snapshot: &InfectedNetwork, tree: &CascadeTree, alpha: f
             }
         }
     }
-    let mut local_of: std::collections::HashMap<NodeId, usize> =
-        std::collections::HashMap::with_capacity(n);
+    let mut local_of: std::collections::BTreeMap<NodeId, usize> = std::collections::BTreeMap::new();
     for local in 0..n {
         local_of.insert(tree.snapshot_id(local), local);
     }
@@ -442,6 +572,48 @@ mod tests {
         assert!((support[local2] - 0.4).abs() < 1e-12);
         // The root has no parent, so every in-edge counts (it has none).
         assert_eq!(support[t.root()], 0.0);
+    }
+
+    #[test]
+    fn validate_accepts_extracted_trees_and_catches_corruption() {
+        let s = snapshot(
+            &[(0, 1, Sign::Positive, 0.5), (1, 2, Sign::Negative, 0.5)],
+            &[P, P, N],
+        );
+        let (trees, _) = extract_cascade_forest(&s, 2.0);
+        let good = trees[0].clone();
+        good.validate(&s).unwrap();
+
+        fn expect_invariant(t: &CascadeTree, s: &InfectedNetwork, needle: &str) {
+            match t.validate(s) {
+                Err(GraphError::Invariant(msg)) => {
+                    assert!(msg.contains(needle), "message {msg:?} lacks {needle:?}")
+                }
+                other => panic!("expected Invariant containing {needle:?}, got {other:?}"),
+            }
+        }
+
+        let mut t = good.clone();
+        t.states.swap(0, 2);
+        expect_invariant(&t, &s, "records state");
+
+        let mut t = good.clone();
+        t.nodes[1] = t.nodes[0]; // duplicate snapshot id
+        expect_invariant(&t, &s, "appears twice");
+
+        let mut t = good.clone();
+        t.parent_edge[t.root] = Some((Sign::Positive, 0.5)); // root with an edge
+        expect_invariant(&t, &s, "disagree on rootness");
+
+        let mut t = good.clone();
+        if let Some((_, w)) = &mut t.parent_edge[1] {
+            *w = 0.9; // snapshot edge weight is 0.5
+        }
+        expect_invariant(&t, &s, "snapshot has");
+
+        let mut t = good.clone();
+        t.children[t.root].clear(); // orphan the subtree
+        expect_invariant(&t, &s, "unreachable");
     }
 
     #[test]

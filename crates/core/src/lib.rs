@@ -53,7 +53,7 @@
 //! )?;
 //! let seeds = SeedSet::single(NodeId(0), Sign::Positive);
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-//! let cascade = Mfc::new(3.0)?.simulate(&g, &seeds, &mut rng);
+//! let cascade = Mfc::new(3.0)?.simulate(&g, &seeds, &mut rng)?;
 //! let snapshot = InfectedNetwork::from_cascade(&g, &cascade);
 //!
 //! let detection = Rid::new(3.0, 0.1)?.detect(&snapshot);
@@ -62,6 +62,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

@@ -1,3 +1,4 @@
+// lint:allow-file(indexing) per-node log-probability tables are allocated with the snapshot's node count and indexed by its own NodeIds
 //! The §III-B infection likelihood of the paper: the per-edge factor
 //! `g(s(x), s_I(x,y), s(y), w_I(x,y))`, the per-node infection
 //! probability `P(u, s(u) | I, S)` (exact, by path enumeration — only
@@ -13,7 +14,7 @@
 
 use isomit_diffusion::InfectedNetwork;
 use isomit_graph::{NodeId, NodeState, Sign};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// `true` if the diffusion link `(x, y)` is *sign consistent*
 /// (Definition 5): `s(x) · s(x,y) = s(y)`. [`NodeState::Unknown`]
@@ -152,7 +153,7 @@ pub fn node_infection_probability(
     assert!(alpha >= 1.0, "alpha {alpha} must be >= 1");
     let g = inf.graph();
     assert!(g.contains(u), "node {u} out of bounds");
-    let assumed: HashMap<NodeId, Sign> = initiators.iter().copied().collect();
+    let assumed: BTreeMap<NodeId, Sign> = initiators.iter().copied().collect();
     let state_of = |v: NodeId| -> NodeState {
         match assumed.get(&v) {
             Some(&s) => NodeState::from_sign(s),

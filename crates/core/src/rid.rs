@@ -156,6 +156,7 @@ impl InitiatorDetector for Rid {
                 let node = snapshot
                     .mapping()
                     .to_original(sub_id)
+                    // lint:allow(panic) structural invariant: every snapshot id has an original-network preimage in the mapping
                     .expect("snapshot id maps to original network");
                 initiators.push(DetectedInitiator {
                     node,
@@ -207,7 +208,8 @@ mod tests {
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         let cascade = Mfc::new(3.0)
             .unwrap()
-            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(3));
+            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(3))
+            .unwrap();
         let snapshot = InfectedNetwork::from_cascade(&g, &cascade);
         let detection = Rid::new(3.0, 0.5).unwrap().detect(&snapshot);
         assert_eq!(detection.len(), 1);
@@ -234,7 +236,8 @@ mod tests {
             .unwrap();
         let cascade = Mfc::new(3.0)
             .unwrap()
-            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(7));
+            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(7))
+            .unwrap();
         let snapshot = InfectedNetwork::from_cascade(&g, &cascade);
         let detection = Rid::new(3.0, 0.1).unwrap().detect(&snapshot);
         assert!(detection.contains(NodeId(0)));
@@ -294,7 +297,8 @@ mod tests {
         let seeds = SeedSet::single(NodeId(0), Sign::Negative);
         let cascade = Mfc::new(2.0)
             .unwrap()
-            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(5));
+            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(5))
+            .unwrap();
         let snapshot = InfectedNetwork::from_cascade(&g, &cascade);
         let rid = Rid::new(2.0, 0.1).unwrap();
         assert_eq!(rid.detect(&snapshot), rid.detect(&snapshot));

@@ -1,7 +1,8 @@
+// lint:allow-file(indexing) follower/pool vectors are allocated with the configured node count and indexed by generated ids below it
 use isomit_graph::{NodeId, Sign, SignedDigraph, SignedDigraphBuilder};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Configuration of the preferential-attachment signed digraph generator.
 ///
@@ -102,7 +103,10 @@ pub fn preferential_attachment_signed<R: Rng + ?Sized>(
     let q = 1.0 - config.positive_fraction;
     let f = config.distrusted_fraction;
     let p_hi = (q * config.distrust_concentration).min(0.95);
-    let p_lo = ((q - f * p_hi) / (1.0 - f)).max(0.0);
+    // Clamp both rates into [0, 1]: with extreme `positive_fraction`
+    // the concentration cap on `p_hi` pushes the compensating `p_lo`
+    // past 1.
+    let p_lo = ((q - f * p_hi) / (1.0 - f)).clamp(0.0, 1.0);
 
     let distrusted: Vec<bool> = (0..n).map(|_| rng.gen_bool(f.max(0.0))).collect();
     let mut builder = SignedDigraphBuilder::with_nodes(n)
@@ -131,6 +135,7 @@ pub fn preferential_attachment_signed<R: Rng + ?Sized>(
         let sign = sign_for(j, rng);
         builder
             .add_edge(NodeId(i as u32), NodeId(j as u32), sign, 1.0)
+            // lint:allow(panic) structural invariant: generated edges use in-range ids, weight 1.0 and no self-loops
             .expect("core edges are valid");
         pool.push(i as u32);
         pool.push(j as u32);
@@ -144,8 +149,8 @@ pub fn preferential_attachment_signed<R: Rng + ?Sized>(
     let base_mean =
         config.mean_out_degree / ((1.0 + config.closure_probability) * (1.0 + config.reciprocity));
     let max_m = (2.0 * base_mean).max(1.0);
-    let mut chosen: HashSet<u32> = HashSet::new();
-    let mut closure_extra: HashSet<u32> = HashSet::new();
+    let mut chosen: BTreeSet<u32> = BTreeSet::new();
+    let mut closure_extra: BTreeSet<u32> = BTreeSet::new();
     for v in core..n {
         // Continuous draw keeps the configured mean exactly even when
         // 2·base_mean is not an integer.
@@ -179,14 +184,14 @@ pub fn preferential_attachment_signed<R: Rng + ?Sized>(
             }
         }
         chosen.extend(closure_extra.iter().copied());
-        // Sort for determinism: HashSet iteration order would otherwise
-        // leak into the RNG stream through the per-edge sign draws.
-        let mut targets: Vec<u32> = chosen.iter().copied().collect();
-        targets.sort_unstable();
+        // BTreeSet iterates in sorted order, so the per-edge sign draws
+        // consume the RNG stream in a platform-independent order.
+        let targets: Vec<u32> = chosen.iter().copied().collect();
         for target in targets {
             let sign = sign_for(target as usize, rng);
             builder
                 .add_edge(NodeId(v as u32), NodeId(target), sign, 1.0)
+                // lint:allow(panic) structural invariant: generated edges use in-range ids, weight 1.0 and no self-loops
                 .expect("generated edges are valid");
             pool.push(v as u32);
             pool.push(target);
@@ -195,6 +200,7 @@ pub fn preferential_attachment_signed<R: Rng + ?Sized>(
                 let back_sign = sign_for(v, rng);
                 builder
                     .add_edge(NodeId(target), NodeId(v as u32), back_sign, 1.0)
+                    // lint:allow(panic) structural invariant: generated edges use in-range ids, weight 1.0 and no self-loops
                     .expect("generated edges are valid");
                 pool.push(target);
                 pool.push(v as u32);
@@ -229,7 +235,7 @@ pub fn erdos_renyi_signed<R: Rng + ?Sized>(
         "positive_fraction must lie in [0, 1]"
     );
     let mut builder = SignedDigraphBuilder::with_nodes(nodes).with_edge_capacity(edges);
-    let mut used: HashSet<(u32, u32)> = HashSet::with_capacity(edges);
+    let mut used: BTreeSet<(u32, u32)> = BTreeSet::new();
     while used.len() < edges {
         let src = rng.gen_range(0..nodes) as u32;
         let dst = rng.gen_range(0..nodes) as u32;
@@ -243,6 +249,7 @@ pub fn erdos_renyi_signed<R: Rng + ?Sized>(
         };
         builder
             .add_edge(NodeId(src), NodeId(dst), sign, 1.0)
+            // lint:allow(panic) structural invariant: generated edges use in-range ids, weight 1.0 and no self-loops
             .expect("generated edges are valid");
     }
     builder.build()

@@ -7,7 +7,7 @@
 use isomit_graph::{NodeId, Sign, SignedDigraph, SignedDigraphBuilder};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Configuration of the polarized-community generator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -84,7 +84,7 @@ pub fn polarized_communities<R: Rng + ?Sized>(
     let c = config.communities;
     let mut builder = SignedDigraphBuilder::with_nodes(n)
         .with_edge_capacity((config.mean_out_degree * n as f64) as usize);
-    let mut chosen: HashSet<u32> = HashSet::new();
+    let mut chosen: BTreeSet<u32> = BTreeSet::new();
     let max_m = (2.0 * config.mean_out_degree).max(1.0);
     for v in 0..n {
         let my_camp = v % c;
@@ -129,6 +129,7 @@ pub fn polarized_communities<R: Rng + ?Sized>(
             };
             builder
                 .add_edge(NodeId(v as u32), NodeId(target), sign, 1.0)
+                // lint:allow(panic) structural invariant: generated edges use in-range ids, weight 1.0 and no self-loops
                 .expect("generated edges are valid");
         }
     }

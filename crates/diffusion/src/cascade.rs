@@ -1,3 +1,4 @@
+// lint:allow-file(indexing) state/parent vectors are allocated with node_count entries; seeds are validated against the graph, event nodes come from the CSR, and the pub accessors document their out-of-bounds panic
 use crate::SeedSet;
 use isomit_graph::{NodeId, NodeState, Sign};
 use serde::{Deserialize, Serialize};

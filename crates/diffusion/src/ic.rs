@@ -1,5 +1,5 @@
 use crate::model::gen_unit;
-use crate::{ActivationEvent, Cascade, DiffusionModel, SeedSet};
+use crate::{ActivationEvent, Cascade, DiffusionError, DiffusionModel, SeedSet};
 use isomit_graph::{NodeState, SignedDigraph};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -27,7 +27,7 @@ use serde::{Deserialize, Serialize};
 /// )?;
 /// let seeds = SeedSet::single(NodeId(0), Sign::Positive);
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-/// let c = IndependentCascade::new().simulate(&g, &seeds, &mut rng);
+/// let c = IndependentCascade::new().simulate(&g, &seeds, &mut rng)?;
 /// assert_eq!(c.infected_count(), 2);
 /// # Ok(())
 /// # }
@@ -49,10 +49,13 @@ impl DiffusionModel for IndependentCascade {
         "IC"
     }
 
-    fn simulate(&self, graph: &SignedDigraph, seeds: &SeedSet, rng: &mut dyn RngCore) -> Cascade {
-        seeds
-            .validate_against(graph)
-            .expect("seed set must lie within the diffusion network");
+    fn simulate(
+        &self,
+        graph: &SignedDigraph,
+        seeds: &SeedSet,
+        rng: &mut dyn RngCore,
+    ) -> Result<Cascade, DiffusionError> {
+        seeds.validate_against(graph)?;
         let mut cascade = Cascade::new(graph.node_count(), seeds);
         let mut frontier: Vec<isomit_graph::NodeId> = seeds.nodes().collect();
         let mut rounds = 0usize;
@@ -60,10 +63,11 @@ impl DiffusionModel for IndependentCascade {
             rounds += 1;
             let mut next = Vec::new();
             for &u in &frontier {
-                let su = cascade
-                    .state(u)
-                    .sign()
-                    .expect("frontier node is always active");
+                let su = match cascade.state(u).sign() {
+                    Some(s) => s,
+                    // lint:allow(panic) structural invariant: only activated nodes enter the frontier
+                    None => unreachable!("frontier node is always active"),
+                };
                 for e in graph.out_edges(u) {
                     if cascade.state(e.dst) != NodeState::Inactive {
                         continue; // once active, forever active — no flips
@@ -83,7 +87,7 @@ impl DiffusionModel for IndependentCascade {
             frontier = next;
         }
         cascade.finish(rounds, false);
-        cascade
+        Ok(cascade)
     }
 }
 
@@ -108,7 +112,13 @@ mod tests {
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         let model = IndependentCascade::new();
         let hits = (0..2000)
-            .filter(|&s| model.simulate(&g, &seeds, &mut rng(s)).infected_count() == 2)
+            .filter(|&s| {
+                model
+                    .simulate(&g, &seeds, &mut rng(s))
+                    .unwrap()
+                    .infected_count()
+                    == 2
+            })
             .count();
         let rate = hits as f64 / 2000.0;
         assert!(
@@ -126,7 +136,9 @@ mod tests {
                 .unwrap();
         let seeds = SeedSet::from_pairs([(NodeId(0), Sign::Positive), (NodeId(1), Sign::Negative)])
             .unwrap();
-        let c = IndependentCascade::new().simulate(&g, &seeds, &mut rng(0));
+        let c = IndependentCascade::new()
+            .simulate(&g, &seeds, &mut rng(0))
+            .unwrap();
         assert_eq!(c.state(NodeId(1)), NodeState::Negative);
         assert_eq!(c.flip_count(), 0);
     }
@@ -142,7 +154,9 @@ mod tests {
         )
         .unwrap();
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
-        let c = IndependentCascade::new().simulate(&g, &seeds, &mut rng(5));
+        let c = IndependentCascade::new()
+            .simulate(&g, &seeds, &mut rng(5))
+            .unwrap();
         assert_eq!(c.state(NodeId(1)), NodeState::Negative);
         assert_eq!(c.state(NodeId(2)), NodeState::Positive);
     }
@@ -160,7 +174,9 @@ mod tests {
         )
         .unwrap();
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
-        let c = IndependentCascade::new().simulate(&g, &seeds, &mut rng(0));
+        let c = IndependentCascade::new()
+            .simulate(&g, &seeds, &mut rng(0))
+            .unwrap();
         assert_eq!(c.state(NodeId(1)), NodeState::Inactive);
         assert_eq!(c.state(NodeId(2)), NodeState::Positive);
     }

@@ -1,7 +1,9 @@
 use crate::model::gen_unit;
 use crate::Cascade;
 use isomit_graph::json::{JsonError, Value};
-use isomit_graph::{NodeId, NodeMapping, NodeState, SignedDigraph};
+use isomit_graph::{
+    GraphError, NodeId, NodeMapping, NodeState, SignedDigraph, SignedDigraphBuilder,
+};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
@@ -45,11 +47,17 @@ impl InfectedNetwork {
             .iter()
             .map(|&orig| cascade.state(orig))
             .collect();
-        InfectedNetwork {
+        let snapshot = InfectedNetwork {
             graph,
             states,
             mapping,
-        }
+        };
+        debug_assert!(
+            snapshot.validate().is_ok(),
+            "from_cascade produced a corrupt snapshot: {:?}",
+            snapshot.validate()
+        );
+        snapshot
     }
 
     /// Builds an infected network directly from a subgraph and observed
@@ -72,11 +80,17 @@ impl InfectedNetwork {
         );
         let ids: Vec<NodeId> = graph.nodes().collect();
         let mapping = crate::infected::identity_mapping(&ids);
-        InfectedNetwork {
+        let snapshot = InfectedNetwork {
             graph,
             states,
             mapping,
-        }
+        };
+        debug_assert!(
+            snapshot.validate().is_ok(),
+            "from_parts produced a corrupt snapshot: {:?}",
+            snapshot.validate()
+        );
+        snapshot
     }
 
     /// The infected diffusion subgraph (dense subgraph ids).
@@ -95,6 +109,7 @@ impl InfectedNetwork {
     ///
     /// Panics if `node` is out of bounds.
     pub fn state(&self, node: NodeId) -> NodeState {
+        // lint:allow(indexing) documented panic on out-of-bounds node
         self.states[node.index()]
     }
 
@@ -179,11 +194,77 @@ impl InfectedNetwork {
                 "inactive nodes cannot appear in an infected network",
             ));
         }
-        Ok(InfectedNetwork {
+        let mapping = NodeMapping::from_original_ids(original_ids)
+            .map_err(|e| JsonError::new(e.to_string()))?;
+        let snapshot = InfectedNetwork {
             graph,
             states,
-            mapping: NodeMapping::from_original_ids(original_ids),
-        })
+            mapping,
+        };
+        // JSON snapshots are external input: always validate, not only in
+        // debug builds.
+        snapshot
+            .validate()
+            .map_err(|e| JsonError::new(e.to_string()))?;
+        Ok(snapshot)
+    }
+
+    /// Checks every structural invariant of the snapshot.
+    ///
+    /// Verified invariants:
+    ///
+    /// * the underlying subgraph passes [`SignedDigraph::validate`];
+    /// * there is exactly one state per subgraph node and none of them is
+    ///   [`NodeState::Inactive`] (inactive nodes are by definition outside
+    ///   `G_I`);
+    /// * the node mapping covers exactly the subgraph ids and original
+    ///   ids are unique (the mapping is a bijection onto its image).
+    ///
+    /// The checked constructors uphold these and re-assert them in debug
+    /// builds; call this at ingest time on snapshots arriving through
+    /// other channels (e.g. serde deserialization of untrusted data), not
+    /// per-query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Invariant`] naming the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        self.graph.validate()?;
+        let n = self.graph.node_count();
+        if self.states.len() != n {
+            return Err(GraphError::Invariant(format!(
+                "snapshot has {} states for {n} nodes",
+                self.states.len()
+            )));
+        }
+        if let Some(i) = self.states.iter().position(|s| *s == NodeState::Inactive) {
+            return Err(GraphError::Invariant(format!(
+                "node n{i} is inactive; inactive nodes cannot appear in an infected network"
+            )));
+        }
+        let originals = self.mapping.original_ids();
+        if originals.len() != n {
+            return Err(GraphError::Invariant(format!(
+                "mapping covers {} nodes, subgraph has {n}",
+                originals.len()
+            )));
+        }
+        let mut seen: std::collections::BTreeSet<NodeId> = std::collections::BTreeSet::new();
+        for (sub, &orig) in originals.iter().enumerate() {
+            if !seen.insert(orig) {
+                return Err(GraphError::Invariant(format!(
+                    "mapping maps two subgraph nodes to original {orig}"
+                )));
+            }
+            let round_trip = self.mapping.to_subgraph(orig);
+            if round_trip != Some(NodeId::from_index(sub)) {
+                return Err(GraphError::Invariant(format!(
+                    "mapping round trip failed: n{sub} -> {orig} -> {round_trip:?}"
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Returns a copy with each node's state independently replaced by
@@ -222,7 +303,7 @@ impl InfectedNetwork {
 /// through `induced_subgraph` on a trivial graph — kept private to avoid
 /// widening `isomit-graph`'s API surface.
 fn identity_mapping(ids: &[NodeId]) -> NodeMapping {
-    let g = SignedDigraph::from_edges(ids.len(), []).expect("empty edge set is valid");
+    let g = SignedDigraphBuilder::with_nodes(ids.len()).build();
     let (_, mapping) = g.induced_subgraph(ids.iter().copied());
     mapping
 }
@@ -249,7 +330,8 @@ mod tests {
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         let c = Mfc::new(2.0)
             .unwrap()
-            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(0));
+            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(0))
+            .unwrap();
         (g, c)
     }
 
@@ -296,6 +378,24 @@ mod tests {
     fn from_parts_rejects_inactive() {
         let g = SignedDigraph::from_edges(1, []).unwrap();
         InfectedNetwork::from_parts(g, vec![NodeState::Inactive]);
+    }
+
+    #[test]
+    fn validate_accepts_constructed_snapshots() {
+        let (g, c) = setup();
+        InfectedNetwork::from_cascade(&g, &c).validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_duplicate_mapping_entries() {
+        let (g, c) = setup();
+        let inf = InfectedNetwork::from_cascade(&g, &c);
+        let json = inf.to_json_string();
+        // Corrupt the mapping to contain a duplicate original id.
+        let corrupt = json.replace("\"mapping\":[0,1,2]", "\"mapping\":[0,1,1]");
+        assert_ne!(json, corrupt, "fixture mapping changed; update the test");
+        let err = InfectedNetwork::from_json_str(&corrupt).unwrap_err();
+        assert!(err.to_string().contains("duplicate original ids"), "{err}");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! monotone submodular (true for IC/LT; MFC's flipping breaks the
 //! guarantee in theory but greedy remains the standard heuristic).
 
-use crate::{DiffusionModel, SeedSet};
+use crate::{DiffusionError, DiffusionModel, SeedSet};
 use isomit_graph::{NodeId, Sign, SignedDigraph};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -34,6 +34,7 @@ impl InfluenceResult {
     /// The chosen seeds as a positive-state [`SeedSet`].
     pub fn seed_set(&self) -> SeedSet {
         SeedSet::from_pairs(self.seeds.iter().map(|&n| (n, Sign::Positive)))
+            // lint:allow(panic) structural invariant: greedy selection pops each node at most once
             .expect("selection never repeats a node")
     }
 }
@@ -44,13 +45,13 @@ fn estimate_spread<M: DiffusionModel + ?Sized>(
     seeds: &[NodeId],
     runs: usize,
     rng: &mut dyn RngCore,
-) -> f64 {
-    let seed_set =
-        SeedSet::from_pairs(seeds.iter().map(|&n| (n, Sign::Positive))).expect("distinct seeds");
-    let total: usize = (0..runs)
-        .map(|_| model.simulate(graph, &seed_set, rng).infected_count())
-        .sum();
-    total as f64 / runs as f64
+) -> Result<f64, DiffusionError> {
+    let seed_set = SeedSet::from_pairs(seeds.iter().map(|&n| (n, Sign::Positive)))?;
+    let mut total = 0usize;
+    for _ in 0..runs {
+        total += model.simulate(graph, &seed_set, rng)?.infected_count();
+    }
+    Ok(total as f64 / runs as f64)
 }
 
 /// Greedily selects `k` seeds maximizing the Monte-Carlo estimate of the
@@ -63,18 +64,32 @@ fn estimate_spread<M: DiffusionModel + ?Sized>(
 /// `runs` Monte-Carlo simulations back every spread estimate; the
 /// estimates (and thus the selection) are deterministic given `rng`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `k` exceeds the node count or `runs == 0`.
+/// Returns [`DiffusionError::InvalidParameter`] if `k` exceeds the node
+/// count or `runs == 0`, or any error of the underlying
+/// [`DiffusionModel::simulate`] calls.
 pub fn maximize_influence<M: DiffusionModel + ?Sized>(
     model: &M,
     graph: &SignedDigraph,
     k: usize,
     runs: usize,
     rng: &mut dyn RngCore,
-) -> InfluenceResult {
-    assert!(k <= graph.node_count(), "cannot pick {k} seeds");
-    assert!(runs > 0, "runs must be positive");
+) -> Result<InfluenceResult, DiffusionError> {
+    if k > graph.node_count() {
+        return Err(DiffusionError::InvalidParameter {
+            name: "k",
+            value: k as f64,
+            constraint: "must not exceed the node count",
+        });
+    }
+    if runs == 0 {
+        return Err(DiffusionError::InvalidParameter {
+            name: "runs",
+            value: 0.0,
+            constraint: "must be positive",
+        });
+    }
 
     // Lazy queue of (last-known marginal gain, node, round it was
     // computed in). BinaryHeap is a max-heap over the f64 gain via
@@ -116,7 +131,10 @@ pub fn maximize_influence<M: DiffusionModel + ?Sized>(
 
     for round in 0..k {
         loop {
-            let top = queue.pop().expect("k <= node count");
+            let Some(top) = queue.pop() else {
+                // lint:allow(panic) structural invariant: the queue holds every unselected node and k <= node count
+                unreachable!("k <= node count");
+            };
             if top.round == round {
                 // Gain is current: select it.
                 seeds.push(top.node);
@@ -127,7 +145,7 @@ pub fn maximize_influence<M: DiffusionModel + ?Sized>(
             // Stale: re-evaluate against the current seed set.
             let mut candidate_seeds = seeds.clone();
             candidate_seeds.push(top.node);
-            let spread = estimate_spread(model, graph, &candidate_seeds, runs, rng);
+            let spread = estimate_spread(model, graph, &candidate_seeds, runs, rng)?;
             queue.push(Cand {
                 gain: spread - current_spread,
                 node: top.node,
@@ -135,10 +153,10 @@ pub fn maximize_influence<M: DiffusionModel + ?Sized>(
             });
         }
     }
-    InfluenceResult {
+    Ok(InfluenceResult {
         seeds,
         spread_trajectory: trajectory,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -161,7 +179,8 @@ mod tests {
             (1..6).map(|i| Edge::new(NodeId(0), NodeId(i), Sign::Positive, 1.0)),
         )
         .unwrap();
-        let result = maximize_influence(&IndependentCascade::new(), &g, 1, 20, &mut rng(0));
+        let result =
+            maximize_influence(&IndependentCascade::new(), &g, 1, 20, &mut rng(0)).unwrap();
         assert_eq!(result.seeds, vec![NodeId(0)]);
         assert!((result.expected_spread() - 6.0).abs() < 1e-9);
     }
@@ -175,7 +194,8 @@ mod tests {
             .collect();
         edges.extend((5..8).map(|i| Edge::new(NodeId(4), NodeId(i), Sign::Positive, 1.0)));
         let g = SignedDigraph::from_edges(8, edges).unwrap();
-        let result = maximize_influence(&IndependentCascade::new(), &g, 2, 20, &mut rng(1));
+        let result =
+            maximize_influence(&IndependentCascade::new(), &g, 2, 20, &mut rng(1)).unwrap();
         let mut seeds = result.seeds.clone();
         seeds.sort_unstable();
         assert_eq!(seeds, vec![NodeId(0), NodeId(4)]);
@@ -200,7 +220,7 @@ mod tests {
             }),
         )
         .unwrap();
-        let result = maximize_influence(&Mfc::new(2.0).unwrap(), &g, 4, 50, &mut rng(2));
+        let result = maximize_influence(&Mfc::new(2.0).unwrap(), &g, 4, 50, &mut rng(2)).unwrap();
         assert_eq!(result.seeds.len(), 4);
         for w in result.spread_trajectory.windows(2) {
             // Estimates are noisy but marginal gains are >= 0 up to MC
@@ -214,15 +234,16 @@ mod tests {
     #[test]
     fn k_zero_selects_nothing() {
         let g = SignedDigraph::from_edges(3, []).unwrap();
-        let result = maximize_influence(&IndependentCascade::new(), &g, 0, 5, &mut rng(0));
+        let result = maximize_influence(&IndependentCascade::new(), &g, 0, 5, &mut rng(0)).unwrap();
         assert!(result.seeds.is_empty());
         assert_eq!(result.expected_spread(), 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "cannot pick")]
-    fn k_too_large_panics() {
+    fn k_too_large_is_rejected() {
         let g = SignedDigraph::from_edges(2, []).unwrap();
-        maximize_influence(&IndependentCascade::new(), &g, 3, 5, &mut rng(0));
+        let err =
+            maximize_influence(&IndependentCascade::new(), &g, 3, 5, &mut rng(0)).unwrap_err();
+        assert!(err.to_string().contains("k"));
     }
 }

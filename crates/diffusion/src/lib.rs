@@ -39,12 +39,13 @@
 //! )?;
 //! let seeds = SeedSet::single(NodeId(0), Sign::Positive);
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-//! let cascade = Mfc::new(3.0)?.simulate(&diffusion, &seeds, &mut rng);
+//! let cascade = Mfc::new(3.0)?.simulate(&diffusion, &seeds, &mut rng)?;
 //! assert_eq!(cascade.infected_count(), 3);
 //! # Ok(())
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

@@ -1,5 +1,5 @@
 use crate::model::gen_unit;
-use crate::{ActivationEvent, Cascade, DiffusionModel, SeedSet};
+use crate::{ActivationEvent, Cascade, DiffusionError, DiffusionModel, SeedSet};
 use isomit_graph::{NodeId, NodeState, Sign, SignedDigraph};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -34,10 +34,13 @@ impl DiffusionModel for LinearThreshold {
         "LT"
     }
 
-    fn simulate(&self, graph: &SignedDigraph, seeds: &SeedSet, rng: &mut dyn RngCore) -> Cascade {
-        seeds
-            .validate_against(graph)
-            .expect("seed set must lie within the diffusion network");
+    fn simulate(
+        &self,
+        graph: &SignedDigraph,
+        seeds: &SeedSet,
+        rng: &mut dyn RngCore,
+    ) -> Result<Cascade, DiffusionError> {
+        seeds.validate_against(graph)?;
         let n = graph.node_count();
         let mut cascade = Cascade::new(n, seeds);
         let thresholds: Vec<f64> = (0..n).map(|_| gen_unit(rng)).collect();
@@ -56,6 +59,7 @@ impl DiffusionModel for LinearThreshold {
             let mut newly: Vec<(NodeId, NodeId, Sign)> = Vec::new();
             for i in 0..n {
                 let v = NodeId::from_index(i);
+                // lint:allow(indexing) i ranges over 0..n and both vectors have n entries
                 if cascade.state(v) != NodeState::Inactive || total_in_weight[i] <= 0.0 {
                     continue;
                 }
@@ -76,14 +80,17 @@ impl DiffusionModel for LinearThreshold {
                         }
                     }
                 }
+                // lint:allow(indexing) i ranges over 0..n and both vectors have n entries
                 if active_weight / total_in_weight[i] >= thresholds[i] {
                     let opinion = if signed_influence >= 0.0 {
                         Sign::Positive
                     } else {
                         Sign::Negative
                     };
-                    let (_, activator, _) =
-                        best.expect("threshold reached implies an active in-neighbour");
+                    let Some((_, activator, _)) = best else {
+                        // lint:allow(panic) structural invariant: a reached threshold implies active_weight > 0, hence an active in-neighbour
+                        unreachable!("threshold reached implies an active in-neighbour");
+                    };
                     newly.push((v, activator, opinion));
                 }
             }
@@ -101,7 +108,7 @@ impl DiffusionModel for LinearThreshold {
             }
         }
         cascade.finish(rounds, false);
-        cascade
+        Ok(cascade)
     }
 }
 
@@ -125,7 +132,9 @@ mod tests {
                 .unwrap();
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         for s in 0..20 {
-            let c = LinearThreshold::new().simulate(&g, &seeds, &mut rng(s));
+            let c = LinearThreshold::new()
+                .simulate(&g, &seeds, &mut rng(s))
+                .unwrap();
             assert_eq!(c.state(NodeId(1)), NodeState::Positive);
         }
     }
@@ -145,7 +154,9 @@ mod tests {
         let seeds = SeedSet::from_pairs([(NodeId(0), Sign::Positive), (NodeId(1), Sign::Positive)])
             .unwrap();
         for s in 0..20 {
-            let c = LinearThreshold::new().simulate(&g, &seeds, &mut rng(s));
+            let c = LinearThreshold::new()
+                .simulate(&g, &seeds, &mut rng(s))
+                .unwrap();
             assert_eq!(c.state(NodeId(2)), NodeState::Positive);
         }
     }
@@ -157,7 +168,9 @@ mod tests {
                 .unwrap();
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         for s in 0..20 {
-            let c = LinearThreshold::new().simulate(&g, &seeds, &mut rng(s));
+            let c = LinearThreshold::new()
+                .simulate(&g, &seeds, &mut rng(s))
+                .unwrap();
             assert_eq!(c.state(NodeId(1)), NodeState::Negative);
         }
     }
@@ -168,7 +181,9 @@ mod tests {
             SignedDigraph::from_edges(3, [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.0)])
                 .unwrap();
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
-        let c = LinearThreshold::new().simulate(&g, &seeds, &mut rng(0));
+        let c = LinearThreshold::new()
+            .simulate(&g, &seeds, &mut rng(0))
+            .unwrap();
         assert_eq!(c.state(NodeId(2)), NodeState::Inactive);
     }
 
@@ -185,8 +200,12 @@ mod tests {
         )
         .unwrap();
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
-        let a = LinearThreshold::new().simulate(&g, &seeds, &mut rng(11));
-        let b = LinearThreshold::new().simulate(&g, &seeds, &mut rng(11));
+        let a = LinearThreshold::new()
+            .simulate(&g, &seeds, &mut rng(11))
+            .unwrap();
+        let b = LinearThreshold::new()
+            .simulate(&g, &seeds, &mut rng(11))
+            .unwrap();
         assert_eq!(a, b);
     }
 }

@@ -48,7 +48,7 @@ use serde::{Deserialize, Serialize};
 /// )?;
 /// let seeds = SeedSet::single(NodeId(0), Sign::Positive);
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-/// let cascade = Mfc::new(3.0)?.simulate(&g, &seeds, &mut rng);
+/// let cascade = Mfc::new(3.0)?.simulate(&g, &seeds, &mut rng)?;
 /// assert_eq!(cascade.state(NodeId(2)).opinion(), Some(-1));
 /// # Ok(())
 /// # }
@@ -117,10 +117,13 @@ impl DiffusionModel for Mfc {
         "MFC"
     }
 
-    fn simulate(&self, graph: &SignedDigraph, seeds: &SeedSet, rng: &mut dyn RngCore) -> Cascade {
-        seeds
-            .validate_against(graph)
-            .expect("seed set must lie within the diffusion network");
+    fn simulate(
+        &self,
+        graph: &SignedDigraph,
+        seeds: &SeedSet,
+        rng: &mut dyn RngCore,
+    ) -> Result<Cascade, DiffusionError> {
+        seeds.validate_against(graph)?;
         let mut cascade = Cascade::new(graph.node_count(), seeds);
         // Frontier of nodes activated (or flipped) in the previous round.
         let mut frontier: Vec<isomit_graph::NodeId> = seeds.nodes().collect();
@@ -141,6 +144,7 @@ impl DiffusionModel for Mfc {
                     // A frontier node can have been flipped later in the
                     // same round it was activated; it still spreads its
                     // *current* state. Inactive is impossible here.
+                    // lint:allow(panic) structural invariant: only activated nodes enter the frontier
                     None => unreachable!("frontier node is always active"),
                 };
                 for e in graph.out_edges(u) {
@@ -154,6 +158,7 @@ impl DiffusionModel for Mfc {
                             e.sign.is_positive() && sv.sign() != Some(su)
                         }
                         NodeState::Unknown => {
+                            // lint:allow(panic) structural invariant: Cascade states are Inactive/Positive/Negative only
                             unreachable!("simulation never produces unknown states")
                         }
                     };
@@ -171,7 +176,9 @@ impl DiffusionModel for Mfc {
                             new_state,
                             flip,
                         });
+                        // lint:allow(indexing) in_next has node_count entries and e.dst is a CSR node
                         if !in_next[e.dst.index()] {
+                            // lint:allow(indexing) in_next has node_count entries and e.dst is a CSR node
                             in_next[e.dst.index()] = true;
                             next.push(e.dst);
                         }
@@ -179,12 +186,13 @@ impl DiffusionModel for Mfc {
                 }
             }
             for &v in &next {
+                // lint:allow(indexing) in_next has node_count entries and v was pushed from the CSR
                 in_next[v.index()] = false;
             }
             frontier = next;
         }
         cascade.finish(rounds.min(self.max_rounds), truncated);
-        cascade
+        Ok(cascade)
     }
 }
 
@@ -233,7 +241,10 @@ mod tests {
             (2, 3, Sign::Negative, 1.0),
         ]);
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
-        let c = Mfc::new(2.0).unwrap().simulate(&g, &seeds, &mut rng(0));
+        let c = Mfc::new(2.0)
+            .unwrap()
+            .simulate(&g, &seeds, &mut rng(0))
+            .unwrap();
         assert_eq!(c.state(NodeId(1)), NodeState::Positive);
         assert_eq!(c.state(NodeId(2)), NodeState::Negative);
         assert_eq!(c.state(NodeId(3)), NodeState::Positive);
@@ -246,7 +257,10 @@ mod tests {
         let g = g(&[(0, 1, Sign::Positive, 0.0)]);
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         for s in 0..20 {
-            let c = Mfc::new(10.0).unwrap().simulate(&g, &seeds, &mut rng(s));
+            let c = Mfc::new(10.0)
+                .unwrap()
+                .simulate(&g, &seeds, &mut rng(s))
+                .unwrap();
             assert_eq!(c.infected_count(), 1);
         }
     }
@@ -258,7 +272,13 @@ mod tests {
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         let model = Mfc::new(3.0).unwrap();
         let hits = (0..200)
-            .filter(|&s| model.simulate(&g, &seeds, &mut rng(s)).infected_count() == 2)
+            .filter(|&s| {
+                model
+                    .simulate(&g, &seeds, &mut rng(s))
+                    .unwrap()
+                    .infected_count()
+                    == 2
+            })
             .count();
         assert!(
             hits > 195,
@@ -275,7 +295,8 @@ mod tests {
             .unwrap();
         let c = Mfc::new(2.0)
             .unwrap()
-            .simulate(&negative_path, &seeds, &mut rng(1));
+            .simulate(&negative_path, &seeds, &mut rng(1))
+            .unwrap();
         assert_eq!(
             c.state(NodeId(2)),
             NodeState::Negative,
@@ -286,7 +307,8 @@ mod tests {
         let positive_path = g(&[(0, 2, Sign::Positive, 1.0)]);
         let c = Mfc::new(2.0)
             .unwrap()
-            .simulate(&positive_path, &seeds, &mut rng(1));
+            .simulate(&positive_path, &seeds, &mut rng(1))
+            .unwrap();
         assert_eq!(c.state(NodeId(2)), NodeState::Positive, "trust flips");
         assert_eq!(c.flip_count(), 1);
         // A flip does not reset the first parent (node 2 is a seed: none).
@@ -300,7 +322,10 @@ mod tests {
         let g = g(&[(0, 1, Sign::Positive, 1.0)]);
         let seeds = SeedSet::from_pairs([(NodeId(0), Sign::Positive), (NodeId(1), Sign::Positive)])
             .unwrap();
-        let c = Mfc::new(2.0).unwrap().simulate(&g, &seeds, &mut rng(0));
+        let c = Mfc::new(2.0)
+            .unwrap()
+            .simulate(&g, &seeds, &mut rng(0))
+            .unwrap();
         assert!(c.events().is_empty());
     }
 
@@ -311,7 +336,10 @@ mod tests {
         let g = g(&[(0, 1, Sign::Positive, 1.0), (1, 2, Sign::Positive, 1.0)]);
         let seeds = SeedSet::from_pairs([(NodeId(0), Sign::Positive), (NodeId(1), Sign::Negative)])
             .unwrap();
-        let c = Mfc::new(2.0).unwrap().simulate(&g, &seeds, &mut rng(3));
+        let c = Mfc::new(2.0)
+            .unwrap()
+            .simulate(&g, &seeds, &mut rng(3))
+            .unwrap();
         assert_eq!(c.state(NodeId(1)), NodeState::Positive);
         assert_eq!(c.state(NodeId(2)), NodeState::Positive);
         // Round 1: node 1 (still −1) may already activate 2 with −1, then
@@ -330,8 +358,8 @@ mod tests {
         ]);
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         let model = Mfc::new(3.0).unwrap();
-        let a = model.simulate(&g, &seeds, &mut rng(42));
-        let b = model.simulate(&g, &seeds, &mut rng(42));
+        let a = model.simulate(&g, &seeds, &mut rng(42)).unwrap();
+        let b = model.simulate(&g, &seeds, &mut rng(42)).unwrap();
         assert_eq!(a, b);
     }
 
@@ -353,7 +381,8 @@ mod tests {
         let c = Mfc::new(2.0)
             .unwrap()
             .with_max_rounds(1_000)
-            .simulate(&g, &seeds, &mut rng(0));
+            .simulate(&g, &seeds, &mut rng(0))
+            .unwrap();
         assert!(c.truncated(), "flip wave should outlive any finite cap");
         assert!(c.flip_count() > 500, "one flip per wave step expected");
     }
@@ -369,18 +398,22 @@ mod tests {
         let c = Mfc::new(2.0)
             .unwrap()
             .with_max_rounds(2)
-            .simulate(&g, &seeds, &mut rng(0));
+            .simulate(&g, &seeds, &mut rng(0))
+            .unwrap();
         assert!(c.truncated());
         assert_eq!(c.rounds(), 2);
         assert_eq!(c.infected_count(), 3); // 0, 1, 2 reached; 3 not.
     }
 
     #[test]
-    #[should_panic(expected = "seed set must lie within")]
-    fn out_of_bounds_seed_panics() {
+    fn out_of_bounds_seed_is_rejected() {
         let g = g(&[(0, 1, Sign::Positive, 1.0)]);
         let seeds = SeedSet::single(NodeId(9), Sign::Positive);
-        Mfc::new(2.0).unwrap().simulate(&g, &seeds, &mut rng(0));
+        let err = Mfc::new(2.0)
+            .unwrap()
+            .simulate(&g, &seeds, &mut rng(0))
+            .unwrap_err();
+        assert!(err.to_string().contains("out of bounds"));
     }
 
     #[test]
@@ -388,7 +421,8 @@ mod tests {
         let g = g(&[(0, 1, Sign::Positive, 1.0)]);
         let c = Mfc::new(2.0)
             .unwrap()
-            .simulate(&g, &SeedSet::new(), &mut rng(0));
+            .simulate(&g, &SeedSet::new(), &mut rng(0))
+            .unwrap();
         assert_eq!(c.infected_count(), 0);
         assert_eq!(c.rounds(), 0);
     }
@@ -413,10 +447,12 @@ mod tests {
             total_low += Mfc::new(1.0)
                 .unwrap()
                 .simulate(&g, &seeds, &mut rng(s))
+                .unwrap()
                 .infected_count();
             total_high += Mfc::new(4.0)
                 .unwrap()
                 .simulate(&g, &seeds, &mut rng(s))
+                .unwrap()
                 .infected_count();
         }
         assert!(

@@ -1,4 +1,4 @@
-use crate::{Cascade, SeedSet};
+use crate::{Cascade, DiffusionError, SeedSet};
 use isomit_graph::SignedDigraph;
 use rand::RngCore;
 
@@ -33,11 +33,17 @@ pub trait DiffusionModel: std::fmt::Debug {
     /// implementing [`rand::RngCore`] can be passed; it coerces to the
     /// trait object.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any seed is out of bounds for `graph`; validate with
-    /// [`SeedSet::validate_against`] when the seed set is untrusted.
-    fn simulate(&self, graph: &SignedDigraph, seeds: &SeedSet, rng: &mut dyn RngCore) -> Cascade;
+    /// Returns [`DiffusionError::SeedOutOfBounds`] if any seed is out of
+    /// bounds for `graph` (every implementation validates via
+    /// [`SeedSet::validate_against`] before touching the graph).
+    fn simulate(
+        &self,
+        graph: &SignedDigraph,
+        seeds: &SeedSet,
+        rng: &mut dyn RngCore,
+    ) -> Result<Cascade, DiffusionError>;
 }
 
 /// Draws a uniform `f64` in `[0, 1)` from any RNG, including through
@@ -50,25 +56,33 @@ pub(crate) fn gen_unit(rng: &mut (impl RngCore + ?Sized)) -> f64 {
 /// Runs `runs` independent simulations and returns the average infected
 /// count — the basic statistic of the paper's diffusion analyses.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `runs == 0`.
+/// Returns [`DiffusionError::InvalidParameter`] if `runs == 0`, or any
+/// error of the underlying [`DiffusionModel::simulate`] calls.
 pub fn mean_infected<M, R>(
     model: &M,
     graph: &SignedDigraph,
     seeds: &SeedSet,
     runs: usize,
     rng: &mut R,
-) -> f64
+) -> Result<f64, DiffusionError>
 where
     M: DiffusionModel + ?Sized,
     R: RngCore,
 {
-    assert!(runs > 0, "runs must be positive");
-    let total: usize = (0..runs)
-        .map(|_| model.simulate(graph, seeds, rng).infected_count())
-        .sum();
-    total as f64 / runs as f64
+    if runs == 0 {
+        return Err(DiffusionError::InvalidParameter {
+            name: "runs",
+            value: 0.0,
+            constraint: "must be positive",
+        });
+    }
+    let mut total = 0usize;
+    for _ in 0..runs {
+        total += model.simulate(graph, seeds, rng)?.infected_count();
+    }
+    Ok(total as f64 / runs as f64)
 }
 
 #[cfg(test)]
@@ -101,17 +115,17 @@ mod tests {
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         let model = Mfc::new(2.0).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
-        let mean = mean_infected(&model, &g, &seeds, 4, &mut rng);
+        let mean = mean_infected(&model, &g, &seeds, 4, &mut rng).unwrap();
         assert!((mean - 3.0).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "runs must be positive")]
     fn mean_infected_rejects_zero_runs() {
         let g = SignedDigraph::from_edges(1, []).unwrap();
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         let model = Mfc::new(2.0).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
-        mean_infected(&model, &g, &seeds, 0, &mut rng);
+        let err = mean_infected(&model, &g, &seeds, 0, &mut rng).unwrap_err();
+        assert!(err.to_string().contains("runs"));
     }
 }

@@ -15,7 +15,7 @@
 //! [`par_estimate_infection_probabilities`] **bit-identical** to
 //! [`estimate_infection_probabilities_seeded`] for every thread count.
 
-use crate::{DiffusionModel, SeedSet};
+use crate::{DiffusionError, DiffusionModel, SeedSet};
 use isomit_graph::{NodeId, SignedDigraph};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -42,6 +42,7 @@ impl InfectionEstimate {
     ///
     /// Panics if `node` is out of bounds.
     pub fn infection_probability(&self, node: NodeId) -> f64 {
+        // lint:allow(indexing) documented panic on out-of-bounds node
         self.infected[node.index()] as f64 / self.runs as f64
     }
 
@@ -52,6 +53,7 @@ impl InfectionEstimate {
     ///
     /// Panics if `node` is out of bounds.
     pub fn positive_probability(&self, node: NodeId) -> f64 {
+        // lint:allow(indexing) documented panic on out-of-bounds node
         self.positive[node.index()] as f64 / self.runs as f64
     }
 
@@ -68,42 +70,45 @@ impl InfectionEstimate {
     }
 }
 
+/// Checks the shared preconditions of the estimators.
+fn check_runs(runs: usize) -> Result<(), DiffusionError> {
+    if runs == 0 {
+        return Err(DiffusionError::InvalidParameter {
+            name: "runs",
+            value: 0.0,
+            constraint: "must be positive",
+        });
+    }
+    Ok(())
+}
+
 /// Runs `runs` independent simulations of `model` and tallies per-node
 /// outcome frequencies.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `runs == 0` or the seed set is invalid for `graph`.
+/// Returns [`DiffusionError::InvalidParameter`] if `runs == 0`, or any
+/// error of the underlying [`DiffusionModel::simulate`] calls.
 pub fn estimate_infection_probabilities<M>(
     model: &M,
     graph: &SignedDigraph,
     seeds: &SeedSet,
     runs: usize,
     rng: &mut dyn RngCore,
-) -> InfectionEstimate
+) -> Result<InfectionEstimate, DiffusionError>
 where
     M: DiffusionModel + ?Sized,
 {
-    assert!(runs > 0, "runs must be positive");
-    let n = graph.node_count();
-    let mut infected = vec![0u32; n];
-    let mut positive = vec![0u32; n];
+    check_runs(runs)?;
+    let mut tally = Tally::new(graph.node_count());
     for _ in 0..runs {
-        let cascade = model.simulate(graph, seeds, rng);
-        for (i, state) in cascade.states().iter().enumerate() {
-            if state.is_active() {
-                infected[i] += 1;
-            }
-            if *state == isomit_graph::NodeState::Positive {
-                positive[i] += 1;
-            }
-        }
+        tally.record(&model.simulate(graph, seeds, rng)?);
     }
-    InfectionEstimate {
+    Ok(InfectionEstimate {
         runs,
-        infected,
-        positive,
-    }
+        infected: tally.infected,
+        positive: tally.positive,
+    })
 }
 
 /// Per-worker outcome tallies; merging two is element-wise addition,
@@ -123,12 +128,13 @@ impl Tally {
     }
 
     fn record(&mut self, cascade: &crate::Cascade) {
-        for (i, state) in cascade.states().iter().enumerate() {
+        let counters = self.infected.iter_mut().zip(self.positive.iter_mut());
+        for ((inf, pos), state) in counters.zip(cascade.states()) {
             if state.is_active() {
-                self.infected[i] += 1;
+                *inf += 1;
             }
             if *state == isomit_graph::NodeState::Positive {
-                self.positive[i] += 1;
+                *pos += 1;
             }
         }
     }
@@ -167,30 +173,31 @@ fn run_rng(master_seed: u64, run_index: usize) -> StdRng {
 /// output; keep this path for single-threaded use and as the regression
 /// oracle.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `runs == 0` or the seed set is invalid for `graph`.
+/// Returns [`DiffusionError::InvalidParameter`] if `runs == 0`, or any
+/// error of the underlying [`DiffusionModel::simulate`] calls.
 pub fn estimate_infection_probabilities_seeded<M>(
     model: &M,
     graph: &SignedDigraph,
     seeds: &SeedSet,
     runs: usize,
     master_seed: u64,
-) -> InfectionEstimate
+) -> Result<InfectionEstimate, DiffusionError>
 where
     M: DiffusionModel + ?Sized,
 {
-    assert!(runs > 0, "runs must be positive");
+    check_runs(runs)?;
     let mut tally = Tally::new(graph.node_count());
     for run in 0..runs {
         let mut rng = run_rng(master_seed, run);
-        tally.record(&model.simulate(graph, seeds, &mut rng));
+        tally.record(&model.simulate(graph, seeds, &mut rng)?);
     }
-    InfectionEstimate {
+    Ok(InfectionEstimate {
         runs,
         infected: tally.infected,
         positive: tally.positive,
-    }
+    })
 }
 
 /// Parallel estimator: distributes the `runs` simulations across the
@@ -203,35 +210,40 @@ where
 /// are merged by element-wise addition, so neither scheduling order nor
 /// thread count can influence the result.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `runs == 0` or the seed set is invalid for `graph`.
+/// Returns [`DiffusionError::InvalidParameter`] if `runs == 0`, or any
+/// error of the underlying [`DiffusionModel::simulate`] calls. Errors
+/// short-circuit the surviving work but cannot perturb successful
+/// results: a simulation either fails for every run (seed validation is
+/// input-determined) or for none.
 pub fn par_estimate_infection_probabilities<M>(
     model: &M,
     graph: &SignedDigraph,
     seeds: &SeedSet,
     runs: usize,
     master_seed: u64,
-) -> InfectionEstimate
+) -> Result<InfectionEstimate, DiffusionError>
 where
     M: DiffusionModel + Sync + ?Sized,
 {
-    assert!(runs > 0, "runs must be positive");
+    check_runs(runs)?;
     let n = graph.node_count();
     let tally = (0..runs).into_par_iter().fold_reduce(
-        || Tally::new(n),
-        |mut acc, run| {
+        || Ok(Tally::new(n)),
+        |acc: Result<Tally, DiffusionError>, run| {
+            let mut acc = acc?;
             let mut rng = run_rng(master_seed, run);
-            acc.record(&model.simulate(graph, seeds, &mut rng));
-            acc
+            acc.record(&model.simulate(graph, seeds, &mut rng)?);
+            Ok(acc)
         },
-        Tally::merge,
-    );
-    InfectionEstimate {
+        |a, b| Ok(a?.merge(b?)),
+    )?;
+    Ok(InfectionEstimate {
         runs,
         infected: tally.infected,
         positive: tally.positive,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -263,7 +275,8 @@ mod tests {
             &seeds,
             40_000,
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(est.infection_probability(NodeId(0)), 1.0);
         for (node, expected) in [(1u32, 0.6), (2, 0.3), (3, 0.3)] {
             let p = est.infection_probability(NodeId(node));
@@ -285,7 +298,8 @@ mod tests {
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         let mut rng = StdRng::seed_from_u64(1);
         let est =
-            estimate_infection_probabilities(&Mfc::new(3.0).unwrap(), &g, &seeds, 20_000, &mut rng);
+            estimate_infection_probabilities(&Mfc::new(3.0).unwrap(), &g, &seeds, 20_000, &mut rng)
+                .unwrap();
         // Boosted probability min(1, 3·0.3) = 0.9.
         let p = est.infection_probability(NodeId(1));
         assert!((p - 0.9).abs() < 0.02, "estimated {p}");
@@ -304,18 +318,21 @@ mod tests {
             &seeds,
             10_000,
             &mut rng,
-        );
+        )
+        .unwrap();
         let total = est.expected_infected();
         assert!((total - 1.5).abs() < 0.05, "expected size {total}");
         assert_eq!(est.runs(), 10_000);
     }
 
     #[test]
-    #[should_panic(expected = "runs must be positive")]
-    fn zero_runs_panics() {
+    fn zero_runs_is_rejected() {
         let g = SignedDigraph::from_edges(1, []).unwrap();
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         let mut rng = StdRng::seed_from_u64(0);
-        estimate_infection_probabilities(&IndependentCascade::new(), &g, &seeds, 0, &mut rng);
+        let err =
+            estimate_infection_probabilities(&IndependentCascade::new(), &g, &seeds, 0, &mut rng)
+                .unwrap_err();
+        assert!(err.to_string().contains("runs"));
     }
 }

@@ -48,10 +48,13 @@ impl DiffusionModel for PolarityIc {
         "P-IC"
     }
 
-    fn simulate(&self, graph: &SignedDigraph, seeds: &SeedSet, rng: &mut dyn RngCore) -> Cascade {
-        seeds
-            .validate_against(graph)
-            .expect("seed set must lie within the diffusion network");
+    fn simulate(
+        &self,
+        graph: &SignedDigraph,
+        seeds: &SeedSet,
+        rng: &mut dyn RngCore,
+    ) -> Result<Cascade, DiffusionError> {
+        seeds.validate_against(graph)?;
         let mut cascade = Cascade::new(graph.node_count(), seeds);
         let mut frontier: Vec<isomit_graph::NodeId> = seeds.nodes().collect();
         let mut rounds = 0usize;
@@ -59,10 +62,11 @@ impl DiffusionModel for PolarityIc {
             rounds += 1;
             let mut next = Vec::new();
             for &u in &frontier {
-                let su = cascade
-                    .state(u)
-                    .sign()
-                    .expect("frontier node is always active");
+                let su = match cascade.state(u).sign() {
+                    Some(s) => s,
+                    // lint:allow(panic) structural invariant: only activated nodes enter the frontier
+                    None => unreachable!("frontier node is always active"),
+                };
                 for e in graph.out_edges(u) {
                     if cascade.state(e.dst) != NodeState::Inactive {
                         continue;
@@ -87,7 +91,7 @@ impl DiffusionModel for PolarityIc {
             frontier = next;
         }
         cascade.finish(rounds, false);
-        cascade
+        Ok(cascade)
     }
 }
 
@@ -124,7 +128,13 @@ mod tests {
         let model = PolarityIc::new(0.2).unwrap();
         let fire = |g: &SignedDigraph| {
             (0..2000)
-                .filter(|&s| model.simulate(g, &seeds, &mut rng(s)).infected_count() == 2)
+                .filter(|&s| {
+                    model
+                        .simulate(g, &seeds, &mut rng(s))
+                        .unwrap()
+                        .infected_count()
+                        == 2
+                })
                 .count()
         };
         let pos_hits = fire(&pos);
@@ -144,7 +154,8 @@ mod tests {
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         let c = PolarityIc::new(1.0)
             .unwrap()
-            .simulate(&g, &seeds, &mut rng(0));
+            .simulate(&g, &seeds, &mut rng(0))
+            .unwrap();
         assert_eq!(c.state(NodeId(1)), NodeState::Negative);
     }
 
@@ -157,7 +168,8 @@ mod tests {
             .unwrap();
         let c = PolarityIc::new(0.5)
             .unwrap()
-            .simulate(&g, &seeds, &mut rng(0));
+            .simulate(&g, &seeds, &mut rng(0))
+            .unwrap();
         assert_eq!(c.state(NodeId(1)), NodeState::Negative);
         assert_eq!(c.flip_count(), 0);
     }

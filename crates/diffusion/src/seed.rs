@@ -3,7 +3,7 @@ use isomit_graph::{NodeId, Sign, SignedDigraph};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A set of rumor initiators with their initial opinions — the paper's
 /// `(I, S)` pair.
@@ -52,7 +52,7 @@ impl SeedSet {
     where
         I: IntoIterator<Item = (NodeId, Sign)>,
     {
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         let mut seeds = Vec::new();
         for (node, state) in pairs {
             if !seen.insert(node) {
@@ -170,6 +170,7 @@ impl FromIterator<(NodeId, Sign)> for SeedSet {
     /// Collects pairs into a seed set, panicking on duplicates. Use
     /// [`SeedSet::from_pairs`] for fallible construction.
     fn from_iter<T: IntoIterator<Item = (NodeId, Sign)>>(iter: T) -> Self {
+        // lint:allow(panic) documented panic: FromIterator cannot report errors; from_pairs is the fallible path
         SeedSet::from_pairs(iter).expect("duplicate seed in FromIterator")
     }
 }
@@ -214,7 +215,7 @@ mod tests {
         let positives = seeds.iter().filter(|(_, s)| s.is_positive()).count();
         assert_eq!(positives, 10);
         // Distinct nodes.
-        let distinct: HashSet<_> = seeds.nodes().collect();
+        let distinct: BTreeSet<_> = seeds.nodes().collect();
         assert_eq!(distinct.len(), 40);
     }
 

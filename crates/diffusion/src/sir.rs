@@ -71,10 +71,13 @@ impl DiffusionModel for Sir {
         "SIR"
     }
 
-    fn simulate(&self, graph: &SignedDigraph, seeds: &SeedSet, rng: &mut dyn RngCore) -> Cascade {
-        seeds
-            .validate_against(graph)
-            .expect("seed set must lie within the diffusion network");
+    fn simulate(
+        &self,
+        graph: &SignedDigraph,
+        seeds: &SeedSet,
+        rng: &mut dyn RngCore,
+    ) -> Result<Cascade, DiffusionError> {
+        seeds.validate_against(graph)?;
         let mut cascade = Cascade::new(graph.node_count(), seeds);
         let mut infectious: Vec<NodeId> = seeds.nodes().collect();
         let mut rounds = 0usize;
@@ -87,10 +90,11 @@ impl DiffusionModel for Sir {
             }
             let mut newly: Vec<NodeId> = Vec::new();
             for &u in &infectious {
-                let su = cascade
-                    .state(u)
-                    .sign()
-                    .expect("infectious node is always active");
+                let su = match cascade.state(u).sign() {
+                    Some(s) => s,
+                    // lint:allow(panic) structural invariant: only activated nodes enter the infectious pool
+                    None => unreachable!("infectious node is always active"),
+                };
                 for e in graph.out_edges(u) {
                     if cascade.state(e.dst) != NodeState::Inactive {
                         continue;
@@ -113,7 +117,7 @@ impl DiffusionModel for Sir {
             infectious.extend(newly);
         }
         cascade.finish(rounds.min(self.max_rounds), truncated);
-        cascade
+        Ok(cascade)
     }
 }
 
@@ -144,7 +148,10 @@ mod tests {
             SignedDigraph::from_edges(2, [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.0)])
                 .unwrap();
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
-        let c = Sir::new(1.0).unwrap().simulate(&g, &seeds, &mut rng(0));
+        let c = Sir::new(1.0)
+            .unwrap()
+            .simulate(&g, &seeds, &mut rng(0))
+            .unwrap();
         assert_eq!(c.infected_count(), 2);
         assert!(c.rounds() <= 3);
     }
@@ -159,7 +166,13 @@ mod tests {
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         let model = Sir::new(0.001).unwrap();
         let hits = (0..100)
-            .filter(|&s| model.simulate(&g, &seeds, &mut rng(s)).infected_count() == 2)
+            .filter(|&s| {
+                model
+                    .simulate(&g, &seeds, &mut rng(s))
+                    .unwrap()
+                    .infected_count()
+                    == 2
+            })
             .count();
         assert!(
             hits > 90,
@@ -173,7 +186,10 @@ mod tests {
             SignedDigraph::from_edges(2, [Edge::new(NodeId(0), NodeId(1), Sign::Negative, 1.0)])
                 .unwrap();
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
-        let c = Sir::new(0.5).unwrap().simulate(&g, &seeds, &mut rng(1));
+        let c = Sir::new(0.5)
+            .unwrap()
+            .simulate(&g, &seeds, &mut rng(1))
+            .unwrap();
         assert_eq!(c.state(NodeId(1)), NodeState::Negative);
     }
 
@@ -192,7 +208,8 @@ mod tests {
         let c = Sir::new(1e-9)
             .unwrap()
             .with_max_rounds(50)
-            .simulate(&g, &seeds, &mut rng(0));
+            .simulate(&g, &seeds, &mut rng(0))
+            .unwrap();
         assert!(c.rounds() <= 50);
     }
 
@@ -210,8 +227,8 @@ mod tests {
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         let model = Sir::new(0.4).unwrap();
         assert_eq!(
-            model.simulate(&g, &seeds, &mut rng(8)),
-            model.simulate(&g, &seeds, &mut rng(8))
+            model.simulate(&g, &seeds, &mut rng(8)).unwrap(),
+            model.simulate(&g, &seeds, &mut rng(8)).unwrap()
         );
     }
 }

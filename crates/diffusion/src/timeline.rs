@@ -36,7 +36,7 @@ pub struct RoundStats {
 /// )?;
 /// let seeds = SeedSet::single(NodeId(0), Sign::Positive);
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-/// let cascade = Mfc::new(2.0)?.simulate(&g, &seeds, &mut rng);
+/// let cascade = Mfc::new(2.0)?.simulate(&g, &seeds, &mut rng)?;
 /// let timeline = CascadeTimeline::from_cascade(&cascade);
 /// assert_eq!(timeline.cumulative_infected(1), 2); // seed + round-1 hit
 /// # Ok(())
@@ -60,14 +60,17 @@ impl CascadeTimeline {
         let last_round = cascade.events().iter().map(|e| e.step).max().unwrap_or(0);
         let mut rounds = vec![RoundStats::default(); last_round];
         for event in cascade.events() {
-            let slot = &mut rounds[event.step - 1];
+            let Some(slot) = rounds.get_mut(event.step - 1) else {
+                continue; // unrecordable event; `last_round` bounds every step
+            };
             if event.flip {
                 slot.flips += 1;
             } else {
                 slot.new_infections += 1;
-                let idx = event.dst.index();
-                if infection_round[idx].is_none() {
-                    infection_round[idx] = Some(event.step);
+                if let Some(first) = infection_round.get_mut(event.dst.index()) {
+                    if first.is_none() {
+                        *first = Some(event.step);
+                    }
                 }
             }
             match event.new_state {
@@ -101,6 +104,7 @@ impl CascadeTimeline {
     /// Panics if `t` is zero or beyond the last recorded round.
     pub fn round(&self, t: usize) -> RoundStats {
         assert!(t >= 1 && t <= self.rounds.len(), "round {t} out of range");
+        // lint:allow(indexing) documented panic; the assert above bounds t
         self.rounds[t - 1]
     }
 
@@ -114,8 +118,10 @@ impl CascadeTimeline {
     pub fn cumulative_infected(&self, t: usize) -> usize {
         let through = t.min(self.rounds.len());
         self.seed_count
-            + self.rounds[..through]
+            + self
+                .rounds
                 .iter()
+                .take(through)
                 .map(|r| r.new_infections)
                 .sum::<usize>()
     }
@@ -131,6 +137,7 @@ impl CascadeTimeline {
         if cascade.seeds().contains(node) {
             return Some(0);
         }
+        // lint:allow(indexing) documented panic on out-of-bounds node
         self.infection_round[node.index()]
     }
 
@@ -169,6 +176,7 @@ mod tests {
         Mfc::new(2.0)
             .unwrap()
             .simulate(&g, &seeds, &mut StdRng::seed_from_u64(0))
+            .unwrap()
     }
 
     #[test]
@@ -205,7 +213,8 @@ mod tests {
             .unwrap();
         let cascade = Mfc::new(2.0)
             .unwrap()
-            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(0));
+            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(0))
+            .unwrap();
         let timeline = CascadeTimeline::from_cascade(&cascade);
         assert_eq!(timeline.total_flips(), 1);
         assert_eq!(timeline.round(1).flips, 1);
@@ -222,7 +231,8 @@ mod tests {
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         let cascade = Mfc::new(2.0)
             .unwrap()
-            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(0));
+            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(0))
+            .unwrap();
         let timeline = CascadeTimeline::from_cascade(&cascade);
         assert!(timeline.is_empty());
         assert_eq!(timeline.peak_round(), None);
@@ -241,7 +251,8 @@ mod tests {
         let seeds = SeedSet::single(NodeId(0), Sign::Positive);
         let cascade = Mfc::new(2.0)
             .unwrap()
-            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(0));
+            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(0))
+            .unwrap();
         let timeline = CascadeTimeline::from_cascade(&cascade);
         assert_eq!(timeline.peak_round(), Some(1));
         assert_eq!(timeline.round(1).new_infections, 4);

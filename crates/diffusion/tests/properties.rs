@@ -96,7 +96,7 @@ proptest! {
         // `flip_wave_oscillates_forever` unit test in mfc.rs); the
         // structural invariants hold regardless of truncation.
         let model = Mfc::new(3.0).unwrap().with_max_rounds(5_000);
-        let c = model.simulate(&g, &seeds, &mut StdRng::seed_from_u64(rng_seed));
+        let c = model.simulate(&g, &seeds, &mut StdRng::seed_from_u64(rng_seed)).unwrap();
         check_common_invariants(&g, &seeds, &c);
         // MFC-specific: flips only ever happen across positive edges.
         for e in c.events().iter().filter(|e| e.flip) {
@@ -108,7 +108,7 @@ proptest! {
     #[test]
     fn ic_invariants(((g, seeds), rng_seed) in (arb_scenario(), any::<u64>())) {
         let c = IndependentCascade::new()
-            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(rng_seed));
+            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(rng_seed)).unwrap();
         check_common_invariants(&g, &seeds, &c);
         // IC never flips: one event per infected non-seed, none for seeds.
         prop_assert_eq!(c.flip_count(), 0);
@@ -123,7 +123,7 @@ proptest! {
     #[test]
     fn lt_invariants(((g, seeds), rng_seed) in (arb_scenario(), any::<u64>())) {
         let c = LinearThreshold::new()
-            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(rng_seed));
+            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(rng_seed)).unwrap();
         check_common_invariants(&g, &seeds, &c);
         prop_assert_eq!(c.flip_count(), 0);
     }
@@ -131,7 +131,7 @@ proptest! {
     #[test]
     fn sir_invariants(((g, seeds), rng_seed) in (arb_scenario(), any::<u64>())) {
         let c = Sir::new(0.5).unwrap()
-            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(rng_seed));
+            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(rng_seed)).unwrap();
         check_common_invariants(&g, &seeds, &c);
         prop_assert_eq!(c.flip_count(), 0);
     }
@@ -139,7 +139,7 @@ proptest! {
     #[test]
     fn pic_invariants(((g, seeds), rng_seed) in (arb_scenario(), any::<u64>())) {
         let c = PolarityIc::new(0.5).unwrap()
-            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(rng_seed));
+            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(rng_seed)).unwrap();
         check_common_invariants(&g, &seeds, &c);
         prop_assert_eq!(c.flip_count(), 0);
     }
@@ -147,7 +147,7 @@ proptest! {
     #[test]
     fn infected_network_is_consistent(((g, seeds), rng_seed) in (arb_scenario(), any::<u64>())) {
         let model = Mfc::new(3.0).unwrap();
-        let c = model.simulate(&g, &seeds, &mut StdRng::seed_from_u64(rng_seed));
+        let c = model.simulate(&g, &seeds, &mut StdRng::seed_from_u64(rng_seed)).unwrap();
         let inf = InfectedNetwork::from_cascade(&g, &c);
         prop_assert_eq!(inf.node_count(), c.infected_count());
         // Every subgraph state matches the cascade state of the original node.
@@ -169,8 +169,8 @@ proptest! {
     #[test]
     fn simulation_determinism(((g, seeds), rng_seed) in (arb_scenario(), any::<u64>())) {
         let model = Mfc::new(2.5).unwrap();
-        let a = model.simulate(&g, &seeds, &mut StdRng::seed_from_u64(rng_seed));
-        let b = model.simulate(&g, &seeds, &mut StdRng::seed_from_u64(rng_seed));
+        let a = model.simulate(&g, &seeds, &mut StdRng::seed_from_u64(rng_seed)).unwrap();
+        let b = model.simulate(&g, &seeds, &mut StdRng::seed_from_u64(rng_seed)).unwrap();
         prop_assert_eq!(a, b);
     }
 }

@@ -1,3 +1,5 @@
+// lint:allow-file(indexing) Chu-Liu/Edmonds indexes per-node scratch arrays (state, best_in, cycle_of) allocated with the contracted graph's node count; Branching::validate() checks the parent structure
+use isomit_graph::GraphError;
 use serde::{Deserialize, Serialize};
 
 /// A directed weighted arc, input to [`maximum_branching`].
@@ -73,6 +75,83 @@ impl Branching {
     /// Sum of the selected arcs' weights.
     pub fn total_weight(&self) -> f64 {
         self.total_weight
+    }
+
+    /// Checks every structural invariant of the branching against the
+    /// arcs it was computed from.
+    ///
+    /// Verified invariants:
+    ///
+    /// * `parent` and `parent_arc` have equal length and agree on which
+    ///   nodes are roots;
+    /// * every selected arc index is in bounds and the arc really runs
+    ///   from the recorded parent to the node;
+    /// * the parent pointers are acyclic (walking up from any node
+    ///   reaches a root);
+    /// * `total_weight` equals the sum of the selected arcs' weights.
+    ///
+    /// [`maximum_branching`] upholds these by construction and re-asserts
+    /// them in debug builds; call this on branchings arriving through
+    /// other channels (e.g. serde deserialization), not per-query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Invariant`] naming the first violated
+    /// invariant.
+    pub fn validate(&self, arcs: &[WeightedArc]) -> Result<(), GraphError> {
+        let n = self.parent.len();
+        let fail = |msg: String| Err(GraphError::Invariant(msg));
+        if self.parent_arc.len() != n {
+            return fail(format!(
+                "parent has {n} entries but parent_arc has {}",
+                self.parent_arc.len()
+            ));
+        }
+        let mut weight = 0.0;
+        for (v, (p, a)) in self.parent.iter().zip(self.parent_arc.iter()).enumerate() {
+            match (p, a) {
+                (None, None) => {}
+                (Some(p), Some(a)) => {
+                    let Some(arc) = arcs.get(*a) else {
+                        return fail(format!(
+                            "node {v} selects arc {a}, but only {} arcs exist",
+                            arcs.len()
+                        ));
+                    };
+                    if arc.src != *p || arc.dst != v {
+                        return fail(format!(
+                            "node {v} records parent {p} via arc {a}, but that arc is ({}, {})",
+                            arc.src, arc.dst
+                        ));
+                    }
+                    weight += arc.weight;
+                }
+                _ => {
+                    return fail(format!(
+                        "node {v}: parent and parent_arc disagree on rootness"
+                    ))
+                }
+            }
+        }
+        if (weight - self.total_weight).abs() > 1e-9 * weight.abs().max(1.0) {
+            return fail(format!(
+                "total_weight {} does not match the selected arcs' sum {weight}",
+                self.total_weight
+            ));
+        }
+        // Acyclicity: walking up from any node terminates within n steps.
+        for v in 0..n {
+            let mut cur = v;
+            let mut steps = 0usize;
+            while let Some(p) = self.parent.get(cur).copied().flatten() {
+                cur = p;
+                steps += 1;
+                if steps > n {
+                    return fail(format!("parent pointers cycle through node {v}"));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Children lists, derived from the parent pointers.
@@ -216,6 +295,7 @@ pub fn maximum_branching(n: usize, arcs: &[WeightedArc]) -> Branching {
             loop {
                 if state[v] == 1 {
                     // Found a cycle: the suffix of `path` starting at `v`.
+                    // lint:allow(panic) structural invariant: v was pushed onto path before being marked in-progress
                     let pos = path.iter().position(|&x| x == v).expect("v is on path");
                     let cycle: Vec<usize> = path[pos..].to_vec();
                     let id = cycles.len();
@@ -279,6 +359,7 @@ pub fn maximum_branching(n: usize, arcs: &[WeightedArc]) -> Branching {
                 continue;
             }
             let weight = if record.cycle_of[e.dst].is_some() {
+                // lint:allow(panic) structural invariant: every contracted-cycle node has a chosen incoming edge
                 let chosen = record.best_in[e.dst].expect("cycle node has a parent");
                 e.weight - record.edges[chosen].weight
             } else {
@@ -344,11 +425,17 @@ pub fn maximum_branching(n: usize, arcs: &[WeightedArc]) -> Branching {
             }
         }
     }
-    Branching {
+    let branching = Branching {
         parent,
         parent_arc,
         total_weight,
-    }
+    };
+    debug_assert!(
+        branching.validate(arcs).is_ok(),
+        "maximum_branching produced an invalid branching: {:?}",
+        branching.validate(arcs)
+    );
+    branching
 }
 
 #[cfg(test)]
@@ -361,34 +448,49 @@ mod tests {
             .collect()
     }
 
-    /// Checks structural validity: acyclic, parents match arcs, weight
-    /// adds up.
+    /// Checks structural validity via the public validator.
     fn validate(n: usize, arcs: &[WeightedArc], b: &Branching) {
         assert_eq!(b.len(), n);
-        let mut weight = 0.0;
-        for v in 0..n {
-            match (b.parent(v), b.parent_arc(v)) {
-                (None, None) => {}
-                (Some(p), Some(a)) => {
-                    assert_eq!(arcs[a].src, p);
-                    assert_eq!(arcs[a].dst, v);
-                    weight += arcs[a].weight;
-                }
-                _ => panic!("parent and parent_arc must agree"),
+        b.validate(arcs).unwrap();
+    }
+
+    fn expect_invariant(b: &Branching, arcs: &[WeightedArc], needle: &str) {
+        match b.validate(arcs) {
+            Err(isomit_graph::GraphError::Invariant(msg)) => {
+                assert!(msg.contains(needle), "message {msg:?} lacks {needle:?}")
             }
+            other => panic!("expected Invariant error containing {needle:?}, got {other:?}"),
         }
-        assert!((weight - b.total_weight()).abs() < 1e-9);
-        // Acyclicity: walking up from any node terminates.
-        for v in 0..n {
-            let mut cur = v;
-            for steps in 0..=n {
-                match b.parent(cur) {
-                    Some(p) => cur = p,
-                    None => break,
-                }
-                assert!(steps < n, "cycle detected through {v}");
-            }
-        }
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let a = arcs(&[(0, 1, 0.5), (1, 2, 0.5)]);
+        let good = maximum_branching(3, &a);
+        good.validate(&a).unwrap();
+
+        let mut b = good.clone();
+        b.parent[2] = Some(0); // arc 1 runs (1, 2), not (0, 2)
+        expect_invariant(&b, &a, "that arc is");
+
+        let mut b = good.clone();
+        b.parent_arc[2] = Some(9);
+        expect_invariant(&b, &a, "arcs exist");
+
+        let mut b = good.clone();
+        b.parent[2] = None; // parent_arc still Some
+        expect_invariant(&b, &a, "disagree on rootness");
+
+        let mut b = good.clone();
+        b.total_weight = 9.0;
+        expect_invariant(&b, &a, "does not match");
+
+        let mut b = good.clone();
+        // 1 -> 2 -> 1 cycle: point 1's parent at 2 via a fabricated arc.
+        let cyclic = arcs(&[(0, 1, 0.5), (1, 2, 0.5), (2, 1, 0.5)]);
+        b.parent[1] = Some(2);
+        b.parent_arc[1] = Some(2);
+        expect_invariant(&b, &cyclic, "cycle");
     }
 
     #[test]

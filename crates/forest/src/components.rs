@@ -1,3 +1,4 @@
+// lint:allow-file(indexing) union-find parent/rank arrays are allocated with node_count entries and only indexed by NodeId indices from the same graph
 use isomit_graph::{NodeId, SignedDigraph};
 use std::collections::VecDeque;
 

@@ -39,6 +39,15 @@ pub enum GraphError {
         /// Stringified [`std::io::Error`].
         String,
     ),
+    /// A structural invariant of an already-constructed value was
+    /// violated (corrupt CSR arrays, out-of-range weight, unsorted
+    /// neighbor lists, …). Produced by `validate()` methods; seeing this
+    /// means the value was built or deserialized outside the checked
+    /// constructors.
+    Invariant(
+        /// Description of the violated invariant.
+        String,
+    ),
 }
 
 impl fmt::Display for GraphError {
@@ -59,6 +68,9 @@ impl fmt::Display for GraphError {
                 write!(f, "parse error at line {line}: {message}")
             }
             GraphError::Io(message) => write!(f, "i/o error: {message}"),
+            GraphError::Invariant(message) => {
+                write!(f, "structural invariant violated: {message}")
+            }
         }
     }
 }

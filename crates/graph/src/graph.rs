@@ -1,3 +1,4 @@
+// lint:allow-file(indexing) CSR adjacency access: offsets are validated monotone and in-bounds by `validate()`, and node indices come from `NodeId`s bounded by `node_count`
 use crate::{Edge, EdgeRef, GraphError, NodeId, Sign, SignedDigraphBuilder};
 use serde::{Deserialize, Serialize};
 
@@ -120,7 +121,7 @@ impl SignedDigraph {
         }
         // Buckets were filled in src-sorted order already (edges sorted by
         // (src, dst)), so in_src within each bucket is sorted by source.
-        SignedDigraph {
+        let graph = SignedDigraph {
             node_count,
             out_offsets,
             out_dst,
@@ -130,7 +131,12 @@ impl SignedDigraph {
             in_src,
             in_sign,
             in_weight,
+        };
+        #[cfg(debug_assertions)]
+        if let Err(e) = graph.validate() {
+            panic!("constructor produced a corrupt graph: {e}"); // lint:allow(panic) debug-only self-check; release builds skip it
         }
+        graph
     }
 
     /// Number of nodes (`|V|`).
@@ -295,6 +301,152 @@ impl SignedDigraph {
         SignedDigraph::from_validated_edges(self.node_count, edges)
     }
 
+    /// Checks every structural invariant of the CSR representation.
+    ///
+    /// Verified invariants:
+    ///
+    /// * both offset arrays have `node_count + 1` entries, start at `0`,
+    ///   end at `edge_count`, and are monotone non-decreasing;
+    /// * all parallel arrays (`dst`/`sign`/`weight`, `src`/`sign`/`weight`)
+    ///   have matching lengths;
+    /// * every neighbor list is strictly sorted (sorted and deduped) with
+    ///   ids inside `0..node_count` and no self-loops;
+    /// * every weight is finite and in `[0, 1]` (signs are `{+1, -1}` by
+    ///   construction of the [`Sign`] type);
+    /// * the in-adjacency is an exact mirror of the out-adjacency: both
+    ///   describe the same multiset of `(src, dst, sign, weight)` tuples.
+    ///
+    /// The checked constructors ([`SignedDigraphBuilder`],
+    /// [`SignedDigraph::from_edges`], the SNAP/JSON loaders) uphold these
+    /// by construction and re-assert them in debug builds; call this at
+    /// ingest time on graphs arriving through other channels (e.g. serde
+    /// deserialization of untrusted data), not per-query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Invariant`] naming the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let n = self.node_count;
+        let m = self.out_dst.len();
+        let fail = |msg: String| Err(GraphError::Invariant(msg));
+
+        // Offset-array shape.
+        for (name, offsets) in [("out", &self.out_offsets), ("in", &self.in_offsets)] {
+            if offsets.len() != n + 1 {
+                return fail(format!(
+                    "{name}_offsets has {} entries, expected node_count + 1 = {}",
+                    offsets.len(),
+                    n + 1
+                ));
+            }
+            if offsets.first() != Some(&0) {
+                return fail(format!("{name}_offsets does not start at 0"));
+            }
+            let mut adjacent = offsets.iter().zip(offsets.iter().skip(1));
+            if let Some((a, b)) = adjacent.find(|(a, b)| b < a) {
+                return fail(format!(
+                    "{name}_offsets is not monotone: {a} followed by {b}"
+                ));
+            }
+            if offsets.last() != Some(&m) {
+                return fail(format!(
+                    "{name}_offsets ends at {:?}, expected edge_count {m}",
+                    offsets.last()
+                ));
+            }
+        }
+
+        // Parallel-array lengths.
+        for (name, len) in [
+            ("out_sign", self.out_sign.len()),
+            ("out_weight", self.out_weight.len()),
+            ("in_src", self.in_src.len()),
+            ("in_sign", self.in_sign.len()),
+            ("in_weight", self.in_weight.len()),
+        ] {
+            if len != m {
+                return fail(format!("{name} has {len} entries, expected edge_count {m}"));
+            }
+        }
+
+        // Per-node neighbor lists: in-bounds, strictly sorted, loop-free.
+        for (name, offsets, ids) in [
+            ("out", &self.out_offsets, &self.out_dst),
+            ("in", &self.in_offsets, &self.in_src),
+        ] {
+            for u in 0..n {
+                let (Some(&lo), Some(&hi)) = (offsets.get(u), offsets.get(u + 1)) else {
+                    return fail(format!("{name}_offsets truncated at node {u}"));
+                };
+                let Some(bucket) = ids.get(lo..hi) else {
+                    return fail(format!(
+                        "{name} bucket {lo}..{hi} of node n{u} exceeds the edge arrays"
+                    ));
+                };
+                for (a, b) in bucket.iter().zip(bucket.iter().skip(1)) {
+                    if b <= a {
+                        return fail(format!(
+                            "{name} neighbor list of n{u} is not strictly sorted: {a} then {b}"
+                        ));
+                    }
+                }
+                for &v in bucket {
+                    if v.index() >= n {
+                        return fail(format!(
+                            "{name} neighbor {v} of n{u} is out of bounds for {n} nodes"
+                        ));
+                    }
+                    if v.index() == u {
+                        return fail(format!("{name} adjacency of n{u} contains a self-loop"));
+                    }
+                }
+            }
+        }
+
+        // Weights.
+        for (name, weights) in [("out", &self.out_weight), ("in", &self.in_weight)] {
+            if let Some(w) = weights
+                .iter()
+                .find(|w| !w.is_finite() || !(0.0..=1.0).contains(*w))
+            {
+                return fail(format!(
+                    "{name}_weight contains {w}, expected a finite value in [0, 1]"
+                ));
+            }
+        }
+
+        // Mirror consistency: both CSRs must describe the same edge set,
+        // attribute for attribute. Weights compare bitwise: the mirror is
+        // built by copying, so even NaN payloads would have to match.
+        let mut out_edges: Vec<(NodeId, NodeId, i8, u64)> = self
+            .nodes()
+            .flat_map(|u| self.out_edges(u))
+            .map(|e| (e.src, e.dst, e.sign.value(), e.weight.to_bits()))
+            .collect();
+        let mut in_edges: Vec<(NodeId, NodeId, i8, u64)> = self
+            .nodes()
+            .flat_map(|u| self.in_edges(u))
+            .map(|e| (e.src, e.dst, e.sign.value(), e.weight.to_bits()))
+            .collect();
+        out_edges.sort_unstable();
+        in_edges.sort_unstable();
+        if let Some((o, i)) = out_edges.iter().zip(in_edges.iter()).find(|(o, i)| o != i) {
+            return fail(format!(
+                "in/out mirror mismatch: out has ({}, {}, {:+}, {}), in has ({}, {}, {:+}, {})",
+                o.0,
+                o.1,
+                o.2,
+                f64::from_bits(o.3),
+                i.0,
+                i.1,
+                i.2,
+                f64::from_bits(i.3)
+            ));
+        }
+        Ok(())
+    }
+
     /// Total number of positive edges.
     pub fn positive_edge_count(&self) -> usize {
         self.out_sign.iter().filter(|s| s.is_positive()).count()
@@ -453,6 +605,76 @@ mod tests {
         let g = diamond();
         let all: Vec<_> = g.edges().map(|e| (e.src.0, e.dst.0)).collect();
         assert_eq!(all, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn validate_accepts_checked_constructions() {
+        diamond().validate().unwrap();
+        diamond().reversed().validate().unwrap();
+        SignedDigraph::from_edges(0, [])
+            .unwrap()
+            .validate()
+            .unwrap();
+    }
+
+    fn expect_invariant(g: &SignedDigraph, needle: &str) {
+        match g.validate() {
+            Err(GraphError::Invariant(msg)) => {
+                assert!(msg.contains(needle), "message {msg:?} lacks {needle:?}")
+            }
+            other => panic!("expected Invariant error containing {needle:?}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_catches_non_monotone_offsets() {
+        let mut g = diamond();
+        g.out_offsets[1] = 3;
+        g.out_offsets[2] = 2;
+        expect_invariant(&g, "not monotone");
+    }
+
+    #[test]
+    fn validate_catches_out_of_range_weight() {
+        let mut g = diamond();
+        g.out_weight[0] = 1.5;
+        expect_invariant(&g, "[0, 1]");
+        let mut g = diamond();
+        g.in_weight[2] = f64::NAN;
+        expect_invariant(&g, "[0, 1]");
+    }
+
+    #[test]
+    fn validate_catches_unsorted_neighbor_list() {
+        let mut g = diamond();
+        g.out_dst.swap(0, 1); // node 0's list becomes [2, 1]
+        expect_invariant(&g, "not strictly sorted");
+    }
+
+    #[test]
+    fn validate_catches_in_out_mirror_mismatch() {
+        let mut g = diamond();
+        g.in_sign[0] = Sign::Negative; // out copy still Positive
+        expect_invariant(&g, "mirror mismatch");
+        let mut g = diamond();
+        g.in_weight[0] = 0.25;
+        expect_invariant(&g, "mirror mismatch");
+    }
+
+    #[test]
+    fn validate_catches_shape_violations() {
+        let mut g = diamond();
+        g.out_offsets.pop();
+        expect_invariant(&g, "entries");
+        let mut g = diamond();
+        g.out_sign.pop();
+        expect_invariant(&g, "out_sign");
+        let mut g = diamond();
+        g.out_dst[1] = NodeId(99); // node 0's list stays sorted: [1, 99]
+        expect_invariant(&g, "out of bounds");
+        let mut g = diamond();
+        g.out_dst[0] = NodeId(0); // self-loop at node 0
+        expect_invariant(&g, "self-loop");
     }
 
     #[test]

@@ -72,9 +72,7 @@ pub fn read_snap<R: Read>(reader: R) -> Result<SignedDigraph, GraphError> {
         if src == dst {
             continue; // Self-trust carries no diffusion; skip like the paper.
         }
-        builder
-            .add_edge(NodeId(src), NodeId(dst), sign, 1.0)
-            .expect("weight 1.0 and src != dst are always valid");
+        builder.add_edge(NodeId(src), NodeId(dst), sign, 1.0)?;
     }
     Ok(builder.build())
 }
@@ -156,32 +154,41 @@ pub fn read_weighted<R: Read>(reader: R) -> Result<SignedDigraph, GraphError> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let fields: Vec<&str> = trimmed.split_whitespace().collect();
-        if fields.len() != 4 {
-            return Err(GraphError::Parse {
-                line: line_no,
-                message: format!("expected 4 whitespace-separated fields, got {trimmed:?}"),
-            });
-        }
+        let mut fields = trimmed.split_whitespace();
+        let (src, dst, sign, weight) = match (
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+        ) {
+            (Some(a), Some(b), Some(s), Some(w), None) => (a, b, s, w),
+            _ => {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    message: format!("expected 4 whitespace-separated fields, got {trimmed:?}"),
+                })
+            }
+        };
         let parse_id = |s: &str| -> Result<u32, GraphError> {
             s.parse().map_err(|_| GraphError::Parse {
                 line: line_no,
                 message: format!("invalid node id {s:?}"),
             })
         };
-        let src = parse_id(fields[0])?;
-        let dst = parse_id(fields[1])?;
-        let sign_val: i64 = fields[2].parse().map_err(|_| GraphError::Parse {
+        let src = parse_id(src)?;
+        let dst = parse_id(dst)?;
+        let sign_val: i64 = sign.parse().map_err(|_| GraphError::Parse {
             line: line_no,
-            message: format!("invalid sign {:?}", fields[2]),
+            message: format!("invalid sign {sign:?}"),
         })?;
         let sign = Sign::from_value(sign_val).ok_or_else(|| GraphError::Parse {
             line: line_no,
             message: "sign must be -1 or 1, got 0".to_string(),
         })?;
-        let weight: f64 = fields[3].parse().map_err(|_| GraphError::Parse {
+        let weight: f64 = weight.parse().map_err(|_| GraphError::Parse {
             line: line_no,
-            message: format!("invalid weight {:?}", fields[3]),
+            message: format!("invalid weight {weight:?}"),
         })?;
         builder.add_edge(NodeId(src), NodeId(dst), sign, weight)?;
     }

@@ -4,6 +4,7 @@ use crate::{NodeId, SignedDigraph};
 fn sorted_intersection_len(a: &[NodeId], b: &[NodeId]) -> usize {
     let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
     while i < a.len() && j < b.len() {
+        // lint:allow(indexing) loop guard holds i < a.len() and j < b.len()
         match a[i].cmp(&b[j]) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,

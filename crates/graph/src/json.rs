@@ -167,10 +167,12 @@ impl Value {
 fn write_number(n: f64, out: &mut String) {
     use fmt::Write;
     if n.fract() == 0.0 && n.abs() < 9_007_199_254_740_992.0 {
+        // lint:allow(panic) fmt::Write into a String never returns Err
         write!(out, "{}", n as i64).expect("writing to String cannot fail");
     } else {
         // `{:?}` is Rust's shortest representation that parses back to
         // the same bits.
+        // lint:allow(panic) fmt::Write into a String never returns Err
         write!(out, "{n:?}").expect("writing to String cannot fail");
     }
 }
@@ -186,6 +188,7 @@ fn write_string(s: &str, out: &mut String) {
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
                 use fmt::Write;
+                // lint:allow(panic) fmt::Write into a String never returns Err
                 write!(out, "\\u{:04x}", c as u32).expect("writing to String cannot fail");
             }
             c => out.push(c),
@@ -195,6 +198,7 @@ fn write_string(s: &str, out: &mut String) {
 }
 
 struct Parser<'a> {
+    // lint:allow(indexing) type position: `&'a [u8]` is a slice type, not a subscript
     bytes: &'a [u8],
     pos: usize,
 }
@@ -228,7 +232,8 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+        let rest = self.bytes.get(self.pos..).unwrap_or_default();
+        if rest.starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(value)
         } else {
@@ -260,8 +265,11 @@ impl<'a> Parser<'a> {
         ) {
             self.pos += 1;
         }
-        let text =
-            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        let text = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| self.err("invalid number bytes"))?;
         text.parse::<f64>()
             .map(Value::Number)
             .map_err(|_| JsonError::new(format!("invalid number `{text}` at byte {start}")))
@@ -311,9 +319,15 @@ impl<'a> Parser<'a> {
                 _ => {
                     // Re-scan the full UTF-8 character starting here.
                     self.pos -= 1;
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("non-empty by peek");
+                    let tail = self
+                        .bytes
+                        .get(self.pos..)
+                        .ok_or_else(|| self.err("truncated input"))?;
+                    let rest = std::str::from_utf8(tail).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("truncated input"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -409,22 +423,24 @@ impl SignedDigraph {
         for e in raw_edges {
             let parts = e
                 .as_array()
-                .filter(|p| p.len() == 4)
                 .ok_or_else(|| JsonError::new("each edge must be [src, dst, sign, weight]"))?;
-            let src = parts[0]
+            let [src_v, dst_v, sign_v, weight_v] = parts else {
+                return Err(JsonError::new("each edge must be [src, dst, sign, weight]"));
+            };
+            let src = src_v
                 .as_usize()
                 .ok_or_else(|| JsonError::new("edge src must be a node id"))?;
-            let dst = parts[1]
+            let dst = dst_v
                 .as_usize()
                 .ok_or_else(|| JsonError::new("edge dst must be a node id"))?;
-            let sign = if parts[2].as_f64() == Some(1.0) {
+            let sign = if sign_v.as_f64() == Some(1.0) {
                 Sign::Positive
-            } else if parts[2].as_f64() == Some(-1.0) {
+            } else if sign_v.as_f64() == Some(-1.0) {
                 Sign::Negative
             } else {
                 return Err(JsonError::new("edge sign must be 1 or -1"));
             };
-            let weight = parts[3]
+            let weight = weight_v
                 .as_f64()
                 .ok_or_else(|| JsonError::new("edge weight must be a number"))?;
             edges.push(Edge::new(

@@ -1,19 +1,21 @@
-use crate::{NodeId, SignedDigraph, SignedDigraphBuilder};
+use crate::{Edge, GraphError, NodeId, SignedDigraph};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeSet;
 
 /// Bidirectional mapping between node ids of an original graph and the
 /// dense ids of a subgraph extracted from it.
 ///
 /// Produced by [`SignedDigraph::induced_subgraph`]; used to translate
 /// detection results computed on the subgraph back to the original
-/// network.
+/// network. The inverse direction is a sorted table probed by binary
+/// search, so lookups are `O(log n)` and iteration order is
+/// deterministic.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NodeMapping {
     /// `sub_to_orig[i]` is the original id of subgraph node `i`.
     sub_to_orig: Vec<NodeId>,
-    /// Inverse map, original id → subgraph id.
-    orig_to_sub: HashMap<NodeId, NodeId>,
+    /// Inverse map: `(original, subgraph)` pairs sorted by original id.
+    orig_to_sub: Vec<(NodeId, NodeId)>,
 }
 
 impl NodeMapping {
@@ -21,25 +23,28 @@ impl NodeMapping {
     /// the inverse map is derived. Used when reconstructing a snapshot
     /// from its serialized form.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `sub_to_orig` contains duplicate original ids.
-    pub fn from_original_ids(sub_to_orig: Vec<NodeId>) -> Self {
+    /// Returns [`GraphError::Invariant`] if `sub_to_orig` contains
+    /// duplicate original ids (the mapping must be injective).
+    pub fn from_original_ids(sub_to_orig: Vec<NodeId>) -> Result<Self, GraphError> {
         let mapping = NodeMapping::new(sub_to_orig);
-        assert_eq!(
-            mapping.orig_to_sub.len(),
-            mapping.sub_to_orig.len(),
-            "duplicate original ids in node mapping"
-        );
-        mapping
+        if mapping.orig_to_sub.len() != mapping.sub_to_orig.len() {
+            return Err(GraphError::Invariant(
+                "duplicate original ids in node mapping".to_owned(),
+            ));
+        }
+        Ok(mapping)
     }
 
     pub(crate) fn new(sub_to_orig: Vec<NodeId>) -> Self {
-        let orig_to_sub = sub_to_orig
+        let mut orig_to_sub: Vec<(NodeId, NodeId)> = sub_to_orig
             .iter()
             .enumerate()
             .map(|(i, &orig)| (orig, NodeId::from_index(i)))
             .collect();
+        orig_to_sub.sort_unstable_by_key(|&(orig, _)| orig);
+        orig_to_sub.dedup_by_key(|&mut (orig, _)| orig);
         NodeMapping {
             sub_to_orig,
             orig_to_sub,
@@ -65,7 +70,11 @@ impl NodeMapping {
 
     /// Maps an original node id to its subgraph id, if the node was kept.
     pub fn to_subgraph(&self, orig: NodeId) -> Option<NodeId> {
-        self.orig_to_sub.get(&orig).copied()
+        self.orig_to_sub
+            .binary_search_by_key(&orig, |&(o, _)| o)
+            .ok()
+            .and_then(|i| self.orig_to_sub.get(i))
+            .map(|&(_, sub)| sub)
     }
 
     /// The original ids of all subgraph nodes, indexed by subgraph id.
@@ -105,25 +114,28 @@ impl SignedDigraph {
         I: IntoIterator<Item = NodeId>,
     {
         let mut kept: Vec<NodeId> = Vec::new();
-        let mut seen: HashMap<NodeId, ()> = HashMap::new();
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
         for n in nodes {
-            if self.contains(n) && seen.insert(n, ()).is_none() {
+            if self.contains(n) && seen.insert(n) {
                 kept.push(n);
             }
         }
         let mapping = NodeMapping::new(kept);
-        let mut builder = SignedDigraphBuilder::with_nodes(mapping.len());
+        // Edge attributes come from an already-validated graph and the
+        // mapping is injective, so the kept edges are valid by
+        // construction; build through the internal constructor instead of
+        // re-threading an impossible error.
+        let mut edges: Vec<Edge> = Vec::new();
         for (sub_idx, &orig) in mapping.original_ids().iter().enumerate() {
             let sub_src = NodeId::from_index(sub_idx);
             for e in self.out_edges(orig) {
                 if let Some(sub_dst) = mapping.to_subgraph(e.dst) {
-                    builder
-                        .add_edge(sub_src, sub_dst, e.sign, e.weight)
-                        .expect("subgraph edge inherits validated attributes");
+                    edges.push(Edge::new(sub_src, sub_dst, e.sign, e.weight));
                 }
             }
         }
-        (builder.build(), mapping)
+        let sub = SignedDigraph::from_validated_edges(mapping.len(), edges);
+        (sub, mapping)
     }
 }
 

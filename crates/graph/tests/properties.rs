@@ -122,3 +122,43 @@ proptest! {
         }
     }
 }
+
+// Every construction path must produce a graph that passes the debug
+// invariant check (`SignedDigraph::validate`): the builder, CSR
+// construction from an edge list, reversal, weight mapping, and induced
+// subgraphs.
+proptest! {
+    #[test]
+    fn builder_output_passes_validate((n, edges) in arb_edges(24, 60)) {
+        let mut b = isomit_graph::SignedDigraphBuilder::with_nodes(n);
+        for e in edges {
+            b.add_edge(e.src, e.dst, e.sign, e.weight).unwrap();
+        }
+        prop_assert!(b.build().validate().is_ok());
+    }
+
+    #[test]
+    fn derived_graphs_pass_validate((n, edges) in arb_edges(24, 60)) {
+        let g = SignedDigraph::from_edges(n, edges).unwrap();
+        prop_assert!(g.validate().is_ok());
+        prop_assert!(g.reversed().validate().is_ok());
+        prop_assert!(g
+            .map_weights(|e| 0.25 + e.weight / 2.0)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn induced_subgraph_passes_validate(
+        (n, edges) in arb_edges(12, 40),
+        keep_mask in proptest::collection::vec(any::<bool>(), 12),
+    ) {
+        let g = SignedDigraph::from_edges(n, edges).unwrap();
+        let kept: Vec<NodeId> = g
+            .nodes()
+            .filter(|u| keep_mask.get(u.index()).copied().unwrap_or(false))
+            .collect();
+        let (sub, _map) = g.induced_subgraph(kept);
+        prop_assert!(sub.validate().is_ok());
+    }
+}

@@ -1,3 +1,4 @@
+// lint:allow-file(indexing) distance vectors are allocated with node_count entries and indexed by in-bounds NodeIds from the same graph
 //! # isomit-metrics
 //!
 //! Evaluation metrics for rumor-initiator detection, matching §IV-B2 of
@@ -27,7 +28,7 @@
 
 use isomit_graph::{NodeId, SignedDigraph};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 /// Precision / recall / F1 triple for initiator-identity evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -84,8 +85,8 @@ pub fn recall(detected: &[NodeId], truth: &[NodeId]) -> f64 {
 /// Computes [`Prf`] for a detected initiator set against the ground
 /// truth. Duplicate ids on either side are collapsed.
 pub fn evaluate_identities(detected: &[NodeId], truth: &[NodeId]) -> Prf {
-    let detected: HashSet<NodeId> = detected.iter().copied().collect();
-    let truth: HashSet<NodeId> = truth.iter().copied().collect();
+    let detected: BTreeSet<NodeId> = detected.iter().copied().collect();
+    let truth: BTreeSet<NodeId> = truth.iter().copied().collect();
     let tp = detected.intersection(&truth).count();
     Prf::from_counts(tp, detected.len(), truth.len())
 }
@@ -150,7 +151,7 @@ pub fn evaluate_detection(
     let detected_ids: Vec<NodeId> = detected.iter().map(|&(n, _)| n).collect();
     let truth_ids: Vec<NodeId> = truth.iter().map(|&(n, _)| n).collect();
     let prf = evaluate_identities(&detected_ids, &truth_ids);
-    let truth_map: std::collections::HashMap<NodeId, i8> = truth.iter().copied().collect();
+    let truth_map: std::collections::BTreeMap<NodeId, i8> = truth.iter().copied().collect();
     let pairs: Vec<(f64, f64)> = detected
         .iter()
         .filter_map(|&(n, p)| truth_map.get(&n).map(|&a| (f64::from(p), f64::from(a))))
@@ -190,6 +191,7 @@ pub fn mean_detection_distance(
         }
     }
     while let Some(u) = queue.pop_front() {
+        // lint:allow(panic) structural invariant: a node's distance is set before it is queued
         let d = dist[u.index()].expect("queued nodes have distances");
         for &v in graph.out_neighbors(u).iter().chain(graph.in_neighbors(u)) {
             if dist[v.index()].is_none() {

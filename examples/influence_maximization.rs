@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("IC", Box::new(IndependentCascade::new())),
     ] {
         let mut rng = rand::rngs::StdRng::seed_from_u64(99);
-        let result = maximize_influence(model.as_ref(), &diffusion, k, runs, &mut rng);
+        let result = maximize_influence(model.as_ref(), &diffusion, k, runs, &mut rng)?;
         println!("\n{label}: greedy seeds and spread trajectory");
         for (i, (seed, spread)) in result
             .seeds
@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for r in 0..runs as u64 {
             let mut rng = rand::rngs::StdRng::seed_from_u64(1000 + r);
             total += model
-                .simulate(&diffusion, &random_seeds, &mut rng)
+                .simulate(&diffusion, &random_seeds, &mut rng)?
                 .infected_count();
         }
         let random_spread = total as f64 / runs as f64;

@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (mut inf, mut pos, mut neg, mut flips, mut rounds) = (0, 0, 0, 0, 0);
         for r in 0..runs {
             let mut rng = rand::rngs::StdRng::seed_from_u64(100 + r);
-            let c = model.simulate(&diffusion, &seeds, &mut rng);
+            let c = model.simulate(&diffusion, &seeds, &mut rng)?;
             inf += c.infected_count();
             pos += c
                 .states()

@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (NodeId(0), Sign::Positive), // camp 0
         (NodeId(1), Sign::Negative), // camp 1
     ])?;
-    let cascade = Mfc::new(3.0)?.simulate(&diffusion, &seeds, &mut rng);
+    let cascade = Mfc::new(3.0)?.simulate(&diffusion, &seeds, &mut rng)?;
     println!(
         "outbreak: {} infected in {} rounds, {} flips",
         cascade.infected_count(),

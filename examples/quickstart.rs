@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seeds = SeedSet::single(NodeId(0), Sign::Positive);
     let mfc = Mfc::new(3.0)?;
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
-    let cascade = mfc.simulate(&diffusion, &seeds, &mut rng);
+    let cascade = mfc.simulate(&diffusion, &seeds, &mut rng)?;
 
     println!(
         "rumor reached {} of {} users:",

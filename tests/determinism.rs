@@ -34,10 +34,10 @@ fn parallel_monte_carlo_is_bit_identical_to_sequential() {
     let model = Mfc::new(3.0).unwrap();
     let master = 0xD15EA5E;
     let sequential =
-        estimate_infection_probabilities_seeded(&model, &diffusion, &seeds, 500, master);
+        estimate_infection_probabilities_seeded(&model, &diffusion, &seeds, 500, master).unwrap();
     for threads in [1, 2, 4, 7] {
         let parallel = with_threads(threads, || {
-            par_estimate_infection_probabilities(&model, &diffusion, &seeds, 500, master)
+            par_estimate_infection_probabilities(&model, &diffusion, &seeds, 500, master).unwrap()
         });
         assert_eq!(sequential, parallel, "threads={threads}");
     }
@@ -47,8 +47,8 @@ fn parallel_monte_carlo_is_bit_identical_to_sequential() {
 fn monte_carlo_master_seeds_give_distinct_streams() {
     let (diffusion, seeds) = small_scenario(12);
     let model = Mfc::new(3.0).unwrap();
-    let a = par_estimate_infection_probabilities(&model, &diffusion, &seeds, 300, 1);
-    let b = par_estimate_infection_probabilities(&model, &diffusion, &seeds, 300, 2);
+    let a = par_estimate_infection_probabilities(&model, &diffusion, &seeds, 300, 1).unwrap();
+    let b = par_estimate_infection_probabilities(&model, &diffusion, &seeds, 300, 2).unwrap();
     assert_ne!(a, b, "different master seeds should not collide");
 }
 
@@ -126,9 +126,9 @@ fn legacy_sequential_entry_point_unchanged() {
     let (diffusion, seeds) = small_scenario(41);
     let model = Mfc::new(3.0).unwrap();
     let mut rng = StdRng::seed_from_u64(7);
-    let a = estimate_infection_probabilities(&model, &diffusion, &seeds, 50, &mut rng);
+    let a = estimate_infection_probabilities(&model, &diffusion, &seeds, 50, &mut rng).unwrap();
     let mut rng = StdRng::seed_from_u64(7);
-    let b = estimate_infection_probabilities(&model, &diffusion, &seeds, 50, &mut rng);
+    let b = estimate_infection_probabilities(&model, &diffusion, &seeds, 50, &mut rng).unwrap();
     assert_eq!(a, b);
     assert_eq!(a.runs(), 50);
 }

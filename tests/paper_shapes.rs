@@ -127,6 +127,7 @@ fn diffusion_shape_mfc_outreaches_ic_and_unboosted_mfc() {
             let mut rng = StdRng::seed_from_u64(900 + r);
             total += model
                 .simulate(&diffusion, &seeds, &mut rng)
+                .unwrap()
                 .infected_count();
         }
         total as f64 / 10.0
@@ -155,7 +156,7 @@ fn diffusion_shape_only_mfc_flips() {
     ];
     for model in &models {
         let mut rng = StdRng::seed_from_u64(1);
-        let c = model.simulate(&diffusion, &seeds, &mut rng);
+        let c = model.simulate(&diffusion, &seeds, &mut rng).unwrap();
         assert_eq!(c.flip_count(), 0, "{} must not flip", model.name());
     }
     // MFC flips at least once across a few runs on this mixed-sign graph.
@@ -163,7 +164,9 @@ fn diffusion_shape_only_mfc_flips() {
     let flips: usize = (0..5)
         .map(|r| {
             let mut rng = StdRng::seed_from_u64(r);
-            mfc.simulate(&diffusion, &seeds, &mut rng).flip_count()
+            mfc.simulate(&diffusion, &seeds, &mut rng)
+                .unwrap()
+                .flip_count()
         })
         .sum();
     assert!(

@@ -1,0 +1,113 @@
+//! In-repo developer tooling for the isomit workspace.
+//!
+//! The only subcommand today is `lint`: a project-specific static
+//! analysis pass enforcing the panic-freedom, determinism, documentation
+//! and no-unsafe rules described in DESIGN.md ("Static analysis &
+//! invariants"). Run it with:
+//!
+//! ```text
+//! cargo run -p xtask -- lint            # fail on unwaived diagnostics
+//! cargo run -p xtask -- lint --report   # additionally write LINT_REPORT.json
+//! ```
+
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Locates the workspace root: the parent of the `xtask` manifest dir.
+pub fn workspace_root() -> PathBuf {
+    let manifest = env!("CARGO_MANIFEST_DIR");
+    Path::new(manifest)
+        .parent()
+        .unwrap_or_else(|| Path::new(manifest))
+        .to_path_buf()
+}
+
+/// Collects every `.rs` file under `crates/*/src` and the root `src/`,
+/// sorted by workspace-relative path for deterministic output.
+///
+/// `xtask` itself is deliberately excluded: it is developer tooling, not
+/// library code shipped in the simulation path.
+pub fn collect_sources(root: &Path) -> Vec<(String, String)> {
+    let mut files: Vec<(String, String)> = Vec::new();
+    let mut roots: Vec<PathBuf> = vec![root.join("src")];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            roots.push(entry.path().join("src"));
+        }
+    }
+    for dir in roots {
+        walk(&dir, root, &mut files);
+    }
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    files
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<(String, String)>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, root, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            if let Ok(text) = fs::read_to_string(&path) {
+                out.push((rel, text));
+            }
+        }
+    }
+}
+
+/// Runs the full lint pass. Returns `(unwaived_diagnostic_count, report_json)`
+/// and prints diagnostics to stderr.
+pub fn run_lint(root: &Path, quiet: bool) -> (usize, String) {
+    let sources = collect_sources(root);
+    let files: Vec<scan::SourceFile> = sources
+        .iter()
+        .map(|(path, text)| scan::preprocess(path, text))
+        .collect();
+    let (diagnostics, counts) = rules::scan_all(&files);
+    let mut unwaived = 0usize;
+    for d in &diagnostics {
+        if d.waived {
+            continue;
+        }
+        unwaived += 1;
+        if !quiet {
+            eprintln!("{}:{}: [{}] {}", d.path, d.line, d.rule, d.message);
+        }
+    }
+    (unwaived, report::render(&counts, files.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_contains_crates() {
+        assert!(workspace_root().join("crates").is_dir());
+    }
+
+    #[test]
+    fn collect_sources_finds_graph_crate_and_skips_xtask() {
+        let sources = collect_sources(&workspace_root());
+        assert!(sources.iter().any(|(p, _)| p == "crates/graph/src/lib.rs"));
+        assert!(sources.iter().all(|(p, _)| !p.starts_with("xtask/")));
+        // Sorted and unique.
+        let mut paths: Vec<&String> = sources.iter().map(|(p, _)| p).collect();
+        let n = paths.len();
+        paths.dedup();
+        assert_eq!(paths.len(), n);
+        assert!(paths.windows(2).all(|w| w[0] < w[1]));
+    }
+}

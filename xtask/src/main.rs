@@ -1,0 +1,44 @@
+//! CLI entry point: `cargo run -p xtask -- lint [--report]`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut want_report = false;
+    let mut command: Option<&str> = None;
+    for arg in &args {
+        match arg.as_str() {
+            "lint" => command = Some("lint"),
+            "--report" => want_report = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: cargo run -p xtask -- lint [--report]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if command != Some("lint") {
+        eprintln!("usage: cargo run -p xtask -- lint [--report]");
+        return ExitCode::from(2);
+    }
+
+    let root = xtask::workspace_root();
+    let (unwaived, report_json) = xtask::run_lint(&root, false);
+
+    if want_report {
+        let path = root.join("LINT_REPORT.json");
+        if let Err(e) = std::fs::write(&path, &report_json) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", path.display());
+    }
+
+    if unwaived > 0 {
+        eprintln!("lint: {unwaived} unwaived diagnostic(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("lint: clean");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,48 @@
+//! `LINT_REPORT.json` emission.
+//!
+//! The report is a stable-keyed JSON object mapping every rule to its
+//! violation and waived counts, so diffs across PRs show the panic-path
+//! inventory trending to zero. JSON is hand-written (no serde in xtask)
+//! with deterministic key order.
+
+use crate::rules::RULES;
+use std::collections::BTreeMap;
+
+/// Renders the per-rule `(violations, waived)` counts as pretty JSON.
+pub fn render(counts: &BTreeMap<&'static str, (usize, usize)>, files_scanned: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str("  \"rules\": {\n");
+    // Iterate in RULES order (not BTreeMap order) so the report reads in
+    // the same order the rules are documented.
+    for (i, rule) in RULES.iter().enumerate() {
+        let (violations, waived) = counts.get(rule).copied().unwrap_or((0, 0));
+        out.push_str(&format!(
+            "    \"{rule}\": {{ \"violations\": {violations}, \"waived\": {waived} }}"
+        ));
+        out.push_str(if i + 1 == RULES.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_deterministic_and_complete() {
+        let mut counts: BTreeMap<&'static str, (usize, usize)> = BTreeMap::new();
+        counts.insert("panic", (2, 5));
+        let json = render(&counts, 42);
+        assert!(json.contains("\"files_scanned\": 42"));
+        assert!(json.contains("\"panic\": { \"violations\": 2, \"waived\": 5 }"));
+        // Every rule appears even at zero.
+        for rule in RULES {
+            assert!(json.contains(&format!("\"{rule}\"")), "{rule} missing");
+        }
+        assert_eq!(json, render(&counts, 42));
+    }
+}

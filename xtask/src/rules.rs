@@ -1,0 +1,522 @@
+//! The project lint rules, waiver handling and the scanning driver.
+//!
+//! Rules (see DESIGN.md "Static analysis & invariants"):
+//!
+//! * `panic` — no `unwrap()` / `expect(` / `panic!` / `unreachable!` /
+//!   `todo!` / `unimplemented!` in non-test library code;
+//! * `indexing` — no slice/array indexing `x[i]` in non-test library
+//!   code (panics on bad indices; prefer `get`, iterators, or waive with
+//!   a bounds argument);
+//! * `determinism` — no `thread_rng` / `SystemTime` / `Instant::now` and
+//!   no `HashMap` / `HashSet` (iteration-order nondeterminism) inside the
+//!   crates feeding the deterministic simulation layer;
+//! * `pub-docs` — every `pub fn` in `crates/graph` and `crates/core`
+//!   carries a doc comment;
+//! * `unsafe` — no `unsafe` code anywhere in the workspace.
+//!
+//! A diagnostic is silenced by an inline waiver on the same or the
+//! preceding line — `// lint:allow(<rule>) <reason>` — or for a whole
+//! file by `// lint:allow-file(<rule>) <reason>`. Waivers must name a
+//! known rule and give a non-empty reason; unused line waivers are
+//! themselves diagnostics, so stale ones cannot accumulate.
+
+use crate::scan::SourceFile;
+use std::collections::BTreeMap;
+
+/// Every rule known to the linter, in report order.
+pub const RULES: [&str; 6] = [
+    "panic",
+    "indexing",
+    "determinism",
+    "pub-docs",
+    "unsafe",
+    "waiver",
+];
+
+/// Crates whose sources feed the deterministic simulation layer; the
+/// `determinism` rule is scoped to them (`isomit-bench` is the timing
+/// harness and legitimately reads clocks).
+const DETERMINISTIC_CRATES: [&str; 6] = [
+    "crates/graph/",
+    "crates/diffusion/",
+    "crates/forest/",
+    "crates/core/",
+    "crates/datasets/",
+    "crates/metrics/",
+];
+
+/// Crates in which every `pub fn` must have a doc comment.
+const DOC_ENFORCED_CRATES: [&str; 2] = ["crates/graph/", "crates/core/"];
+
+/// One lint finding at a specific source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that fired (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+    /// `true` if an inline or file waiver covers this diagnostic.
+    pub waived: bool,
+}
+
+#[derive(Debug)]
+struct Waiver {
+    rule: String,
+    line: usize,
+    file_scope: bool,
+    used: bool,
+    malformed: Option<String>,
+}
+
+/// Scans one pre-processed file and returns all diagnostics (waived ones
+/// included, flagged).
+pub fn scan_file(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut waivers = collect_waivers(file);
+    let mut raw: Vec<Diagnostic> = Vec::new();
+
+    let in_deterministic = DETERMINISTIC_CRATES
+        .iter()
+        .any(|c| file.path.starts_with(c));
+    let docs_enforced = DOC_ENFORCED_CRATES.iter().any(|c| file.path.starts_with(c));
+
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.as_str();
+
+        for (needle, what) in [
+            (".unwrap()", "`unwrap()` can panic"),
+            (".expect(", "`expect()` can panic"),
+            ("panic!", "`panic!` in library code"),
+            ("unreachable!", "`unreachable!` in library code"),
+            ("todo!", "`todo!` in library code"),
+            ("unimplemented!", "`unimplemented!` in library code"),
+        ] {
+            for pos in match_token(code, needle) {
+                let _ = pos;
+                raw.push(Diagnostic {
+                    rule: "panic",
+                    path: file.path.clone(),
+                    line: lineno,
+                    message: format!(
+                        "{what}; return a Result or waive with a proof of infallibility"
+                    ),
+                    waived: false,
+                });
+            }
+        }
+
+        for _ in find_indexing(code) {
+            raw.push(Diagnostic {
+                rule: "indexing",
+                path: file.path.clone(),
+                line: lineno,
+                message:
+                    "slice indexing can panic; use `get`/iterators or waive with a bounds argument"
+                        .to_owned(),
+                waived: false,
+            });
+        }
+
+        if in_deterministic {
+            for (needle, what) in [
+                ("thread_rng", "ambient RNG breaks seeded determinism"),
+                ("SystemTime", "wall-clock reads break determinism"),
+                ("Instant::now", "monotonic-clock reads break determinism"),
+                ("HashMap", "HashMap iteration order is nondeterministic"),
+                ("HashSet", "HashSet iteration order is nondeterministic"),
+            ] {
+                for _ in match_word(code, needle) {
+                    raw.push(Diagnostic {
+                        rule: "determinism",
+                        path: file.path.clone(),
+                        line: lineno,
+                        message: format!(
+                            "{what}; use seeded streams / BTree collections or waive with an order-independence argument"
+                        ),
+                        waived: false,
+                    });
+                }
+            }
+        }
+
+        if docs_enforced {
+            if let Some(name) = undocumented_pub_fn(file, idx) {
+                raw.push(Diagnostic {
+                    rule: "pub-docs",
+                    path: file.path.clone(),
+                    line: lineno,
+                    message: format!("`pub fn {name}` has no doc comment"),
+                    waived: false,
+                });
+            }
+        }
+
+        for _ in match_word(code, "unsafe") {
+            raw.push(Diagnostic {
+                rule: "unsafe",
+                path: file.path.clone(),
+                line: lineno,
+                message: "`unsafe` is forbidden workspace-wide".to_owned(),
+                waived: false,
+            });
+        }
+    }
+
+    // Apply waivers.
+    for d in &mut raw {
+        for w in waivers.iter_mut() {
+            if w.malformed.is_some() || w.rule != d.rule {
+                continue;
+            }
+            let covers = w.file_scope || w.line == d.line || w.line + 1 == d.line;
+            if covers {
+                w.used = true;
+                d.waived = true;
+                break;
+            }
+        }
+    }
+
+    // Malformed or unused waivers are diagnostics themselves.
+    for w in &waivers {
+        if let Some(why) = &w.malformed {
+            raw.push(Diagnostic {
+                rule: "waiver",
+                path: file.path.clone(),
+                line: w.line,
+                message: format!("malformed waiver: {why}"),
+                waived: false,
+            });
+        } else if !w.used && !w.file_scope {
+            raw.push(Diagnostic {
+                rule: "waiver",
+                path: file.path.clone(),
+                line: w.line,
+                message: format!("unused waiver for rule `{}`; remove it", w.rule),
+                waived: false,
+            });
+        }
+    }
+
+    raw.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    raw
+}
+
+fn collect_waivers(file: &SourceFile) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        let comment = line.comment.trim();
+        for (marker, file_scope) in [("lint:allow-file(", true), ("lint:allow(", false)] {
+            let Some(start) = comment.find(marker) else {
+                continue;
+            };
+            let rest = &comment[start + marker.len()..];
+            let Some(close) = rest.find(')') else {
+                out.push(Waiver {
+                    rule: String::new(),
+                    line: idx + 1,
+                    file_scope,
+                    used: false,
+                    malformed: Some("missing `)`".to_owned()),
+                });
+                continue;
+            };
+            let rule = rest[..close].trim().to_owned();
+            let reason = rest[close + 1..].trim();
+            let malformed = if !RULES.contains(&rule.as_str()) || rule == "waiver" {
+                Some(format!("unknown rule `{rule}`"))
+            } else if reason.is_empty() {
+                Some("waiver has no reason".to_owned())
+            } else {
+                None
+            };
+            out.push(Waiver {
+                rule,
+                line: idx + 1,
+                file_scope,
+                used: false,
+                malformed,
+            });
+            break; // `lint:allow-file(` also contains `lint:allow(`… not, but one waiver per line.
+        }
+    }
+    out
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Occurrences of `needle` in `code` that are not part of a longer
+/// identifier on either side (the needle itself may start with `.`).
+fn match_token(code: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(needle) {
+        let pos = from + rel;
+        let before_ok = match code[..pos].chars().next_back() {
+            Some(c) => !is_ident_char(c) || needle.starts_with('.'),
+            None => true,
+        };
+        // For `.expect(`-style needles the trailing delimiter is part of
+        // the needle; for macro names the `!` is. Nothing to check after.
+        if before_ok {
+            out.push(pos);
+        }
+        from = pos + needle.len();
+    }
+    out
+}
+
+/// Whole-word occurrences of `needle`.
+fn match_word(code: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(needle) {
+        let pos = from + rel;
+        let before_ok = !code[..pos].chars().next_back().is_some_and(is_ident_char);
+        let after_ok = !code[pos + needle.len()..]
+            .chars()
+            .next()
+            .is_some_and(is_ident_char);
+        if before_ok && after_ok {
+            out.push(pos);
+        }
+        from = pos + needle.len();
+    }
+    out
+}
+
+/// Keywords after which a `[` opens an array/slice *expression or
+/// pattern*, not an indexing operation.
+const NON_INDEX_KEYWORDS: [&str; 12] = [
+    "let", "in", "return", "if", "while", "match", "else", "mut", "ref", "move", "box", "as",
+];
+
+/// Positions of `[` that lexically look like indexing: preceded (modulo
+/// spaces) by an identifier, `)`, `]` or `?`, where the identifier is not
+/// a keyword introducing an array literal/pattern. `#[attr]`, `vec![..]`
+/// and type positions (`[T; N]` after `:` / `<` / `(`) never match.
+fn find_indexing(code: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for (pos, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        // Find previous non-space character.
+        let mut j = pos;
+        while j > 0 && bytes[j - 1] == b' ' {
+            j -= 1;
+        }
+        if j == 0 {
+            continue;
+        }
+        let prev = bytes[j - 1] as char;
+        if prev == ')' || prev == ']' || prev == '?' {
+            out.push(pos);
+            continue;
+        }
+        if is_ident_char(prev) {
+            // Extract the identifier and reject keywords.
+            let mut k = j - 1;
+            while k > 0 && is_ident_char(bytes[k - 1] as char) {
+                k -= 1;
+            }
+            let ident = &code[k..j];
+            if !NON_INDEX_KEYWORDS.contains(&ident) {
+                out.push(pos);
+            }
+        }
+    }
+    out
+}
+
+/// If line `idx` declares an undocumented `pub fn`, returns its name.
+///
+/// Attribute lines (`#[...]`) between the doc comment and the `fn` are
+/// skipped, as rustdoc does.
+fn undocumented_pub_fn(file: &SourceFile, idx: usize) -> Option<String> {
+    let code = file.lines[idx].code.trim_start();
+    let rest = code
+        .strip_prefix("pub fn ")
+        .or_else(|| code.strip_prefix("pub const fn "))
+        .or_else(|| code.strip_prefix("pub async fn "))?;
+    let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+    // Walk upward over attributes and blank lines looking for a doc line.
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let l = &file.lines[i];
+        if l.is_doc {
+            return None;
+        }
+        let t = l.code.trim();
+        let attr_or_blank = t.is_empty() || t.starts_with("#[") || t.ends_with(']');
+        if !attr_or_blank {
+            return Some(name);
+        }
+    }
+    Some(name)
+}
+
+/// Scans many files and aggregates per-rule counts.
+pub fn scan_all(files: &[SourceFile]) -> (Vec<Diagnostic>, BTreeMap<&'static str, (usize, usize)>) {
+    let mut diagnostics = Vec::new();
+    for f in files {
+        diagnostics.extend(scan_file(f));
+    }
+    let mut counts: BTreeMap<&'static str, (usize, usize)> =
+        RULES.iter().map(|&r| (r, (0usize, 0usize))).collect();
+    for d in &diagnostics {
+        let entry = counts.entry(d.rule).or_default();
+        if d.waived {
+            entry.1 += 1;
+        } else {
+            entry.0 += 1;
+        }
+    }
+    (diagnostics, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::preprocess;
+
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        scan_file(&preprocess(path, src))
+    }
+
+    fn unwaived(path: &str, src: &str) -> Vec<Diagnostic> {
+        diags(path, src).into_iter().filter(|d| !d.waived).collect()
+    }
+
+    #[test]
+    fn panic_rule_fires_on_unwrap_expect_macros() {
+        let src = "fn f() {\n  x.unwrap();\n  y.expect(\"m\");\n  panic!(\"no\");\n  unreachable!();\n}\n";
+        let d = unwaived("crates/graph/src/a.rs", src);
+        assert_eq!(d.iter().filter(|d| d.rule == "panic").count(), 4);
+    }
+
+    #[test]
+    fn panic_rule_ignores_lookalikes() {
+        let src = "fn f() {\n  x.unwrap_or(0);\n  x.unwrap_or_else(y);\n  dont_panic();\n}\n";
+        assert!(unwaived("crates/graph/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_skips_tests_and_docs() {
+        let src =
+            "/// x.unwrap()\nfn f() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\n";
+        assert!(unwaived("crates/graph/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn indexing_rule_flags_subscripts_only() {
+        let src = "fn f(v: &[u32], m: [u8; 3]) -> u32 {\n  let a = [1, 2, 3];\n  for x in [4, 5] {}\n  #[allow(dead_code)]\n  let y: Vec<u32> = vec![7];\n  v[0] + a[1]\n}\n";
+        let d = unwaived("crates/graph/src/a.rs", src);
+        assert_eq!(d.iter().filter(|d| d.rule == "indexing").count(), 2);
+        assert!(d.iter().all(|d| d.line == 6));
+    }
+
+    #[test]
+    fn determinism_rule_scoped_to_simulation_crates() {
+        let src = "use std::collections::HashMap;\nfn f() { let t = Instant::now(); }\n";
+        let d = unwaived("crates/diffusion/src/a.rs", src);
+        assert_eq!(d.iter().filter(|d| d.rule == "determinism").count(), 2);
+        // Same source in the bench crate: timing harness is exempt.
+        assert!(unwaived("crates/bench/src/a.rs", src)
+            .iter()
+            .all(|d| d.rule != "determinism"));
+    }
+
+    #[test]
+    fn pub_docs_rule() {
+        let src = "/// documented\npub fn good() {}\n\n#[inline]\npub fn bad() {}\n";
+        let d = unwaived("crates/core/src/a.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "pub-docs");
+        assert!(d[0].message.contains("bad"));
+        // Attributes between doc and fn are fine.
+        let src = "/// doc\n#[inline]\npub fn ok() {}\n";
+        assert!(unwaived("crates/core/src/a.rs", src).is_empty());
+        // Not enforced outside graph/core.
+        let src = "pub fn undoc() {}\n";
+        assert!(unwaived("crates/metrics/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_rule_everywhere() {
+        let src = "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
+        let d = unwaived("crates/bench/src/a.rs", src);
+        assert!(d.iter().any(|d| d.rule == "unsafe"));
+    }
+
+    #[test]
+    fn waiver_same_line_and_preceding_line() {
+        let src = "fn f() {\n  x.unwrap(); // lint:allow(panic) infallible: checked above\n  // lint:allow(panic) infallible: y is Some by construction\n  y.unwrap();\n}\n";
+        let all = diags("crates/graph/src/a.rs", src);
+        assert_eq!(
+            all.iter().filter(|d| d.rule == "panic" && d.waived).count(),
+            2
+        );
+        assert!(all.iter().all(|d| d.waived || d.rule != "panic"));
+    }
+
+    #[test]
+    fn file_waiver_covers_whole_file() {
+        let src = "// lint:allow-file(indexing) CSR offsets are structurally in-bounds\nfn f(v: &[u32]) -> u32 { v[0] + v[1] }\n";
+        let all = diags("crates/graph/src/a.rs", src);
+        assert_eq!(all.iter().filter(|d| d.rule == "indexing").count(), 2);
+        assert!(all.iter().all(|d| d.rule != "indexing" || d.waived));
+    }
+
+    #[test]
+    fn waiver_for_wrong_rule_does_not_apply() {
+        let src = "fn f() {\n  x.unwrap(); // lint:allow(indexing) mismatched\n}\n";
+        let d = diags("crates/graph/src/a.rs", src);
+        // Panic diagnostic stays unwaived; the indexing waiver is unused.
+        assert!(d.iter().any(|d| d.rule == "panic" && !d.waived));
+        assert!(d.iter().any(|d| d.rule == "waiver"));
+    }
+
+    #[test]
+    fn malformed_waivers_are_diagnosed() {
+        for src in [
+            "fn f() {} // lint:allow(panic)\n",           // no reason
+            "fn f() {} // lint:allow(nonsense) reason\n", // unknown rule
+        ] {
+            let d = unwaived("crates/graph/src/a.rs", src);
+            assert_eq!(d.len(), 1, "{src:?}");
+            assert_eq!(d[0].rule, "waiver");
+        }
+    }
+
+    #[test]
+    fn unused_waiver_is_diagnosed() {
+        let src = "// lint:allow(panic) nothing here panics\nfn f() {}\n";
+        let d = unwaived("crates/graph/src/a.rs", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("unused waiver"));
+    }
+
+    #[test]
+    fn counts_aggregate() {
+        let f1 = preprocess("crates/graph/src/a.rs", "fn f() { x.unwrap(); }\n");
+        let f2 = preprocess(
+            "crates/graph/src/b.rs",
+            "fn g() { y.unwrap() } // lint:allow(panic) provably Some\n",
+        );
+        let (d, counts) = scan_all(&[f1, f2]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(counts["panic"], (1, 1));
+    }
+}

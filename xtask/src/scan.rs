@@ -1,0 +1,382 @@
+//! Lexical pre-processing of Rust sources.
+//!
+//! The lint pass deliberately avoids a full parser (`syn` is unavailable
+//! offline and overkill for line-oriented rules). Instead, a small state
+//! machine classifies every byte of a source file as *code*, *comment*,
+//! *doc comment* or *string/char literal*, producing per-line views:
+//!
+//! * [`Line::code`] — the line with everything that is not code blanked
+//!   out by spaces (so column positions survive);
+//! * [`Line::comment`] — the concatenated comment text of the line (used
+//!   for waiver extraction);
+//! * [`Line::is_doc`] — whether the line carries a doc comment (`///`,
+//!   `//!`, `/** .. */`), whose embedded examples must never be linted;
+//! * [`Line::in_test`] — whether the line sits inside a
+//!   `#[cfg(test)]`-gated item (test modules are exempt from most rules).
+
+/// One pre-processed source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Code-only view: every non-code byte replaced by a space.
+    pub code: String,
+    /// Comment text (excluding the `//` / `/*` markers), doc or not.
+    pub comment: String,
+    /// `true` if any part of the line is a doc comment.
+    pub is_doc: bool,
+    /// `true` if the line is inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// A fully pre-processed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, used in diagnostics.
+    pub path: String,
+    /// 0-indexed lines; diagnostics report `index + 1`.
+    pub lines: Vec<Line>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment { doc: bool },
+    BlockComment { doc: bool, depth: usize },
+    Str,
+    RawStr { hashes: usize },
+    Char,
+}
+
+/// Splits `text` into classified lines. This is the only place that has
+/// to understand Rust's string/comment syntax.
+pub fn preprocess(path: &str, text: &str) -> SourceFile {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut is_doc = false;
+    let mut state = State::Code;
+
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    macro_rules! flush_line {
+        () => {{
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                is_doc,
+                in_test: false,
+            });
+            is_doc = matches!(
+                state,
+                State::BlockComment { doc: true, .. } | State::LineComment { doc: true }
+            );
+        }};
+    }
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if let State::LineComment { .. } = state {
+                state = State::Code;
+            }
+            flush_line!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    // `///` (outer doc), `//!` (inner doc) or plain `//`.
+                    // `////...` is a plain comment by the reference.
+                    let c2 = chars.get(i + 2).copied();
+                    let doc = (c2 == Some('/') && chars.get(i + 3).copied() != Some('/'))
+                        || c2 == Some('!');
+                    state = State::LineComment { doc };
+                    is_doc |= doc;
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    let c2 = chars.get(i + 2).copied();
+                    let doc = (c2 == Some('*') && chars.get(i + 3).copied() != Some('*'))
+                        || c2 == Some('!');
+                    state = State::BlockComment { doc, depth: 1 };
+                    is_doc |= doc;
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    state = State::Str;
+                    code.push(' ');
+                    i += 1;
+                    continue;
+                }
+                // Raw (byte) strings: r"..."  r#"..."#  br##"..."## etc.
+                if c == 'r' || (c == 'b' && next == Some('r')) {
+                    let start = if c == 'b' { i + 2 } else { i + 1 };
+                    let mut j = start;
+                    while chars.get(j).copied() == Some('#') {
+                        j += 1;
+                    }
+                    if chars.get(j).copied() == Some('"') {
+                        for _ in i..=j {
+                            code.push(' ');
+                        }
+                        state = State::RawStr { hashes: j - start };
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                if c == 'b' && next == Some('"') {
+                    code.push(' ');
+                    code.push(' ');
+                    state = State::Str;
+                    i += 2;
+                    continue;
+                }
+                if c == '\'' {
+                    // Distinguish a char literal from a lifetime: `'x'` or
+                    // `'\...'` is a literal; `'ident` (no closing quote
+                    // right after one char) is a lifetime and stays code.
+                    if next == Some('\\') || chars.get(i + 2).copied() == Some('\'') {
+                        state = State::Char;
+                        code.push(' ');
+                        i += 1;
+                        continue;
+                    }
+                    code.push(c);
+                    i += 1;
+                    continue;
+                }
+                code.push(c);
+                i += 1;
+            }
+            State::LineComment { .. } => {
+                comment.push(c);
+                code.push(' ');
+                i += 1;
+            }
+            State::BlockComment { doc, depth } => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment {
+                            doc,
+                            depth: depth - 1,
+                        }
+                    };
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment {
+                        doc,
+                        depth: depth + 1,
+                    };
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    code.push(' ');
+                    if chars.get(i + 1).is_some() && chars[i + 1] != '\n' {
+                        code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    if c == '"' {
+                        state = State::Code;
+                    }
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr { hashes } => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if chars.get(i + 1 + k).copied() != Some('#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..=hashes {
+                            code.push(' ');
+                        }
+                        state = State::Code;
+                        i += hashes + 1;
+                        continue;
+                    }
+                }
+                code.push(' ');
+                i += 1;
+            }
+            State::Char => {
+                if c == '\\' {
+                    code.push(' ');
+                    if chars.get(i + 1).is_some() {
+                        code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    if c == '\'' {
+                        state = State::Code;
+                    }
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        flush_line!();
+    }
+    let _ = is_doc; // last flush's carry-over is never read
+
+    let mut file = SourceFile {
+        path: path.to_owned(),
+        lines,
+    };
+    mark_test_regions(&mut file);
+    file
+}
+
+/// Marks every line belonging to a `#[cfg(test)]`-gated item (attribute
+/// line included) with [`Line::in_test`].
+///
+/// The item body is delimited by brace counting on the code-only view;
+/// `#[cfg(test)] mod x;` (no body) ends at the first `;` at depth 0.
+fn mark_test_regions(file: &mut SourceFile) {
+    let n = file.lines.len();
+    let mut i = 0;
+    while i < n {
+        let trimmed = file.lines[i].code.trim();
+        let is_cfg_test = trimmed
+            .split_whitespace()
+            .collect::<String>()
+            .contains("#[cfg(test)]");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Walk forward to the end of the attached item.
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut j = i;
+        while j < n {
+            file.lines[j].in_test = true;
+            for c in file.lines[j].code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    ';' if !opened && depth == 0 => {
+                        // `mod name;` style: item ends here.
+                        opened = true;
+                        depth = 0;
+                    }
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_lines(text: &str) -> Vec<String> {
+        preprocess("t.rs", text)
+            .lines
+            .iter()
+            .map(|l| l.code.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let lines = code_lines("let x = \"a[0].unwrap()\"; // b[1]\nfoo();\n");
+        assert!(!lines[0].contains("unwrap"));
+        assert!(!lines[0].contains("b[1]"));
+        assert!(lines[0].contains("let x ="));
+        assert_eq!(lines[1].trim(), "foo();");
+    }
+
+    #[test]
+    fn comment_text_is_captured() {
+        let f = preprocess("t.rs", "foo(); // lint:allow(panic) reason\n");
+        assert!(f.lines[0].comment.contains("lint:allow(panic) reason"));
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let f = preprocess("t.rs", "/// x.unwrap()\n//! y\n// plain\nfn a() {}\n");
+        assert!(f.lines[0].is_doc);
+        assert!(f.lines[1].is_doc);
+        assert!(!f.lines[2].is_doc);
+        assert!(!f.lines[0].code.contains("unwrap"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let f = preprocess("t.rs", "/* a\nb[0]\n*/ code();\n");
+        assert!(!f.lines[1].code.contains('['));
+        assert!(f.lines[2].code.contains("code();"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let lines = code_lines("let s = r#\"x.unwrap() \"quoted\" \"#; y();\n");
+        assert!(!lines[0].contains("unwrap"));
+        assert!(lines[0].contains("y();"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let lines = code_lines("fn f<'a>(x: &'a str) { let c = '\"'; let d = '['; g(); }\n");
+        assert!(lines[0].contains("fn f<'a>(x: &'a str)"));
+        assert!(!lines[0].contains('['));
+        assert!(lines[0].contains("g();"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let text =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn tail() {}\n";
+        let f = preprocess("t.rs", text);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_semicolon_item() {
+        let text = "#[cfg(test)]\nmod helpers;\nfn lib() {}\n";
+        let f = preprocess("t.rs", text);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![true, true, false]);
+    }
+}
