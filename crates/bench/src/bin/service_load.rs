@@ -1,0 +1,214 @@
+// lint:allow-file(panic) benchmark harness: fails fast on bad CLI options, IO errors, and fixed known-valid parameters rather than threading Result through experiment drivers
+//! Load generator for the `isomit-service` daemon: starts an in-process
+//! [`Server`] on an ephemeral loopback port, drives it with concurrent
+//! TCP clients at several concurrency levels, verifies **every** served
+//! answer against the precomputed in-process result, and writes
+//! p50/p95/p99 latency + throughput + cache statistics to
+//! `BENCH_service.json`.
+//!
+//! Options: `--scale S` (network scale, default 0.02), `--seed N`,
+//! `--requests N` (requests **per connection** per level, default 125 —
+//! so the top level, 8 connections, issues 1000), `--snapshots N`
+//! (distinct snapshots cycled through, default 8).
+
+use isomit_bench::report::BenchReport;
+use isomit_core::{InitiatorDetector, Rid, RidConfig};
+use isomit_diffusion::InfectedNetwork;
+use isomit_service::{Client, RidEngine, Server, ServerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Concurrency levels exercised, in order.
+const LEVELS: [usize; 4] = [1, 2, 4, 8];
+
+struct Options {
+    scale: f64,
+    seed: u64,
+    requests: usize,
+    snapshots: usize,
+}
+
+impl Options {
+    fn parse(mut args: std::env::Args) -> Options {
+        let mut opts = Options {
+            scale: 0.02,
+            seed: 7,
+            requests: 125,
+            snapshots: 8,
+        };
+        args.next(); // program name
+        while let Some(flag) = args.next() {
+            let mut value = |name: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--scale" => opts.scale = value("--scale").parse().expect("--scale: f64"),
+                "--seed" => opts.seed = value("--seed").parse().expect("--seed: u64"),
+                "--requests" => {
+                    opts.requests = value("--requests").parse().expect("--requests: usize")
+                }
+                "--snapshots" => {
+                    opts.snapshots = value("--snapshots").parse().expect("--snapshots: usize")
+                }
+                other => panic!("unknown flag `{other}`"),
+            }
+        }
+        assert!(opts.requests > 0, "--requests must be positive");
+        assert!(opts.snapshots > 0, "--snapshots must be positive");
+        opts
+    }
+}
+
+/// Latency percentile by nearest-rank over a sorted sample, in ns.
+fn percentile(sorted_ns: &[f64], q: f64) -> f64 {
+    assert!(!sorted_ns.is_empty());
+    let rank = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    // lint:allow(indexing) rank is computed from len - 1 with q in [0, 1]
+    sorted_ns[rank]
+}
+
+fn main() {
+    let opts = Options::parse(std::env::args());
+
+    // The served network and the verification oracle share one build.
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let social = isomit_datasets::epinions_like_scaled(opts.scale, &mut rng);
+    let graph = isomit_datasets::paper_weights(&social, &mut rng);
+    println!(
+        "== service load: {} nodes / {} edges, {} snapshots, {} requests/conn ==",
+        graph.node_count(),
+        graph.edge_count(),
+        opts.snapshots,
+        opts.requests
+    );
+
+    // Distinct snapshots plus their in-process ground-truth answers.
+    let oracle = Rid::from_config(RidConfig::default()).expect("valid config");
+    let cases: Vec<(InfectedNetwork, String)> = (0..opts.snapshots)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(opts.seed ^ (0xA5A5 + i as u64));
+            let social = isomit_datasets::epinions_like_scaled(opts.scale, &mut rng);
+            let scenario = isomit_datasets::build_scenario(
+                &social,
+                &isomit_datasets::ScenarioConfig::small(),
+                &mut rng,
+            );
+            let expected = oracle.detect(&scenario.snapshot).to_json_value().to_json();
+            (scenario.snapshot, expected)
+        })
+        .collect();
+
+    let engine = Arc::new(
+        RidEngine::new(graph, RidConfig::default(), 2 * opts.snapshots).expect("valid config"),
+    );
+    let server = Server::start(engine, "127.0.0.1:0", ServerConfig::default())
+        .expect("bind loopback listener");
+    let addr = server.local_addr();
+
+    let mut report = BenchReport::new("service");
+    let mut total_wrong = 0usize;
+    for level in LEVELS {
+        let total_requests = level * opts.requests;
+        let started = Instant::now();
+        // Each connection measures its own request latencies; wrong
+        // answers are counted, never tolerated.
+        let per_conn: Vec<(Vec<f64>, usize)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..level)
+                .map(|conn| {
+                    let cases = &cases;
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect");
+                        let mut latencies = Vec::with_capacity(opts.requests);
+                        let mut wrong = 0usize;
+                        for round in 0..opts.requests {
+                            // lint:allow(indexing) index is reduced modulo cases.len()
+                            let (snapshot, expected) = &cases[(conn + round) % cases.len()];
+                            let t0 = Instant::now();
+                            let result = client.rid(snapshot, None).expect("rid request");
+                            latencies.push(t0.elapsed().as_nanos() as f64);
+                            if &result.detection.to_json_value().to_json() != expected {
+                                wrong += 1;
+                            }
+                        }
+                        (latencies, wrong)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let elapsed = started.elapsed().as_secs_f64();
+
+        let mut all: Vec<f64> = per_conn
+            .iter()
+            .flat_map(|(l, _)| l.iter().copied())
+            .collect();
+        all.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let wrong: usize = per_conn.iter().map(|(_, w)| w).sum();
+        total_wrong += wrong;
+        let p50 = percentile(&all, 0.50);
+        let p95 = percentile(&all, 0.95);
+        let p99 = percentile(&all, 0.99);
+        let rps = total_requests as f64 / elapsed;
+        println!(
+            "c={level}: {total_requests} reqs in {elapsed:.2}s — {rps:.0} req/s, \
+             p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms, wrong={wrong}",
+            p50 / 1e6,
+            p95 / 1e6,
+            p99 / 1e6
+        );
+        report.add_metrics(
+            "rid_load",
+            format!("c{level}"),
+            vec![
+                ("connections".into(), level as f64),
+                ("requests".into(), total_requests as f64),
+                ("p50_ns".into(), p50),
+                ("p95_ns".into(), p95),
+                ("p99_ns".into(), p99),
+                ("rps".into(), rps),
+                ("wrong_answers".into(), wrong as f64),
+            ],
+        );
+    }
+
+    // Engine-side counters after the full run.
+    let mut client = Client::connect(addr).expect("connect for stats");
+    let stats = client.stats().expect("stats");
+    println!(
+        "engine: {} rid requests, cache {} hits / {} misses / {} evictions (hit rate {:.3})",
+        stats.rid_requests,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions,
+        stats.hit_rate()
+    );
+    report.add_metrics(
+        "engine",
+        "stats",
+        vec![
+            ("rid_requests".into(), stats.rid_requests as f64),
+            ("cache_hits".into(), stats.cache_hits as f64),
+            ("cache_misses".into(), stats.cache_misses as f64),
+            ("cache_evictions".into(), stats.cache_evictions as f64),
+            ("cache_hit_rate".into(), stats.hit_rate()),
+        ],
+    );
+    client.shutdown().expect("shutdown");
+    server.join();
+
+    assert_eq!(
+        total_wrong, 0,
+        "served answers diverged from the in-process pipeline"
+    );
+    report.write().expect("write BENCH_service.json");
+    println!("wrote {}", report.path().display());
+    println!("all {} answers verified against the in-process pipeline", {
+        LEVELS.iter().map(|l| l * opts.requests).sum::<usize>()
+    });
+}

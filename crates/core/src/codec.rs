@@ -1,0 +1,300 @@
+//! Wire-format (JSON) codecs for detector configs and results, built on
+//! the in-repo [`isomit_graph::json`] codec.
+//!
+//! These are the payloads of the serving protocol's `rid` request and
+//! response. All numbers round-trip bit-exactly (`f64` is printed with
+//! `{:?}`), so a decoded [`RidResult`] compares equal — including the
+//! floating objective — to the one the server computed.
+
+use crate::detection::{DetectedInitiator, Detection};
+use crate::rid::{RidConfig, RidObjective};
+use isomit_graph::json::{JsonError, Value};
+use isomit_graph::{NodeId, NodeState};
+
+impl RidObjective {
+    /// The snake_case wire label of the objective.
+    pub fn as_label(&self) -> &'static str {
+        match self {
+            RidObjective::ProbabilitySum => "probability_sum",
+            RidObjective::LogLikelihood => "log_likelihood",
+        }
+    }
+
+    /// Parses the label produced by
+    /// [`as_label`](RidObjective::as_label).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on an unknown label.
+    pub fn from_label(label: &str) -> Result<Self, JsonError> {
+        match label {
+            "probability_sum" => Ok(RidObjective::ProbabilitySum),
+            "log_likelihood" => Ok(RidObjective::LogLikelihood),
+            other => Err(JsonError::new(format!("unknown objective `{other}`"))),
+        }
+    }
+}
+
+impl RidConfig {
+    /// Encodes the config as a JSON object.
+    pub fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("alpha".into(), Value::Number(self.alpha)),
+            ("beta".into(), Value::Number(self.beta)),
+            (
+                "objective".into(),
+                Value::String(self.objective.as_label().into()),
+            ),
+            (
+                "external_support".into(),
+                Value::Bool(self.external_support),
+            ),
+        ])
+    }
+
+    /// Decodes a config from the encoding of
+    /// [`to_json_value`](RidConfig::to_json_value). Missing `objective`
+    /// or `external_support` keys fall back to the [`Default`] values,
+    /// so clients can send just `{"alpha": 3, "beta": 0.1}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed input. Range validation is
+    /// deferred to [`Rid::from_config`](crate::Rid::from_config).
+    pub fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        let defaults = RidConfig::default();
+        let number = |key: &str| -> Result<f64, JsonError> {
+            value
+                .require(key)?
+                .as_f64()
+                .ok_or_else(|| JsonError::new(format!("`{key}` must be a number")))
+        };
+        let objective = match value.get("objective") {
+            None => defaults.objective,
+            Some(v) => RidObjective::from_label(
+                v.as_str()
+                    .ok_or_else(|| JsonError::new("`objective` must be a string"))?,
+            )?,
+        };
+        let external_support = match value.get("external_support") {
+            None => defaults.external_support,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| JsonError::new("`external_support` must be a boolean"))?,
+        };
+        Ok(RidConfig {
+            alpha: number("alpha")?,
+            beta: number("beta")?,
+            objective,
+            external_support,
+        })
+    }
+
+    /// Encodes the config as a compact JSON string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json_value().to_json()
+    }
+
+    /// Decodes a config from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed input.
+    pub fn from_json_str(input: &str) -> Result<Self, JsonError> {
+        Self::from_json_value(&Value::parse(input)?)
+    }
+}
+
+impl Detection {
+    /// Encodes the detection as a JSON object with initiators as
+    /// `[node, state-symbol]` pairs in sorted (deterministic) order.
+    pub fn to_json_value(&self) -> Value {
+        let initiators = self
+            .initiators
+            .iter()
+            .map(|i| {
+                Value::Array(vec![
+                    Value::Number(i.node.index() as f64),
+                    Value::String(i.state.as_symbol().into()),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("initiators".into(), Value::Array(initiators)),
+            (
+                "component_count".into(),
+                Value::Number(self.component_count as f64),
+            ),
+            ("tree_count".into(), Value::Number(self.tree_count as f64)),
+            ("objective".into(), Value::Number(self.objective)),
+        ])
+    }
+
+    /// Decodes a detection from the encoding of
+    /// [`to_json_value`](Detection::to_json_value).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed input.
+    pub fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        let raw = value
+            .require("initiators")?
+            .as_array()
+            .ok_or_else(|| JsonError::new("`initiators` must be an array"))?;
+        let mut initiators = Vec::with_capacity(raw.len());
+        for entry in raw {
+            let parts = entry
+                .as_array()
+                .ok_or_else(|| JsonError::new("each initiator must be [node, state]"))?;
+            let [node_v, state_v] = parts else {
+                return Err(JsonError::new("each initiator must be [node, state]"));
+            };
+            let node = node_v
+                .as_usize()
+                .map(NodeId::from_index)
+                .ok_or_else(|| JsonError::new("initiator node must be a non-negative id"))?;
+            let state = NodeState::from_symbol(
+                state_v
+                    .as_str()
+                    .ok_or_else(|| JsonError::new("initiator state must be a string"))?,
+            )?;
+            initiators.push(DetectedInitiator { node, state });
+        }
+        let count = |key: &str| -> Result<usize, JsonError> {
+            value
+                .require(key)?
+                .as_usize()
+                .ok_or_else(|| JsonError::new(format!("`{key}` must be a non-negative integer")))
+        };
+        Ok(Detection {
+            initiators,
+            component_count: count("component_count")?,
+            tree_count: count("tree_count")?,
+            objective: value
+                .require("objective")?
+                .as_f64()
+                .ok_or_else(|| JsonError::new("`objective` must be a number"))?,
+        })
+    }
+}
+
+/// A detection together with the config that produced it — the payload
+/// of the serving protocol's `rid` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RidResult {
+    /// The exact detector parameters the answer was computed under
+    /// (defaults filled in), so clients can audit what they got.
+    pub config: RidConfig,
+    /// The detection itself.
+    pub detection: Detection,
+}
+
+impl RidResult {
+    /// Encodes the result as a JSON object.
+    pub fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("config".into(), self.config.to_json_value()),
+            ("detection".into(), self.detection.to_json_value()),
+        ])
+    }
+
+    /// Decodes a result from the encoding of
+    /// [`to_json_value`](RidResult::to_json_value).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed input.
+    pub fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        Ok(RidResult {
+            config: RidConfig::from_json_value(value.require("config")?)?,
+            detection: Detection::from_json_value(value.require("detection")?)?,
+        })
+    }
+
+    /// Encodes the result as a compact JSON string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json_value().to_json()
+    }
+
+    /// Decodes a result from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed input.
+    pub fn from_json_str(input: &str) -> Result<Self, JsonError> {
+        Self::from_json_value(&Value::parse(input)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_round_trips_through_text() {
+        let config = RidConfig {
+            alpha: 2.5,
+            beta: 0.07,
+            objective: RidObjective::LogLikelihood,
+            external_support: false,
+        };
+        let back = RidConfig::from_json_str(&config.to_json_string()).unwrap();
+        assert_eq!(back, config);
+        assert_eq!(back.alpha.to_bits(), config.alpha.to_bits());
+    }
+
+    #[test]
+    fn config_defaults_optional_fields() {
+        let parsed = RidConfig::from_json_str("{\"alpha\": 3, \"beta\": 0.1}").unwrap();
+        assert_eq!(parsed, RidConfig::default());
+    }
+
+    #[test]
+    fn detection_round_trips() {
+        let detection = Detection {
+            initiators: vec![
+                DetectedInitiator {
+                    node: NodeId(2),
+                    state: NodeState::Positive,
+                },
+                DetectedInitiator {
+                    node: NodeId(9),
+                    state: NodeState::Negative,
+                },
+            ],
+            component_count: 2,
+            tree_count: 3,
+            objective: 1.25e-3,
+        };
+        let result = RidResult {
+            config: RidConfig::default(),
+            detection: detection.clone(),
+        };
+        let back = RidResult::from_json_str(&result.to_json_string()).unwrap();
+        assert_eq!(back, result);
+        assert_eq!(
+            back.detection.objective.to_bits(),
+            detection.objective.to_bits()
+        );
+    }
+
+    #[test]
+    fn objective_labels_round_trip() {
+        for obj in [RidObjective::ProbabilitySum, RidObjective::LogLikelihood] {
+            assert_eq!(RidObjective::from_label(obj.as_label()).unwrap(), obj);
+        }
+        assert!(RidObjective::from_label("bogus").is_err());
+    }
+
+    #[test]
+    fn malformed_detection_is_rejected() {
+        for text in [
+            "{}",
+            "{\"initiators\": [[1]], \"component_count\": 1, \"tree_count\": 1, \"objective\": 0}",
+            "{\"initiators\": [[1, \"x\"]], \"component_count\": 1, \"tree_count\": 1, \"objective\": 0}",
+        ] {
+            let v = Value::parse(text).unwrap();
+            assert!(Detection::from_json_value(&v).is_err(), "{text}");
+        }
+    }
+}

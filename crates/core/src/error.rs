@@ -13,6 +13,17 @@ pub enum RidError {
         /// Human-readable constraint.
         constraint: &'static str,
     },
+    /// A query stage was handed [`ForestArtifacts`](crate::ForestArtifacts)
+    /// extracted under a different `alpha` than the detector's own. The
+    /// branching structure depends on `alpha`, so answering from such
+    /// artifacts would silently change results; the mismatch is rejected
+    /// instead. Compared bit-for-bit (`f64::to_bits`).
+    ArtifactMismatch {
+        /// The detector's `alpha`.
+        expected_alpha: f64,
+        /// The `alpha` the artifacts were extracted under.
+        artifact_alpha: f64,
+    },
 }
 
 impl fmt::Display for RidError {
@@ -23,6 +34,14 @@ impl fmt::Display for RidError {
                 value,
                 constraint,
             } => write!(f, "parameter {name} = {value} is invalid: {constraint}"),
+            RidError::ArtifactMismatch {
+                expected_alpha,
+                artifact_alpha,
+            } => write!(
+                f,
+                "forest artifacts were extracted with alpha = {artifact_alpha} \
+                 but the detector expects alpha = {expected_alpha}"
+            ),
         }
     }
 }
@@ -41,6 +60,17 @@ mod tests {
             constraint: "must be >= 0",
         };
         assert!(e.to_string().contains("beta = -1"));
+    }
+
+    #[test]
+    fn display_names_both_alphas() {
+        let e = RidError::ArtifactMismatch {
+            expected_alpha: 3.0,
+            artifact_alpha: 2.0,
+        };
+        let text = e.to_string();
+        assert!(text.contains("alpha = 2"));
+        assert!(text.contains("alpha = 3"));
     }
 
     #[test]

@@ -5,6 +5,28 @@ use isomit_forest::{maximum_branching, weakly_connected_components, WeightedArc}
 use isomit_graph::{GraphError, NodeId, NodeState, Sign};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+
+thread_local! {
+    /// Per-thread invocation counter of [`extract_cascade_forest`]; see
+    /// [`extraction_run_count`].
+    static EXTRACTION_RUNS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of times [`extract_cascade_forest`] has run **on the calling
+/// thread** since it started.
+///
+/// Extraction is the expensive per-snapshot stage of the RID pipeline
+/// (components + Chu-Liu/Edmonds + tree materialization), so callers
+/// that answer many queries against one snapshot — the §III-E3 model
+/// selection sweep, the serving engine's cache — must run it exactly
+/// once per snapshot. This counter exists so regression tests can assert
+/// that property; it is thread-local (the inner tree materialization may
+/// fan out to rayon workers, but the invocation itself is counted on the
+/// caller), monotone, and never reset.
+pub fn extraction_run_count() -> u64 {
+    EXTRACTION_RUNS.with(|c| c.get())
+}
 
 /// One extracted cascade tree (Definition 7): a maximum-likelihood guess
 /// at "who activated whom" within part of an infected component.
@@ -263,6 +285,7 @@ pub fn usable_arcs(snapshot: &InfectedNetwork, alpha: f64) -> Vec<WeightedArc> {
 /// set, and the final sort by root snapshot id makes the output
 /// independent of thread count and scheduling order.
 pub fn extract_cascade_forest(snapshot: &InfectedNetwork, alpha: f64) -> (Vec<CascadeTree>, usize) {
+    EXTRACTION_RUNS.with(|c| c.set(c.get() + 1));
     let component_count = weakly_connected_components(snapshot.graph()).len();
     let n = snapshot.node_count();
     let arcs = usable_arcs(snapshot, alpha);

@@ -68,12 +68,14 @@
 
 mod baselines;
 mod centrality;
+mod codec;
 mod detection;
 mod dp;
 mod error;
 mod forest_extraction;
 mod kisomit;
 mod rid;
+mod stages;
 
 pub mod exact;
 pub mod likelihood;
@@ -81,9 +83,13 @@ pub mod reduction;
 
 pub use baselines::{RidPositive, RidTree};
 pub use centrality::{tree_rumor_centralities, RumorCentrality};
+pub use codec::RidResult;
 pub use detection::{DetectedInitiator, Detection, InitiatorDetector};
 pub use dp::{DpOutcome, TreeDp};
 pub use error::RidError;
-pub use forest_extraction::{external_support, extract_cascade_forest, usable_arcs, CascadeTree};
+pub use forest_extraction::{
+    external_support, extract_cascade_forest, extraction_run_count, usable_arcs, CascadeTree,
+};
 pub use kisomit::solve_k_isomit;
-pub use rid::{Rid, RidObjective};
+pub use rid::{Rid, RidConfig, RidObjective};
+pub use stages::ForestArtifacts;

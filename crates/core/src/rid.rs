@@ -1,10 +1,6 @@
-use crate::detection::{DetectedInitiator, Detection, InitiatorDetector};
-use crate::dp::TreeDp;
+use crate::detection::{Detection, InitiatorDetector};
 use crate::error::RidError;
-use crate::forest_extraction::{external_support, extract_cascade_forest};
 use isomit_diffusion::InfectedNetwork;
-use isomit_graph::NodeState;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Which per-tree objective RID optimizes when selecting the number of
@@ -24,6 +20,37 @@ pub enum RidObjective {
     /// unbounded, so useful `β` values are larger. Solved exactly by
     /// [`TreeDp::solve_penalized`](crate::TreeDp::solve_penalized).
     LogLikelihood,
+}
+
+/// Plain-data description of a [`Rid`] detector, the unit the serving
+/// wire protocol and config files speak.
+///
+/// Unlike [`Rid`] it performs no validation — turn it into a detector
+/// with [`Rid::from_config`], which applies the same parameter checks
+/// as [`Rid::new`]. The default matches the paper's headline setting:
+/// `α = 3`, `β = 0.1`, probability-sum objective with external support.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RidConfig {
+    /// The MFC boosting coefficient `α` (must be finite and `>= 1`).
+    pub alpha: f64,
+    /// The per-initiator penalty `β` (must be finite and `>= 0`).
+    pub beta: f64,
+    /// The per-tree objective to optimize.
+    pub objective: RidObjective,
+    /// Whether the probability-sum objective includes the
+    /// external-support term.
+    pub external_support: bool,
+}
+
+impl Default for RidConfig {
+    fn default() -> Self {
+        RidConfig {
+            alpha: 3.0,
+            beta: 0.1,
+            objective: RidObjective::ProbabilitySum,
+            external_support: true,
+        }
+    }
 }
 
 /// The full **Rumor Initiator Detector** of the paper (§III-E).
@@ -104,6 +131,34 @@ impl Rid {
         self
     }
 
+    /// Builds a detector from a plain [`RidConfig`], applying the same
+    /// validation as [`Rid::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RidError::InvalidParameter`] under the same conditions
+    /// as [`Rid::new`].
+    pub fn from_config(config: RidConfig) -> Result<Self, RidError> {
+        Ok(Rid::new(config.alpha, config.beta)?
+            .with_objective(config.objective)
+            .with_external_support(config.external_support))
+    }
+
+    /// The detector's parameters as a plain [`RidConfig`].
+    pub fn config(&self) -> RidConfig {
+        RidConfig {
+            alpha: self.alpha,
+            beta: self.beta,
+            objective: self.objective,
+            external_support: self.external_support,
+        }
+    }
+
+    /// Whether the external-support term is enabled.
+    pub fn external_support_enabled(&self) -> bool {
+        self.external_support
+    }
+
     /// The configured per-tree objective.
     pub fn objective(&self) -> RidObjective {
         self.objective
@@ -126,52 +181,12 @@ impl InitiatorDetector for Rid {
     }
 
     fn detect(&self, snapshot: &InfectedNetwork) -> Detection {
-        let (trees, component_count) = extract_cascade_forest(snapshot, self.alpha);
-        // Trees are independent DP instances: solve them in parallel,
-        // collected back in tree order so the sequential objective fold
-        // below adds floats in a fixed order — the detection is
-        // bit-identical for every thread count.
-        let outcomes: Vec<_> = trees
-            .par_iter()
-            .map(|tree| match self.objective {
-                RidObjective::ProbabilitySum => {
-                    let support = self
-                        .external_support
-                        .then(|| external_support(snapshot, tree, self.alpha));
-                    TreeDp::solve_probability_sum_with_support(
-                        tree,
-                        self.alpha,
-                        self.beta,
-                        support.as_deref(),
-                    )
-                }
-                RidObjective::LogLikelihood => TreeDp::solve_penalized(tree, self.alpha, self.beta),
-            })
-            .collect();
-        let mut initiators = Vec::new();
-        let mut objective = 0.0;
-        for outcome in outcomes {
-            objective += outcome.objective;
-            for (sub_id, state) in outcome.initiators {
-                let node = snapshot
-                    .mapping()
-                    .to_original(sub_id)
-                    // lint:allow(panic) structural invariant: every snapshot id has an original-network preimage in the mapping
-                    .expect("snapshot id maps to original network");
-                initiators.push(DetectedInitiator {
-                    node,
-                    state: NodeState::from_sign(state),
-                });
-            }
-        }
-        let mut detection = Detection {
-            initiators,
-            component_count,
-            tree_count: trees.len(),
-            objective,
-        };
-        detection.sort();
-        detection
+        // One-shot path through the two-stage pipeline (see `stages`):
+        // extract the forest artifacts, then answer the single query.
+        let artifacts = self.extract_stage(snapshot);
+        self.query_stage(snapshot, &artifacts)
+            // lint:allow(panic) the artifacts were just extracted by this detector, so the alphas match by construction
+            .expect("freshly extracted artifacts match the detector alpha")
     }
 }
 

@@ -281,3 +281,49 @@ proptest! {
         prop_assert!((discounted / FLIP_DISCOUNT).abs() <= 1.0 + 1e-12);
     }
 }
+
+/// Random finite detector config for codec round-trips.
+fn arb_rid_config() -> impl Strategy<Value = isomit_core::RidConfig> {
+    (1.0f64..16.0, 0.0f64..8.0, any::<bool>(), any::<bool>()).prop_map(
+        |(alpha, beta, log_likelihood, external_support)| isomit_core::RidConfig {
+            alpha,
+            beta,
+            objective: if log_likelihood {
+                RidObjective::LogLikelihood
+            } else {
+                RidObjective::ProbabilitySum
+            },
+            external_support,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rid_config_round_trips_bit_exactly(config in arb_rid_config()) {
+        let back = isomit_core::RidConfig::from_json_str(&config.to_json_string()).unwrap();
+        prop_assert_eq!(back, config);
+        prop_assert_eq!(back.alpha.to_bits(), config.alpha.to_bits());
+        prop_assert_eq!(back.beta.to_bits(), config.beta.to_bits());
+    }
+
+    #[test]
+    fn rid_result_round_trips_bit_exactly(
+        snapshot in arb_snapshot(12),
+        config in arb_rid_config(),
+    ) {
+        let rid = Rid::from_config(config).unwrap();
+        let result = isomit_core::RidResult {
+            config,
+            detection: rid.detect(&snapshot),
+        };
+        let back = isomit_core::RidResult::from_json_str(&result.to_json_string()).unwrap();
+        prop_assert_eq!(
+            back.detection.objective.to_bits(),
+            result.detection.objective.to_bits()
+        );
+        prop_assert_eq!(back, result);
+    }
+}

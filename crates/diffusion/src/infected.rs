@@ -128,11 +128,11 @@ impl InfectedNetwork {
         self.states.iter().filter(|s| !s.is_unknown()).count()
     }
 
-    /// Encodes the snapshot as compact JSON:
+    /// Encodes the snapshot as a JSON [`Value`]:
     /// `{"graph": <SignedDigraph>, "states": ["+", "-", ...],
     /// "mapping": [orig_id, ...]}` — see `isomit_graph::json` for the
     /// graph schema. Weights survive the round trip bit-exactly.
-    pub fn to_json_string(&self) -> String {
+    pub fn to_json_value(&self) -> Value {
         let states = self
             .states
             .iter()
@@ -149,7 +149,12 @@ impl InfectedNetwork {
             ("states".into(), Value::Array(states)),
             ("mapping".into(), Value::Array(mapping)),
         ])
-        .to_json()
+    }
+
+    /// Encodes the snapshot as compact JSON text (see
+    /// [`to_json_value`](InfectedNetwork::to_json_value) for the schema).
+    pub fn to_json_string(&self) -> String {
+        self.to_json_value().to_json()
     }
 
     /// Decodes a snapshot produced by
@@ -160,7 +165,17 @@ impl InfectedNetwork {
     /// Returns a [`JsonError`] on malformed JSON, schema mismatches, or
     /// inconsistent lengths between graph, states and mapping.
     pub fn from_json_str(input: &str) -> Result<Self, JsonError> {
-        let doc = Value::parse(input)?;
+        Self::from_json_value(&Value::parse(input)?)
+    }
+
+    /// Decodes a snapshot from an already-parsed JSON [`Value`] — the
+    /// form embedded in serving-protocol requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on schema mismatches or inconsistent
+    /// lengths between graph, states and mapping.
+    pub fn from_json_value(doc: &Value) -> Result<Self, JsonError> {
         let graph = SignedDigraph::from_json_value(doc.require("graph")?)?;
         let states = doc
             .require("states")?

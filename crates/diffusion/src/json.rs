@@ -1,0 +1,229 @@
+//! Wire-format (JSON) codecs for diffusion types, built on the in-repo
+//! [`isomit_graph::json`] codec — no external serialization deps.
+//!
+//! These encodings are what the serving protocol (`isomit-service`)
+//! speaks: [`SeedSet`] as `[[node, sign], ...]` and [`DiffusionError`]
+//! as a tagged object. Numbers round-trip bit-exactly (the codec prints
+//! `f64` with `{:?}`), so `decode(encode(x)) == x` holds for every
+//! value, which the proptest suite asserts.
+
+use crate::{DiffusionError, SeedSet};
+use isomit_graph::json::{JsonError, Value};
+use isomit_graph::{NodeId, Sign};
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// Returns a `'static` copy of `s`, leaking at most one allocation per
+/// distinct string.
+///
+/// [`DiffusionError`] carries `&'static str` parameter names and
+/// constraints (they are compile-time literals on the encode side);
+/// decoding has to produce the same type, so decoded strings are
+/// interned in a process-wide set. The set of distinct names and
+/// constraints is tiny and fixed by the codebase, so the leak is
+/// bounded.
+fn intern(s: &str) -> &'static str {
+    static INTERNED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut set = INTERNED
+        .lock()
+        // lint:allow(panic) the intern set's critical section cannot panic, so the mutex cannot be poisoned
+        .expect("intern set mutex poisoned");
+    if let Some(existing) = set.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+fn sign_to_value(sign: Sign) -> Value {
+    Value::Number(sign.value() as f64)
+}
+
+fn sign_from_value(value: &Value) -> Result<Sign, JsonError> {
+    match value.as_f64() {
+        Some(v) if v.to_bits() == 1f64.to_bits() => Ok(Sign::Positive),
+        Some(v) if v.to_bits() == (-1f64).to_bits() => Ok(Sign::Negative),
+        _ => Err(JsonError::new("sign must be 1 or -1")),
+    }
+}
+
+fn node_from_value(value: &Value) -> Result<NodeId, JsonError> {
+    value
+        .as_usize()
+        .map(NodeId::from_index)
+        .ok_or_else(|| JsonError::new("node must be a non-negative integer id"))
+}
+
+impl SeedSet {
+    /// Encodes the seed set as `[[node, sign], ...]` in iteration
+    /// (insertion) order.
+    pub fn to_json_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(node, sign)| {
+                    Value::Array(vec![
+                        Value::Number(node.index() as f64),
+                        sign_to_value(sign),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Decodes a seed set from the encoding of
+    /// [`to_json_value`](SeedSet::to_json_value).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed input or duplicate seeds.
+    pub fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        let raw = value
+            .as_array()
+            .ok_or_else(|| JsonError::new("seeds must be an array of [node, sign] pairs"))?;
+        let mut pairs = Vec::with_capacity(raw.len());
+        for entry in raw {
+            let parts = entry
+                .as_array()
+                .ok_or_else(|| JsonError::new("each seed must be a [node, sign] pair"))?;
+            let [node_v, sign_v] = parts else {
+                return Err(JsonError::new("each seed must be a [node, sign] pair"));
+            };
+            pairs.push((node_from_value(node_v)?, sign_from_value(sign_v)?));
+        }
+        SeedSet::from_pairs(pairs).map_err(|e| JsonError::new(format!("invalid seed set: {e}")))
+    }
+}
+
+impl DiffusionError {
+    /// Encodes the error as a tagged JSON object
+    /// (`{"kind": "...", ...}`).
+    pub fn to_json_value(&self) -> Value {
+        match self {
+            DiffusionError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => Value::Object(vec![
+                ("kind".into(), Value::String("invalid_parameter".into())),
+                ("name".into(), Value::String((*name).into())),
+                ("value".into(), Value::Number(*value)),
+                ("constraint".into(), Value::String((*constraint).into())),
+            ]),
+            DiffusionError::DuplicateSeed(node) => Value::Object(vec![
+                ("kind".into(), Value::String("duplicate_seed".into())),
+                ("node".into(), Value::Number(node.index() as f64)),
+            ]),
+            DiffusionError::SeedOutOfBounds { node, node_count } => Value::Object(vec![
+                ("kind".into(), Value::String("seed_out_of_bounds".into())),
+                ("node".into(), Value::Number(node.index() as f64)),
+                ("node_count".into(), Value::Number(*node_count as f64)),
+            ]),
+        }
+    }
+
+    /// Decodes an error from the encoding of
+    /// [`to_json_value`](DiffusionError::to_json_value).
+    ///
+    /// The `&'static str` fields of
+    /// [`InvalidParameter`](DiffusionError::InvalidParameter) are
+    /// interned process-wide (see module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on a malformed object or unknown `kind`.
+    pub fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        let kind = value
+            .require("kind")?
+            .as_str()
+            .ok_or_else(|| JsonError::new("error `kind` must be a string"))?;
+        match kind {
+            "invalid_parameter" => Ok(DiffusionError::InvalidParameter {
+                name: intern(
+                    value
+                        .require("name")?
+                        .as_str()
+                        .ok_or_else(|| JsonError::new("`name` must be a string"))?,
+                ),
+                value: value
+                    .require("value")?
+                    .as_f64()
+                    .ok_or_else(|| JsonError::new("`value` must be a number"))?,
+                constraint: intern(
+                    value
+                        .require("constraint")?
+                        .as_str()
+                        .ok_or_else(|| JsonError::new("`constraint` must be a string"))?,
+                ),
+            }),
+            "duplicate_seed" => Ok(DiffusionError::DuplicateSeed(node_from_value(
+                value.require("node")?,
+            )?)),
+            "seed_out_of_bounds" => Ok(DiffusionError::SeedOutOfBounds {
+                node: node_from_value(value.require("node")?)?,
+                node_count: value
+                    .require("node_count")?
+                    .as_usize()
+                    .ok_or_else(|| JsonError::new("`node_count` must be a non-negative integer"))?,
+            }),
+            other => Err(JsonError::new(format!("unknown error kind `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_set_round_trips() {
+        let seeds = SeedSet::from_pairs([(NodeId(3), Sign::Positive), (NodeId(0), Sign::Negative)])
+            .unwrap();
+        let v = seeds.to_json_value();
+        assert_eq!(SeedSet::from_json_value(&v).unwrap(), seeds);
+        let reparsed = Value::parse(&v.to_json()).unwrap();
+        assert_eq!(SeedSet::from_json_value(&reparsed).unwrap(), seeds);
+    }
+
+    #[test]
+    fn seed_set_rejects_duplicates_and_bad_signs() {
+        let dup = Value::parse("[[1, 1], [1, -1]]").unwrap();
+        assert!(SeedSet::from_json_value(&dup).is_err());
+        let bad_sign = Value::parse("[[1, 2]]").unwrap();
+        assert!(SeedSet::from_json_value(&bad_sign).is_err());
+    }
+
+    #[test]
+    fn errors_round_trip() {
+        let cases = [
+            DiffusionError::InvalidParameter {
+                name: "alpha",
+                value: 0.5,
+                constraint: "must be >= 1",
+            },
+            DiffusionError::DuplicateSeed(NodeId(7)),
+            DiffusionError::SeedOutOfBounds {
+                node: NodeId(9),
+                node_count: 5,
+            },
+        ];
+        for case in cases {
+            let text = case.to_json_value().to_json();
+            let back = DiffusionError::from_json_value(&Value::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, case, "{text}");
+        }
+    }
+
+    #[test]
+    fn interning_reuses_allocations() {
+        let a = intern("must be >= 1");
+        let b = intern("must be >= 1");
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let v = Value::parse("{\"kind\": \"nonsense\"}").unwrap();
+        assert!(DiffusionError::from_json_value(&v).is_err());
+    }
+}

@@ -54,6 +54,7 @@ mod error;
 mod ic;
 mod infected;
 mod influence;
+mod json;
 mod lt;
 mod mfc;
 mod model;

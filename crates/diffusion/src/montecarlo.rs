@@ -16,7 +16,7 @@
 //! [`estimate_infection_probabilities_seeded`] for every thread count.
 
 use crate::{DiffusionError, DiffusionModel, SeedSet};
-use isomit_graph::{NodeId, SignedDigraph};
+use isomit_graph::{json, NodeId, SignedDigraph};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use rayon::prelude::*;
@@ -67,6 +67,59 @@ impl InfectionEstimate {
     pub fn confidence_halfwidth(&self, node: NodeId) -> f64 {
         let p = self.infection_probability(node);
         1.96 * (p * (1.0 - p) / self.runs as f64).sqrt()
+    }
+
+    /// Encodes the estimate with the in-repo JSON codec as
+    /// `{"runs": N, "infected": [...], "positive": [...]}` — the wire
+    /// form of the serving protocol's `simulate` response.
+    pub fn to_json_value(&self) -> json::Value {
+        let counts = |v: &[u32]| {
+            json::Value::Array(v.iter().map(|&c| json::Value::Number(c as f64)).collect())
+        };
+        json::Value::Object(vec![
+            ("runs".into(), json::Value::Number(self.runs as f64)),
+            ("infected".into(), counts(&self.infected)),
+            ("positive".into(), counts(&self.positive)),
+        ])
+    }
+
+    /// Decodes an estimate from the encoding of
+    /// [`to_json_value`](InfectionEstimate::to_json_value).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`json::JsonError`] on malformed input, mismatched array
+    /// lengths, or counts that do not fit a `u32`.
+    pub fn from_json_value(value: &json::Value) -> Result<Self, json::JsonError> {
+        let runs = value
+            .require("runs")?
+            .as_usize()
+            .ok_or_else(|| json::JsonError::new("`runs` must be a non-negative integer"))?;
+        let counts = |key: &str| -> Result<Vec<u32>, json::JsonError> {
+            value
+                .require(key)?
+                .as_array()
+                .ok_or_else(|| json::JsonError::new(format!("`{key}` must be an array")))?
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| json::JsonError::new(format!("`{key}` counts must be u32")))
+                })
+                .collect()
+        };
+        let infected = counts("infected")?;
+        let positive = counts("positive")?;
+        if infected.len() != positive.len() {
+            return Err(json::JsonError::new(
+                "`infected` and `positive` must have the same length",
+            ));
+        }
+        Ok(InfectionEstimate {
+            runs,
+            infected,
+            positive,
+        })
     }
 }
 

@@ -174,3 +174,54 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 }
+
+/// Random [`DiffusionError`] for codec round-trip checks. Decoded
+/// `&'static str` fields are interned copies, so value equality (what
+/// `PartialEq` checks) is the right contract.
+fn arb_diffusion_error() -> impl Strategy<Value = isomit_diffusion::DiffusionError> {
+    use isomit_diffusion::DiffusionError;
+    const NAMES: [&str; 4] = ["alpha", "runs", "threshold", "weird name \"quoted\""];
+    const CONSTRAINTS: [&str; 3] = ["must be >= 1", "must be positive", "must be finite"];
+    (
+        0u32..3,
+        0usize..4,
+        0usize..3,
+        -1e12f64..1e12,
+        0usize..10_000,
+        0usize..10_000,
+    )
+        .prop_map(
+            |(variant, name_i, constraint_i, value, id, n)| match variant {
+                0 => DiffusionError::InvalidParameter {
+                    name: NAMES[name_i],
+                    value,
+                    constraint: CONSTRAINTS[constraint_i],
+                },
+                1 => DiffusionError::DuplicateSeed(NodeId::from_index(id)),
+                _ => DiffusionError::SeedOutOfBounds {
+                    node: NodeId::from_index(id),
+                    node_count: n,
+                },
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn diffusion_error_round_trips_through_json(error in arb_diffusion_error()) {
+        let text = error.to_json_value().to_json();
+        let parsed = isomit_graph::json::Value::parse(&text).unwrap();
+        let back = isomit_diffusion::DiffusionError::from_json_value(&parsed).unwrap();
+        prop_assert_eq!(back, error, "wire text: {}", text);
+    }
+
+    #[test]
+    fn seed_set_round_trips_through_json((_, seeds) in arb_scenario()) {
+        let text = seeds.to_json_value().to_json();
+        let parsed = isomit_graph::json::Value::parse(&text).unwrap();
+        let back = SeedSet::from_json_value(&parsed).unwrap();
+        prop_assert_eq!(back, seeds);
+    }
+}

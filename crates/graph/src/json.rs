@@ -123,6 +123,25 @@ impl Value {
         }
     }
 
+    /// The boolean inside, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number inside as a `u64`, if it is integral and in the range
+    /// where `f64` represents integers exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n.fract() == 0.0 && (0.0..=9_007_199_254_740_992.0).contains(&n) {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+
     /// The number inside as a `usize`, if it is integral and in range.
     pub fn as_usize(&self) -> Option<usize> {
         let n = self.as_f64()?;
@@ -527,6 +546,16 @@ mod tests {
         for text in ["", "{", "[1,]", "{\"a\" 1}", "nul", "1 2", "\"\\q\""] {
             assert!(Value::parse(text).is_err(), "{text:?}");
         }
+    }
+
+    #[test]
+    fn scalar_accessors() {
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Number(1.0).as_bool(), None);
+        assert_eq!(Value::Number(42.0).as_u64(), Some(42));
+        assert_eq!(Value::Number(-1.0).as_u64(), None);
+        assert_eq!(Value::Number(0.5).as_u64(), None);
+        assert_eq!(Value::String("x".into()).as_u64(), None);
     }
 
     #[test]

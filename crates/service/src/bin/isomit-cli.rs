@@ -1,0 +1,193 @@
+// lint:allow-file(panic) CLI entry point: fails fast on bad options, IO errors and server failures with a process exit, as command-line tools should
+//! `isomit-cli` — command-line client for `isomit-serve`, plus a local
+//! `gen-snapshot` helper for producing test fixtures.
+//!
+//! ```text
+//! isomit-cli [--addr HOST:PORT] health
+//! isomit-cli [--addr HOST:PORT] stats
+//! isomit-cli [--addr HOST:PORT] shutdown
+//! isomit-cli [--addr HOST:PORT] rid --snapshot FILE [--alpha A] [--beta B]
+//! isomit-cli [--addr HOST:PORT] simulate --seeds 0:+,3:- --runs N [--seed S]
+//! isomit-cli gen-snapshot --out SNAP.json [--graph-out GRAPH.json]
+//!            [--scale S] [--seed N]
+//! ```
+//!
+//! Server commands print the raw JSON `result` payload to stdout, one
+//! line, suitable for piping into other tools.
+
+use isomit_core::RidConfig;
+use isomit_diffusion::{InfectedNetwork, SeedSet};
+use isomit_graph::{NodeId, Sign};
+use isomit_service::protocol::RequestBody;
+use isomit_service::Client;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: isomit-cli [--addr HOST:PORT] <health|stats|shutdown>\n\
+         \x20      isomit-cli [--addr HOST:PORT] rid --snapshot FILE [--alpha A] [--beta B]\n\
+         \x20      isomit-cli [--addr HOST:PORT] simulate --seeds 0:+,3:- --runs N [--seed S]\n\
+         \x20      isomit-cli gen-snapshot --out SNAP.json [--graph-out GRAPH.json] [--scale S] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+/// Parses `0:+,3:-` into a seed set.
+fn parse_seeds(spec: &str) -> SeedSet {
+    let pairs = spec.split(',').map(|part| {
+        let (node, sign) = part
+            .split_once(':')
+            .unwrap_or_else(|| panic!("seed `{part}` must look like 0:+ or 3:-"));
+        let node: usize = node
+            .parse()
+            .unwrap_or_else(|_| panic!("bad seed node `{node}`"));
+        let sign = match sign {
+            "+" => Sign::Positive,
+            "-" => Sign::Negative,
+            other => panic!("bad seed sign `{other}` (use + or -)"),
+        };
+        (NodeId::from_index(node), sign)
+    });
+    SeedSet::from_pairs(pairs.collect::<Vec<_>>()).expect("invalid seed set")
+}
+
+fn gen_snapshot(args: &mut std::env::Args) {
+    let mut out = None;
+    let mut graph_out = None;
+    let mut scale = 0.05;
+    let mut seed = 7u64;
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--out" => out = Some(value("--out")),
+            "--graph-out" => graph_out = Some(value("--graph-out")),
+            "--scale" => scale = value("--scale").parse().expect("--scale: f64"),
+            "--seed" => seed = value("--seed").parse().expect("--seed: u64"),
+            _ => usage(),
+        }
+    }
+    let Some(out) = out else { usage() };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let social = isomit_datasets::epinions_like_scaled(scale, &mut rng);
+    let scenario = isomit_datasets::build_scenario(
+        &social,
+        &isomit_datasets::ScenarioConfig::small(),
+        &mut rng,
+    );
+    std::fs::write(&out, scenario.snapshot.to_json_string()).expect("write snapshot");
+    eprintln!(
+        "wrote snapshot with {} infected nodes to {out}",
+        scenario.snapshot.node_count()
+    );
+    if let Some(graph_out) = graph_out {
+        std::fs::write(&graph_out, scenario.diffusion.to_json_string()).expect("write graph");
+        eprintln!(
+            "wrote diffusion network with {} nodes to {graph_out}",
+            scenario.diffusion.node_count()
+        );
+    }
+}
+
+fn main() {
+    let mut args = std::env::args();
+    args.next(); // program name
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut command = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().unwrap_or_else(|| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                command = Some(other.to_owned());
+                break;
+            }
+        }
+    }
+    let Some(command) = command else { usage() };
+
+    if command == "gen-snapshot" {
+        gen_snapshot(&mut args);
+        return;
+    }
+
+    let mut client = Client::connect(&addr)
+        .unwrap_or_else(|e| panic!("cannot connect to isomit-serve at {addr}: {e}"));
+    let body = match command.as_str() {
+        "health" => RequestBody::Health,
+        "stats" => RequestBody::Stats,
+        "shutdown" => RequestBody::Shutdown,
+        "rid" => {
+            let mut snapshot_file = None;
+            let mut alpha = None;
+            let mut beta = None;
+            while let Some(flag) = args.next() {
+                let mut value = |name: &str| {
+                    args.next()
+                        .unwrap_or_else(|| panic!("{name} requires a value"))
+                };
+                match flag.as_str() {
+                    "--snapshot" => snapshot_file = Some(value("--snapshot")),
+                    "--alpha" => alpha = Some(value("--alpha").parse().expect("--alpha: f64")),
+                    "--beta" => beta = Some(value("--beta").parse().expect("--beta: f64")),
+                    _ => usage(),
+                }
+            }
+            let Some(file) = snapshot_file else { usage() };
+            let text = std::fs::read_to_string(&file)
+                .unwrap_or_else(|e| panic!("cannot read snapshot {file}: {e}"));
+            let snapshot = InfectedNetwork::from_json_str(&text)
+                .unwrap_or_else(|e| panic!("invalid snapshot {file}: {e}"));
+            let config = if alpha.is_some() || beta.is_some() {
+                let defaults = RidConfig::default();
+                Some(RidConfig {
+                    alpha: alpha.unwrap_or(defaults.alpha),
+                    beta: beta.unwrap_or(defaults.beta),
+                    ..defaults
+                })
+            } else {
+                None
+            };
+            RequestBody::Rid {
+                snapshot: Box::new(snapshot),
+                config,
+            }
+        }
+        "simulate" => {
+            let mut seeds = None;
+            let mut runs = None;
+            let mut seed = 1u64;
+            while let Some(flag) = args.next() {
+                let mut value = |name: &str| {
+                    args.next()
+                        .unwrap_or_else(|| panic!("{name} requires a value"))
+                };
+                match flag.as_str() {
+                    "--seeds" => seeds = Some(parse_seeds(&value("--seeds"))),
+                    "--runs" => runs = Some(value("--runs").parse().expect("--runs: usize")),
+                    "--seed" => seed = value("--seed").parse().expect("--seed: u64"),
+                    _ => usage(),
+                }
+            }
+            let (Some(seeds), Some(runs)) = (seeds, runs) else {
+                usage()
+            };
+            RequestBody::Simulate { seeds, runs, seed }
+        }
+        _ => usage(),
+    };
+    match client.request(&body) {
+        Ok(result) => {
+            use std::io::Write;
+            // Ignore broken pipes so `isomit-cli ... | head` exits cleanly.
+            let _ = writeln!(std::io::stdout(), "{}", result.to_json());
+        }
+        Err(e) => {
+            eprintln!("isomit-cli: {e}");
+            std::process::exit(1);
+        }
+    }
+}

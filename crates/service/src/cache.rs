@@ -1,0 +1,169 @@
+//! A small bounded LRU cache with hit/miss/eviction counters.
+//!
+//! Backs the engine's per-snapshot artifact cache. Determinism note:
+//! the cache only ever changes *whether* artifacts are recomputed,
+//! never their value — extraction is a pure function of
+//! `(snapshot, alpha)` — so results are bit-identical whatever the
+//! cache's state (tested at the engine layer).
+
+use std::collections::BTreeMap;
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    last_used: u64,
+}
+
+/// Bounded least-recently-used map from `K` to `V`.
+///
+/// Not internally synchronized; wrap in a `Mutex` for shared use. A
+/// capacity of `0` disables caching entirely (every lookup misses,
+/// inserts are dropped), which keeps the "no caching" configuration on
+/// the same code path.
+#[derive(Debug)]
+pub struct LruCache<K: Ord, V> {
+    capacity: usize,
+    tick: u64,
+    entries: BTreeMap<K, Entry<V>>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<K: Ord + Clone, V: Clone> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            tick: 0,
+            entries: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up `key`, marking it most-recently-used and counting the
+    /// hit or miss.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `key → value`, evicting the least-recently-used entry if
+    /// the cache is full. Replacing an existing key never evicts.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            // O(n) LRU scan; capacities here are small (tens of
+            // snapshots), so simplicity beats an intrusive list.
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            if let Some(k) = lru {
+                self.entries.remove(&k);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                value,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries evicted to make room.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let mut c: LruCache<u32, &str> = LruCache::new(2);
+        assert_eq!(c.get(&1), None);
+        c.insert(1, "one");
+        assert_eq!(c.get(&1), Some("one"));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), Some(10)); // 2 is now LRU
+        c.insert(3, 30);
+        assert_eq!(c.get(&2), None, "LRU entry evicted");
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&3), Some(30));
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn replacement_does_not_evict() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.get(&1), Some(11));
+        assert_eq!(c.get(&2), Some(20));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        c.insert(1, 10);
+        assert_eq!(c.get(&1), None);
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 0);
+    }
+}

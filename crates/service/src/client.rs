@@ -1,0 +1,174 @@
+//! Blocking client for the JSON-lines protocol, used by `isomit-cli`,
+//! the load generator, and the end-to-end tests.
+
+use crate::engine::EngineStats;
+use crate::protocol::{encode_request, parse_response, RequestBody, WireError};
+use isomit_core::{RidConfig, RidResult};
+use isomit_diffusion::{InfectedNetwork, InfectionEstimate, SeedSet};
+use isomit_graph::json::{JsonError, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Everything that can go wrong on a client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, early EOF).
+    Io(std::io::Error),
+    /// The server's reply was not a valid protocol line.
+    Protocol(JsonError),
+    /// The server answered with a structured error.
+    Remote(WireError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Remote(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<JsonError> for ClientError {
+    fn from(e: JsonError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// A blocking connection to an `isomit-serve` daemon.
+///
+/// One request is in flight at a time per client; open several clients
+/// for concurrency (the e2e tests and load generator do).
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr` (e.g. `"127.0.0.1:7878"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`std::io::Error`] from the connection attempt.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let read_half = writer.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request and waits for its reply, returning the raw
+    /// `result` payload. Useful when the caller wants the exact wire
+    /// bytes (`value.to_json()`) rather than a decoded type.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure, `Protocol` on a
+    /// malformed reply or id mismatch, `Remote` on a server-side error.
+    pub fn request(&mut self, body: &RequestBody) -> Result<Value, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let line = encode_request(id, body);
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let response = parse_response(reply.trim_end())?;
+        if response.id != Some(id) {
+            return Err(ClientError::Protocol(JsonError::new(format!(
+                "response id {:?} does not match request id {id}",
+                response.id
+            ))));
+        }
+        response.outcome.map_err(ClientError::Remote)
+    }
+
+    /// Liveness probe; returns the raw `health` payload.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request).
+    pub fn health(&mut self) -> Result<Value, ClientError> {
+        self.request(&RequestBody::Health)
+    }
+
+    /// Engine counters. The raw payload additionally carries
+    /// `queue_depth` / `queue_capacity` / `cache_hit_rate`; use
+    /// [`request`](Client::request) to see those.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request).
+    pub fn stats(&mut self) -> Result<EngineStats, ClientError> {
+        let value = self.request(&RequestBody::Stats)?;
+        EngineStats::from_json_value(&value).map_err(ClientError::Protocol)
+    }
+
+    /// Detects rumor initiators in `snapshot` under `config` (server
+    /// default when `None`).
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request).
+    pub fn rid(
+        &mut self,
+        snapshot: &InfectedNetwork,
+        config: Option<RidConfig>,
+    ) -> Result<RidResult, ClientError> {
+        let value = self.request(&RequestBody::Rid {
+            snapshot: Box::new(snapshot.clone()),
+            config,
+        })?;
+        RidResult::from_json_value(&value).map_err(ClientError::Protocol)
+    }
+
+    /// Monte-Carlo infection-probability estimation on the server's
+    /// loaded network.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request).
+    pub fn simulate(
+        &mut self,
+        seeds: &SeedSet,
+        runs: usize,
+        seed: u64,
+    ) -> Result<InfectionEstimate, ClientError> {
+        let value = self.request(&RequestBody::Simulate {
+            seeds: seeds.clone(),
+            runs,
+            seed,
+        })?;
+        InfectionEstimate::from_json_value(&value).map_err(ClientError::Protocol)
+    }
+
+    /// Asks the server to shut down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request(&RequestBody::Shutdown).map(|_| ())
+    }
+}

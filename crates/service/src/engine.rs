@@ -1,0 +1,389 @@
+//! The persistent RID engine: one loaded diffusion network, many
+//! queries, cached per-snapshot artifacts.
+//!
+//! [`RidEngine`] is the process-lifetime object behind the daemon. It
+//! holds the diffusion network (for Monte-Carlo `simulate` queries) and
+//! a bounded LRU of [`ForestArtifacts`] keyed by
+//! `(snapshot fingerprint, alpha bits)`, so repeated snapshots skip
+//! straight to the per-tree DP. Caching is invisible in results:
+//! extraction is a pure function of `(snapshot, alpha)`, so a cached
+//! answer is bit-identical to a cold one (tested below).
+
+use crate::cache::LruCache;
+use crate::fingerprint::snapshot_fingerprint;
+use isomit_core::{ForestArtifacts, Rid, RidConfig, RidError, RidResult};
+use isomit_diffusion::{
+    par_estimate_infection_probabilities, DiffusionError, InfectedNetwork, InfectionEstimate, Mfc,
+    SeedSet,
+};
+use isomit_graph::json::{JsonError, Value};
+use isomit_graph::SignedDigraph;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Point-in-time engine counters, reported by the `stats` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Total `rid` queries answered (including failed ones).
+    pub rid_requests: u64,
+    /// Total `simulate` queries answered (including failed ones).
+    pub simulate_requests: u64,
+    /// Artifact-cache lookups that hit.
+    pub cache_hits: u64,
+    /// Artifact-cache lookups that missed.
+    pub cache_misses: u64,
+    /// Artifact-cache entries evicted to make room.
+    pub cache_evictions: u64,
+    /// Artifact-cache entries currently resident.
+    pub cache_entries: u64,
+}
+
+impl EngineStats {
+    /// Fraction of cache lookups that hit, or `0.0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Encodes the stats as a JSON object (includes the derived
+    /// `cache_hit_rate`).
+    pub fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "rid_requests".into(),
+                Value::Number(self.rid_requests as f64),
+            ),
+            (
+                "simulate_requests".into(),
+                Value::Number(self.simulate_requests as f64),
+            ),
+            ("cache_hits".into(), Value::Number(self.cache_hits as f64)),
+            (
+                "cache_misses".into(),
+                Value::Number(self.cache_misses as f64),
+            ),
+            (
+                "cache_evictions".into(),
+                Value::Number(self.cache_evictions as f64),
+            ),
+            (
+                "cache_entries".into(),
+                Value::Number(self.cache_entries as f64),
+            ),
+            ("cache_hit_rate".into(), Value::Number(self.hit_rate())),
+        ])
+    }
+
+    /// Decodes stats from the encoding of
+    /// [`to_json_value`](EngineStats::to_json_value).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed input.
+    pub fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        let field = |key: &str| -> Result<u64, JsonError> {
+            value
+                .require(key)?
+                .as_u64()
+                .ok_or_else(|| JsonError::new(format!("`{key}` must be a non-negative integer")))
+        };
+        Ok(EngineStats {
+            rid_requests: field("rid_requests")?,
+            simulate_requests: field("simulate_requests")?,
+            cache_hits: field("cache_hits")?,
+            cache_misses: field("cache_misses")?,
+            cache_evictions: field("cache_evictions")?,
+            cache_entries: field("cache_entries")?,
+        })
+    }
+}
+
+/// Thread-safe, long-lived RID inference engine.
+///
+/// Construct once (loading the diffusion network), share behind an
+/// [`Arc`], and call [`rid`](RidEngine::rid) /
+/// [`simulate`](RidEngine::simulate) from any number of threads.
+#[derive(Debug)]
+pub struct RidEngine {
+    graph: SignedDigraph,
+    model: Mfc,
+    default_config: RidConfig,
+    cache: Mutex<LruCache<(u64, u64), Arc<ForestArtifacts>>>,
+    rid_requests: AtomicU64,
+    simulate_requests: AtomicU64,
+}
+
+impl RidEngine {
+    /// Creates an engine over `graph` (edge weights are activation
+    /// probabilities) with `default_config` as the detector used when a
+    /// request carries no config, caching artifacts for up to
+    /// `cache_capacity` distinct `(snapshot, alpha)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RidError::InvalidParameter`] if `default_config` fails
+    /// [`Rid::from_config`] validation.
+    pub fn new(
+        graph: SignedDigraph,
+        default_config: RidConfig,
+        cache_capacity: usize,
+    ) -> Result<Self, RidError> {
+        let rid = Rid::from_config(default_config)?;
+        let model = Mfc::new(rid.alpha()).map_err(|_| RidError::InvalidParameter {
+            name: "alpha",
+            value: default_config.alpha,
+            constraint: "must be finite and >= 1",
+        })?;
+        Ok(RidEngine {
+            graph,
+            model,
+            default_config,
+            cache: Mutex::new(LruCache::new(cache_capacity)),
+            rid_requests: AtomicU64::new(0),
+            simulate_requests: AtomicU64::new(0),
+        })
+    }
+
+    /// The loaded diffusion network.
+    pub fn graph(&self) -> &SignedDigraph {
+        &self.graph
+    }
+
+    /// The detector config used when a request carries none.
+    pub fn default_config(&self) -> RidConfig {
+        self.default_config
+    }
+
+    fn cache_lock(&self) -> std::sync::MutexGuard<'_, LruCache<(u64, u64), Arc<ForestArtifacts>>> {
+        // Cache operations cannot panic mid-update; recover from poison.
+        self.cache.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Answers a `rid` query: detects initiators in `snapshot` under
+    /// `config` (or the engine default), reusing cached forest
+    /// artifacts when an identical snapshot was seen under the same
+    /// `alpha`.
+    ///
+    /// Two threads racing on the same cold snapshot may both extract;
+    /// extraction is pure, so whichever insert lands last caches the
+    /// same value and the answers are identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RidError::InvalidParameter`] for an invalid `config`.
+    pub fn rid(
+        &self,
+        snapshot: &InfectedNetwork,
+        config: Option<RidConfig>,
+    ) -> Result<RidResult, RidError> {
+        self.rid_requests.fetch_add(1, Ordering::Relaxed);
+        let config = config.unwrap_or(self.default_config);
+        let rid = Rid::from_config(config)?;
+        let key = (snapshot_fingerprint(snapshot), config.alpha.to_bits());
+        let cached = self.cache_lock().get(&key);
+        let artifacts = match cached {
+            Some(artifacts) => artifacts,
+            None => {
+                // Extract outside the lock so a slow extraction never
+                // stalls cache hits on other snapshots.
+                let artifacts = Arc::new(rid.extract_stage(snapshot));
+                self.cache_lock().insert(key, Arc::clone(&artifacts));
+                artifacts
+            }
+        };
+        let detection = rid.query_stage(snapshot, &artifacts)?;
+        Ok(RidResult { config, detection })
+    }
+
+    /// Answers a `simulate` query: seeded parallel Monte-Carlo
+    /// estimation of per-node infection probabilities on the loaded
+    /// network under the engine's MFC model. Deterministic in
+    /// `(seeds, runs, master_seed)` for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiffusionError`] for out-of-bounds or duplicate seeds
+    /// or `runs == 0`.
+    pub fn simulate(
+        &self,
+        seeds: &SeedSet,
+        runs: usize,
+        master_seed: u64,
+    ) -> Result<InfectionEstimate, DiffusionError> {
+        self.simulate_requests.fetch_add(1, Ordering::Relaxed);
+        seeds.validate_against(&self.graph)?;
+        par_estimate_infection_probabilities(&self.model, &self.graph, seeds, runs, master_seed)
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> EngineStats {
+        let cache = self.cache_lock();
+        EngineStats {
+            rid_requests: self.rid_requests.load(Ordering::Relaxed),
+            simulate_requests: self.simulate_requests.load(Ordering::Relaxed),
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+            cache_evictions: cache.evictions(),
+            cache_entries: cache.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isomit_graph::{Edge, NodeId, NodeState, Sign};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine(cache: usize) -> RidEngine {
+        let mut rng = StdRng::seed_from_u64(5);
+        let social = isomit_datasets::epinions_like_scaled(0.02, &mut rng);
+        let graph = isomit_datasets::paper_weights(&social, &mut rng);
+        RidEngine::new(graph, RidConfig::default(), cache).unwrap()
+    }
+
+    fn scenario_snapshot(seed: u64) -> InfectedNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let social = isomit_datasets::epinions_like_scaled(0.02, &mut rng);
+        let scenario = isomit_datasets::build_scenario(
+            &social,
+            &isomit_datasets::ScenarioConfig::small(),
+            &mut rng,
+        );
+        scenario.snapshot
+    }
+
+    #[test]
+    fn cached_answer_is_bit_identical_to_cold() {
+        let engine = engine(8);
+        let snapshot = scenario_snapshot(1);
+        let cold = engine.rid(&snapshot, None).unwrap();
+        let warm = engine.rid(&snapshot, None).unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(
+            cold.detection.objective.to_bits(),
+            warm.detection.objective.to_bits()
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.rid_requests, 2);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+
+        // And identical to a fresh engine that never cached anything.
+        let cold_engine = engine_no_cache();
+        let reference = cold_engine.rid(&snapshot, None).unwrap();
+        assert_eq!(reference, warm);
+    }
+
+    fn engine_no_cache() -> RidEngine {
+        let mut rng = StdRng::seed_from_u64(5);
+        let social = isomit_datasets::epinions_like_scaled(0.02, &mut rng);
+        let graph = isomit_datasets::paper_weights(&social, &mut rng);
+        RidEngine::new(graph, RidConfig::default(), 0).unwrap()
+    }
+
+    #[test]
+    fn beta_override_reuses_cached_artifacts() {
+        let engine = engine(8);
+        let snapshot = scenario_snapshot(2);
+        engine.rid(&snapshot, None).unwrap();
+        let loose_config = RidConfig {
+            beta: 0.0,
+            ..RidConfig::default()
+        };
+        engine.rid(&snapshot, Some(loose_config)).unwrap();
+        let stats = engine.stats();
+        // Same snapshot + same alpha: the beta override hits the cache.
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn alpha_override_is_a_distinct_cache_key() {
+        let engine = engine(8);
+        let snapshot = scenario_snapshot(3);
+        engine.rid(&snapshot, None).unwrap();
+        let config = RidConfig {
+            alpha: 2.0,
+            ..RidConfig::default()
+        };
+        engine.rid(&snapshot, Some(config)).unwrap();
+        assert_eq!(engine.stats().cache_misses, 2);
+    }
+
+    #[test]
+    fn eviction_keeps_answers_correct() {
+        let engine = engine(1);
+        let a = scenario_snapshot(4);
+        let b = scenario_snapshot(5);
+        let first_a = engine.rid(&a, None).unwrap();
+        engine.rid(&b, None).unwrap(); // evicts a
+        let again_a = engine.rid(&a, None).unwrap(); // re-extracts
+        assert_eq!(first_a, again_a);
+        let stats = engine.stats();
+        assert!(stats.cache_evictions >= 1);
+        assert_eq!(stats.cache_entries, 1);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let engine = engine(4);
+        let snapshot = scenario_snapshot(6);
+        let bad = RidConfig {
+            beta: -1.0,
+            ..RidConfig::default()
+        };
+        assert!(engine.rid(&snapshot, Some(bad)).is_err());
+    }
+
+    #[test]
+    fn simulate_is_deterministic_and_validated() {
+        let engine = engine(4);
+        let seeds = SeedSet::single(NodeId(0), Sign::Positive);
+        let a = engine.simulate(&seeds, 64, 9).unwrap();
+        let b = engine.simulate(&seeds, 64, 9).unwrap();
+        assert_eq!(a, b);
+        let out_of_bounds = SeedSet::single(NodeId(1_000_000), Sign::Positive);
+        assert!(engine.simulate(&out_of_bounds, 8, 9).is_err());
+        assert_eq!(engine.stats().simulate_requests, 3);
+    }
+
+    #[test]
+    fn stats_round_trip_json() {
+        let engine = engine(4);
+        engine.rid(&scenario_snapshot(7), None).unwrap();
+        let stats = engine.stats();
+        let back = EngineStats::from_json_value(&stats.to_json_value()).unwrap();
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn engine_answers_hand_built_snapshot() {
+        // Snapshots are self-contained: the engine answers even for a
+        // snapshot not derived from its loaded network.
+        let g = SignedDigraph::from_edges(
+            3,
+            [
+                Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.9),
+                Edge::new(NodeId(1), NodeId(2), Sign::Negative, 0.9),
+            ],
+        )
+        .unwrap();
+        let snapshot = InfectedNetwork::from_parts(
+            g,
+            vec![
+                NodeState::Positive,
+                NodeState::Positive,
+                NodeState::Negative,
+            ],
+        );
+        let result = engine(2).rid(&snapshot, None).unwrap();
+        assert!(!result.detection.initiators.is_empty());
+    }
+}

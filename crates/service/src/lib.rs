@@ -1,0 +1,42 @@
+//! # isomit-service
+//!
+//! The serving subsystem: a persistent RID inference engine and a
+//! TCP/JSON-lines daemon, turning the per-invocation pipeline of
+//! `isomit-core` into an online, repeated-query service — the setting
+//! rumor-source monitoring actually runs in (snapshots of one network
+//! arriving over time).
+//!
+//! Layers:
+//!
+//! * [`RidEngine`] — thread-safe, process-lifetime engine: loads the
+//!   diffusion network once, answers `rid` and `simulate` queries, and
+//!   caches per-snapshot [`isomit_core::ForestArtifacts`] in a bounded
+//!   LRU ([`LruCache`]) keyed by content [`fingerprint`]; cached
+//!   answers are bit-identical to cold ones.
+//! * [`Server`] — `std::net` daemon speaking the newline-delimited JSON
+//!   [`protocol`], with a fixed worker pool over a [`BoundedQueue`]
+//!   (explicit `overloaded` backpressure), per-request deadlines, and
+//!   graceful drain-on-shutdown.
+//! * [`Client`] — blocking client library used by `isomit-cli`, the
+//!   `service_load` generator, and the end-to-end tests.
+//!
+//! Everything is `std`-only on top of the existing workspace crates; no
+//! new external dependencies.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod fingerprint;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use cache::LruCache;
+pub use client::{Client, ClientError};
+pub use engine::{EngineStats, RidEngine};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{Server, ServerConfig};

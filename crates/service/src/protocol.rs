@@ -1,0 +1,428 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line, correlated by `id`:
+//!
+//! ```text
+//! → {"id": 1, "type": "health"}
+//! ← {"id": 1, "ok": true, "result": {"status": "ok", ...}}
+//! → {"id": 2, "type": "rid", "snapshot": {...}, "config": {"alpha": 3, "beta": 0.1}}
+//! ← {"id": 2, "ok": true, "result": {"config": {...}, "detection": {...}}}
+//! ← {"id": 3, "ok": false, "error": {"kind": "overloaded", "message": "..."}}
+//! ```
+//!
+//! Request types: `health`, `stats`, `rid`, `simulate`, `shutdown`.
+//! Everything is built on the in-repo [`isomit_graph::json`] codec, so
+//! floating-point payloads survive the wire bit-exactly.
+
+use isomit_core::RidConfig;
+use isomit_diffusion::{DiffusionError, InfectedNetwork, SeedSet};
+use isomit_graph::json::{JsonError, Value};
+
+/// Protocol identifier reported by `health`.
+pub const PROTOCOL_VERSION: &str = "isomit-service/1";
+
+/// Machine-readable failure category of an error response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line was not a valid request.
+    BadRequest,
+    /// The bounded work queue was full; retry later.
+    Overloaded,
+    /// The request waited in the queue past its deadline.
+    DeadlineExceeded,
+    /// A diffusion-layer error; `detail` carries the encoded
+    /// [`DiffusionError`].
+    Diffusion,
+    /// The server is draining for shutdown and takes no new work.
+    ShuttingDown,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The snake_case wire label.
+    pub fn as_label(&self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::Diffusion => "diffusion",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// Parses the label produced by [`as_label`](ErrorKind::as_label).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on an unknown label.
+    pub fn from_label(label: &str) -> Result<Self, JsonError> {
+        match label {
+            "bad_request" => Ok(ErrorKind::BadRequest),
+            "overloaded" => Ok(ErrorKind::Overloaded),
+            "deadline_exceeded" => Ok(ErrorKind::DeadlineExceeded),
+            "diffusion" => Ok(ErrorKind::Diffusion),
+            "shutting_down" => Ok(ErrorKind::ShuttingDown),
+            "internal" => Ok(ErrorKind::Internal),
+            other => Err(JsonError::new(format!("unknown error kind `{other}`"))),
+        }
+    }
+}
+
+/// A structured error as carried on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError {
+    /// Failure category.
+    pub kind: ErrorKind,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Structured payload for kinds that carry one (e.g. the encoded
+    /// [`DiffusionError`] under [`ErrorKind::Diffusion`]).
+    pub detail: Option<Value>,
+}
+
+impl WireError {
+    /// Convenience constructor without detail payload.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        WireError {
+            kind,
+            message: message.into(),
+            detail: None,
+        }
+    }
+
+    /// Wraps a [`DiffusionError`], attaching its JSON encoding as
+    /// detail so clients can decode it losslessly.
+    pub fn from_diffusion(error: &DiffusionError) -> Self {
+        WireError {
+            kind: ErrorKind::Diffusion,
+            message: error.to_string(),
+            detail: Some(error.to_json_value()),
+        }
+    }
+
+    /// The decoded [`DiffusionError`], when this is a
+    /// [`ErrorKind::Diffusion`] error with an intact detail payload.
+    pub fn diffusion_detail(&self) -> Option<DiffusionError> {
+        let detail = self.detail.as_ref()?;
+        DiffusionError::from_json_value(detail).ok()
+    }
+
+    fn to_json_value(&self) -> Value {
+        let mut fields = vec![
+            ("kind".into(), Value::String(self.kind.as_label().into())),
+            ("message".into(), Value::String(self.message.clone())),
+        ];
+        if let Some(detail) = &self.detail {
+            fields.push(("detail".into(), detail.clone()));
+        }
+        Value::Object(fields)
+    }
+
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        Ok(WireError {
+            kind: ErrorKind::from_label(
+                value
+                    .require("kind")?
+                    .as_str()
+                    .ok_or_else(|| JsonError::new("error `kind` must be a string"))?,
+            )?,
+            message: value
+                .require("message")?
+                .as_str()
+                .ok_or_else(|| JsonError::new("error `message` must be a string"))?
+                .to_owned(),
+            detail: value.get("detail").cloned(),
+        })
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind.as_label(), self.message)
+    }
+}
+
+/// The work a request asks for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// Liveness probe; answered inline, never queued.
+    Health,
+    /// Engine counter snapshot; answered inline, never queued.
+    Stats,
+    /// Begin graceful shutdown: drain queued work, then stop.
+    Shutdown,
+    /// Detect rumor initiators in a snapshot.
+    Rid {
+        /// The infected snapshot to explain (boxed: it dwarfs every
+        /// other variant).
+        snapshot: Box<InfectedNetwork>,
+        /// Detector parameters; the server default applies when absent.
+        config: Option<RidConfig>,
+    },
+    /// Monte-Carlo infection-probability estimation on the loaded
+    /// network.
+    Simulate {
+        /// Rumor seed set.
+        seeds: SeedSet,
+        /// Number of simulation runs.
+        runs: usize,
+        /// Master RNG seed (results are deterministic in it).
+        seed: u64,
+    },
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The requested operation.
+    pub body: RequestBody,
+}
+
+/// Encodes a request as a single JSON line (no trailing newline).
+pub fn encode_request(id: u64, body: &RequestBody) -> String {
+    let mut fields = vec![("id".into(), Value::Number(id as f64))];
+    let type_label = match body {
+        RequestBody::Health => "health",
+        RequestBody::Stats => "stats",
+        RequestBody::Shutdown => "shutdown",
+        RequestBody::Rid { .. } => "rid",
+        RequestBody::Simulate { .. } => "simulate",
+    };
+    fields.push(("type".into(), Value::String(type_label.into())));
+    match body {
+        RequestBody::Rid { snapshot, config } => {
+            fields.push(("snapshot".into(), snapshot.to_json_value()));
+            if let Some(config) = config {
+                fields.push(("config".into(), config.to_json_value()));
+            }
+        }
+        RequestBody::Simulate { seeds, runs, seed } => {
+            fields.push(("seeds".into(), seeds.to_json_value()));
+            fields.push(("runs".into(), Value::Number(*runs as f64)));
+            fields.push(("seed".into(), Value::Number(*seed as f64)));
+        }
+        RequestBody::Health | RequestBody::Stats | RequestBody::Shutdown => {}
+    }
+    Value::Object(fields).to_json()
+}
+
+/// Parses a request line.
+///
+/// # Errors
+///
+/// On failure returns the request id if one could be recovered (so the
+/// server can still address its error reply) plus a
+/// [`ErrorKind::BadRequest`] wire error.
+pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, WireError)> {
+    let bad =
+        |id: Option<u64>, message: String| (id, WireError::new(ErrorKind::BadRequest, message));
+    let doc = Value::parse(line).map_err(|e| bad(None, format!("invalid JSON: {e}")))?;
+    let id = doc.get("id").and_then(Value::as_u64);
+    let Some(id) = id else {
+        return Err(bad(None, "`id` must be a non-negative integer".to_owned()));
+    };
+    let type_label = doc
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| bad(Some(id), "`type` must be a string".to_owned()))?;
+    let body =
+        match type_label {
+            "health" => RequestBody::Health,
+            "stats" => RequestBody::Stats,
+            "shutdown" => RequestBody::Shutdown,
+            "rid" => {
+                let snapshot_value = doc
+                    .require("snapshot")
+                    .map_err(|e| bad(Some(id), e.to_string()))?;
+                let snapshot = InfectedNetwork::from_json_value(snapshot_value)
+                    .map_err(|e| bad(Some(id), format!("invalid snapshot: {e}")))?;
+                let config = match doc.get("config") {
+                    None => None,
+                    Some(v) => Some(
+                        RidConfig::from_json_value(v)
+                            .map_err(|e| bad(Some(id), format!("invalid config: {e}")))?,
+                    ),
+                };
+                RequestBody::Rid {
+                    snapshot: Box::new(snapshot),
+                    config,
+                }
+            }
+            "simulate" => {
+                let seeds_value = doc
+                    .require("seeds")
+                    .map_err(|e| bad(Some(id), e.to_string()))?;
+                let seeds = SeedSet::from_json_value(seeds_value)
+                    .map_err(|e| bad(Some(id), format!("invalid seeds: {e}")))?;
+                let runs = doc.get("runs").and_then(Value::as_usize).ok_or_else(|| {
+                    bad(Some(id), "`runs` must be a non-negative integer".to_owned())
+                })?;
+                let seed = doc.get("seed").and_then(Value::as_u64).ok_or_else(|| {
+                    bad(Some(id), "`seed` must be a non-negative integer".to_owned())
+                })?;
+                RequestBody::Simulate { seeds, runs, seed }
+            }
+            other => {
+                return Err(bad(Some(id), format!("unknown request type `{other}`")));
+            }
+        };
+    Ok(Request { id, body })
+}
+
+/// Encodes a success response line (no trailing newline).
+pub fn ok_line(id: u64, result: Value) -> String {
+    Value::Object(vec![
+        ("id".into(), Value::Number(id as f64)),
+        ("ok".into(), Value::Bool(true)),
+        ("result".into(), result),
+    ])
+    .to_json()
+}
+
+/// Encodes an error response line (no trailing newline). A request
+/// whose id could not be parsed is answered with `"id": null`.
+pub fn error_line(id: Option<u64>, error: &WireError) -> String {
+    let id_value = match id {
+        Some(id) => Value::Number(id as f64),
+        None => Value::Null,
+    };
+    Value::Object(vec![
+        ("id".into(), id_value),
+        ("ok".into(), Value::Bool(false)),
+        ("error".into(), error.to_json_value()),
+    ])
+    .to_json()
+}
+
+/// A parsed response line: the echoed id (when present) and either the
+/// `result` payload or the structured error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Echoed request id; `None` when the server could not parse one.
+    pub id: Option<u64>,
+    /// `result` on success, [`WireError`] on failure.
+    pub outcome: Result<Value, WireError>,
+}
+
+/// Parses a response line.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] when the line is not a valid response
+/// envelope.
+pub fn parse_response(line: &str) -> Result<Response, JsonError> {
+    let doc = Value::parse(line)?;
+    let id = doc.require("id")?.as_u64();
+    let ok = doc
+        .require("ok")?
+        .as_bool()
+        .ok_or_else(|| JsonError::new("`ok` must be a boolean"))?;
+    let outcome = if ok {
+        Ok(doc.require("result")?.clone())
+    } else {
+        Err(WireError::from_json_value(doc.require("error")?)?)
+    };
+    Ok(Response { id, outcome })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isomit_graph::{Edge, NodeId, NodeState, Sign, SignedDigraph};
+
+    fn snapshot() -> InfectedNetwork {
+        let g =
+            SignedDigraph::from_edges(2, [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.8)])
+                .unwrap();
+        InfectedNetwork::from_parts(g, vec![NodeState::Positive, NodeState::Negative])
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let bodies = [
+            RequestBody::Health,
+            RequestBody::Stats,
+            RequestBody::Shutdown,
+            RequestBody::Rid {
+                snapshot: Box::new(snapshot()),
+                config: None,
+            },
+            RequestBody::Rid {
+                snapshot: Box::new(snapshot()),
+                config: Some(RidConfig::default()),
+            },
+            RequestBody::Simulate {
+                seeds: SeedSet::single(NodeId(0), Sign::Positive),
+                runs: 128,
+                seed: 7,
+            },
+        ];
+        for (i, body) in bodies.into_iter().enumerate() {
+            let line = encode_request(i as u64, &body);
+            let parsed = parse_request(&line).unwrap();
+            assert_eq!(parsed.id, i as u64);
+            assert_eq!(parsed.body, body, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn bad_requests_keep_the_id_when_possible() {
+        let (id, err) = parse_request("{\"id\": 9, \"type\": \"nope\"}").unwrap_err();
+        assert_eq!(id, Some(9));
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        let (id, _) = parse_request("not json at all").unwrap_err();
+        assert_eq!(id, None);
+        let (id, _) = parse_request("{\"type\": \"health\"}").unwrap_err();
+        assert_eq!(id, None);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let ok = ok_line(3, Value::Object(vec![("x".into(), Value::Number(1.0))]));
+        let parsed = parse_response(&ok).unwrap();
+        assert_eq!(parsed.id, Some(3));
+        assert!(parsed.outcome.is_ok());
+
+        let err = WireError::new(ErrorKind::Overloaded, "queue full (capacity 64)");
+        let line = error_line(Some(4), &err);
+        let parsed = parse_response(&line).unwrap();
+        assert_eq!(parsed.id, Some(4));
+        assert_eq!(parsed.outcome.unwrap_err(), err);
+
+        let anon = error_line(None, &WireError::new(ErrorKind::BadRequest, "no id"));
+        assert_eq!(parse_response(&anon).unwrap().id, None);
+    }
+
+    #[test]
+    fn diffusion_errors_survive_the_wire() {
+        let source = DiffusionError::SeedOutOfBounds {
+            node: NodeId(42),
+            node_count: 10,
+        };
+        let wire = WireError::from_diffusion(&source);
+        let line = error_line(Some(1), &wire);
+        let parsed = parse_response(&line).unwrap();
+        let err = parsed.outcome.unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Diffusion);
+        assert_eq!(err.diffusion_detail().unwrap(), source);
+    }
+
+    #[test]
+    fn error_kind_labels_round_trip() {
+        for kind in [
+            ErrorKind::BadRequest,
+            ErrorKind::Overloaded,
+            ErrorKind::DeadlineExceeded,
+            ErrorKind::Diffusion,
+            ErrorKind::ShuttingDown,
+            ErrorKind::Internal,
+        ] {
+            assert_eq!(ErrorKind::from_label(kind.as_label()).unwrap(), kind);
+        }
+        assert!(ErrorKind::from_label("whatever").is_err());
+    }
+}

@@ -1,0 +1,378 @@
+//! The TCP daemon: accept loop, per-connection readers, a fixed worker
+//! pool over the bounded queue, and graceful drain-on-shutdown.
+//!
+//! Threading model:
+//!
+//! * one **accept** thread hands each connection to a detached
+//!   **reader** thread;
+//! * readers parse request lines; `health` / `stats` / `shutdown` are
+//!   answered inline (they must stay responsive under load), while
+//!   `rid` / `simulate` jobs go through the bounded queue — a full
+//!   queue is answered immediately with a structured `overloaded`
+//!   error, never queued unboundedly;
+//! * `workers` threads pop jobs, enforce the per-request deadline
+//!   (time spent queued counts against it), compute on the shared
+//!   [`RidEngine`] and write the reply to the job's connection.
+//!
+//! Shutdown (via the protocol `shutdown` request or
+//! [`Server::trigger_shutdown`]) closes the queue: queued work drains,
+//! new work is refused with `shutting_down`, the accept loop stops, and
+//! [`Server::join`] returns once the workers finish. There is no signal
+//! handler — `unsafe` (and thus libc) is forbidden workspace-wide — so
+//! process supervisors should send the protocol `shutdown` request;
+//! SIGTERM still works, just without the drain.
+
+use crate::engine::RidEngine;
+use crate::protocol::{
+    error_line, ok_line, parse_request, ErrorKind, Request, RequestBody, WireError,
+    PROTOCOL_VERSION,
+};
+use crate::queue::{BoundedQueue, PushError};
+use isomit_core::{RidConfig, RidError};
+use isomit_diffusion::{InfectedNetwork, SeedSet};
+use isomit_graph::json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of a [`Server`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads computing `rid` / `simulate` jobs.
+    pub workers: usize,
+    /// Bounded queue capacity; beyond it requests get `overloaded`.
+    pub queue_capacity: usize,
+    /// Per-request deadline, measured from arrival; jobs still queued
+    /// past it are answered with `deadline_exceeded` instead of
+    /// computed.
+    pub request_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            request_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A queued unit of work plus everything needed to answer it.
+struct Job {
+    id: u64,
+    received: Instant,
+    writer: Arc<Mutex<TcpStream>>,
+    work: Work,
+}
+
+enum Work {
+    Rid {
+        snapshot: Box<InfectedNetwork>,
+        config: Option<RidConfig>,
+    },
+    Simulate {
+        seeds: SeedSet,
+        runs: usize,
+        seed: u64,
+    },
+}
+
+/// Shared state the reader threads need to serve and shut down.
+struct Shared {
+    engine: Arc<RidEngine>,
+    queue: BoundedQueue<Job>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+/// A running daemon. Dropping the handle does **not** stop the server;
+/// call [`shutdown`](Server::shutdown) (or send the protocol `shutdown`
+/// request and then [`join`](Server::join)).
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    accept_thread: JoinHandle<()>,
+    worker_threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("addr", &self.addr)
+            .field("timeout", &self.timeout)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`std::io::Error`] from binding the listener.
+    pub fn start(
+        engine: Arc<RidEngine>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine,
+            queue: BoundedQueue::new(config.queue_capacity),
+            shutdown: AtomicBool::new(false),
+            addr: local_addr,
+            timeout: config.request_timeout,
+        });
+
+        let worker_threads = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+
+        Ok(Server {
+            shared,
+            accept_thread,
+            worker_threads,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Begins graceful shutdown: stop accepting, refuse new work, let
+    /// queued and in-flight work finish. Idempotent; returns
+    /// immediately — follow with [`join`](Server::join) to wait.
+    pub fn trigger_shutdown(&self) {
+        trigger_shutdown(&self.shared);
+    }
+
+    /// Waits for the accept loop and all workers to finish. Call after
+    /// [`trigger_shutdown`](Server::trigger_shutdown) or once a client
+    /// has sent the protocol `shutdown` request.
+    pub fn join(self) {
+        // A panicked worker already wrote its poison; nothing useful to
+        // do beyond surfacing the panic payloads to the caller's logs.
+        let _ = self.accept_thread.join();
+        for worker in self.worker_threads {
+            let _ = worker.join();
+        }
+    }
+
+    /// [`trigger_shutdown`](Server::trigger_shutdown) then
+    /// [`join`](Server::join).
+    pub fn shutdown(self) {
+        self.trigger_shutdown();
+        self.join();
+    }
+}
+
+fn trigger_shutdown(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return; // already shutting down
+    }
+    shared.queue.close();
+    // The accept loop blocks in `accept`; poke it with a throwaway
+    // connection so it observes the flag and exits.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        // Readers are detached: they exit when their client disconnects
+        // (or at process end). Joining them would make shutdown wait on
+        // idle keep-alive connections.
+        std::thread::spawn(move || reader_loop(stream, &shared));
+    }
+}
+
+/// Writes one response line; returns `false` when the client is gone.
+fn write_line(writer: &Arc<Mutex<TcpStream>>, line: &str) -> bool {
+    let mut stream = writer.lock().unwrap_or_else(|p| p.into_inner());
+    let ok = stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush());
+    ok.is_ok()
+}
+
+fn reader_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(stream));
+    let mut lines = BufReader::new(read_half).lines();
+    while let Some(Ok(line)) = lines.next() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match parse_request(&line) {
+            Ok(request) => request,
+            Err((id, error)) => {
+                if !write_line(&writer, &error_line(id, &error)) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if !serve_request(request, &writer, shared) {
+            return;
+        }
+    }
+}
+
+/// Handles one parsed request; returns `false` when the client is gone.
+fn serve_request(request: Request, writer: &Arc<Mutex<TcpStream>>, shared: &Arc<Shared>) -> bool {
+    let Request { id, body } = request;
+    match body {
+        // Control-plane requests bypass the queue so they stay
+        // responsive (and observable) even when the data plane is
+        // saturated.
+        RequestBody::Health => {
+            let result = Value::Object(vec![
+                ("status".into(), Value::String("ok".into())),
+                ("version".into(), Value::String(PROTOCOL_VERSION.into())),
+                (
+                    "nodes".into(),
+                    Value::Number(shared.engine.graph().node_count() as f64),
+                ),
+                (
+                    "edges".into(),
+                    Value::Number(shared.engine.graph().edge_count() as f64),
+                ),
+            ]);
+            write_line(writer, &ok_line(id, result))
+        }
+        RequestBody::Stats => {
+            let mut stats = shared.engine.stats().to_json_value();
+            if let Value::Object(fields) = &mut stats {
+                fields.push((
+                    "queue_depth".into(),
+                    Value::Number(shared.queue.len() as f64),
+                ));
+                fields.push((
+                    "queue_capacity".into(),
+                    Value::Number(shared.queue.capacity() as f64),
+                ));
+            }
+            write_line(writer, &ok_line(id, stats))
+        }
+        RequestBody::Shutdown => {
+            let alive = write_line(
+                writer,
+                &ok_line(
+                    id,
+                    Value::Object(vec![("stopping".into(), Value::Bool(true))]),
+                ),
+            );
+            trigger_shutdown(shared);
+            alive
+        }
+        RequestBody::Rid { snapshot, config } => enqueue(
+            Job {
+                id,
+                received: Instant::now(),
+                writer: Arc::clone(writer),
+                work: Work::Rid { snapshot, config },
+            },
+            writer,
+            shared,
+        ),
+        RequestBody::Simulate { seeds, runs, seed } => enqueue(
+            Job {
+                id,
+                received: Instant::now(),
+                writer: Arc::clone(writer),
+                work: Work::Simulate { seeds, runs, seed },
+            },
+            writer,
+            shared,
+        ),
+    }
+}
+
+/// Admits a job to the bounded queue or answers with backpressure.
+fn enqueue(job: Job, writer: &Arc<Mutex<TcpStream>>, shared: &Arc<Shared>) -> bool {
+    match shared.queue.try_push(job) {
+        Ok(()) => true,
+        Err(PushError::Full(job)) => {
+            let error = WireError::new(
+                ErrorKind::Overloaded,
+                format!(
+                    "work queue full ({} queued); retry later",
+                    shared.queue.capacity()
+                ),
+            );
+            write_line(writer, &error_line(Some(job.id), &error))
+        }
+        Err(PushError::Closed(job)) => {
+            let error = WireError::new(ErrorKind::ShuttingDown, "server is shutting down");
+            write_line(writer, &error_line(Some(job.id), &error))
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        let Job {
+            id,
+            received,
+            writer,
+            work,
+        } = job;
+        if received.elapsed() > shared.timeout {
+            let error = WireError::new(
+                ErrorKind::DeadlineExceeded,
+                format!(
+                    "request spent more than {:?} queued; increase capacity or shed load",
+                    shared.timeout
+                ),
+            );
+            let _ = write_line(&writer, &error_line(Some(id), &error));
+            continue;
+        }
+        let line = match work {
+            Work::Rid { snapshot, config } => {
+                match shared.engine.rid(&snapshot, config) {
+                    Ok(result) => ok_line(id, result.to_json_value()),
+                    Err(error) => {
+                        let kind = match &error {
+                            RidError::InvalidParameter { .. } => ErrorKind::BadRequest,
+                            // Engine cache keys include alpha, so a
+                            // mismatch here is a server bug.
+                            _ => ErrorKind::Internal,
+                        };
+                        error_line(Some(id), &WireError::new(kind, error.to_string()))
+                    }
+                }
+            }
+            Work::Simulate { seeds, runs, seed } => {
+                match shared.engine.simulate(&seeds, runs, seed) {
+                    Ok(estimate) => ok_line(id, estimate.to_json_value()),
+                    Err(error) => error_line(Some(id), &WireError::from_diffusion(&error)),
+                }
+            }
+        };
+        let _ = write_line(&writer, &line);
+    }
+}

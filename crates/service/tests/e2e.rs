@@ -1,0 +1,344 @@
+//! End-to-end serving tests: spawn the real `isomit-serve` binary on an
+//! ephemeral port, query it through the client library, and check every
+//! answer byte-for-byte against the in-process pipeline.
+
+use isomit_core::{InitiatorDetector, Rid, RidConfig};
+use isomit_diffusion::{par_estimate_infection_probabilities, InfectedNetwork, Mfc, SeedSet};
+use isomit_graph::{NodeId, Sign, SignedDigraph};
+use isomit_service::protocol::ErrorKind;
+use isomit_service::{Client, ClientError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+/// Scale / seed the daemon is launched with; [`server_graph`] must
+/// replicate this build exactly for byte-identical comparisons.
+const SCALE: &str = "0.02";
+const NET_SEED: &str = "7";
+
+/// A running `isomit-serve` child, killed on drop so a failing test
+/// never leaks the process.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(extra: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_isomit-serve"))
+            .args([
+                "--addr",
+                "127.0.0.1:0",
+                "--generate",
+                "epinions",
+                "--scale",
+                SCALE,
+                "--seed",
+                NET_SEED,
+            ])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn isomit-serve");
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let line = lines
+            .next()
+            .expect("daemon exited before announcing its address")
+            .expect("read daemon stdout");
+        let addr = line
+            .strip_prefix("isomit-serve listening on ")
+            .unwrap_or_else(|| panic!("unexpected announce line: {line}"))
+            .to_owned();
+        Daemon { child, addr }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(&self.addr).expect("connect to daemon")
+    }
+
+    fn raw(&self) -> TcpStream {
+        TcpStream::connect(&self.addr).expect("raw connect to daemon")
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// The exact network `isomit-serve --generate epinions` builds.
+fn server_graph() -> SignedDigraph {
+    let mut rng = StdRng::seed_from_u64(7);
+    let social = isomit_datasets::epinions_like_scaled(0.02, &mut rng);
+    isomit_datasets::paper_weights(&social, &mut rng)
+}
+
+/// A deterministic infected snapshot, independent of the server graph.
+fn snapshot(seed: u64) -> InfectedNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let social = isomit_datasets::epinions_like_scaled(0.02, &mut rng);
+    let scenario = isomit_datasets::build_scenario(
+        &social,
+        &isomit_datasets::ScenarioConfig::small(),
+        &mut rng,
+    );
+    scenario.snapshot
+}
+
+fn expected_detection(snap: &InfectedNetwork, config: RidConfig) -> isomit_core::Detection {
+    let rid = Rid::from_config(config).expect("valid config");
+    rid.detect(snap)
+}
+
+#[test]
+fn rid_round_trip_is_byte_identical_to_in_process() {
+    let daemon = Daemon::spawn(&[]);
+    let mut client = daemon.client();
+
+    let health = client.health().expect("health");
+    assert_eq!(
+        health.get("version").and_then(|v| v.as_str()),
+        Some(isomit_service::protocol::PROTOCOL_VERSION)
+    );
+
+    for seed in [1, 2, 3] {
+        let snap = snapshot(seed);
+        let served = client.rid(&snap, None).expect("rid");
+        let local = expected_detection(&snap, RidConfig::default());
+        assert_eq!(served.detection, local, "snapshot seed {seed}");
+        // Byte-identical through the codec, not merely equal.
+        assert_eq!(
+            served.detection.to_json_value().to_json(),
+            local.to_json_value().to_json()
+        );
+        assert_eq!(
+            served.detection.objective.to_bits(),
+            local.objective.to_bits()
+        );
+    }
+
+    // A config override takes the same path.
+    let snap = snapshot(1);
+    let config = RidConfig {
+        beta: 0.0,
+        ..RidConfig::default()
+    };
+    let served = client.rid(&snap, Some(config)).expect("rid with config");
+    assert_eq!(served.config, config);
+    assert_eq!(served.detection, expected_detection(&snap, config));
+
+    // The repeated snapshot above must have hit the artifact cache.
+    let stats = client.stats().expect("stats");
+    assert!(stats.cache_hits >= 1, "expected cache hits, got {stats:?}");
+    assert_eq!(stats.rid_requests, 4);
+
+    client.shutdown().expect("shutdown");
+}
+
+#[test]
+fn four_concurrent_clients_get_bit_identical_answers() {
+    let daemon = Daemon::spawn(&[]);
+
+    // Precompute expected answers once, in process.
+    let cases: Vec<(InfectedNetwork, String)> = [11u64, 12, 13, 14]
+        .iter()
+        .map(|&seed| {
+            let snap = snapshot(seed);
+            let expected = expected_detection(&snap, RidConfig::default())
+                .to_json_value()
+                .to_json();
+            (snap, expected)
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for worker in 0..4 {
+            let daemon = &daemon;
+            let cases = &cases;
+            scope.spawn(move || {
+                let mut client = daemon.client();
+                // Each client walks the cases from a different offset so
+                // cold and cached lookups interleave across connections.
+                for round in 0..3 {
+                    let (snap, expected) = &cases[(worker + round) % cases.len()];
+                    let served = client.rid(snap, None).expect("concurrent rid");
+                    assert_eq!(&served.detection.to_json_value().to_json(), expected);
+                }
+            });
+        }
+    });
+
+    let mut client = daemon.client();
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.rid_requests, 12);
+    assert!(stats.cache_hits >= 8, "4 snapshots, 12 requests: {stats:?}");
+    client.shutdown().expect("shutdown");
+}
+
+#[test]
+fn simulate_matches_in_process_monte_carlo() {
+    let daemon = Daemon::spawn(&[]);
+    let mut client = daemon.client();
+
+    let seeds = SeedSet::from_pairs(vec![
+        (NodeId::from_index(0), Sign::Positive),
+        (NodeId::from_index(5), Sign::Negative),
+    ])
+    .expect("seed set");
+    let served = client.simulate(&seeds, 64, 42).expect("simulate");
+
+    let graph = server_graph();
+    let model = Mfc::new(RidConfig::default().alpha).expect("model");
+    let local =
+        par_estimate_infection_probabilities(&model, &graph, &seeds, 64, 42).expect("local mc");
+    assert_eq!(
+        served.to_json_value().to_json(),
+        local.to_json_value().to_json()
+    );
+
+    // Out-of-bounds seeds come back as a structured diffusion error.
+    let bad = SeedSet::single(NodeId::from_index(10_000_000), Sign::Positive);
+    match client.simulate(&bad, 8, 1) {
+        Err(ClientError::Remote(err)) => {
+            assert_eq!(err.kind, ErrorKind::Diffusion);
+            assert!(err.diffusion_detail().is_some());
+        }
+        other => panic!("expected a remote diffusion error, got {other:?}"),
+    }
+
+    client.shutdown().expect("shutdown");
+}
+
+#[test]
+fn malformed_lines_get_structured_errors_not_disconnects() {
+    let daemon = Daemon::spawn(&[]);
+    let mut raw = daemon.raw();
+    let mut reader = BufReader::new(raw.try_clone().expect("clone stream"));
+
+    let mut exchange = |line: &str| -> String {
+        raw.write_all(line.as_bytes()).expect("write");
+        raw.write_all(b"\n").expect("write newline");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read reply");
+        assert!(!reply.is_empty(), "server disconnected on {line:?}");
+        reply
+    };
+
+    let reply = exchange("this is not json");
+    assert!(reply.contains("\"ok\":false"), "{reply}");
+    assert!(reply.contains("\"id\":null"), "{reply}");
+    assert!(reply.contains("bad_request"), "{reply}");
+
+    let reply = exchange("{\"id\":9,\"type\":\"no-such-request\"}");
+    assert!(reply.contains("\"id\":9"), "{reply}");
+    assert!(reply.contains("bad_request"), "{reply}");
+
+    let reply = exchange("{\"id\":10,\"type\":\"rid\",\"snapshot\":{\"bogus\":true}}");
+    assert!(reply.contains("\"id\":10"), "{reply}");
+    assert!(reply.contains("bad_request"), "{reply}");
+
+    // The connection is still healthy after all three errors.
+    let reply = exchange("{\"id\":11,\"type\":\"health\"}");
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+
+    let mut client = daemon.client();
+    client.shutdown().expect("shutdown");
+}
+
+/// Polls `stats` over a fresh connection until `pred` holds. Control
+/// requests bypass the worker queue, so this works while workers and
+/// queue are saturated.
+fn wait_for_stats(daemon: &Daemon, pred: impl Fn(&isomit_graph::json::Value) -> bool) {
+    let mut client = daemon.client();
+    for _ in 0..200 {
+        let stats = client
+            .request(&isomit_service::protocol::RequestBody::Stats)
+            .expect("stats poll");
+        if pred(&stats) {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    panic!("stats condition not reached within 5s");
+}
+
+#[test]
+fn overload_yields_structured_errors_not_hangs() {
+    // One worker, queue of one: a single long simulation plus one queued
+    // job saturate the data plane completely.
+    let daemon = Daemon::spawn(&["--workers", "1", "--queue", "1"]);
+
+    let seeds_json = "[[0,1],[5,-1]]";
+    // Debug-build Monte-Carlo at this scale runs ~1ms/run: several
+    // seconds of guaranteed worker occupancy.
+    let long_job = format!(
+        "{{\"id\":1,\"type\":\"simulate\",\"seeds\":{seeds_json},\"runs\":4000,\"seed\":1}}"
+    );
+    let mut busy = daemon.raw();
+    busy.write_all(long_job.as_bytes()).expect("write long job");
+    busy.write_all(b"\n").expect("newline");
+
+    // Wait until the worker has actually dequeued it.
+    wait_for_stats(&daemon, |stats| {
+        stats.get("simulate_requests").and_then(|v| v.as_u64()) == Some(1)
+    });
+
+    // Fill the queue with a second job.
+    let mut filler = daemon.raw();
+    filler
+        .write_all(long_job.replace("\"id\":1", "\"id\":2").as_bytes())
+        .expect("write filler");
+    filler.write_all(b"\n").expect("newline");
+    wait_for_stats(&daemon, |stats| {
+        stats.get("queue_depth").and_then(|v| v.as_u64()) == Some(1)
+    });
+
+    // Every further data-plane request must be rejected immediately with
+    // a structured `overloaded` error — no hang, no disconnect.
+    let snap = snapshot(1);
+    let mut client = daemon.client();
+    for _ in 0..8 {
+        match client.rid(&snap, None) {
+            Err(ClientError::Remote(err)) => {
+                assert_eq!(err.kind, ErrorKind::Overloaded, "{err}");
+            }
+            other => panic!("expected overloaded, got {other:?}"),
+        }
+    }
+
+    // Control plane stays responsive throughout.
+    client.health().expect("health under overload");
+
+    // Cleanup: kill the daemon via Drop; the long jobs never finish.
+}
+
+#[test]
+fn queued_work_past_its_deadline_is_rejected() {
+    let daemon = Daemon::spawn(&["--workers", "1", "--queue", "4", "--timeout-ms", "1"]);
+
+    // Occupy the single worker long enough that anything queued behind
+    // it is guaranteed to exceed the 1ms deadline by dequeue time.
+    let long_job =
+        "{\"id\":1,\"type\":\"simulate\",\"seeds\":[[0,1],[5,-1]],\"runs\":500,\"seed\":1}";
+    let mut busy = daemon.raw();
+    busy.write_all(long_job.as_bytes()).expect("write long job");
+    busy.write_all(b"\n").expect("newline");
+    wait_for_stats(&daemon, |stats| {
+        stats.get("simulate_requests").and_then(|v| v.as_u64()) == Some(1)
+    });
+
+    let snap = snapshot(1);
+    let mut client = daemon.client();
+    match client.rid(&snap, None) {
+        Err(ClientError::Remote(err)) => {
+            assert_eq!(err.kind, ErrorKind::DeadlineExceeded, "{err}");
+        }
+        other => panic!("expected deadline_exceeded, got {other:?}"),
+    }
+}

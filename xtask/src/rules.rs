@@ -12,7 +12,13 @@
 //!   crates feeding the deterministic simulation layer;
 //! * `pub-docs` — every `pub fn` in `crates/graph` and `crates/core`
 //!   carries a doc comment;
-//! * `unsafe` — no `unsafe` code anywhere in the workspace.
+//! * `unsafe` — no `unsafe` code anywhere in the workspace;
+//! * `unbounded-queue` — no unbounded channel/queue constructors
+//!   (`mpsc::channel`, `unbounded_channel`, `unbounded()`) in library
+//!   code: a producer that can always enqueue hides overload until the
+//!   process dies. Use a bounded queue with explicit backpressure (see
+//!   `isomit_service::queue::BoundedQueue`) or waive with a boundedness
+//!   argument.
 //!
 //! A diagnostic is silenced by an inline waiver on the same or the
 //! preceding line — `// lint:allow(<rule>) <reason>` — or for a whole
@@ -24,12 +30,13 @@ use crate::scan::SourceFile;
 use std::collections::BTreeMap;
 
 /// Every rule known to the linter, in report order.
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 7] = [
     "panic",
     "indexing",
     "determinism",
     "pub-docs",
     "unsafe",
+    "unbounded-queue",
     "waiver",
 ];
 
@@ -166,6 +173,25 @@ pub fn scan_file(file: &SourceFile) -> Vec<Diagnostic> {
                 message: "`unsafe` is forbidden workspace-wide".to_owned(),
                 waived: false,
             });
+        }
+
+        for (needle, token) in [
+            (match_token(code, "mpsc::channel("), "mpsc::channel"),
+            (match_word(code, "unbounded_channel"), "unbounded_channel"),
+            (match_token(code, "unbounded()"), "unbounded()"),
+        ] {
+            for _ in needle {
+                raw.push(Diagnostic {
+                    rule: "unbounded-queue",
+                    path: file.path.clone(),
+                    line: lineno,
+                    message: format!(
+                        "`{token}` has no capacity bound; overload must surface as backpressure, \
+                         not memory growth — use a bounded queue or waive with a boundedness argument"
+                    ),
+                    waived: false,
+                });
+            }
         }
     }
 
@@ -458,6 +484,30 @@ mod tests {
         let src = "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
         let d = unwaived("crates/bench/src/a.rs", src);
         assert!(d.iter().any(|d| d.rule == "unsafe"));
+    }
+
+    #[test]
+    fn unbounded_queue_rule_flags_unbounded_constructors() {
+        let src = "fn f() {\n  let (tx, rx) = mpsc::channel();\n  let (a, b) = crossbeam::channel::unbounded();\n  let (c, d) = tokio::sync::mpsc::unbounded_channel();\n}\n";
+        let d = unwaived("crates/service/src/a.rs", src);
+        assert_eq!(d.iter().filter(|d| d.rule == "unbounded-queue").count(), 3);
+    }
+
+    #[test]
+    fn unbounded_queue_rule_ignores_bounded_constructors() {
+        let src = "fn f(n: usize) {\n  let (tx, rx) = mpsc::sync_channel(n);\n  let q = BoundedQueue::new(n);\n  let unbounded_flag = false;\n}\n";
+        assert!(unwaived("crates/service/src/a.rs", src)
+            .iter()
+            .all(|d| d.rule != "unbounded-queue"));
+    }
+
+    #[test]
+    fn unbounded_queue_rule_is_waivable() {
+        let src = "fn f() {\n  // lint:allow(unbounded-queue) drained every tick by a dedicated consumer\n  let (tx, rx) = mpsc::channel();\n}\n";
+        let all = diags("crates/service/src/a.rs", src);
+        assert!(all.iter().any(|d| d.rule == "unbounded-queue" && d.waived));
+        // The waiver was consumed, so it is not itself diagnosed.
+        assert!(all.iter().all(|d| d.rule != "waiver"));
     }
 
     #[test]
