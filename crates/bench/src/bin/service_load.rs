@@ -4,7 +4,9 @@
 //! TCP clients at several concurrency levels, verifies **every** served
 //! answer against the precomputed in-process result, and writes
 //! p50/p95/p99 latency + throughput + cache statistics to
-//! `BENCH_service.json`.
+//! `BENCH_service.json`. The server's merged telemetry registry —
+//! per-stage histograms included — lands in the report's `telemetry`
+//! section and, in raw form, in `STATS_service.json` next to it.
 //!
 //! Options: `--scale S` (network scale, default 0.02), `--seed N`,
 //! `--requests N` (requests **per connection** per level, default 125 —
@@ -15,6 +17,7 @@ use isomit_bench::report::BenchReport;
 use isomit_core::{InitiatorDetector, Rid, RidConfig};
 use isomit_diffusion::InfectedNetwork;
 use isomit_service::{Client, RidEngine, Server, ServerConfig};
+use isomit_telemetry::names;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -199,6 +202,45 @@ fn main() {
             ("cache_hit_rate".into(), stats.hit_rate()),
         ],
     );
+    // Per-stage latency histograms from the merged telemetry registry:
+    // where a request's time goes (queue wait, extraction, DP), not just
+    // how long the round-trip took.
+    let telemetry = client.telemetry().expect("telemetry snapshot");
+    for name in [
+        names::SERVICE_REQUEST_NS,
+        names::SERVICE_QUEUE_WAIT_NS,
+        names::RID_EXTRACT_STAGE_NS,
+        names::RID_QUERY_STAGE_NS,
+        names::MC_BATCH_NS,
+    ] {
+        let Some(h) = telemetry.histogram(name) else {
+            continue;
+        };
+        let (Some(p50), Some(p95), Some(p99)) = (h.p50(), h.p95(), h.p99()) else {
+            continue;
+        };
+        println!(
+            "telemetry {name}: p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms (n={})",
+            p50 as f64 / 1e6,
+            p95 as f64 / 1e6,
+            p99 as f64 / 1e6,
+            h.count()
+        );
+        report.add_metrics(
+            "telemetry",
+            name,
+            vec![
+                ("count".into(), h.count() as f64),
+                ("p50_ns".into(), p50 as f64),
+                ("p95_ns".into(), p95 as f64),
+                ("p99_ns".into(), p99 as f64),
+            ],
+        );
+    }
+    let stats_path = report.path().with_file_name("STATS_service.json");
+    std::fs::write(&stats_path, telemetry.to_json_string()).expect("write STATS_service.json");
+    println!("wrote {}", stats_path.display());
+
     client.shutdown().expect("shutdown");
     server.join();
 

@@ -23,7 +23,21 @@ use crate::forest_extraction::{external_support, extract_cascade_forest, Cascade
 use crate::rid::{Rid, RidObjective};
 use isomit_diffusion::InfectedNetwork;
 use isomit_graph::NodeState;
+use isomit_telemetry::{names, Histogram};
 use rayon::prelude::*;
+use std::sync::OnceLock;
+
+/// Cached handle into the process-global telemetry registry; looked up
+/// once so the hot path pays one pointer load, not a map lookup.
+fn extract_stage_histogram() -> &'static Histogram {
+    static HIST: OnceLock<Histogram> = OnceLock::new();
+    HIST.get_or_init(|| isomit_telemetry::global().histogram(names::RID_EXTRACT_STAGE_NS))
+}
+
+fn query_stage_histogram() -> &'static Histogram {
+    static HIST: OnceLock<Histogram> = OnceLock::new();
+    HIST.get_or_init(|| isomit_telemetry::global().histogram(names::RID_QUERY_STAGE_NS))
+}
 
 /// Snapshot-level artifacts produced by [`Rid::extract_stage`]: the
 /// extracted cascade forest plus per-tree external-support tables.
@@ -81,6 +95,7 @@ impl Rid {
     /// the support toggle — so the result can be cached and reused
     /// across every query variant against the same snapshot.
     pub fn extract_stage(&self, snapshot: &InfectedNetwork) -> ForestArtifacts {
+        let _span = extract_stage_histogram().span();
         let (trees, component_count) = extract_cascade_forest(snapshot, self.alpha());
         let supports: Vec<Vec<f64>> = trees
             .par_iter()
@@ -113,6 +128,7 @@ impl Rid {
         snapshot: &InfectedNetwork,
         artifacts: &ForestArtifacts,
     ) -> Result<Detection, RidError> {
+        let _span = query_stage_histogram().span();
         if artifacts.alpha.to_bits() != self.alpha().to_bits() {
             return Err(RidError::ArtifactMismatch {
                 expected_alpha: self.alpha(),

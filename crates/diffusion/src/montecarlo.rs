@@ -17,10 +17,20 @@
 
 use crate::{DiffusionError, DiffusionModel, SeedSet};
 use isomit_graph::{json, NodeId, SignedDigraph};
+use isomit_telemetry::{names, Histogram};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Cached handle into the process-global telemetry registry: one
+/// recording per estimation batch (not per run), so the instrumentation
+/// cost is amortized over the whole batch.
+fn batch_histogram() -> &'static Histogram {
+    static HIST: OnceLock<Histogram> = OnceLock::new();
+    HIST.get_or_init(|| isomit_telemetry::global().histogram(names::MC_BATCH_NS))
+}
 
 /// Empirical per-node outcome frequencies over repeated simulations.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -241,6 +251,7 @@ where
     M: DiffusionModel + ?Sized,
 {
     check_runs(runs)?;
+    let _span = batch_histogram().span();
     let mut tally = Tally::new(graph.node_count());
     for run in 0..runs {
         let mut rng = run_rng(master_seed, run);
@@ -281,6 +292,7 @@ where
     M: DiffusionModel + Sync + ?Sized,
 {
     check_runs(runs)?;
+    let _span = batch_histogram().span();
     let n = graph.node_count();
     let tally = (0..runs).into_par_iter().fold_reduce(
         || Ok(Tally::new(n)),

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! isomit-cli [--addr HOST:PORT] health
-//! isomit-cli [--addr HOST:PORT] stats
+//! isomit-cli [--addr HOST:PORT] stats [--json]
 //! isomit-cli [--addr HOST:PORT] shutdown
 //! isomit-cli [--addr HOST:PORT] rid --snapshot FILE [--alpha A] [--beta B]
 //! isomit-cli [--addr HOST:PORT] simulate --seeds 0:+,3:- --runs N [--seed S]
@@ -13,19 +13,24 @@
 //! ```
 //!
 //! Server commands print the raw JSON `result` payload to stdout, one
-//! line, suitable for piping into other tools.
+//! line, suitable for piping into other tools — except `stats`, which
+//! pretty-prints the counters and the telemetry registry (one metric
+//! per line, histograms as `p50/p95/p99 (n=…)`); pass `--json` for the
+//! raw payload used by tests and CI.
 
 use isomit_core::RidConfig;
 use isomit_diffusion::{InfectedNetwork, SeedSet};
+use isomit_graph::json::Value;
 use isomit_graph::{NodeId, Sign};
 use isomit_service::protocol::RequestBody;
 use isomit_service::Client;
+use isomit_telemetry::RegistrySnapshot;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: isomit-cli [--addr HOST:PORT] <health|stats|shutdown>\n\
+        "usage: isomit-cli [--addr HOST:PORT] <health|stats [--json]|shutdown>\n\
          \x20      isomit-cli [--addr HOST:PORT] rid --snapshot FILE [--alpha A] [--beta B]\n\
          \x20      isomit-cli [--addr HOST:PORT] simulate --seeds 0:+,3:- --runs N [--seed S]\n\
          \x20      isomit-cli gen-snapshot --out SNAP.json [--graph-out GRAPH.json] [--scale S] [--seed N]"
@@ -116,9 +121,18 @@ fn main() {
 
     let mut client = Client::connect(&addr)
         .unwrap_or_else(|e| panic!("cannot connect to isomit-serve at {addr}: {e}"));
+    let mut stats_json = false;
     let body = match command.as_str() {
         "health" => RequestBody::Health,
-        "stats" => RequestBody::Stats,
+        "stats" => {
+            for flag in args.by_ref() {
+                match flag.as_str() {
+                    "--json" => stats_json = true,
+                    _ => usage(),
+                }
+            }
+            RequestBody::Stats
+        }
         "shutdown" => RequestBody::Shutdown,
         "rid" => {
             let mut snapshot_file = None;
@@ -182,12 +196,44 @@ fn main() {
     match client.request(&body) {
         Ok(result) => {
             use std::io::Write;
+            let rendered = if command == "stats" && !stats_json {
+                pretty_stats(&result)
+            } else {
+                result.to_json()
+            };
             // Ignore broken pipes so `isomit-cli ... | head` exits cleanly.
-            let _ = writeln!(std::io::stdout(), "{}", result.to_json());
+            let _ = writeln!(std::io::stdout(), "{}", rendered.trim_end());
         }
         Err(e) => {
             eprintln!("isomit-cli: {e}");
             std::process::exit(1);
         }
     }
+}
+
+/// Renders the `stats` payload for humans: engine counters one per
+/// line, then the telemetry registry in its `p50/p95/p99 (n=…)` form.
+fn pretty_stats(result: &Value) -> String {
+    let mut out = String::new();
+    if let Value::Object(fields) = result {
+        for (key, value) in fields {
+            if key == "telemetry" {
+                continue;
+            }
+            out.push_str(&format!("{key}: {}\n", value.to_json()));
+        }
+    }
+    match result
+        .get("telemetry")
+        .map(RegistrySnapshot::from_json_value)
+    {
+        Some(Ok(snapshot)) => {
+            out.push_str(&snapshot.pretty());
+        }
+        Some(Err(e)) => {
+            eprintln!("isomit-cli: malformed telemetry section: {e}");
+        }
+        None => {}
+    }
+    out
 }

@@ -1,4 +1,5 @@
-//! A small bounded LRU cache with hit/miss/eviction counters.
+//! A small bounded LRU cache whose hit/miss/eviction counters are
+//! registry-backed telemetry [`Counter`]s.
 //!
 //! Backs the engine's per-snapshot artifact cache. Determinism note:
 //! the cache only ever changes *whether* artifacts are recomputed,
@@ -6,7 +7,42 @@
 //! `(snapshot, alpha)` — so results are bit-identical whatever the
 //! cache's state (tested at the engine layer).
 
+use isomit_telemetry::{names, Counter, Registry};
 use std::collections::BTreeMap;
+
+/// The three outcome counters of an [`LruCache`]. Constructed either
+/// detached ([`CacheMetrics::detached`], for tests and standalone use)
+/// or bound to a registry ([`CacheMetrics::registered`]) so the cache's
+/// behavior shows up in registry snapshots.
+#[derive(Debug, Clone)]
+pub struct CacheMetrics {
+    /// Lookups that found an entry.
+    pub hits: Counter,
+    /// Lookups that found nothing.
+    pub misses: Counter,
+    /// Entries evicted to make room.
+    pub evictions: Counter,
+}
+
+impl CacheMetrics {
+    /// Counters not visible in any registry.
+    pub fn detached() -> CacheMetrics {
+        CacheMetrics {
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
+        }
+    }
+
+    /// Counters registered under the well-known `service.cache.*` names.
+    pub fn registered(registry: &Registry) -> CacheMetrics {
+        CacheMetrics {
+            hits: registry.counter(names::SERVICE_CACHE_HITS),
+            misses: registry.counter(names::SERVICE_CACHE_MISSES),
+            evictions: registry.counter(names::SERVICE_CACHE_EVICTIONS),
+        }
+    }
+}
 
 #[derive(Debug)]
 struct Entry<V> {
@@ -25,21 +61,25 @@ pub struct LruCache<K: Ord, V> {
     capacity: usize,
     tick: u64,
     entries: BTreeMap<K, Entry<V>>,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
+    metrics: CacheMetrics,
 }
 
 impl<K: Ord + Clone, V: Clone> LruCache<K, V> {
-    /// Creates a cache holding at most `capacity` entries.
+    /// Creates a cache holding at most `capacity` entries, with detached
+    /// (registry-invisible) counters.
     pub fn new(capacity: usize) -> Self {
+        LruCache::with_metrics(capacity, CacheMetrics::detached())
+    }
+
+    /// Creates a cache whose outcome counters are the given handles —
+    /// typically [`CacheMetrics::registered`] against the owning
+    /// component's registry.
+    pub fn with_metrics(capacity: usize, metrics: CacheMetrics) -> Self {
         LruCache {
             capacity,
             tick: 0,
             entries: BTreeMap::new(),
-            hits: 0,
-            misses: 0,
-            evictions: 0,
+            metrics,
         }
     }
 
@@ -50,11 +90,11 @@ impl<K: Ord + Clone, V: Clone> LruCache<K, V> {
         match self.entries.get_mut(key) {
             Some(entry) => {
                 entry.last_used = self.tick;
-                self.hits += 1;
+                self.metrics.hits.inc();
                 Some(entry.value.clone())
             }
             None => {
-                self.misses += 1;
+                self.metrics.misses.inc();
                 None
             }
         }
@@ -77,7 +117,7 @@ impl<K: Ord + Clone, V: Clone> LruCache<K, V> {
                 .map(|(k, _)| k.clone());
             if let Some(k) = lru {
                 self.entries.remove(&k);
-                self.evictions += 1;
+                self.metrics.evictions.inc();
             }
         }
         self.entries.insert(
@@ -106,17 +146,17 @@ impl<K: Ord + Clone, V: Clone> LruCache<K, V> {
 
     /// Lookups that found an entry.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.metrics.hits.get()
     }
 
     /// Lookups that found nothing.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.metrics.misses.get()
     }
 
     /// Entries evicted to make room.
     pub fn evictions(&self) -> u64 {
-        self.evictions
+        self.metrics.evictions.get()
     }
 }
 
@@ -165,5 +205,19 @@ mod tests {
         assert_eq!(c.get(&1), None);
         assert!(c.is_empty());
         assert_eq!(c.capacity(), 0);
+    }
+
+    #[test]
+    fn registered_counters_show_up_in_snapshots() {
+        let registry = Registry::new();
+        let mut c: LruCache<u32, u32> =
+            LruCache::with_metrics(2, CacheMetrics::registered(&registry));
+        c.get(&1);
+        c.insert(1, 10);
+        c.get(&1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(names::SERVICE_CACHE_HITS), Some(1));
+        assert_eq!(snap.counter(names::SERVICE_CACHE_MISSES), Some(1));
+        assert_eq!(snap.counter(names::SERVICE_CACHE_EVICTIONS), Some(0));
     }
 }

@@ -6,6 +6,7 @@ use crate::protocol::{encode_request, parse_response, RequestBody, WireError};
 use isomit_core::{RidConfig, RidResult};
 use isomit_diffusion::{InfectedNetwork, InfectionEstimate, SeedSet};
 use isomit_graph::json::{JsonError, Value};
+use isomit_telemetry::RegistrySnapshot;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -114,8 +115,9 @@ impl Client {
     }
 
     /// Engine counters. The raw payload additionally carries
-    /// `queue_depth` / `queue_capacity` / `cache_hit_rate`; use
-    /// [`request`](Client::request) to see those.
+    /// `queue_depth` / `queue_capacity` / `cache_hit_rate` and the full
+    /// `telemetry` registry snapshot; use [`request`](Client::request)
+    /// or [`telemetry`](Client::telemetry) to see those.
     ///
     /// # Errors
     ///
@@ -123,6 +125,21 @@ impl Client {
     pub fn stats(&mut self) -> Result<EngineStats, ClientError> {
         let value = self.request(&RequestBody::Stats)?;
         EngineStats::from_json_value(&value).map_err(ClientError::Protocol)
+    }
+
+    /// The server's merged telemetry registry (engine metrics plus the
+    /// daemon process's global stage/Monte-Carlo timings), from the
+    /// `stats` payload's `telemetry` field.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request); additionally
+    /// [`ClientError::Protocol`] when the server predates the
+    /// `telemetry` field.
+    pub fn telemetry(&mut self) -> Result<RegistrySnapshot, ClientError> {
+        let value = self.request(&RequestBody::Stats)?;
+        let field = value.require("telemetry").map_err(ClientError::Protocol)?;
+        RegistrySnapshot::from_json_value(field).map_err(ClientError::Protocol)
     }
 
     /// Detects rumor initiators in `snapshot` under `config` (server

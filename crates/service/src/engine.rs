@@ -9,7 +9,7 @@
 //! extraction is a pure function of `(snapshot, alpha)`, so a cached
 //! answer is bit-identical to a cold one (tested below).
 
-use crate::cache::LruCache;
+use crate::cache::{CacheMetrics, LruCache};
 use crate::fingerprint::snapshot_fingerprint;
 use isomit_core::{ForestArtifacts, Rid, RidConfig, RidError, RidResult};
 use isomit_diffusion::{
@@ -18,7 +18,7 @@ use isomit_diffusion::{
 };
 use isomit_graph::json::{JsonError, Value};
 use isomit_graph::SignedDigraph;
-use std::sync::atomic::{AtomicU64, Ordering};
+use isomit_telemetry::{names, Counter, Registry, RegistrySnapshot};
 use std::sync::{Arc, Mutex};
 
 /// Point-in-time engine counters, reported by the `stats` request.
@@ -113,15 +113,18 @@ pub struct RidEngine {
     model: Mfc,
     default_config: RidConfig,
     cache: Mutex<LruCache<(u64, u64), Arc<ForestArtifacts>>>,
-    rid_requests: AtomicU64,
-    simulate_requests: AtomicU64,
+    registry: Arc<Registry>,
+    rid_requests: Counter,
+    simulate_requests: Counter,
 }
 
 impl RidEngine {
     /// Creates an engine over `graph` (edge weights are activation
     /// probabilities) with `default_config` as the detector used when a
     /// request carries no config, caching artifacts for up to
-    /// `cache_capacity` distinct `(snapshot, alpha)` pairs.
+    /// `cache_capacity` distinct `(snapshot, alpha)` pairs. Metrics go
+    /// into a fresh per-engine registry; use
+    /// [`with_registry`](RidEngine::with_registry) to supply one.
     ///
     /// # Errors
     ///
@@ -132,25 +135,66 @@ impl RidEngine {
         default_config: RidConfig,
         cache_capacity: usize,
     ) -> Result<Self, RidError> {
+        RidEngine::with_registry(
+            graph,
+            default_config,
+            cache_capacity,
+            Arc::new(Registry::new()),
+        )
+    }
+
+    /// Like [`new`](RidEngine::new), but recording request and cache
+    /// metrics into the given registry (under the `service.*` names).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RidError::InvalidParameter`] if `default_config` fails
+    /// [`Rid::from_config`] validation.
+    pub fn with_registry(
+        graph: SignedDigraph,
+        default_config: RidConfig,
+        cache_capacity: usize,
+        registry: Arc<Registry>,
+    ) -> Result<Self, RidError> {
         let rid = Rid::from_config(default_config)?;
         let model = Mfc::new(rid.alpha()).map_err(|_| RidError::InvalidParameter {
             name: "alpha",
             value: default_config.alpha,
             constraint: "must be finite and >= 1",
         })?;
+        let cache = LruCache::with_metrics(cache_capacity, CacheMetrics::registered(&registry));
+        let rid_requests = registry.counter(names::SERVICE_RID_REQUESTS);
+        let simulate_requests = registry.counter(names::SERVICE_SIMULATE_REQUESTS);
         Ok(RidEngine {
             graph,
             model,
             default_config,
-            cache: Mutex::new(LruCache::new(cache_capacity)),
-            rid_requests: AtomicU64::new(0),
-            simulate_requests: AtomicU64::new(0),
+            cache: Mutex::new(cache),
+            registry,
+            rid_requests,
+            simulate_requests,
         })
     }
 
     /// The loaded diffusion network.
     pub fn graph(&self) -> &SignedDigraph {
         &self.graph
+    }
+
+    /// The registry this engine's metrics record into. The server hands
+    /// it to the queue and request timers so one snapshot covers the
+    /// whole serving path.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The engine registry's snapshot merged with the process-global
+    /// registry (RID stage and Monte-Carlo timings) — the payload behind
+    /// the `stats` verb's `telemetry` field.
+    pub fn telemetry_snapshot(&self) -> RegistrySnapshot {
+        isomit_telemetry::global()
+            .snapshot()
+            .merge(&self.registry.snapshot())
     }
 
     /// The detector config used when a request carries none.
@@ -180,7 +224,7 @@ impl RidEngine {
         snapshot: &InfectedNetwork,
         config: Option<RidConfig>,
     ) -> Result<RidResult, RidError> {
-        self.rid_requests.fetch_add(1, Ordering::Relaxed);
+        self.rid_requests.inc();
         let config = config.unwrap_or(self.default_config);
         let rid = Rid::from_config(config)?;
         let key = (snapshot_fingerprint(snapshot), config.alpha.to_bits());
@@ -214,7 +258,7 @@ impl RidEngine {
         runs: usize,
         master_seed: u64,
     ) -> Result<InfectionEstimate, DiffusionError> {
-        self.simulate_requests.fetch_add(1, Ordering::Relaxed);
+        self.simulate_requests.inc();
         seeds.validate_against(&self.graph)?;
         par_estimate_infection_probabilities(&self.model, &self.graph, seeds, runs, master_seed)
     }
@@ -223,8 +267,8 @@ impl RidEngine {
     pub fn stats(&self) -> EngineStats {
         let cache = self.cache_lock();
         EngineStats {
-            rid_requests: self.rid_requests.load(Ordering::Relaxed),
-            simulate_requests: self.simulate_requests.load(Ordering::Relaxed),
+            rid_requests: self.rid_requests.get(),
+            simulate_requests: self.simulate_requests.get(),
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
             cache_evictions: cache.evictions(),
@@ -361,6 +405,26 @@ mod tests {
         let stats = engine.stats();
         let back = EngineStats::from_json_value(&stats.to_json_value()).unwrap();
         assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn engine_registry_mirrors_stats() {
+        let engine = engine(4);
+        let snapshot = scenario_snapshot(8);
+        engine.rid(&snapshot, None).unwrap();
+        engine.rid(&snapshot, None).unwrap();
+        let snap = engine.registry().snapshot();
+        assert_eq!(snap.counter(names::SERVICE_RID_REQUESTS), Some(2));
+        assert_eq!(snap.counter(names::SERVICE_CACHE_HITS), Some(1));
+        assert_eq!(snap.counter(names::SERVICE_CACHE_MISSES), Some(1));
+        // The merged snapshot adds the process-global stage timings.
+        let merged = engine.telemetry_snapshot();
+        assert!(merged
+            .histogram(names::RID_EXTRACT_STAGE_NS)
+            .is_some_and(|h| h.count() >= 1));
+        assert!(merged
+            .histogram(names::RID_QUERY_STAGE_NS)
+            .is_some_and(|h| h.count() >= 2));
     }
 
     #[test]

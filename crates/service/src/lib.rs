@@ -35,8 +35,8 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 
-pub use cache::LruCache;
+pub use cache::{CacheMetrics, LruCache};
 pub use client::{Client, ClientError};
 pub use engine::{EngineStats, RidEngine};
-pub use queue::{BoundedQueue, PushError};
+pub use queue::{BoundedQueue, PushError, QueueMetrics};
 pub use server::{Server, ServerConfig};

@@ -7,8 +7,37 @@
 //! is full and the server turns that into a structured `overloaded`
 //! error, keeping latency of accepted requests bounded.
 
+use isomit_telemetry::{names, Counter, Gauge, Registry};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Telemetry handles for a [`BoundedQueue`]: instantaneous depth and a
+/// count of admissions refused for being full.
+#[derive(Debug, Clone)]
+pub struct QueueMetrics {
+    /// Items currently queued (updated on every push/pop).
+    pub depth: Gauge,
+    /// `try_push` calls refused with [`PushError::Full`].
+    pub rejected_full: Counter,
+}
+
+impl QueueMetrics {
+    /// Handles not visible in any registry.
+    pub fn detached() -> QueueMetrics {
+        QueueMetrics {
+            depth: Gauge::new(),
+            rejected_full: Counter::new(),
+        }
+    }
+
+    /// Handles registered under the well-known `service.*` names.
+    pub fn registered(registry: &Registry) -> QueueMetrics {
+        QueueMetrics {
+            depth: registry.gauge(names::SERVICE_QUEUE_DEPTH),
+            rejected_full: registry.counter(names::SERVICE_OVERLOADED),
+        }
+    }
+}
 
 /// Why a [`BoundedQueue::try_push`] was refused.
 #[derive(Debug, PartialEq, Eq)]
@@ -36,11 +65,19 @@ pub struct BoundedQueue<T> {
     inner: Mutex<Inner<T>>,
     available: Condvar,
     capacity: usize,
+    metrics: QueueMetrics,
 }
 
 impl<T> BoundedQueue<T> {
-    /// Creates a queue holding at most `capacity` items (minimum 1).
+    /// Creates a queue holding at most `capacity` items (minimum 1),
+    /// with detached (registry-invisible) metrics.
     pub fn new(capacity: usize) -> Self {
+        BoundedQueue::with_metrics(capacity, QueueMetrics::detached())
+    }
+
+    /// Creates a queue whose depth gauge and rejection counter are the
+    /// given handles — typically [`QueueMetrics::registered`].
+    pub fn with_metrics(capacity: usize, metrics: QueueMetrics) -> Self {
         BoundedQueue {
             inner: Mutex::new(Inner {
                 items: VecDeque::new(),
@@ -48,6 +85,7 @@ impl<T> BoundedQueue<T> {
             }),
             available: Condvar::new(),
             capacity: capacity.max(1),
+            metrics,
         }
     }
 
@@ -69,9 +107,11 @@ impl<T> BoundedQueue<T> {
             return Err(PushError::Closed(item));
         }
         if inner.items.len() >= self.capacity {
+            self.metrics.rejected_full.inc();
             return Err(PushError::Full(item));
         }
         inner.items.push_back(item);
+        self.metrics.depth.set(inner.items.len() as i64);
         drop(inner);
         self.available.notify_one();
         Ok(())
@@ -83,6 +123,7 @@ impl<T> BoundedQueue<T> {
         let mut inner = self.lock();
         loop {
             if let Some(item) = inner.items.pop_front() {
+                self.metrics.depth.set(inner.items.len() as i64);
                 return Some(item);
             }
             if inner.closed {
@@ -135,6 +176,27 @@ mod tests {
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), Some(3));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn registered_metrics_track_depth_and_rejections() {
+        let registry = Registry::new();
+        let q = BoundedQueue::with_metrics(1, QueueMetrics::registered(&registry));
+        q.try_push(1).unwrap();
+        assert_eq!(
+            registry.snapshot().gauge(names::SERVICE_QUEUE_DEPTH),
+            Some(1)
+        );
+        assert_eq!(q.try_push(2), Err(PushError::Full(2)));
+        assert_eq!(
+            registry.snapshot().counter(names::SERVICE_OVERLOADED),
+            Some(1)
+        );
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(
+            registry.snapshot().gauge(names::SERVICE_QUEUE_DEPTH),
+            Some(0)
+        );
     }
 
     #[test]

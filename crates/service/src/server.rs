@@ -27,10 +27,11 @@ use crate::protocol::{
     error_line, ok_line, parse_request, ErrorKind, Request, RequestBody, WireError,
     PROTOCOL_VERSION,
 };
-use crate::queue::{BoundedQueue, PushError};
+use crate::queue::{BoundedQueue, PushError, QueueMetrics};
 use isomit_core::{RidConfig, RidError};
 use isomit_diffusion::{InfectedNetwork, SeedSet};
 use isomit_graph::json::Value;
+use isomit_telemetry::{names, Counter, Histogram};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -88,6 +89,12 @@ struct Shared {
     shutdown: AtomicBool,
     addr: SocketAddr,
     timeout: Duration,
+    /// End-to-end latency of data-plane jobs, receipt to reply written.
+    request_ns: Histogram,
+    /// Time a job spent in the bounded queue before a worker took it.
+    queue_wait_ns: Histogram,
+    /// Jobs dropped at dequeue because their deadline had passed.
+    deadline_exceeded: Counter,
 }
 
 /// A running daemon. Dropping the handle does **not** stop the server;
@@ -123,12 +130,19 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let registry = Arc::clone(engine.registry());
         let shared = Arc::new(Shared {
-            engine,
-            queue: BoundedQueue::new(config.queue_capacity),
+            queue: BoundedQueue::with_metrics(
+                config.queue_capacity,
+                QueueMetrics::registered(&registry),
+            ),
             shutdown: AtomicBool::new(false),
             addr: local_addr,
             timeout: config.request_timeout,
+            request_ns: registry.histogram(names::SERVICE_REQUEST_NS),
+            queue_wait_ns: registry.histogram(names::SERVICE_QUEUE_WAIT_NS),
+            deadline_exceeded: registry.counter(names::SERVICE_DEADLINE_EXCEEDED),
+            engine,
         });
 
         let worker_threads = (0..config.workers.max(1))
@@ -274,6 +288,12 @@ fn serve_request(request: Request, writer: &Arc<Mutex<TcpStream>>, shared: &Arc<
                     "queue_capacity".into(),
                     Value::Number(shared.queue.capacity() as f64),
                 ));
+                // Full registry view: engine metrics merged with the
+                // process-global stage/Monte-Carlo timings.
+                fields.push((
+                    "telemetry".into(),
+                    shared.engine.telemetry_snapshot().to_json_value(),
+                ));
             }
             write_line(writer, &ok_line(id, stats))
         }
@@ -291,6 +311,7 @@ fn serve_request(request: Request, writer: &Arc<Mutex<TcpStream>>, shared: &Arc<
         RequestBody::Rid { snapshot, config } => enqueue(
             Job {
                 id,
+                // lint:allow(telemetry) arrival timestamp for deadline math; the derived latencies go through registry histograms
                 received: Instant::now(),
                 writer: Arc::clone(writer),
                 work: Work::Rid { snapshot, config },
@@ -301,6 +322,7 @@ fn serve_request(request: Request, writer: &Arc<Mutex<TcpStream>>, shared: &Arc<
         RequestBody::Simulate { seeds, runs, seed } => enqueue(
             Job {
                 id,
+                // lint:allow(telemetry) arrival timestamp for deadline math; the derived latencies go through registry histograms
                 received: Instant::now(),
                 writer: Arc::clone(writer),
                 work: Work::Simulate { seeds, runs, seed },
@@ -340,7 +362,10 @@ fn worker_loop(shared: &Shared) {
             writer,
             work,
         } = job;
-        if received.elapsed() > shared.timeout {
+        let queue_wait = received.elapsed();
+        shared.queue_wait_ns.record_duration(queue_wait);
+        if queue_wait > shared.timeout {
+            shared.deadline_exceeded.inc();
             let error = WireError::new(
                 ErrorKind::DeadlineExceeded,
                 format!(
@@ -349,6 +374,7 @@ fn worker_loop(shared: &Shared) {
                 ),
             );
             let _ = write_line(&writer, &error_line(Some(id), &error));
+            shared.request_ns.record_duration(received.elapsed());
             continue;
         }
         let line = match work {
@@ -374,5 +400,6 @@ fn worker_loop(shared: &Shared) {
             }
         };
         let _ = write_line(&writer, &line);
+        shared.request_ns.record_duration(received.elapsed());
     }
 }

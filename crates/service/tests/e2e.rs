@@ -7,10 +7,11 @@ use isomit_diffusion::{par_estimate_infection_probabilities, InfectedNetwork, Mf
 use isomit_graph::{NodeId, Sign, SignedDigraph};
 use isomit_service::protocol::ErrorKind;
 use isomit_service::{Client, ClientError};
+use isomit_telemetry::names;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
 use std::process::{Child, Command, Stdio};
 
 /// Scale / seed the daemon is launched with; [`server_graph`] must
@@ -49,11 +50,20 @@ impl Daemon {
             .next()
             .expect("daemon exited before announcing its address")
             .expect("read daemon stdout");
-        let addr = line
+        let announced = line
             .strip_prefix("isomit-serve listening on ")
-            .unwrap_or_else(|| panic!("unexpected announce line: {line}"))
-            .to_owned();
-        Daemon { child, addr }
+            .unwrap_or_else(|| panic!("unexpected announce line: {line}"));
+        // The announce line must be a parseable socket address with a
+        // real (kernel-assigned, nonzero) port — scripts dial exactly
+        // what the daemon printed.
+        let parsed: SocketAddr = announced
+            .parse()
+            .unwrap_or_else(|e| panic!("announce line `{line}` is not a socket address: {e}"));
+        assert_ne!(parsed.port(), 0, "daemon announced the wildcard port");
+        Daemon {
+            child,
+            addr: parsed.to_string(),
+        }
     }
 
     fn client(&self) -> Client {
@@ -137,6 +147,32 @@ fn rid_round_trip_is_byte_identical_to_in_process() {
     let stats = client.stats().expect("stats");
     assert!(stats.cache_hits >= 1, "expected cache hits, got {stats:?}");
     assert_eq!(stats.rid_requests, 4);
+
+    // The daemon's telemetry registry travels over the wire and shows
+    // the traffic we just generated: end-to-end and per-stage latency
+    // histograms have recordings, and the cache counters mirror stats.
+    let telemetry = client.telemetry().expect("telemetry over the wire");
+    for name in [
+        names::SERVICE_REQUEST_NS,
+        names::SERVICE_QUEUE_WAIT_NS,
+        names::RID_EXTRACT_STAGE_NS,
+        names::RID_QUERY_STAGE_NS,
+    ] {
+        let count = telemetry.histogram(name).map_or(0, |h| h.count());
+        assert!(count > 0, "{name}: expected recordings after rid traffic");
+    }
+    assert_eq!(
+        telemetry.counter(names::SERVICE_CACHE_HITS),
+        Some(stats.cache_hits)
+    );
+    assert_eq!(
+        telemetry.counter(names::SERVICE_CACHE_MISSES),
+        Some(stats.cache_misses)
+    );
+    assert_eq!(
+        telemetry.counter(names::SERVICE_RID_REQUESTS),
+        Some(stats.rid_requests)
+    );
 
     client.shutdown().expect("shutdown");
 }
@@ -341,4 +377,21 @@ fn queued_work_past_its_deadline_is_rejected() {
         }
         other => panic!("expected deadline_exceeded, got {other:?}"),
     }
+
+    // The rejection is visible in telemetry, and the expired job's
+    // queue wait was still recorded.
+    let telemetry = client.telemetry().expect("telemetry");
+    assert!(
+        telemetry
+            .counter(names::SERVICE_DEADLINE_EXCEEDED)
+            .is_some_and(|n| n >= 1),
+        "deadline rejection must increment {}",
+        names::SERVICE_DEADLINE_EXCEEDED
+    );
+    assert!(
+        telemetry
+            .histogram(names::SERVICE_QUEUE_WAIT_NS)
+            .is_some_and(|h| h.count() >= 1),
+        "queue wait of the expired job must be recorded"
+    );
 }

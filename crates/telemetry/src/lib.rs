@@ -1,0 +1,108 @@
+//! `isomit-telemetry` — hand-rolled instrumentation for the isomit
+//! stack: atomic [`Counter`]s and [`Gauge`]s, log2-bucketed latency
+//! [`Histogram`]s with p50/p95/p99 extraction, scoped [`SpanTimer`]s,
+//! and a named-metric [`Registry`] that serializes to JSON through the
+//! in-repo codec (`isomit_graph::json`). No external metric registries,
+//! no macros, no background threads.
+//!
+//! # Topology
+//!
+//! Two registries cover the stack:
+//!
+//! * the **process-global** registry ([`global`]) collects timings from
+//!   library code that has no handle-passing path — the RID stages in
+//!   `isomit-core` and the Monte-Carlo batches in `isomit-diffusion`;
+//! * **per-component** registries (e.g. one per `RidEngine`) collect
+//!   serving metrics, keeping unit tests that assert exact counter
+//!   values isolated from each other.
+//!
+//! The service's `stats` verb merges both into one
+//! [`RegistrySnapshot`].
+//!
+//! # Determinism contract
+//!
+//! Telemetry observes; it never participates in computation. Recording
+//! is atomic adds on shared storage, so instrumented results are
+//! bit-identical to uninstrumented ones at any thread count — the
+//! workspace `tests/telemetry.rs` suite pins this. A registry in
+//! [`Registry::disabled`] mode reduces every recording to one relaxed
+//! load and makes [`Histogram::span`] skip the clock read entirely.
+//!
+//! # Naming scheme
+//!
+//! Dotted `component.metric[_unit]` names, with the unit suffix driving
+//! pretty-printing (`*_ns` renders as a duration). The well-known names
+//! live in [`names`].
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod histogram;
+mod metrics;
+mod registry;
+
+pub use histogram::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, Histogram, HistogramSnapshot, SpanTimer,
+    BUCKET_COUNT,
+};
+pub use metrics::{Counter, Gauge};
+pub use registry::{Registry, RegistrySnapshot};
+
+use std::sync::OnceLock;
+
+/// Well-known metric names, so producers and consumers cannot drift.
+pub mod names {
+    /// Wall time of `Rid::extract_stage` (histogram, global registry).
+    pub const RID_EXTRACT_STAGE_NS: &str = "rid.extract_stage_ns";
+    /// Wall time of `Rid::query_stage` (histogram, global registry).
+    pub const RID_QUERY_STAGE_NS: &str = "rid.query_stage_ns";
+    /// Wall time of one Monte-Carlo estimation batch (histogram, global).
+    pub const MC_BATCH_NS: &str = "mc.batch_ns";
+    /// End-to-end request latency, receipt to reply (histogram).
+    pub const SERVICE_REQUEST_NS: &str = "service.request_ns";
+    /// Time a job waited in the bounded queue before a worker picked it
+    /// up (histogram).
+    pub const SERVICE_QUEUE_WAIT_NS: &str = "service.queue_wait_ns";
+    /// Artifact-cache hits (counter).
+    pub const SERVICE_CACHE_HITS: &str = "service.cache.hits";
+    /// Artifact-cache misses (counter).
+    pub const SERVICE_CACHE_MISSES: &str = "service.cache.misses";
+    /// Artifact-cache evictions (counter).
+    pub const SERVICE_CACHE_EVICTIONS: &str = "service.cache.evictions";
+    /// RID requests accepted by the engine (counter).
+    pub const SERVICE_RID_REQUESTS: &str = "service.rid_requests";
+    /// Simulate requests accepted by the engine (counter).
+    pub const SERVICE_SIMULATE_REQUESTS: &str = "service.simulate_requests";
+    /// Requests rejected because the queue was full (counter).
+    pub const SERVICE_OVERLOADED: &str = "service.overloaded";
+    /// Requests dropped at dequeue because their deadline had passed
+    /// (counter).
+    pub const SERVICE_DEADLINE_EXCEEDED: &str = "service.deadline_exceeded";
+    /// Instantaneous depth of the request queue (gauge).
+    pub const SERVICE_QUEUE_DEPTH: &str = "service.queue_depth";
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry. Library code with no handle-passing path
+/// (RID stages, Monte-Carlo batches) records here; services merge it
+/// into their own snapshots. Created enabled on first use; flip with
+/// [`Registry::set_enabled`].
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_registry_is_shared() {
+        global().counter("lib.test_counter").inc();
+        assert!(global()
+            .snapshot()
+            .counter("lib.test_counter")
+            .is_some_and(|v| v >= 1));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the log2 histogram: bucket placement,
+//! quantile monotonicity, and merge ≡ recording the concatenated
+//! stream (with counts and sums conserved).
+
+use isomit_telemetry::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, Histogram, HistogramSnapshot,
+    BUCKET_COUNT,
+};
+use proptest::prelude::*;
+
+/// Records every value of `values` into a fresh histogram.
+fn record_all(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn values_land_in_their_bucket(value in any::<u64>()) {
+        let bucket = bucket_index(value);
+        prop_assert!(bucket < BUCKET_COUNT);
+        prop_assert!(bucket_lower_bound(bucket) <= value);
+        prop_assert!(value <= bucket_upper_bound(bucket));
+
+        let snapshot = record_all(&[value]);
+        prop_assert_eq!(snapshot.bucket_count(bucket), 1);
+        prop_assert_eq!(snapshot.count(), 1);
+        for other in (0..BUCKET_COUNT).filter(|&b| b != bucket) {
+            prop_assert_eq!(snapshot.bucket_count(other), 0);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        values in proptest::collection::vec(any::<u64>(), 1..200),
+        qs in proptest::collection::vec(0.0f64..=1.0, 2..10),
+    ) {
+        let snapshot = record_all(&values);
+        let mut qs = qs;
+        qs.sort_by(|a, b| a.partial_cmp(b).expect("finite quantiles"));
+        let quantiles: Vec<u64> = qs
+            .iter()
+            .map(|&q| snapshot.quantile(q).expect("non-empty histogram"))
+            .collect();
+        for pair in quantiles.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "quantiles {quantiles:?} for qs {qs:?}");
+        }
+        // Extremes are exact: q=0 picks the smallest value's bucket,
+        // q=1 the largest's, each reported as its bucket upper bound.
+        let smallest = *values.iter().min().expect("non-empty");
+        let largest = *values.iter().max().expect("non-empty");
+        prop_assert_eq!(
+            snapshot.quantile(0.0).expect("non-empty"),
+            bucket_upper_bound(bucket_index(smallest))
+        );
+        prop_assert_eq!(
+            snapshot.quantile(1.0).expect("non-empty"),
+            bucket_upper_bound(bucket_index(largest))
+        );
+    }
+
+    #[test]
+    fn merge_equals_concatenated_stream(
+        a in proptest::collection::vec(0u64..1u64 << 40, 0..100),
+        b in proptest::collection::vec(0u64..1u64 << 40, 0..100),
+    ) {
+        let merged = record_all(&a).merge(&record_all(&b));
+        let concatenated: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, record_all(&concatenated));
+    }
+
+    #[test]
+    fn merge_conserves_counts_and_sum(
+        a in proptest::collection::vec(0u64..1u64 << 40, 0..100),
+        b in proptest::collection::vec(0u64..1u64 << 40, 0..100),
+    ) {
+        let sa = record_all(&a);
+        let sb = record_all(&b);
+        let merged = sa.merge(&sb);
+        prop_assert_eq!(merged.count(), sa.count() + sb.count());
+        prop_assert_eq!(merged.sum(), sa.sum() + sb.sum());
+        for bucket in 0..BUCKET_COUNT {
+            prop_assert_eq!(
+                merged.bucket_count(bucket),
+                sa.bucket_count(bucket) + sb.bucket_count(bucket)
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(any::<u64>(), 0..60),
+        b in proptest::collection::vec(any::<u64>(), 0..60),
+    ) {
+        let sa = record_all(&a);
+        let sb = record_all(&b);
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+    }
+
+    #[test]
+    fn json_round_trips_exactly(
+        values in proptest::collection::vec(0u64..1u64 << 40, 0..100),
+    ) {
+        let snapshot = record_all(&values);
+        let back = HistogramSnapshot::from_json_value(&snapshot.to_json_value())
+            .expect("round trip");
+        prop_assert_eq!(snapshot, back);
+    }
+}

@@ -1,0 +1,152 @@
+//! Golden regression fixtures: small infected snapshots checked into
+//! `tests/golden/` together with the exact `RidResult` JSON the
+//! pipeline must produce for them. The comparison is byte-for-byte —
+//! any change to forest extraction, the DP, tie-breaking, or the JSON
+//! codec that alters an answer (or its encoding) fails here with a
+//! reviewable diff.
+//!
+//! Regenerate after an *intentional* behavior change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+//!
+//! and commit the updated fixtures alongside the change that caused
+//! them.
+
+use isomit::prelude::*;
+use isomit_core::{RidConfig, RidObjective, RidResult};
+use isomit_diffusion::InfectedNetwork;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+/// One pinned scenario: a deterministic snapshot recipe plus the
+/// detector configuration it is answered under.
+struct GoldenCase {
+    name: &'static str,
+    seed: u64,
+    config: RidConfig,
+}
+
+fn cases() -> Vec<GoldenCase> {
+    vec![
+        GoldenCase {
+            name: "default",
+            seed: 101,
+            config: RidConfig::default(),
+        },
+        GoldenCase {
+            name: "beta_zero",
+            seed: 202,
+            config: RidConfig {
+                beta: 0.0,
+                ..RidConfig::default()
+            },
+        },
+        GoldenCase {
+            name: "log_likelihood",
+            seed: 303,
+            config: RidConfig {
+                objective: RidObjective::LogLikelihood,
+                ..RidConfig::default()
+            },
+        },
+        GoldenCase {
+            name: "no_external_support",
+            seed: 404,
+            config: RidConfig {
+                external_support: false,
+                ..RidConfig::default()
+            },
+        },
+    ]
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// Deterministically rebuilds the snapshot a case was generated from.
+fn build_snapshot(seed: u64) -> InfectedNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let social = epinions_like_scaled(0.01, &mut rng);
+    let scenario = build_scenario(&social, &isomit_datasets::ScenarioConfig::small(), &mut rng);
+    scenario.snapshot
+}
+
+#[test]
+fn golden_fixtures_are_byte_exact() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let dir = golden_dir();
+    if update {
+        std::fs::create_dir_all(&dir).expect("create tests/golden");
+    }
+
+    for case in cases() {
+        let snapshot_path = dir.join(format!("{}.snapshot.json", case.name));
+        let expected_path = dir.join(format!("{}.expected.json", case.name));
+
+        if update {
+            let snapshot = build_snapshot(case.seed);
+            std::fs::write(&snapshot_path, snapshot.to_json_string())
+                .expect("write snapshot fixture");
+        }
+
+        let snapshot_text = std::fs::read_to_string(&snapshot_path).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {} ({e}); regenerate with UPDATE_GOLDEN=1",
+                snapshot_path.display()
+            )
+        });
+        let snapshot = InfectedNetwork::from_json_str(&snapshot_text)
+            .unwrap_or_else(|e| panic!("corrupt fixture {}: {e}", snapshot_path.display()));
+
+        // The snapshot codec itself must be byte-stable: parsing a
+        // fixture and re-encoding it reproduces the file exactly.
+        assert_eq!(
+            snapshot.to_json_string(),
+            snapshot_text,
+            "{}: snapshot re-encoding drifted from the checked-in bytes",
+            case.name
+        );
+
+        let rid = Rid::from_config(case.config).expect("valid golden config");
+        let result = RidResult {
+            config: rid.config(),
+            detection: rid.detect(&snapshot),
+        };
+        let actual = result.to_json_string();
+
+        if update {
+            std::fs::write(&expected_path, &actual).expect("write expected fixture");
+            continue;
+        }
+
+        let expected = std::fs::read_to_string(&expected_path).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {} ({e}); regenerate with UPDATE_GOLDEN=1",
+                expected_path.display()
+            )
+        });
+        assert_eq!(
+            actual, expected,
+            "{}: RidResult diverged from the golden answer; if the change \
+             is intentional, regenerate with UPDATE_GOLDEN=1 and commit",
+            case.name
+        );
+
+        // And the expected fixture must survive its own decode/encode
+        // round trip, so the golden files stay canonical.
+        let reparsed = RidResult::from_json_str(&expected)
+            .unwrap_or_else(|e| panic!("corrupt fixture {}: {e}", expected_path.display()));
+        assert_eq!(
+            reparsed.to_json_string(),
+            expected,
+            "{}: expected fixture is not in canonical encoding",
+            case.name
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Telemetry must observe without perturbing: instrumented RID and
+//! Monte-Carlo runs are bit-identical to runs with the global registry
+//! disabled, for every thread count — and the instrumentation really is
+//! wired (the stage histograms receive recordings while enabled).
+//!
+//! This file is its own integration-test binary (its own process), so
+//! toggling the process-global registry here cannot race other test
+//! binaries. The enabled/disabled toggling and the wiring assertions
+//! live in ONE `#[test]` function because `#[test]`s within a binary
+//! run on parallel threads.
+
+use isomit::prelude::*;
+use isomit_diffusion::par_estimate_infection_probabilities;
+use isomit_telemetry::names;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::ThreadPoolBuilder;
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .expect("thread pool")
+        .install(f)
+}
+
+struct Fixture {
+    snapshot: isomit_diffusion::InfectedNetwork,
+    diffusion: SignedDigraph,
+    seeds: SeedSet,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let social = epinions_like_scaled(0.01, &mut rng);
+    let scenario = build_scenario(&social, &isomit_datasets::ScenarioConfig::small(), &mut rng);
+    let seeds = SeedSet::sample(&scenario.diffusion, 10, 0.5, &mut rng);
+    Fixture {
+        snapshot: scenario.snapshot,
+        diffusion: scenario.diffusion,
+        seeds,
+    }
+}
+
+#[test]
+fn instrumentation_is_invisible_and_wired() {
+    let fx = fixture(17);
+    let rid = Rid::new(3.0, 0.5).expect("valid detector");
+    let model = Mfc::new(3.0).expect("valid model");
+    let registry = isomit_telemetry::global();
+
+    // Baseline: registry enabled, one thread.
+    registry.set_enabled(true);
+    let before = registry.snapshot();
+    let baseline_detect = with_threads(1, || rid.detect(&fx.snapshot));
+    let baseline_mc = with_threads(1, || {
+        par_estimate_infection_probabilities(&model, &fx.diffusion, &fx.seeds, 200, 0xBEEF)
+            .expect("estimate")
+    });
+
+    // Wiring: the instrumented run recorded into the stage histograms.
+    let after = registry.snapshot();
+    for name in [
+        names::RID_EXTRACT_STAGE_NS,
+        names::RID_QUERY_STAGE_NS,
+        names::MC_BATCH_NS,
+    ] {
+        let recorded = after.histogram(name).map_or(0, |h| h.count());
+        let prior = before.histogram(name).map_or(0, |h| h.count());
+        assert!(
+            recorded > prior,
+            "{name}: expected new recordings while enabled ({prior} -> {recorded})"
+        );
+    }
+
+    // Instrumented runs are bit-identical across thread counts…
+    for threads in [2, 4] {
+        let detect = with_threads(threads, || rid.detect(&fx.snapshot));
+        assert_eq!(
+            detect, baseline_detect,
+            "detect, enabled, threads={threads}"
+        );
+        assert_eq!(
+            detect.objective.to_bits(),
+            baseline_detect.objective.to_bits(),
+            "objective bits, enabled, threads={threads}"
+        );
+        let mc = with_threads(threads, || {
+            par_estimate_infection_probabilities(&model, &fx.diffusion, &fx.seeds, 200, 0xBEEF)
+                .expect("estimate")
+        });
+        assert_eq!(mc, baseline_mc, "monte-carlo, enabled, threads={threads}");
+    }
+
+    // …and identical to uninstrumented (disabled-registry) runs.
+    registry.set_enabled(false);
+    let count_while_disabled =
+        |name: &str| registry.snapshot().histogram(name).map_or(0, |h| h.count());
+    let frozen = count_while_disabled(names::RID_EXTRACT_STAGE_NS);
+    for threads in [1, 2, 4] {
+        let detect = with_threads(threads, || rid.detect(&fx.snapshot));
+        assert_eq!(
+            detect, baseline_detect,
+            "detect, disabled, threads={threads}"
+        );
+        assert_eq!(
+            detect.objective.to_bits(),
+            baseline_detect.objective.to_bits(),
+            "objective bits, disabled, threads={threads}"
+        );
+        let mc = with_threads(threads, || {
+            par_estimate_infection_probabilities(&model, &fx.diffusion, &fx.seeds, 200, 0xBEEF)
+                .expect("estimate")
+        });
+        assert_eq!(mc, baseline_mc, "monte-carlo, disabled, threads={threads}");
+    }
+    // Disabled really means dropped: no recordings accumulated.
+    assert_eq!(
+        count_while_disabled(names::RID_EXTRACT_STAGE_NS),
+        frozen,
+        "disabled registry must not record"
+    );
+    registry.set_enabled(true);
+}

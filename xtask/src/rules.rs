@@ -18,7 +18,16 @@
 //!   code: a producer that can always enqueue hides overload until the
 //!   process dies. Use a bounded queue with explicit backpressure (see
 //!   `isomit_service::queue::BoundedQueue`) or waive with a boundedness
-//!   argument.
+//!   argument;
+//! * `telemetry` — no ad-hoc clock reads (`Instant::now` /
+//!   `SystemTime::now`) in library crates outside `crates/telemetry`
+//!   and `crates/bench`: latency measurement must go through
+//!   `isomit-telemetry` spans/histograms so it shows up in the
+//!   registry, respects the disabled mode, and stays consistent across
+//!   components. Timestamps that are *not* latency measurement (e.g.
+//!   deadline bookkeeping) are waived with a justification. Crates
+//!   under the `determinism` rule are exempt here — clock reads there
+//!   are already forbidden outright.
 //!
 //! A diagnostic is silenced by an inline waiver on the same or the
 //! preceding line — `// lint:allow(<rule>) <reason>` — or for a whole
@@ -30,13 +39,14 @@ use crate::scan::SourceFile;
 use std::collections::BTreeMap;
 
 /// Every rule known to the linter, in report order.
-pub const RULES: [&str; 7] = [
+pub const RULES: [&str; 8] = [
     "panic",
     "indexing",
     "determinism",
     "pub-docs",
     "unsafe",
     "unbounded-queue",
+    "telemetry",
     "waiver",
 ];
 
@@ -54,6 +64,11 @@ const DETERMINISTIC_CRATES: [&str; 6] = [
 
 /// Crates in which every `pub fn` must have a doc comment.
 const DOC_ENFORCED_CRATES: [&str; 2] = ["crates/graph/", "crates/core/"];
+
+/// Crates the `telemetry` rule does not apply to: the telemetry crate
+/// itself (it owns the clock) and the bench harness (timing *is* its
+/// job, and its output never ships in a library).
+const TELEMETRY_EXEMPT_CRATES: [&str; 2] = ["crates/telemetry/", "crates/bench/"];
 
 /// One lint finding at a specific source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,6 +104,14 @@ pub fn scan_file(file: &SourceFile) -> Vec<Diagnostic> {
         .iter()
         .any(|c| file.path.starts_with(c));
     let docs_enforced = DOC_ENFORCED_CRATES.iter().any(|c| file.path.starts_with(c));
+    // Deterministic crates are exempt from the telemetry rule: their
+    // clock reads already fire `determinism`, and one site should not
+    // need two waivers.
+    let telemetry_enforced = file.path.starts_with("crates/")
+        && !in_deterministic
+        && !TELEMETRY_EXEMPT_CRATES
+            .iter()
+            .any(|c| file.path.starts_with(c));
 
     for (idx, line) in file.lines.iter().enumerate() {
         let lineno = idx + 1;
@@ -173,6 +196,24 @@ pub fn scan_file(file: &SourceFile) -> Vec<Diagnostic> {
                 message: "`unsafe` is forbidden workspace-wide".to_owned(),
                 waived: false,
             });
+        }
+
+        if telemetry_enforced {
+            for needle in ["Instant::now", "SystemTime::now"] {
+                for _ in match_word(code, needle) {
+                    raw.push(Diagnostic {
+                        rule: "telemetry",
+                        path: file.path.clone(),
+                        line: lineno,
+                        message: format!(
+                            "`{needle}` in library code; measure latency through \
+                             `isomit-telemetry` spans/histograms, or waive if this \
+                             timestamp is not a latency measurement"
+                        ),
+                        waived: false,
+                    });
+                }
+            }
         }
 
         for (needle, token) in [
@@ -508,6 +549,44 @@ mod tests {
         assert!(all.iter().any(|d| d.rule == "unbounded-queue" && d.waived));
         // The waiver was consumed, so it is not itself diagnosed.
         assert!(all.iter().all(|d| d.rule != "waiver"));
+    }
+
+    #[test]
+    fn telemetry_rule_flags_raw_clock_reads_in_library_crates() {
+        let src = "fn f() {\n  let t0 = Instant::now();\n  let wall = SystemTime::now();\n}\n";
+        let d = unwaived("crates/service/src/a.rs", src);
+        assert_eq!(d.iter().filter(|d| d.rule == "telemetry").count(), 2);
+    }
+
+    #[test]
+    fn telemetry_rule_exempts_telemetry_bench_and_deterministic_crates() {
+        let src = "fn f() { let t0 = Instant::now(); }\n";
+        // The telemetry crate owns the clock; bench is the timing harness.
+        for path in ["crates/telemetry/src/a.rs", "crates/bench/src/a.rs"] {
+            assert!(
+                unwaived(path, src).iter().all(|d| d.rule != "telemetry"),
+                "{path}"
+            );
+        }
+        // Deterministic crates fire `determinism` for the same site, not
+        // `telemetry` — one site, one rule, one waiver.
+        let d = unwaived("crates/core/src/a.rs", src);
+        assert!(d.iter().any(|d| d.rule == "determinism"));
+        assert!(d.iter().all(|d| d.rule != "telemetry"));
+    }
+
+    #[test]
+    fn telemetry_rule_is_waivable() {
+        let src = "fn f() {\n  // lint:allow(telemetry) arrival timestamp for deadline math, not a latency probe\n  let received = Instant::now();\n}\n";
+        let all = diags("crates/service/src/a.rs", src);
+        assert!(all.iter().any(|d| d.rule == "telemetry" && d.waived));
+        assert!(all.iter().all(|d| d.rule != "waiver"));
+    }
+
+    #[test]
+    fn telemetry_rule_ignores_span_helpers() {
+        let src = "fn f(h: &Histogram) {\n  let _span = h.span();\n  let d = start.elapsed();\n}\n";
+        assert!(unwaived("crates/service/src/a.rs", src).is_empty());
     }
 
     #[test]
