@@ -31,6 +31,19 @@ use std::collections::VecDeque;
 /// # Panics
 ///
 /// Panics if the parent array is empty or does not describe a tree.
+///
+/// # Examples
+///
+/// ```
+/// use isomit_core::tree_rumor_centralities;
+///
+/// // Star 1 <- 0 -> 2: R(0) = 3!/(3·1·1) = 2 beats the leaves'
+/// // R = 3!/(3·2·1) = 1, so the center is the likeliest source.
+/// let r = tree_rumor_centralities(&[usize::MAX, 0, 0]);
+/// assert!((r[0] - 2f64.ln()).abs() < 1e-12);
+/// assert!(r[0] > r[1]);
+/// assert!((r[1] - r[2]).abs() < 1e-12);
+/// ```
 pub fn tree_rumor_centralities(parent: &[usize]) -> Vec<f64> {
     let n = parent.len();
     assert!(n > 0, "empty tree");

@@ -29,6 +29,26 @@ pub const EXACT_SEARCH_LIMIT: usize = 20;
 /// Panics if any snapshot state is [`NodeState::Unknown`] (the
 /// deterministic characterization needs fully observed states), if an
 /// initiator is out of bounds, or if `alpha < 1`.
+///
+/// # Examples
+///
+/// ```
+/// use isomit_core::exact::certainly_infected;
+/// use isomit_diffusion::InfectedNetwork;
+/// use isomit_graph::{Edge, NodeId, NodeState, Sign, SignedDigraph};
+///
+/// // w = 0.5 boosted by alpha = 3 saturates at probability 1, so the
+/// // chain 0 -> 1 is certainly infected from node 0 — but not from 1,
+/// // which leaves node 0 unexplained.
+/// let g = SignedDigraph::from_edges(
+///     2,
+///     [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5)],
+/// )?;
+/// let snap = InfectedNetwork::from_parts(g, vec![NodeState::Positive; 2]);
+/// assert!(certainly_infected(&snap, 3.0, &[(NodeId(0), Sign::Positive)]));
+/// assert!(!certainly_infected(&snap, 3.0, &[(NodeId(1), Sign::Positive)]));
+/// # Ok::<(), isomit_graph::GraphError>(())
+/// ```
 pub fn certainly_infected(
     snapshot: &InfectedNetwork,
     alpha: f64,
@@ -87,6 +107,27 @@ pub fn certainly_infected(
 ///
 /// Panics if the snapshot exceeds [`EXACT_SEARCH_LIMIT`] nodes or
 /// contains unknown states, or if `alpha < 1`.
+///
+/// # Examples
+///
+/// ```
+/// use isomit_core::exact::minimum_certain_initiators;
+/// use isomit_diffusion::InfectedNetwork;
+/// use isomit_graph::{Edge, NodeId, NodeState, Sign, SignedDigraph};
+///
+/// // Two disconnected deterministic chains need one seed each.
+/// let g = SignedDigraph::from_edges(
+///     4,
+///     [
+///         Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5),
+///         Edge::new(NodeId(2), NodeId(3), Sign::Positive, 0.5),
+///     ],
+/// )?;
+/// let snap = InfectedNetwork::from_parts(g, vec![NodeState::Positive; 4]);
+/// let seeds = minimum_certain_initiators(&snap, 3.0).expect("solvable");
+/// assert_eq!(seeds.len(), 2);
+/// # Ok::<(), isomit_graph::GraphError>(())
+/// ```
 pub fn minimum_certain_initiators(
     snapshot: &InfectedNetwork,
     alpha: f64,
@@ -147,6 +188,27 @@ pub fn minimum_certain_initiators(
 /// Panics under the same limits as
 /// [`likelihood::snapshot_likelihood`](crate::likelihood::snapshot_likelihood)
 /// plus [`EXACT_SEARCH_LIMIT`], and if states contain unknowns.
+///
+/// # Examples
+///
+/// ```
+/// use isomit_core::exact::best_initiators_by_likelihood;
+/// use isomit_diffusion::InfectedNetwork;
+/// use isomit_graph::{Edge, NodeId, NodeState, Sign, SignedDigraph};
+///
+/// // One seed allowed: seeding 0 explains node 1 with probability
+/// // 3 · 0.25 = 0.75, the best single-seed likelihood (seeding 1
+/// // instead leaves node 0 with probability 0).
+/// let g = SignedDigraph::from_edges(
+///     2,
+///     [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.25)],
+/// )?;
+/// let snap = InfectedNetwork::from_parts(g, vec![NodeState::Positive; 2]);
+/// let (seeds, likelihood) = best_initiators_by_likelihood(&snap, 3.0, 1);
+/// assert_eq!(seeds, vec![(NodeId(0), Sign::Positive)]);
+/// assert_eq!(likelihood, 0.75);
+/// # Ok::<(), isomit_graph::GraphError>(())
+/// ```
 pub fn best_initiators_by_likelihood(
     snapshot: &InfectedNetwork,
     alpha: f64,

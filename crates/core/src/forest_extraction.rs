@@ -1,16 +1,25 @@
 // lint:allow-file(indexing) per-component arrays are allocated with the component's node count; sub-ids come from the same component enumeration and CascadeTree::validate() re-checks the parent structure
 use crate::likelihood::g_factor_discounted;
 use isomit_diffusion::InfectedNetwork;
-use isomit_forest::{maximum_branching, weakly_connected_components, WeightedArc};
+use isomit_forest::{
+    maximum_branching, maximum_branching_components, weakly_connected_components, Branching,
+    BranchingArena, WeightedArc,
+};
 use isomit_graph::{GraphError, NodeId, NodeState, Sign};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 
 thread_local! {
     /// Per-thread invocation counter of [`extract_cascade_forest`]; see
     /// [`extraction_run_count`].
     static EXTRACTION_RUNS: Cell<u64> = const { Cell::new(0) };
+
+    /// Per-thread pooled scratch space for the component-wise
+    /// Chu-Liu/Edmonds driver: repeated extractions on one thread (the
+    /// serving engine, batch evaluation) reuse the same buffers instead
+    /// of re-allocating per component and per snapshot.
+    static BRANCHING_ARENA: RefCell<BranchingArena> = RefCell::new(BranchingArena::default());
 }
 
 /// Number of times [`extract_cascade_forest`] has run **on the calling
@@ -24,6 +33,23 @@ thread_local! {
 /// that property; it is thread-local (the inner tree materialization may
 /// fan out to rayon workers, but the invocation itself is counted on the
 /// caller), monotone, and never reset.
+///
+/// # Examples
+///
+/// ```
+/// use isomit_core::{extract_cascade_forest, extraction_run_count};
+/// use isomit_diffusion::InfectedNetwork;
+/// use isomit_graph::{NodeState, SignedDigraph};
+///
+/// let snapshot = InfectedNetwork::from_parts(
+///     SignedDigraph::from_edges(1, [])?,
+///     vec![NodeState::Positive],
+/// );
+/// let before = extraction_run_count();
+/// extract_cascade_forest(&snapshot, 2.0);
+/// assert_eq!(extraction_run_count(), before + 1);
+/// # Ok::<(), isomit_graph::GraphError>(())
+/// ```
 pub fn extraction_run_count() -> u64 {
     EXTRACTION_RUNS.with(|c| c.get())
 }
@@ -250,6 +276,24 @@ impl CascadeTree {
 /// # Panics
 ///
 /// Panics (debug) if `alpha < 1`.
+///
+/// # Examples
+///
+/// ```
+/// use isomit_core::usable_arcs;
+/// use isomit_diffusion::InfectedNetwork;
+/// use isomit_graph::{Edge, NodeId, NodeState, Sign, SignedDigraph};
+///
+/// // A consistent positive link is boosted: g = min(1, 2 · 0.25) = 0.5.
+/// let g = SignedDigraph::from_edges(
+///     2,
+///     [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.25)],
+/// )?;
+/// let snapshot = InfectedNetwork::from_parts(g, vec![NodeState::Positive; 2]);
+/// let arcs = usable_arcs(&snapshot, 2.0);
+/// assert_eq!((arcs[0].src, arcs[0].dst, arcs[0].weight), (0, 1, 0.5));
+/// # Ok::<(), isomit_graph::GraphError>(())
+/// ```
 pub fn usable_arcs(snapshot: &InfectedNetwork, alpha: f64) -> Vec<WeightedArc> {
     snapshot
         .graph()
@@ -272,8 +316,12 @@ pub fn usable_arcs(snapshot: &InfectedNetwork, alpha: f64) -> Vec<WeightedArc> {
 /// snapshot (the paper's Algorithms 2–4 pipeline):
 ///
 /// 1. weight every arc with its flip-discounted activation likelihood,
-/// 2. run Chu-Liu/Edmonds [`maximum_branching`] — since usable arcs never
-///    cross components, one global run equals per-component runs,
+/// 2. run Chu-Liu/Edmonds per weakly-connected infected component
+///    ([`maximum_branching_components`]) against a thread-local pooled
+///    [`BranchingArena`] — since usable arcs never cross components, the
+///    per-component runs select exactly the arcs a single global run
+///    would, but without per-component allocation churn and with
+///    singleton components short-circuited to roots,
 /// 3. split the branching into its trees.
 ///
 /// Returns the trees (ordered by root snapshot id) and the number of
@@ -284,14 +332,94 @@ pub fn usable_arcs(snapshot: &InfectedNetwork, alpha: f64) -> Vec<WeightedArc> {
 /// `ThreadPool`); each tree depends only on its own root's reachable
 /// set, and the final sort by root snapshot id makes the output
 /// independent of thread count and scheduling order.
+///
+/// The output is **bit-identical** to
+/// [`extract_cascade_forest_reference`], the retained single-run
+/// baseline; the determinism suite and golden fixtures pin that
+/// equivalence.
+///
+/// # Examples
+///
+/// ```
+/// use isomit_core::extract_cascade_forest;
+/// use isomit_diffusion::InfectedNetwork;
+/// use isomit_graph::{Edge, NodeId, NodeState, Sign, SignedDigraph};
+///
+/// // Chain 0 -> 1 plus the isolated node 2: two components, two trees,
+/// // ordered by root snapshot id.
+/// let g = SignedDigraph::from_edges(
+///     3,
+///     [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5)],
+/// )?;
+/// let snapshot = InfectedNetwork::from_parts(g, vec![NodeState::Positive; 3]);
+/// let (trees, components) = extract_cascade_forest(&snapshot, 2.0);
+/// assert_eq!(components, 2);
+/// assert_eq!(trees.len(), 2);
+/// assert_eq!(trees[0].snapshot_id(trees[0].root()), NodeId(0));
+/// assert_eq!(trees[1].snapshot_id(trees[1].root()), NodeId(2));
+/// # Ok::<(), isomit_graph::GraphError>(())
+/// ```
 pub fn extract_cascade_forest(snapshot: &InfectedNetwork, alpha: f64) -> (Vec<CascadeTree>, usize) {
+    EXTRACTION_RUNS.with(|c| c.set(c.get() + 1));
+    let components = weakly_connected_components(snapshot.graph());
+    let component_count = components.len();
+    let n = snapshot.node_count();
+    let arcs = usable_arcs(snapshot, alpha);
+    let branching = BRANCHING_ARENA
+        .with(|arena| maximum_branching_components(n, &arcs, &components, &mut arena.borrow_mut()));
+    let trees = materialize_forest(snapshot, &branching);
+    (trees, component_count)
+}
+
+/// Single-run baseline of [`extract_cascade_forest`]: one global
+/// Chu-Liu/Edmonds [`maximum_branching`] over the whole snapshot instead
+/// of the arena-backed per-component driver.
+///
+/// Kept public so benchmarks (`batch_eval`, unless `--no-baseline`) can
+/// measure the optimized path against it and so equivalence tests can
+/// pin the bit-identity contract; production callers should use
+/// [`extract_cascade_forest`].
+///
+/// # Examples
+///
+/// ```
+/// use isomit_core::{extract_cascade_forest, extract_cascade_forest_reference};
+/// use isomit_diffusion::InfectedNetwork;
+/// use isomit_graph::{Edge, NodeId, NodeState, Sign, SignedDigraph};
+///
+/// let g = SignedDigraph::from_edges(
+///     3,
+///     [
+///         Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5),
+///         Edge::new(NodeId(1), NodeId(2), Sign::Negative, 0.5),
+///     ],
+/// )
+/// .unwrap();
+/// let states = vec![NodeState::Positive, NodeState::Positive, NodeState::Negative];
+/// let snapshot = InfectedNetwork::from_parts(g, states);
+/// // The optimized and reference extractions agree exactly.
+/// assert_eq!(
+///     extract_cascade_forest(&snapshot, 2.0),
+///     extract_cascade_forest_reference(&snapshot, 2.0),
+/// );
+/// ```
+pub fn extract_cascade_forest_reference(
+    snapshot: &InfectedNetwork,
+    alpha: f64,
+) -> (Vec<CascadeTree>, usize) {
     EXTRACTION_RUNS.with(|c| c.set(c.get() + 1));
     let component_count = weakly_connected_components(snapshot.graph()).len();
     let n = snapshot.node_count();
     let arcs = usable_arcs(snapshot, alpha);
     let branching = maximum_branching(n, &arcs);
-    let children = branching.children();
+    let trees = materialize_forest(snapshot, &branching);
+    (trees, component_count)
+}
 
+/// Shared tail of both extraction paths: splits a branching into cascade
+/// trees, materialized in parallel and sorted by root snapshot id.
+fn materialize_forest(snapshot: &InfectedNetwork, branching: &Branching) -> Vec<CascadeTree> {
+    let children = branching.children();
     let roots = branching.roots();
     let mut trees: Vec<CascadeTree> = roots
         .par_iter()
@@ -303,13 +431,25 @@ pub fn extract_cascade_forest(snapshot: &InfectedNetwork, alpha: f64) -> (Vec<Ca
         "extract_cascade_forest produced an invalid tree: {:?}",
         trees.iter().find_map(|t| t.validate(snapshot).err())
     );
-    (trees, component_count)
+    trees
 }
 
 /// Materializes the cascade tree rooted at `root` (a snapshot-subgraph
 /// index) from the branching's children lists, numbering nodes by DFS
 /// pre-order from the root.
 fn build_tree(snapshot: &InfectedNetwork, children: &[Vec<usize>], root: usize) -> CascadeTree {
+    // Singleton fast path: isolated infected nodes are the most common
+    // tree shape in sparse snapshots and need none of the DFS machinery.
+    if children[root].is_empty() {
+        let sub_id = NodeId::from_index(root);
+        return CascadeTree {
+            nodes: vec![sub_id],
+            root: 0,
+            children: vec![Vec::new()],
+            parent_edge: vec![None],
+            states: vec![snapshot.state(sub_id)],
+        };
+    }
     let mut nodes = Vec::new();
     let mut local_children: Vec<Vec<usize>> = Vec::new();
     let mut parent_edge: Vec<Option<(Sign, f64)>> = Vec::new();
@@ -366,6 +506,30 @@ fn build_tree(snapshot: &InfectedNetwork, children: &[Vec<usize>], root: usize) 
 /// concentrate where explanations are genuinely missing. Indexed by the
 /// tree's local ids; see
 /// [`TreeDp::solve_probability_sum_with_support`](crate::TreeDp::solve_probability_sum_with_support).
+///
+/// # Examples
+///
+/// ```
+/// use isomit_core::{external_support, extract_cascade_forest};
+/// use isomit_diffusion::InfectedNetwork;
+/// use isomit_graph::{Edge, NodeId, NodeState, Sign, SignedDigraph};
+///
+/// // 0 -> 2 wins the branching; the non-tree in-edge 1 -> 2 remains a
+/// // plausible alternative activator of node 2 with g = min(1, 2 · 0.25).
+/// let g = SignedDigraph::from_edges(
+///     3,
+///     [
+///         Edge::new(NodeId(0), NodeId(2), Sign::Positive, 0.5),
+///         Edge::new(NodeId(1), NodeId(2), Sign::Positive, 0.25),
+///     ],
+/// )?;
+/// let snapshot = InfectedNetwork::from_parts(g, vec![NodeState::Positive; 3]);
+/// let (trees, _) = extract_cascade_forest(&snapshot, 2.0);
+/// // trees[0] is rooted at node 0 and contains node 2.
+/// let support = external_support(&snapshot, &trees[0], 2.0);
+/// assert_eq!(support, vec![0.0, 0.5]);
+/// # Ok::<(), isomit_graph::GraphError>(())
+/// ```
 pub fn external_support(snapshot: &InfectedNetwork, tree: &CascadeTree, alpha: f64) -> Vec<f64> {
     let n = tree.len();
     // Snapshot id of each local node's parent (or None for the root).
@@ -637,6 +801,34 @@ mod tests {
         let mut t = good.clone();
         t.children[t.root].clear(); // orphan the subtree
         expect_invariant(&t, &s, "unreachable");
+    }
+
+    #[test]
+    fn optimized_extraction_matches_reference() {
+        // Multi-component snapshot with a cycle, an inconsistent edge, a
+        // chain and isolated singletons: the arena-backed per-component
+        // path must reproduce the single-run reference exactly.
+        let s = snapshot(
+            &[
+                (0, 1, Sign::Positive, 0.5),
+                (1, 2, Sign::Positive, 0.5),
+                (2, 0, Sign::Positive, 0.5), // cycle
+                (3, 2, Sign::Negative, 0.7),
+                (4, 5, Sign::Positive, 0.9), // separate chain
+                (5, 4, Sign::Negative, 0.9), // reciprocal, inconsistent
+            ],
+            &[P, P, P, N, P, P, U],
+        );
+        for alpha in [1.0, 2.0, 3.5] {
+            let fast = extract_cascade_forest(&s, alpha);
+            let reference = extract_cascade_forest_reference(&s, alpha);
+            assert_eq!(fast, reference, "alpha={alpha}");
+        }
+        // Both paths count as extraction runs.
+        let before = extraction_run_count();
+        let _ = extract_cascade_forest(&s, 2.0);
+        let _ = extract_cascade_forest_reference(&s, 2.0);
+        assert_eq!(extraction_run_count(), before + 2);
     }
 
     #[test]

@@ -31,6 +31,8 @@ use isomit_graph::NodeState;
 ///
 /// Panics if `alpha < 1`.
 ///
+/// # Examples
+///
 /// ```
 /// use isomit_core::solve_k_isomit;
 /// use isomit_diffusion::InfectedNetwork;

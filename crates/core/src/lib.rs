@@ -88,7 +88,8 @@ pub use detection::{DetectedInitiator, Detection, InitiatorDetector};
 pub use dp::{DpOutcome, TreeDp};
 pub use error::RidError;
 pub use forest_extraction::{
-    external_support, extract_cascade_forest, extraction_run_count, usable_arcs, CascadeTree,
+    external_support, extract_cascade_forest, extract_cascade_forest_reference,
+    extraction_run_count, usable_arcs, CascadeTree,
 };
 pub use kisomit::solve_k_isomit;
 pub use rid::{Rid, RidConfig, RidObjective};

@@ -21,6 +21,20 @@ use std::collections::BTreeMap;
 /// endpoints are wildcards and make any edge consistent;
 /// [`NodeState::Inactive`] endpoints make it inconsistent (an inactive
 /// node neither transmits nor holds an opinion).
+///
+/// # Examples
+///
+/// ```
+/// use isomit_core::likelihood::sign_consistent;
+/// use isomit_graph::{NodeState, Sign};
+///
+/// // A believer activating over a distrust link produces a denier.
+/// assert!(sign_consistent(NodeState::Positive, Sign::Negative, NodeState::Negative));
+/// // ... and cannot produce a fellow believer.
+/// assert!(!sign_consistent(NodeState::Positive, Sign::Negative, NodeState::Positive));
+/// // Unknown endpoints are wildcards.
+/// assert!(sign_consistent(NodeState::Unknown, Sign::Positive, NodeState::Negative));
+/// ```
 pub fn sign_consistent(s_x: NodeState, edge_sign: Sign, s_y: NodeState) -> bool {
     match (s_x.sign(), s_y.sign()) {
         (Some(sx), Some(sy)) => sx * edge_sign == sy,
@@ -34,6 +48,17 @@ pub fn sign_consistent(s_x: NodeState, edge_sign: Sign, s_y: NodeState) -> bool 
 /// # Panics
 ///
 /// Panics (debug) if `alpha < 1` or `w` outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use isomit_core::likelihood::boosted_probability;
+/// use isomit_graph::Sign;
+///
+/// assert_eq!(boosted_probability(3.0, Sign::Positive, 0.25), 0.75);
+/// assert_eq!(boosted_probability(3.0, Sign::Positive, 0.5), 1.0); // capped
+/// assert_eq!(boosted_probability(3.0, Sign::Negative, 0.25), 0.25); // raw
+/// ```
 pub fn boosted_probability(alpha: f64, sign: Sign, weight: f64) -> f64 {
     debug_assert!(alpha >= 1.0, "alpha {alpha} must be >= 1");
     debug_assert!(
@@ -51,6 +76,18 @@ pub fn boosted_probability(alpha: f64, sign: Sign, weight: f64) -> f64 {
 /// * `min(1, α·w)` — sign-consistent positive link;
 /// * `w` — sign-consistent negative link;
 /// * `0` — sign-inconsistent link (the displayed equation's convention).
+///
+/// # Examples
+///
+/// ```
+/// use isomit_core::likelihood::g_factor;
+/// use isomit_graph::{NodeState, Sign};
+///
+/// let (p, n) = (NodeState::Positive, NodeState::Negative);
+/// assert_eq!(g_factor(3.0, p, Sign::Positive, p, 0.25), 0.75); // boosted
+/// assert_eq!(g_factor(3.0, p, Sign::Negative, n, 0.25), 0.25); // raw
+/// assert_eq!(g_factor(3.0, p, Sign::Positive, n, 0.25), 0.0); // inconsistent
+/// ```
 pub fn g_factor(alpha: f64, s_x: NodeState, edge_sign: Sign, s_y: NodeState, weight: f64) -> f64 {
     if sign_consistent(s_x, edge_sign, s_y) {
         boosted_probability(alpha, edge_sign, weight)
@@ -63,6 +100,19 @@ pub fn g_factor(alpha: f64, s_x: NodeState, edge_sign: Sign, s_y: NodeState, wei
 /// (they are treated as "was an activation link but the state was later
 /// flipped by someone else"), so paths passing through them are not
 /// killed. Provided for completeness and ablation.
+///
+/// # Examples
+///
+/// ```
+/// use isomit_core::likelihood::{g_factor, g_factor_lenient};
+/// use isomit_graph::{NodeState, Sign};
+///
+/// let (p, n) = (NodeState::Positive, NodeState::Negative);
+/// // The two conventions differ only on sign-inconsistent links.
+/// assert_eq!(g_factor(3.0, p, Sign::Positive, n, 0.25), 0.0);
+/// assert_eq!(g_factor_lenient(3.0, p, Sign::Positive, n, 0.25), 1.0);
+/// assert_eq!(g_factor_lenient(3.0, p, Sign::Positive, p, 0.25), 0.75);
+/// ```
 pub fn g_factor_lenient(
     alpha: f64,
     s_x: NodeState,
@@ -95,6 +145,18 @@ pub const FLIP_DISCOUNT: f64 = 1e-3;
 /// The activation-link likelihood used by RID's forest extraction and
 /// dynamic program: `w̄` (the boosted probability) on sign-consistent
 /// links, `FLIP_DISCOUNT · w̄` on inconsistent ones.
+///
+/// # Examples
+///
+/// ```
+/// use isomit_core::likelihood::{g_factor_discounted, FLIP_DISCOUNT};
+/// use isomit_graph::{NodeState, Sign};
+///
+/// let (p, n) = (NodeState::Positive, NodeState::Negative);
+/// assert_eq!(g_factor_discounted(3.0, p, Sign::Positive, p, 0.25), 0.75);
+/// // An inconsistent link stays a candidate, heavily discounted.
+/// assert_eq!(g_factor_discounted(3.0, p, Sign::Positive, n, 0.25), FLIP_DISCOUNT * 0.75);
+/// ```
 pub fn g_factor_discounted(
     alpha: f64,
     s_x: NodeState,
@@ -112,6 +174,19 @@ pub fn g_factor_discounted(
 
 /// Negative log of [`g_factor`]; `f64::INFINITY` when the factor is `0`.
 /// This is the edge cost used by the k-ISOMIT-BT dynamic program.
+///
+/// # Examples
+///
+/// ```
+/// use isomit_core::likelihood::edge_cost;
+/// use isomit_graph::{NodeState, Sign};
+///
+/// let (p, n) = (NodeState::Positive, NodeState::Negative);
+/// let cost = edge_cost(3.0, p, Sign::Positive, p, 0.25);
+/// assert!((cost - (-0.75f64.ln())).abs() < 1e-12);
+/// // Inconsistent links are unusable: infinite cost.
+/// assert!(edge_cost(3.0, p, Sign::Positive, n, 0.25).is_infinite());
+/// ```
 pub fn edge_cost(alpha: f64, s_x: NodeState, edge_sign: Sign, s_y: NodeState, weight: f64) -> f64 {
     let g = g_factor(alpha, s_x, edge_sign, s_y, weight);
     if g <= 0.0 {
@@ -139,6 +214,29 @@ pub const EXACT_NODE_LIMIT: usize = 24;
 ///
 /// Panics if the network exceeds [`EXACT_NODE_LIMIT`] nodes, if `u` or
 /// an initiator is out of bounds, or if `alpha < 1`.
+///
+/// # Examples
+///
+/// ```
+/// use isomit_core::likelihood::node_infection_probability;
+/// use isomit_diffusion::InfectedNetwork;
+/// use isomit_graph::{Edge, NodeId, NodeState, Sign, SignedDigraph};
+///
+/// // Initiator 0 can reach 2 two ways: directly (g = 3·0.125 = 0.375)
+/// // or via 1 (g = 0.75 · 0.75 = 0.5625); P = 1 − (1 − 0.375)(1 − 0.5625).
+/// let g = SignedDigraph::from_edges(
+///     3,
+///     [
+///         Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.25),
+///         Edge::new(NodeId(1), NodeId(2), Sign::Positive, 0.25),
+///         Edge::new(NodeId(0), NodeId(2), Sign::Positive, 0.125),
+///     ],
+/// )?;
+/// let inf = InfectedNetwork::from_parts(g, vec![NodeState::Positive; 3]);
+/// let p = node_infection_probability(&inf, 3.0, &[(NodeId(0), Sign::Positive)], NodeId(2));
+/// assert!((p - (1.0 - 0.625 * 0.4375)).abs() < 1e-12);
+/// # Ok::<(), isomit_graph::GraphError>(())
+/// ```
 pub fn node_infection_probability(
     inf: &InfectedNetwork,
     alpha: f64,
@@ -231,6 +329,28 @@ pub fn node_infection_probability(
 /// # Panics
 ///
 /// Same conditions as [`node_infection_probability`].
+///
+/// # Examples
+///
+/// ```
+/// use isomit_core::likelihood::snapshot_likelihood;
+/// use isomit_diffusion::InfectedNetwork;
+/// use isomit_graph::{Edge, NodeId, NodeState, Sign, SignedDigraph};
+///
+/// // Chain 0 -> 1 -> 2 of believers, initiator 0 assumed:
+/// // P(0) = 1, P(1) = 0.75, P(2) = 0.75² → product 0.421875.
+/// let g = SignedDigraph::from_edges(
+///     3,
+///     [
+///         Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.25),
+///         Edge::new(NodeId(1), NodeId(2), Sign::Positive, 0.25),
+///     ],
+/// )?;
+/// let inf = InfectedNetwork::from_parts(g, vec![NodeState::Positive; 3]);
+/// let p = snapshot_likelihood(&inf, 3.0, &[(NodeId(0), Sign::Positive)]);
+/// assert!((p - 0.421875).abs() < 1e-12);
+/// # Ok::<(), isomit_graph::GraphError>(())
+/// ```
 pub fn snapshot_likelihood(
     inf: &InfectedNetwork,
     alpha: f64,

@@ -196,6 +196,19 @@ impl Gadget {
 /// * `d → set` links of weight 1,
 ///
 /// and every node observed in state `+1`.
+///
+/// # Examples
+///
+/// ```
+/// use isomit_core::reduction::{set_cover_to_isomit, SetCoverInstance};
+///
+/// // Universe {0, 1} and a single set {0, 1}: the gadget holds the two
+/// // element nodes, one set node and the dummy d.
+/// let inst = SetCoverInstance::new(2, vec![vec![0, 1]]);
+/// let gadget = set_cover_to_isomit(&inst);
+/// assert_eq!(gadget.len(), 4);
+/// assert_eq!(gadget.network().node_count(), 4);
+/// ```
 pub fn set_cover_to_isomit(instance: &SetCoverInstance) -> Gadget {
     let n = instance.universe();
     let m = instance.sets().len();
@@ -233,6 +246,21 @@ pub fn set_cover_to_isomit(instance: &SetCoverInstance) -> Gadget {
 ///
 /// Returned in ascending node order, states all `+1`. Validated against
 /// the exponential [`minimum_certain_initiators`](crate::exact::minimum_certain_initiators) in tests.
+///
+/// # Examples
+///
+/// ```
+/// use isomit_core::reduction::{
+///     minimum_gadget_initiators, set_cover_to_isomit, SetCoverInstance,
+/// };
+///
+/// let gadget = set_cover_to_isomit(&SetCoverInstance::new(2, vec![vec![0, 1]]));
+/// // alpha < n: the 1/n-weight links stay uncertain, so the dummy is
+/// // needed alongside both elements.
+/// assert_eq!(minimum_gadget_initiators(&gadget, 1.5).len(), 3);
+/// // alpha >= n boosts them to probability 1; the elements suffice.
+/// assert_eq!(minimum_gadget_initiators(&gadget, 2.0).len(), 2);
+/// ```
 pub fn minimum_gadget_initiators(gadget: &Gadget, alpha: f64) -> Vec<(NodeId, Sign)> {
     let mut seeds: Vec<(NodeId, Sign)> = (0..gadget.universe)
         .map(|i| (gadget.element_node(i), Sign::Positive))

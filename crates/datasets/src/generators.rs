@@ -1,8 +1,9 @@
 // lint:allow-file(indexing) follower/pool vectors are allocated with the configured node count and indexed by generated ids below it
-use isomit_graph::{NodeId, Sign, SignedDigraph, SignedDigraphBuilder};
+use isomit_graph::{Edge, NodeId, Sign, SignedDigraph, SignedDigraphBuilder};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+// lint:allow(determinism) HashSet is used for insert-only membership tests (duplicate-edge rejection), never iterated, so hash order cannot leak into the output
+use std::collections::{BTreeSet, HashSet};
 
 /// Configuration of the preferential-attachment signed digraph generator.
 ///
@@ -328,6 +329,148 @@ pub fn slashdot_like_scaled<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> SignedD
     )
 }
 
+/// A deterministic SNAP-scale signed digraph: exactly `edges` distinct
+/// directed links over `nodes` nodes, grown by preferential attachment
+/// so in-degrees are heavy-tailed like the real `soc-sign` dumps, with
+/// `sign_fraction` of the links positive (in expectation) and every
+/// weight `1.0` (the SNAP format is unweighted; re-weight with
+/// [`paper_weights`](crate::paper_weights) afterwards).
+///
+/// Unlike [`preferential_attachment_signed`], which takes a caller
+/// RNG and realizes edge counts only approximately, this generator seeds
+/// its own [`StdRng`](rand::rngs::StdRng) from `seed` and tops attachment
+/// up with rejection
+/// sampling until the edge count is exact — so CI can exercise
+/// paper-scale topology (≥ 500k edges) offline from a single `(nodes,
+/// edges, sign_fraction, seed)` tuple and get bit-identical graphs on
+/// every platform.
+///
+/// # Panics
+///
+/// Panics if `nodes < 2`, `edges > nodes·(nodes−1)`, or `sign_fraction`
+/// is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use isomit_datasets::snap_like;
+///
+/// let g = snap_like(100, 300, 0.8, 7);
+/// assert_eq!(g.node_count(), 100);
+/// assert_eq!(g.edge_count(), 300);
+/// // Same tuple, same graph — bit-identical, every time.
+/// assert_eq!(snap_like(100, 300, 0.8, 7), g);
+/// ```
+pub fn snap_like(nodes: usize, edges: usize, sign_fraction: f64, seed: u64) -> SignedDigraph {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    assert!(nodes >= 2, "need at least 2 nodes");
+    assert!(
+        edges <= nodes * (nodes - 1),
+        "{edges} edges exceed the {nodes}-node simple digraph capacity"
+    );
+    assert!(
+        (0.0..=1.0).contains(&sign_fraction),
+        "sign_fraction must lie in [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edge_list: Vec<Edge> = Vec::with_capacity(edges);
+    // lint:allow(determinism) membership-only set (insert/contains); iteration order never observed
+    let mut seen: HashSet<u64> = HashSet::with_capacity(edges * 2);
+    // Degree-proportional endpoint pool: every accepted edge pushes its
+    // endpoints (the target twice), so high-degree nodes keep attracting
+    // links — the Barabási–Albert rich-get-richer mechanism.
+    let mut pool: Vec<u32> = Vec::with_capacity(edges * 3);
+    let pack = |src: u32, dst: u32| (u64::from(src) << 32) | u64::from(dst);
+    let sample_sign = |rng: &mut StdRng| {
+        if rng.gen_bool(sign_fraction) {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        }
+    };
+
+    // Phase 1: every node attaches once to an earlier node, giving a
+    // connected-ish backbone that touches the whole id range.
+    let attach = edges.min(nodes - 1);
+    for v in 1..=attach {
+        let v = v as u32;
+        let u = if pool.is_empty() || rng.gen_bool(0.25) {
+            rng.gen_range(0..v)
+        } else {
+            pool[rng.gen_range(0..pool.len())]
+        };
+        // Direction is randomized: trust networks have both hubs that
+        // are widely followed and hubs that follow widely.
+        let (src, dst) = if rng.gen_bool(0.5) { (v, u) } else { (u, v) };
+        seen.insert(pack(src, dst));
+        edge_list.push(Edge::new(
+            NodeId(src),
+            NodeId(dst),
+            sample_sign(&mut rng),
+            1.0,
+        ));
+        pool.push(u);
+        pool.push(u);
+        pool.push(v);
+    }
+
+    // Phase 2: top up to the exact edge count with pool-biased rejection
+    // sampling.
+    let mut attempts = 0usize;
+    let max_attempts = 20 * edges + 1000;
+    while edge_list.len() < edges && attempts < max_attempts {
+        attempts += 1;
+        let pick = |rng: &mut StdRng, pool: &[u32]| {
+            if pool.is_empty() || rng.gen_bool(0.3) {
+                rng.gen_range(0..nodes) as u32
+            } else {
+                pool[rng.gen_range(0..pool.len())]
+            }
+        };
+        let src = pick(&mut rng, &pool);
+        let dst = pick(&mut rng, &pool);
+        if src == dst || !seen.insert(pack(src, dst)) {
+            continue;
+        }
+        edge_list.push(Edge::new(
+            NodeId(src),
+            NodeId(dst),
+            sample_sign(&mut rng),
+            1.0,
+        ));
+        pool.push(src);
+        pool.push(dst);
+        pool.push(dst);
+    }
+
+    // Deterministic fallback for near-complete densities where rejection
+    // sampling stalls: sweep the missing pairs in lexicographic order.
+    if edge_list.len() < edges {
+        'sweep: for src in 0..nodes as u32 {
+            for dst in 0..nodes as u32 {
+                if src == dst || !seen.insert(pack(src, dst)) {
+                    continue;
+                }
+                edge_list.push(Edge::new(
+                    NodeId(src),
+                    NodeId(dst),
+                    sample_sign(&mut rng),
+                    1.0,
+                ));
+                if edge_list.len() == edges {
+                    break 'sweep;
+                }
+            }
+        }
+    }
+
+    SignedDigraph::from_edge_vec(nodes, edge_list)
+        // lint:allow(panic) structural invariant: generated edges use in-range ids, weight 1.0 and no self-loops
+        .expect("generated edges are valid")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,5 +613,50 @@ mod tests {
     #[should_panic(expected = "scale must lie")]
     fn zero_scale_rejected() {
         epinions_like_scaled(0.0, &mut rng(0));
+    }
+
+    #[test]
+    fn snap_like_exact_counts_and_determinism() {
+        let g = snap_like(400, 2_000, 0.8, 42);
+        assert_eq!(g.node_count(), 400);
+        assert_eq!(g.edge_count(), 2_000);
+        assert!((g.positive_edge_fraction() - 0.8).abs() < 0.05);
+        assert_eq!(snap_like(400, 2_000, 0.8, 42), g);
+        // A different seed gives a different graph.
+        assert_ne!(snap_like(400, 2_000, 0.8, 43), g);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn snap_like_has_heavy_tailed_in_degrees() {
+        let g = snap_like(2_000, 12_000, 0.85, 9);
+        let mut in_deg = vec![0usize; g.node_count()];
+        for e in g.edges() {
+            in_deg[e.dst.index()] += 1;
+        }
+        in_deg.sort_unstable_by(|a, b| b.cmp(a));
+        let mean = 12_000.0 / 2_000.0;
+        assert!(
+            in_deg[0] as f64 > 6.0 * mean,
+            "max in-degree {} should dwarf the mean {mean}",
+            in_deg[0]
+        );
+    }
+
+    #[test]
+    fn snap_like_handles_dense_and_sparse_extremes() {
+        // Near-complete density exercises the deterministic sweep.
+        let g = snap_like(12, 12 * 11, 0.5, 3);
+        assert_eq!(g.edge_count(), 12 * 11);
+        // Fewer edges than nodes leaves some nodes isolated but exact.
+        let g = snap_like(50, 10, 0.5, 3);
+        assert_eq!(g.node_count(), 50);
+        assert_eq!(g.edge_count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn snap_like_rejects_impossible_density() {
+        snap_like(3, 10, 0.5, 0);
     }
 }

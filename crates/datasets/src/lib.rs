@@ -33,15 +33,17 @@
 #![deny(missing_debug_implementations)]
 
 mod generators;
+mod ingest;
 mod polarized;
 mod scenario;
 mod weighting;
 
 pub use generators::{
     epinions_like, epinions_like_scaled, erdos_renyi_signed, preferential_attachment_signed,
-    slashdot_like, slashdot_like_scaled, PaConfig, EPINIONS_EDGES, EPINIONS_NODES, SLASHDOT_EDGES,
-    SLASHDOT_NODES,
+    slashdot_like, slashdot_like_scaled, snap_like, PaConfig, EPINIONS_EDGES, EPINIONS_NODES,
+    SLASHDOT_EDGES, SLASHDOT_NODES,
 };
+pub use ingest::{load_snap, load_snap_file, LoadOptions, LoadReport, MalformedPolicy};
 pub use polarized::{camp_of, polarized_communities, PolarizedConfig};
 pub use scenario::{build_scenario, Scenario, ScenarioConfig};
 pub use weighting::paper_weights;

@@ -4,8 +4,8 @@
 //! configuration.
 
 use isomit_datasets::{
-    erdos_renyi_signed, polarized_communities, preferential_attachment_signed, PaConfig,
-    PolarizedConfig,
+    erdos_renyi_signed, load_snap, polarized_communities, preferential_attachment_signed,
+    snap_like, LoadOptions, PaConfig, PolarizedConfig,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -67,5 +67,42 @@ proptest! {
         let g = polarized_communities(&config, &mut rng);
         prop_assert!(g.validate().is_ok());
         prop_assert_eq!(g.node_count(), config.nodes);
+    }
+
+    #[test]
+    fn snap_like_passes_validate_with_exact_counts(
+        seed in any::<u64>(),
+        nodes in 2usize..120,
+        edge_fraction in 0.0f64..=1.0,
+        sign_fraction in 0.0f64..=1.0,
+    ) {
+        let edges = (edge_fraction * (nodes * (nodes - 1)) as f64) as usize;
+        let g = snap_like(nodes, edges, sign_fraction, seed);
+        prop_assert!(g.validate().is_ok());
+        prop_assert_eq!(g.node_count(), nodes);
+        prop_assert_eq!(g.edge_count(), edges);
+        // Same tuple, bit-identical graph.
+        prop_assert_eq!(snap_like(nodes, edges, sign_fraction, seed), g);
+    }
+
+    // The SNAP writer and the scale loader are inverse to each other:
+    // any unit-weight graph survives `load(write(g))` exactly,
+    // including trailing isolated nodes (preserved via the node-count
+    // header that `write_snap` emits).
+    #[test]
+    fn load_snap_round_trips_write_snap(
+        seed in any::<u64>(),
+        nodes in 2usize..80,
+        edge_fraction in 0.0f64..=1.0,
+        sign_fraction in 0.0f64..=1.0,
+    ) {
+        let edges = (edge_fraction * (nodes * (nodes - 1)) as f64) as usize;
+        let g = snap_like(nodes, edges, sign_fraction, seed);
+        let mut buf = Vec::new();
+        isomit_graph::io::write_snap(&g, &mut buf).unwrap();
+        let (back, report) = load_snap(buf.as_slice(), &LoadOptions::default()).unwrap();
+        prop_assert_eq!(&back, &g);
+        prop_assert_eq!(report.edges, g.edge_count());
+        prop_assert_eq!(report.duplicate_edges + report.self_loops + report.malformed_lines, 0);
     }
 }

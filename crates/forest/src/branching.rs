@@ -27,6 +27,20 @@ pub struct Branching {
 }
 
 impl Branching {
+    /// Internal constructor for the component-wise driver; callers must
+    /// uphold the invariants checked by [`Branching::validate`].
+    pub(crate) fn from_parts(
+        parent: Vec<Option<usize>>,
+        parent_arc: Vec<Option<usize>>,
+        total_weight: f64,
+    ) -> Self {
+        Branching {
+            parent,
+            parent_arc,
+            total_weight,
+        }
+    }
+
     /// Parent of `v` in the branching, `None` if `v` is a root.
     ///
     /// # Panics
@@ -167,16 +181,16 @@ impl Branching {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct WorkEdge {
-    src: usize,
-    dst: usize,
-    weight: f64,
+pub(crate) struct WorkEdge {
+    pub(crate) src: usize,
+    pub(crate) dst: usize,
+    pub(crate) weight: f64,
     /// Index of the edge this one descends from, one level down
     /// (at level 0: the input arc index, or `usize::MAX` for virtual-root
     /// edges).
-    parent_edge: usize,
+    pub(crate) parent_edge: usize,
     /// `true` if the edge descends from a virtual-root edge.
-    root_edge: bool,
+    pub(crate) root_edge: bool,
 }
 
 #[derive(Debug)]
@@ -189,7 +203,7 @@ struct LevelRecord {
     cycles: Vec<Vec<usize>>,
 }
 
-const ROOT_ARC: usize = usize::MAX;
+pub(crate) const ROOT_ARC: usize = usize::MAX;
 
 /// Computes a **maximum-weight spanning branching** of the directed graph
 /// `(0..n, arcs)` with the Chu-Liu/Edmonds algorithm.

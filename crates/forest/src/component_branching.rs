@@ -1,0 +1,728 @@
+// lint:allow-file(indexing) arena-based Chu-Liu/Edmonds indexes per-node scratch arrays sized from the component's node count; Branching::validate() re-checks the parent structure in debug builds
+//! Component-wise maximum-branching driver with reusable scratch arenas.
+//!
+//! [`maximum_branching`](crate::maximum_branching) solves the whole node
+//! range in one Chu-Liu/Edmonds run. When the input decomposes into many
+//! weakly-connected components — the normal shape of an infected snapshot,
+//! where each component is one rumor cascade (paper §III-C) — that single
+//! run wastes work: every contraction level re-allocates `best_in`,
+//! `cycle_of` and edge vectors sized for *all* nodes, and singleton
+//! components flow through the full machinery just to become roots.
+//!
+//! [`maximum_branching_components`] produces the **bit-identical**
+//! branching by solving each component independently against a
+//! [`BranchingArena`] of pooled buffers:
+//!
+//! * arcs are grouped per component with a counting sort that preserves
+//!   input order, so each sub-run sees its arcs in the same relative order
+//!   as the global run — the deterministic tie-break ("heavier wins; at
+//!   equal weight a real arc beats the virtual root, earliest input arc
+//!   wins") therefore selects exactly the same arcs;
+//! * best-in-edge selection keeps dense per-destination incumbent
+//!   weight/flag arrays, replacing the reference's dependent
+//!   `edges[best_in[dst]]` re-read with a branch-cheap single pass;
+//! * singleton and arc-free components exit early as roots;
+//! * `total_weight` is re-accumulated in one global ascending-node pass,
+//!   reproducing the reference implementation's floating-point summation
+//!   order bit for bit.
+//!
+//! The determinism suite and the golden fixtures pin this equivalence
+//! end-to-end; the unit tests below pin it structurally (equal
+//! `parent`/`parent_arc`, bit-equal `total_weight`).
+
+use crate::branching::{Branching, WeightedArc, WorkEdge, ROOT_ARC};
+use isomit_graph::NodeId;
+
+/// Sentinel for "no edge / no cycle / unassigned" in the arena's dense
+/// index vectors (the arena stores plain `usize` instead of
+/// `Option<usize>` to keep the scratch vectors `memset`-cheap).
+const NONE: usize = usize::MAX;
+
+/// One contraction level of a component-local Edmonds run.
+///
+/// Mirrors the reference implementation's level records, but with
+/// `usize::MAX` sentinels instead of `Option` and with every vector pooled
+/// inside [`BranchingArena`] so repeated runs allocate nothing.
+#[derive(Debug, Default)]
+struct Level {
+    node_count: usize,
+    edges: Vec<WorkEdge>,
+    /// Chosen in-edge per node (index into `edges`), `NONE` for the root.
+    best_in: Vec<usize>,
+    /// Cycle membership per node, `NONE` outside every cycle.
+    cycle_of: Vec<usize>,
+}
+
+/// Reusable scratch space for [`maximum_branching_components`].
+///
+/// Holds every buffer the component-wise Chu-Liu/Edmonds driver needs —
+/// per-component edge lists, contraction level records, cycle-detection
+/// state and expansion scratch — so that running the branching over many
+/// components (or many snapshots) performs no per-component allocation
+/// after warm-up. Construct once with [`Default`] and pass `&mut` to each
+/// call; buffers grow to the high-water mark and are then reused.
+///
+/// An arena is cheap to create, so per-thread ownership (e.g. a
+/// `thread_local!`) is the intended sharing model; the type is
+/// deliberately not `Sync`-shareable state.
+///
+/// # Examples
+///
+/// ```
+/// use isomit_forest::{maximum_branching_components, BranchingArena, WeightedArc};
+/// use isomit_graph::NodeId;
+///
+/// let arcs = vec![
+///     WeightedArc { src: 0, dst: 1, weight: 0.9 },
+///     WeightedArc { src: 2, dst: 3, weight: 0.4 },
+/// ];
+/// let components = vec![
+///     vec![NodeId(0), NodeId(1)],
+///     vec![NodeId(2), NodeId(3)],
+///     vec![NodeId(4)], // singleton: early-exits as a root
+/// ];
+/// let mut arena = BranchingArena::default();
+/// let b = maximum_branching_components(5, &arcs, &components, &mut arena);
+/// assert_eq!(b.parent(1), Some(0));
+/// assert_eq!(b.parent(3), Some(2));
+/// assert_eq!(b.roots(), vec![0, 2, 4]);
+/// // The arena can be reused for the next call at zero allocation cost.
+/// let again = maximum_branching_components(5, &arcs, &components, &mut arena);
+/// assert_eq!(again, b);
+/// ```
+#[derive(Debug, Default)]
+pub struct BranchingArena {
+    // -- driver scratch --------------------------------------------------
+    /// Component id per global node.
+    comp_of: Vec<usize>,
+    /// Local (component-relative) id per global node; written before read
+    /// for every node of the component being solved, so it never needs
+    /// resetting between components.
+    local_of: Vec<usize>,
+    /// Arc indices grouped by component, input order preserved per group.
+    comp_arc_ids: Vec<usize>,
+    /// Per-component offsets into `comp_arc_ids` (length `components + 1`).
+    comp_arc_start: Vec<usize>,
+    // -- per-component Edmonds scratch -----------------------------------
+    /// Working edge list of the level currently being built.
+    edges: Vec<WorkEdge>,
+    /// Pooled contraction level records.
+    levels: Vec<Level>,
+    /// Incumbent best-in weight per destination bucket.
+    best_weight: Vec<f64>,
+    /// Incumbent best-in root-edge flag per destination bucket.
+    best_root: Vec<bool>,
+    /// Write cursors for the driver's arc-grouping counting sort.
+    cursor: Vec<usize>,
+    /// Cycle-detection node state: 0 new, 1 on path, 2 done.
+    state: Vec<u8>,
+    /// Current functional-graph walk.
+    path: Vec<usize>,
+    /// Contraction relabeling.
+    label: Vec<usize>,
+    /// Expansion: chosen in-edge per node of the current level.
+    selected: Vec<usize>,
+    /// Expansion: lower-level edge entering each node, if any.
+    entered: Vec<usize>,
+    /// Expansion: chosen in-edge per node of the level below.
+    lower_selected: Vec<usize>,
+}
+
+impl Level {
+    /// Prepares the record for a level with `node_count` nodes; `edges`
+    /// and `cycle_of` are (re)filled by the caller.
+    fn reset(&mut self, node_count: usize) {
+        self.node_count = node_count;
+        self.best_in.clear();
+        self.best_in.resize(node_count, NONE);
+        self.cycle_of.clear();
+        self.cycle_of.resize(node_count, NONE);
+    }
+}
+
+/// Computes the same maximum-weight spanning branching as
+/// [`maximum_branching`](crate::maximum_branching), but component by
+/// component against a reusable [`BranchingArena`].
+///
+/// `components` must partition `0..n` (e.g. the output of
+/// [`weakly_connected_components`](crate::weakly_connected_components) on
+/// the snapshot graph), and every arc must stay inside a single component
+/// — which holds by construction for weakly-connected components, since an
+/// arc weakly connects its endpoints.
+///
+/// The result is **bit-identical** to the single-run reference: the same
+/// arcs are selected (the deterministic tie-break sees each destination's
+/// candidate arcs in the same relative order) and `total_weight` is
+/// accumulated in the same ascending-node order. Singleton components and
+/// components without usable arcs short-circuit to roots without touching
+/// the Edmonds machinery.
+///
+/// # Panics
+///
+/// Panics if an arc references a node `>= n`, is a self-loop, carries a
+/// negative / non-finite weight, crosses two components, or references a
+/// node missing from `components`.
+///
+/// # Examples
+///
+/// ```
+/// use isomit_forest::{
+///     maximum_branching, maximum_branching_components, BranchingArena, WeightedArc,
+/// };
+/// use isomit_graph::NodeId;
+///
+/// // A 2-cycle component plus an external entry, and a separate chain.
+/// let arcs = vec![
+///     WeightedArc { src: 0, dst: 1, weight: 0.8 },
+///     WeightedArc { src: 1, dst: 0, weight: 0.7 },
+///     WeightedArc { src: 2, dst: 0, weight: 0.5 },
+///     WeightedArc { src: 3, dst: 4, weight: 0.6 },
+/// ];
+/// let components = vec![
+///     vec![NodeId(0), NodeId(1), NodeId(2)],
+///     vec![NodeId(3), NodeId(4)],
+/// ];
+/// let mut arena = BranchingArena::default();
+/// let fast = maximum_branching_components(5, &arcs, &components, &mut arena);
+/// let reference = maximum_branching(5, &arcs);
+/// assert_eq!(fast, reference);
+/// assert_eq!(fast.total_weight().to_bits(), reference.total_weight().to_bits());
+/// ```
+pub fn maximum_branching_components(
+    n: usize,
+    arcs: &[WeightedArc],
+    components: &[Vec<NodeId>],
+    arena: &mut BranchingArena,
+) -> Branching {
+    for (i, a) in arcs.iter().enumerate() {
+        assert!(
+            a.src < n && a.dst < n,
+            "arc {i} ({}, {}) out of bounds for {n} nodes",
+            a.src,
+            a.dst
+        );
+        assert!(a.src != a.dst, "arc {i} is a self-loop on {}", a.src);
+        assert!(
+            a.weight.is_finite() && a.weight >= 0.0,
+            "arc {i} has invalid weight {}",
+            a.weight
+        );
+    }
+    if n == 0 {
+        return Branching::from_parts(Vec::new(), Vec::new(), 0.0);
+    }
+
+    // Component id per node; doubles as the partition check.
+    arena.comp_of.clear();
+    arena.comp_of.resize(n, NONE);
+    for (cid, comp) in components.iter().enumerate() {
+        for &v in comp {
+            assert!(
+                v.index() < n && arena.comp_of[v.index()] == NONE,
+                "components must partition 0..{n}: node {v} repeated or out of bounds"
+            );
+            arena.comp_of[v.index()] = cid;
+        }
+    }
+
+    // Group arc indices by component with a counting sort, preserving the
+    // input order inside each group so every sub-run sees its candidate
+    // arcs in the same relative order as the global reference run.
+    let comp_count = components.len();
+    arena.comp_arc_start.clear();
+    arena.comp_arc_start.resize(comp_count + 1, 0);
+    for (i, a) in arcs.iter().enumerate() {
+        let cid = arena.comp_of[a.src];
+        assert!(
+            cid != NONE && cid == arena.comp_of[a.dst],
+            "arc {i} ({}, {}) crosses components or references an uncovered node",
+            a.src,
+            a.dst
+        );
+        arena.comp_arc_start[cid + 1] += 1;
+    }
+    for cid in 0..comp_count {
+        arena.comp_arc_start[cid + 1] += arena.comp_arc_start[cid];
+    }
+    arena.cursor.clear();
+    arena
+        .cursor
+        .extend_from_slice(&arena.comp_arc_start[..comp_count]);
+    arena.comp_arc_ids.clear();
+    arena.comp_arc_ids.resize(arcs.len(), 0);
+    for (i, a) in arcs.iter().enumerate() {
+        let cid = arena.comp_of[a.src];
+        arena.comp_arc_ids[arena.cursor[cid]] = i;
+        arena.cursor[cid] += 1;
+    }
+
+    arena.local_of.clear();
+    arena.local_of.resize(n, NONE);
+
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut parent_arc: Vec<Option<usize>> = vec![None; n];
+
+    for (cid, comp) in components.iter().enumerate() {
+        let arc_lo = arena.comp_arc_start[cid];
+        let arc_hi = arena.comp_arc_start[cid + 1];
+        // Early exit: a singleton can never take an in-arc, and a
+        // component without usable arcs is all roots. Either way the
+        // `None` defaults already say the right thing.
+        if comp.len() < 2 || arc_lo == arc_hi {
+            continue;
+        }
+        for (local, &v) in comp.iter().enumerate() {
+            arena.local_of[v.index()] = local;
+        }
+        arena.solve_component(comp, arc_lo, arc_hi, arcs, &mut parent, &mut parent_arc);
+    }
+
+    // Re-accumulate the total in one global ascending-node pass — the
+    // exact floating-point summation order of the reference's level-0
+    // read-off, so the sum is bit-identical, not merely close.
+    let mut total_weight = 0.0;
+    for arc in parent_arc.iter().flatten() {
+        total_weight += arcs[*arc].weight;
+    }
+    let branching = Branching::from_parts(parent, parent_arc, total_weight);
+    debug_assert!(
+        branching.validate(arcs).is_ok(),
+        "maximum_branching_components produced an invalid branching: {:?}",
+        branching.validate(arcs)
+    );
+    branching
+}
+
+impl BranchingArena {
+    /// Runs arena-backed Chu-Liu/Edmonds on one component and writes the
+    /// selected arcs into the global `parent`/`parent_arc` arrays.
+    ///
+    /// `local_of` must already map this component's nodes to `0..len`;
+    /// `comp_arc_ids[arc_lo..arc_hi]` lists the component's arc indices in
+    /// input order.
+    fn solve_component(
+        &mut self,
+        comp: &[NodeId],
+        arc_lo: usize,
+        arc_hi: usize,
+        arcs: &[WeightedArc],
+        parent: &mut [Option<usize>],
+        parent_arc: &mut [Option<usize>],
+    ) {
+        let comp_len = comp.len();
+        let root = comp_len;
+
+        // Level-0 working edges: the component's arcs in input order
+        // (carrying their *global* arc index as `parent_edge`), then the
+        // virtual-root edges — the same real-arcs-then-root-edges layout
+        // as the reference, so per-destination candidate order matches.
+        self.edges.clear();
+        for k in arc_lo..arc_hi {
+            let ga = self.comp_arc_ids[k];
+            let a = &arcs[ga];
+            self.edges.push(WorkEdge {
+                src: self.local_of[a.src],
+                dst: self.local_of[a.dst],
+                weight: a.weight,
+                parent_edge: ga,
+                root_edge: false,
+            });
+        }
+        for v in 0..comp_len {
+            self.edges.push(WorkEdge {
+                src: root,
+                dst: v,
+                weight: 0.0,
+                parent_edge: ROOT_ARC,
+                root_edge: true,
+            });
+        }
+
+        let mut node_count = comp_len + 1;
+        let mut root_label = root;
+        let mut level_count = 0usize;
+
+        loop {
+            if self.levels.len() == level_count {
+                self.levels.push(Level::default());
+            }
+            // Move the record out so its buffers can be filled while the
+            // arena's other fields stay borrowable.
+            let mut level = std::mem::take(&mut self.levels[level_count]);
+            level.reset(node_count);
+            level.edges.clear();
+            std::mem::swap(&mut level.edges, &mut self.edges);
+
+            // 1. Best incoming edge per node, via destination buckets:
+            // `best_weight`/`best_root` shadow the incumbent edge's
+            // comparison key per destination, so each candidate costs one
+            // sequential edge read plus same-index bucket accesses —
+            // never a dependent re-read of the incumbent edge record the
+            // way the reference's `edges[cur]` comparison does.
+            self.best_weight.clear();
+            self.best_weight.resize(node_count, f64::NEG_INFINITY);
+            self.best_root.clear();
+            self.best_root.resize(node_count, false);
+            for (idx, e) in level.edges.iter().enumerate() {
+                if e.dst == root_label {
+                    continue;
+                }
+                let better = level.best_in[e.dst] == NONE
+                    || e.weight > self.best_weight[e.dst]
+                    || (e.weight == self.best_weight[e.dst]
+                        && self.best_root[e.dst]
+                        && !e.root_edge);
+                if better {
+                    level.best_in[e.dst] = idx;
+                    self.best_weight[e.dst] = e.weight;
+                    self.best_root[e.dst] = e.root_edge;
+                }
+            }
+
+            // 2. Cycle detection in the parent functional graph (identical
+            // to the reference walk; `cycle_of` ids follow discovery
+            // order, which only feeds relabeling, not selection).
+            self.state.clear();
+            self.state.resize(node_count, 0);
+            let mut cycle_count = 0usize;
+            for start in 0..node_count {
+                if self.state[start] != 0 {
+                    continue;
+                }
+                self.path.clear();
+                let mut v = start;
+                loop {
+                    if self.state[v] == 1 {
+                        // Found a cycle: the suffix of `path` starting at v.
+                        let pos = self
+                            .path
+                            .iter()
+                            .position(|&x| x == v)
+                            // lint:allow(panic) structural invariant: v was pushed onto path before being marked in-progress
+                            .expect("v is on path");
+                        for &x in &self.path[pos..] {
+                            level.cycle_of[x] = cycle_count;
+                        }
+                        cycle_count += 1;
+                        break;
+                    }
+                    if self.state[v] == 2 {
+                        break;
+                    }
+                    self.state[v] = 1;
+                    self.path.push(v);
+                    match level.best_in[v] {
+                        NONE => break,
+                        e => v = level.edges[e].src,
+                    }
+                }
+                for &x in &self.path {
+                    self.state[x] = 2;
+                }
+            }
+
+            if cycle_count == 0 {
+                self.levels[level_count] = level;
+                level_count += 1;
+                break;
+            }
+
+            // 3. Contract every cycle into a fresh super-node: non-cycle
+            // nodes keep their relative order, cycles append after.
+            self.label.clear();
+            self.label.resize(node_count, NONE);
+            let mut next_id = 0usize;
+            for (v, slot) in self.label.iter_mut().enumerate() {
+                if level.cycle_of[v] == NONE {
+                    *slot = next_id;
+                    next_id += 1;
+                }
+            }
+            let cycle_base = next_id;
+            for v in 0..node_count {
+                if level.cycle_of[v] != NONE {
+                    self.label[v] = cycle_base + level.cycle_of[v];
+                }
+            }
+            let new_count = cycle_base + cycle_count;
+            let new_root = self.label[root_label];
+
+            // `self.edges` is the (empty) buffer swapped out above; it
+            // becomes the next level's working edge list.
+            for (idx, e) in level.edges.iter().enumerate() {
+                let (lu, lv) = (self.label[e.src], self.label[e.dst]);
+                if lu == lv {
+                    continue;
+                }
+                let weight = if level.cycle_of[e.dst] != NONE {
+                    let chosen = level.best_in[e.dst];
+                    debug_assert_ne!(chosen, NONE, "cycle node has a parent");
+                    e.weight - level.edges[chosen].weight
+                } else {
+                    e.weight
+                };
+                self.edges.push(WorkEdge {
+                    src: lu,
+                    dst: lv,
+                    weight,
+                    parent_edge: idx,
+                    root_edge: e.root_edge,
+                });
+            }
+
+            self.levels[level_count] = level;
+            level_count += 1;
+            node_count = new_count;
+            root_label = new_root;
+        }
+
+        // 4. Expand level by level; `selected` holds, per node of the
+        // current level, the chosen in-edge index at that level.
+        let top = level_count - 1;
+        self.selected.clear();
+        self.selected.extend_from_slice(&self.levels[top].best_in);
+        for k in (0..top).rev() {
+            {
+                let (low, high) = self.levels.split_at(k + 1);
+                let lower = &low[k];
+                let upper = &high[0];
+                self.entered.clear();
+                self.entered.resize(lower.node_count, NONE);
+                for &chosen in &self.selected {
+                    if chosen == NONE {
+                        continue;
+                    }
+                    let lower_edge = upper.edges[chosen].parent_edge;
+                    self.entered[lower.edges[lower_edge].dst] = lower_edge;
+                }
+                self.lower_selected.clear();
+                self.lower_selected.resize(lower.node_count, NONE);
+                for v in 0..lower.node_count {
+                    self.lower_selected[v] = if level_entered_or_plain(lower, &self.entered, v) {
+                        self.entered[v]
+                    } else {
+                        // Cycle members not entered from outside keep
+                        // their in-cycle parent.
+                        lower.best_in[v]
+                    };
+                }
+            }
+            std::mem::swap(&mut self.selected, &mut self.lower_selected);
+        }
+
+        // 5. Read off level 0 into the global arrays; `parent_edge` of a
+        // level-0 edge is the *global* arc index.
+        let base = &self.levels[0];
+        for (v, &e) in self.selected.iter().enumerate().take(comp_len) {
+            if e == NONE {
+                continue;
+            }
+            let edge = &base.edges[e];
+            debug_assert_eq!(edge.dst, v);
+            if edge.parent_edge != ROOT_ARC {
+                let node = comp[v].index();
+                parent[node] = Some(arcs[edge.parent_edge].src);
+                parent_arc[node] = Some(edge.parent_edge);
+            }
+        }
+    }
+}
+
+/// `true` if node `v` of `lower` takes whatever `entered` says (plain
+/// nodes always; cycle nodes only when an external edge entered at `v`).
+#[inline]
+fn level_entered_or_plain(lower: &Level, entered: &[usize], v: usize) -> bool {
+    lower.cycle_of[v] == NONE || entered[v] != NONE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branching::maximum_branching;
+    use crate::components::UnionFind;
+
+    fn arcs(list: &[(usize, usize, f64)]) -> Vec<WeightedArc> {
+        list.iter()
+            .map(|&(src, dst, weight)| WeightedArc { src, dst, weight })
+            .collect()
+    }
+
+    /// Weak components of `(0..n, arcs)` in the same deterministic shape
+    /// as `weakly_connected_components`: ascending by smallest member,
+    /// nodes ascending within.
+    fn component_sets(n: usize, arcs: &[WeightedArc]) -> Vec<Vec<NodeId>> {
+        let mut uf = UnionFind::new(n);
+        for a in arcs {
+            uf.union(a.src, a.dst);
+        }
+        let mut by_root: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for v in 0..n {
+            let r = uf.find(v);
+            by_root[r].push(NodeId::from_index(v));
+        }
+        by_root.retain(|c| !c.is_empty());
+        by_root
+    }
+
+    /// Asserts bit-identical agreement between the component driver and
+    /// the single-run reference.
+    fn assert_matches_reference(n: usize, arcs: &[WeightedArc]) {
+        let reference = maximum_branching(n, arcs);
+        let components = component_sets(n, arcs);
+        let mut arena = BranchingArena::default();
+        let fast = maximum_branching_components(n, arcs, &components, &mut arena);
+        for v in 0..n {
+            assert_eq!(fast.parent(v), reference.parent(v), "parent of {v}");
+            assert_eq!(fast.parent_arc(v), reference.parent_arc(v), "arc of {v}");
+        }
+        assert_eq!(
+            fast.total_weight().to_bits(),
+            reference.total_weight().to_bits(),
+            "total_weight must be bit-identical"
+        );
+        // And again through the same arena: reuse must not change results.
+        let again = maximum_branching_components(n, arcs, &components, &mut arena);
+        assert_eq!(again, fast);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let b = maximum_branching_components(0, &[], &[], &mut BranchingArena::default());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn all_singletons_are_roots() {
+        let components: Vec<Vec<NodeId>> = (0..4).map(|v| vec![NodeId(v)]).collect();
+        let b = maximum_branching_components(4, &[], &components, &mut BranchingArena::default());
+        assert_eq!(b.roots(), vec![0, 1, 2, 3]);
+        assert_eq!(b.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn matches_reference_on_two_chains() {
+        let a = arcs(&[(0, 1, 0.5), (1, 2, 0.4), (3, 4, 0.9)]);
+        assert_matches_reference(5, &a);
+    }
+
+    #[test]
+    fn matches_reference_on_cycles_per_component() {
+        // Component {0,1,2}: 2-cycle plus external entry; component
+        // {3,4,5}: pure 3-cycle (the lightest arc must be dropped).
+        let a = arcs(&[
+            (0, 1, 0.8),
+            (1, 0, 0.7),
+            (2, 0, 0.5),
+            (3, 4, 0.9),
+            (4, 5, 0.8),
+            (5, 3, 0.3),
+        ]);
+        assert_matches_reference(6, &a);
+    }
+
+    #[test]
+    fn matches_reference_on_nested_contraction() {
+        // Interlocking cycles force two contraction rounds, next to an
+        // untouched singleton and a parallel-arc component.
+        let a = arcs(&[
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 2, 1.0),
+            (2, 1, 1.0),
+            (3, 0, 0.5),
+            (5, 6, 0.3),
+            (5, 6, 0.7),
+        ]);
+        assert_matches_reference(7, &a);
+    }
+
+    #[test]
+    fn matches_reference_on_equal_weight_ties() {
+        // All-equal weights make every selection a tie-break decision;
+        // input order must decide identically in both drivers.
+        let a = arcs(&[
+            (0, 1, 0.5),
+            (2, 1, 0.5),
+            (1, 0, 0.5),
+            (3, 4, 0.5),
+            (4, 3, 0.5),
+            (3, 4, 0.5),
+        ]);
+        assert_matches_reference(5, &a);
+    }
+
+    #[test]
+    fn matches_reference_on_dense_multi_component_graphs() {
+        // Deterministic pseudo-random weights over K5 ⊔ K4 ⊔ chain ⊔
+        // singletons, several seeds.
+        for seed in 0..8 {
+            let mut w = 0.13f64 + 0.07 * seed as f64;
+            let mut all = Vec::new();
+            let mut push_clique = |all: &mut Vec<WeightedArc>, lo: usize, hi: usize| {
+                for s in lo..hi {
+                    for d in lo..hi {
+                        if s != d {
+                            all.push(WeightedArc {
+                                src: s,
+                                dst: d,
+                                weight: w,
+                            });
+                            w = (w * 31.7 + 0.11) % 1.0;
+                        }
+                    }
+                }
+            };
+            push_clique(&mut all, 0, 5);
+            push_clique(&mut all, 5, 9);
+            all.push(WeightedArc {
+                src: 9,
+                dst: 10,
+                weight: 0.25,
+            });
+            // Nodes 11, 12 stay isolated singletons.
+            assert_matches_reference(13, &all);
+        }
+    }
+
+    #[test]
+    fn arena_reuse_shrinks_then_grows() {
+        // Solve a large component, then a small one, then large again:
+        // pooled buffers must resize correctly in both directions.
+        let mut arena = BranchingArena::default();
+        let big = arcs(&[(0, 1, 0.9), (1, 2, 0.8), (2, 0, 0.7), (3, 2, 0.6)]);
+        let big_components = component_sets(4, &big);
+        let b1 = maximum_branching_components(4, &big, &big_components, &mut arena);
+        let small = arcs(&[(0, 1, 0.4)]);
+        let small_components = component_sets(2, &small);
+        let s = maximum_branching_components(2, &small, &small_components, &mut arena);
+        assert_eq!(s.parent(1), Some(0));
+        let b2 = maximum_branching_components(4, &big, &big_components, &mut arena);
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses components")]
+    fn cross_component_arc_panics() {
+        let a = arcs(&[(0, 1, 0.5)]);
+        let components = vec![vec![NodeId(0)], vec![NodeId(1)]];
+        maximum_branching_components(2, &a, &components, &mut BranchingArena::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "partition")]
+    fn repeated_node_in_components_panics() {
+        let components = vec![vec![NodeId(0), NodeId(0)]];
+        maximum_branching_components(1, &[], &components, &mut BranchingArena::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_arc_panics() {
+        maximum_branching_components(
+            2,
+            &arcs(&[(0, 5, 0.5)]),
+            &[],
+            &mut BranchingArena::default(),
+        );
+    }
+}

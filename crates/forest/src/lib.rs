@@ -12,6 +12,10 @@
 //!   Circles) and 4 (Infected Cascade Trees Extraction). The branching is
 //!   the maximum-likelihood cascade forest: maximizing `Σ log w` equals
 //!   maximizing `Π w`.
+//! * [`maximum_branching_components`] — the same branching, bit for bit,
+//!   computed component by component against a reusable
+//!   [`BranchingArena`]; the allocation-lean fast path used by the RID
+//!   engine's forest extraction on large snapshots.
 //! * [`BinaryTree`] / [`binarize`] — the §III-E3 transformation of an
 //!   arbitrary cascade tree into a binary tree by inserting dummy nodes
 //!   (paper's Figure 3), enabling the k-ISOMIT-BT dynamic program.
@@ -36,8 +40,10 @@
 
 mod binary;
 mod branching;
+mod component_branching;
 mod components;
 
 pub use binary::{binarize, BinaryTree};
 pub use branching::{maximum_branching, Branching, WeightedArc};
+pub use component_branching::{maximum_branching_components, BranchingArena};
 pub use components::{weakly_connected_components, UnionFind};

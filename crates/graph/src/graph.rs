@@ -63,6 +63,56 @@ impl SignedDigraph {
         Ok(builder.build())
     }
 
+    /// Builds a graph from an already-collected edge list, going straight
+    /// to the CSR representation without the per-edge builder round trip.
+    ///
+    /// This is the bulk-ingestion entry point used by the SNAP-scale
+    /// loader: validation happens in one pass over the slice, the vector
+    /// is consumed in place, and duplicates follow the same last-wins rule
+    /// as [`SignedDigraphBuilder`]. Semantically equivalent to
+    /// [`from_edges`](SignedDigraph::from_edges); prefer it when the edges
+    /// are already materialized in a `Vec` (hundreds of thousands of edges
+    /// and up), and the builder when edges trickle in one at a time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidWeight`] for weights outside `[0, 1]`
+    /// and [`GraphError::SelfLoop`] for self-loops, matching
+    /// [`SignedDigraphBuilder::add_edge`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use isomit_graph::{Edge, NodeId, Sign, SignedDigraph};
+    /// # fn main() -> Result<(), isomit_graph::GraphError> {
+    /// let edges = vec![
+    ///     Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5),
+    ///     Edge::new(NodeId(2), NodeId(0), Sign::Negative, 1.0),
+    /// ];
+    /// let g = SignedDigraph::from_edge_vec(0, edges)?;
+    /// assert_eq!(g.node_count(), 3);
+    /// assert_eq!(g.edge_count(), 2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_edge_vec(min_nodes: usize, edges: Vec<Edge>) -> Result<Self, GraphError> {
+        let mut node_count = min_nodes;
+        for e in &edges {
+            if !e.weight.is_finite() || !(0.0..=1.0).contains(&e.weight) {
+                return Err(GraphError::InvalidWeight {
+                    src: e.src,
+                    dst: e.dst,
+                    weight: e.weight,
+                });
+            }
+            if e.src == e.dst {
+                return Err(GraphError::SelfLoop(e.src));
+            }
+            node_count = node_count.max(e.src.index() + 1).max(e.dst.index() + 1);
+        }
+        Ok(Self::from_validated_edges(node_count, edges))
+    }
+
     /// Internal constructor used by the builder. `edges` must already be
     /// validated; duplicates are resolved here (last wins).
     pub(crate) fn from_validated_edges(node_count: usize, mut edges: Vec<Edge>) -> Self {
@@ -683,5 +733,36 @@ mod tests {
         let json = g.to_json_string();
         let back = SignedDigraph::from_json_str(&json).unwrap();
         assert_eq!(back, g);
+    }
+
+    #[test]
+    fn from_edge_vec_matches_from_edges() {
+        let edges = vec![
+            Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5),
+            Edge::new(NodeId(3), NodeId(1), Sign::Negative, 0.2),
+            Edge::new(NodeId(0), NodeId(1), Sign::Negative, 0.9), // duplicate, wins
+        ];
+        let bulk = SignedDigraph::from_edge_vec(6, edges.clone()).unwrap();
+        let incremental = SignedDigraph::from_edges(6, edges).unwrap();
+        assert_eq!(bulk, incremental);
+        assert_eq!(bulk.node_count(), 6);
+        assert_eq!(bulk.edge_count(), 2);
+        let e = bulk.edge(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(e.sign, Sign::Negative);
+        assert!((e.weight - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_edge_vec_rejects_invalid_edges() {
+        let self_loop = vec![Edge::new(NodeId(2), NodeId(2), Sign::Positive, 0.5)];
+        assert!(matches!(
+            SignedDigraph::from_edge_vec(0, self_loop),
+            Err(GraphError::SelfLoop(NodeId(2)))
+        ));
+        let bad_weight = vec![Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.5)];
+        assert!(matches!(
+            SignedDigraph::from_edge_vec(0, bad_weight),
+            Err(GraphError::InvalidWeight { .. })
+        ));
     }
 }

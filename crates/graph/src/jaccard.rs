@@ -30,6 +30,8 @@ fn sorted_intersection_len(a: &[NodeId], b: &[NodeId]) -> usize {
 ///
 /// Panics if either node is out of bounds.
 ///
+/// # Examples
+///
 /// ```
 /// use isomit_graph::{jaccard_coefficient, Edge, NodeId, Sign, SignedDigraph};
 /// # fn main() -> Result<(), isomit_graph::GraphError> {
@@ -66,6 +68,28 @@ pub fn jaccard_coefficient(social: &SignedDigraph, u: NodeId, v: NodeId) -> f64 
 /// Edges whose coefficient is zero keep weight `0.0`; the paper replaces
 /// those with draws from `U(0, 0.1]` — that stochastic fill lives in
 /// `isomit-datasets` so this function stays deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use isomit_graph::{jaccard_weights, Edge, NodeId, Sign, SignedDigraph};
+/// # fn main() -> Result<(), isomit_graph::GraphError> {
+/// let g = SignedDigraph::from_edges(
+///     3,
+///     [
+///         Edge::new(NodeId(0), NodeId(1), Sign::Positive, 1.0),
+///         Edge::new(NodeId(0), NodeId(2), Sign::Positive, 1.0),
+///         Edge::new(NodeId(1), NodeId(2), Sign::Negative, 1.0),
+///     ],
+/// )?;
+/// let w = jaccard_weights(&g);
+/// // (0, 2): out(0) = {1, 2}, in(2) = {0, 1} → 1/3; signs are preserved.
+/// let e = w.edge(NodeId(0), NodeId(2)).expect("edge kept");
+/// assert!((e.weight - 1.0 / 3.0).abs() < 1e-12);
+/// assert_eq!(e.sign, Sign::Positive);
+/// # Ok(())
+/// # }
+/// ```
 pub fn jaccard_weights(social: &SignedDigraph) -> SignedDigraph {
     social.map_weights(|e| jaccard_coefficient(social, e.src, e.dst))
 }

@@ -217,7 +217,6 @@ fn write_string(s: &str, out: &mut String) {
 }
 
 struct Parser<'a> {
-    // lint:allow(indexing) type position: `&'a [u8]` is a slice type, not a subscript
     bytes: &'a [u8],
     pos: usize,
 }

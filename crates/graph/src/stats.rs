@@ -64,6 +64,25 @@ pub struct GraphStats {
 /// exists; `0.0` on an empty edge set. Trust networks are strongly
 /// reciprocal, which is what gives late-joining nodes followers (and
 /// therefore diffusion reach) — see the dataset generators.
+///
+/// # Examples
+///
+/// ```
+/// use isomit_graph::{reciprocity, Edge, NodeId, Sign, SignedDigraph};
+/// # fn main() -> Result<(), isomit_graph::GraphError> {
+/// // One reciprocated pair out of three directed edges.
+/// let g = SignedDigraph::from_edges(
+///     3,
+///     [
+///         Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5),
+///         Edge::new(NodeId(1), NodeId(0), Sign::Positive, 0.5),
+///         Edge::new(NodeId(1), NodeId(2), Sign::Negative, 0.5),
+///     ],
+/// )?;
+/// assert!((reciprocity(&g) - 2.0 / 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
 pub fn reciprocity(graph: &SignedDigraph) -> f64 {
     if graph.edge_count() == 0 {
         return 0.0;
@@ -82,6 +101,25 @@ pub fn reciprocity(graph: &SignedDigraph) -> f64 {
 ///
 /// Quadratic in degree per node — intended for generated-network
 /// validation, not for full-scale graphs (sample first).
+///
+/// # Examples
+///
+/// ```
+/// use isomit_graph::{global_clustering, Edge, NodeId, Sign, SignedDigraph};
+/// # fn main() -> Result<(), isomit_graph::GraphError> {
+/// // A directed triangle is fully clustered when viewed as undirected.
+/// let g = SignedDigraph::from_edges(
+///     3,
+///     [
+///         Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5),
+///         Edge::new(NodeId(1), NodeId(2), Sign::Positive, 0.5),
+///         Edge::new(NodeId(2), NodeId(0), Sign::Positive, 0.5),
+///     ],
+/// )?;
+/// assert_eq!(global_clustering(&g), 1.0);
+/// # Ok(())
+/// # }
+/// ```
 pub fn global_clustering(graph: &SignedDigraph) -> f64 {
     let mut wedges = 0u64;
     let mut closed = 0u64;

@@ -29,6 +29,26 @@ fn neighbors(g: &SignedDigraph, u: NodeId, dir: Direction) -> &[NodeId] {
 /// # Panics
 ///
 /// Panics if `start` is out of bounds.
+///
+/// # Examples
+///
+/// ```
+/// use isomit_graph::traversal::{bfs_order, Direction};
+/// use isomit_graph::{Edge, NodeId, Sign, SignedDigraph};
+///
+/// // 0 -> {1, 2}, 1 -> 3: visited level by level.
+/// let g = SignedDigraph::from_edges(
+///     4,
+///     [
+///         Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5),
+///         Edge::new(NodeId(0), NodeId(2), Sign::Positive, 0.5),
+///         Edge::new(NodeId(1), NodeId(3), Sign::Positive, 0.5),
+///     ],
+/// )?;
+/// let order = bfs_order(&g, NodeId(0), Direction::Forward);
+/// assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+/// # Ok::<(), isomit_graph::GraphError>(())
+/// ```
 pub fn bfs_order(g: &SignedDigraph, start: NodeId, direction: Direction) -> Vec<NodeId> {
     assert!(g.contains(start), "start {start} out of bounds");
     let mut visited = vec![false; g.node_count()];
@@ -55,6 +75,26 @@ pub fn bfs_order(g: &SignedDigraph, start: NodeId, direction: Direction) -> Vec<
 /// # Panics
 ///
 /// Panics if `start` is out of bounds.
+///
+/// # Examples
+///
+/// ```
+/// use isomit_graph::traversal::{dfs_order, Direction};
+/// use isomit_graph::{Edge, NodeId, Sign, SignedDigraph};
+///
+/// // 0 -> {1, 2}, 1 -> 3: descends through 1 before visiting 2.
+/// let g = SignedDigraph::from_edges(
+///     4,
+///     [
+///         Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5),
+///         Edge::new(NodeId(0), NodeId(2), Sign::Positive, 0.5),
+///         Edge::new(NodeId(1), NodeId(3), Sign::Positive, 0.5),
+///     ],
+/// )?;
+/// let order = dfs_order(&g, NodeId(0), Direction::Forward);
+/// assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(3), NodeId(2)]);
+/// # Ok::<(), isomit_graph::GraphError>(())
+/// ```
 pub fn dfs_order(g: &SignedDigraph, start: NodeId, direction: Direction) -> Vec<NodeId> {
     assert!(g.contains(start), "start {start} out of bounds");
     let mut visited = vec![false; g.node_count()];
@@ -82,6 +122,25 @@ pub fn dfs_order(g: &SignedDigraph, start: NodeId, direction: Direction) -> Vec<
 /// # Panics
 ///
 /// Panics if any source is out of bounds.
+///
+/// # Examples
+///
+/// ```
+/// use isomit_graph::traversal::{hop_distances, Direction};
+/// use isomit_graph::{Edge, NodeId, Sign, SignedDigraph};
+///
+/// // Chain 0 -> 1 -> 2 plus an isolated node 3.
+/// let g = SignedDigraph::from_edges(
+///     4,
+///     [
+///         Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5),
+///         Edge::new(NodeId(1), NodeId(2), Sign::Positive, 0.5),
+///     ],
+/// )?;
+/// let dist = hop_distances(&g, &[NodeId(0)], Direction::Forward);
+/// assert_eq!(dist, vec![Some(0), Some(1), Some(2), None]);
+/// # Ok::<(), isomit_graph::GraphError>(())
+/// ```
 pub fn hop_distances(
     g: &SignedDigraph,
     sources: &[NodeId],
@@ -111,6 +170,24 @@ pub fn hop_distances(
 
 /// The set of nodes reachable from `sources` (inclusive) along
 /// `direction`, ascending.
+///
+/// # Examples
+///
+/// ```
+/// use isomit_graph::traversal::{reachable_set, Direction};
+/// use isomit_graph::{Edge, NodeId, Sign, SignedDigraph};
+///
+/// let g = SignedDigraph::from_edges(
+///     4,
+///     [
+///         Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5),
+///         Edge::new(NodeId(2), NodeId(3), Sign::Negative, 0.5),
+///     ],
+/// )?;
+/// let reach = reachable_set(&g, &[NodeId(0)], Direction::Forward);
+/// assert_eq!(reach, vec![NodeId(0), NodeId(1)]);
+/// # Ok::<(), isomit_graph::GraphError>(())
+/// ```
 pub fn reachable_set(g: &SignedDigraph, sources: &[NodeId], direction: Direction) -> Vec<NodeId> {
     hop_distances(g, sources, direction)
         .iter()
@@ -125,6 +202,24 @@ pub fn reachable_set(g: &SignedDigraph, sources: &[NodeId], direction: Direction
 /// # Panics
 ///
 /// Panics if either node is out of bounds.
+///
+/// # Examples
+///
+/// ```
+/// use isomit_graph::traversal::is_reachable;
+/// use isomit_graph::{Edge, NodeId, Sign, SignedDigraph};
+///
+/// let g = SignedDigraph::from_edges(
+///     3,
+///     [
+///         Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5),
+///         Edge::new(NodeId(1), NodeId(2), Sign::Positive, 0.5),
+///     ],
+/// )?;
+/// assert!(is_reachable(&g, NodeId(0), NodeId(2)));
+/// assert!(!is_reachable(&g, NodeId(2), NodeId(0)));
+/// # Ok::<(), isomit_graph::GraphError>(())
+/// ```
 pub fn is_reachable(g: &SignedDigraph, from: NodeId, to: NodeId) -> bool {
     assert!(g.contains(to), "target {to} out of bounds");
     hop_distances(g, &[from], Direction::Forward)[to.index()].is_some()

@@ -4,7 +4,7 @@
 //! pure function of snapshot *content* so equal snapshots collide on
 //! purpose, and (c) stable across processes so measured hit rates mean
 //! something. The canonical JSON encoding of
-//! [`InfectedNetwork`](isomit_diffusion::InfectedNetwork) already
+//! [`InfectedNetwork`] already
 //! round-trips every field bit-exactly, so hashing those bytes with
 //! FNV-1a gives all three without a new serialization path.
 

@@ -236,7 +236,6 @@ impl RegistrySnapshot {
     ///
     /// Returns a [`JsonError`] on a structurally invalid payload.
     pub fn from_json_value(value: &Value) -> Result<RegistrySnapshot, JsonError> {
-        // lint:allow(indexing) `&'v [(String, Value)]` is a slice type in return position, not a subscript
         fn fields<'v>(value: &'v Value, key: &str) -> Result<&'v [(String, Value)], JsonError> {
             match value.get(key) {
                 None => Ok(&[]),

@@ -12,6 +12,12 @@
 //!   crates feeding the deterministic simulation layer;
 //! * `pub-docs` — every `pub fn` in `crates/graph` and `crates/core`
 //!   carries a doc comment;
+//! * `doc-examples` — every *top-level* `pub fn` (a free function, not an
+//!   inherent/trait method) in the doc-enforced crates whose doc comment
+//!   lacks an `# Examples` section. Runnable examples double as doc tests
+//!   and keep the public API honest; waive where an example would be
+//!   meaningless (e.g. a function that only makes sense against a live
+//!   network);
 //! * `unsafe` — no `unsafe` code anywhere in the workspace;
 //! * `unbounded-queue` — no unbounded channel/queue constructors
 //!   (`mpsc::channel`, `unbounded_channel`, `unbounded()`) in library
@@ -39,11 +45,12 @@ use crate::scan::SourceFile;
 use std::collections::BTreeMap;
 
 /// Every rule known to the linter, in report order.
-pub const RULES: [&str; 8] = [
+pub const RULES: [&str; 9] = [
     "panic",
     "indexing",
     "determinism",
     "pub-docs",
+    "doc-examples",
     "unsafe",
     "unbounded-queue",
     "telemetry",
@@ -183,6 +190,18 @@ pub fn scan_file(file: &SourceFile) -> Vec<Diagnostic> {
                     path: file.path.clone(),
                     line: lineno,
                     message: format!("`pub fn {name}` has no doc comment"),
+                    waived: false,
+                });
+            }
+            if let Some(name) = top_level_pub_fn_without_example(file, idx) {
+                raw.push(Diagnostic {
+                    rule: "doc-examples",
+                    path: file.path.clone(),
+                    line: lineno,
+                    message: format!(
+                        "`pub fn {name}` is documented without an `# Examples` section; \
+                         add a runnable example or waive with a reason"
+                    ),
                     waived: false,
                 });
             }
@@ -397,6 +416,11 @@ fn find_indexing(code: &str) -> Vec<usize> {
             while k > 0 && is_ident_char(bytes[k - 1] as char) {
                 k -= 1;
             }
+            // A lifetime before a slice type (`&'a [u8]`) is type
+            // syntax, not a subscript.
+            if k > 0 && bytes[k - 1] == b'\'' {
+                continue;
+            }
             let ident = &code[k..j];
             if !NON_INDEX_KEYWORDS.contains(&ident) {
                 out.push(pos);
@@ -432,6 +456,42 @@ fn undocumented_pub_fn(file: &SourceFile, idx: usize) -> Option<String> {
         }
     }
     Some(name)
+}
+
+/// If line `idx` declares a *top-level* `pub fn` (column 0 — a free
+/// function, not an inherent or trait method) whose doc comment exists
+/// but has no `# Examples` section, returns its name.
+///
+/// Functions with no doc comment at all are left to the `pub-docs` rule:
+/// one missing doc block should fire one diagnostic, not two.
+fn top_level_pub_fn_without_example(file: &SourceFile, idx: usize) -> Option<String> {
+    let code = file.lines[idx].code.as_str();
+    // Methods are indented; only column-0 declarations are free functions.
+    let rest = code
+        .strip_prefix("pub fn ")
+        .or_else(|| code.strip_prefix("pub const fn "))
+        .or_else(|| code.strip_prefix("pub async fn "))?;
+    let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+    // Walk upward over the attached doc block (doc lines, attributes,
+    // blank lines) looking for an `# Examples` heading.
+    let mut saw_doc = false;
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let l = &file.lines[i];
+        if l.is_doc {
+            saw_doc = true;
+            if l.comment.contains("# Examples") {
+                return None;
+            }
+            continue;
+        }
+        let t = l.code.trim();
+        if !(t.is_empty() || t.starts_with("#[") || t.ends_with(']')) {
+            break;
+        }
+    }
+    saw_doc.then_some(name)
 }
 
 /// Scans many files and aggregates per-rule counts.
@@ -487,6 +547,12 @@ mod tests {
     }
 
     #[test]
+    fn indexing_rule_skips_lifetimes_in_types() {
+        let src = "fn f<'a>(line: &'a [u8], fields: &mut [&'a [u8]; 4]) -> &'a [u8] {\n  line\n}\n";
+        assert!(unwaived("crates/graph/src/a.rs", src).is_empty());
+    }
+
+    #[test]
     fn indexing_rule_flags_subscripts_only() {
         let src = "fn f(v: &[u32], m: [u8; 3]) -> u32 {\n  let a = [1, 2, 3];\n  for x in [4, 5] {}\n  #[allow(dead_code)]\n  let y: Vec<u32> = vec![7];\n  v[0] + a[1]\n}\n";
         let d = unwaived("crates/graph/src/a.rs", src);
@@ -508,16 +574,57 @@ mod tests {
     #[test]
     fn pub_docs_rule() {
         let src = "/// documented\npub fn good() {}\n\n#[inline]\npub fn bad() {}\n";
-        let d = unwaived("crates/core/src/a.rs", src);
+        let d: Vec<_> = unwaived("crates/core/src/a.rs", src)
+            .into_iter()
+            .filter(|d| d.rule == "pub-docs")
+            .collect();
         assert_eq!(d.len(), 1);
-        assert_eq!(d[0].rule, "pub-docs");
         assert!(d[0].message.contains("bad"));
         // Attributes between doc and fn are fine.
         let src = "/// doc\n#[inline]\npub fn ok() {}\n";
-        assert!(unwaived("crates/core/src/a.rs", src).is_empty());
+        assert!(unwaived("crates/core/src/a.rs", src)
+            .iter()
+            .all(|d| d.rule != "pub-docs"));
         // Not enforced outside graph/core.
         let src = "pub fn undoc() {}\n";
         assert!(unwaived("crates/metrics/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_examples_rule_flags_example_less_top_level_fns() {
+        let src = "/// Documented but example-free.\npub fn bad() {}\n";
+        let d = unwaived("crates/core/src/a.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "doc-examples");
+        assert!(d[0].message.contains("bad"));
+    }
+
+    #[test]
+    fn doc_examples_rule_accepts_examples_section() {
+        let src = "/// Doc.\n///\n/// # Examples\n///\n/// ```\n/// a::good();\n/// ```\npub fn good() {}\n";
+        assert!(unwaived("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_examples_rule_skips_methods_and_undocumented_fns() {
+        // Methods are indented — not top-level — and an undocumented fn
+        // is `pub-docs` territory, not a second diagnostic.
+        let src = "impl T {\n    /// Doc.\n    pub fn method(&self) {}\n}\npub fn undoc() {}\n";
+        let d = unwaived("crates/core/src/a.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "pub-docs");
+        // Not enforced outside the doc-enforced crates.
+        let src = "/// Doc.\npub fn elsewhere() {}\n";
+        assert!(unwaived("crates/service/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_examples_rule_is_waivable() {
+        let src =
+            "/// Doc.\n// lint:allow(doc-examples) needs a live TCP listener\npub fn dial() {}\n";
+        let all = diags("crates/core/src/a.rs", src);
+        assert!(all.iter().any(|d| d.rule == "doc-examples" && d.waived));
+        assert!(all.iter().all(|d| d.rule != "waiver"));
     }
 
     #[test]
