@@ -30,7 +30,10 @@
 
 use isomit_bench::report::{BenchReport, TimingStats};
 use isomit_core::{extract_cascade_forest, extract_cascade_forest_reference, Rid, RidConfig};
-use isomit_diffusion::{DiffusionModel, InfectedNetwork, Mfc, SeedSet};
+use isomit_diffusion::{
+    estimate_infection_probabilities_seeded, estimate_infection_probabilities_wide,
+    estimate_infection_probabilities_wide_reference, DiffusionModel, InfectedNetwork, SeedSet,
+};
 use isomit_graph::{Edge, SignedDigraph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -268,7 +271,8 @@ fn main() {
     // `--rounds` doubles as the observation horizon and as a backstop:
     // hash weights stay below 1/alpha, so cascades terminate on their own
     // with probability 1 even at the default cap.
-    let model = Mfc::new(config.alpha)
+    let model = config
+        .model()
         .expect("valid alpha")
         .with_max_rounds(opts.rounds);
     let t0 = Instant::now();
@@ -298,6 +302,68 @@ fn main() {
             ("rounds_cap".into(), opts.rounds as f64),
             ("sampling_ns".into(), sampling_ns),
             ("infected_total".into(), total_infected as f64),
+        ],
+    );
+
+    // Stage 3b: wide Monte-Carlo comparison on the same workload — one
+    // full 64-lane batch through the bitplane engine against the same
+    // trial count through the production scalar estimator, plus the
+    // scalar wide-reference replay that pins bit-identity. The speedup
+    // recorded here is what `cargo run -p xtask -- bench-check` gates
+    // against the committed floor in `bench_baselines.json`.
+    const WIDE_TRIALS: usize = 64;
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x5EED_FFFF);
+    let mc_seeds = SeedSet::sample(&graph, opts.initiators, 0.5, &mut rng);
+
+    let t0 = Instant::now();
+    let scalar =
+        estimate_infection_probabilities_seeded(&model, &graph, &mc_seeds, WIDE_TRIALS, opts.seed)
+            .expect("sampled seeds lie within the graph");
+    let sampling_scalar_ns = t0.elapsed().as_nanos() as f64;
+
+    let t0 = Instant::now();
+    let wide =
+        estimate_infection_probabilities_wide(&model, &graph, &mc_seeds, WIDE_TRIALS, opts.seed)
+            .expect("sampled seeds lie within the graph");
+    let sampling_wide_ns = t0.elapsed().as_nanos() as f64;
+
+    let t0 = Instant::now();
+    let wide_ref = estimate_infection_probabilities_wide_reference(
+        &model,
+        &graph,
+        &mc_seeds,
+        WIDE_TRIALS,
+        opts.seed,
+    )
+    .expect("sampled seeds lie within the graph");
+    let sampling_reference_ns = t0.elapsed().as_nanos() as f64;
+    assert_eq!(
+        wide, wide_ref,
+        "wide estimate must be bit-identical to the scalar wide reference"
+    );
+
+    let wide_speedup = sampling_scalar_ns / sampling_wide_ns;
+    println!(
+        "wide MC: {WIDE_TRIALS} trials — scalar {:.1} ms, wide {:.1} ms ({wide_speedup:.2}x), \
+         reference {:.1} ms — wide bit-identical to reference \
+         (expected infected: scalar {:.1}, wide {:.1})",
+        sampling_scalar_ns / 1e6,
+        sampling_wide_ns / 1e6,
+        sampling_reference_ns / 1e6,
+        scalar.expected_infected(),
+        wide.expected_infected(),
+    );
+    report.add_metrics(
+        "montecarlo_wide",
+        "sampling",
+        vec![
+            ("trials".into(), WIDE_TRIALS as f64),
+            ("sampling_scalar_ns".into(), sampling_scalar_ns),
+            ("sampling_wide_ns".into(), sampling_wide_ns),
+            ("sampling_reference_ns".into(), sampling_reference_ns),
+            ("speedup".into(), wide_speedup),
+            ("bit_identical".into(), 1.0),
+            ("expected_infected".into(), wide.expected_infected()),
         ],
     );
 

@@ -1,6 +1,6 @@
 use crate::detection::{Detection, InitiatorDetector};
 use crate::error::RidError;
-use isomit_diffusion::InfectedNetwork;
+use isomit_diffusion::{InfectedNetwork, Mfc};
 use serde::{Deserialize, Serialize};
 
 /// Which per-tree objective RID optimizes when selecting the number of
@@ -40,6 +40,25 @@ pub struct RidConfig {
     /// Whether the probability-sum objective includes the
     /// external-support term.
     pub external_support: bool,
+}
+
+impl RidConfig {
+    /// The MFC diffusion model this detector configuration assumes —
+    /// the forward model behind the serving engine's `simulate` verb
+    /// and the scale harness's snapshot sampling, derived here so
+    /// detection and simulation cannot drift apart on `α`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RidError::InvalidParameter`] unless `alpha` is finite
+    /// and `>= 1`.
+    pub fn model(&self) -> Result<Mfc, RidError> {
+        Mfc::new(self.alpha).map_err(|_| RidError::InvalidParameter {
+            name: "alpha",
+            value: self.alpha,
+            constraint: "must be finite and >= 1",
+        })
+    }
 }
 
 impl Default for RidConfig {

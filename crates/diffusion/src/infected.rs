@@ -40,12 +40,34 @@ impl InfectedNetwork {
             cascade.states().len(),
             "cascade and diffusion network node counts differ"
         );
-        let infected = cascade.infected_nodes();
+        Self::from_states(diffusion, cascade.states())
+    }
+
+    /// Extracts the infected network from full-graph final states — the
+    /// state-only form of [`from_cascade`](InfectedNetwork::from_cascade),
+    /// for producers (like the wide Monte-Carlo engine's batch lanes)
+    /// that track states without an event log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != diffusion.node_count()`.
+    pub fn from_states(diffusion: &SignedDigraph, states: &[NodeState]) -> Self {
+        assert_eq!(
+            diffusion.node_count(),
+            states.len(),
+            "one state per diffusion-network node required"
+        );
+        let infected: Vec<NodeId> = diffusion
+            .nodes()
+            // lint:allow(indexing) nodes() yields ids below node_count == states.len()
+            .filter(|v| states[v.index()].is_active())
+            .collect();
         let (graph, mapping) = diffusion.induced_subgraph(infected);
         let states = mapping
             .original_ids()
             .iter()
-            .map(|&orig| cascade.state(orig))
+            // lint:allow(indexing) mapping original ids come from the same diffusion network
+            .map(|&orig| states[orig.index()])
             .collect();
         let snapshot = InfectedNetwork {
             graph,
@@ -54,7 +76,7 @@ impl InfectedNetwork {
         };
         debug_assert!(
             snapshot.validate().is_ok(),
-            "from_cascade produced a corrupt snapshot: {:?}",
+            "from_states produced a corrupt snapshot: {:?}",
             snapshot.validate()
         );
         snapshot

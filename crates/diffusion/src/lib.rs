@@ -63,6 +63,7 @@ mod pic;
 mod seed;
 mod sir;
 mod timeline;
+mod wide;
 
 pub use cascade::{ActivationEvent, Cascade};
 pub use error::DiffusionError;
@@ -80,3 +81,8 @@ pub use pic::PolarityIc;
 pub use seed::SeedSet;
 pub use sir::Sir;
 pub use timeline::{CascadeTimeline, RoundStats};
+pub use wide::{
+    estimate_infection_probabilities_wide, estimate_infection_probabilities_wide_reference,
+    par_estimate_infection_probabilities_wide, simulate_wide, simulate_wide_reference,
+    wide_lane_key, WideBatch, WideSimulator, MAX_LANES,
+};

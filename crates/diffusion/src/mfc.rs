@@ -101,6 +101,12 @@ impl Mfc {
         self.alpha
     }
 
+    /// The safety cap on diffusion rounds (see
+    /// [`with_max_rounds`](Mfc::with_max_rounds)).
+    pub fn max_rounds(&self) -> usize {
+        self.max_rounds
+    }
+
     /// The boosted success probability of an edge: `min(1, α·w)` if
     /// positive, `w` otherwise (the paper's `w̄_D`).
     #[inline]

@@ -41,6 +41,17 @@ pub struct InfectionEstimate {
 }
 
 impl InfectionEstimate {
+    /// Assembles an estimate from per-node tallies (the wide engine's
+    /// popcount tallies use this; lengths are the caller's invariant).
+    pub(crate) fn from_tallies(runs: usize, infected: Vec<u32>, positive: Vec<u32>) -> Self {
+        debug_assert_eq!(infected.len(), positive.len());
+        InfectionEstimate {
+            runs,
+            infected,
+            positive,
+        }
+    }
+
     /// Number of simulation runs behind the estimate.
     pub fn runs(&self) -> usize {
         self.runs
@@ -218,7 +229,7 @@ impl Tally {
 /// small master merely permutes `{0..runs}`, so two small masters can
 /// cover the *same set* of per-run streams and — tallies being
 /// order-independent sums — yield identical aggregates.
-const RUN_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
+pub(crate) const RUN_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// The RNG stream for run `run_index` of a master seed: fold the
 /// spread index into the seed, then let `seed_from_u64`'s SplitMix64

@@ -13,8 +13,8 @@ use crate::cache::{CacheMetrics, LruCache};
 use crate::fingerprint::snapshot_fingerprint;
 use isomit_core::{ForestArtifacts, Rid, RidConfig, RidError, RidResult};
 use isomit_diffusion::{
-    par_estimate_infection_probabilities, DiffusionError, InfectedNetwork, InfectionEstimate, Mfc,
-    SeedSet,
+    par_estimate_infection_probabilities_wide, DiffusionError, InfectedNetwork, InfectionEstimate,
+    Mfc, SeedSet,
 };
 use isomit_graph::json::{JsonError, Value};
 use isomit_graph::SignedDigraph;
@@ -156,12 +156,8 @@ impl RidEngine {
         cache_capacity: usize,
         registry: Arc<Registry>,
     ) -> Result<Self, RidError> {
-        let rid = Rid::from_config(default_config)?;
-        let model = Mfc::new(rid.alpha()).map_err(|_| RidError::InvalidParameter {
-            name: "alpha",
-            value: default_config.alpha,
-            constraint: "must be finite and >= 1",
-        })?;
+        Rid::from_config(default_config)?;
+        let model = default_config.model()?;
         let cache = LruCache::with_metrics(cache_capacity, CacheMetrics::registered(&registry));
         let rid_requests = registry.counter(names::SERVICE_RID_REQUESTS);
         let simulate_requests = registry.counter(names::SERVICE_SIMULATE_REQUESTS);
@@ -245,8 +241,9 @@ impl RidEngine {
 
     /// Answers a `simulate` query: seeded parallel Monte-Carlo
     /// estimation of per-node infection probabilities on the loaded
-    /// network under the engine's MFC model. Deterministic in
-    /// `(seeds, runs, master_seed)` for every thread count.
+    /// network under the engine's MFC model, using the 64-lane wide
+    /// bitplane engine. Deterministic in `(seeds, runs, master_seed)`
+    /// for every thread count.
     ///
     /// # Errors
     ///
@@ -260,7 +257,13 @@ impl RidEngine {
     ) -> Result<InfectionEstimate, DiffusionError> {
         self.simulate_requests.inc();
         seeds.validate_against(&self.graph)?;
-        par_estimate_infection_probabilities(&self.model, &self.graph, seeds, runs, master_seed)
+        par_estimate_infection_probabilities_wide(
+            &self.model,
+            &self.graph,
+            seeds,
+            runs,
+            master_seed,
+        )
     }
 
     /// Current counter snapshot.

@@ -3,7 +3,7 @@
 //! answer byte-for-byte against the in-process pipeline.
 
 use isomit_core::{InitiatorDetector, Rid, RidConfig};
-use isomit_diffusion::{par_estimate_infection_probabilities, InfectedNetwork, Mfc, SeedSet};
+use isomit_diffusion::{par_estimate_infection_probabilities_wide, InfectedNetwork, Mfc, SeedSet};
 use isomit_graph::{NodeId, Sign, SignedDigraph};
 use isomit_service::protocol::ErrorKind;
 use isomit_service::{Client, ClientError};
@@ -231,8 +231,8 @@ fn simulate_matches_in_process_monte_carlo() {
 
     let graph = server_graph();
     let model = Mfc::new(RidConfig::default().alpha).expect("model");
-    let local =
-        par_estimate_infection_probabilities(&model, &graph, &seeds, 64, 42).expect("local mc");
+    let local = par_estimate_infection_probabilities_wide(&model, &graph, &seeds, 64, 42)
+        .expect("local mc");
     assert_eq!(
         served.to_json_value().to_json(),
         local.to_json_value().to_json()

@@ -59,6 +59,16 @@ pub mod names {
     pub const RID_QUERY_STAGE_NS: &str = "rid.query_stage_ns";
     /// Wall time of one Monte-Carlo estimation batch (histogram, global).
     pub const MC_BATCH_NS: &str = "mc.batch_ns";
+    /// Wall time of one 64-lane wide Monte-Carlo batch (histogram,
+    /// global).
+    pub const MC_WIDE_BATCH_NS: &str = "mc.wide.batch_ns";
+    /// Wide Monte-Carlo batches run (counter); with
+    /// [`MC_WIDE_LANES`] this yields the mean lane occupancy
+    /// (`lanes / (64 · batches)` — 1.0 means every batch was full).
+    pub const MC_WIDE_BATCHES: &str = "mc.wide.batches";
+    /// Total lanes (trials) simulated by wide Monte-Carlo batches
+    /// (counter).
+    pub const MC_WIDE_LANES: &str = "mc.wide.lanes";
     /// End-to-end request latency, receipt to reply (histogram).
     pub const SERVICE_REQUEST_NS: &str = "service.request_ns";
     /// Time a job waited in the bounded queue before a worker picked it

@@ -60,9 +60,10 @@ pub mod prelude {
     };
     pub use isomit_diffusion::{
         estimate_infection_probabilities, estimate_infection_probabilities_seeded,
-        par_estimate_infection_probabilities, Cascade, CascadeTimeline, DiffusionModel,
-        IndependentCascade, InfectedNetwork, InfectionEstimate, LinearThreshold, Mfc, PolarityIc,
-        SeedSet, Sir,
+        estimate_infection_probabilities_wide, par_estimate_infection_probabilities,
+        par_estimate_infection_probabilities_wide, simulate_wide, simulate_wide_reference, Cascade,
+        CascadeTimeline, DiffusionModel, IndependentCascade, InfectedNetwork, InfectionEstimate,
+        LinearThreshold, Mfc, PolarityIc, SeedSet, Sir, WideBatch, WideSimulator,
     };
     pub use isomit_graph::{
         Edge, GraphStats, NodeId, NodeState, Sign, SignedDigraph, SignedDigraphBuilder,

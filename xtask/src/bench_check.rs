@@ -1,0 +1,448 @@
+//! `cargo run -p xtask -- bench-check` — the CI bench-regression gate.
+//!
+//! Reads the committed benchmark artifacts (`BENCH_montecarlo.json`,
+//! `BENCH_scale.json`) and the committed policy file
+//! (`bench_baselines.json`) and fails when:
+//!
+//! * any entry carries a `bit_identical` metric that is not `1` — a
+//!   parallel or wide path diverged from its scalar reference;
+//! * a summary taken with fewer than two rayon threads records a
+//!   parallel-vs-sequential speedup (a 1-thread "parallel" run measures
+//!   scheduling overhead, not parallelism, and must not set a baseline);
+//! * the wide-vs-scalar Monte-Carlo speedup falls below the committed
+//!   floor for its artifact;
+//! * `sampling_ns` in `BENCH_scale.json` regresses more than 25% against
+//!   the baseline recorded for the **same workload** (nodes, edges,
+//!   snapshot count). Workloads without a committed baseline are warned
+//!   about and skipped, so a full-scale local artifact never trips a
+//!   smoke-scale gate (and vice versa).
+//!
+//! `--update-baselines` rewrites the sampling baselines in
+//! `bench_baselines.json` from the current artifacts, preserving the
+//! hand-committed speedup floors.
+
+use isomit_graph::json::Value;
+use std::fs;
+use std::path::Path;
+
+/// Fraction by which `sampling_ns` may exceed its baseline before the
+/// gate fails.
+const SAMPLING_TOLERANCE: f64 = 0.25;
+
+/// Outcome of one bench-check run: human-readable failures (empty means
+/// the gate passes) and non-fatal warnings.
+#[derive(Debug, Default)]
+pub struct BenchCheckOutcome {
+    /// Gate violations; any entry fails the command.
+    pub failures: Vec<String>,
+    /// Skipped or missing-but-tolerated checks.
+    pub warnings: Vec<String>,
+}
+
+/// One parsed `metrics` map of a bench entry.
+struct Metrics<'a> {
+    group: &'a str,
+    id: &'a str,
+    values: &'a [(String, Value)],
+}
+
+impl Metrics<'_> {
+    fn get(&self, key: &str) -> Option<f64> {
+        self.values
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_f64())
+    }
+}
+
+/// Extracts every metrics entry of a parsed bench artifact.
+fn metrics_entries(doc: &Value) -> Vec<Metrics<'_>> {
+    let mut out = Vec::new();
+    let Some(entries) = doc.get("entries").and_then(Value::as_array) else {
+        return out;
+    };
+    for entry in entries {
+        let (Some(group), Some(id)) = (
+            entry.get("group").and_then(Value::as_str),
+            entry.get("id").and_then(Value::as_str),
+        ) else {
+            continue;
+        };
+        if let Some(Value::Object(values)) = entry.get("metrics") {
+            out.push(Metrics { group, id, values });
+        }
+    }
+    out
+}
+
+fn load_json(path: &Path) -> Result<Value, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Value::parse(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+/// Looks up one metrics entry by `(group, id)`.
+fn find<'a>(entries: &'a [Metrics<'a>], group: &str, id: &str) -> Option<&'a Metrics<'a>> {
+    entries.iter().find(|m| m.group == group && m.id == id)
+}
+
+/// Every `bit_identical` metric anywhere in the artifact must be 1.
+fn check_bit_identical(name: &str, entries: &[Metrics<'_>], out: &mut BenchCheckOutcome) {
+    let mut seen = false;
+    for m in entries {
+        if let Some(flag) = m.get("bit_identical") {
+            seen = true;
+            if flag != 1.0 {
+                out.failures.push(format!(
+                    "{name}: {}/{} reports bit_identical = {flag} (parallel or wide \
+                     path diverged from its scalar reference)",
+                    m.group, m.id
+                ));
+            }
+        }
+    }
+    if !seen {
+        out.failures.push(format!(
+            "{name}: no entry carries a bit_identical metric — artifact predates the \
+             determinism gate; regenerate it"
+        ));
+    }
+}
+
+/// A summary taken with fewer than two threads must not record a
+/// parallel-vs-sequential speedup.
+fn check_thread_labels(name: &str, entries: &[Metrics<'_>], out: &mut BenchCheckOutcome) {
+    for (group, id, key) in [
+        ("mc", "summary", "speedup"),
+        ("montecarlo_wide", "summary", "par_speedup"),
+    ] {
+        let Some(m) = find(entries, group, id) else {
+            continue;
+        };
+        if m.get("threads").is_some_and(|t| t < 2.0) && m.get(key).is_some() {
+            out.failures.push(format!(
+                "{name}: {group}/{id} records `{key}` from a 1-thread run — a 1-thread \
+                 \"parallel\" measurement is scheduling overhead, not a speedup; rerun \
+                 with --threads >= 2"
+            ));
+        }
+    }
+}
+
+/// The wide-vs-scalar speedup of `(group, id)` must meet `floor`.
+fn check_speedup_floor(
+    name: &str,
+    entries: &[Metrics<'_>],
+    group: &str,
+    id: &str,
+    floor: f64,
+    out: &mut BenchCheckOutcome,
+) {
+    let Some(m) = find(entries, group, id) else {
+        out.failures.push(format!(
+            "{name}: missing {group}/{id} entry — regenerate the artifact"
+        ));
+        return;
+    };
+    match m.get("speedup") {
+        Some(speedup) if speedup < floor => out.failures.push(format!(
+            "{name}: {group}/{id} wide-vs-scalar speedup {speedup:.2}x is below the \
+             committed floor {floor:.2}x (bench_baselines.json)"
+        )),
+        Some(_) => {}
+        None => out
+            .failures
+            .push(format!("{name}: {group}/{id} has no `speedup` metric")),
+    }
+}
+
+/// The `(nodes, edges, snapshots)` workload key of a scale artifact.
+fn scale_workload(entries: &[Metrics<'_>]) -> Option<(f64, f64, f64)> {
+    let graph = find(entries, "dataset", "graph")?;
+    let snaps = find(entries, "dataset", "snapshots")?;
+    Some((
+        graph.get("nodes")?,
+        graph.get("edges")?,
+        snaps.get("count")?,
+    ))
+}
+
+/// `sampling_ns` must stay within `1 + SAMPLING_TOLERANCE` of the
+/// baseline committed for the same workload.
+fn check_sampling_regression(
+    name: &str,
+    entries: &[Metrics<'_>],
+    baselines: &Value,
+    out: &mut BenchCheckOutcome,
+) {
+    let Some((nodes, edges, snapshots)) = scale_workload(entries) else {
+        out.failures.push(format!(
+            "{name}: missing dataset/graph or dataset/snapshots entry"
+        ));
+        return;
+    };
+    let Some(sampling_ns) =
+        find(entries, "dataset", "snapshots").and_then(|m| m.get("sampling_ns"))
+    else {
+        out.failures.push(format!(
+            "{name}: dataset/snapshots has no `sampling_ns` metric"
+        ));
+        return;
+    };
+    let baseline = baselines
+        .get("sampling")
+        .and_then(Value::as_array)
+        .into_iter()
+        .flatten()
+        .find(|b| {
+            b.get("nodes").and_then(Value::as_f64) == Some(nodes)
+                && b.get("edges").and_then(Value::as_f64) == Some(edges)
+                && b.get("snapshots").and_then(Value::as_f64) == Some(snapshots)
+        });
+    let Some(baseline_ns) = baseline
+        .and_then(|b| b.get("sampling_ns"))
+        .and_then(Value::as_f64)
+    else {
+        out.warnings.push(format!(
+            "{name}: no sampling baseline for workload nodes={nodes} edges={edges} \
+             snapshots={snapshots}; skipping the regression check (run with \
+             --update-baselines to record one)"
+        ));
+        return;
+    };
+    let limit = baseline_ns * (1.0 + SAMPLING_TOLERANCE);
+    if sampling_ns > limit {
+        out.failures.push(format!(
+            "{name}: sampling_ns {sampling_ns:.0} exceeds baseline {baseline_ns:.0} by \
+             more than {:.0}% (workload nodes={nodes} edges={edges} snapshots={snapshots})",
+            SAMPLING_TOLERANCE * 100.0
+        ));
+    }
+}
+
+/// Reads a committed speedup floor out of the baselines policy file.
+fn floor(baselines: &Value, key: &str) -> Result<f64, String> {
+    baselines
+        .get("floors")
+        .and_then(|f| f.get(key))
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("bench_baselines.json: missing floors.{key}"))
+}
+
+/// Runs the gate over the artifacts at the workspace `root`.
+///
+/// With `update`, rewrites the sampling baselines from the current
+/// `BENCH_scale.json` (inserting or replacing the entry for its
+/// workload) while preserving the committed floors.
+pub fn run_bench_check(root: &Path, update: bool) -> Result<BenchCheckOutcome, String> {
+    let baselines_path = root.join("bench_baselines.json");
+    let baselines = load_json(&baselines_path)?;
+    let montecarlo = load_json(&root.join("BENCH_montecarlo.json"))?;
+    let scale = load_json(&root.join("BENCH_scale.json"))?;
+    let mc_entries = metrics_entries(&montecarlo);
+    let scale_entries = metrics_entries(&scale);
+
+    let mut out = BenchCheckOutcome::default();
+    check_bit_identical("BENCH_montecarlo.json", &mc_entries, &mut out);
+    check_bit_identical("BENCH_scale.json", &scale_entries, &mut out);
+    check_thread_labels("BENCH_montecarlo.json", &mc_entries, &mut out);
+    check_speedup_floor(
+        "BENCH_montecarlo.json",
+        &mc_entries,
+        "montecarlo_wide",
+        "summary",
+        floor(&baselines, "montecarlo_wide_speedup")?,
+        &mut out,
+    );
+    check_speedup_floor(
+        "BENCH_scale.json",
+        &scale_entries,
+        "montecarlo_wide",
+        "sampling",
+        floor(&baselines, "scale_wide_speedup")?,
+        &mut out,
+    );
+    check_sampling_regression("BENCH_scale.json", &scale_entries, &baselines, &mut out);
+
+    if update {
+        let updated = updated_baselines(&baselines, &scale_entries)?;
+        fs::write(&baselines_path, updated.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", baselines_path.display()))?;
+    }
+    Ok(out)
+}
+
+/// The baselines document with the current scale workload's sampling
+/// entry inserted or replaced. Floors pass through untouched: they are
+/// policy, not measurements.
+fn updated_baselines(baselines: &Value, scale_entries: &[Metrics<'_>]) -> Result<Value, String> {
+    let (nodes, edges, snapshots) = scale_workload(scale_entries)
+        .ok_or_else(|| "BENCH_scale.json: missing dataset entries".to_string())?;
+    let sampling_ns = find(scale_entries, "dataset", "snapshots")
+        .and_then(|m| m.get("sampling_ns"))
+        .ok_or_else(|| "BENCH_scale.json: missing sampling_ns".to_string())?;
+    let entry = Value::Object(vec![
+        ("nodes".into(), Value::Number(nodes)),
+        ("edges".into(), Value::Number(edges)),
+        ("snapshots".into(), Value::Number(snapshots)),
+        ("sampling_ns".into(), Value::Number(sampling_ns)),
+    ]);
+
+    let mut sampling: Vec<Value> = baselines
+        .get("sampling")
+        .and_then(Value::as_array)
+        .map(<[Value]>::to_vec)
+        .unwrap_or_default();
+    match sampling.iter_mut().find(|b| {
+        b.get("nodes").and_then(Value::as_f64) == Some(nodes)
+            && b.get("edges").and_then(Value::as_f64) == Some(edges)
+            && b.get("snapshots").and_then(Value::as_f64) == Some(snapshots)
+    }) {
+        Some(slot) => *slot = entry,
+        None => sampling.push(entry),
+    }
+
+    let mut doc: Vec<(String, Value)> = match baselines {
+        Value::Object(fields) => fields.clone(),
+        _ => return Err("bench_baselines.json: expected a JSON object".to_string()),
+    };
+    match doc.iter_mut().find(|(k, _)| k == "sampling") {
+        Some((_, slot)) => *slot = Value::Array(sampling),
+        None => doc.push(("sampling".into(), Value::Array(sampling))),
+    }
+    Ok(Value::Object(doc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(entries_json: &str) -> Value {
+        Value::parse(&format!(
+            r#"{{"schema":"isomit-bench/1","name":"t","entries":[{entries_json}]}}"#
+        ))
+        .expect("test artifact parses")
+    }
+
+    #[test]
+    fn divergent_bit_identical_fails() {
+        let doc = artifact(r#"{"group":"mc","id":"summary","metrics":{"bit_identical":0}}"#);
+        let mut out = BenchCheckOutcome::default();
+        check_bit_identical("a", &metrics_entries(&doc), &mut out);
+        assert_eq!(out.failures.len(), 1);
+    }
+
+    #[test]
+    fn missing_bit_identical_fails() {
+        let doc = artifact(r#"{"group":"mc","id":"summary","metrics":{"runs":10}}"#);
+        let mut out = BenchCheckOutcome::default();
+        check_bit_identical("a", &metrics_entries(&doc), &mut out);
+        assert_eq!(out.failures.len(), 1);
+    }
+
+    #[test]
+    fn one_thread_parallel_speedup_fails() {
+        let doc = artifact(
+            r#"{"group":"mc","id":"summary","metrics":{"threads":1,"speedup":0.99,"bit_identical":1}}"#,
+        );
+        let mut out = BenchCheckOutcome::default();
+        check_thread_labels("a", &metrics_entries(&doc), &mut out);
+        assert_eq!(out.failures.len(), 1, "{:?}", out.failures);
+    }
+
+    #[test]
+    fn two_thread_parallel_speedup_passes() {
+        let doc = artifact(
+            r#"{"group":"mc","id":"summary","metrics":{"threads":2,"speedup":1.8,"bit_identical":1}}"#,
+        );
+        let mut out = BenchCheckOutcome::default();
+        check_thread_labels("a", &metrics_entries(&doc), &mut out);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn speedup_below_floor_fails() {
+        let doc =
+            artifact(r#"{"group":"montecarlo_wide","id":"summary","metrics":{"speedup":1.2}}"#);
+        let mut out = BenchCheckOutcome::default();
+        check_speedup_floor(
+            "a",
+            &metrics_entries(&doc),
+            "montecarlo_wide",
+            "summary",
+            1.4,
+            &mut out,
+        );
+        assert_eq!(out.failures.len(), 1);
+        let mut ok = BenchCheckOutcome::default();
+        check_speedup_floor(
+            "a",
+            &metrics_entries(&doc),
+            "montecarlo_wide",
+            "summary",
+            1.0,
+            &mut ok,
+        );
+        assert!(ok.failures.is_empty());
+    }
+
+    #[test]
+    fn sampling_regression_gates_only_matching_workloads() {
+        let doc = artifact(
+            r#"{"group":"dataset","id":"graph","metrics":{"nodes":100,"edges":500}},
+               {"group":"dataset","id":"snapshots","metrics":{"count":2,"sampling_ns":1000}}"#,
+        );
+        let entries = metrics_entries(&doc);
+        let matching = Value::parse(
+            r#"{"sampling":[{"nodes":100,"edges":500,"snapshots":2,"sampling_ns":500}]}"#,
+        )
+        .expect("baseline parses");
+        let mut out = BenchCheckOutcome::default();
+        check_sampling_regression("a", &entries, &matching, &mut out);
+        assert_eq!(out.failures.len(), 1, "2x the baseline must fail");
+
+        let other = Value::parse(
+            r#"{"sampling":[{"nodes":999,"edges":500,"snapshots":2,"sampling_ns":500}]}"#,
+        )
+        .expect("baseline parses");
+        let mut out = BenchCheckOutcome::default();
+        check_sampling_regression("a", &entries, &other, &mut out);
+        assert!(out.failures.is_empty());
+        assert_eq!(out.warnings.len(), 1, "unmatched workload warns and skips");
+    }
+
+    #[test]
+    fn update_inserts_and_replaces_workload_entries() {
+        let doc = artifact(
+            r#"{"group":"dataset","id":"graph","metrics":{"nodes":100,"edges":500}},
+               {"group":"dataset","id":"snapshots","metrics":{"count":2,"sampling_ns":1000}}"#,
+        );
+        let entries = metrics_entries(&doc);
+        let base = Value::parse(r#"{"floors":{"scale_wide_speedup":10}}"#).expect("parses");
+        let updated = updated_baselines(&base, &entries).expect("update succeeds");
+        assert_eq!(
+            updated
+                .get("sampling")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(1)
+        );
+        // Floors survive the rewrite.
+        assert_eq!(
+            updated
+                .get("floors")
+                .and_then(|f| f.get("scale_wide_speedup"))
+                .and_then(Value::as_f64),
+            Some(10.0)
+        );
+        // A second update of the same workload replaces, not appends.
+        let again = updated_baselines(&updated, &entries).expect("update succeeds");
+        assert_eq!(
+            again
+                .get("sampling")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(1)
+        );
+    }
+}

@@ -1,15 +1,22 @@
 //! In-repo developer tooling for the isomit workspace.
 //!
-//! The only subcommand today is `lint`: a project-specific static
-//! analysis pass enforcing the panic-freedom, determinism, documentation
-//! and no-unsafe rules described in DESIGN.md ("Static analysis &
-//! invariants"). Run it with:
+//! Two subcommands:
+//!
+//! * `lint` — a project-specific static analysis pass enforcing the
+//!   panic-freedom, determinism, documentation and no-unsafe rules
+//!   described in DESIGN.md ("Static analysis & invariants");
+//! * `bench-check` — the CI bench-regression gate over the committed
+//!   `BENCH_*.json` artifacts and the `bench_baselines.json` policy
+//!   file (see [`bench_check`]).
 //!
 //! ```text
 //! cargo run -p xtask -- lint            # fail on unwaived diagnostics
 //! cargo run -p xtask -- lint --report   # additionally write LINT_REPORT.json
+//! cargo run -p xtask -- bench-check     # gate on the bench artifacts
+//! cargo run -p xtask -- bench-check --update-baselines
 //! ```
 
+pub mod bench_check;
 pub mod report;
 pub mod rules;
 pub mod scan;

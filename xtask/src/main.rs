@@ -1,27 +1,40 @@
-//! CLI entry point: `cargo run -p xtask -- lint [--report]`.
+//! CLI entry point: `cargo run -p xtask -- lint [--report]` and
+//! `cargo run -p xtask -- bench-check [--update-baselines]`.
 
 use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: cargo run -p xtask -- lint [--report] | bench-check [--update-baselines]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut want_report = false;
+    let mut update_baselines = false;
     let mut command: Option<&str> = None;
     for arg in &args {
         match arg.as_str() {
             "lint" => command = Some("lint"),
+            "bench-check" => command = Some("bench-check"),
             "--report" => want_report = true,
+            "--update-baselines" => update_baselines = true,
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: cargo run -p xtask -- lint [--report]");
+                eprintln!("{USAGE}");
                 return ExitCode::from(2);
             }
         }
     }
-    if command != Some("lint") {
-        eprintln!("usage: cargo run -p xtask -- lint [--report]");
-        return ExitCode::from(2);
+    match command {
+        Some("lint") => run_lint(want_report),
+        Some("bench-check") => run_bench_check(update_baselines),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
     }
+}
 
+fn run_lint(want_report: bool) -> ExitCode {
     let root = xtask::workspace_root();
     let (unwaived, report_json) = xtask::run_lint(&root, false);
 
@@ -40,5 +53,29 @@ fn main() -> ExitCode {
     } else {
         println!("lint: clean");
         ExitCode::SUCCESS
+    }
+}
+
+fn run_bench_check(update_baselines: bool) -> ExitCode {
+    let root = xtask::workspace_root();
+    let outcome = match xtask::bench_check::run_bench_check(&root, update_baselines) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("bench-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for warning in &outcome.warnings {
+        println!("bench-check: warning: {warning}");
+    }
+    if outcome.failures.is_empty() {
+        println!("bench-check: clean");
+        ExitCode::SUCCESS
+    } else {
+        for failure in &outcome.failures {
+            eprintln!("bench-check: {failure}");
+        }
+        eprintln!("bench-check: {} violation(s)", outcome.failures.len());
+        ExitCode::FAILURE
     }
 }
