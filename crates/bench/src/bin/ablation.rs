@@ -1,4 +1,3 @@
-// lint:allow-file(panic) benchmark harness: fails fast on bad CLI options, IO errors, and fixed known-valid parameters rather than threading Result through experiment drivers
 //! Ablation study of RID's design choices (the knobs DESIGN.md calls
 //! out): the per-tree objective (the paper's probability-sum vs the
 //! maximum-likelihood reading) and the external-support term of the

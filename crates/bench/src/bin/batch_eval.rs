@@ -1,4 +1,3 @@
-// lint:allow-file(panic) benchmark harness: fails fast on bad CLI options, IO errors, and fixed known-valid parameters rather than threading Result through experiment drivers
 // lint:allow-file(unsafe) the counting global allocator must implement the unsafe GlobalAlloc trait; it only delegates to std's System allocator and updates atomics
 //! SNAP-scale batch evaluation driver: generate (or load) a large signed
 //! network, sample `K` infected snapshots by simulating MFC forward, run
@@ -51,7 +50,10 @@ static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
 static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every method delegates to the System allocator with the exact
+// layout it received; the atomic counters never touch the returned memory.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards the caller's layout to System.alloc unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let ptr = System.alloc(layout);
         if !ptr.is_null() {
@@ -62,11 +64,15 @@ unsafe impl GlobalAlloc for CountingAlloc {
         ptr
     }
 
+    // SAFETY: forwards the caller's pointer and layout to System.dealloc
+    // unchanged; the pointer was produced by the same System allocator.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout);
         LIVE_BYTES.fetch_sub(layout.size(), Relaxed);
     }
 
+    // SAFETY: forwards pointer, old layout and new size to System.realloc
+    // unchanged; counter updates only run after a non-null return.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let new_ptr = System.realloc(ptr, layout, new_size);
         if !new_ptr.is_null() {
@@ -195,8 +201,10 @@ fn hash_weights(graph: &SignedDigraph, seed: u64, alpha: f64) -> SignedDigraph {
 fn percentile(sorted_ns: &[f64], q: f64) -> f64 {
     assert!(!sorted_ns.is_empty());
     let rank = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
-    // lint:allow(indexing) rank is computed from len - 1 with q in [0, 1]
-    sorted_ns[rank]
+    sorted_ns
+        .get(rank)
+        .copied()
+        .expect("nearest-rank index is below the sample length")
 }
 
 fn sorted(mut samples: Vec<f64>) -> Vec<f64> {

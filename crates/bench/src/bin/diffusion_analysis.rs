@@ -1,4 +1,3 @@
-// lint:allow-file(panic) benchmark harness: fails fast on bad CLI options, IO errors, and fixed known-valid parameters rather than threading Result through experiment drivers
 //! Reproduces the §IV-B3 diffusion analysis: how far rumors spread under
 //! MFC compared with the reference models (IC, LT, SIR, P-IC), on both
 //! networks with the paper's parameters (`α = 3`, `θ = 0.5`).

@@ -1,4 +1,3 @@
-// lint:allow-file(panic) benchmark harness: fails fast on bad CLI options, IO errors, and fixed known-valid parameters rather than threading Result through experiment drivers
 //! Reproduces **Figure 4** (method comparison): precision, recall and
 //! F1 of RID(β = 0.09), RID(β = 0.1), their calibrated equivalents for
 //! the synthetic weight scale (β = 2.5, 3.0 — see EXPERIMENTS.md),

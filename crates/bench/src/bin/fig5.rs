@@ -1,4 +1,3 @@
-// lint:allow-file(panic) benchmark harness: fails fast on bad CLI options, IO errors, and fixed known-valid parameters rather than threading Result through experiment drivers
 //! Reproduces **Figure 5** (β sensitivity of initiator identities):
 //! precision, recall and F1 of RID as functions of the initiator
 //! penalty β, on both networks.

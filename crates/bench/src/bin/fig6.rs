@@ -1,4 +1,3 @@
-// lint:allow-file(panic) benchmark harness: fails fast on bad CLI options, IO errors, and fixed known-valid parameters rather than threading Result through experiment drivers
 //! Reproduces **Figure 6** (β sensitivity of initiator *states*):
 //! accuracy, MAE and R² of RID's inferred initial states over the
 //! correctly identified initiators, as functions of β, on both networks.

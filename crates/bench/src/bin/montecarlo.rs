@@ -1,4 +1,3 @@
-// lint:allow-file(panic) benchmark harness: fails fast on bad CLI options, IO errors, and fixed known-valid parameters rather than threading Result through experiment drivers
 //! Benchmarks the Monte-Carlo estimators and writes
 //! `BENCH_montecarlo.json` with two groups:
 //!

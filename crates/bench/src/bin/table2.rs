@@ -1,4 +1,3 @@
-// lint:allow-file(panic) benchmark harness: fails fast on bad CLI options, IO errors, and fixed known-valid parameters rather than threading Result through experiment drivers
 //! Reproduces **Table II** (dataset statistics): generates the
 //! Epinions-like and Slashdot-like networks and prints their statistics
 //! next to the published numbers.

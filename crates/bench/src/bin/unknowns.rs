@@ -1,4 +1,3 @@
-// lint:allow-file(panic) benchmark harness: fails fast on bad CLI options, IO errors, and fixed known-valid parameters rather than threading Result through experiment drivers
 //! Extension experiment (beyond the paper's evaluation): robustness to
 //! **unknown states**. The paper's model explicitly allows `?` states
 //! ("the states of many nodes in large-scale networks are often

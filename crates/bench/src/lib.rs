@@ -1,4 +1,3 @@
-// lint:allow-file(panic) benchmark harness: fails fast on bad CLI options, IO errors, and fixed known-valid parameters rather than threading Result through experiment drivers
 //! # isomit-bench
 //!
 //! Experiment harness reproducing every table and figure of the paper's

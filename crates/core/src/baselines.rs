@@ -62,7 +62,6 @@ impl InitiatorDetector for RidTree {
                 node: snapshot
                     .mapping()
                     .to_original(sub_id)
-                    // lint:allow(panic) structural invariant: every snapshot id has an original-network preimage in the mapping
                     .expect("snapshot id maps to original network"),
                 // Roots report their observed snapshot state (possibly
                 // Unknown) — RID-Tree has no state-inference stage.
@@ -130,7 +129,6 @@ impl InitiatorDetector for RidPositive {
                     node: snapshot
                         .mapping()
                         .to_original(sub_id)
-                        // lint:allow(panic) structural invariant: every snapshot id has an original-network preimage in the mapping
                         .expect("snapshot id maps to original network"),
                     state: snapshot.state(sub_id),
                 }

@@ -49,7 +49,6 @@ pub fn tree_rumor_centralities(parent: &[usize]) -> Vec<f64> {
     assert!(n > 0, "empty tree");
     let root = (0..n)
         .find(|&v| parent[v] == usize::MAX)
-        // lint:allow(panic) structural invariant: a cascade tree's parent array has exactly one root entry
         .expect("tree must have a root");
 
     let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -155,14 +154,12 @@ impl InitiatorDetector for RumorCentrality {
             let log_r = tree_rumor_centralities(&parent);
             let best_local = (0..component.len())
                 .max_by(|&a, &b| log_r[a].total_cmp(&log_r[b]))
-                // lint:allow(panic) structural invariant: components returned by the forest extraction are non-empty
                 .expect("non-empty component");
             let sub_id = component[best_local];
             initiators.push(DetectedInitiator {
                 node: snapshot
                     .mapping()
                     .to_original(sub_id)
-                    // lint:allow(panic) structural invariant: every snapshot id has an original-network preimage in the mapping
                     .expect("snapshot id maps to original network"),
                 state: snapshot.state(sub_id),
             });

@@ -1,4 +1,5 @@
 // lint:allow-file(indexing) the k-ISOMIT-BT dynamic program indexes f/g/cap/choice tables allocated per binarized-tree node and context state; every subscript is a node id below bt.len() or a capacity below the table's own length
+// lint:allow-file(cast-truncation) the DP packs backtracking choices and per-node budgets into u8/u32 table codes; every cast source is a capacity bounded by k (≤ 255) or a binarized-tree index already validated against u32::MAX at tree construction
 //! The k-ISOMIT-BT dynamic program (§III-D) and its penalized variant
 //! used by RID's model selection (§III-E3).
 //!
@@ -42,7 +43,6 @@ fn allowed_states(s: NodeState) -> &'static [usize] {
         NodeState::Negative => &[NEG],
         NodeState::Unknown => &[POS, NEG],
         // Inactive nodes cannot appear in an infected snapshot.
-        // lint:allow(panic) structural invariant: infected snapshots contain no Inactive nodes
         NodeState::Inactive => unreachable!("inactive node inside a cascade tree"),
     }
 }
@@ -210,11 +210,9 @@ impl TreeDp {
                     g_choice[slot] = vec![(a_p as u8, false); cx + 1];
                 }
             } else {
-                // lint:allow(panic) structural invariant: non-gadget nodes map back to a real tree node
                 let orig = bt.original(x).expect("real node");
                 let edge = tree
                     .parent_edge(orig)
-                    // lint:allow(panic) structural invariant: a non-root real node keeps its parent edge
                     .expect("non-root real node has a parent edge");
                 let observed = tree.state(orig);
                 for a_p in [POS, NEG] {
@@ -250,7 +248,6 @@ impl TreeDp {
 
         // Root: always an initiator (no incoming activation link).
         let root = bt.root();
-        // lint:allow(panic) structural invariant: the binarized root is a real tree node
         let observed = tree.state(bt.original(root).expect("root is real"));
         let cr = cap[root];
         let mut root_cost = vec![f64::INFINITY; cr + 1];
@@ -389,7 +386,6 @@ impl TreeDp {
     }
 
     fn snapshot_of(&self, bt_node: usize) -> NodeId {
-        // lint:allow(panic) structural invariant: callers only query real (non-gadget) nodes
         self.snapshot_ids[self.bt.original(bt_node).expect("real node")]
     }
 
@@ -672,9 +668,7 @@ impl TreeDp {
                     choice[x][a_p] = (a_p as u8, false);
                 }
             } else {
-                // lint:allow(panic) structural invariant: non-gadget nodes map back to a real tree node
                 let orig = bt.original(x).expect("real node");
-                // lint:allow(panic) structural invariant: a non-root real node keeps its parent edge
                 let edge = tree.parent_edge(orig).expect("non-root has parent edge");
                 let observed = tree.state(orig);
                 for a_p in [POS, NEG] {
@@ -695,7 +689,6 @@ impl TreeDp {
         }
 
         let root = bt.root();
-        // lint:allow(panic) structural invariant: the binarized root is a real tree node
         let observed = tree.state(bt.original(root).expect("root is real"));
         let mut total = f64::INFINITY;
         let mut a_root = POS;
@@ -709,7 +702,6 @@ impl TreeDp {
 
         // Traceback.
         let snapshot_of =
-            // lint:allow(panic) structural invariant: traceback only visits real (non-gadget) nodes
             |x: usize| -> NodeId { tree.snapshot_id(bt.original(x).expect("real node")) };
         let mut initiators = vec![(snapshot_of(root), sign_of(a_root))];
         let mut stack: Vec<(usize, usize)> = Vec::new(); // (node, context state)

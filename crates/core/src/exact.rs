@@ -1,4 +1,3 @@
-// lint:allow-file(indexing) bitmask enumeration indexes arrays of length n with bit positions below n
 //! Exact (exponential-time) solvers for the ISOMIT problem, used to
 //! validate the RID heuristic on small instances and to exercise the
 //! §III-C NP-hardness apparatus.
@@ -149,7 +148,6 @@ pub fn minimum_certain_initiators(
             snapshot
                 .state(id)
                 .sign()
-                // lint:allow(panic) structural invariant: the exact solver is documented to require fully observed snapshots
                 .expect("states are fully observed"),
         )
     };
@@ -232,7 +230,6 @@ pub fn best_initiators_by_likelihood(
             .filter(|v| mask & (1 << v) != 0)
             .map(|v| {
                 let id = NodeId::from_index(v);
-                // lint:allow(panic) structural invariant: the exact solver is documented to require fully observed snapshots
                 (id, snapshot.state(id).sign().expect("observed"))
             })
             .collect();

@@ -469,7 +469,6 @@ fn build_tree(snapshot: &InfectedNetwork, children: &[Vec<usize>], root: usize) 
                 let e = snapshot
                     .graph()
                     .edge(parent_sub, sub_id)
-                    // lint:allow(panic) structural invariant: the branching only selects arcs present in the snapshot graph
                     .expect("branching arc exists in snapshot graph");
                 parent_edge.push(Some((e.sign, e.weight)));
             }

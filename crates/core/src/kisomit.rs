@@ -1,4 +1,3 @@
-// lint:allow-file(indexing) per-tree buffers are allocated with the component size and indexed by sub-ids from the same enumeration
 //! The fixed-budget variant of the detection problem: given the infected
 //! snapshot and a known initiator count `k`, find the best `k`
 //! initiators across the **whole forest** — the paper's k-ISOMIT
@@ -129,7 +128,6 @@ pub fn solve_k_isomit(snapshot: &InfectedNetwork, alpha: f64, k: usize) -> Optio
                 node: snapshot
                     .mapping()
                     .to_original(sub_id)
-                    // lint:allow(panic) structural invariant: every snapshot id has an original-network preimage in the mapping
                     .expect("snapshot id maps to original network"),
                 state: NodeState::from_sign(state),
             });

@@ -1,4 +1,3 @@
-// lint:allow-file(indexing) per-node log-probability tables are allocated with the snapshot's node count and indexed by its own NodeIds
 //! The §III-B infection likelihood of the paper: the per-edge factor
 //! `g(s(x), s_I(x,y), s(y), w_I(x,y))`, the per-node infection
 //! probability `P(u, s(u) | I, S)` (exact, by path enumeration — only

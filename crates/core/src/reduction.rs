@@ -219,16 +219,13 @@ pub fn set_cover_to_isomit(instance: &SetCoverInstance) -> Gadget {
         let set_node = NodeId::from_index(n + j);
         for &e in set {
             b.add_edge(NodeId::from_index(e), set_node, Sign::Positive, 1.0)
-                // lint:allow(panic) structural invariant: gadget edges use in-range ids, nonzero weights and no self-loops
                 .expect("gadget edges are valid");
         }
         b.add_edge(d, set_node, Sign::Positive, 1.0)
-            // lint:allow(panic) structural invariant: gadget edges use in-range ids, nonzero weights and no self-loops
             .expect("gadget edges are valid");
     }
     for e in 0..n {
         b.add_edge(NodeId::from_index(e), d, Sign::Positive, inv_n)
-            // lint:allow(panic) structural invariant: gadget edges use in-range ids, nonzero weights and no self-loops
             .expect("gadget edges are valid");
     }
     let graph = b.build();

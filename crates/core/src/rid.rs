@@ -204,7 +204,6 @@ impl InitiatorDetector for Rid {
         // extract the forest artifacts, then answer the single query.
         let artifacts = self.extract_stage(snapshot);
         self.query_stage(snapshot, &artifacts)
-            // lint:allow(panic) the artifacts were just extracted by this detector, so the alphas match by construction
             .expect("freshly extracted artifacts match the detector alpha")
     }
 }

@@ -135,17 +135,17 @@ impl Rid {
                 artifact_alpha: artifacts.alpha,
             });
         }
-        let outcomes: Vec<_> = (0..artifacts.trees.len())
-            .into_par_iter()
-            // lint:allow(indexing) i ranges over trees.len(), and supports is built with one entry per tree
-            .map(|i| (&artifacts.trees[i], &artifacts.supports[i]))
+        let outcomes: Vec<_> = artifacts
+            .trees
+            .par_iter()
+            .zip(artifacts.supports.par_iter())
             .map(|(tree, support)| match self.objective() {
                 RidObjective::ProbabilitySum => TreeDp::solve_probability_sum_with_support(
                     tree,
                     self.alpha(),
                     self.beta(),
-                    // lint:allow(indexing) full-range slice of an owned Vec cannot be out of bounds
-                    self.external_support_enabled().then_some(&support[..]),
+                    self.external_support_enabled()
+                        .then_some(support.as_slice()),
                 ),
                 RidObjective::LogLikelihood => {
                     TreeDp::solve_penalized(tree, self.alpha(), self.beta())
@@ -160,7 +160,6 @@ impl Rid {
                 let node = snapshot
                     .mapping()
                     .to_original(sub_id)
-                    // lint:allow(panic) structural invariant: every snapshot id has an original-network preimage in the mapping
                     .expect("snapshot id maps to original network");
                 initiators.push(DetectedInitiator {
                     node,

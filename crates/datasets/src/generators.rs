@@ -1,4 +1,4 @@
-// lint:allow-file(indexing) follower/pool vectors are allocated with the configured node count and indexed by generated ids below it
+// lint:allow-file(cast-truncation) generator node ids are loop indices over the configured node count, which SignedDigraphBuilder re-validates against u32::MAX on every add_edge; a truncated id would fail graph construction, not corrupt it
 use isomit_graph::{Edge, NodeId, Sign, SignedDigraph, SignedDigraphBuilder};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -136,7 +136,6 @@ pub fn preferential_attachment_signed<R: Rng + ?Sized>(
         let sign = sign_for(j, rng);
         builder
             .add_edge(NodeId(i as u32), NodeId(j as u32), sign, 1.0)
-            // lint:allow(panic) structural invariant: generated edges use in-range ids, weight 1.0 and no self-loops
             .expect("core edges are valid");
         pool.push(i as u32);
         pool.push(j as u32);
@@ -192,7 +191,6 @@ pub fn preferential_attachment_signed<R: Rng + ?Sized>(
             let sign = sign_for(target as usize, rng);
             builder
                 .add_edge(NodeId(v as u32), NodeId(target), sign, 1.0)
-                // lint:allow(panic) structural invariant: generated edges use in-range ids, weight 1.0 and no self-loops
                 .expect("generated edges are valid");
             pool.push(v as u32);
             pool.push(target);
@@ -201,7 +199,6 @@ pub fn preferential_attachment_signed<R: Rng + ?Sized>(
                 let back_sign = sign_for(v, rng);
                 builder
                     .add_edge(NodeId(target), NodeId(v as u32), back_sign, 1.0)
-                    // lint:allow(panic) structural invariant: generated edges use in-range ids, weight 1.0 and no self-loops
                     .expect("generated edges are valid");
                 pool.push(target);
                 pool.push(v as u32);
@@ -250,7 +247,6 @@ pub fn erdos_renyi_signed<R: Rng + ?Sized>(
         };
         builder
             .add_edge(NodeId(src), NodeId(dst), sign, 1.0)
-            // lint:allow(panic) structural invariant: generated edges use in-range ids, weight 1.0 and no self-loops
             .expect("generated edges are valid");
     }
     builder.build()
@@ -466,9 +462,7 @@ pub fn snap_like(nodes: usize, edges: usize, sign_fraction: f64, seed: u64) -> S
         }
     }
 
-    SignedDigraph::from_edge_vec(nodes, edge_list)
-        // lint:allow(panic) structural invariant: generated edges use in-range ids, weight 1.0 and no self-loops
-        .expect("generated edges are valid")
+    SignedDigraph::from_edge_vec(nodes, edge_list).expect("generated edges are valid")
 }
 
 #[cfg(test)]

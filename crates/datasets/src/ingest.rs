@@ -124,8 +124,9 @@ fn split_fields<'a>(line: &'a [u8], fields: &mut [&'a [u8]; 4]) -> usize {
         while line.get(i).is_some_and(|b| !b.is_ascii_whitespace()) {
             i += 1;
         }
-        // lint:allow(indexing) count < 4 is the loop guard and start..i is in-bounds by construction
-        fields[count] = &line[start..i];
+        if let Some(slot) = fields.get_mut(count) {
+            *slot = line.get(start..i).unwrap_or(&[]);
+        }
         count += 1;
     }
     count

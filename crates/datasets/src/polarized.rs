@@ -111,7 +111,7 @@ pub fn polarized_communities<R: Rng + ?Sized>(
             if target >= n || target == v {
                 continue;
             }
-            chosen.insert(target as u32);
+            chosen.insert(u32::from(NodeId::from_index(target)));
         }
         let mut targets: Vec<u32> = chosen.iter().copied().collect();
         targets.sort_unstable();
@@ -128,8 +128,7 @@ pub fn polarized_communities<R: Rng + ?Sized>(
                 Sign::Negative
             };
             builder
-                .add_edge(NodeId(v as u32), NodeId(target), sign, 1.0)
-                // lint:allow(panic) structural invariant: generated edges use in-range ids, weight 1.0 and no self-loops
+                .add_edge(NodeId::from_index(v), NodeId(target), sign, 1.0)
                 .expect("generated edges are valid");
         }
     }

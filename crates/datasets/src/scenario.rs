@@ -107,11 +107,9 @@ pub fn build_scenario<R: Rng>(
 ) -> Scenario {
     let diffusion = paper_weights(social, rng);
     let ground_truth = SeedSet::sample(&diffusion, config.n_initiators, config.positive_ratio, rng);
-    // lint:allow(panic) documented panic: alpha comes straight from the config
     let model = Mfc::new(config.alpha).expect("alpha validated by Mfc");
     let cascade = model
         .simulate(&diffusion, &ground_truth, rng)
-        // lint:allow(panic) structural invariant: sampled seeds always lie within the diffusion network
         .expect("sampled seeds lie within the diffusion network");
     let snapshot = InfectedNetwork::from_cascade(&diffusion, &cascade);
     let snapshot = if config.mask_fraction > 0.0 {

@@ -65,7 +65,6 @@ impl DiffusionModel for IndependentCascade {
             for &u in &frontier {
                 let su = match cascade.state(u).sign() {
                     Some(s) => s,
-                    // lint:allow(panic) structural invariant: only activated nodes enter the frontier
                     None => unreachable!("frontier node is always active"),
                 };
                 for e in graph.out_edges(u) {

@@ -59,14 +59,12 @@ impl InfectedNetwork {
         );
         let infected: Vec<NodeId> = diffusion
             .nodes()
-            // lint:allow(indexing) nodes() yields ids below node_count == states.len()
             .filter(|v| states[v.index()].is_active())
             .collect();
         let (graph, mapping) = diffusion.induced_subgraph(infected);
         let states = mapping
             .original_ids()
             .iter()
-            // lint:allow(indexing) mapping original ids come from the same diffusion network
             .map(|&orig| states[orig.index()])
             .collect();
         let snapshot = InfectedNetwork {
@@ -131,7 +129,6 @@ impl InfectedNetwork {
     ///
     /// Panics if `node` is out of bounds.
     pub fn state(&self, node: NodeId) -> NodeState {
-        // lint:allow(indexing) documented panic on out-of-bounds node
         self.states[node.index()]
     }
 

@@ -34,7 +34,6 @@ impl InfluenceResult {
     /// The chosen seeds as a positive-state [`SeedSet`].
     pub fn seed_set(&self) -> SeedSet {
         SeedSet::from_pairs(self.seeds.iter().map(|&n| (n, Sign::Positive)))
-            // lint:allow(panic) structural invariant: greedy selection pops each node at most once
             .expect("selection never repeats a node")
     }
 }
@@ -132,7 +131,6 @@ pub fn maximize_influence<M: DiffusionModel + ?Sized>(
     for round in 0..k {
         loop {
             let Some(top) = queue.pop() else {
-                // lint:allow(panic) structural invariant: the queue holds every unselected node and k <= node count
                 unreachable!("k <= node count");
             };
             if top.round == round {

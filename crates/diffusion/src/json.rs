@@ -24,10 +24,7 @@ use std::sync::Mutex;
 /// bounded.
 fn intern(s: &str) -> &'static str {
     static INTERNED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
-    let mut set = INTERNED
-        .lock()
-        // lint:allow(panic) the intern set's critical section cannot panic, so the mutex cannot be poisoned
-        .expect("intern set mutex poisoned");
+    let mut set = INTERNED.lock().expect("intern set mutex poisoned");
     if let Some(existing) = set.get(s) {
         return existing;
     }

@@ -57,10 +57,10 @@ impl DiffusionModel for LinearThreshold {
         loop {
             rounds += 1;
             let mut newly: Vec<(NodeId, NodeId, Sign)> = Vec::new();
-            for i in 0..n {
+            for (i, (&weight_in, &threshold)) in total_in_weight.iter().zip(&thresholds).enumerate()
+            {
                 let v = NodeId::from_index(i);
-                // lint:allow(indexing) i ranges over 0..n and both vectors have n entries
-                if cascade.state(v) != NodeState::Inactive || total_in_weight[i] <= 0.0 {
+                if cascade.state(v) != NodeState::Inactive || weight_in <= 0.0 {
                     continue;
                 }
                 let mut active_weight = 0.0;
@@ -80,15 +80,13 @@ impl DiffusionModel for LinearThreshold {
                         }
                     }
                 }
-                // lint:allow(indexing) i ranges over 0..n and both vectors have n entries
-                if active_weight / total_in_weight[i] >= thresholds[i] {
+                if active_weight / weight_in >= threshold {
                     let opinion = if signed_influence >= 0.0 {
                         Sign::Positive
                     } else {
                         Sign::Negative
                     };
                     let Some((_, activator, _)) = best else {
-                        // lint:allow(panic) structural invariant: a reached threshold implies active_weight > 0, hence an active in-neighbour
                         unreachable!("threshold reached implies an active in-neighbour");
                     };
                     newly.push((v, activator, opinion));

@@ -150,7 +150,6 @@ impl DiffusionModel for Mfc {
                     // A frontier node can have been flipped later in the
                     // same round it was activated; it still spreads its
                     // *current* state. Inactive is impossible here.
-                    // lint:allow(panic) structural invariant: only activated nodes enter the frontier
                     None => unreachable!("frontier node is always active"),
                 };
                 for e in graph.out_edges(u) {
@@ -164,7 +163,6 @@ impl DiffusionModel for Mfc {
                             e.sign.is_positive() && sv.sign() != Some(su)
                         }
                         NodeState::Unknown => {
-                            // lint:allow(panic) structural invariant: Cascade states are Inactive/Positive/Negative only
                             unreachable!("simulation never produces unknown states")
                         }
                     };

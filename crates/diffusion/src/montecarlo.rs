@@ -63,7 +63,6 @@ impl InfectionEstimate {
     ///
     /// Panics if `node` is out of bounds.
     pub fn infection_probability(&self, node: NodeId) -> f64 {
-        // lint:allow(indexing) documented panic on out-of-bounds node
         self.infected[node.index()] as f64 / self.runs as f64
     }
 
@@ -74,7 +73,6 @@ impl InfectionEstimate {
     ///
     /// Panics if `node` is out of bounds.
     pub fn positive_probability(&self, node: NodeId) -> f64 {
-        // lint:allow(indexing) documented panic on out-of-bounds node
         self.positive[node.index()] as f64 / self.runs as f64
     }
 

@@ -64,7 +64,6 @@ impl DiffusionModel for PolarityIc {
             for &u in &frontier {
                 let su = match cascade.state(u).sign() {
                     Some(s) => s,
-                    // lint:allow(panic) structural invariant: only activated nodes enter the frontier
                     None => unreachable!("frontier node is always active"),
                 };
                 for e in graph.out_edges(u) {

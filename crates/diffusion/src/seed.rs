@@ -170,7 +170,6 @@ impl FromIterator<(NodeId, Sign)> for SeedSet {
     /// Collects pairs into a seed set, panicking on duplicates. Use
     /// [`SeedSet::from_pairs`] for fallible construction.
     fn from_iter<T: IntoIterator<Item = (NodeId, Sign)>>(iter: T) -> Self {
-        // lint:allow(panic) documented panic: FromIterator cannot report errors; from_pairs is the fallible path
         SeedSet::from_pairs(iter).expect("duplicate seed in FromIterator")
     }
 }

@@ -92,7 +92,6 @@ impl DiffusionModel for Sir {
             for &u in &infectious {
                 let su = match cascade.state(u).sign() {
                     Some(s) => s,
-                    // lint:allow(panic) structural invariant: only activated nodes enter the infectious pool
                     None => unreachable!("infectious node is always active"),
                 };
                 for e in graph.out_edges(u) {

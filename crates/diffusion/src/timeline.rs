@@ -104,7 +104,6 @@ impl CascadeTimeline {
     /// Panics if `t` is zero or beyond the last recorded round.
     pub fn round(&self, t: usize) -> RoundStats {
         assert!(t >= 1 && t <= self.rounds.len(), "round {t} out of range");
-        // lint:allow(indexing) documented panic; the assert above bounds t
         self.rounds[t - 1]
     }
 
@@ -137,7 +136,6 @@ impl CascadeTimeline {
         if cascade.seeds().contains(node) {
             return Some(0);
         }
-        // lint:allow(indexing) documented panic on out-of-bounds node
         self.infection_round[node.index()]
     }
 

@@ -340,7 +340,8 @@ impl<'g> WideSimulator<'g> {
                 let fu = frontier_plane[u];
                 let pu = positive[u];
                 for i in self.offsets[u]..self.offsets[u + 1] {
-                    let v = self.dst[i] as usize;
+                    let v32 = self.dst[i];
+                    let v = v32 as usize;
                     let av = active[v];
                     let sign_plane = self.pos_edge[i];
                     // Algorithm 1, line 8, across all lanes at once:
@@ -377,7 +378,7 @@ impl<'g> WideSimulator<'g> {
                     positive[v] = (positive[v] & !succ) | (new_pos & succ);
                     active[v] |= succ;
                     if next_plane[v] == 0 {
-                        next.push(v as u32);
+                        next.push(v32);
                     }
                     next_plane[v] |= succ;
                 }
@@ -395,7 +396,7 @@ impl<'g> WideSimulator<'g> {
         }
 
         Ok(WideBatch {
-            lanes: lane_keys.len() as u32,
+            lanes: u32::try_from(lane_keys.len()).expect("lane count is at most LANES (64)"),
             active,
             positive,
             truncated,
@@ -482,7 +483,6 @@ pub fn simulate_wide_reference(
         for &u in &frontier {
             let su = match state[u as usize].sign() {
                 Some(s) => s,
-                // lint:allow(panic) structural invariant: only activated nodes enter the frontier
                 None => unreachable!("frontier node is always active"),
             };
             for (idx, e) in (edge_base[u as usize]..).zip(graph.out_edges(NodeId(u))) {

@@ -195,7 +195,6 @@ pub fn binarize(root: usize, children: &[Vec<usize>]) -> BinaryTree {
         let slot = tree.children[parent]
             .iter_mut()
             .find(|s| s.is_none())
-            // lint:allow(panic) structural invariant: the binarization gadget caps fan-out at two children
             .expect("binary gadget never exceeds two children");
         *slot = Some(child);
     }

@@ -309,7 +309,6 @@ pub fn maximum_branching(n: usize, arcs: &[WeightedArc]) -> Branching {
             loop {
                 if state[v] == 1 {
                     // Found a cycle: the suffix of `path` starting at `v`.
-                    // lint:allow(panic) structural invariant: v was pushed onto path before being marked in-progress
                     let pos = path.iter().position(|&x| x == v).expect("v is on path");
                     let cycle: Vec<usize> = path[pos..].to_vec();
                     let id = cycles.len();
@@ -373,7 +372,6 @@ pub fn maximum_branching(n: usize, arcs: &[WeightedArc]) -> Branching {
                 continue;
             }
             let weight = if record.cycle_of[e.dst].is_some() {
-                // lint:allow(panic) structural invariant: every contracted-cycle node has a chosen incoming edge
                 let chosen = record.best_in[e.dst].expect("cycle node has a parent");
                 e.weight - record.edges[chosen].weight
             } else {

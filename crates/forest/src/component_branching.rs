@@ -398,7 +398,6 @@ impl BranchingArena {
                             .path
                             .iter()
                             .position(|&x| x == v)
-                            // lint:allow(panic) structural invariant: v was pushed onto path before being marked in-progress
                             .expect("v is on path");
                         for &x in &self.path[pos..] {
                             level.cycle_of[x] = cycle_count;

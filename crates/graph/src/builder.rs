@@ -109,7 +109,6 @@ impl Extend<Edge> for SignedDigraphBuilder {
     fn extend<T: IntoIterator<Item = Edge>>(&mut self, iter: T) {
         for e in iter {
             self.add_edge(e.src, e.dst, e.sign, e.weight)
-                // lint:allow(panic) documented panic: Extend cannot report errors; add_edge is the fallible path
                 .expect("invalid edge passed to Extend<Edge>");
         }
     }

@@ -203,7 +203,7 @@ impl SignedDigraph {
 
     /// Iterator over all node ids, `0..node_count`.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.node_count as u32).map(NodeId)
+        (0..self.node_count).map(NodeId::from_index)
     }
 
     /// `true` if `node` is inside the graph.

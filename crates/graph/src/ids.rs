@@ -36,7 +36,6 @@ impl NodeId {
     /// are bounded by `u32::MAX` nodes.
     #[inline]
     pub fn from_index(index: usize) -> Self {
-        // lint:allow(panic) documented panic: graphs are bounded by u32::MAX nodes
         NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
     }
 }

@@ -3,9 +3,8 @@ use crate::{NodeId, SignedDigraph};
 /// Size of the intersection of two strictly sorted id slices.
 fn sorted_intersection_len(a: &[NodeId], b: &[NodeId]) -> usize {
     let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
-    while i < a.len() && j < b.len() {
-        // lint:allow(indexing) loop guard holds i < a.len() and j < b.len()
-        match a[i].cmp(&b[j]) {
+    while let (Some(x), Some(y)) = (a.get(i), b.get(j)) {
+        match x.cmp(y) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {

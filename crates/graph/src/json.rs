@@ -63,6 +63,11 @@ impl std::error::Error for JsonError {}
 
 impl Value {
     /// Parses a JSON document, requiring it to span the whole input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on malformed JSON or trailing input after
+    /// the document.
     pub fn parse(input: &str) -> Result<Value, JsonError> {
         let mut p = Parser {
             bytes: input.as_bytes(),
@@ -177,6 +182,11 @@ impl Value {
     }
 
     /// Like [`get`](Value::get) but decoding failures become errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when `self` is not an object or the key
+    /// is absent.
     pub fn require(&self, key: &str) -> Result<&Value, JsonError> {
         self.get(key)
             .ok_or_else(|| JsonError::new(format!("missing field `{key}`")))
@@ -186,12 +196,10 @@ impl Value {
 fn write_number(n: f64, out: &mut String) {
     use fmt::Write;
     if n.fract() == 0.0 && n.abs() < 9_007_199_254_740_992.0 {
-        // lint:allow(panic) fmt::Write into a String never returns Err
         write!(out, "{}", n as i64).expect("writing to String cannot fail");
     } else {
         // `{:?}` is Rust's shortest representation that parses back to
         // the same bits.
-        // lint:allow(panic) fmt::Write into a String never returns Err
         write!(out, "{n:?}").expect("writing to String cannot fail");
     }
 }
@@ -205,10 +213,9 @@ fn write_string(s: &str, out: &mut String) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+            c if u32::from(c) < 0x20 => {
                 use fmt::Write;
-                // lint:allow(panic) fmt::Write into a String never returns Err
-                write!(out, "\\u{:04x}", c as u32).expect("writing to String cannot fail");
+                write!(out, "\\u{:04x}", u32::from(c)).expect("writing to String cannot fail");
             }
             c => out.push(c),
         }
@@ -428,6 +435,11 @@ impl SignedDigraph {
 
     /// Decodes a graph from a JSON [`Value`] produced by
     /// [`to_json_value`](SignedDigraph::to_json_value).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when required fields are missing or
+    /// mistyped, or when an edge references a node outside `0..nodes`.
     pub fn from_json_value(value: &Value) -> Result<Self, JsonError> {
         let nodes = value
             .require("nodes")?
@@ -478,6 +490,12 @@ impl SignedDigraph {
     }
 
     /// Decodes a graph from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on malformed JSON or a structurally
+    /// invalid graph document (see
+    /// [`from_json_value`](SignedDigraph::from_json_value)).
     pub fn from_json_str(input: &str) -> Result<Self, JsonError> {
         Self::from_json_value(&Value::parse(input)?)
     }
@@ -495,6 +513,11 @@ impl NodeState {
     }
 
     /// Parses the encoding produced by [`as_symbol`](NodeState::as_symbol).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] for any symbol other than `+`, `-`, `0`
+    /// or `?`.
     pub fn from_symbol(symbol: &str) -> Result<Self, JsonError> {
         match symbol {
             "+" => Ok(NodeState::Positive),

@@ -133,11 +133,9 @@ pub fn global_clustering(graph: &SignedDigraph) -> f64 {
             .collect();
         nbrs.sort_unstable();
         nbrs.dedup();
-        for i in 0..nbrs.len() {
-            for j in (i + 1)..nbrs.len() {
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in nbrs.iter().skip(i + 1) {
                 wedges += 1;
-                // lint:allow(indexing) i and j range over 0..nbrs.len()
-                let (a, b) = (nbrs[i], nbrs[j]);
                 if graph.has_edge(a, b) || graph.has_edge(b, a) {
                     closed += 1;
                 }

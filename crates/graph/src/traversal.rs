@@ -1,4 +1,3 @@
-// lint:allow-file(indexing) BFS scratch vectors are allocated with `node_count` entries and indexed only by in-bounds `NodeId`s (sources are asserted, neighbors come from the CSR)
 //! Graph traversal utilities: BFS/DFS orders, hop distances and
 //! reachability over the directed structure (signs and weights are
 //! ignored here — these are purely structural helpers used by the
@@ -156,7 +155,6 @@ pub fn hop_distances(
         }
     }
     while let Some(u) = queue.pop_front() {
-        // lint:allow(panic) structural invariant: a node's distance is set before it is queued
         let d = dist[u.index()].expect("queued nodes have distances");
         for &v in neighbors(g, u, direction) {
             if dist[v.index()].is_none() {

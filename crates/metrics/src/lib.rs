@@ -1,4 +1,3 @@
-// lint:allow-file(indexing) distance vectors are allocated with node_count entries and indexed by in-bounds NodeIds from the same graph
 //! # isomit-metrics
 //!
 //! Evaluation metrics for rumor-initiator detection, matching §IV-B2 of
@@ -191,7 +190,6 @@ pub fn mean_detection_distance(
         }
     }
     while let Some(u) = queue.pop_front() {
-        // lint:allow(panic) structural invariant: a node's distance is set before it is queued
         let d = dist[u.index()].expect("queued nodes have distances");
         for &v in graph.out_neighbors(u).iter().chain(graph.in_neighbors(u)) {
             if dist[v.index()].is_none() {

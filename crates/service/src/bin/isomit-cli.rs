@@ -1,4 +1,3 @@
-// lint:allow-file(panic) CLI entry point: fails fast on bad options, IO errors and server failures with a process exit, as command-line tools should
 //! `isomit-cli` — command-line client for `isomit-serve`, plus a local
 //! `gen-snapshot` helper for producing test fixtures.
 //!

@@ -1,4 +1,3 @@
-// lint:allow-file(panic) daemon entry point: fails fast on bad CLI options and startup IO errors; the serving path itself is panic-free library code
 //! `isomit-serve` — the RID inference daemon.
 //!
 //! ```text

@@ -234,6 +234,14 @@ pub trait ParallelIterator: Sized + Send + Sync {
         Map { base: self, f }
     }
 
+    /// Pairs items index-wise with `other` (truncating to the shorter).
+    fn zip<B>(self, other: B) -> Zip<Self, B>
+    where
+        B: ParallelIterator,
+    {
+        Zip { a: self, b: other }
+    }
+
     /// Consumes the iterator, calling `f` on every item.
     fn for_each<F>(self, f: F)
     where
@@ -357,6 +365,26 @@ impl<T: Send> FromParallelIterator<T> for Vec<T> {
             out.extend(part);
         }
         out
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    fn par_len(&self) -> usize {
+        self.a.par_len().min(self.b.par_len())
+    }
+    fn par_eval(&self, index: usize) -> (A::Item, B::Item) {
+        (self.a.par_eval(index), self.b.par_eval(index))
     }
 }
 

@@ -1,0 +1,748 @@
+//! Item-level parsing on top of the token stream.
+//!
+//! This is not a full Rust parser: it recovers the *item tree* — the
+//! nesting of modules, impls, traits and functions — plus the facts the
+//! rules engine needs about each item:
+//!
+//! * name, visibility and declaration line;
+//! * the attached doc comment text and attributes (so `#[cfg(test)]`
+//!   subtrees are exempted structurally, not by brace counting on
+//!   blanked lines as the old scanner did);
+//! * for functions: the body token range, whether the return type
+//!   mentions `Result`, and whether the doc carries `# Panics` /
+//!   `# Errors` / `# Examples` sections.
+//!
+//! Function bodies are treated as opaque token ranges (statements are
+//! not parsed); the expression-level rules work directly on the token
+//! stream with the item tree supplying context (enclosing function,
+//! test scope, method-vs-free-function).
+//!
+//! Like the lexer, the parser is total: any token stream produces an
+//! item tree without panics, and the cursor always advances.
+
+use crate::lexer::{Token, TokenKind};
+
+/// What kind of item a node of the item tree is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `fn`, `pub fn`, `const fn`, `async fn`, `unsafe fn`, …
+    Fn,
+    /// `mod name { … }` or `mod name;`
+    Mod,
+    /// `impl Type { … }` / `impl Trait for Type { … }`
+    Impl,
+    /// `trait Name { … }`
+    Trait,
+    /// `struct` / `enum` / `union`
+    TypeDef,
+    /// `macro_rules! name { … }`
+    MacroDef,
+}
+
+/// One node of the item tree.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// The item kind.
+    pub kind: ItemKind,
+    /// Item name (`impl` items use the rendered header text).
+    pub name: String,
+    /// Whether the item is `pub` (any visibility qualifier counts).
+    pub is_pub: bool,
+    /// 1-based line of the declaring keyword.
+    pub line: usize,
+    /// Index of the enclosing item in the tree, if any.
+    pub parent: Option<usize>,
+    /// `true` if this item or an ancestor is `#[cfg(test)]` / `#[test]`.
+    pub cfg_test: bool,
+    /// Concatenated outer doc comment text attached to the item.
+    pub doc: String,
+    /// Raw text of the item's outer attributes.
+    pub attrs: Vec<String>,
+    /// Token range `[start, end)` strictly inside the body braces
+    /// (`None` for `mod x;`, trait method signatures, type defs, …).
+    pub body: Option<(usize, usize)>,
+    /// Functions only: the declared return type mentions `Result`.
+    pub returns_result: bool,
+    /// Functions only: declared inside an `impl` or `trait` block.
+    pub is_method: bool,
+}
+
+impl Item {
+    /// Whether the doc comment has a `# Panics` section.
+    pub fn has_panics_doc(&self) -> bool {
+        self.doc.contains("# Panics")
+    }
+
+    /// Whether the doc comment has an `# Errors` section.
+    pub fn has_errors_doc(&self) -> bool {
+        self.doc.contains("# Errors")
+    }
+
+    /// Whether the doc comment has an `# Examples` section.
+    pub fn has_examples_doc(&self) -> bool {
+        self.doc.contains("# Examples")
+    }
+}
+
+/// Parses the item tree out of a lexed file.
+pub fn parse(src: &str, tokens: &[Token]) -> Vec<Item> {
+    let mut p = Parser {
+        src,
+        tokens,
+        pos: 0,
+        items: Vec::new(),
+    };
+    p.parse_block(None, false, false);
+    p.items
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    tokens: &'a [Token],
+    pos: usize,
+    items: Vec<Item>,
+}
+
+/// Pending doc/attr state while scanning toward the next item keyword.
+#[derive(Default)]
+struct Pending {
+    docs: Vec<String>,
+    attrs: Vec<String>,
+    is_pub: bool,
+}
+
+impl Pending {
+    fn take_doc(&mut self) -> String {
+        let doc = self.docs.join("\n");
+        self.docs.clear();
+        doc
+    }
+
+    fn cfg_test(&self) -> bool {
+        self.attrs.iter().any(|a| {
+            let squashed: String = a.chars().filter(|c| !c.is_whitespace()).collect();
+            squashed.contains("cfg(test)") || squashed == "#[test]"
+        })
+    }
+
+    fn reset(&mut self) {
+        self.docs.clear();
+        self.attrs.clear();
+        self.is_pub = false;
+    }
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self, ahead: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + ahead)
+    }
+
+    fn text(&self, t: &Token) -> &'a str {
+        t.text(self.src)
+    }
+
+    /// Next non-comment token index at or after `self.pos + ahead`
+    /// positions among significant tokens.
+    fn sig(&self, nth: usize) -> Option<usize> {
+        let mut seen = 0usize;
+        let mut i = self.pos;
+        while let Some(t) = self.tokens.get(i) {
+            if !t.is_comment() {
+                if seen == nth {
+                    return Some(i);
+                }
+                seen += 1;
+            }
+            i += 1;
+        }
+        None
+    }
+
+    fn sig_text(&self, nth: usize) -> &'a str {
+        self.sig(nth)
+            .and_then(|i| self.tokens.get(i))
+            .map(|t| self.text(t))
+            .unwrap_or("")
+    }
+
+    /// Parses items until a closing `}` (consumed) or end of input.
+    fn parse_block(&mut self, parent: Option<usize>, in_test: bool, in_impl: bool) {
+        let mut pending = Pending::default();
+        while let Some(tok) = self.peek(0).copied() {
+            match tok.kind {
+                TokenKind::LineComment { doc } | TokenKind::BlockComment { doc } => {
+                    if doc {
+                        let text = self.text(&tok);
+                        // Inner docs (`//!`, `/*!`) describe the enclosing
+                        // module, not the next item.
+                        if !text.starts_with("//!") && !text.starts_with("/*!") {
+                            pending.docs.push(strip_doc_markers(text));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    let text = self.text(&tok);
+                    match text {
+                        "#" => self.attribute(&mut pending),
+                        "pub" => {
+                            self.pos += 1;
+                            // `pub(crate)` / `pub(in path)` is restricted
+                            // visibility — not part of the public API
+                            // surface the doc and taint rules guard.
+                            if self.sig_text(0) == "(" {
+                                self.skip_balanced("(", ")");
+                            } else {
+                                pending.is_pub = true;
+                            }
+                        }
+                        // Modifier keywords that may precede `fn`.
+                        "const" | "unsafe" | "async" | "extern" | "default" => {
+                            if self.is_fn_modifier() {
+                                self.pos += 1;
+                            } else {
+                                // `const NAME: T = …;`, `extern crate`,
+                                // `unsafe impl`… — `unsafe impl` and
+                                // `unsafe trait` are handled by skipping
+                                // the keyword; other forms run to `;`.
+                                if text == "unsafe" && matches!(self.sig_text(1), "impl" | "trait")
+                                {
+                                    self.pos += 1;
+                                } else {
+                                    self.skip_to_semicolon();
+                                    pending.reset();
+                                }
+                            }
+                        }
+                        "fn" => self.function(&mut pending, parent, in_test, in_impl),
+                        "mod" => self.module(&mut pending, parent, in_test),
+                        "impl" => self.impl_or_trait(ItemKind::Impl, &mut pending, parent, in_test),
+                        "trait" => {
+                            self.impl_or_trait(ItemKind::Trait, &mut pending, parent, in_test)
+                        }
+                        "struct" | "enum" | "union" => self.type_def(&mut pending, parent, in_test),
+                        "macro_rules" => self.macro_def(&mut pending, parent, in_test),
+                        "use" | "static" | "type" => {
+                            self.skip_to_semicolon();
+                            pending.reset();
+                        }
+                        "}" => {
+                            self.pos += 1;
+                            return;
+                        }
+                        "{" => {
+                            // Stray block (e.g. malformed input): skip it
+                            // wholesale so we never mistake its contents
+                            // for items of this level.
+                            self.skip_balanced("{", "}");
+                            pending.reset();
+                        }
+                        _ => {
+                            self.pos += 1;
+                            pending.reset();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// True if the keyword at the cursor is a modifier chain leading to
+    /// `fn` (e.g. `const unsafe extern "C" fn`).
+    fn is_fn_modifier(&self) -> bool {
+        for ahead in 1..5 {
+            match self.sig_text(ahead) {
+                "fn" => return true,
+                "const" | "unsafe" | "async" | "default" | "extern" => continue,
+                s if s.starts_with('"') => continue, // extern ABI string
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    /// Consumes `#[...]` / `#![...]`, recording outer attributes.
+    fn attribute(&mut self, pending: &mut Pending) {
+        let start_tok = self.pos;
+        self.pos += 1; // `#`
+        let inner = self.sig_text(0) == "!";
+        if inner {
+            self.pos += 1;
+        }
+        if self.sig_text(0) == "[" {
+            let end = self.skip_balanced("[", "]");
+            if !inner {
+                let from = self.tokens.get(start_tok).map(|t| t.start).unwrap_or(0);
+                let to = end.unwrap_or(from);
+                pending
+                    .attrs
+                    .push(self.src.get(from..to).unwrap_or("").to_owned());
+            }
+        }
+    }
+
+    /// Skips a balanced pair starting at the next significant `open`.
+    /// Returns the byte offset just past the closing token.
+    fn skip_balanced(&mut self, open: &str, close: &str) -> Option<usize> {
+        // Advance to the opening token.
+        while let Some(t) = self.peek(0).copied() {
+            if t.is_comment() {
+                self.pos += 1;
+                continue;
+            }
+            if self.text(&t) == open {
+                break;
+            }
+            self.pos += 1;
+        }
+        let mut depth = 0usize;
+        while let Some(t) = self.peek(0).copied() {
+            self.pos += 1;
+            if t.is_comment() {
+                continue;
+            }
+            let text = self.text(&t);
+            if text == open {
+                depth += 1;
+            } else if text == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(t.end);
+                }
+            }
+        }
+        None
+    }
+
+    /// Skips to just past the next `;` at brace/paren depth 0.
+    fn skip_to_semicolon(&mut self) {
+        let mut brace = 0i64;
+        let mut paren = 0i64;
+        while let Some(t) = self.peek(0).copied() {
+            self.pos += 1;
+            if t.is_comment() {
+                continue;
+            }
+            match self.text(&t) {
+                "{" => brace += 1,
+                "}" => {
+                    brace -= 1;
+                    if brace < 0 {
+                        // Closing the enclosing block: back off so the
+                        // caller sees it.
+                        self.pos -= 1;
+                        return;
+                    }
+                }
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                ";" if brace == 0 && paren <= 0 => return,
+                _ => {}
+            }
+        }
+    }
+
+    fn function(
+        &mut self,
+        pending: &mut Pending,
+        parent: Option<usize>,
+        in_test: bool,
+        in_impl: bool,
+    ) {
+        let line = self.peek(0).map(|t| t.line).unwrap_or(0);
+        self.pos += 1; // `fn`
+        let name = self.sig_text(0).to_owned();
+        if let Some(i) = self.sig(0) {
+            self.pos = i + 1;
+        }
+        // Signature runs to the body `{` or a `;` (trait method without
+        // default body). Track nesting so `where` clauses and argument
+        // lists never end the signature early; collect the return type
+        // tokens after `->`.
+        let mut returns_result = false;
+        let mut after_arrow = false;
+        let mut paren = 0i64;
+        let mut bracket = 0i64;
+        let mut body: Option<(usize, usize)> = None;
+        while let Some(t) = self.peek(0).copied() {
+            if t.is_comment() {
+                self.pos += 1;
+                continue;
+            }
+            let text = self.text(&t);
+            match text {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                "->" => after_arrow = true,
+                "Result" if after_arrow => returns_result = true,
+                ";" if paren <= 0 && bracket <= 0 => {
+                    self.pos += 1;
+                    break;
+                }
+                "{" if paren <= 0 && bracket <= 0 => {
+                    let body_start = self.pos + 1;
+                    self.skip_balanced("{", "}");
+                    // An unterminated body runs to EOF; the clamp keeps
+                    // the range well-formed when the `{` is the last token.
+                    body = Some((body_start, self.pos.saturating_sub(1).max(body_start)));
+                    break;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        let cfg_test = in_test || pending.cfg_test();
+        self.items.push(Item {
+            kind: ItemKind::Fn,
+            name,
+            is_pub: pending.is_pub,
+            line,
+            parent,
+            cfg_test,
+            doc: pending.take_doc(),
+            attrs: std::mem::take(&mut pending.attrs),
+            body,
+            returns_result,
+            is_method: in_impl,
+        });
+        pending.reset();
+    }
+
+    fn module(&mut self, pending: &mut Pending, parent: Option<usize>, in_test: bool) {
+        let line = self.peek(0).map(|t| t.line).unwrap_or(0);
+        self.pos += 1; // `mod`
+        let name = self.sig_text(0).to_owned();
+        if let Some(i) = self.sig(0) {
+            self.pos = i + 1;
+        }
+        let cfg_test = in_test || pending.cfg_test();
+        let idx = self.items.len();
+        self.items.push(Item {
+            kind: ItemKind::Mod,
+            name,
+            is_pub: pending.is_pub,
+            line,
+            parent,
+            cfg_test,
+            doc: pending.take_doc(),
+            attrs: std::mem::take(&mut pending.attrs),
+            body: None,
+            returns_result: false,
+            is_method: false,
+        });
+        pending.reset();
+        match self.sig_text(0) {
+            "{" => {
+                if let Some(i) = self.sig(0) {
+                    self.pos = i + 1;
+                }
+                let body_start = self.pos;
+                self.parse_block(Some(idx), cfg_test, false);
+                self.items[idx].body =
+                    Some((body_start, self.pos.saturating_sub(1).max(body_start)));
+            }
+            ";" => {
+                if let Some(i) = self.sig(0) {
+                    self.pos = i + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn impl_or_trait(
+        &mut self,
+        kind: ItemKind,
+        pending: &mut Pending,
+        parent: Option<usize>,
+        in_test: bool,
+    ) {
+        let line = self.peek(0).map(|t| t.line).unwrap_or(0);
+        let header_start = self.peek(0).map(|t| t.start).unwrap_or(0);
+        self.pos += 1; // `impl` / `trait`
+                       // Scan forward to the body `{` (or `;` for `trait Alias = …;`).
+        let mut header_end = header_start;
+        while let Some(t) = self.peek(0).copied() {
+            if t.is_comment() {
+                self.pos += 1;
+                continue;
+            }
+            let text = self.text(&t);
+            if text == "{" || text == ";" {
+                break;
+            }
+            header_end = t.end;
+            self.pos += 1;
+        }
+        let name = self
+            .src
+            .get(header_start..header_end)
+            .unwrap_or("")
+            .split_whitespace()
+            .collect::<Vec<_>>()
+            .join(" ");
+        let cfg_test = in_test || pending.cfg_test();
+        let idx = self.items.len();
+        self.items.push(Item {
+            kind,
+            name,
+            is_pub: pending.is_pub,
+            line,
+            parent,
+            cfg_test,
+            doc: pending.take_doc(),
+            attrs: std::mem::take(&mut pending.attrs),
+            body: None,
+            returns_result: false,
+            is_method: false,
+        });
+        pending.reset();
+        if self.sig_text(0) == "{" {
+            if let Some(i) = self.sig(0) {
+                self.pos = i + 1;
+            }
+            let body_start = self.pos;
+            self.parse_block(Some(idx), cfg_test, true);
+            self.items[idx].body = Some((body_start, self.pos.saturating_sub(1).max(body_start)));
+        } else if self.sig_text(0) == ";" {
+            if let Some(i) = self.sig(0) {
+                self.pos = i + 1;
+            }
+        }
+    }
+
+    fn type_def(&mut self, pending: &mut Pending, parent: Option<usize>, in_test: bool) {
+        let line = self.peek(0).map(|t| t.line).unwrap_or(0);
+        self.pos += 1; // struct/enum/union
+        let name = self.sig_text(0).to_owned();
+        let cfg_test = in_test || pending.cfg_test();
+        self.items.push(Item {
+            kind: ItemKind::TypeDef,
+            name,
+            is_pub: pending.is_pub,
+            line,
+            parent,
+            cfg_test,
+            doc: pending.take_doc(),
+            attrs: std::mem::take(&mut pending.attrs),
+            body: None,
+            returns_result: false,
+            is_method: false,
+        });
+        pending.reset();
+        // Runs to `{…}` (struct/enum body) or `;` (tuple/unit struct).
+        loop {
+            match self.sig_text(0) {
+                "{" => {
+                    self.skip_balanced("{", "}");
+                    return;
+                }
+                ";" => {
+                    if let Some(i) = self.sig(0) {
+                        self.pos = i + 1;
+                    }
+                    return;
+                }
+                "" => return,
+                _ => {
+                    if let Some(i) = self.sig(0) {
+                        self.pos = i + 1;
+                    } else {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn macro_def(&mut self, pending: &mut Pending, parent: Option<usize>, in_test: bool) {
+        let line = self.peek(0).map(|t| t.line).unwrap_or(0);
+        self.pos += 1; // `macro_rules`
+        if self.sig_text(0) == "!" {
+            if let Some(i) = self.sig(0) {
+                self.pos = i + 1;
+            }
+        }
+        let name = self.sig_text(0).to_owned();
+        if let Some(i) = self.sig(0) {
+            self.pos = i + 1;
+        }
+        let body_start = self.pos + 1;
+        self.skip_balanced("{", "}");
+        self.items.push(Item {
+            kind: ItemKind::MacroDef,
+            name,
+            is_pub: pending.is_pub,
+            line,
+            parent,
+            cfg_test: in_test || pending.cfg_test(),
+            doc: pending.take_doc(),
+            attrs: std::mem::take(&mut pending.attrs),
+            body: Some((body_start, self.pos.saturating_sub(1).max(body_start))),
+            returns_result: false,
+            is_method: false,
+        });
+        pending.reset();
+    }
+}
+
+/// Strips `///`, `//!`, `/** */` markers from one doc comment's text.
+fn strip_doc_markers(text: &str) -> String {
+    let t = text.trim();
+    if let Some(rest) = t.strip_prefix("///").or_else(|| t.strip_prefix("//!")) {
+        return rest.trim().to_owned();
+    }
+    let t = t
+        .strip_prefix("/**")
+        .or_else(|| t.strip_prefix("/*!"))
+        .unwrap_or(t);
+    t.strip_suffix("*/").unwrap_or(t).trim().to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items(src: &str) -> Vec<Item> {
+        parse(src, &lex(src))
+    }
+
+    #[test]
+    fn finds_fns_mods_impls() {
+        let src = "pub fn free() {}\nmod m {\n  impl Foo {\n    pub fn method(&self) {}\n  }\n}\n";
+        let it = items(src);
+        let names: Vec<(&str, ItemKind, bool)> = it
+            .iter()
+            .map(|i| (i.name.as_str(), i.kind, i.is_method))
+            .collect();
+        assert_eq!(names[0], ("free", ItemKind::Fn, false));
+        assert_eq!(names[1], ("m", ItemKind::Mod, false));
+        assert_eq!(it[2].kind, ItemKind::Impl);
+        assert_eq!(names[3], ("method", ItemKind::Fn, true));
+        assert_eq!(it[3].parent, Some(2));
+        assert!(it[3].is_pub);
+    }
+
+    #[test]
+    fn cfg_test_subtree_is_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() {}\n  mod inner { fn u() {} }\n}\nfn tail() {}\n";
+        let it = items(src);
+        let flag = |name: &str| it.iter().find(|i| i.name == name).map(|i| i.cfg_test);
+        assert_eq!(flag("lib"), Some(false));
+        assert_eq!(flag("tests"), Some(true));
+        assert_eq!(flag("t"), Some(true));
+        assert_eq!(flag("u"), Some(true));
+        assert_eq!(flag("tail"), Some(false));
+    }
+
+    #[test]
+    fn doc_sections_are_detected() {
+        let src = "/// Doc.\n///\n/// # Panics\n///\n/// Panics on x.\npub fn p() {}\n\n/// # Errors\npub fn e() -> Result<(), E> { Ok(()) }\n";
+        let it = items(src);
+        assert!(it[0].has_panics_doc());
+        assert!(!it[0].has_errors_doc());
+        assert!(it[1].has_errors_doc());
+        assert!(it[1].returns_result);
+        assert!(!it[0].returns_result);
+    }
+
+    #[test]
+    fn inner_docs_do_not_attach_to_first_item() {
+        let src = "//! Module docs.\n\npub fn first() {}\n";
+        let it = items(src);
+        assert_eq!(it[0].doc, "");
+    }
+
+    #[test]
+    fn signature_nesting_does_not_end_early() {
+        let src = "pub fn f<T: Fn(u8) -> Result<u8, E>>(x: [u8; 3]) -> bool { true }\n";
+        let it = items(src);
+        assert_eq!(it.len(), 1);
+        // `Result` only appears inside a generic bound's parens-arrow,
+        // which still counts as after an arrow — acceptable
+        // over-approximation; what matters is the body is found.
+        assert!(it[0].body.is_some());
+    }
+
+    #[test]
+    fn trait_methods_without_bodies() {
+        let src = "pub trait T {\n  fn sig_only(&self) -> Result<(), E>;\n  fn with_default(&self) {}\n}\n";
+        let it = items(src);
+        assert_eq!(it[0].kind, ItemKind::Trait);
+        let sig = it.iter().find(|i| i.name == "sig_only").unwrap();
+        assert!(sig.body.is_none());
+        assert!(sig.returns_result);
+        assert!(sig.is_method);
+        assert!(it
+            .iter()
+            .find(|i| i.name == "with_default")
+            .unwrap()
+            .body
+            .is_some());
+    }
+
+    #[test]
+    fn fn_bodies_are_opaque_and_braces_in_literals_ignored() {
+        let src = "fn f() { let s = \"}\"; let c = '}'; if x { y() } }\npub fn after() {}\n";
+        let it = items(src);
+        assert_eq!(it.len(), 2);
+        assert_eq!(it[1].name, "after");
+    }
+
+    #[test]
+    fn macro_rules_is_an_item_with_body() {
+        let src = "macro_rules! m {\n  ($x:expr) => { $x[0].unwrap() };\n}\nfn after() {}\n";
+        let it = items(src);
+        assert_eq!(it[0].kind, ItemKind::MacroDef);
+        assert_eq!(it[0].name, "m");
+        assert!(it[0].body.is_some());
+        assert_eq!(it[1].name, "after");
+    }
+
+    #[test]
+    fn const_static_and_use_are_skipped_without_confusion() {
+        let src = "use std::collections::BTreeMap;\nconst N: usize = 3;\nstatic S: &str = \"fn not_an_item() {}\";\npub const fn cf() -> u8 { 0 }\n";
+        let it = items(src);
+        assert_eq!(it.len(), 1);
+        assert_eq!(it[0].name, "cf");
+        assert!(it[0].is_pub);
+    }
+
+    #[test]
+    fn pub_crate_visibility_is_not_public() {
+        let src = "pub(crate) fn f() {}\npub(in crate::x) fn g() {}\npub fn h() {}\n";
+        let it = items(src);
+        assert_eq!(it.len(), 3);
+        assert!(!it[0].is_pub);
+        assert!(!it[1].is_pub);
+        assert!(it[2].is_pub);
+    }
+
+    #[test]
+    fn attrs_recorded_and_test_attr_counts() {
+        let src = "#[test]\nfn t() {}\n#[inline]\n#[must_use]\npub fn f() -> u8 { 0 }\n";
+        let it = items(src);
+        assert!(it[0].cfg_test);
+        assert_eq!(it[1].attrs.len(), 2);
+        assert!(!it[1].cfg_test);
+    }
+
+    #[test]
+    fn parser_is_total_on_garbage() {
+        for src in [
+            "}}}}",
+            "fn",
+            "fn {",
+            "impl",
+            "mod m { fn broken( }",
+            "pub pub pub",
+            "#[",
+            "trait T",
+        ] {
+            let _ = items(src); // must not panic or hang
+        }
+    }
+}

@@ -1,0 +1,561 @@
+//! A hand-rolled Rust lexer: byte-driven, span-preserving, panic-free.
+//!
+//! This replaces the line-oriented state machine the lint pass used
+//! through PR 6. The lexer turns a source file into a flat stream of
+//! [`Token`]s with byte spans and 1-based line numbers; everything the
+//! rules engine does downstream (item parsing, waiver extraction, taint
+//! seeding) consumes this stream, so the file is tokenized exactly once
+//! per lint run.
+//!
+//! Design constraints:
+//!
+//! * **Total** — must produce a token stream for *any* input string
+//!   without panicking or looping: unterminated strings and comments
+//!   are closed at end-of-file, stray bytes become [`TokenKind::Unknown`].
+//!   A proptest in `xtask/tests/properties.rs` pins this.
+//! * **Span round-trip** — tokens are strictly ordered, non-overlapping
+//!   and lie on `char` boundaries; the gaps between consecutive tokens
+//!   contain only whitespace. Rules can therefore slice the original
+//!   source by span to recover exact token text.
+//! * **Comment-preserving** — comments are real tokens (they carry the
+//!   waiver syntax and `// SAFETY:` contracts), with doc comments
+//!   distinguished so rustdoc text is never mistaken for code.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#type`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (not a char literal).
+    Lifetime,
+    /// Integer or float literal, including suffixes (`1_000u32`, `1.5e-3`).
+    Number,
+    /// `"..."` or `b"..."` string literal (escapes handled).
+    Str,
+    /// `r"..."`, `r#"..."#`, `br##"..."##` raw (byte) string literal.
+    RawStr,
+    /// `'x'`, `'\n'` or `b'x'` character literal.
+    Char,
+    /// `// ...` comment; `doc` is true for `///` (outer) and `//!` (inner).
+    LineComment {
+        /// Whether this is a doc comment.
+        doc: bool,
+    },
+    /// `/* ... */` comment (nesting-aware); `doc` for `/** */` and `/*! */`.
+    BlockComment {
+        /// Whether this is a doc comment.
+        doc: bool,
+    },
+    /// Punctuation. Multi-byte tokens are emitted for `::`, `->` and
+    /// `=>`; every other operator surfaces as single-byte tokens.
+    Punct,
+    /// A byte sequence that fits no other class (kept so spans stay
+    /// contiguous and the lexer stays total).
+    Unknown,
+}
+
+/// One token with its position in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte (inclusive), on a char boundary.
+    pub start: usize,
+    /// Byte offset one past the last byte (exclusive), on a char boundary.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text, sliced from the source it was lexed from.
+    ///
+    /// Returns `""` if `src` is not the originating source (span out of
+    /// range); the lexer itself guarantees in-range char-boundary spans.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+
+    /// Whether the token is any kind of comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+
+    /// Whether the token is a doc comment (`///`, `//!`, `/** */`, `/*! */`).
+    pub fn is_doc(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment { doc: true } | TokenKind::BlockComment { doc: true }
+        )
+    }
+}
+
+/// Tokenizes `src` completely. Total: never panics, always terminates,
+/// and covers every non-whitespace byte of the input with some token.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        text: src,
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    text: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::with_capacity(self.src.len() / 4);
+        while self.pos < self.src.len() {
+            self.skip_whitespace();
+            if self.pos >= self.src.len() {
+                break;
+            }
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            // Safety net: `next_kind` always advances, but guard against
+            // a zero-width token ever sneaking in (totality > elegance).
+            if self.pos == start {
+                self.pos += 1;
+            }
+            self.pos = self.to_char_boundary(self.pos);
+            out.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        out
+    }
+
+    /// Rounds `p` up to the next char boundary of the source (spans must
+    /// slice cleanly even when a literal ends mid-way through the file).
+    fn to_char_boundary(&self, mut p: usize) -> usize {
+        while p < self.src.len() && !self.text.is_char_boundary(p) {
+            p += 1;
+        }
+        p.min(self.src.len())
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) {
+        if let Some(b) = self.src.get(self.pos) {
+            if *b == b'\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(b) = self.peek(0) {
+            if b.is_ascii_whitespace() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let b = match self.peek(0) {
+            Some(b) => b,
+            None => return TokenKind::Unknown,
+        };
+        match b {
+            b'/' => match self.peek(1) {
+                Some(b'/') => self.line_comment(),
+                Some(b'*') => self.block_comment(),
+                _ => self.punct(),
+            },
+            b'"' => self.string(),
+            b'\'' => self.char_or_lifetime(),
+            b'r' | b'b' => self.raw_or_ident(),
+            b'0'..=b'9' => self.number(),
+            _ if is_ident_start(b) => self.ident(),
+            _ => self.punct(),
+        }
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        // `///` (outer doc, but `////...` is plain) or `//!` (inner doc).
+        let doc = match (self.peek(2), self.peek(3)) {
+            (Some(b'/'), Some(b'/')) => false,
+            (Some(b'/'), _) => true,
+            (Some(b'!'), _) => true,
+            _ => false,
+        };
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        TokenKind::LineComment { doc }
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        // `/**` (but not `/**/` or `/***`) and `/*!` are doc comments.
+        let doc = match (self.peek(2), self.peek(3)) {
+            (Some(b'*'), Some(b'/')) => false,
+            (Some(b'*'), Some(b'*')) => false,
+            (Some(b'*'), _) => true,
+            (Some(b'!'), _) => true,
+            _ => false,
+        };
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break, // unterminated: close at EOF
+            }
+        }
+        TokenKind::BlockComment { doc }
+    }
+
+    /// A plain `"..."` string starting at the opening quote.
+    fn string(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => {
+                    self.bump();
+                    self.bump(); // escaped byte (may be a newline)
+                }
+                b'"' => {
+                    self.bump();
+                    return TokenKind::Str;
+                }
+                _ => self.bump(),
+            }
+        }
+        TokenKind::Str // unterminated: close at EOF
+    }
+
+    /// Raw strings (`r"…"`, `r#"…"#`), byte strings (`b"…"`, `br#"…"#`),
+    /// byte chars (`b'x'`), raw identifiers (`r#ident`) or a plain
+    /// identifier starting with `r`/`b`.
+    fn raw_or_ident(&mut self) -> TokenKind {
+        let first = self.peek(0).unwrap_or(b'r');
+        // `b` prefix shifts everything by one.
+        let (raw_off, is_byte) = if first == b'b' {
+            match self.peek(1) {
+                Some(b'r') => (2usize, true),
+                Some(b'"') => {
+                    self.bump();
+                    return self.string();
+                }
+                Some(b'\'') => {
+                    self.bump();
+                    return self.char_literal();
+                }
+                _ => return self.ident(),
+            }
+        } else {
+            (1usize, false)
+        };
+        // Count hashes after the (b)r prefix.
+        let mut hashes = 0usize;
+        while self.peek(raw_off + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek(raw_off + hashes) == Some(b'"') {
+            // Raw (byte) string: consume prefix, hashes and opening quote.
+            for _ in 0..raw_off + hashes + 1 {
+                self.bump();
+            }
+            loop {
+                match self.peek(0) {
+                    Some(b'"') => {
+                        let mut matched = true;
+                        for k in 0..hashes {
+                            if self.peek(1 + k) != Some(b'#') {
+                                matched = false;
+                                break;
+                            }
+                        }
+                        self.bump();
+                        if matched {
+                            for _ in 0..hashes {
+                                self.bump();
+                            }
+                            return TokenKind::RawStr;
+                        }
+                    }
+                    Some(_) => self.bump(),
+                    None => return TokenKind::RawStr, // unterminated
+                }
+            }
+        }
+        if !is_byte && hashes == 1 && self.peek(2).is_some_and(is_ident_start) {
+            // Raw identifier `r#ident`.
+            self.bump();
+            self.bump();
+            return self.ident();
+        }
+        self.ident()
+    }
+
+    /// `'a` (lifetime), `'x'` / `'\n'` (char literal) or a stray quote.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        match self.peek(1) {
+            Some(b'\\') => self.char_literal(),
+            Some(b) if is_ident_start(b) && b < 0x80 => {
+                // Could be `'a'` (char) or `'abc` (lifetime): consume the
+                // identifier run and check for a closing quote.
+                let mut n = 1usize;
+                while self.peek(1 + n).is_some_and(is_ident_continue) {
+                    n += 1;
+                }
+                if n == 1 && self.peek(2) == Some(b'\'') {
+                    self.char_literal()
+                } else {
+                    self.bump(); // quote
+                    for _ in 0..n {
+                        self.bump();
+                    }
+                    TokenKind::Lifetime
+                }
+            }
+            _ => self.char_literal(),
+        }
+    }
+
+    /// A char literal starting at the opening quote. Never crosses a
+    /// newline (so a stray `'` cannot swallow the rest of the file).
+    fn char_literal(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'\'' => {
+                    self.bump();
+                    return TokenKind::Char;
+                }
+                b'\n' => break,
+                _ => self.bump(),
+            }
+        }
+        TokenKind::Char // unterminated on this line: close here
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Integer part incl. radix prefixes, `_` separators and suffixes.
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        // Fractional part: a `.` followed by a digit (so `1..n` and
+        // `x.method()` are left alone).
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.bump();
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+        }
+        // Signed exponent: `1e-3` lexes `1e` then needs `-3`.
+        if (self.prev_byte() == Some(b'e') || self.prev_byte() == Some(b'E'))
+            && (self.peek(0) == Some(b'+') || self.peek(0) == Some(b'-'))
+            && self.peek(1).is_some_and(|b| b.is_ascii_digit())
+        {
+            self.bump();
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+        }
+        TokenKind::Number
+    }
+
+    fn prev_byte(&self) -> Option<u8> {
+        self.pos
+            .checked_sub(1)
+            .and_then(|p| self.src.get(p))
+            .copied()
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        TokenKind::Ident
+    }
+
+    fn punct(&mut self) -> TokenKind {
+        // Join the separators the item parser keys on; everything else
+        // stays single-byte (e.g. `>>` is two `>` tokens, which keeps
+        // generics matching trivial).
+        let joined = matches!(
+            (self.peek(0), self.peek(1)),
+            (Some(b':'), Some(b':')) | (Some(b'-'), Some(b'>')) | (Some(b'='), Some(b'>'))
+        );
+        self.bump();
+        if joined {
+            self.bump();
+        }
+        TokenKind::Punct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_puncts() {
+        let ts = kinds("pub fn f(x: u32) -> u32 { x }");
+        let texts: Vec<&str> = ts.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["pub", "fn", "f", "(", "x", ":", "u32", ")", "->", "u32", "{", "x", "}"]
+        );
+        assert_eq!(ts[8].0, TokenKind::Punct); // `->` joined
+    }
+
+    #[test]
+    fn strings_rawstrings_and_chars() {
+        let src = r##"let s = "a\"b"; let r = r#"raw "x" "#; let c = '{'; let b = b'\n';"##;
+        let ts = kinds(src);
+        assert!(ts
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Str && s.contains("a\\\"b")));
+        assert!(ts
+            .iter()
+            .any(|(k, s)| *k == TokenKind::RawStr && s.contains("raw")));
+        assert_eq!(ts.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ts = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let s = 'static; }");
+        let lifetimes: Vec<&str> = ts
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'static"]);
+        assert!(ts.iter().any(|(k, s)| *k == TokenKind::Char && s == "'x'"));
+    }
+
+    #[test]
+    fn comments_doc_and_nested() {
+        let src = "/// outer\n//! inner\n// plain\n//// also plain\n/* a /* nested */ b */\n/** block doc */ x";
+        let ts = kinds(src);
+        assert_eq!(ts[0].0, TokenKind::LineComment { doc: true });
+        assert_eq!(ts[1].0, TokenKind::LineComment { doc: true });
+        assert_eq!(ts[2].0, TokenKind::LineComment { doc: false });
+        assert_eq!(ts[3].0, TokenKind::LineComment { doc: false });
+        assert_eq!(ts[4].0, TokenKind::BlockComment { doc: false });
+        assert!(ts[4].1.contains("nested"));
+        assert_eq!(ts[5].0, TokenKind::BlockComment { doc: true });
+        assert_eq!(ts[6].1, "x");
+    }
+
+    #[test]
+    fn numbers_including_floats_and_ranges() {
+        let ts = kinds("let x = 1_000u32 + 0xff + 1.5e-3; for i in 0..10 {} t.0");
+        let nums: Vec<&str> = ts
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(nums, ["1_000u32", "0xff", "1.5e-3", "0", "10", "0"]);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let ts = kinds("let r#type = 1;");
+        assert!(ts
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && s == "r#type"));
+    }
+
+    #[test]
+    fn line_numbers_track_all_token_classes() {
+        let src = "a\n\"multi\nline\"\nb\n/* c\nd */\ne";
+        let ts = lex(src);
+        let by_text: Vec<(String, usize)> = ts
+            .iter()
+            .map(|t| (t.text(src).chars().take(3).collect(), t.line))
+            .collect();
+        assert_eq!(by_text[0], ("a".into(), 1));
+        assert_eq!(by_text[1].1, 2); // string starts on line 2
+        assert_eq!(by_text[2], ("b".into(), 4));
+        assert_eq!(by_text[3].1, 5); // block comment starts on line 5
+        assert_eq!(by_text[4], ("e".into(), 7));
+    }
+
+    #[test]
+    fn spans_cover_and_order() {
+        let src = "fn f() { \"s\" /* c */ 'x' r#\"r\"# 1.5 }";
+        let ts = lex(src);
+        let mut prev_end = 0;
+        for t in &ts {
+            assert!(t.start >= prev_end);
+            assert!(t.end > t.start);
+            assert!(src.get(t.start..t.end).is_some(), "char-boundary span");
+            assert!(src[prev_end..t.start].chars().all(char::is_whitespace));
+            prev_end = t.end;
+        }
+        assert!(src[prev_end..].chars().all(char::is_whitespace));
+    }
+
+    #[test]
+    fn unterminated_constructs_close_at_eof() {
+        for src in ["\"never closed", "/* never closed", "r#\"never closed", "'"] {
+            let ts = lex(src);
+            assert!(!ts.is_empty(), "{src:?}");
+            assert_eq!(ts.last().map(|t| t.end), Some(src.len()), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn multibyte_utf8_stays_on_boundaries() {
+        let src = "let s = \"héllo\"; // cömment\nlet x = '€';";
+        for t in lex(src) {
+            assert!(src.get(t.start..t.end).is_some());
+        }
+    }
+}

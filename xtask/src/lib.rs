@@ -2,24 +2,34 @@
 //!
 //! Two subcommands:
 //!
-//! * `lint` — a project-specific static analysis pass enforcing the
-//!   panic-freedom, determinism, documentation and no-unsafe rules
-//!   described in DESIGN.md ("Static analysis & invariants");
+//! * `lint` — a token-level static analysis pass enforcing the
+//!   panic-freedom, determinism (lexical + transitive taint),
+//!   documentation and unsafe/SAFETY contracts described in DESIGN.md
+//!   §13 "Static analysis v2";
 //! * `bench-check` — the CI bench-regression gate over the committed
 //!   `BENCH_*.json` artifacts and the `bench_baselines.json` policy
 //!   file (see [`bench_check`]).
 //!
 //! ```text
-//! cargo run -p xtask -- lint            # fail on unwaived diagnostics
-//! cargo run -p xtask -- lint --report   # additionally write LINT_REPORT.json
-//! cargo run -p xtask -- bench-check     # gate on the bench artifacts
+//! cargo run -p xtask -- lint                  # fail on unwaived diagnostics
+//! cargo run -p xtask -- lint --report         # additionally write LINT_REPORT.json
+//! cargo run -p xtask -- lint --diff-baseline  # also fail on findings new vs the committed report
+//! cargo run -p xtask -- bench-check           # gate on the bench artifacts
 //! cargo run -p xtask -- bench-check --update-baselines
 //! ```
+//!
+//! The lint pipeline parses each file exactly once ([`scan::ParsedFile`]:
+//! lexer → item tree → per-token context → waivers) and every rule —
+//! including the cross-file determinism taint analysis — runs over that
+//! shared parse.
 
 pub mod bench_check;
+pub mod items;
+pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod taint;
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -78,22 +88,31 @@ fn walk(dir: &Path, root: &Path, out: &mut Vec<(String, String)>) {
 /// and prints diagnostics to stderr.
 pub fn run_lint(root: &Path, quiet: bool) -> (usize, String) {
     let sources = collect_sources(root);
-    let files: Vec<scan::SourceFile> = sources
+    let files: Vec<scan::ParsedFile> = sources
         .iter()
-        .map(|(path, text)| scan::preprocess(path, text))
+        .map(|(path, text)| scan::ParsedFile::parse(path, text))
         .collect();
-    let (diagnostics, counts) = rules::scan_all(&files);
-    let mut unwaived = 0usize;
-    for d in &diagnostics {
-        if d.waived {
-            continue;
-        }
-        unwaived += 1;
-        if !quiet {
+    let outcome = rules::scan_all(&files);
+    if !quiet {
+        for d in outcome.diagnostics.iter().filter(|d| !d.waived) {
             eprintln!("{}:{}: [{}] {}", d.path, d.line, d.rule, d.message);
         }
     }
-    (unwaived, report::render(&counts, files.len()))
+    (outcome.unwaived(), report::render(&outcome))
+}
+
+/// Compares `report_json` against the committed `LINT_REPORT.json` and
+/// returns the findings that are new relative to it.
+///
+/// # Errors
+///
+/// Returns an error when the committed report is missing, unreadable, or
+/// has a mismatched format version.
+pub fn diff_baseline(root: &Path, report_json: &str) -> Result<Vec<String>, String> {
+    let path = root.join("LINT_REPORT.json");
+    let baseline =
+        fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    report::diff_baseline(report_json, &baseline)
 }
 
 #[cfg(test)]

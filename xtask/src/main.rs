@@ -1,14 +1,15 @@
-//! CLI entry point: `cargo run -p xtask -- lint [--report]` and
-//! `cargo run -p xtask -- bench-check [--update-baselines]`.
+//! CLI entry point: `cargo run -p xtask -- lint [--report] [--diff-baseline]`
+//! and `cargo run -p xtask -- bench-check [--update-baselines]`.
 
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: cargo run -p xtask -- lint [--report] | bench-check [--update-baselines]";
+const USAGE: &str = "usage: cargo run -p xtask -- lint [--report] [--diff-baseline] | \
+                     bench-check [--update-baselines]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut want_report = false;
+    let mut want_diff = false;
     let mut update_baselines = false;
     let mut command: Option<&str> = None;
     for arg in &args {
@@ -16,6 +17,7 @@ fn main() -> ExitCode {
             "lint" => command = Some("lint"),
             "bench-check" => command = Some("bench-check"),
             "--report" => want_report = true,
+            "--diff-baseline" => want_diff = true,
             "--update-baselines" => update_baselines = true,
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -25,7 +27,7 @@ fn main() -> ExitCode {
         }
     }
     match command {
-        Some("lint") => run_lint(want_report),
+        Some("lint") => run_lint(want_report, want_diff),
         Some("bench-check") => run_bench_check(update_baselines),
         _ => {
             eprintln!("{USAGE}");
@@ -34,9 +36,33 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_lint(want_report: bool) -> ExitCode {
+fn run_lint(want_report: bool, want_diff: bool) -> ExitCode {
     let root = xtask::workspace_root();
     let (unwaived, report_json) = xtask::run_lint(&root, false);
+
+    let mut failed = false;
+    if want_diff {
+        match xtask::diff_baseline(&root, &report_json) {
+            Ok(new_findings) if new_findings.is_empty() => {
+                println!("lint: no findings beyond the committed baseline");
+            }
+            Ok(new_findings) => {
+                for finding in &new_findings {
+                    eprintln!("lint: new vs baseline: {finding}");
+                }
+                eprintln!(
+                    "lint: {} finding(s) not in the committed LINT_REPORT.json; fix them \
+                     or regenerate the report with --report and commit the diff",
+                    new_findings.len()
+                );
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("lint: baseline diff failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
 
     if want_report {
         let path = root.join("LINT_REPORT.json");
@@ -49,6 +75,9 @@ fn run_lint(want_report: bool) -> ExitCode {
 
     if unwaived > 0 {
         eprintln!("lint: {unwaived} unwaived diagnostic(s)");
+        failed = true;
+    }
+    if failed {
         ExitCode::FAILURE
     } else {
         println!("lint: clean");

@@ -1,48 +1,225 @@
-//! `LINT_REPORT.json` emission.
+//! `LINT_REPORT.json` emission and baseline diffing.
 //!
-//! The report is a stable-keyed JSON object mapping every rule to its
-//! violation and waived counts, so diffs across PRs show the panic-path
-//! inventory trending to zero. JSON is hand-written (no serde in xtask)
-//! with deterministic key order.
+//! The v2 report is a versioned, machine-readable ledger of every
+//! finding (waived or not), the per-rule aggregates and the waiver
+//! inventory. JSON is hand-written (no serde in xtask) with
+//! deterministic key order, so the committed report is byte-stable
+//! across runs and `git diff LINT_REPORT.json` shows exactly which
+//! findings appeared or disappeared.
+//!
+//! [`diff_baseline`] parses a committed report (via the
+//! `isomit_graph::json` codec xtask already uses for bench baselines)
+//! and returns the findings present in the current run but absent from
+//! the baseline — the "no new findings" CI gate that tolerates
+//! historical, waived debt while refusing fresh regressions.
 
-use crate::rules::RULES;
-use std::collections::BTreeMap;
+use crate::rules::{LintOutcome, RULES};
+use isomit_graph::json::Value;
 
-/// Renders the per-rule `(violations, waived)` counts as pretty JSON.
-pub fn render(counts: &BTreeMap<&'static str, (usize, usize)>, files_scanned: usize) -> String {
+/// Report format version; bump on any structural change.
+pub const REPORT_VERSION: u64 = 2;
+
+/// Renders the full lint outcome as pretty JSON.
+pub fn render(outcome: &LintOutcome) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"version\": {REPORT_VERSION},\n"));
+    out.push_str("  \"engine\": \"token/v2\",\n");
+    out.push_str(&format!(
+        "  \"files_scanned\": {},\n",
+        outcome.files_scanned
+    ));
+    out.push_str(&format!(
+        "  \"waivers\": {{ \"total\": {}, \"file_scope\": {}, \"line_scope\": {}, \"dead\": {} }},\n",
+        outcome.waiver_total,
+        outcome.waiver_file_scope,
+        outcome.waiver_total - outcome.waiver_file_scope,
+        outcome.dead_waivers
+    ));
     out.push_str("  \"rules\": {\n");
     // Iterate in RULES order (not BTreeMap order) so the report reads in
     // the same order the rules are documented.
     for (i, rule) in RULES.iter().enumerate() {
-        let (violations, waived) = counts.get(rule).copied().unwrap_or((0, 0));
+        let stats = outcome.per_rule.get(rule.name).copied().unwrap_or_default();
         out.push_str(&format!(
-            "    \"{rule}\": {{ \"violations\": {violations}, \"waived\": {waived} }}"
+            "    \"{}\": {{ \"severity\": \"{}\", \"violations\": {}, \"waived\": {}, \"waivers\": {} }}",
+            rule.name, rule.severity, stats.violations, stats.waived_findings, stats.waivers
         ));
         out.push_str(if i + 1 == RULES.len() { "\n" } else { ",\n" });
     }
-    out.push_str("  }\n");
+    out.push_str("  },\n");
+    out.push_str("  \"findings\": [\n");
+    let n = outcome.diagnostics.len();
+    for (i, d) in outcome.diagnostics.iter().enumerate() {
+        let mut entry = format!(
+            "    {{ \"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"waived\": {}",
+            d.rule,
+            escape(&d.path),
+            d.line,
+            d.waived
+        );
+        if !d.taint_path.is_empty() {
+            entry.push_str(", \"taint_path\": [");
+            for (j, hop) in d.taint_path.iter().enumerate() {
+                if j > 0 {
+                    entry.push_str(", ");
+                }
+                entry.push_str(&format!("\"{}\"", escape(hop)));
+            }
+            entry.push(']');
+        }
+        entry.push_str(" }");
+        out.push_str(&entry);
+        out.push_str(if i + 1 == n { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n");
     out.push_str("}\n");
     out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// One finding identity for baseline comparison.
+type Key = (String, String, u64, bool);
+
+/// Compares the current report against a committed baseline and returns
+/// a human-readable description of every finding that is new (absent
+/// from the baseline). Waived findings count too: a new waiver is a
+/// reviewable change, not invisible debt.
+///
+/// # Errors
+///
+/// Returns an error when either report fails to parse or the baseline's
+/// `version` does not match [`REPORT_VERSION`].
+pub fn diff_baseline(current: &str, baseline: &str) -> Result<Vec<String>, String> {
+    let base_keys = finding_keys(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cur_keys = finding_keys(current).map_err(|e| format!("current: {e}"))?;
+    Ok(cur_keys
+        .into_iter()
+        .filter(|k| !base_keys.contains(k))
+        .map(|(rule, file, line, waived)| {
+            format!(
+                "{file}:{line}: [{rule}]{}",
+                if waived { " (waived)" } else { "" }
+            )
+        })
+        .collect())
+}
+
+fn finding_keys(report: &str) -> Result<Vec<Key>, String> {
+    let value = Value::parse(report).map_err(|e| e.to_string())?;
+    let version = value
+        .get("version")
+        .and_then(Value::as_u64)
+        .ok_or("report has no numeric `version` field")?;
+    if version != REPORT_VERSION {
+        return Err(format!(
+            "report version {version} != expected {REPORT_VERSION}; regenerate with \
+             `cargo run -p xtask -- lint --report`"
+        ));
+    }
+    let findings = value
+        .get("findings")
+        .and_then(Value::as_array)
+        .ok_or("report has no `findings` array")?;
+    let mut keys = Vec::new();
+    for finding in findings {
+        keys.push((
+            finding
+                .get("rule")
+                .and_then(Value::as_str)
+                .ok_or("finding has no `rule`")?
+                .to_owned(),
+            finding
+                .get("file")
+                .and_then(Value::as_str)
+                .ok_or("finding has no `file`")?
+                .to_owned(),
+            finding
+                .get("line")
+                .and_then(Value::as_u64)
+                .ok_or("finding has no `line`")?,
+            finding
+                .get("waived")
+                .and_then(Value::as_bool)
+                .ok_or("finding has no `waived`")?,
+        ));
+    }
+    Ok(keys)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rules::scan_all;
+    use crate::scan::ParsedFile;
+
+    fn outcome_for(src: &str) -> LintOutcome {
+        scan_all(&[ParsedFile::parse("crates/graph/src/a.rs", src)])
+    }
 
     #[test]
-    fn render_is_deterministic_and_complete() {
-        let mut counts: BTreeMap<&'static str, (usize, usize)> = BTreeMap::new();
-        counts.insert("panic", (2, 5));
-        let json = render(&counts, 42);
-        assert!(json.contains("\"files_scanned\": 42"));
-        assert!(json.contains("\"panic\": { \"violations\": 2, \"waived\": 5 }"));
-        // Every rule appears even at zero.
+    fn render_is_versioned_deterministic_and_complete() {
+        let outcome = outcome_for(
+            "fn f() { x.unwrap(); }\nfn g() { y.unwrap() } // lint:allow(panic) provably Some\n",
+        );
+        let json = render(&outcome);
+        assert!(json.contains("\"version\": 2"));
+        assert!(json.contains(
+            "\"waivers\": { \"total\": 1, \"file_scope\": 0, \"line_scope\": 1, \"dead\": 0 }"
+        ));
         for rule in RULES {
-            assert!(json.contains(&format!("\"{rule}\"")), "{rule} missing");
+            assert!(
+                json.contains(&format!("\"{}\"", rule.name)),
+                "{} missing",
+                rule.name
+            );
         }
-        assert_eq!(json, render(&counts, 42));
+        assert!(json.contains(
+            "{ \"rule\": \"panic\", \"file\": \"crates/graph/src/a.rs\", \"line\": 1, \"waived\": false }"
+        ));
+        assert!(json.contains("\"line\": 2, \"waived\": true"));
+        assert_eq!(json, render(&outcome));
+    }
+
+    #[test]
+    fn report_round_trips_through_the_json_codec() {
+        let json = render(&outcome_for("fn f() { x.unwrap(); }\n"));
+        let keys = finding_keys(&json).expect("self-rendered report parses");
+        assert_eq!(keys.len(), 1);
+        assert_eq!(keys[0].0, "panic");
+    }
+
+    #[test]
+    fn taint_paths_survive_rendering() {
+        let outcome = scan_all(&[ParsedFile::parse(
+            "crates/diffusion/src/a.rs",
+            "pub fn simulate() { let t = Instant::now(); }\n",
+        )]);
+        let json = render(&outcome);
+        assert!(json.contains("\"taint_path\": ["));
+        assert!(json.contains("Instant::now"));
+    }
+
+    #[test]
+    fn diff_baseline_reports_only_new_findings() {
+        let base = render(&outcome_for("fn f() { x.unwrap(); }\n"));
+        let cur = render(&outcome_for(
+            "fn f() { x.unwrap(); }\nfn g(v: &[u8]) -> u8 { v[0] }\n",
+        ));
+        let new = diff_baseline(&cur, &base).expect("diff");
+        assert_eq!(new.len(), 1);
+        assert!(new[0].contains("[indexing]"));
+        // Identical reports diff clean.
+        assert!(diff_baseline(&base, &base).expect("diff").is_empty());
+    }
+
+    #[test]
+    fn diff_baseline_rejects_version_mismatch() {
+        let cur = render(&outcome_for("fn f() {}\n"));
+        let old = "{ \"version\": 1, \"findings\": [] }";
+        assert!(diff_baseline(&cur, old).is_err());
     }
 }

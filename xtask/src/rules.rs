@@ -1,66 +1,131 @@
-//! The project lint rules, waiver handling and the scanning driver.
+//! The project lint rules, waiver handling and the scanning driver,
+//! rebuilt on the token stream + item tree (see DESIGN.md §13 "Static
+//! analysis v2").
 //!
-//! Rules (see DESIGN.md "Static analysis & invariants"):
+//! Expression rules walk each file's token stream once; item rules walk
+//! the item tree; the cross-file determinism taint analysis
+//! ([`crate::taint`]) consumes the same [`ParsedFile`]s. Nothing is
+//! re-read or re-tokenized per rule.
 //!
-//! * `panic` — no `unwrap()` / `expect(` / `panic!` / `unreachable!` /
-//!   `todo!` / `unimplemented!` in non-test library code;
-//! * `indexing` — no slice/array indexing `x[i]` in non-test library
-//!   code (panics on bad indices; prefer `get`, iterators, or waive with
-//!   a bounds argument);
-//! * `determinism` — no `thread_rng` / `SystemTime` / `Instant::now` and
-//!   no `HashMap` / `HashSet` (iteration-order nondeterminism) inside the
-//!   crates feeding the deterministic simulation layer;
-//! * `pub-docs` — every `pub fn` in `crates/graph` and `crates/core`
-//!   carries a doc comment;
-//! * `doc-examples` — every *top-level* `pub fn` (a free function, not an
-//!   inherent/trait method) in the doc-enforced crates whose doc comment
-//!   lacks an `# Examples` section. Runnable examples double as doc tests
-//!   and keep the public API honest; waive where an example would be
-//!   meaningless (e.g. a function that only makes sense against a live
-//!   network);
-//! * `unsafe` — no `unsafe` code anywhere in the workspace;
-//! * `unbounded-queue` — no unbounded channel/queue constructors
-//!   (`mpsc::channel`, `unbounded_channel`, `unbounded()`) in library
-//!   code: a producer that can always enqueue hides overload until the
-//!   process dies. Use a bounded queue with explicit backpressure (see
-//!   `isomit_service::queue::BoundedQueue`) or waive with a boundedness
-//!   argument;
-//! * `telemetry` — no ad-hoc clock reads (`Instant::now` /
-//!   `SystemTime::now`) in library crates outside `crates/telemetry`
-//!   and `crates/bench`: latency measurement must go through
-//!   `isomit-telemetry` spans/histograms so it shows up in the
-//!   registry, respects the disabled mode, and stays consistent across
-//!   components. Timestamps that are *not* latency measurement (e.g.
-//!   deadline bookkeeping) are waived with a justification. Crates
-//!   under the `determinism` rule are exempt here — clock reads there
-//!   are already forbidden outright.
+//! ## Rules
 //!
-//! A diagnostic is silenced by an inline waiver on the same or the
-//! preceding line — `// lint:allow(<rule>) <reason>` — or for a whole
-//! file by `// lint:allow-file(<rule>) <reason>`. Waivers must name a
-//! known rule and give a non-empty reason; unused line waivers are
-//! themselves diagnostics, so stale ones cannot accumulate.
+//! * `panic` — no *silent* panic paths in non-test library code:
+//!   `.unwrap()`, bare `unreachable!()`, `panic!`, `todo!`,
+//!   `unimplemented!` and `.expect(<non-literal>)` are findings.
+//!   `.expect("message")` and `unreachable!("message")` with a literal
+//!   message are **messaged assertions** and are allowed: the
+//!   infallibility argument that used to live in a waiver comment lives
+//!   in the panic message itself, where it is machine-checked for
+//!   presence and survives to runtime. Binary targets (`src/bin/**`,
+//!   `main.rs`) are fail-fast entry points and exempt, as are functions
+//!   whose doc carries a `# Panics` section (the panic is API contract).
+//! * `indexing` — no slice/array subscripts in non-test library code
+//!   (prefer `get`/iterators); functions with a `# Panics` doc section
+//!   are exempt.
+//! * `determinism` — no `HashMap`/`HashSet`, `thread_rng`, thread-id,
+//!   `SystemTime` or `Instant::now` inside the crates feeding the
+//!   deterministic simulation layer.
+//! * `determinism-taint` — transitive version of the above: a `pub` API
+//!   of the deterministic-core crates (graph, diffusion, forest, core)
+//!   must not *reach* a nondeterministic source through the per-crate
+//!   call graph (see [`crate::taint`]).
+//! * `pub-docs` / `doc-examples` — doc coverage in `crates/graph` and
+//!   `crates/core` (unchanged policy, now item-tree based).
+//! * `errors-doc` — every documented `pub fn` returning `Result` in the
+//!   doc-enforced crates needs an `# Errors` section.
+//! * `unsafe` — `unsafe` requires a waiver anywhere in the workspace.
+//! * `safety-comment` — every `unsafe` site additionally requires a
+//!   `// SAFETY:` comment in the three lines above it (waived or not).
+//! * `cast-truncation` — no `as` casts to sub-`usize` integer types in
+//!   the deterministic crates: node/edge indices must go through
+//!   `u32::try_from(..).expect(..)` or the checked id constructors so
+//!   truncation can never silently corrupt an index.
+//! * `unbounded-queue` / `telemetry` — unchanged policies, token-exact.
+//! * `waiver` — malformed waivers (unknown rule, missing reason).
+//! * `dead-waiver` — waivers that no longer match any finding, line or
+//!   file scoped; dead waivers fail the lint so stale debt cannot
+//!   accumulate.
+//!
+//! A diagnostic is silenced by `// lint:allow(<rule>) <reason>` on the
+//! same or preceding line, or `// lint:allow-file(<rule>) <reason>`
+//! anywhere in the file.
 
-use crate::scan::SourceFile;
+use crate::lexer::TokenKind;
+use crate::scan::ParsedFile;
+use crate::taint;
 use std::collections::BTreeMap;
 
+/// Static metadata for one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Rule name as used in waivers and the report.
+    pub name: &'static str,
+    /// Report severity (every current rule denies).
+    pub severity: &'static str,
+}
+
 /// Every rule known to the linter, in report order.
-pub const RULES: [&str; 9] = [
-    "panic",
-    "indexing",
-    "determinism",
-    "pub-docs",
-    "doc-examples",
-    "unsafe",
-    "unbounded-queue",
-    "telemetry",
-    "waiver",
+pub const RULES: [Rule; 14] = [
+    Rule {
+        name: "panic",
+        severity: "deny",
+    },
+    Rule {
+        name: "indexing",
+        severity: "deny",
+    },
+    Rule {
+        name: "determinism",
+        severity: "deny",
+    },
+    Rule {
+        name: "determinism-taint",
+        severity: "deny",
+    },
+    Rule {
+        name: "pub-docs",
+        severity: "deny",
+    },
+    Rule {
+        name: "doc-examples",
+        severity: "deny",
+    },
+    Rule {
+        name: "errors-doc",
+        severity: "deny",
+    },
+    Rule {
+        name: "unsafe",
+        severity: "deny",
+    },
+    Rule {
+        name: "safety-comment",
+        severity: "deny",
+    },
+    Rule {
+        name: "cast-truncation",
+        severity: "deny",
+    },
+    Rule {
+        name: "unbounded-queue",
+        severity: "deny",
+    },
+    Rule {
+        name: "telemetry",
+        severity: "deny",
+    },
+    Rule {
+        name: "waiver",
+        severity: "deny",
+    },
+    Rule {
+        name: "dead-waiver",
+        severity: "deny",
+    },
 ];
 
-/// Crates whose sources feed the deterministic simulation layer; the
-/// `determinism` rule is scoped to them (`isomit-bench` is the timing
-/// harness and legitimately reads clocks).
-const DETERMINISTIC_CRATES: [&str; 6] = [
+/// Crates whose sources feed the deterministic simulation layer.
+pub const DETERMINISTIC_CRATES: [&str; 6] = [
     "crates/graph/",
     "crates/diffusion/",
     "crates/forest/",
@@ -69,13 +134,32 @@ const DETERMINISTIC_CRATES: [&str; 6] = [
     "crates/metrics/",
 ];
 
-/// Crates in which every `pub fn` must have a doc comment.
+/// Crates whose `pub` APIs carry the bit-identity contract: the
+/// determinism taint analysis fails any tainted function reachable from
+/// these crates' public surface.
+pub const TAINT_CRATES: [&str; 4] = [
+    "crates/graph/",
+    "crates/diffusion/",
+    "crates/forest/",
+    "crates/core/",
+];
+
+/// Crates in which every `pub fn` must have a doc comment (and, when it
+/// returns `Result`, an `# Errors` section).
 const DOC_ENFORCED_CRATES: [&str; 2] = ["crates/graph/", "crates/core/"];
 
-/// Crates the `telemetry` rule does not apply to: the telemetry crate
-/// itself (it owns the clock) and the bench harness (timing *is* its
-/// job, and its output never ships in a library).
+/// Crates the `telemetry` rule does not apply to.
 const TELEMETRY_EXEMPT_CRATES: [&str; 2] = ["crates/telemetry/", "crates/bench/"];
+
+/// Keywords after which a `[` opens an array/slice expression, pattern
+/// or type — not an indexing operation.
+const NON_INDEX_KEYWORDS: [&str; 18] = [
+    "let", "in", "return", "if", "while", "match", "else", "mut", "ref", "move", "box", "as",
+    "for", "break", "continue", "dyn", "where", "loop",
+];
+
+/// Integer types an `as` cast can truncate an index into.
+const TRUNCATING_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 
 /// One lint finding at a specific source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,436 +174,438 @@ pub struct Diagnostic {
     pub message: String,
     /// `true` if an inline or file waiver covers this diagnostic.
     pub waived: bool,
+    /// For `determinism-taint`: the call chain from the public API down
+    /// to the nondeterministic source.
+    pub taint_path: Vec<String>,
 }
 
+impl Diagnostic {
+    fn new(rule: &'static str, path: &str, line: usize, message: String) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_owned(),
+            line,
+            message,
+            waived: false,
+            taint_path: Vec::new(),
+        }
+    }
+}
+
+/// Per-rule aggregates for the report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuleStats {
+    /// Unwaived findings (these fail the lint).
+    pub violations: usize,
+    /// Findings silenced by a waiver.
+    pub waived_findings: usize,
+    /// Waiver comments naming this rule.
+    pub waivers: usize,
+}
+
+/// The complete result of a lint run.
 #[derive(Debug)]
-struct Waiver {
-    rule: String,
-    line: usize,
-    file_scope: bool,
-    used: bool,
-    malformed: Option<String>,
+pub struct LintOutcome {
+    /// All findings, waived ones included, sorted by (path, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-rule aggregates keyed in [`RULES`] order.
+    pub per_rule: BTreeMap<&'static str, RuleStats>,
+    /// Number of files analyzed.
+    pub files_scanned: usize,
+    /// Total waiver comments in the tree.
+    pub waiver_total: usize,
+    /// How many of those are `lint:allow-file`.
+    pub waiver_file_scope: usize,
+    /// Waivers that matched no finding (each also surfaces as a
+    /// `dead-waiver` diagnostic).
+    pub dead_waivers: usize,
 }
 
-/// Scans one pre-processed file and returns all diagnostics (waived ones
-/// included, flagged).
-pub fn scan_file(file: &SourceFile) -> Vec<Diagnostic> {
-    let mut waivers = collect_waivers(file);
-    let mut raw: Vec<Diagnostic> = Vec::new();
-
-    let in_deterministic = DETERMINISTIC_CRATES
-        .iter()
-        .any(|c| file.path.starts_with(c));
-    let docs_enforced = DOC_ENFORCED_CRATES.iter().any(|c| file.path.starts_with(c));
-    // Deterministic crates are exempt from the telemetry rule: their
-    // clock reads already fire `determinism`, and one site should not
-    // need two waivers.
-    let telemetry_enforced = file.path.starts_with("crates/")
-        && !in_deterministic
-        && !TELEMETRY_EXEMPT_CRATES
-            .iter()
-            .any(|c| file.path.starts_with(c));
-
-    for (idx, line) in file.lines.iter().enumerate() {
-        let lineno = idx + 1;
-        if line.in_test {
-            continue;
-        }
-        let code = line.code.as_str();
-
-        for (needle, what) in [
-            (".unwrap()", "`unwrap()` can panic"),
-            (".expect(", "`expect()` can panic"),
-            ("panic!", "`panic!` in library code"),
-            ("unreachable!", "`unreachable!` in library code"),
-            ("todo!", "`todo!` in library code"),
-            ("unimplemented!", "`unimplemented!` in library code"),
-        ] {
-            for pos in match_token(code, needle) {
-                let _ = pos;
-                raw.push(Diagnostic {
-                    rule: "panic",
-                    path: file.path.clone(),
-                    line: lineno,
-                    message: format!(
-                        "{what}; return a Result or waive with a proof of infallibility"
-                    ),
-                    waived: false,
-                });
-            }
-        }
-
-        for _ in find_indexing(code) {
-            raw.push(Diagnostic {
-                rule: "indexing",
-                path: file.path.clone(),
-                line: lineno,
-                message:
-                    "slice indexing can panic; use `get`/iterators or waive with a bounds argument"
-                        .to_owned(),
-                waived: false,
-            });
-        }
-
-        if in_deterministic {
-            for (needle, what) in [
-                ("thread_rng", "ambient RNG breaks seeded determinism"),
-                ("SystemTime", "wall-clock reads break determinism"),
-                ("Instant::now", "monotonic-clock reads break determinism"),
-                ("HashMap", "HashMap iteration order is nondeterministic"),
-                ("HashSet", "HashSet iteration order is nondeterministic"),
-            ] {
-                for _ in match_word(code, needle) {
-                    raw.push(Diagnostic {
-                        rule: "determinism",
-                        path: file.path.clone(),
-                        line: lineno,
-                        message: format!(
-                            "{what}; use seeded streams / BTree collections or waive with an order-independence argument"
-                        ),
-                        waived: false,
-                    });
-                }
-            }
-        }
-
-        if docs_enforced {
-            if let Some(name) = undocumented_pub_fn(file, idx) {
-                raw.push(Diagnostic {
-                    rule: "pub-docs",
-                    path: file.path.clone(),
-                    line: lineno,
-                    message: format!("`pub fn {name}` has no doc comment"),
-                    waived: false,
-                });
-            }
-            if let Some(name) = top_level_pub_fn_without_example(file, idx) {
-                raw.push(Diagnostic {
-                    rule: "doc-examples",
-                    path: file.path.clone(),
-                    line: lineno,
-                    message: format!(
-                        "`pub fn {name}` is documented without an `# Examples` section; \
-                         add a runnable example or waive with a reason"
-                    ),
-                    waived: false,
-                });
-            }
-        }
-
-        for _ in match_word(code, "unsafe") {
-            raw.push(Diagnostic {
-                rule: "unsafe",
-                path: file.path.clone(),
-                line: lineno,
-                message: "`unsafe` is forbidden workspace-wide".to_owned(),
-                waived: false,
-            });
-        }
-
-        if telemetry_enforced {
-            for needle in ["Instant::now", "SystemTime::now"] {
-                for _ in match_word(code, needle) {
-                    raw.push(Diagnostic {
-                        rule: "telemetry",
-                        path: file.path.clone(),
-                        line: lineno,
-                        message: format!(
-                            "`{needle}` in library code; measure latency through \
-                             `isomit-telemetry` spans/histograms, or waive if this \
-                             timestamp is not a latency measurement"
-                        ),
-                        waived: false,
-                    });
-                }
-            }
-        }
-
-        for (needle, token) in [
-            (match_token(code, "mpsc::channel("), "mpsc::channel"),
-            (match_word(code, "unbounded_channel"), "unbounded_channel"),
-            (match_token(code, "unbounded()"), "unbounded()"),
-        ] {
-            for _ in needle {
-                raw.push(Diagnostic {
-                    rule: "unbounded-queue",
-                    path: file.path.clone(),
-                    line: lineno,
-                    message: format!(
-                        "`{token}` has no capacity bound; overload must surface as backpressure, \
-                         not memory growth — use a bounded queue or waive with a boundedness argument"
-                    ),
-                    waived: false,
-                });
-            }
-        }
+impl LintOutcome {
+    /// Count of findings that fail the lint.
+    pub fn unwaived(&self) -> usize {
+        self.diagnostics.iter().filter(|d| !d.waived).count()
     }
-
-    // Apply waivers.
-    for d in &mut raw {
-        for w in waivers.iter_mut() {
-            if w.malformed.is_some() || w.rule != d.rule {
-                continue;
-            }
-            let covers = w.file_scope || w.line == d.line || w.line + 1 == d.line;
-            if covers {
-                w.used = true;
-                d.waived = true;
-                break;
-            }
-        }
-    }
-
-    // Malformed or unused waivers are diagnostics themselves.
-    for w in &waivers {
-        if let Some(why) = &w.malformed {
-            raw.push(Diagnostic {
-                rule: "waiver",
-                path: file.path.clone(),
-                line: w.line,
-                message: format!("malformed waiver: {why}"),
-                waived: false,
-            });
-        } else if !w.used && !w.file_scope {
-            raw.push(Diagnostic {
-                rule: "waiver",
-                path: file.path.clone(),
-                line: w.line,
-                message: format!("unused waiver for rule `{}`; remove it", w.rule),
-                waived: false,
-            });
-        }
-    }
-
-    raw.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    raw
 }
 
-fn collect_waivers(file: &SourceFile) -> Vec<Waiver> {
-    let mut out = Vec::new();
-    for (idx, line) in file.lines.iter().enumerate() {
-        let comment = line.comment.trim();
-        for (marker, file_scope) in [("lint:allow-file(", true), ("lint:allow(", false)] {
-            let Some(start) = comment.find(marker) else {
-                continue;
-            };
-            let rest = &comment[start + marker.len()..];
-            let Some(close) = rest.find(')') else {
-                out.push(Waiver {
-                    rule: String::new(),
-                    line: idx + 1,
-                    file_scope,
-                    used: false,
-                    malformed: Some("missing `)`".to_owned()),
-                });
-                continue;
-            };
-            let rule = rest[..close].trim().to_owned();
-            let reason = rest[close + 1..].trim();
-            let malformed = if !RULES.contains(&rule.as_str()) || rule == "waiver" {
-                Some(format!("unknown rule `{rule}`"))
-            } else if reason.is_empty() {
-                Some("waiver has no reason".to_owned())
-            } else {
-                None
-            };
-            out.push(Waiver {
-                rule,
-                line: idx + 1,
-                file_scope,
-                used: false,
-                malformed,
-            });
-            break; // `lint:allow-file(` also contains `lint:allow(`… not, but one waiver per line.
-        }
-    }
-    out
-}
-
-fn is_ident_char(c: char) -> bool {
-    c.is_ascii_alphanumeric() || c == '_'
-}
-
-/// Occurrences of `needle` in `code` that are not part of a longer
-/// identifier on either side (the needle itself may start with `.`).
-fn match_token(code: &str, needle: &str) -> Vec<usize> {
-    let mut out = Vec::new();
-    let mut from = 0;
-    while let Some(rel) = code[from..].find(needle) {
-        let pos = from + rel;
-        let before_ok = match code[..pos].chars().next_back() {
-            Some(c) => !is_ident_char(c) || needle.starts_with('.'),
-            None => true,
-        };
-        // For `.expect(`-style needles the trailing delimiter is part of
-        // the needle; for macro names the `!` is. Nothing to check after.
-        if before_ok {
-            out.push(pos);
-        }
-        from = pos + needle.len();
-    }
-    out
-}
-
-/// Whole-word occurrences of `needle`.
-fn match_word(code: &str, needle: &str) -> Vec<usize> {
-    let mut out = Vec::new();
-    let mut from = 0;
-    while let Some(rel) = code[from..].find(needle) {
-        let pos = from + rel;
-        let before_ok = !code[..pos].chars().next_back().is_some_and(is_ident_char);
-        let after_ok = !code[pos + needle.len()..]
-            .chars()
-            .next()
-            .is_some_and(is_ident_char);
-        if before_ok && after_ok {
-            out.push(pos);
-        }
-        from = pos + needle.len();
-    }
-    out
-}
-
-/// Keywords after which a `[` opens an array/slice *expression or
-/// pattern*, not an indexing operation.
-const NON_INDEX_KEYWORDS: [&str; 12] = [
-    "let", "in", "return", "if", "while", "match", "else", "mut", "ref", "move", "box", "as",
-];
-
-/// Positions of `[` that lexically look like indexing: preceded (modulo
-/// spaces) by an identifier, `)`, `]` or `?`, where the identifier is not
-/// a keyword introducing an array literal/pattern. `#[attr]`, `vec![..]`
-/// and type positions (`[T; N]` after `:` / `<` / `(`) never match.
-fn find_indexing(code: &str) -> Vec<usize> {
-    let bytes = code.as_bytes();
-    let mut out = Vec::new();
-    for (pos, &b) in bytes.iter().enumerate() {
-        if b != b'[' {
-            continue;
-        }
-        // Find previous non-space character.
-        let mut j = pos;
-        while j > 0 && bytes[j - 1] == b' ' {
-            j -= 1;
-        }
-        if j == 0 {
-            continue;
-        }
-        let prev = bytes[j - 1] as char;
-        if prev == ')' || prev == ']' || prev == '?' {
-            out.push(pos);
-            continue;
-        }
-        if is_ident_char(prev) {
-            // Extract the identifier and reject keywords.
-            let mut k = j - 1;
-            while k > 0 && is_ident_char(bytes[k - 1] as char) {
-                k -= 1;
-            }
-            // A lifetime before a slice type (`&'a [u8]`) is type
-            // syntax, not a subscript.
-            if k > 0 && bytes[k - 1] == b'\'' {
-                continue;
-            }
-            let ident = &code[k..j];
-            if !NON_INDEX_KEYWORDS.contains(&ident) {
-                out.push(pos);
-            }
-        }
-    }
-    out
-}
-
-/// If line `idx` declares an undocumented `pub fn`, returns its name.
-///
-/// Attribute lines (`#[...]`) between the doc comment and the `fn` are
-/// skipped, as rustdoc does.
-fn undocumented_pub_fn(file: &SourceFile, idx: usize) -> Option<String> {
-    let code = file.lines[idx].code.trim_start();
-    let rest = code
-        .strip_prefix("pub fn ")
-        .or_else(|| code.strip_prefix("pub const fn "))
-        .or_else(|| code.strip_prefix("pub async fn "))?;
-    let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
-    // Walk upward over attributes and blank lines looking for a doc line.
-    let mut i = idx;
-    while i > 0 {
-        i -= 1;
-        let l = &file.lines[i];
-        if l.is_doc {
-            return None;
-        }
-        let t = l.code.trim();
-        let attr_or_blank = t.is_empty() || t.starts_with("#[") || t.ends_with(']');
-        if !attr_or_blank {
-            return Some(name);
-        }
-    }
-    Some(name)
-}
-
-/// If line `idx` declares a *top-level* `pub fn` (column 0 — a free
-/// function, not an inherent or trait method) whose doc comment exists
-/// but has no `# Examples` section, returns its name.
-///
-/// Functions with no doc comment at all are left to the `pub-docs` rule:
-/// one missing doc block should fire one diagnostic, not two.
-fn top_level_pub_fn_without_example(file: &SourceFile, idx: usize) -> Option<String> {
-    let code = file.lines[idx].code.as_str();
-    // Methods are indented; only column-0 declarations are free functions.
-    let rest = code
-        .strip_prefix("pub fn ")
-        .or_else(|| code.strip_prefix("pub const fn "))
-        .or_else(|| code.strip_prefix("pub async fn "))?;
-    let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
-    // Walk upward over the attached doc block (doc lines, attributes,
-    // blank lines) looking for an `# Examples` heading.
-    let mut saw_doc = false;
-    let mut i = idx;
-    while i > 0 {
-        i -= 1;
-        let l = &file.lines[i];
-        if l.is_doc {
-            saw_doc = true;
-            if l.comment.contains("# Examples") {
-                return None;
-            }
-            continue;
-        }
-        let t = l.code.trim();
-        if !(t.is_empty() || t.starts_with("#[") || t.ends_with(']')) {
-            break;
-        }
-    }
-    saw_doc.then_some(name)
-}
-
-/// Scans many files and aggregates per-rule counts.
-pub fn scan_all(files: &[SourceFile]) -> (Vec<Diagnostic>, BTreeMap<&'static str, (usize, usize)>) {
-    let mut diagnostics = Vec::new();
+/// Runs every rule over the parsed files: per-file expression and item
+/// rules, the cross-file taint analysis, waiver application and the
+/// dead-waiver sweep. One parse, one pass per file, all rules.
+pub fn scan_all(files: &[ParsedFile]) -> LintOutcome {
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
     for f in files {
-        diagnostics.extend(scan_file(f));
+        expression_rules(f, &mut diagnostics);
+        item_rules(f, &mut diagnostics);
     }
-    let mut counts: BTreeMap<&'static str, (usize, usize)> =
-        RULES.iter().map(|&r| (r, (0usize, 0usize))).collect();
-    for d in &diagnostics {
-        let entry = counts.entry(d.rule).or_default();
-        if d.waived {
-            entry.1 += 1;
-        } else {
-            entry.0 += 1;
+    diagnostics.extend(taint::analyze(files));
+
+    // Waiver application + dead-waiver sweep, per file.
+    let mut waiver_total = 0usize;
+    let mut waiver_file_scope = 0usize;
+    let mut dead_waivers = 0usize;
+    let mut per_rule_waivers: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for f in files {
+        let mut used = vec![false; f.waivers.len()];
+        for d in diagnostics.iter_mut().filter(|d| d.path == f.path) {
+            for (wi, w) in f.waivers.iter().enumerate() {
+                if w.malformed.is_some() || w.rule != d.rule {
+                    continue;
+                }
+                if w.file_scope || w.line == d.line || w.line + 1 == d.line {
+                    used[wi] = true;
+                    d.waived = true;
+                    // Keep scanning so every matching waiver is marked
+                    // used (a file waiver and a line waiver may overlap).
+                }
+            }
+        }
+        for (wi, w) in f.waivers.iter().enumerate() {
+            if let Some(why) = &w.malformed {
+                diagnostics.push(Diagnostic::new(
+                    "waiver",
+                    &f.path,
+                    w.line,
+                    format!("malformed waiver: {why}"),
+                ));
+                continue;
+            }
+            waiver_total += 1;
+            if w.file_scope {
+                waiver_file_scope += 1;
+            }
+            if let Some(rule) = RULES.iter().find(|r| r.name == w.rule) {
+                *per_rule_waivers.entry(rule.name).or_default() += 1;
+            }
+            if !used[wi] {
+                dead_waivers += 1;
+                diagnostics.push(Diagnostic::new(
+                    "dead-waiver",
+                    &f.path,
+                    w.line,
+                    format!(
+                        "{} waiver for rule `{}` matches no finding; remove it",
+                        if w.file_scope { "file" } else { "line" },
+                        w.rule
+                    ),
+                ));
+            }
         }
     }
-    (diagnostics, counts)
+
+    diagnostics
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+
+    let mut per_rule: BTreeMap<&'static str, RuleStats> = RULES
+        .iter()
+        .map(|r| (r.name, RuleStats::default()))
+        .collect();
+    for d in &diagnostics {
+        let entry = per_rule.entry(d.rule).or_default();
+        if d.waived {
+            entry.waived_findings += 1;
+        } else {
+            entry.violations += 1;
+        }
+    }
+    for (rule, count) in per_rule_waivers {
+        per_rule.entry(rule).or_default().waivers = count;
+    }
+
+    LintOutcome {
+        diagnostics,
+        per_rule,
+        files_scanned: files.len(),
+        waiver_total,
+        waiver_file_scope,
+        dead_waivers,
+    }
+}
+
+fn in_crates(path: &str, crates: &[&str]) -> bool {
+    crates.iter().any(|c| path.starts_with(c))
+}
+
+/// All token-stream rules, one pass over the file's tokens.
+fn expression_rules(f: &ParsedFile, out: &mut Vec<Diagnostic>) {
+    let deterministic = in_crates(&f.path, &DETERMINISTIC_CRATES);
+    let telemetry_enforced = f.path.starts_with("crates/")
+        && !deterministic
+        && !in_crates(&f.path, &TELEMETRY_EXEMPT_CRATES);
+    let is_bin = f.is_bin_target();
+
+    for (i, tok) in f.tokens.iter().enumerate() {
+        if tok.is_comment() || f.in_test.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let text = tok.text(&f.text);
+        let line = tok.line;
+        let prev = f.prev_sig(i);
+        let next = f.next_sig(i);
+        let prev_text = prev.map(|j| f.token_text(j)).unwrap_or("");
+        let next_text = next.map(|j| f.token_text(j)).unwrap_or("");
+        let panics_documented = f.fn_of(i).is_some_and(|item| item.has_panics_doc());
+
+        // --- panic ---------------------------------------------------
+        if !is_bin && !panics_documented {
+            let finding: Option<String> = match text {
+                "unwrap" if prev_text == "." && next_text == "(" => Some(
+                    "`unwrap()` is a silent panic path; use `expect(\"<invariant>\")`, \
+                     return a Result, or waive with a proof of infallibility"
+                        .into(),
+                ),
+                "expect" if prev_text == "." && next_text == "(" => {
+                    // `.expect("literal message")` is a messaged
+                    // assertion and allowed; anything else is a finding.
+                    let arg = next.and_then(|j| f.next_sig(j));
+                    let arg_is_literal = arg.is_some_and(|j| {
+                        matches!(f.tokens[j].kind, TokenKind::Str | TokenKind::RawStr)
+                            && f.next_sig(j).map(|k| f.token_text(k)) == Some(")")
+                    });
+                    (!arg_is_literal).then(|| {
+                        "`expect` without a literal message; state the infallibility \
+                         argument as a string literal so it survives to the panic"
+                            .into()
+                    })
+                }
+                "panic" if next_text == "!" => {
+                    Some("`panic!` in library code; return a Result or waive".into())
+                }
+                "todo" if next_text == "!" => Some("`todo!` in library code".into()),
+                "unimplemented" if next_text == "!" => {
+                    Some("`unimplemented!` in library code".into())
+                }
+                "unreachable" if next_text == "!" => {
+                    let open = next.and_then(|j| f.next_sig(j));
+                    let arg = open.and_then(|j| f.next_sig(j));
+                    let messaged = open.is_some_and(|j| f.token_text(j) == "(")
+                        && arg.is_some_and(|j| {
+                            matches!(f.tokens[j].kind, TokenKind::Str | TokenKind::RawStr)
+                        });
+                    (!messaged).then(|| {
+                        "bare `unreachable!()`; state the structural invariant as a \
+                         message (`unreachable!(\"...\")`) or waive"
+                            .into()
+                    })
+                }
+                _ => None,
+            };
+            if let Some(message) = finding {
+                out.push(Diagnostic::new("panic", &f.path, line, message));
+            }
+        }
+
+        // --- indexing ------------------------------------------------
+        if text == "[" && tok.kind == TokenKind::Punct && !panics_documented {
+            let flags = prev.is_some_and(|j| {
+                let pt = &f.tokens[j];
+                let ptext = pt.text(&f.text);
+                match pt.kind {
+                    TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&ptext),
+                    TokenKind::Str | TokenKind::RawStr => true,
+                    TokenKind::Punct => matches!(ptext, ")" | "]" | "?"),
+                    _ => false,
+                }
+            });
+            if flags {
+                out.push(Diagnostic::new(
+                    "indexing",
+                    &f.path,
+                    line,
+                    "slice indexing can panic; use `get`/iterators or waive with a \
+                     bounds argument"
+                        .into(),
+                ));
+            }
+        }
+
+        // --- determinism --------------------------------------------
+        if deterministic && tok.kind == TokenKind::Ident {
+            let what = match text {
+                "HashMap" => Some("HashMap iteration order is nondeterministic"),
+                "HashSet" => Some("HashSet iteration order is nondeterministic"),
+                "thread_rng" => Some("ambient RNG breaks seeded determinism"),
+                "SystemTime" => Some("wall-clock reads break determinism"),
+                "ThreadId" => Some("thread identity breaks run-to-run determinism"),
+                "Instant" if is_path_call(f, i, "now") => {
+                    Some("monotonic-clock reads break determinism")
+                }
+                "thread" if is_path_call(f, i, "current") => {
+                    Some("thread identity breaks run-to-run determinism")
+                }
+                _ => None,
+            };
+            if let Some(what) = what {
+                out.push(Diagnostic::new(
+                    "determinism",
+                    &f.path,
+                    line,
+                    format!(
+                        "{what}; use seeded streams / BTree collections or waive with \
+                         an order-independence argument"
+                    ),
+                ));
+            }
+        }
+
+        // --- telemetry ----------------------------------------------
+        if telemetry_enforced
+            && tok.kind == TokenKind::Ident
+            && matches!(text, "Instant" | "SystemTime")
+            && is_path_call(f, i, "now")
+        {
+            out.push(Diagnostic::new(
+                "telemetry",
+                &f.path,
+                line,
+                format!(
+                    "`{text}::now` in library code; measure latency through \
+                     `isomit-telemetry` spans/histograms, or waive if this timestamp \
+                     is not a latency measurement"
+                ),
+            ));
+        }
+
+        // --- unsafe + safety-comment --------------------------------
+        if text == "unsafe" && tok.kind == TokenKind::Ident {
+            out.push(Diagnostic::new(
+                "unsafe",
+                &f.path,
+                line,
+                "`unsafe` requires a waiver with a soundness argument".into(),
+            ));
+            let has_safety = f.tokens.iter().any(|t| {
+                t.is_comment()
+                    && t.line + 3 >= line
+                    && t.line <= line
+                    && t.text(&f.text).contains("SAFETY:")
+            });
+            if !has_safety {
+                out.push(Diagnostic::new(
+                    "safety-comment",
+                    &f.path,
+                    line,
+                    "`unsafe` without a `// SAFETY:` comment in the three lines above \
+                     it; state why the contract holds"
+                        .into(),
+                ));
+            }
+        }
+
+        // --- cast-truncation ----------------------------------------
+        if deterministic
+            && text == "as"
+            && tok.kind == TokenKind::Ident
+            && TRUNCATING_TARGETS.contains(&next_text)
+        {
+            out.push(Diagnostic::new(
+                "cast-truncation",
+                &f.path,
+                line,
+                format!(
+                    "`as {next_text}` can silently truncate an index; use \
+                     `{next_text}::try_from(..).expect(..)`, a checked id constructor, \
+                     or waive with a bound argument"
+                ),
+            ));
+        }
+
+        // --- unbounded-queue ----------------------------------------
+        let unbounded = (text == "channel"
+            && next_text == "("
+            && prev_text == "::"
+            && prev
+                .and_then(|j| f.prev_sig(j))
+                .is_some_and(|j| f.token_text(j) == "mpsc"))
+            || (text == "unbounded_channel" && next_text == "(")
+            || (text == "unbounded"
+                && next_text == "("
+                && next
+                    .and_then(|j| f.next_sig(j))
+                    .is_some_and(|j| f.token_text(j) == ")"));
+        if unbounded {
+            out.push(Diagnostic::new(
+                "unbounded-queue",
+                &f.path,
+                line,
+                format!(
+                    "`{text}` has no capacity bound; overload must surface as \
+                     backpressure, not memory growth — use a bounded queue or waive \
+                     with a boundedness argument"
+                ),
+            ));
+        }
+    }
+}
+
+/// `true` when token `i` is followed by `::segment` and then `(`
+/// (e.g. `Instant::now()`), or `::segment` `(` with further qualification
+/// like `thread::current()`.
+fn is_path_call(f: &ParsedFile, i: usize, segment: &str) -> bool {
+    let Some(sep) = f.next_sig(i) else {
+        return false;
+    };
+    if f.token_text(sep) != "::" {
+        return false;
+    }
+    let Some(seg) = f.next_sig(sep) else {
+        return false;
+    };
+    f.token_text(seg) == segment
+}
+
+/// Doc-coverage rules over the item tree.
+fn item_rules(f: &ParsedFile, out: &mut Vec<Diagnostic>) {
+    if !in_crates(&f.path, &DOC_ENFORCED_CRATES) {
+        return;
+    }
+    for item in &f.items {
+        if item.kind != crate::items::ItemKind::Fn || item.cfg_test || !item.is_pub {
+            continue;
+        }
+        if item.doc.is_empty() {
+            out.push(Diagnostic::new(
+                "pub-docs",
+                &f.path,
+                item.line,
+                format!("`pub fn {}` has no doc comment", item.name),
+            ));
+            // One missing doc block fires one diagnostic, not three.
+            continue;
+        }
+        if !item.is_method && !item.has_examples_doc() {
+            out.push(Diagnostic::new(
+                "doc-examples",
+                &f.path,
+                item.line,
+                format!(
+                    "`pub fn {}` is documented without an `# Examples` section; add a \
+                     runnable example or waive with a reason",
+                    item.name
+                ),
+            ));
+        }
+        if item.returns_result && !item.has_errors_doc() {
+            out.push(Diagnostic::new(
+                "errors-doc",
+                &f.path,
+                item.line,
+                format!(
+                    "`pub fn {}` returns `Result` but its doc has no `# Errors` \
+                     section; document the failure modes",
+                    item.name
+                ),
+            ));
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scan::preprocess;
+    use crate::scan::ParsedFile;
 
     fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
-        scan_file(&preprocess(path, src))
+        scan_all(&[ParsedFile::parse(path, src)]).diagnostics
     }
 
     fn unwaived(path: &str, src: &str) -> Vec<Diagnostic> {
@@ -527,29 +613,38 @@ mod tests {
     }
 
     #[test]
-    fn panic_rule_fires_on_unwrap_expect_macros() {
-        let src = "fn f() {\n  x.unwrap();\n  y.expect(\"m\");\n  panic!(\"no\");\n  unreachable!();\n}\n";
+    fn panic_rule_fires_on_silent_panic_paths() {
+        let src = "fn f() {\n  x.unwrap();\n  y.expect(msg);\n  panic!(\"no\");\n  unreachable!();\n  todo!();\n}\n";
         let d = unwaived("crates/graph/src/a.rs", src);
-        assert_eq!(d.iter().filter(|d| d.rule == "panic").count(), 4);
+        assert_eq!(d.iter().filter(|d| d.rule == "panic").count(), 5);
+    }
+
+    #[test]
+    fn panic_rule_allows_messaged_assertions() {
+        let src = "fn f() {\n  x.expect(\"structural invariant: frontier nodes are active\");\n  unreachable!(\"threshold reached implies an active in-neighbour\");\n}\n";
+        assert!(unwaived("crates/graph/src/a.rs", src).is_empty());
     }
 
     #[test]
     fn panic_rule_ignores_lookalikes() {
-        let src = "fn f() {\n  x.unwrap_or(0);\n  x.unwrap_or_else(y);\n  dont_panic();\n}\n";
+        let src = "fn f() {\n  x.unwrap_or(0);\n  x.unwrap_or_else(y);\n  dont_panic();\n  let unwrap = 1;\n}\n";
         assert!(unwaived("crates/graph/src/a.rs", src).is_empty());
     }
 
     #[test]
-    fn panic_rule_skips_tests_and_docs() {
+    fn panic_rule_skips_tests_docs_and_bins() {
         let src =
             "/// x.unwrap()\nfn f() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\n";
         assert!(unwaived("crates/graph/src/a.rs", src).is_empty());
+        let bin = "fn main() { x.unwrap(); }\n";
+        assert!(unwaived("crates/bench/src/bin/fig9.rs", bin).is_empty());
     }
 
     #[test]
-    fn indexing_rule_skips_lifetimes_in_types() {
-        let src = "fn f<'a>(line: &'a [u8], fields: &mut [&'a [u8]; 4]) -> &'a [u8] {\n  line\n}\n";
-        assert!(unwaived("crates/graph/src/a.rs", src).is_empty());
+    fn panic_and_indexing_exempt_documented_panics() {
+        let src = "/// Accessor.\n///\n/// # Panics\n///\n/// Panics if out of bounds.\npub fn round(&self, t: usize) -> u8 {\n  assert!(t < self.len());\n  self.rounds[t].unwrap()\n}\n";
+        let d = unwaived("crates/metrics/src/a.rs", src);
+        assert!(d.iter().all(|d| d.rule != "panic" && d.rule != "indexing"));
     }
 
     #[test]
@@ -561,139 +656,104 @@ mod tests {
     }
 
     #[test]
+    fn indexing_rule_skips_lifetimes_types_and_strings() {
+        let src = "fn f<'a>(line: &'a [u8], fields: &mut [&'a [u8]; 4]) -> &'a [u8] {\n  let s = \"x[0]\"; // b[1]\n  line\n}\n";
+        assert!(unwaived("crates/graph/src/a.rs", src).is_empty());
+    }
+
+    #[test]
     fn determinism_rule_scoped_to_simulation_crates() {
-        let src = "use std::collections::HashMap;\nfn f() { let t = Instant::now(); }\n";
+        let src = "use std::collections::HashMap;\nfn f() { let t = Instant::now(); let r = thread_rng(); }\n";
         let d = unwaived("crates/diffusion/src/a.rs", src);
-        assert_eq!(d.iter().filter(|d| d.rule == "determinism").count(), 2);
-        // Same source in the bench crate: timing harness is exempt.
+        assert_eq!(d.iter().filter(|d| d.rule == "determinism").count(), 3);
         assert!(unwaived("crates/bench/src/a.rs", src)
             .iter()
             .all(|d| d.rule != "determinism"));
     }
 
     #[test]
-    fn pub_docs_rule() {
-        let src = "/// documented\npub fn good() {}\n\n#[inline]\npub fn bad() {}\n";
-        let d: Vec<_> = unwaived("crates/core/src/a.rs", src)
-            .into_iter()
-            .filter(|d| d.rule == "pub-docs")
-            .collect();
-        assert_eq!(d.len(), 1);
-        assert!(d[0].message.contains("bad"));
-        // Attributes between doc and fn are fine.
-        let src = "/// doc\n#[inline]\npub fn ok() {}\n";
-        assert!(unwaived("crates/core/src/a.rs", src)
-            .iter()
-            .all(|d| d.rule != "pub-docs"));
-        // Not enforced outside graph/core.
-        let src = "pub fn undoc() {}\n";
-        assert!(unwaived("crates/metrics/src/a.rs", src).is_empty());
-    }
-
-    #[test]
-    fn doc_examples_rule_flags_example_less_top_level_fns() {
-        let src = "/// Documented but example-free.\npub fn bad() {}\n";
-        let d = unwaived("crates/core/src/a.rs", src);
-        assert_eq!(d.len(), 1);
-        assert_eq!(d[0].rule, "doc-examples");
-        assert!(d[0].message.contains("bad"));
-    }
-
-    #[test]
-    fn doc_examples_rule_accepts_examples_section() {
-        let src = "/// Doc.\n///\n/// # Examples\n///\n/// ```\n/// a::good();\n/// ```\npub fn good() {}\n";
-        assert!(unwaived("crates/core/src/a.rs", src).is_empty());
-    }
-
-    #[test]
-    fn doc_examples_rule_skips_methods_and_undocumented_fns() {
-        // Methods are indented — not top-level — and an undocumented fn
-        // is `pub-docs` territory, not a second diagnostic.
-        let src = "impl T {\n    /// Doc.\n    pub fn method(&self) {}\n}\npub fn undoc() {}\n";
-        let d = unwaived("crates/core/src/a.rs", src);
-        assert_eq!(d.len(), 1);
-        assert_eq!(d[0].rule, "pub-docs");
-        // Not enforced outside the doc-enforced crates.
-        let src = "/// Doc.\npub fn elsewhere() {}\n";
-        assert!(unwaived("crates/service/src/a.rs", src).is_empty());
-    }
-
-    #[test]
-    fn doc_examples_rule_is_waivable() {
-        let src =
-            "/// Doc.\n// lint:allow(doc-examples) needs a live TCP listener\npub fn dial() {}\n";
-        let all = diags("crates/core/src/a.rs", src);
-        assert!(all.iter().any(|d| d.rule == "doc-examples" && d.waived));
-        assert!(all.iter().all(|d| d.rule != "waiver"));
-    }
-
-    #[test]
-    fn unsafe_rule_everywhere() {
-        let src = "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
-        let d = unwaived("crates/bench/src/a.rs", src);
-        assert!(d.iter().any(|d| d.rule == "unsafe"));
-    }
-
-    #[test]
-    fn unbounded_queue_rule_flags_unbounded_constructors() {
-        let src = "fn f() {\n  let (tx, rx) = mpsc::channel();\n  let (a, b) = crossbeam::channel::unbounded();\n  let (c, d) = tokio::sync::mpsc::unbounded_channel();\n}\n";
-        let d = unwaived("crates/service/src/a.rs", src);
-        assert_eq!(d.iter().filter(|d| d.rule == "unbounded-queue").count(), 3);
-    }
-
-    #[test]
-    fn unbounded_queue_rule_ignores_bounded_constructors() {
-        let src = "fn f(n: usize) {\n  let (tx, rx) = mpsc::sync_channel(n);\n  let q = BoundedQueue::new(n);\n  let unbounded_flag = false;\n}\n";
-        assert!(unwaived("crates/service/src/a.rs", src)
-            .iter()
-            .all(|d| d.rule != "unbounded-queue"));
-    }
-
-    #[test]
-    fn unbounded_queue_rule_is_waivable() {
-        let src = "fn f() {\n  // lint:allow(unbounded-queue) drained every tick by a dedicated consumer\n  let (tx, rx) = mpsc::channel();\n}\n";
-        let all = diags("crates/service/src/a.rs", src);
-        assert!(all.iter().any(|d| d.rule == "unbounded-queue" && d.waived));
-        // The waiver was consumed, so it is not itself diagnosed.
-        assert!(all.iter().all(|d| d.rule != "waiver"));
-    }
-
-    #[test]
-    fn telemetry_rule_flags_raw_clock_reads_in_library_crates() {
+    fn telemetry_rule_scoping() {
         let src = "fn f() {\n  let t0 = Instant::now();\n  let wall = SystemTime::now();\n}\n";
         let d = unwaived("crates/service/src/a.rs", src);
         assert_eq!(d.iter().filter(|d| d.rule == "telemetry").count(), 2);
-    }
-
-    #[test]
-    fn telemetry_rule_exempts_telemetry_bench_and_deterministic_crates() {
-        let src = "fn f() { let t0 = Instant::now(); }\n";
-        // The telemetry crate owns the clock; bench is the timing harness.
         for path in ["crates/telemetry/src/a.rs", "crates/bench/src/a.rs"] {
             assert!(
                 unwaived(path, src).iter().all(|d| d.rule != "telemetry"),
                 "{path}"
             );
         }
-        // Deterministic crates fire `determinism` for the same site, not
-        // `telemetry` — one site, one rule, one waiver.
+        // Deterministic crates fire `determinism` for the same site.
         let d = unwaived("crates/core/src/a.rs", src);
         assert!(d.iter().any(|d| d.rule == "determinism"));
         assert!(d.iter().all(|d| d.rule != "telemetry"));
     }
 
     #[test]
-    fn telemetry_rule_is_waivable() {
-        let src = "fn f() {\n  // lint:allow(telemetry) arrival timestamp for deadline math, not a latency probe\n  let received = Instant::now();\n}\n";
-        let all = diags("crates/service/src/a.rs", src);
-        assert!(all.iter().any(|d| d.rule == "telemetry" && d.waived));
-        assert!(all.iter().all(|d| d.rule != "waiver"));
+    fn unsafe_requires_waiver_and_safety_comment() {
+        let src = "fn f() { unsafe { work() } }\n";
+        let d = unwaived("crates/service/src/a.rs", src);
+        assert!(d.iter().any(|d| d.rule == "unsafe"));
+        assert!(d.iter().any(|d| d.rule == "safety-comment"));
+        // With a SAFETY comment, only the waivable `unsafe` finding stays.
+        let src = "// lint:allow-file(unsafe) delegates to std's allocator\nfn f() {\n  // SAFETY: delegates to System.alloc with the same layout\n  unsafe { work() }\n}\n";
+        let d = unwaived("crates/service/src/a.rs", src);
+        assert!(d.iter().all(|d| d.rule != "safety-comment"), "{d:?}");
+        assert!(d.iter().all(|d| d.rule != "unsafe"));
     }
 
     #[test]
-    fn telemetry_rule_ignores_span_helpers() {
-        let src = "fn f(h: &Histogram) {\n  let _span = h.span();\n  let d = start.elapsed();\n}\n";
+    fn cast_truncation_flags_narrowing_index_casts() {
+        let src = "fn f(n: usize) -> u32 { n as u32 }\nfn ok(n: usize) -> u64 { n as u64 }\nfn fl(n: usize) -> f64 { n as f64 }\n";
+        let d = unwaived("crates/graph/src/a.rs", src);
+        assert_eq!(d.iter().filter(|d| d.rule == "cast-truncation").count(), 1);
+        // Not enforced outside the deterministic crates.
         assert!(unwaived("crates/service/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unbounded_queue_rule() {
+        let src = "fn f() {\n  let (tx, rx) = mpsc::channel();\n  let (a, b) = crossbeam::channel::unbounded();\n  let (c, d) = tokio::sync::mpsc::unbounded_channel();\n  let bounded = mpsc::sync_channel(4);\n}\n";
+        let d = unwaived("crates/service/src/a.rs", src);
+        assert_eq!(d.iter().filter(|d| d.rule == "unbounded-queue").count(), 3);
+    }
+
+    #[test]
+    fn pub_docs_doc_examples_and_errors_doc() {
+        let src = "/// documented\n///\n/// # Examples\n///\n/// ```\n/// ```\npub fn good() {}\n\n#[inline]\npub fn bad() {}\n\n/// No example.\npub fn no_example() {}\n\n/// Result fn.\n///\n/// # Examples\n///\n/// ```\n/// ```\npub fn fallible() -> Result<(), E> { Ok(()) }\n";
+        let d = unwaived("crates/core/src/a.rs", src);
+        assert!(d
+            .iter()
+            .any(|d| d.rule == "pub-docs" && d.message.contains("bad")));
+        assert!(d
+            .iter()
+            .any(|d| d.rule == "doc-examples" && d.message.contains("no_example")));
+        assert!(d
+            .iter()
+            .any(|d| d.rule == "errors-doc" && d.message.contains("fallible")));
+        // Undocumented fns fire pub-docs only, not three diagnostics.
+        assert_eq!(
+            d.iter()
+                .filter(|d| d.message.contains("`pub fn bad`"))
+                .count(),
+            1
+        );
+        // Not enforced outside graph/core.
+        assert!(unwaived("crates/metrics/src/a.rs", "pub fn undoc() {}\n").is_empty());
+    }
+
+    #[test]
+    fn errors_doc_accepts_errors_section() {
+        let src = "/// Doc.\n///\n/// # Errors\n///\n/// Fails on bad input.\n///\n/// # Examples\n///\n/// ```\n/// ```\npub fn fallible() -> Result<(), E> { Ok(()) }\n";
+        assert!(unwaived("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn methods_need_docs_but_not_examples() {
+        let src = "impl T {\n    /// Doc.\n    pub fn method(&self) {}\n    pub fn undocumented(&self) {}\n}\n";
+        let d = unwaived("crates/core/src/a.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "pub-docs");
+        assert!(d[0].message.contains("undocumented"));
     }
 
     #[test]
@@ -705,6 +765,7 @@ mod tests {
             2
         );
         assert!(all.iter().all(|d| d.waived || d.rule != "panic"));
+        assert!(all.iter().all(|d| d.rule != "dead-waiver"));
     }
 
     #[test]
@@ -716,19 +777,18 @@ mod tests {
     }
 
     #[test]
-    fn waiver_for_wrong_rule_does_not_apply() {
-        let src = "fn f() {\n  x.unwrap(); // lint:allow(indexing) mismatched\n}\n";
-        let d = diags("crates/graph/src/a.rs", src);
-        // Panic diagnostic stays unwaived; the indexing waiver is unused.
-        assert!(d.iter().any(|d| d.rule == "panic" && !d.waived));
-        assert!(d.iter().any(|d| d.rule == "waiver"));
+    fn dead_waivers_are_diagnosed_line_and_file_scope() {
+        let src = "// lint:allow(panic) nothing here panics\nfn f() {}\n// lint:allow-file(indexing) nothing here indexes\n";
+        let d = unwaived("crates/graph/src/a.rs", src);
+        assert_eq!(d.iter().filter(|d| d.rule == "dead-waiver").count(), 2);
+        assert!(d.iter().any(|d| d.message.contains("file waiver")));
     }
 
     #[test]
     fn malformed_waivers_are_diagnosed() {
         for src in [
-            "fn f() {} // lint:allow(panic)\n",           // no reason
-            "fn f() {} // lint:allow(nonsense) reason\n", // unknown rule
+            "fn f() {} // lint:allow(panic)\n",
+            "fn f() {} // lint:allow(nonsense) reason\n",
         ] {
             let d = unwaived("crates/graph/src/a.rs", src);
             assert_eq!(d.len(), 1, "{src:?}");
@@ -737,22 +797,26 @@ mod tests {
     }
 
     #[test]
-    fn unused_waiver_is_diagnosed() {
-        let src = "// lint:allow(panic) nothing here panics\nfn f() {}\n";
-        let d = unwaived("crates/graph/src/a.rs", src);
-        assert_eq!(d.len(), 1);
-        assert!(d[0].message.contains("unused waiver"));
+    fn waiver_for_wrong_rule_does_not_apply() {
+        let src = "fn f() {\n  x.unwrap(); // lint:allow(indexing) mismatched\n}\n";
+        let d = diags("crates/graph/src/a.rs", src);
+        assert!(d.iter().any(|d| d.rule == "panic" && !d.waived));
+        assert!(d.iter().any(|d| d.rule == "dead-waiver"));
     }
 
     #[test]
     fn counts_aggregate() {
-        let f1 = preprocess("crates/graph/src/a.rs", "fn f() { x.unwrap(); }\n");
-        let f2 = preprocess(
+        let f1 = ParsedFile::parse("crates/graph/src/a.rs", "fn f() { x.unwrap(); }\n");
+        let f2 = ParsedFile::parse(
             "crates/graph/src/b.rs",
             "fn g() { y.unwrap() } // lint:allow(panic) provably Some\n",
         );
-        let (d, counts) = scan_all(&[f1, f2]);
-        assert_eq!(d.len(), 2);
-        assert_eq!(counts["panic"], (1, 1));
+        let outcome = scan_all(&[f1, f2]);
+        let stats = outcome.per_rule["panic"];
+        assert_eq!(stats.violations, 1);
+        assert_eq!(stats.waived_findings, 1);
+        assert_eq!(stats.waivers, 1);
+        assert_eq!(outcome.waiver_total, 1);
+        assert_eq!(outcome.dead_waivers, 0);
     }
 }

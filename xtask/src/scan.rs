@@ -1,382 +1,269 @@
-//! Lexical pre-processing of Rust sources.
+//! The single parse pass shared by every rule.
 //!
-//! The lint pass deliberately avoids a full parser (`syn` is unavailable
-//! offline and overkill for line-oriented rules). Instead, a small state
-//! machine classifies every byte of a source file as *code*, *comment*,
-//! *doc comment* or *string/char literal*, producing per-line views:
-//!
-//! * [`Line::code`] — the line with everything that is not code blanked
-//!   out by spaces (so column positions survive);
-//! * [`Line::comment`] — the concatenated comment text of the line (used
-//!   for waiver extraction);
-//! * [`Line::is_doc`] — whether the line carries a doc comment (`///`,
-//!   `//!`, `/** .. */`), whose embedded examples must never be linted;
-//! * [`Line::in_test`] — whether the line sits inside a
-//!   `#[cfg(test)]`-gated item (test modules are exempt from most rules).
+//! Each source file is read and analyzed exactly once per lint run: the
+//! [`crate::lexer`] produces the token stream, [`crate::items`] builds
+//! the item tree, and this module derives the per-token context every
+//! rule consumes — enclosing function, `#[cfg(test)]` scope — plus the
+//! waiver inventory extracted from comment tokens. Rules (and the
+//! cross-file taint analysis) all borrow the same [`ParsedFile`]; no
+//! rule re-reads or re-tokenizes anything.
 
-/// One pre-processed source line.
-#[derive(Debug, Clone)]
-pub struct Line {
-    /// Code-only view: every non-code byte replaced by a space.
-    pub code: String,
-    /// Comment text (excluding the `//` / `/*` markers), doc or not.
-    pub comment: String,
-    /// `true` if any part of the line is a doc comment.
-    pub is_doc: bool,
-    /// `true` if the line is inside a `#[cfg(test)]` item.
-    pub in_test: bool,
-}
+use crate::items::{self, Item, ItemKind};
+use crate::lexer::{self, Token};
 
-/// A fully pre-processed source file.
+/// A fully analyzed source file: the unit every rule operates on.
 #[derive(Debug)]
-pub struct SourceFile {
-    /// Workspace-relative path, used in diagnostics.
+pub struct ParsedFile {
+    /// Workspace-relative path, used in diagnostics and crate scoping.
     pub path: String,
-    /// 0-indexed lines; diagnostics report `index + 1`.
-    pub lines: Vec<Line>,
+    /// The raw source text (token spans index into it).
+    pub text: String,
+    /// The complete token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// The item tree.
+    pub items: Vec<Item>,
+    /// For each token: `true` if it sits inside a `#[cfg(test)]` item.
+    pub in_test: Vec<bool>,
+    /// For each token: index into `items` of the innermost enclosing
+    /// `fn`, if any.
+    pub enclosing_fn: Vec<Option<usize>>,
+    /// Every waiver comment found in the file, well-formed or not.
+    pub waivers: Vec<Waiver>,
 }
 
-#[derive(Clone, Copy, PartialEq)]
-enum State {
-    Code,
-    LineComment { doc: bool },
-    BlockComment { doc: bool, depth: usize },
-    Str,
-    RawStr { hashes: usize },
-    Char,
+/// One `lint:allow(...)` / `lint:allow-file(...)` comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// The rule the waiver names.
+    pub rule: String,
+    /// 1-based line of the waiver comment.
+    pub line: usize,
+    /// `true` for `lint:allow-file(...)`.
+    pub file_scope: bool,
+    /// Why the waiver is malformed, if it is.
+    pub malformed: Option<String>,
 }
 
-/// Splits `text` into classified lines. This is the only place that has
-/// to understand Rust's string/comment syntax.
-pub fn preprocess(path: &str, text: &str) -> SourceFile {
-    let mut lines: Vec<Line> = Vec::new();
-    let mut code = String::new();
-    let mut comment = String::new();
-    let mut is_doc = false;
-    let mut state = State::Code;
+impl ParsedFile {
+    /// Lexes, parses and annotates one source file. This is the only
+    /// entry point; it performs the full analysis in a single pass.
+    pub fn parse(path: &str, text: &str) -> ParsedFile {
+        let tokens = lexer::lex(text);
+        let items = items::parse(text, &tokens);
 
-    let chars: Vec<char> = text.chars().collect();
-    let mut i = 0;
-    macro_rules! flush_line {
-        () => {{
-            lines.push(Line {
-                code: std::mem::take(&mut code),
-                comment: std::mem::take(&mut comment),
-                is_doc,
-                in_test: false,
-            });
-            is_doc = matches!(
-                state,
-                State::BlockComment { doc: true, .. } | State::LineComment { doc: true }
-            );
-        }};
-    }
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            if let State::LineComment { .. } = state {
-                state = State::Code;
-            }
-            flush_line!();
-            i += 1;
-            continue;
-        }
-        match state {
-            State::Code => {
-                let next = chars.get(i + 1).copied();
-                if c == '/' && next == Some('/') {
-                    // `///` (outer doc), `//!` (inner doc) or plain `//`.
-                    // `////...` is a plain comment by the reference.
-                    let c2 = chars.get(i + 2).copied();
-                    let doc = (c2 == Some('/') && chars.get(i + 3).copied() != Some('/'))
-                        || c2 == Some('!');
-                    state = State::LineComment { doc };
-                    is_doc |= doc;
-                    code.push(' ');
-                    code.push(' ');
-                    i += 2;
-                    continue;
-                }
-                if c == '/' && next == Some('*') {
-                    let c2 = chars.get(i + 2).copied();
-                    let doc = (c2 == Some('*') && chars.get(i + 3).copied() != Some('*'))
-                        || c2 == Some('!');
-                    state = State::BlockComment { doc, depth: 1 };
-                    is_doc |= doc;
-                    code.push(' ');
-                    code.push(' ');
-                    i += 2;
-                    continue;
-                }
-                if c == '"' {
-                    state = State::Str;
-                    code.push(' ');
-                    i += 1;
-                    continue;
-                }
-                // Raw (byte) strings: r"..."  r#"..."#  br##"..."## etc.
-                if c == 'r' || (c == 'b' && next == Some('r')) {
-                    let start = if c == 'b' { i + 2 } else { i + 1 };
-                    let mut j = start;
-                    while chars.get(j).copied() == Some('#') {
-                        j += 1;
-                    }
-                    if chars.get(j).copied() == Some('"') {
-                        for _ in i..=j {
-                            code.push(' ');
-                        }
-                        state = State::RawStr { hashes: j - start };
-                        i = j + 1;
-                        continue;
-                    }
-                }
-                if c == 'b' && next == Some('"') {
-                    code.push(' ');
-                    code.push(' ');
-                    state = State::Str;
-                    i += 2;
-                    continue;
-                }
-                if c == '\'' {
-                    // Distinguish a char literal from a lifetime: `'x'` or
-                    // `'\...'` is a literal; `'ident` (no closing quote
-                    // right after one char) is a lifetime and stays code.
-                    if next == Some('\\') || chars.get(i + 2).copied() == Some('\'') {
-                        state = State::Char;
-                        code.push(' ');
-                        i += 1;
-                        continue;
-                    }
-                    code.push(c);
-                    i += 1;
-                    continue;
-                }
-                code.push(c);
-                i += 1;
-            }
-            State::LineComment { .. } => {
-                comment.push(c);
-                code.push(' ');
-                i += 1;
-            }
-            State::BlockComment { doc, depth } => {
-                let next = chars.get(i + 1).copied();
-                if c == '*' && next == Some('/') {
-                    state = if depth == 1 {
-                        State::Code
-                    } else {
-                        State::BlockComment {
-                            doc,
-                            depth: depth - 1,
-                        }
-                    };
-                    code.push(' ');
-                    code.push(' ');
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    state = State::BlockComment {
-                        doc,
-                        depth: depth + 1,
-                    };
-                    code.push(' ');
-                    code.push(' ');
-                    i += 2;
-                } else {
-                    comment.push(c);
-                    code.push(' ');
-                    i += 1;
-                }
-            }
-            State::Str => {
-                if c == '\\' {
-                    code.push(' ');
-                    if chars.get(i + 1).is_some() && chars[i + 1] != '\n' {
-                        code.push(' ');
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                } else {
-                    if c == '"' {
-                        state = State::Code;
-                    }
-                    code.push(' ');
-                    i += 1;
-                }
-            }
-            State::RawStr { hashes } => {
-                if c == '"' {
-                    let mut ok = true;
-                    for k in 0..hashes {
-                        if chars.get(i + 1 + k).copied() != Some('#') {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    if ok {
-                        for _ in 0..=hashes {
-                            code.push(' ');
-                        }
-                        state = State::Code;
-                        i += hashes + 1;
-                        continue;
-                    }
-                }
-                code.push(' ');
-                i += 1;
-            }
-            State::Char => {
-                if c == '\\' {
-                    code.push(' ');
-                    if chars.get(i + 1).is_some() {
-                        code.push(' ');
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                } else {
-                    if c == '\'' {
-                        state = State::Code;
-                    }
-                    code.push(' ');
-                    i += 1;
+        let mut in_test = vec![false; tokens.len()];
+        let mut enclosing_fn: Vec<Option<usize>> = vec![None; tokens.len()];
+        for (idx, item) in items.items_with_ranges(&tokens) {
+            let (lo, hi) = idx;
+            if item.cfg_test {
+                for f in in_test.iter_mut().take(hi.min(tokens.len())).skip(lo) {
+                    *f = true;
                 }
             }
         }
-    }
-    if !code.is_empty() || !comment.is_empty() {
-        flush_line!();
-    }
-    let _ = is_doc; // last flush's carry-over is never read
-
-    let mut file = SourceFile {
-        path: path.to_owned(),
-        lines,
-    };
-    mark_test_regions(&mut file);
-    file
-}
-
-/// Marks every line belonging to a `#[cfg(test)]`-gated item (attribute
-/// line included) with [`Line::in_test`].
-///
-/// The item body is delimited by brace counting on the code-only view;
-/// `#[cfg(test)] mod x;` (no body) ends at the first `;` at depth 0.
-fn mark_test_regions(file: &mut SourceFile) {
-    let n = file.lines.len();
-    let mut i = 0;
-    while i < n {
-        let trimmed = file.lines[i].code.trim();
-        let is_cfg_test = trimmed
-            .split_whitespace()
-            .collect::<String>()
-            .contains("#[cfg(test)]");
-        if !is_cfg_test {
-            i += 1;
-            continue;
+        for (i, item) in items.iter().enumerate() {
+            if item.kind == ItemKind::Fn {
+                if let Some((lo, hi)) = item.body {
+                    for slot in enclosing_fn.iter_mut().take(hi.min(tokens.len())).skip(lo) {
+                        *slot = Some(i);
+                    }
+                }
+            }
         }
-        // Walk forward to the end of the attached item.
-        let mut depth: i64 = 0;
-        let mut opened = false;
+
+        let waivers = collect_waivers(text, &tokens);
+        ParsedFile {
+            path: path.to_owned(),
+            text: text.to_owned(),
+            tokens,
+            items,
+            in_test,
+            enclosing_fn,
+            waivers,
+        }
+    }
+
+    /// The token's text.
+    pub fn token_text(&self, i: usize) -> &str {
+        self.tokens.get(i).map(|t| t.text(&self.text)).unwrap_or("")
+    }
+
+    /// Index of the previous non-comment token before `i`.
+    pub fn prev_sig(&self, i: usize) -> Option<usize> {
         let mut j = i;
-        while j < n {
-            file.lines[j].in_test = true;
-            for c in file.lines[j].code.chars() {
-                match c {
-                    '{' => {
-                        depth += 1;
-                        opened = true;
-                    }
-                    '}' => depth -= 1,
-                    ';' if !opened && depth == 0 => {
-                        // `mod name;` style: item ends here.
-                        opened = true;
-                        depth = 0;
-                    }
-                    _ => {}
-                }
+        while j > 0 {
+            j -= 1;
+            if !self.tokens.get(j)?.is_comment() {
+                return Some(j);
             }
-            if opened && depth <= 0 {
-                break;
+        }
+        None
+    }
+
+    /// Index of the next non-comment token after `i`.
+    pub fn next_sig(&self, i: usize) -> Option<usize> {
+        let mut j = i + 1;
+        while let Some(t) = self.tokens.get(j) {
+            if !t.is_comment() {
+                return Some(j);
             }
             j += 1;
         }
-        i = j + 1;
+        None
     }
+
+    /// Whether the file is a binary target (`src/bin/**` or `main.rs`):
+    /// fail-fast process entry points, not library code.
+    pub fn is_bin_target(&self) -> bool {
+        self.path.contains("/src/bin/") || self.path.ends_with("/main.rs")
+    }
+
+    /// The innermost enclosing fn item of token `i`, if any.
+    pub fn fn_of(&self, i: usize) -> Option<&Item> {
+        self.enclosing_fn
+            .get(i)
+            .copied()
+            .flatten()
+            .and_then(|idx| self.items.get(idx))
+    }
+}
+
+/// Extension helpers over the item list.
+trait ItemRanges {
+    fn items_with_ranges<'a>(&'a self, tokens: &[Token]) -> Vec<((usize, usize), &'a Item)>;
+}
+
+impl ItemRanges for Vec<Item> {
+    /// Pairs each item with a conservative token range covering it: the
+    /// body range when present, widened to start at the declaration line
+    /// (so signature tokens of a `#[cfg(test)]` fn are covered too).
+    fn items_with_ranges<'a>(&'a self, tokens: &[Token]) -> Vec<((usize, usize), &'a Item)> {
+        self.iter()
+            .map(|item| {
+                let (lo, hi) = match item.body {
+                    Some((lo, hi)) => (lo, hi),
+                    None => (0, 0),
+                };
+                // Widen backwards to the declaration line so the item
+                // header (attributes, signature) is covered as well.
+                let mut start = lo;
+                while start > 0 {
+                    match tokens.get(start - 1) {
+                        Some(t) if t.line >= item.line => start -= 1,
+                        _ => break,
+                    }
+                }
+                ((start, hi), item)
+            })
+            .collect()
+    }
+}
+
+fn collect_waivers(src: &str, tokens: &[Token]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if !t.is_comment() {
+            continue;
+        }
+        let comment = t.text(src);
+        for (marker, file_scope) in [("lint:allow-file(", true), ("lint:allow(", false)] {
+            let Some(start) = comment.find(marker) else {
+                continue;
+            };
+            let rest = &comment[start + marker.len()..];
+            let Some(close) = rest.find(')') else {
+                out.push(Waiver {
+                    rule: String::new(),
+                    line: t.line,
+                    file_scope,
+                    malformed: Some("missing `)`".to_owned()),
+                });
+                break;
+            };
+            let rule = rest[..close].trim().to_owned();
+            let reason = rest[close + 1..].trim();
+            let malformed = if !crate::rules::RULES.iter().any(|r| r.name == rule)
+                || rule == "waiver"
+                || rule == "dead-waiver"
+            {
+                Some(format!("unknown rule `{rule}`"))
+            } else if reason.is_empty() {
+                Some("waiver has no reason".to_owned())
+            } else {
+                None
+            };
+            out.push(Waiver {
+                rule,
+                line: t.line,
+                file_scope,
+                malformed,
+            });
+            break; // one waiver per comment token
+        }
+    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn code_lines(text: &str) -> Vec<String> {
-        preprocess("t.rs", text)
-            .lines
+    #[test]
+    fn in_test_covers_cfg_test_subtrees() {
+        let src =
+            "fn lib() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn t() { b.unwrap(); }\n}\n";
+        let f = ParsedFile::parse("crates/graph/src/a.rs", src);
+        let unwraps: Vec<bool> = f
+            .tokens
             .iter()
-            .map(|l| l.code.clone())
-            .collect()
+            .enumerate()
+            .filter(|(_, t)| t.text(src) == "unwrap")
+            .map(|(i, _)| f.in_test[i])
+            .collect();
+        assert_eq!(unwraps, [false, true]);
     }
 
     #[test]
-    fn strings_and_comments_are_blanked() {
-        let lines = code_lines("let x = \"a[0].unwrap()\"; // b[1]\nfoo();\n");
-        assert!(!lines[0].contains("unwrap"));
-        assert!(!lines[0].contains("b[1]"));
-        assert!(lines[0].contains("let x ="));
-        assert_eq!(lines[1].trim(), "foo();");
+    fn enclosing_fn_maps_body_tokens() {
+        let src = "/// # Panics\npub fn documented(v: &[u8]) -> u8 { v[0] }\nfn other() {}\n";
+        let f = ParsedFile::parse("crates/graph/src/a.rs", src);
+        let bracket = f
+            .tokens
+            .iter()
+            .position(|t| t.text(src) == "[" && t.line == 2)
+            .unwrap();
+        // `v[0]` is on line 2 — but the first `[` on line 2 is the
+        // parameter type; find the one inside the body instead.
+        let body_bracket = (bracket..f.tokens.len())
+            .filter(|&i| f.token_text(i) == "[")
+            .find(|&i| f.fn_of(i).is_some())
+            .unwrap();
+        assert_eq!(f.fn_of(body_bracket).unwrap().name, "documented");
+        assert!(f.fn_of(body_bracket).unwrap().has_panics_doc());
     }
 
     #[test]
-    fn comment_text_is_captured() {
-        let f = preprocess("t.rs", "foo(); // lint:allow(panic) reason\n");
-        assert!(f.lines[0].comment.contains("lint:allow(panic) reason"));
+    fn waivers_are_collected_with_scope_and_malformedness() {
+        let src = "// lint:allow-file(indexing) kernel bounds argument\nfn f() {\n  x.unwrap(); // lint:allow(panic) infallible: checked\n  // lint:allow(panic)\n  // lint:allow(bogus) reason\n}\n";
+        let f = ParsedFile::parse("crates/graph/src/a.rs", src);
+        assert_eq!(f.waivers.len(), 4);
+        assert!(f.waivers[0].file_scope);
+        assert!(f.waivers[0].malformed.is_none());
+        assert_eq!(f.waivers[1].line, 3);
+        assert_eq!(
+            f.waivers[2].malformed.as_deref(),
+            Some("waiver has no reason")
+        );
+        assert_eq!(
+            f.waivers[3].malformed.as_deref(),
+            Some("unknown rule `bogus`")
+        );
     }
 
     #[test]
-    fn doc_comments_are_flagged() {
-        let f = preprocess("t.rs", "/// x.unwrap()\n//! y\n// plain\nfn a() {}\n");
-        assert!(f.lines[0].is_doc);
-        assert!(f.lines[1].is_doc);
-        assert!(!f.lines[2].is_doc);
-        assert!(!f.lines[0].code.contains("unwrap"));
-    }
-
-    #[test]
-    fn block_comments_span_lines() {
-        let f = preprocess("t.rs", "/* a\nb[0]\n*/ code();\n");
-        assert!(!f.lines[1].code.contains('['));
-        assert!(f.lines[2].code.contains("code();"));
-    }
-
-    #[test]
-    fn raw_strings_are_blanked() {
-        let lines = code_lines("let s = r#\"x.unwrap() \"quoted\" \"#; y();\n");
-        assert!(!lines[0].contains("unwrap"));
-        assert!(lines[0].contains("y();"));
-    }
-
-    #[test]
-    fn char_literals_and_lifetimes() {
-        let lines = code_lines("fn f<'a>(x: &'a str) { let c = '\"'; let d = '['; g(); }\n");
-        assert!(lines[0].contains("fn f<'a>(x: &'a str)"));
-        assert!(!lines[0].contains('['));
-        assert!(lines[0].contains("g();"));
-    }
-
-    #[test]
-    fn cfg_test_region_is_marked() {
-        let text =
-            "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn tail() {}\n";
-        let f = preprocess("t.rs", text);
-        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
-        assert_eq!(flags, vec![false, true, true, true, true, false]);
-    }
-
-    #[test]
-    fn cfg_test_semicolon_item() {
-        let text = "#[cfg(test)]\nmod helpers;\nfn lib() {}\n";
-        let f = preprocess("t.rs", text);
-        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
-        assert_eq!(flags, vec![true, true, false]);
+    fn bin_targets_are_recognized() {
+        assert!(ParsedFile::parse("crates/bench/src/bin/fig4.rs", "").is_bin_target());
+        assert!(ParsedFile::parse("crates/x/src/main.rs", "").is_bin_target());
+        assert!(!ParsedFile::parse("crates/graph/src/lib.rs", "").is_bin_target());
     }
 }

@@ -1,0 +1,420 @@
+//! Determinism taint analysis over the per-crate call graph.
+//!
+//! The lexical `determinism` rule catches a nondeterministic construct at
+//! the line where it appears. This module enforces the *transitive*
+//! contract: a `pub` API of the deterministic-core crates
+//! ([`crate::rules::TAINT_CRATES`]: graph, diffusion, forest, core) must
+//! not reach a nondeterministic source through any chain of same-crate
+//! calls.
+//!
+//! The analysis is deliberately an over-approximation:
+//!
+//! * the call graph is built per crate by simple-name resolution — an
+//!   identifier followed by `(` resolves to every same-crate `fn` of
+//!   that name (method receivers are not type-checked);
+//! * taint is seeded at lexical sources inside fn bodies
+//!   (`Instant::now`, `SystemTime`, `HashMap`/`HashSet`, `thread_rng`,
+//!   thread-id reads, and float `fold`/`reduce` inside rayon pipelines)
+//!   and propagated to all transitive callers via reverse BFS.
+//!
+//! A seed covered by a `determinism` or `determinism-taint` waiver is
+//! trusted (the waiver's reason is the order-independence argument) and
+//! does not propagate. Findings land on the `pub` fn's declaration line
+//! and carry the full call chain down to the source in
+//! [`crate::rules::Diagnostic::taint_path`].
+
+use crate::items::ItemKind;
+use crate::lexer::TokenKind;
+use crate::rules::{Diagnostic, TAINT_CRATES};
+use crate::scan::ParsedFile;
+use std::collections::{BTreeMap, VecDeque};
+
+/// One function in the per-crate call graph.
+struct FnNode {
+    /// Index into the `files` slice handed to [`analyze`].
+    file: usize,
+    /// Index into that file's item list.
+    item: usize,
+    /// Direct nondeterministic sources inside the body (description +
+    /// line), after waiver suppression.
+    sources: Vec<(String, usize)>,
+    /// Call-graph successors (indices into the crate's node list).
+    callees: Vec<usize>,
+}
+
+/// Runs the taint analysis over every crate in
+/// [`crate::rules::TAINT_CRATES`] and returns `determinism-taint`
+/// diagnostics for tainted `pub` functions.
+pub fn analyze(files: &[ParsedFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for krate in TAINT_CRATES {
+        let members: Vec<usize> = files
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.path.starts_with(krate))
+            .map(|(i, _)| i)
+            .collect();
+        if !members.is_empty() {
+            analyze_crate(files, &members, &mut out);
+        }
+    }
+    out
+}
+
+fn analyze_crate(files: &[ParsedFile], members: &[usize], out: &mut Vec<Diagnostic>) {
+    // Collect every non-test fn in the crate.
+    let mut nodes: Vec<FnNode> = Vec::new();
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for &fi in members {
+        let f = &files[fi];
+        for (ii, item) in f.items.iter().enumerate() {
+            if item.kind != ItemKind::Fn || item.cfg_test {
+                continue;
+            }
+            by_name
+                .entry(item.name.as_str())
+                .or_default()
+                .push(nodes.len());
+            nodes.push(FnNode {
+                file: fi,
+                item: ii,
+                sources: find_sources(f, item.body),
+                callees: Vec::new(),
+            });
+        }
+    }
+
+    // Resolve call sites by simple name within the crate.
+    for ni in 0..nodes.len() {
+        let f = &files[nodes[ni].file];
+        let Some((lo, hi)) = f.items[nodes[ni].item].body else {
+            continue;
+        };
+        let mut callees = Vec::new();
+        for i in lo..hi.min(f.tokens.len()) {
+            let t = &f.tokens[i];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let name = t.text(&f.text);
+            if is_keyword(name) {
+                continue;
+            }
+            if f.next_sig(i).map(|j| f.token_text(j)) != Some("(") {
+                continue;
+            }
+            if let Some(targets) = by_name.get(name) {
+                for &t in targets {
+                    if t != ni && !callees.contains(&t) {
+                        callees.push(t);
+                    }
+                }
+            }
+        }
+        nodes[ni].callees = callees;
+    }
+
+    // Reverse BFS from seeded fns. `origin[n]` records how taint reached
+    // `n`: either a direct source or the callee it came through.
+    #[derive(Clone)]
+    enum Origin {
+        Source(String, usize),
+        Callee(usize),
+    }
+    let mut origin: Vec<Option<Origin>> = vec![None; nodes.len()];
+    let mut queue = VecDeque::new();
+    for (ni, node) in nodes.iter().enumerate() {
+        if let Some((what, line)) = node.sources.first() {
+            origin[ni] = Some(Origin::Source(what.clone(), *line));
+            queue.push_back(ni);
+        }
+    }
+    let mut callers: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (ni, node) in nodes.iter().enumerate() {
+        for &c in &node.callees {
+            callers[c].push(ni);
+        }
+    }
+    while let Some(ni) = queue.pop_front() {
+        for &caller in &callers[ni] {
+            if origin[caller].is_none() {
+                origin[caller] = Some(Origin::Callee(ni));
+                queue.push_back(caller);
+            }
+        }
+    }
+
+    // Report tainted pub fns with their chain down to the source.
+    for (ni, node) in nodes.iter().enumerate() {
+        if origin[ni].is_none() {
+            continue;
+        }
+        let f = &files[node.file];
+        let item = &f.items[node.item];
+        if !item.is_pub {
+            continue;
+        }
+        let mut path = Vec::new();
+        let mut cur = ni;
+        loop {
+            let nf = &files[nodes[cur].file];
+            let nitem = &nf.items[nodes[cur].item];
+            path.push(format!("{}() at {}:{}", nitem.name, nf.path, nitem.line));
+            match origin[cur].clone() {
+                Some(Origin::Callee(next)) => cur = next,
+                Some(Origin::Source(what, line)) => {
+                    path.push(format!("{} at {}:{}", what, nf.path, line));
+                    break;
+                }
+                None => break,
+            }
+        }
+        out.push(Diagnostic {
+            rule: "determinism-taint",
+            path: f.path.clone(),
+            line: item.line,
+            message: format!(
+                "`pub fn {}` transitively reaches a nondeterministic source ({})",
+                item.name,
+                path.join(" -> ")
+            ),
+            waived: false,
+            taint_path: path,
+        });
+    }
+}
+
+/// Lexical nondeterminism sources inside a fn body, with waived seeds
+/// suppressed.
+fn find_sources(f: &ParsedFile, body: Option<(usize, usize)>) -> Vec<(String, usize)> {
+    let Some((lo, hi)) = body else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let has_rayon = (lo..hi.min(f.tokens.len())).any(|i| {
+        matches!(
+            f.token_text(i),
+            "par_iter" | "into_par_iter" | "par_chunks" | "par_bridge" | "par_iter_mut"
+        )
+    });
+    for i in lo..hi.min(f.tokens.len()) {
+        let t = &f.tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let text = t.text(&f.text);
+        let what: Option<String> = match text {
+            "HashMap" | "HashSet" => Some(format!("{text} (unordered iteration)")),
+            "thread_rng" => Some("thread_rng (ambient RNG)".to_owned()),
+            "SystemTime" => Some("SystemTime (wall clock)".to_owned()),
+            "ThreadId" => Some("ThreadId (thread identity)".to_owned()),
+            "Instant" if path_call(f, i, "now") => {
+                Some("Instant::now (monotonic clock)".to_owned())
+            }
+            "thread" if path_call(f, i, "current") => {
+                Some("thread::current (thread identity)".to_owned())
+            }
+            "fold" | "reduce" if has_rayon && float_args(f, i) => Some(format!(
+                "parallel float `{text}` (non-associative reduction order)"
+            )),
+            _ => None,
+        };
+        if let Some(what) = what {
+            if !seed_waived(f, t.line) {
+                out.push((what, t.line));
+            }
+        }
+    }
+    out
+}
+
+/// `true` if `i` is followed by `::segment`.
+fn path_call(f: &ParsedFile, i: usize, segment: &str) -> bool {
+    let Some(sep) = f.next_sig(i) else {
+        return false;
+    };
+    f.token_text(sep) == "::" && f.next_sig(sep).is_some_and(|j| f.token_text(j) == segment)
+}
+
+/// `true` when `.fold(`/`.reduce(` call args mention a float literal or
+/// an `f32`/`f64` type — the signature of a non-associative reduction.
+fn float_args(f: &ParsedFile, i: usize) -> bool {
+    let Some(prev) = f.prev_sig(i) else {
+        return false;
+    };
+    if f.token_text(prev) != "." {
+        return false;
+    }
+    let Some(open) = f.next_sig(i) else {
+        return false;
+    };
+    if f.token_text(open) != "(" {
+        return false;
+    }
+    let mut depth = 0usize;
+    for j in open..f.tokens.len() {
+        let t = &f.tokens[j];
+        if t.is_comment() {
+            continue;
+        }
+        match t.text(&f.text) {
+            "(" => depth += 1,
+            ")" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    break;
+                }
+            }
+            text if t.kind == TokenKind::Ident && matches!(text, "f32" | "f64") => {
+                return true;
+            }
+            text if t.kind == TokenKind::Number && (text.contains('.') || is_float_exp(text)) => {
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// `1e-3`-style floats without a dot (hex literals excluded).
+fn is_float_exp(text: &str) -> bool {
+    !text.starts_with("0x") && !text.starts_with("0X") && text.contains(['e', 'E'])
+}
+
+/// A seed is trusted when a `determinism`/`determinism-taint` waiver
+/// covers its line (same line, preceding line, or file scope).
+fn seed_waived(f: &ParsedFile, line: usize) -> bool {
+    f.waivers.iter().any(|w| {
+        w.malformed.is_none()
+            && (w.rule == "determinism" || w.rule == "determinism-taint")
+            && (w.file_scope || w.line == line || w.line + 1 == line)
+    })
+}
+
+fn is_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "match"
+            | "while"
+            | "for"
+            | "loop"
+            | "return"
+            | "unsafe"
+            | "move"
+            | "break"
+            | "continue"
+            | "else"
+            | "in"
+            | "let"
+            | "fn"
+            | "as"
+            | "ref"
+            | "mut"
+            | "box"
+            | "await"
+            | "yield"
+            | "dyn"
+            | "where"
+            | "use"
+            | "pub"
+            | "crate"
+            | "self"
+            | "Self"
+            | "super"
+            | "true"
+            | "false"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn taint(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let parsed: Vec<ParsedFile> = files.iter().map(|(p, s)| ParsedFile::parse(p, s)).collect();
+        analyze(&parsed)
+    }
+
+    #[test]
+    fn direct_source_in_pub_fn_is_flagged() {
+        let d = taint(&[(
+            "crates/diffusion/src/a.rs",
+            "pub fn simulate() { let t = Instant::now(); }\n",
+        )]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "determinism-taint");
+        assert!(d[0].taint_path.iter().any(|s| s.contains("Instant::now")));
+    }
+
+    #[test]
+    fn taint_propagates_through_private_helpers_across_files() {
+        let d = taint(&[
+            (
+                "crates/forest/src/a.rs",
+                "use std::collections::HashMap;\nfn helper() -> usize { let m: HashMap<u32, u32> = HashMap::new(); m.len() }\n",
+            ),
+            (
+                "crates/forest/src/b.rs",
+                "pub fn extract() -> usize { mid() }\nfn mid() -> usize { helper() }\n",
+            ),
+        ]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].path, "crates/forest/src/b.rs");
+        assert!(d[0].message.contains("extract"));
+        // Full chain: extract -> mid -> helper -> HashMap.
+        assert_eq!(d[0].taint_path.len(), 4);
+    }
+
+    #[test]
+    fn private_tainted_fns_unreachable_from_pub_are_silent() {
+        let d = taint(&[(
+            "crates/graph/src/a.rs",
+            "fn orphan() { let r = thread_rng(); }\npub fn clean() -> u32 { 1 }\n",
+        )]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn waived_seed_does_not_propagate() {
+        let d = taint(&[(
+            "crates/core/src/a.rs",
+            "pub fn lookup() {\n  // lint:allow(determinism) values drained into a sorted Vec before use\n  let m = HashMap::new();\n}\n",
+        )]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn scope_is_limited_to_taint_crates_and_skips_tests() {
+        let d = taint(&[
+            (
+                "crates/bench/src/a.rs",
+                "pub fn bench() { let t = Instant::now(); }\n",
+            ),
+            (
+                "crates/graph/src/b.rs",
+                "#[cfg(test)]\nmod tests {\n  pub fn t() { let m = HashMap::new(); }\n}\n",
+            ),
+        ]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn parallel_float_reduction_is_a_seed() {
+        let d = taint(&[(
+            "crates/diffusion/src/a.rs",
+            "pub fn mean(v: &[f64]) -> f64 { v.par_iter().fold(|| 0.0f64, |a, b| a + b).sum() }\n",
+        )]);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].taint_path.iter().any(|s| s.contains("fold")));
+    }
+
+    #[test]
+    fn integer_parallel_reduction_is_clean() {
+        let d = taint(&[(
+            "crates/diffusion/src/a.rs",
+            "pub fn tally(v: &[u32]) -> u32 { v.par_iter().fold(|| 0u32, |a, b| a + b).sum() }\n",
+        )]);
+        assert!(d.is_empty());
+    }
+}

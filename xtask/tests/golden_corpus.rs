@@ -1,0 +1,164 @@
+//! Golden-corpus tests for the lint engine: hand-picked Rust constructs
+//! that defeat line-oriented scanners, pushed through the full pipeline
+//! (lexer → item tree → rules) with exact expectations.
+
+use xtask::lexer::{self, TokenKind};
+use xtask::rules::{scan_all, Diagnostic};
+use xtask::scan::ParsedFile;
+
+fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+    scan_all(&[ParsedFile::parse(path, src)]).diagnostics
+}
+
+fn unwaived_rules(path: &str, src: &str) -> Vec<&'static str> {
+    diags(path, src)
+        .into_iter()
+        .filter(|d| !d.waived)
+        .map(|d| d.rule)
+        .collect()
+}
+
+#[test]
+fn raw_strings_hide_their_contents_from_rules() {
+    let src = r####"
+fn f() -> String {
+    let a = r"x.unwrap() HashMap";
+    let b = r#"v[0] panic!("no")"#;
+    let c = r##"nested "#quote"# unsafe"##;
+    format!("{a}{b}{c}")
+}
+"####;
+    assert!(unwaived_rules("crates/graph/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn raw_string_followed_by_indexing_is_still_caught() {
+    let src = "fn f() -> u8 { r#\"abc\"#.as_bytes()[0] }\n";
+    assert_eq!(unwaived_rules("crates/graph/src/a.rs", src), ["indexing"]);
+}
+
+#[test]
+fn nested_block_comments_do_not_leak_code() {
+    let src = "/* outer /* inner x.unwrap() */ still comment v[0] */\nfn f() {}\n";
+    assert!(unwaived_rules("crates/graph/src/a.rs", src).is_empty());
+    let tokens = lexer::lex(src);
+    assert_eq!(
+        tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::BlockComment { doc: false })
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn unterminated_block_comment_swallows_the_rest() {
+    let src = "/* unterminated\nfn f() { x.unwrap(); }\n";
+    assert!(unwaived_rules("crates/graph/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn char_literals_with_braces_and_brackets_do_not_confuse_nesting() {
+    let src = "fn f(c: char) -> bool {\n    matches!(c, '{' | '}' | '[' | ']' | '(' | ')')\n}\npub fn g() { h(); }\nfn h() {}\n";
+    // If '{' were treated as an open brace, item parsing would derail and
+    // `g`/`h` would vanish from the item tree.
+    let f = ParsedFile::parse("crates/graph/src/a.rs", src);
+    let names: Vec<&str> = f.items.iter().map(|i| i.name.as_str()).collect();
+    assert_eq!(names, ["f", "g", "h"]);
+    assert!(unwaived_rules("crates/service/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nstruct S<'b> { r: &'b [u8] }\n";
+    let tokens = lexer::lex(src);
+    assert!(tokens.iter().all(|t| t.kind != TokenKind::Char));
+    assert_eq!(
+        tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count(),
+        5
+    );
+}
+
+#[test]
+fn cfg_test_modules_are_exempt_end_to_end() {
+    let src = "fn lib(v: &[u8]) -> Option<&u8> { v.get(0) }\n\n#[cfg(test)]\nmod tests {\n    use super::*;\n\n    #[test]\n    fn t() {\n        let v = vec![1u8];\n        assert_eq!(v[0], *lib(&v).unwrap());\n        let m = std::collections::HashMap::<u32, u32>::new();\n        let _ = m;\n    }\n}\n";
+    // unwrap + indexing + HashMap inside #[cfg(test)]: all exempt, even
+    // in a deterministic crate.
+    assert!(unwaived_rules("crates/diffusion/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn macro_bodies_are_scanned_for_expressions() {
+    // Token rules still see macro invocation bodies — a real unwrap in a
+    // macro argument is a real unwrap.
+    let src = "fn f() {\n    println!(\"{}\", x.unwrap());\n}\n";
+    assert_eq!(unwaived_rules("crates/graph/src/a.rs", src), ["panic"]);
+}
+
+#[test]
+fn doc_comments_and_doctests_are_not_code() {
+    let src = "/// Scores nodes.\n///\n/// ```\n/// let v = vec![1];\n/// assert_eq!(v[0], scores().unwrap()[0]);\n/// ```\n///\n/// # Examples\n///\n/// ```\n/// ```\npub fn scores() -> Vec<u8> { Vec::new() }\n";
+    assert!(unwaived_rules("crates/graph/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn waiver_inside_string_literal_is_inert() {
+    let src = "fn f() -> &'static str { \"// lint:allow(panic) not a waiver\" }\nfn g() { x.unwrap(); }\n";
+    let all = diags("crates/graph/src/a.rs", src);
+    // The panic finding in g() must NOT be waived by the string content.
+    assert!(all.iter().any(|d| d.rule == "panic" && !d.waived));
+    assert!(all.iter().all(|d| d.rule != "dead-waiver"));
+}
+
+#[test]
+fn multiline_strings_keep_line_numbers_honest() {
+    let src = "fn f() -> &'static str {\n    \"line2\nline3\nline4\"\n}\nfn g() { x.unwrap(); }\n";
+    let all = diags("crates/graph/src/a.rs", src);
+    let panic = all
+        .iter()
+        .find(|d| d.rule == "panic")
+        .expect("panic finding");
+    assert_eq!(panic.line, 6);
+}
+
+#[test]
+fn impl_methods_are_attributed_to_their_fn() {
+    let src = "struct S;\nimpl S {\n    /// Doc.\n    ///\n    /// # Panics\n    ///\n    /// Panics when empty.\n    pub fn head(&self, v: &[u8]) -> u8 { v[0] }\n    pub fn tail(&self, v: &[u8]) -> u8 { v[1] }\n}\n";
+    let all: Vec<Diagnostic> = diags("crates/service/src/a.rs", src)
+        .into_iter()
+        .filter(|d| !d.waived)
+        .collect();
+    // head is # Panics-documented → exempt; tail is not → flagged.
+    assert_eq!(all.len(), 1);
+    assert_eq!(all[0].rule, "indexing");
+    assert_eq!(all[0].line, 9);
+}
+
+#[test]
+fn the_workspace_itself_lints_clean() {
+    // The committed tree must satisfy its own rules: zero unwaived
+    // findings, zero dead waivers, waiver debt under budget.
+    let root = xtask::workspace_root();
+    let sources = xtask::collect_sources(&root);
+    let files: Vec<ParsedFile> = sources
+        .iter()
+        .map(|(p, t)| ParsedFile::parse(p, t))
+        .collect();
+    let outcome = scan_all(&files);
+    let unwaived: Vec<String> = outcome
+        .diagnostics
+        .iter()
+        .filter(|d| !d.waived)
+        .map(|d| format!("{}:{} [{}]", d.path, d.line, d.rule))
+        .collect();
+    assert!(unwaived.is_empty(), "unwaived findings: {unwaived:#?}");
+    assert_eq!(outcome.dead_waivers, 0);
+    assert!(
+        outcome.waiver_total < 50,
+        "waiver debt regressed: {} >= 50",
+        outcome.waiver_total
+    );
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the lint engine's front end: the lexer and
+//! item parser must be *total* (never panic, never hang) and
+//! span-faithful on arbitrary input — linting is run on every source
+//! file in the tree, including ones mid-edit.
+
+use proptest::prelude::*;
+use xtask::items;
+use xtask::lexer;
+use xtask::rules::scan_all;
+use xtask::scan::ParsedFile;
+
+/// Arbitrary (possibly non-UTF-8-originated) strings: random bytes run
+/// through lossy decoding, so the result mixes ASCII, control chars and
+/// replacement characters.
+fn arb_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..64)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// Fragments that exercise the lexer's tricky paths, glued together in
+/// random order: unterminated raw strings, nested comments, lifetimes,
+/// multibyte text, attribute and waiver syntax.
+const FRAGMENTS: [&str; 20] = [
+    "fn f() {",
+    "}",
+    "r#\"raw\"#",
+    "r##\"",
+    "/* nested /* open",
+    "*/",
+    "'c'",
+    "'lifetime",
+    "\"str with \\\" escape",
+    "b'\\x7f'",
+    "1_000.5e-3",
+    "0xfe_u32",
+    "#[cfg(test)]",
+    "mod m {",
+    "pub fn g() -> Result<(), E>",
+    "// lint:allow(panic)",
+    "macro_rules! m { () => {} }",
+    "日本語±",
+    "x.unwrap()[0]",
+    "impl T for S {",
+];
+
+fn rustish() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0..FRAGMENTS.len(), 0..24).prop_map(|picks| {
+        picks
+            .into_iter()
+            .filter_map(|i| FRAGMENTS.get(i).copied())
+            .collect::<Vec<&str>>()
+            .join(" ")
+    })
+}
+
+proptest! {
+    #[test]
+    fn lexing_never_panics_and_spans_round_trip(src in arb_string()) {
+        let tokens = lexer::lex(&src);
+        let mut pos = 0usize;
+        for t in &tokens {
+            // Spans are ordered, non-overlapping, in-bounds, non-empty.
+            prop_assert!(t.start >= pos, "overlap at {}", t.start);
+            prop_assert!(t.end > t.start);
+            prop_assert!(t.end <= src.len());
+            // Spans sit on char boundaries: text() must not panic.
+            let _ = t.text(&src);
+            // Gaps between tokens are whitespace only.
+            prop_assert!(src
+                .get(pos..t.start)
+                .is_some_and(|gap| gap.chars().all(char::is_whitespace)));
+            pos = t.end;
+        }
+        // Trailing gap is whitespace only: every non-whitespace char is
+        // covered by exactly one token.
+        prop_assert!(src
+            .get(pos..)
+            .is_some_and(|gap| gap.chars().all(char::is_whitespace)));
+    }
+
+    #[test]
+    fn lexing_rustish_never_panics(src in rustish()) {
+        let tokens = lexer::lex(&src);
+        // Line numbers are monotonic.
+        prop_assert!(tokens.windows(2).all(|w| w[0].line <= w[1].line));
+    }
+
+    #[test]
+    fn item_parsing_is_total(src in rustish()) {
+        let tokens = lexer::lex(&src);
+        let items = items::parse(&src, &tokens);
+        for item in &items {
+            if let Some((lo, hi)) = item.body {
+                prop_assert!(lo <= hi);
+                prop_assert!(hi <= tokens.len());
+            }
+        }
+    }
+
+    #[test]
+    fn full_pipeline_is_total_on_arbitrary_input(src in arb_string()) {
+        // Lint an arbitrary byte string as if it were a source file in
+        // the strictest crate: must terminate without panicking.
+        let f = ParsedFile::parse("crates/graph/src/fuzz.rs", &src);
+        let outcome = scan_all(&[f]);
+        prop_assert!(outcome.diagnostics.iter().all(|d| d.line >= 1));
+    }
+
+    #[test]
+    fn report_renders_and_reparses_for_any_input(src in rustish()) {
+        let f = ParsedFile::parse("crates/core/src/fuzz.rs", &src);
+        let outcome = scan_all(&[f]);
+        let json = xtask::report::render(&outcome);
+        // The self-rendered report must satisfy its own schema.
+        let diff = xtask::report::diff_baseline(&json, &json).expect("self-diff parses");
+        prop_assert!(diff.is_empty());
+    }
+}

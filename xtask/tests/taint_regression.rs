@@ -1,0 +1,128 @@
+//! Seeded regression tests for the determinism taint analysis: inject
+//! nondeterministic constructs into synthetic files of the deterministic
+//! crates and prove the lint *catches* them — the static counterpart of
+//! the dynamic determinism matrix.
+
+use xtask::rules::{scan_all, Diagnostic, LintOutcome};
+use xtask::scan::ParsedFile;
+
+fn lint(files: &[(&str, &str)]) -> LintOutcome {
+    let parsed: Vec<ParsedFile> = files.iter().map(|(p, s)| ParsedFile::parse(p, s)).collect();
+    scan_all(&parsed)
+}
+
+fn taint_findings(outcome: &LintOutcome) -> Vec<&Diagnostic> {
+    outcome
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "determinism-taint" && !d.waived)
+        .collect()
+}
+
+#[test]
+fn injected_hashmap_iteration_is_caught_through_a_helper_chain() {
+    // A HashMap sneaks into a private helper three calls below the
+    // public API of a deterministic crate.
+    let outcome = lint(&[
+        (
+            "crates/diffusion/src/api.rs",
+            "pub fn estimate_probabilities(n: usize) -> Vec<f64> {\n    collect_counts(n)\n}\n",
+        ),
+        (
+            "crates/diffusion/src/counts.rs",
+            "pub(crate) fn collect_counts(n: usize) -> Vec<f64> {\n    tally(n)\n}\n\nfn tally(n: usize) -> Vec<f64> {\n    use std::collections::HashMap;\n    let mut m: HashMap<usize, f64> = HashMap::new();\n    m.insert(n, 1.0);\n    m.values().copied().collect()\n}\n",
+        ),
+    ]);
+    let findings = taint_findings(&outcome);
+    assert_eq!(findings.len(), 1, "{:#?}", outcome.diagnostics);
+    let f = findings[0];
+    assert_eq!(f.path, "crates/diffusion/src/api.rs");
+    assert!(f.message.contains("estimate_probabilities"));
+    // The taint path walks the whole chain down to the source.
+    assert!(f.taint_path.iter().any(|h| h.contains("collect_counts")));
+    assert!(f.taint_path.iter().any(|h| h.contains("tally")));
+    assert!(f.taint_path.iter().any(|h| h.contains("HashMap")));
+}
+
+#[test]
+fn injected_instant_now_in_a_deterministic_crate_is_caught() {
+    let outcome = lint(&[(
+        "crates/forest/src/extract.rs",
+        "use std::time::Instant;\n\npub fn extract_forest() -> u64 {\n    let t0 = Instant::now();\n    t0.elapsed().as_nanos() as u64\n}\n",
+    )]);
+    // Both the lexical rule and the taint rule fire.
+    assert!(taint_findings(&outcome).len() == 1);
+    assert!(outcome
+        .diagnostics
+        .iter()
+        .any(|d| d.rule == "determinism" && !d.waived));
+    // And the cast-truncation injection above stays out of the way: the
+    // `as u64` widening cast is not a finding.
+    assert!(outcome
+        .diagnostics
+        .iter()
+        .all(|d| d.rule != "cast-truncation"));
+}
+
+#[test]
+fn same_injection_outside_taint_crates_is_not_a_taint_finding() {
+    let outcome = lint(&[(
+        "crates/bench/src/timing.rs",
+        "use std::time::Instant;\npub fn measure() -> u128 { Instant::now().elapsed().as_nanos() }\n",
+    )]);
+    assert!(taint_findings(&outcome).is_empty());
+}
+
+#[test]
+fn waived_source_cuts_the_taint_chain() {
+    let outcome = lint(&[(
+        "crates/core/src/lookup.rs",
+        "pub fn lookup(n: usize) -> usize {\n    // lint:allow(determinism) membership-only set; iteration order never observed\n    let m = std::collections::HashSet::<usize>::new();\n    m.len() + n\n}\n",
+    )]);
+    assert!(taint_findings(&outcome).is_empty());
+    // The lexical finding exists but is waived — and the waiver is live,
+    // not dead.
+    assert!(outcome
+        .diagnostics
+        .iter()
+        .any(|d| d.rule == "determinism" && d.waived));
+    assert_eq!(outcome.dead_waivers, 0);
+}
+
+#[test]
+fn current_tree_has_zero_unwaived_taint_findings() {
+    let root = xtask::workspace_root();
+    let sources = xtask::collect_sources(&root);
+    let parsed: Vec<ParsedFile> = sources
+        .iter()
+        .map(|(p, t)| ParsedFile::parse(p, t))
+        .collect();
+    let outcome = scan_all(&parsed);
+    let findings = taint_findings(&outcome);
+    assert!(
+        findings.is_empty(),
+        "determinism taint regressions: {findings:#?}"
+    );
+}
+
+#[test]
+fn injecting_into_the_real_tree_is_caught() {
+    // Take the real workspace sources and append one tainted helper to a
+    // deterministic crate: the analysis must flag the pub fn that calls
+    // it, proving the gate works against the production call graph.
+    let root = xtask::workspace_root();
+    let mut sources = xtask::collect_sources(&root);
+    sources.push((
+        "crates/graph/src/injected.rs".to_owned(),
+        "pub fn poisoned_degree() -> usize {\n    hidden()\n}\n\nfn hidden() -> usize {\n    let m = std::collections::HashMap::<u32, u32>::new();\n    m.len()\n}\n"
+            .to_owned(),
+    ));
+    let parsed: Vec<ParsedFile> = sources
+        .iter()
+        .map(|(p, t)| ParsedFile::parse(p, t))
+        .collect();
+    let outcome = scan_all(&parsed);
+    let findings = taint_findings(&outcome);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert!(findings[0].message.contains("poisoned_degree"));
+}
