@@ -128,8 +128,9 @@ fn main() {
                         let mut latencies = Vec::with_capacity(opts.requests);
                         let mut wrong = 0usize;
                         for round in 0..opts.requests {
-                            // lint:allow(indexing) index is reduced modulo cases.len()
-                            let (snapshot, expected) = &cases[(conn + round) % cases.len()];
+                            let (snapshot, expected) = cases
+                                .get((conn + round) % cases.len())
+                                .expect("index is reduced modulo cases.len()");
                             let t0 = Instant::now();
                             let result = client.rid(snapshot, None).expect("rid request");
                             latencies.push(t0.elapsed().as_nanos() as f64);

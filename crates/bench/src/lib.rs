@@ -62,8 +62,10 @@ pub mod report;
 
 use isomit_core::{InitiatorDetector, Rid, RidPositive, RidTree, RumorCentrality};
 use isomit_datasets::{
-    build_scenario, epinions_like_scaled, slashdot_like_scaled, Scenario, ScenarioConfig,
+    build_scenario, build_scenario_with_model, epinions_like_scaled, slashdot_like_scaled,
+    Scenario, ScenarioConfig,
 };
+use isomit_diffusion::DiffusionModel;
 use isomit_graph::{NodeId, SignedDigraph};
 use isomit_metrics::{evaluate_detection, evaluate_identities, Prf, StateMetrics};
 use rand::rngs::StdRng;
@@ -240,6 +242,48 @@ pub fn build_trials(network: Network, options: &ExpOptions) -> Vec<Trial> {
         (0..options.trials)
             .into_par_iter()
             .map(|t| build_trial(network, options, t))
+            .collect()
+    })
+}
+
+/// [`build_trial`] generalized over the forward diffusion model: same
+/// network generation, same seeding scheme, but the outbreak is
+/// simulated by `model`. With MFC this is bit-identical to
+/// [`build_trial`]; the detector bakeoff uses it to grade estimators
+/// under outbreaks their assumptions were not built for.
+pub fn build_trial_with_model(
+    network: Network,
+    options: &ExpOptions,
+    t: usize,
+    model: &dyn DiffusionModel,
+) -> Trial {
+    let mut rng = StdRng::seed_from_u64(options.seed.wrapping_add(t as u64));
+    let social = network.generate(options.scale, &mut rng);
+    let config = ScenarioConfig {
+        n_initiators: options.initiators_for(network),
+        ..ScenarioConfig::default()
+    };
+    let scenario = build_scenario_with_model(&social, &config, model, &mut rng);
+    let truth_pairs = scenario.ground_truth_pairs();
+    let truth_ids = scenario.ground_truth.nodes().collect();
+    Trial {
+        scenario,
+        truth_pairs,
+        truth_ids,
+    }
+}
+
+/// [`build_trials`] generalized over the forward diffusion model; see
+/// [`build_trial_with_model`].
+pub fn build_trials_with_model(
+    network: Network,
+    options: &ExpOptions,
+    model: &(dyn DiffusionModel + Sync),
+) -> Vec<Trial> {
+    options.install(|| {
+        (0..options.trials)
+            .into_par_iter()
+            .map(|t| build_trial_with_model(network, options, t, model))
             .collect()
     })
 }

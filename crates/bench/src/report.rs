@@ -167,6 +167,24 @@ impl BenchReport {
         });
     }
 
+    /// Records metrics *and* a timing result as one entry under
+    /// `group`/`id` — for experiment cells that report both quality
+    /// scores and a latency distribution (e.g. the detector bakeoff).
+    pub fn add_entry(
+        &mut self,
+        group: impl Into<String>,
+        id: impl Into<String>,
+        metrics: Vec<(String, f64)>,
+        timing: TimingStats,
+    ) {
+        self.entries.push(BenchEntry {
+            group: group.into(),
+            id: id.into(),
+            metrics,
+            timing: Some(timing),
+        });
+    }
+
     /// Records a timing result under `group`/`id`.
     pub fn add_timing(
         &mut self,

@@ -45,5 +45,5 @@ pub use generators::{
 };
 pub use ingest::{load_snap, load_snap_file, LoadOptions, LoadReport, MalformedPolicy};
 pub use polarized::{camp_of, polarized_communities, PolarizedConfig};
-pub use scenario::{build_scenario, Scenario, ScenarioConfig};
+pub use scenario::{build_scenario, build_scenario_with_model, Scenario, ScenarioConfig};
 pub use weighting::paper_weights;

@@ -105,9 +105,34 @@ pub fn build_scenario<R: Rng>(
     config: &ScenarioConfig,
     rng: &mut R,
 ) -> Scenario {
+    let model = Mfc::new(config.alpha).expect("alpha validated by Mfc");
+    build_scenario_with_model(social, config, &model, rng)
+}
+
+/// [`build_scenario`] generalized over the forward diffusion model:
+/// weighting, seed sampling and snapshot extraction are unchanged, only
+/// the simulation step runs `model` instead of MFC. Passing
+/// `Mfc::new(config.alpha)` reproduces [`build_scenario`] bit for bit
+/// (the RNG draw order is identical), which the detector bakeoff relies
+/// on to compare estimators across diffusion models on otherwise
+/// identical setups.
+///
+/// `config.alpha` is ignored except by models that take it as a
+/// constructor parameter.
+///
+/// # Panics
+///
+/// Panics if `n_initiators` exceeds the node count, on invalid
+/// `positive_ratio` / `mask_fraction`, or if the model rejects the
+/// sampled seed set.
+pub fn build_scenario_with_model<R: Rng>(
+    social: &SignedDigraph,
+    config: &ScenarioConfig,
+    model: &dyn DiffusionModel,
+    rng: &mut R,
+) -> Scenario {
     let diffusion = paper_weights(social, rng);
     let ground_truth = SeedSet::sample(&diffusion, config.n_initiators, config.positive_ratio, rng);
-    let model = Mfc::new(config.alpha).expect("alpha validated by Mfc");
     let cascade = model
         .simulate(&diffusion, &ground_truth, rng)
         .expect("sampled seeds lie within the diffusion network");
@@ -180,6 +205,31 @@ mod tests {
         let s = build_scenario(&social, &cfg, &mut r);
         let unknowns = s.snapshot.node_count() - s.snapshot.observed_count();
         assert!(unknowns > 0, "expected some masked states");
+    }
+
+    #[test]
+    fn with_model_mfc_is_bit_identical_to_build_scenario() {
+        let social = epinions_like_scaled(0.004, &mut rng(3));
+        let cfg = ScenarioConfig::small();
+        let legacy = build_scenario(&social, &cfg, &mut rng(7));
+        let model = Mfc::new(cfg.alpha).unwrap();
+        let general = build_scenario_with_model(&social, &cfg, &model, &mut rng(7));
+        assert_eq!(legacy, general);
+    }
+
+    #[test]
+    fn with_model_runs_other_models() {
+        use isomit_diffusion::{IndependentCascade, LinearThreshold};
+        let social = epinions_like_scaled(0.004, &mut rng(3));
+        let cfg = ScenarioConfig::small();
+        for model in [
+            Box::new(IndependentCascade::new()) as Box<dyn DiffusionModel>,
+            Box::new(LinearThreshold::new()),
+        ] {
+            let s = build_scenario_with_model(&social, &cfg, model.as_ref(), &mut rng(9));
+            assert_eq!(s.ground_truth.len(), 20);
+            assert_eq!(s.snapshot.node_count(), s.cascade.infected_count());
+        }
     }
 
     #[test]

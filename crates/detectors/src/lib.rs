@@ -1,0 +1,85 @@
+//! # isomit-detectors — the source-detector subsystem
+//!
+//! A shared [`SourceDetector`] trait over every rumor-source estimator
+//! the workspace ships, so the serving engine, the CLI and the bench
+//! harness can treat "which detector" as data instead of code. The
+//! trait consumes an [`InfectedNetwork`] snapshot and produces a
+//! [`SourceDetection`]: the familiar [`Detection`] set (compatible with
+//! the `RidResult` wire shape) plus a full ranked candidate list for
+//! rank-of-true-source evaluation.
+//!
+//! Five detectors are provided, selected by [`DetectorKind`]:
+//!
+//! * **RID** ([`RidDetector`]) — the paper's full framework, dispatched
+//!   through the two-stage pipeline and bit-identical to
+//!   `Rid::detect`.
+//! * **RID-Tree** / **RID-Positive** ([`RidTreeDetector`],
+//!   [`RidPositiveDetector`]) — the paper's §IV-B1 baselines, wrapped
+//!   unchanged.
+//! * **Rumor centrality** ([`RumorCentralityDetector`]) — the
+//!   message-passing BFS-tree estimator of Shah & Zaman, "Rumors in a
+//!   Network: Who's the Culprit?" (arXiv:0909.4370, IEEE Trans. IT
+//!   2011): per infected component, score every node by the log count
+//!   of infection orderings it could have initiated on a BFS spanning
+//!   tree.
+//! * **Jordan center** ([`JordanCenter`]) — the distance-center
+//!   estimator family surveyed by Jin & Wu, "Schemes of Propagation
+//!   Models and Source Estimators for Rumor Source Detection in Online
+//!   Social Networks" (arXiv:2101.00753): per infected component, pick
+//!   the node minimizing eccentricity over the undirected infected
+//!   subgraph.
+//!
+//! All detectors are deterministic (no RNG, ordered collections only),
+//! return `Result`, and time themselves into the process-global
+//! telemetry registry like the RID stages do.
+//!
+//! # Examples
+//!
+//! Run two estimators on a 5-path infected end-to-end — rumor
+//! centrality and Jordan center both recover the path's center:
+//!
+//! ```
+//! use isomit_detectors::{build, DetectorKind};
+//! use isomit_core::RidConfig;
+//! use isomit_diffusion::InfectedNetwork;
+//! use isomit_graph::{Edge, NodeId, NodeState, Sign, SignedDigraph};
+//!
+//! let g = SignedDigraph::from_edges(
+//!     5,
+//!     (0..4).map(|i| Edge::new(NodeId(i), NodeId(i + 1), Sign::Positive, 0.5)),
+//! )
+//! .unwrap();
+//! let snapshot = InfectedNetwork::from_parts(g, vec![NodeState::Positive; 5]);
+//!
+//! let config = RidConfig::default();
+//! for kind in [DetectorKind::RumorCentrality, DetectorKind::JordanCenter] {
+//!     let detector = build(kind, &config).unwrap();
+//!     let found = detector.detect_sources(&snapshot).unwrap();
+//!     assert_eq!(found.detection.nodes(), vec![NodeId(2)]);
+//!     assert_eq!(found.rank_of(NodeId(2)), Some(1));
+//!     assert_eq!(found.ranked.len(), 5);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod error;
+mod jordan;
+mod kind;
+mod rid_family;
+mod rumor;
+mod source;
+
+pub use error::DetectorError;
+pub use jordan::JordanCenter;
+pub use kind::{build, DetectorKind};
+pub use rid_family::{RidDetector, RidPositiveDetector, RidTreeDetector};
+pub use rumor::RumorCentralityDetector;
+pub use source::{RankedSource, SourceDetection, SourceDetector};
+
+// Re-exported so downstream callers can name the trait's input/output
+// types without an extra direct dependency.
+pub use isomit_core::Detection;
+pub use isomit_diffusion::InfectedNetwork;

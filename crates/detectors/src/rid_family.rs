@@ -1,0 +1,199 @@
+//! The paper's own estimators wrapped as [`SourceDetector`] instances.
+//!
+//! All three delegate to `isomit-core` unchanged, so their detections
+//! are bit-identical to the legacy `InitiatorDetector` paths (pinned by
+//! the golden fixtures and the `tests/detectors.rs` equivalence suite).
+//! They are *set* detectors: the ranked list is the detected set itself
+//! (see [`SourceDetection`] for the scoring convention).
+
+use crate::error::DetectorError;
+use crate::source::{ranked_from_set, SourceDetection, SourceDetector};
+use isomit_core::{InitiatorDetector, Rid, RidConfig, RidPositive, RidTree};
+use isomit_diffusion::InfectedNetwork;
+
+/// The full RID framework behind the [`SourceDetector`] seam.
+///
+/// Dispatches through the two-stage pipeline (`extract_stage` +
+/// `query_stage`), which is bit-identical to `Rid::detect` — the
+/// telemetry spans of both stages fire exactly as in the legacy path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RidDetector {
+    rid: Rid,
+}
+
+impl RidDetector {
+    /// Builds the detector from a full RID configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::Rid`] if the configuration is invalid
+    /// (`alpha` not finite or `< 1`, `beta` negative).
+    pub fn from_config(config: &RidConfig) -> Result<Self, DetectorError> {
+        Ok(RidDetector {
+            rid: Rid::from_config(*config)?,
+        })
+    }
+}
+
+impl SourceDetector for RidDetector {
+    fn name(&self) -> String {
+        self.rid.name()
+    }
+
+    fn detect_sources(&self, snapshot: &InfectedNetwork) -> Result<SourceDetection, DetectorError> {
+        let artifacts = self.rid.extract_stage(snapshot);
+        let detection = self.rid.query_stage(snapshot, &artifacts)?;
+        Ok(ranked_from_set(detection))
+    }
+}
+
+/// The RID-Tree baseline (§IV-B1) behind the [`SourceDetector`] seam.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RidTreeDetector {
+    inner: RidTree,
+}
+
+impl RidTreeDetector {
+    /// Builds the baseline from the configuration's `alpha` (the only
+    /// parameter RID-Tree uses).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::Rid`] unless `alpha` is finite and
+    /// `>= 1`.
+    pub fn from_config(config: &RidConfig) -> Result<Self, DetectorError> {
+        Ok(RidTreeDetector {
+            inner: RidTree::new(config.alpha)?,
+        })
+    }
+}
+
+impl SourceDetector for RidTreeDetector {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn detect_sources(&self, snapshot: &InfectedNetwork) -> Result<SourceDetection, DetectorError> {
+        Ok(ranked_from_set(self.inner.detect(snapshot)))
+    }
+}
+
+/// The RID-Positive baseline (§IV-B1) behind the [`SourceDetector`]
+/// seam. Parameter-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RidPositiveDetector {
+    inner: RidPositive,
+}
+
+impl RidPositiveDetector {
+    /// Creates the parameter-free baseline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SourceDetector for RidPositiveDetector {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn detect_sources(&self, snapshot: &InfectedNetwork) -> Result<SourceDetection, DetectorError> {
+        Ok(ranked_from_set(self.inner.detect(snapshot)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isomit_diffusion::{DiffusionModel, Mfc, SeedSet};
+    use isomit_graph::{Edge, NodeId, Sign, SignedDigraph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain_snapshot() -> InfectedNetwork {
+        let edges: Vec<Edge> = (0..14)
+            .map(|i| {
+                Edge::new(
+                    NodeId(i),
+                    NodeId(i + 1),
+                    if i % 3 == 0 {
+                        Sign::Negative
+                    } else {
+                        Sign::Positive
+                    },
+                    0.7,
+                )
+            })
+            .collect();
+        let g = SignedDigraph::from_edges(15, edges).unwrap();
+        let seeds = SeedSet::single(NodeId(0), Sign::Positive);
+        let cascade = Mfc::new(3.0)
+            .unwrap()
+            .simulate(&g, &seeds, &mut StdRng::seed_from_u64(11))
+            .unwrap();
+        InfectedNetwork::from_cascade(&g, &cascade)
+    }
+
+    #[test]
+    fn dispatched_rid_equals_legacy_detect_bit_for_bit() {
+        let snapshot = chain_snapshot();
+        let config = RidConfig::default();
+        let legacy = Rid::from_config(config).unwrap().detect(&snapshot);
+        let dispatched = RidDetector::from_config(&config)
+            .unwrap()
+            .detect_sources(&snapshot)
+            .unwrap();
+        assert_eq!(dispatched.detection, legacy);
+        assert_eq!(
+            dispatched.detection.objective.to_bits(),
+            legacy.objective.to_bits()
+        );
+    }
+
+    #[test]
+    fn dispatched_baselines_equal_legacy_detect() {
+        let snapshot = chain_snapshot();
+        let config = RidConfig::default();
+        let tree = RidTreeDetector::from_config(&config)
+            .unwrap()
+            .detect_sources(&snapshot)
+            .unwrap();
+        assert_eq!(
+            tree.detection,
+            RidTree::new(config.alpha).unwrap().detect(&snapshot)
+        );
+        let positive = RidPositiveDetector::new()
+            .detect_sources(&snapshot)
+            .unwrap();
+        assert_eq!(positive.detection, RidPositive::new().detect(&snapshot));
+    }
+
+    #[test]
+    fn set_detectors_rank_their_detected_set() {
+        let snapshot = chain_snapshot();
+        let config = RidConfig::default();
+        let found = RidDetector::from_config(&config)
+            .unwrap()
+            .detect_sources(&snapshot)
+            .unwrap();
+        let ranked_ids: Vec<NodeId> = found.ranked.iter().map(|c| c.node).collect();
+        assert_eq!(ranked_ids, found.detection.nodes());
+        assert!(found.ranked.iter().all(|c| c.score == 0.0));
+    }
+
+    #[test]
+    fn invalid_config_is_reported_as_rid_error() {
+        let bad = RidConfig {
+            alpha: 0.0,
+            ..RidConfig::default()
+        };
+        assert!(matches!(
+            RidDetector::from_config(&bad),
+            Err(DetectorError::Rid(_))
+        ));
+        assert!(matches!(
+            RidTreeDetector::from_config(&bad),
+            Err(DetectorError::Rid(_))
+        ));
+    }
+}

@@ -1,0 +1,195 @@
+//! Rumor centrality as a ranked [`SourceDetector`].
+//!
+//! Shah & Zaman, "Rumors in a Network: Who's the Culprit?"
+//! (arXiv:0909.4370, IEEE Trans. IT 2011): for a tree rooted at `v`,
+//! `R(v) = n! / Π_u T_u^v` counts the infection orderings `v` could
+//! have initiated; on general graphs the standard heuristic applies the
+//! tree formula to a BFS spanning tree of each infected component. The
+//! log-space message-passing sweep lives in
+//! [`isomit_core::tree_rumor_centralities`]; this detector adds the
+//! full per-node ranking the legacy `RumorCentrality` baseline throws
+//! away, while keeping its point estimate bit-identical to that
+//! baseline (one argmax per component, same tie-breaking).
+
+use crate::error::DetectorError;
+use crate::source::{sort_ranked, RankedSource, SourceDetection, SourceDetector};
+use isomit_core::{tree_rumor_centralities, DetectedInitiator, Detection};
+use isomit_diffusion::InfectedNetwork;
+use isomit_forest::weakly_connected_components;
+use isomit_graph::{NodeId, SignedDigraph};
+use isomit_telemetry::{names, Histogram};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::OnceLock;
+
+/// Cached handle into the process-global telemetry registry; looked up
+/// once so the hot path pays one pointer load, not a map lookup.
+fn rumor_histogram() -> &'static Histogram {
+    static HIST: OnceLock<Histogram> = OnceLock::new();
+    HIST.get_or_init(|| isomit_telemetry::global().histogram(names::DETECTOR_RUMOR_CENTRALITY_NS))
+}
+
+/// BFS spanning tree (undirected view) of the subgraph induced by
+/// `component`, as parent pointers over component-local indices.
+///
+/// Mirrors the legacy baseline's traversal exactly — same start node,
+/// same neighbor order — so the per-node centralities, and therefore
+/// the per-component argmax, agree bit for bit.
+fn bfs_spanning_tree(graph: &SignedDigraph, component: &[NodeId]) -> Vec<usize> {
+    let local_of: BTreeMap<NodeId, usize> =
+        component.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut parent = vec![usize::MAX; component.len()];
+    let mut visited = vec![false; component.len()];
+    if let Some(first) = visited.first_mut() {
+        *first = true;
+    }
+    let mut queue = VecDeque::from([0usize]);
+    while let Some(u) = queue.pop_front() {
+        let u_id = *component
+            .get(u)
+            .expect("queue holds component-local indices");
+        for &v_id in graph
+            .out_neighbors(u_id)
+            .iter()
+            .chain(graph.in_neighbors(u_id))
+        {
+            if let Some(&v) = local_of.get(&v_id) {
+                let seen = visited
+                    .get_mut(v)
+                    .expect("local ids are below component length");
+                if !*seen {
+                    *seen = true;
+                    *parent
+                        .get_mut(v)
+                        .expect("local ids are below component length") = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    parent
+}
+
+/// The rumor-centrality estimator with a full per-node ranking: one
+/// point-estimate source per infected weakly-connected component (the
+/// estimator is inherently single-source), every node scored by its
+/// log rumor centrality on a BFS spanning tree.
+///
+/// Scores are log-space and per-component scaled — comparable within a
+/// component, not across components — but the global rank order is
+/// still deterministic (descending score, ascending node id on ties).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RumorCentralityDetector {
+    _private: (),
+}
+
+impl RumorCentralityDetector {
+    /// Creates the parameter-free detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SourceDetector for RumorCentralityDetector {
+    fn name(&self) -> String {
+        "Rumor-Centrality".to_string()
+    }
+
+    fn detect_sources(&self, snapshot: &InfectedNetwork) -> Result<SourceDetection, DetectorError> {
+        let _span = rumor_histogram().span();
+        let graph = snapshot.graph();
+        let components = weakly_connected_components(graph);
+        let mut initiators = Vec::with_capacity(components.len());
+        let mut ranked = Vec::with_capacity(graph.node_count());
+        for component in &components {
+            let parent = bfs_spanning_tree(graph, component);
+            let log_r = tree_rumor_centralities(&parent);
+            let (best_sub_id, _) = component
+                .iter()
+                .zip(log_r.iter())
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .expect("non-empty component");
+            initiators.push(DetectedInitiator {
+                node: snapshot
+                    .mapping()
+                    .to_original(*best_sub_id)
+                    .expect("snapshot id maps to original network"),
+                state: snapshot.state(*best_sub_id),
+            });
+            for (&sub_id, &score) in component.iter().zip(log_r.iter()) {
+                ranked.push(RankedSource {
+                    node: snapshot
+                        .mapping()
+                        .to_original(sub_id)
+                        .expect("snapshot id maps to original network"),
+                    state: snapshot.state(sub_id),
+                    score,
+                });
+            }
+        }
+        sort_ranked(&mut ranked);
+        initiators.sort_by_key(|d| d.node);
+        Ok(SourceDetection {
+            detection: Detection {
+                initiators,
+                component_count: components.len(),
+                tree_count: components.len(),
+                objective: 0.0,
+            },
+            ranked,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isomit_core::{InitiatorDetector, RumorCentrality};
+    use isomit_graph::{Edge, NodeState, Sign};
+
+    fn snapshot(edges: &[(u32, u32)], n: usize) -> InfectedNetwork {
+        let g = SignedDigraph::from_edges(
+            n,
+            edges
+                .iter()
+                .map(|&(a, b)| Edge::new(NodeId(a), NodeId(b), Sign::Positive, 0.5)),
+        )
+        .unwrap();
+        InfectedNetwork::from_parts(g, vec![NodeState::Positive; n])
+    }
+
+    #[test]
+    fn point_estimate_matches_legacy_baseline() {
+        for edges in [
+            vec![(0, 1), (1, 2), (2, 3), (3, 4)],
+            vec![(0, 1), (0, 2), (0, 3), (2, 3)],
+            vec![(0, 1), (2, 3)],
+            vec![(1, 0), (2, 1), (3, 2), (4, 3)],
+        ] {
+            let n = 5;
+            let s = snapshot(&edges, n);
+            let legacy = RumorCentrality::new().detect(&s);
+            let ranked = RumorCentralityDetector::new().detect_sources(&s).unwrap();
+            assert_eq!(ranked.detection, legacy, "edges {edges:?}");
+        }
+    }
+
+    #[test]
+    fn path_center_ranks_first_and_all_nodes_are_ranked() {
+        let s = snapshot(&[(0, 1), (1, 2), (2, 3), (3, 4)], 5);
+        let found = RumorCentralityDetector::new().detect_sources(&s).unwrap();
+        assert_eq!(found.rank_of(NodeId(2)), Some(1));
+        assert_eq!(found.ranked.len(), 5);
+        // Symmetric path: ends score lowest.
+        assert!(found.rank_of(NodeId(0)) > Some(2));
+        assert!(found.rank_of(NodeId(4)) > Some(2));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = snapshot(&[(0, 1), (0, 2), (1, 3), (2, 4), (3, 4)], 5);
+        let d = RumorCentralityDetector::new();
+        let a = d.detect_sources(&s).unwrap();
+        let b = d.detect_sources(&s).unwrap();
+        assert_eq!(a, b);
+    }
+}

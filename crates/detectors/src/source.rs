@@ -1,0 +1,158 @@
+//! The [`SourceDetector`] trait and its output types.
+
+use crate::error::DetectorError;
+use isomit_core::Detection;
+use isomit_diffusion::InfectedNetwork;
+use isomit_graph::{NodeId, NodeState};
+use serde::{Deserialize, Serialize};
+
+/// One candidate source in a detector's ranked output: identity (in
+/// **original-network** ids), the state the detector associates with
+/// it, and the detector-specific score that produced its rank.
+///
+/// Scores are only comparable *within* one detection run (and, for the
+/// per-component estimators, only within one component — the list is
+/// still totally ordered by score for determinism). Higher is better.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankedSource {
+    /// Candidate id in the original diffusion network.
+    pub node: NodeId,
+    /// Inferred (or observed) state of the candidate.
+    pub state: NodeState,
+    /// Detector-specific score; higher ranks earlier.
+    pub score: f64,
+}
+
+/// The output of a [`SourceDetector`]: the point estimate as a
+/// [`Detection`] (the exact shape the `RidResult` wire format carries)
+/// plus the full ranked candidate list behind it.
+///
+/// Set-style detectors (the RID family) return `ranked` equal to their
+/// detected set — they commit to a set, not an ordering, so every
+/// member carries score `0.0` in `Detection` order. Score-style
+/// detectors (rumor centrality, Jordan center) rank **every** node of
+/// the snapshot, descending by score with ascending node id as the
+/// tie-break.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceDetection {
+    /// The point estimate, compatible with `RidResult`.
+    pub detection: Detection,
+    /// All scored candidates, best first.
+    pub ranked: Vec<RankedSource>,
+}
+
+impl SourceDetection {
+    /// 1-based rank of `node` (original-network id) in the candidate
+    /// list, `None` if the detector never scored it.
+    pub fn rank_of(&self, node: NodeId) -> Option<usize> {
+        self.ranked
+            .iter()
+            .position(|c| c.node == node)
+            .map(|i| i + 1)
+    }
+}
+
+/// A rumor-source detection algorithm over an infected-snapshot
+/// observation.
+///
+/// Object-safe by design: the serving engine, CLI and bench harness
+/// hold `Box<dyn SourceDetector>` built by [`crate::build`] and treat
+/// the choice of estimator as data. Implementations must be
+/// deterministic — same snapshot, same output, bit for bit, regardless
+/// of thread count.
+pub trait SourceDetector: std::fmt::Debug + Send + Sync {
+    /// Human-readable detector name (matches the legacy
+    /// `InitiatorDetector::name` for wrapped detectors).
+    fn name(&self) -> String;
+
+    /// Runs the detector on `snapshot`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError`] if the underlying estimator rejects
+    /// the input (today only the RID family can fail, with
+    /// [`DetectorError::Rid`]).
+    fn detect_sources(&self, snapshot: &InfectedNetwork) -> Result<SourceDetection, DetectorError>;
+}
+
+/// Ranked view of a set-style detection: the detected initiators in
+/// `Detection` order, all at score `0.0`.
+pub(crate) fn ranked_from_set(detection: Detection) -> SourceDetection {
+    let ranked = detection
+        .initiators
+        .iter()
+        .map(|d| RankedSource {
+            node: d.node,
+            state: d.state,
+            score: 0.0,
+        })
+        .collect();
+    SourceDetection { detection, ranked }
+}
+
+/// Deterministic rank order for score-style detectors: descending
+/// score, ascending node id on ties.
+pub(crate) fn sort_ranked(ranked: &mut [RankedSource]) {
+    ranked.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then_with(|| a.node.cmp(&b.node))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_of_is_one_based() {
+        let ranked = vec![
+            RankedSource {
+                node: NodeId(7),
+                state: NodeState::Positive,
+                score: 2.0,
+            },
+            RankedSource {
+                node: NodeId(3),
+                state: NodeState::Negative,
+                score: 1.0,
+            },
+        ];
+        let sd = SourceDetection {
+            detection: Detection {
+                initiators: Vec::new(),
+                component_count: 1,
+                tree_count: 1,
+                objective: 0.0,
+            },
+            ranked,
+        };
+        assert_eq!(sd.rank_of(NodeId(7)), Some(1));
+        assert_eq!(sd.rank_of(NodeId(3)), Some(2));
+        assert_eq!(sd.rank_of(NodeId(0)), None);
+    }
+
+    #[test]
+    fn sort_ranked_breaks_ties_by_node_id() {
+        let mut ranked = vec![
+            RankedSource {
+                node: NodeId(9),
+                state: NodeState::Positive,
+                score: 1.0,
+            },
+            RankedSource {
+                node: NodeId(1),
+                state: NodeState::Positive,
+                score: 1.0,
+            },
+            RankedSource {
+                node: NodeId(5),
+                state: NodeState::Positive,
+                score: 3.0,
+            },
+        ];
+        sort_ranked(&mut ranked);
+        let ids: Vec<_> = ranked.iter().map(|c| c.node).collect();
+        assert_eq!(ids, vec![NodeId(5), NodeId(1), NodeId(9)]);
+    }
+}

@@ -180,18 +180,20 @@ impl DiffusionModel for Mfc {
                             new_state,
                             flip,
                         });
-                        // lint:allow(indexing) in_next has node_count entries and e.dst is a CSR node
-                        if !in_next[e.dst.index()] {
-                            // lint:allow(indexing) in_next has node_count entries and e.dst is a CSR node
-                            in_next[e.dst.index()] = true;
+                        let seen = in_next
+                            .get_mut(e.dst.index())
+                            .expect("in_next has node_count entries and e.dst is a CSR node");
+                        if !*seen {
+                            *seen = true;
                             next.push(e.dst);
                         }
                     }
                 }
             }
             for &v in &next {
-                // lint:allow(indexing) in_next has node_count entries and v was pushed from the CSR
-                in_next[v.index()] = false;
+                *in_next
+                    .get_mut(v.index())
+                    .expect("in_next has node_count entries and v was pushed from the CSR") = false;
             }
             frontier = next;
         }

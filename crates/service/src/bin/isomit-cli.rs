@@ -6,6 +6,7 @@
 //! isomit-cli [--addr HOST:PORT] stats [--json]
 //! isomit-cli [--addr HOST:PORT] shutdown
 //! isomit-cli [--addr HOST:PORT] rid --snapshot FILE [--alpha A] [--beta B]
+//!            [--detector NAME]
 //! isomit-cli [--addr HOST:PORT] simulate --seeds 0:+,3:- --runs N [--seed S]
 //! isomit-cli gen-snapshot --out SNAP.json [--graph-out GRAPH.json]
 //!            [--scale S] [--seed N]
@@ -22,7 +23,7 @@ use isomit_diffusion::{InfectedNetwork, SeedSet};
 use isomit_graph::json::Value;
 use isomit_graph::{NodeId, Sign};
 use isomit_service::protocol::RequestBody;
-use isomit_service::Client;
+use isomit_service::{Client, DetectorKind};
 use isomit_telemetry::RegistrySnapshot;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -30,7 +31,7 @@ use rand::SeedableRng;
 fn usage() -> ! {
     eprintln!(
         "usage: isomit-cli [--addr HOST:PORT] <health|stats [--json]|shutdown>\n\
-         \x20      isomit-cli [--addr HOST:PORT] rid --snapshot FILE [--alpha A] [--beta B]\n\
+         \x20      isomit-cli [--addr HOST:PORT] rid --snapshot FILE [--alpha A] [--beta B] [--detector NAME]\n\
          \x20      isomit-cli [--addr HOST:PORT] simulate --seeds 0:+,3:- --runs N [--seed S]\n\
          \x20      isomit-cli gen-snapshot --out SNAP.json [--graph-out GRAPH.json] [--scale S] [--seed N]"
     );
@@ -137,6 +138,7 @@ fn main() {
             let mut snapshot_file = None;
             let mut alpha = None;
             let mut beta = None;
+            let mut detector = None;
             while let Some(flag) = args.next() {
                 let mut value = |name: &str| {
                     args.next()
@@ -146,6 +148,13 @@ fn main() {
                     "--snapshot" => snapshot_file = Some(value("--snapshot")),
                     "--alpha" => alpha = Some(value("--alpha").parse().expect("--alpha: f64")),
                     "--beta" => beta = Some(value("--beta").parse().expect("--beta: f64")),
+                    "--detector" => {
+                        let name = value("--detector");
+                        detector = Some(DetectorKind::from_label(&name).unwrap_or_else(|e| {
+                            eprintln!("isomit-cli: {e}");
+                            std::process::exit(2);
+                        }));
+                    }
                     _ => usage(),
                 }
             }
@@ -167,6 +176,7 @@ fn main() {
             RequestBody::Rid {
                 snapshot: Box::new(snapshot),
                 config,
+                detector,
             }
         }
         "simulate" => {

@@ -4,6 +4,7 @@
 use crate::engine::EngineStats;
 use crate::protocol::{encode_request, parse_response, RequestBody, WireError};
 use isomit_core::{RidConfig, RidResult};
+use isomit_detectors::DetectorKind;
 use isomit_diffusion::{InfectedNetwork, InfectionEstimate, SeedSet};
 use isomit_graph::json::{JsonError, Value};
 use isomit_telemetry::RegistrySnapshot;
@@ -153,9 +154,27 @@ impl Client {
         snapshot: &InfectedNetwork,
         config: Option<RidConfig>,
     ) -> Result<RidResult, ClientError> {
+        self.rid_with_detector(snapshot, config, None)
+    }
+
+    /// Detects rumor sources in `snapshot` with an explicit detector
+    /// choice (`None` means the server default, the full RID
+    /// framework).
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request); an unknown detector label at
+    /// the server surfaces as a `unknown_detector` wire error.
+    pub fn rid_with_detector(
+        &mut self,
+        snapshot: &InfectedNetwork,
+        config: Option<RidConfig>,
+        detector: Option<DetectorKind>,
+    ) -> Result<RidResult, ClientError> {
         let value = self.request(&RequestBody::Rid {
             snapshot: Box::new(snapshot.clone()),
             config,
+            detector,
         })?;
         RidResult::from_json_value(&value).map_err(ClientError::Protocol)
     }

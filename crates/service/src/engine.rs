@@ -12,6 +12,7 @@
 use crate::cache::{CacheMetrics, LruCache};
 use crate::fingerprint::snapshot_fingerprint;
 use isomit_core::{ForestArtifacts, Rid, RidConfig, RidError, RidResult};
+use isomit_detectors::{DetectorError, DetectorKind};
 use isomit_diffusion::{
     par_estimate_infection_probabilities_wide, DiffusionError, InfectedNetwork, InfectionEstimate,
     Mfc, SeedSet,
@@ -20,6 +21,19 @@ use isomit_graph::json::{JsonError, Value};
 use isomit_graph::SignedDigraph;
 use isomit_telemetry::{names, Counter, Registry, RegistrySnapshot};
 use std::sync::{Arc, Mutex};
+
+/// Maps a detector failure back to the engine's [`RidError`] surface.
+/// Unknown-detector errors cannot reach the engine: the protocol layer
+/// validates labels before work is enqueued, and typed callers pass a
+/// [`DetectorKind`] that always builds.
+fn detector_error_to_rid(e: DetectorError) -> RidError {
+    match e {
+        DetectorError::Rid(e) => e,
+        DetectorError::UnknownDetector { name } => {
+            unreachable!("detector label `{name}` was validated at the protocol layer")
+        }
+    }
+}
 
 /// Point-in-time engine counters, reported by the `stats` request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -239,6 +253,40 @@ impl RidEngine {
         Ok(RidResult { config, detection })
     }
 
+    /// Answers a `rid` query through the
+    /// [`SourceDetector`](isomit_detectors::SourceDetector) seam:
+    /// dispatches on `detector`, defaulting to the full RID framework.
+    ///
+    /// `DetectorKind::Rid` takes the exact cached-artifact path of
+    /// [`rid`](RidEngine::rid) — bit-identical results, same cache
+    /// hits. Other detectors run directly; they have no reusable
+    /// extraction stage worth caching.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RidError::InvalidParameter`] for an invalid `config`.
+    pub fn rid_with_detector(
+        &self,
+        snapshot: &InfectedNetwork,
+        config: Option<RidConfig>,
+        detector: Option<DetectorKind>,
+    ) -> Result<RidResult, RidError> {
+        let kind = detector.unwrap_or(DetectorKind::Rid);
+        if kind == DetectorKind::Rid {
+            return self.rid(snapshot, config);
+        }
+        self.rid_requests.inc();
+        let config = config.unwrap_or(self.default_config);
+        let built = isomit_detectors::build(kind, &config).map_err(detector_error_to_rid)?;
+        let found = built
+            .detect_sources(snapshot)
+            .map_err(detector_error_to_rid)?;
+        Ok(RidResult {
+            config,
+            detection: found.detection,
+        })
+    }
+
     /// Answers a `simulate` query: seeded parallel Monte-Carlo
     /// estimation of per-node infection probabilities on the loaded
     /// network under the engine's MFC model, using the 64-lane wide
@@ -303,6 +351,38 @@ mod tests {
             &mut rng,
         );
         scenario.snapshot
+    }
+
+    #[test]
+    fn detector_dispatch_default_and_rid_take_the_cached_path() {
+        let engine = engine(8);
+        let snapshot = scenario_snapshot(1);
+        let legacy = engine.rid(&snapshot, None).unwrap();
+        let defaulted = engine.rid_with_detector(&snapshot, None, None).unwrap();
+        let explicit = engine
+            .rid_with_detector(&snapshot, None, Some(DetectorKind::Rid))
+            .unwrap();
+        assert_eq!(legacy, defaulted);
+        assert_eq!(legacy, explicit);
+        // All three went through the artifact cache.
+        assert_eq!(engine.stats().cache_misses, 1);
+        assert_eq!(engine.stats().cache_hits, 2);
+    }
+
+    #[test]
+    fn detector_dispatch_runs_every_kind() {
+        let engine = engine(8);
+        let snapshot = scenario_snapshot(2);
+        for kind in DetectorKind::ALL {
+            let result = engine
+                .rid_with_detector(&snapshot, None, Some(kind))
+                .unwrap();
+            assert_eq!(result.config, engine.default_config());
+            assert!(result.detection.component_count >= 1, "{kind:?}");
+        }
+        // Centrality detectors bypass the artifact cache.
+        assert_eq!(engine.stats().rid_requests, 5);
+        assert_eq!(engine.stats().cache_misses, 1);
     }
 
     #[test]

@@ -38,5 +38,6 @@ pub mod server;
 pub use cache::{CacheMetrics, LruCache};
 pub use client::{Client, ClientError};
 pub use engine::{EngineStats, RidEngine};
+pub use isomit_detectors::DetectorKind;
 pub use queue::{BoundedQueue, PushError, QueueMetrics};
 pub use server::{Server, ServerConfig};

@@ -15,6 +15,7 @@
 //! floating-point payloads survive the wire bit-exactly.
 
 use isomit_core::RidConfig;
+use isomit_detectors::DetectorKind;
 use isomit_diffusion::{DiffusionError, InfectedNetwork, SeedSet};
 use isomit_graph::json::{JsonError, Value};
 
@@ -35,6 +36,9 @@ pub enum ErrorKind {
     Diffusion,
     /// The server is draining for shutdown and takes no new work.
     ShuttingDown,
+    /// The `rid` verb named a detector the server does not know;
+    /// `detail` carries the list of known names under `"known"`.
+    UnknownDetector,
     /// Unexpected server-side failure.
     Internal,
 }
@@ -48,6 +52,7 @@ impl ErrorKind {
             ErrorKind::DeadlineExceeded => "deadline_exceeded",
             ErrorKind::Diffusion => "diffusion",
             ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::UnknownDetector => "unknown_detector",
             ErrorKind::Internal => "internal",
         }
     }
@@ -64,6 +69,7 @@ impl ErrorKind {
             "deadline_exceeded" => Ok(ErrorKind::DeadlineExceeded),
             "diffusion" => Ok(ErrorKind::Diffusion),
             "shutting_down" => Ok(ErrorKind::ShuttingDown),
+            "unknown_detector" => Ok(ErrorKind::UnknownDetector),
             "internal" => Ok(ErrorKind::Internal),
             other => Err(JsonError::new(format!("unknown error kind `{other}`"))),
         }
@@ -160,6 +166,9 @@ pub enum RequestBody {
         snapshot: Box<InfectedNetwork>,
         /// Detector parameters; the server default applies when absent.
         config: Option<RidConfig>,
+        /// Which detector to run; `None` means the default (`rid`),
+        /// keeping the field wire-compatible with older clients.
+        detector: Option<DetectorKind>,
     },
     /// Monte-Carlo infection-probability estimation on the loaded
     /// network.
@@ -194,10 +203,17 @@ pub fn encode_request(id: u64, body: &RequestBody) -> String {
     };
     fields.push(("type".into(), Value::String(type_label.into())));
     match body {
-        RequestBody::Rid { snapshot, config } => {
+        RequestBody::Rid {
+            snapshot,
+            config,
+            detector,
+        } => {
             fields.push(("snapshot".into(), snapshot.to_json_value()));
             if let Some(config) = config {
                 fields.push(("config".into(), config.to_json_value()));
+            }
+            if let Some(detector) = detector {
+                fields.push(("detector".into(), Value::String(detector.as_label().into())));
             }
         }
         RequestBody::Simulate { seeds, runs, seed } => {
@@ -247,9 +263,39 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, WireError)> {
                             .map_err(|e| bad(Some(id), format!("invalid config: {e}")))?,
                     ),
                 };
+                let detector = match doc.get("detector") {
+                    None => None,
+                    Some(v) => {
+                        let label = v.as_str().ok_or_else(|| {
+                            bad(Some(id), "`detector` must be a string".to_owned())
+                        })?;
+                        Some(DetectorKind::from_label(label).map_err(|_| {
+                            (
+                                Some(id),
+                                WireError {
+                                    kind: ErrorKind::UnknownDetector,
+                                    message: format!(
+                                        "unknown detector `{label}` (known: {})",
+                                        DetectorKind::known_labels().join(", ")
+                                    ),
+                                    detail: Some(Value::Object(vec![(
+                                        "known".into(),
+                                        Value::Array(
+                                            DetectorKind::known_labels()
+                                                .into_iter()
+                                                .map(|l| Value::String(l.into()))
+                                                .collect(),
+                                        ),
+                                    )])),
+                                },
+                            )
+                        })?)
+                    }
+                };
                 RequestBody::Rid {
                     snapshot: Box::new(snapshot),
                     config,
+                    detector,
                 }
             }
             "simulate" => {
@@ -350,10 +396,17 @@ mod tests {
             RequestBody::Rid {
                 snapshot: Box::new(snapshot()),
                 config: None,
+                detector: None,
             },
             RequestBody::Rid {
                 snapshot: Box::new(snapshot()),
                 config: Some(RidConfig::default()),
+                detector: None,
+            },
+            RequestBody::Rid {
+                snapshot: Box::new(snapshot()),
+                config: None,
+                detector: Some(DetectorKind::JordanCenter),
             },
             RequestBody::Simulate {
                 seeds: SeedSet::single(NodeId(0), Sign::Positive),
@@ -412,6 +465,48 @@ mod tests {
     }
 
     #[test]
+    fn every_detector_label_round_trips_in_rid_requests() {
+        for kind in DetectorKind::ALL {
+            let body = RequestBody::Rid {
+                snapshot: Box::new(snapshot()),
+                config: None,
+                detector: Some(kind),
+            };
+            let line = encode_request(1, &body);
+            assert_eq!(parse_request(&line).unwrap().body, body, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn unknown_detector_is_a_structured_error_with_known_names() {
+        let line = encode_request(
+            5,
+            &RequestBody::Rid {
+                snapshot: Box::new(snapshot()),
+                config: None,
+                detector: None,
+            },
+        );
+        let line = line.replacen("\"type\"", "\"detector\": \"bogus\", \"type\"", 1);
+        let (id, err) = parse_request(&line).unwrap_err();
+        assert_eq!(id, Some(5));
+        assert_eq!(err.kind, ErrorKind::UnknownDetector);
+        assert!(err.message.contains("bogus"), "{}", err.message);
+        let known = err
+            .detail
+            .as_ref()
+            .and_then(|d| d.get("known"))
+            .and_then(|k| match k {
+                Value::Array(items) => Some(items.len()),
+                _ => None,
+            });
+        assert_eq!(known, Some(DetectorKind::ALL.len()));
+        for label in DetectorKind::known_labels() {
+            assert!(err.message.contains(label), "{}", err.message);
+        }
+    }
+
+    #[test]
     fn error_kind_labels_round_trip() {
         for kind in [
             ErrorKind::BadRequest,
@@ -419,6 +514,7 @@ mod tests {
             ErrorKind::DeadlineExceeded,
             ErrorKind::Diffusion,
             ErrorKind::ShuttingDown,
+            ErrorKind::UnknownDetector,
             ErrorKind::Internal,
         ] {
             assert_eq!(ErrorKind::from_label(kind.as_label()).unwrap(), kind);

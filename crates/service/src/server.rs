@@ -29,6 +29,7 @@ use crate::protocol::{
 };
 use crate::queue::{BoundedQueue, PushError, QueueMetrics};
 use isomit_core::{RidConfig, RidError};
+use isomit_detectors::DetectorKind;
 use isomit_diffusion::{InfectedNetwork, SeedSet};
 use isomit_graph::json::Value;
 use isomit_telemetry::{names, Counter, Histogram};
@@ -74,6 +75,7 @@ enum Work {
     Rid {
         snapshot: Box<InfectedNetwork>,
         config: Option<RidConfig>,
+        detector: Option<DetectorKind>,
     },
     Simulate {
         seeds: SeedSet,
@@ -308,13 +310,21 @@ fn serve_request(request: Request, writer: &Arc<Mutex<TcpStream>>, shared: &Arc<
             trigger_shutdown(shared);
             alive
         }
-        RequestBody::Rid { snapshot, config } => enqueue(
+        RequestBody::Rid {
+            snapshot,
+            config,
+            detector,
+        } => enqueue(
             Job {
                 id,
                 // lint:allow(telemetry) arrival timestamp for deadline math; the derived latencies go through registry histograms
                 received: Instant::now(),
                 writer: Arc::clone(writer),
-                work: Work::Rid { snapshot, config },
+                work: Work::Rid {
+                    snapshot,
+                    config,
+                    detector,
+                },
             },
             writer,
             shared,
@@ -378,9 +388,21 @@ fn worker_loop(shared: &Shared) {
             continue;
         }
         let line = match work {
-            Work::Rid { snapshot, config } => {
-                match shared.engine.rid(&snapshot, config) {
-                    Ok(result) => ok_line(id, result.to_json_value()),
+            Work::Rid {
+                snapshot,
+                config,
+                detector,
+            } => {
+                match shared.engine.rid_with_detector(&snapshot, config, detector) {
+                    Ok(result) => {
+                        let mut payload = result.to_json_value();
+                        // Echo the detector only when the request chose
+                        // one, keeping legacy responses byte-identical.
+                        if let (Some(kind), Value::Object(fields)) = (detector, &mut payload) {
+                            fields.push(("detector".into(), Value::String(kind.as_label().into())));
+                        }
+                        ok_line(id, payload)
+                    }
                     Err(error) => {
                         let kind = match &error {
                             RidError::InvalidParameter { .. } => ErrorKind::BadRequest,

@@ -2,11 +2,11 @@
 //! ephemeral port, query it through the client library, and check every
 //! answer byte-for-byte against the in-process pipeline.
 
-use isomit_core::{InitiatorDetector, Rid, RidConfig};
+use isomit_core::{InitiatorDetector, Rid, RidConfig, RidTree};
 use isomit_diffusion::{par_estimate_infection_probabilities_wide, InfectedNetwork, Mfc, SeedSet};
 use isomit_graph::{NodeId, Sign, SignedDigraph};
 use isomit_service::protocol::ErrorKind;
-use isomit_service::{Client, ClientError};
+use isomit_service::{Client, ClientError, DetectorKind};
 use isomit_telemetry::names;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -284,6 +284,71 @@ fn malformed_lines_get_structured_errors_not_disconnects() {
     assert!(reply.contains("\"ok\":true"), "{reply}");
 
     let mut client = daemon.client();
+    client.shutdown().expect("shutdown");
+}
+
+#[test]
+fn detector_requests_round_trip_and_unknown_names_error() {
+    let daemon = Daemon::spawn(&[]);
+    let mut raw = daemon.raw();
+    let mut reader = BufReader::new(raw.try_clone().expect("clone stream"));
+
+    let mut exchange = |line: &str| -> String {
+        raw.write_all(line.as_bytes()).expect("write");
+        raw.write_all(b"\n").expect("write newline");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read reply");
+        assert!(!reply.is_empty(), "server disconnected on detector request");
+        reply
+    };
+
+    // An unknown detector name is a structured error carrying the known
+    // names — and the connection survives it.
+    let snap = snapshot(21);
+    let reply = exchange(&format!(
+        "{{\"id\":3,\"type\":\"rid\",\"detector\":\"bogus\",\"snapshot\":{}}}",
+        snap.to_json_string()
+    ));
+    assert!(reply.contains("\"ok\":false"), "{reply}");
+    assert!(reply.contains("\"id\":3"), "{reply}");
+    assert!(reply.contains("unknown_detector"), "{reply}");
+    for known in [
+        "rid_tree",
+        "rid_positive",
+        "rumor_centrality",
+        "jordan_center",
+    ] {
+        assert!(
+            reply.contains(known),
+            "known names missing {known}: {reply}"
+        );
+    }
+    let reply = exchange("{\"id\":4,\"type\":\"health\"}");
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+
+    // A valid detector name is echoed in the response envelope.
+    let reply = exchange(&format!(
+        "{{\"id\":5,\"type\":\"rid\",\"detector\":\"rid_tree\",\"snapshot\":{}}}",
+        snap.to_json_string()
+    ));
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+    assert!(reply.contains("\"detector\":\"rid_tree\""), "{reply}");
+
+    // And through the typed client, the served answer matches the
+    // in-process estimator exactly.
+    let mut client = daemon.client();
+    let served = client
+        .rid_with_detector(&snap, None, Some(DetectorKind::RidTree))
+        .expect("rid_tree over the wire");
+    let local = RidTree::new(RidConfig::default().alpha)
+        .expect("valid alpha")
+        .detect(&snap);
+    assert_eq!(served.detection, local);
+    assert_eq!(
+        served.detection.objective.to_bits(),
+        local.objective.to_bits()
+    );
+
     client.shutdown().expect("shutdown");
 }
 

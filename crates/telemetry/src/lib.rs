@@ -91,6 +91,12 @@ pub mod names {
     pub const SERVICE_DEADLINE_EXCEEDED: &str = "service.deadline_exceeded";
     /// Instantaneous depth of the request queue (gauge).
     pub const SERVICE_QUEUE_DEPTH: &str = "service.queue_depth";
+    /// Wall time of one rumor-centrality detection pass (histogram,
+    /// global registry).
+    pub const DETECTOR_RUMOR_CENTRALITY_NS: &str = "detector.rumor_centrality_ns";
+    /// Wall time of one Jordan-center detection pass (histogram, global
+    /// registry).
+    pub const DETECTOR_JORDAN_CENTER_NS: &str = "detector.jordan_center_ns";
 }
 
 static GLOBAL: OnceLock<Registry> = OnceLock::new();

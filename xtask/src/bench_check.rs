@@ -15,11 +15,15 @@
 //!   the baseline recorded for the **same workload** (nodes, edges,
 //!   snapshot count). Workloads without a committed baseline are warned
 //!   about and skipped, so a full-scale local artifact never trips a
-//!   smoke-scale gate (and vice versa).
+//!   smoke-scale gate (and vice versa);
+//! * any detector's F1 on the paper-family workload (the `epinions_mfc`
+//!   cell of `BENCH_detectors.json`) falls below its committed
+//!   `floors.detector_f1_<label>` floor — a broken estimator must not
+//!   land silently even when the artifact was regenerated.
 //!
 //! `--update-baselines` rewrites the sampling baselines in
 //! `bench_baselines.json` from the current artifacts, preserving the
-//! hand-committed speedup floors.
+//! hand-committed speedup and F1 floors.
 
 use isomit_graph::json::Value;
 use std::fs;
@@ -156,6 +160,52 @@ fn check_speedup_floor(
     }
 }
 
+/// Detector labels gated by `floors.detector_f1_<label>`.
+const GATED_DETECTORS: [&str; 5] = [
+    "rid",
+    "rid_tree",
+    "rid_positive",
+    "rumor_centrality",
+    "jordan_center",
+];
+
+/// The bakeoff cell on the paper's own model and network family; F1
+/// floors are pinned against it because it is the workload the paper
+/// optimises for (model-mismatch cells are diagnostics, not gates).
+const PAPER_FAMILY_GROUP: &str = "epinions_mfc";
+
+/// Every gated detector's F1 on the paper-family cell must meet its
+/// committed floor; a missing cell fails too (a regenerated artifact
+/// that silently dropped a detector must not pass).
+fn check_detector_f1(
+    name: &str,
+    entries: &[Metrics<'_>],
+    baselines: &Value,
+    out: &mut BenchCheckOutcome,
+) -> Result<(), String> {
+    for label in GATED_DETECTORS {
+        let floor = floor(baselines, &format!("detector_f1_{label}"))?;
+        let Some(m) = find(entries, PAPER_FAMILY_GROUP, label) else {
+            out.failures.push(format!(
+                "{name}: missing {PAPER_FAMILY_GROUP}/{label} entry — regenerate the \
+                 artifact with the full detector grid"
+            ));
+            continue;
+        };
+        match m.get("f1") {
+            Some(f1) if f1 < floor => out.failures.push(format!(
+                "{name}: {PAPER_FAMILY_GROUP}/{label} F1 {f1:.3} is below the committed \
+                 floor {floor:.3} (bench_baselines.json)"
+            )),
+            Some(_) => {}
+            None => out.failures.push(format!(
+                "{name}: {PAPER_FAMILY_GROUP}/{label} has no `f1` metric"
+            )),
+        }
+    }
+    Ok(())
+}
+
 /// The `(nodes, edges, snapshots)` workload key of a scale artifact.
 fn scale_workload(entries: &[Metrics<'_>]) -> Option<(f64, f64, f64)> {
     let graph = find(entries, "dataset", "graph")?;
@@ -239,12 +289,21 @@ pub fn run_bench_check(root: &Path, update: bool) -> Result<BenchCheckOutcome, S
     let baselines = load_json(&baselines_path)?;
     let montecarlo = load_json(&root.join("BENCH_montecarlo.json"))?;
     let scale = load_json(&root.join("BENCH_scale.json"))?;
+    let detectors = load_json(&root.join("BENCH_detectors.json"))?;
     let mc_entries = metrics_entries(&montecarlo);
     let scale_entries = metrics_entries(&scale);
+    let detector_entries = metrics_entries(&detectors);
 
     let mut out = BenchCheckOutcome::default();
     check_bit_identical("BENCH_montecarlo.json", &mc_entries, &mut out);
     check_bit_identical("BENCH_scale.json", &scale_entries, &mut out);
+    check_bit_identical("BENCH_detectors.json", &detector_entries, &mut out);
+    check_detector_f1(
+        "BENCH_detectors.json",
+        &detector_entries,
+        &baselines,
+        &mut out,
+    )?;
     check_thread_labels("BENCH_montecarlo.json", &mc_entries, &mut out);
     check_speedup_floor(
         "BENCH_montecarlo.json",
@@ -409,6 +468,110 @@ mod tests {
         check_sampling_regression("a", &entries, &other, &mut out);
         assert!(out.failures.is_empty());
         assert_eq!(out.warnings.len(), 1, "unmatched workload warns and skips");
+    }
+
+    /// Baselines carrying a floor for every gated detector.
+    fn detector_floors(value: f64) -> Value {
+        let floors: Vec<String> = GATED_DETECTORS
+            .iter()
+            .map(|label| format!(r#""detector_f1_{label}":{value}"#))
+            .collect();
+        Value::parse(&format!(r#"{{"floors":{{{}}}}}"#, floors.join(",")))
+            .expect("test baselines parse")
+    }
+
+    /// An artifact with every gated detector at the given F1.
+    fn detector_artifact(f1: f64) -> Value {
+        let entries: Vec<String> = GATED_DETECTORS
+            .iter()
+            .map(|label| {
+                format!(r#"{{"group":"epinions_mfc","id":"{label}","metrics":{{"f1":{f1}}}}}"#)
+            })
+            .collect();
+        artifact(&entries.join(","))
+    }
+
+    #[test]
+    fn detector_f1_below_floor_fails() {
+        let doc = detector_artifact(0.01);
+        let mut out = BenchCheckOutcome::default();
+        check_detector_f1(
+            "a",
+            &metrics_entries(&doc),
+            &detector_floors(0.02),
+            &mut out,
+        )
+        .expect("floors present");
+        assert_eq!(
+            out.failures.len(),
+            GATED_DETECTORS.len(),
+            "{:?}",
+            out.failures
+        );
+    }
+
+    #[test]
+    fn detector_f1_at_or_above_floor_passes() {
+        let doc = detector_artifact(0.02);
+        let mut out = BenchCheckOutcome::default();
+        check_detector_f1(
+            "a",
+            &metrics_entries(&doc),
+            &detector_floors(0.02),
+            &mut out,
+        )
+        .expect("floors present");
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn missing_detector_cell_fails() {
+        // Only RID present: the other four gated labels must each fail.
+        let doc = artifact(r#"{"group":"epinions_mfc","id":"rid","metrics":{"f1":0.5}}"#);
+        let mut out = BenchCheckOutcome::default();
+        check_detector_f1(
+            "a",
+            &metrics_entries(&doc),
+            &detector_floors(0.02),
+            &mut out,
+        )
+        .expect("floors present");
+        assert_eq!(
+            out.failures.len(),
+            GATED_DETECTORS.len() - 1,
+            "{:?}",
+            out.failures
+        );
+    }
+
+    #[test]
+    fn missing_detector_floor_is_a_policy_error() {
+        let doc = detector_artifact(0.5);
+        let base = Value::parse(r#"{"floors":{}}"#).expect("parses");
+        let mut out = BenchCheckOutcome::default();
+        let err = check_detector_f1("a", &metrics_entries(&doc), &base, &mut out)
+            .expect_err("missing floor must be an error");
+        assert!(err.contains("detector_f1_rid"), "{err}");
+    }
+
+    #[test]
+    fn detector_floors_survive_baseline_updates() {
+        let doc = artifact(
+            r#"{"group":"dataset","id":"graph","metrics":{"nodes":100,"edges":500}},
+               {"group":"dataset","id":"snapshots","metrics":{"count":2,"sampling_ns":1000}}"#,
+        );
+        let updated = updated_baselines(&detector_floors(0.02), &metrics_entries(&doc))
+            .expect("update succeeds");
+        for label in GATED_DETECTORS {
+            assert_eq!(
+                updated
+                    .get("floors")
+                    .and_then(|f| f.get(&format!("detector_f1_{label}")))
+                    .and_then(Value::as_f64),
+                Some(0.02),
+                "floor for {label} must survive --update-baselines"
+            );
+        }
     }
 
     #[test]

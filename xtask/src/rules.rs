@@ -125,11 +125,12 @@ pub const RULES: [Rule; 14] = [
 ];
 
 /// Crates whose sources feed the deterministic simulation layer.
-pub const DETERMINISTIC_CRATES: [&str; 6] = [
+pub const DETERMINISTIC_CRATES: [&str; 7] = [
     "crates/graph/",
     "crates/diffusion/",
     "crates/forest/",
     "crates/core/",
+    "crates/detectors/",
     "crates/datasets/",
     "crates/metrics/",
 ];
@@ -137,16 +138,17 @@ pub const DETERMINISTIC_CRATES: [&str; 6] = [
 /// Crates whose `pub` APIs carry the bit-identity contract: the
 /// determinism taint analysis fails any tainted function reachable from
 /// these crates' public surface.
-pub const TAINT_CRATES: [&str; 4] = [
+pub const TAINT_CRATES: [&str; 5] = [
     "crates/graph/",
     "crates/diffusion/",
     "crates/forest/",
     "crates/core/",
+    "crates/detectors/",
 ];
 
 /// Crates in which every `pub fn` must have a doc comment (and, when it
 /// returns `Result`, an `# Errors` section).
-const DOC_ENFORCED_CRATES: [&str; 2] = ["crates/graph/", "crates/core/"];
+const DOC_ENFORCED_CRATES: [&str; 3] = ["crates/graph/", "crates/core/", "crates/detectors/"];
 
 /// Crates the `telemetry` rule does not apply to.
 const TELEMETRY_EXEMPT_CRATES: [&str; 2] = ["crates/telemetry/", "crates/bench/"];
