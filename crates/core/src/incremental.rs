@@ -1,0 +1,1169 @@
+//! Incremental streaming RID: maintain a detection across typed deltas.
+//!
+//! One-shot [`Rid::detect`](crate::InitiatorDetector::detect) re-runs
+//! the whole §III-E pipeline per snapshot, which is the wrong cost model
+//! for the paper's monitoring scenario — an infection that *grows* while
+//! an operator watches. [`IncrementalRid`] accepts typed [`RidDelta`]s
+//! (infect a node, add a diffusion edge, flip an observed state),
+//! tracks which weakly-connected components each delta dirties (a
+//! growable [`isomit_forest::UnionFind`] handles merges), and on
+//! [`answer`](IncrementalRid::answer) re-extracts **only the dirty
+//! components** — with a best-in-edge screen that skips the
+//! Chu-Liu/Edmonds branching entirely when a delta's new arcs lose
+//! everywhere.
+//!
+//! The headline contract, pinned by the `incremental` tier-1 suite and
+//! golden fixtures: replaying any valid delta sequence yields a
+//! [`RidResult`] **bit-identical** (objective included) to a cold
+//! [`Rid`] run on the final snapshot, at any rayon thread count.
+//!
+//! Why per-component answers compose bit-identically: the global CSR
+//! stores edges sorted by `(src, dst)`, so a component's sub-snapshot
+//! (members sorted by original id) is a monotone relabeling of the
+//! global snapshot restricted to that component — the branching sees
+//! the same arcs in the same order, the per-tree DP sees the same local
+//! structure, and the final objective is folded over trees in ascending
+//! root order exactly as [`Rid::query_stage`] does.
+
+use crate::codec::RidResult;
+use crate::detection::{DetectedInitiator, Detection};
+use crate::dp::{DpOutcome, TreeDp};
+use crate::error::RidError;
+use crate::forest_extraction::{
+    external_support, extract_cascade_forest, usable_arcs, CascadeTree,
+};
+use crate::rid::{Rid, RidConfig, RidObjective};
+use crate::stages::ForestArtifacts;
+use isomit_diffusion::InfectedNetwork;
+use isomit_forest::{UnionFind, WeightedArc};
+use isomit_graph::json::{JsonError, Value};
+use isomit_graph::{Edge, NodeId, NodeState, Sign, SignedDigraph};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One typed mutation of the observed infected network.
+///
+/// Node ids are *original-network* ids: the session renumbers internally
+/// and answers in original ids, exactly like the one-shot pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RidDelta {
+    /// A node newly enters the infected snapshot with an observed
+    /// opinion ([`NodeState::Positive`], [`NodeState::Negative`]) or as
+    /// an observed-but-unlabeled infection ([`NodeState::Unknown`]).
+    Infect {
+        /// Original-network id of the infected node.
+        node: NodeId,
+        /// Observed state; [`NodeState::Inactive`] is invalid (inactive
+        /// nodes are by definition outside `G_I`).
+        state: NodeState,
+    },
+    /// A diffusion link between two already-infected nodes becomes
+    /// visible.
+    AddEdge {
+        /// Source (influencing) node, original id.
+        src: NodeId,
+        /// Destination (influenced) node, original id.
+        dst: NodeId,
+        /// Polarity of the link.
+        sign: Sign,
+        /// Activation weight in `[0, 1]`.
+        weight: f64,
+    },
+    /// An already-infected node's observed state is corrected.
+    FlipState {
+        /// Original-network id of the node.
+        node: NodeId,
+        /// The new state; [`NodeState::Inactive`] is invalid.
+        state: NodeState,
+    },
+}
+
+impl RidDelta {
+    /// Encodes the delta as a JSON object:
+    /// `{"op": "infect", "node": 3, "state": "+"}`,
+    /// `{"op": "add_edge", "src": 0, "dst": 3, "sign": "-", "weight": 0.5}`
+    /// or `{"op": "flip_state", "node": 3, "state": "-"}`.
+    pub fn to_json_value(&self) -> Value {
+        match *self {
+            RidDelta::Infect { node, state } => Value::Object(vec![
+                ("op".into(), Value::String("infect".into())),
+                ("node".into(), Value::Number(node.index() as f64)),
+                ("state".into(), Value::String(state.as_symbol().into())),
+            ]),
+            RidDelta::AddEdge {
+                src,
+                dst,
+                sign,
+                weight,
+            } => Value::Object(vec![
+                ("op".into(), Value::String("add_edge".into())),
+                ("src".into(), Value::Number(src.index() as f64)),
+                ("dst".into(), Value::Number(dst.index() as f64)),
+                ("sign".into(), Value::String(sign.to_string())),
+                ("weight".into(), Value::Number(weight)),
+            ]),
+            RidDelta::FlipState { node, state } => Value::Object(vec![
+                ("op".into(), Value::String("flip_state".into())),
+                ("node".into(), Value::Number(node.index() as f64)),
+                ("state".into(), Value::String(state.as_symbol().into())),
+            ]),
+        }
+    }
+
+    /// Decodes a delta from the encoding of
+    /// [`to_json_value`](RidDelta::to_json_value).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on an unknown `op`, a missing field, or a
+    /// field of the wrong type. Semantic validation (duplicate edges,
+    /// uninfected endpoints, weight range) happens later, in
+    /// [`IncrementalRid::apply`].
+    pub fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        let node_field = |key: &str| -> Result<NodeId, JsonError> {
+            value
+                .require(key)?
+                .as_usize()
+                .map(NodeId::from_index)
+                .ok_or_else(|| JsonError::new(format!("`{key}` must be a non-negative node id")))
+        };
+        let state_field = |key: &str| -> Result<NodeState, JsonError> {
+            NodeState::from_symbol(
+                value
+                    .require(key)?
+                    .as_str()
+                    .ok_or_else(|| JsonError::new(format!("`{key}` must be a state symbol")))?,
+            )
+        };
+        let op = value
+            .require("op")?
+            .as_str()
+            .ok_or_else(|| JsonError::new("`op` must be a string"))?;
+        match op {
+            "infect" => Ok(RidDelta::Infect {
+                node: node_field("node")?,
+                state: state_field("state")?,
+            }),
+            "add_edge" => {
+                let sign = match value
+                    .require("sign")?
+                    .as_str()
+                    .ok_or_else(|| JsonError::new("`sign` must be a string"))?
+                {
+                    "+" => Sign::Positive,
+                    "-" => Sign::Negative,
+                    other => return Err(JsonError::new(format!("unknown sign `{other}`"))),
+                };
+                Ok(RidDelta::AddEdge {
+                    src: node_field("src")?,
+                    dst: node_field("dst")?,
+                    sign,
+                    weight: value
+                        .require("weight")?
+                        .as_f64()
+                        .ok_or_else(|| JsonError::new("`weight` must be a number"))?,
+                })
+            }
+            "flip_state" => Ok(RidDelta::FlipState {
+                node: node_field("node")?,
+                state: state_field("state")?,
+            }),
+            other => Err(JsonError::new(format!("unknown delta op `{other}`"))),
+        }
+    }
+}
+
+/// Why a [`RidDelta`] was rejected. Rejected deltas leave the session
+/// exactly as it was.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeltaError {
+    /// `Infect` named a node that is already in the snapshot.
+    AlreadyInfected(NodeId),
+    /// A delta referenced a node that has not been infected yet.
+    NotInfected(NodeId),
+    /// `AddEdge` with `src == dst`.
+    SelfLoop(NodeId),
+    /// `AddEdge` duplicated an existing `(src, dst)` link.
+    DuplicateEdge(NodeId, NodeId),
+    /// `AddEdge` weight was non-finite or outside `[0, 1]`.
+    InvalidWeight(f64),
+    /// `Infect` or `FlipState` with [`NodeState::Inactive`].
+    InactiveState(NodeId),
+    /// `FlipState` to the state the node already holds.
+    SameState(NodeId),
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DeltaError::AlreadyInfected(n) => write!(f, "node {n} is already infected"),
+            DeltaError::NotInfected(n) => write!(f, "node {n} is not infected"),
+            DeltaError::SelfLoop(n) => write!(f, "self-loop on node {n}"),
+            DeltaError::DuplicateEdge(s, d) => write!(f, "edge ({s}, {d}) already exists"),
+            DeltaError::InvalidWeight(w) => write!(f, "weight {w} must be finite in [0, 1]"),
+            DeltaError::InactiveState(n) => {
+                write!(
+                    f,
+                    "node {n}: inactive nodes cannot appear in an infected network"
+                )
+            }
+            DeltaError::SameState(n) => write!(f, "node {n} already holds that state"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// What one [`IncrementalRid::answer`] call actually did — the session's
+/// cost telemetry, surfaced as `watch.*` counters by the serving layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnswerOutcome {
+    /// Components whose cached solution was stale and had to be
+    /// recomputed (after merging, a merged component counts once).
+    pub dirty_components: usize,
+    /// Dirty components whose best-in-edge set was unchanged and
+    /// acyclic, so the cached trees were reused without re-running the
+    /// branching.
+    pub screened_components: usize,
+    /// `true` when the answer fell back to a full cold recompute
+    /// because the deltas dirtied too much of the snapshot.
+    pub full_recompute: bool,
+}
+
+/// Per-tree outcome in original-network ids: membership-independent, so
+/// it survives everything except dirtying its own component.
+#[derive(Debug, Clone)]
+struct SolvedTree {
+    /// Original id of the tree root (unique across the session, and the
+    /// global fold order of [`Rid::query_stage`]).
+    root: NodeId,
+    objective: f64,
+    initiators: Vec<DetectedInitiator>,
+}
+
+/// Best-in-edge screen state cached by the last full extraction of a
+/// component. Valid only while the member set and their states are
+/// unchanged (local ids are positions in the sorted member list).
+#[derive(Debug, Clone)]
+struct Screen {
+    /// Per local node: the winning real in-arc `(src_local, weight
+    /// bits)` under the level-0 "first strictly greater wins" rule, or
+    /// `None` for nodes with no usable in-arc.
+    signature: Vec<Option<(usize, u64)>>,
+    /// Whether the winning-arc functional graph is acyclic — the
+    /// precondition for the branching to be fully determined by the
+    /// signature (no contraction levels).
+    acyclic: bool,
+    /// The trees of the last full extraction, in component-local ids.
+    trees: Vec<CascadeTree>,
+}
+
+/// One weakly-connected component of the session.
+#[derive(Debug, Clone, Default)]
+struct ComponentState {
+    /// Member slots, sorted by original id (the component-local
+    /// numbering: local id = position in this list).
+    members: Vec<usize>,
+    /// `true` when `solved` no longer reflects the session state.
+    dirty: bool,
+    /// Screen cache; dropped whenever members or states change.
+    screen: Option<Screen>,
+    /// Per-tree outcomes of the last solve.
+    solved: Option<Vec<SolvedTree>>,
+}
+
+/// A streaming RID session: applies [`RidDelta`]s and answers initiator
+/// queries incrementally, bit-identical to a cold recompute.
+///
+/// # Examples
+///
+/// ```
+/// use isomit_core::{IncrementalRid, InitiatorDetector, Rid, RidConfig, RidDelta};
+/// use isomit_graph::{NodeId, NodeState, Sign};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = RidConfig::default();
+/// let mut session = IncrementalRid::new(config)?;
+/// session.apply(&RidDelta::Infect { node: NodeId(7), state: NodeState::Positive })?;
+/// session.apply(&RidDelta::Infect { node: NodeId(3), state: NodeState::Negative })?;
+/// session.apply(&RidDelta::AddEdge {
+///     src: NodeId(7),
+///     dst: NodeId(3),
+///     sign: Sign::Negative,
+///     weight: 0.8,
+/// })?;
+/// let incremental = session.answer();
+///
+/// // Bit-identical to a cold run over the final snapshot.
+/// let cold = Rid::from_config(config)?.detect(&session.snapshot());
+/// assert_eq!(incremental.detection, cold);
+/// // Under the default α both nodes are kept as initiators (the α
+/// // discount makes single-edge propagation unattractive), reported
+/// // in ascending original-id order.
+/// assert_eq!(incremental.detection.initiators[0].node, NodeId(3));
+/// assert_eq!(incremental.detection.initiators[1].node, NodeId(7));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct IncrementalRid {
+    rid: Rid,
+    config: RidConfig,
+    /// Original id → session slot.
+    index_of: BTreeMap<NodeId, usize>,
+    /// Session slot → original id (slots are handed out in infection
+    /// order and never reused).
+    originals: Vec<NodeId>,
+    /// Session slot → observed state.
+    states: Vec<NodeState>,
+    /// Session slot → out-links `(dst slot, sign, weight)`.
+    out_edges: Vec<Vec<(usize, Sign, f64)>>,
+    uf: UnionFind,
+    /// Component root slot (union-find representative) → state.
+    components: BTreeMap<usize, ComponentState>,
+    deltas_applied: u64,
+    fallbacks: u64,
+    /// Snapshot + artifacts of the last full-recompute fallback, kept
+    /// for the serving engine to adopt into its artifact cache.
+    pending_artifacts: Option<(InfectedNetwork, ForestArtifacts)>,
+}
+
+impl IncrementalRid {
+    /// Opens an empty session under the given detector configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RidError`] if the configuration is invalid (see
+    /// [`Rid::from_config`]).
+    pub fn new(config: RidConfig) -> Result<Self, RidError> {
+        Ok(IncrementalRid {
+            rid: Rid::from_config(config)?,
+            config,
+            index_of: BTreeMap::new(),
+            originals: Vec::new(),
+            states: Vec::new(),
+            out_edges: Vec::new(),
+            uf: UnionFind::new(0),
+            components: BTreeMap::new(),
+            deltas_applied: 0,
+            fallbacks: 0,
+            pending_artifacts: None,
+        })
+    }
+
+    /// The configuration the session answers under.
+    pub fn config(&self) -> RidConfig {
+        self.config
+    }
+
+    /// Number of infected nodes observed so far.
+    pub fn node_count(&self) -> usize {
+        self.originals.len()
+    }
+
+    /// Number of diffusion links observed so far.
+    pub fn edge_count(&self) -> usize {
+        self.out_edges.iter().map(Vec::len).sum()
+    }
+
+    /// Number of weakly-connected components of the current snapshot.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Total deltas successfully applied.
+    pub fn deltas_applied(&self) -> u64 {
+        self.deltas_applied
+    }
+
+    /// Total answers that fell back to a full cold recompute.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks
+    }
+
+    /// Applies one delta, dirtying exactly the affected components.
+    ///
+    /// Validation happens before any mutation: a rejected delta leaves
+    /// the session untouched, so a streaming caller can report the
+    /// error and keep going.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeltaError`] naming the violated precondition — see
+    /// the variants for the full taxonomy.
+    pub fn apply(&mut self, delta: &RidDelta) -> Result<(), DeltaError> {
+        match *delta {
+            RidDelta::Infect { node, state } => {
+                if !state.is_active() && !state.is_unknown() {
+                    return Err(DeltaError::InactiveState(node));
+                }
+                if self.index_of.contains_key(&node) {
+                    return Err(DeltaError::AlreadyInfected(node));
+                }
+                let slot = self.originals.len();
+                self.index_of.insert(node, slot);
+                self.originals.push(node);
+                self.states.push(state);
+                self.out_edges.push(Vec::new());
+                let uf_slot = self.uf.push();
+                debug_assert_eq!(uf_slot, slot, "union-find and slot arrays grow in lockstep");
+                self.components.insert(
+                    slot,
+                    ComponentState {
+                        members: vec![slot],
+                        dirty: true,
+                        screen: None,
+                        solved: None,
+                    },
+                );
+            }
+            RidDelta::AddEdge {
+                src,
+                dst,
+                sign,
+                weight,
+            } => {
+                if src == dst {
+                    return Err(DeltaError::SelfLoop(src));
+                }
+                if !weight.is_finite() || !(0.0..=1.0).contains(&weight) {
+                    return Err(DeltaError::InvalidWeight(weight));
+                }
+                let s = *self
+                    .index_of
+                    .get(&src)
+                    .ok_or(DeltaError::NotInfected(src))?;
+                let d = *self
+                    .index_of
+                    .get(&dst)
+                    .ok_or(DeltaError::NotInfected(dst))?;
+                let out = self
+                    .out_edges
+                    .get_mut(s)
+                    .expect("index_of slots index the adjacency array");
+                if out.iter().any(|&(to, _, _)| to == d) {
+                    return Err(DeltaError::DuplicateEdge(src, dst));
+                }
+                out.push((d, sign, weight));
+                let (ra, rb) = (self.uf.find(s), self.uf.find(d));
+                if ra == rb {
+                    let comp = self
+                        .components
+                        .get_mut(&ra)
+                        .expect("every union-find root has a component entry");
+                    comp.dirty = true;
+                } else {
+                    self.uf.union(ra, rb);
+                    let merged_root = self.uf.find(s);
+                    let a = self
+                        .components
+                        .remove(&ra)
+                        .expect("every union-find root has a component entry");
+                    let b = self
+                        .components
+                        .remove(&rb)
+                        .expect("every union-find root has a component entry");
+                    self.components.insert(
+                        merged_root,
+                        ComponentState {
+                            members: merge_by_original(&self.originals, a.members, b.members),
+                            dirty: true,
+                            screen: None,
+                            solved: None,
+                        },
+                    );
+                }
+            }
+            RidDelta::FlipState { node, state } => {
+                if !state.is_active() && !state.is_unknown() {
+                    return Err(DeltaError::InactiveState(node));
+                }
+                let slot = *self
+                    .index_of
+                    .get(&node)
+                    .ok_or(DeltaError::NotInfected(node))?;
+                let held = self
+                    .states
+                    .get_mut(slot)
+                    .expect("index_of slots index the state array");
+                if *held == state {
+                    return Err(DeltaError::SameState(node));
+                }
+                *held = state;
+                let root = self.uf.find(slot);
+                let comp = self
+                    .components
+                    .get_mut(&root)
+                    .expect("every union-find root has a component entry");
+                comp.dirty = true;
+                // The screen's signature depends on endpoint states
+                // (flip discounting), so it cannot vouch for reuse.
+                comp.screen = None;
+            }
+        }
+        self.deltas_applied += 1;
+        Ok(())
+    }
+
+    /// Materializes the current snapshot, with nodes numbered densely in
+    /// ascending original-id order — exactly the numbering
+    /// [`InfectedNetwork::from_states`] would produce for the same
+    /// infection, so a cold detector run on this snapshot is the
+    /// reference the incremental answer is bit-identical to.
+    pub fn snapshot(&self) -> InfectedNetwork {
+        let slots: Vec<usize> = self.index_of.values().copied().collect();
+        self.snapshot_of(&slots)
+    }
+
+    /// Answers the initiator query for the current snapshot,
+    /// recomputing only what the deltas since the previous answer
+    /// dirtied. See [`answer_detailed`](IncrementalRid::answer_detailed)
+    /// for the cost breakdown.
+    pub fn answer(&mut self) -> RidResult {
+        self.answer_detailed().0
+    }
+
+    /// [`answer`](IncrementalRid::answer), plus what the call actually
+    /// cost: how many components were recomputed, how many were
+    /// screened, and whether the session fell back to a cold recompute.
+    pub fn answer_detailed(&mut self) -> (RidResult, AnswerOutcome) {
+        let mut outcome = AnswerOutcome::default();
+        let dirty_roots: Vec<usize> = self
+            .components
+            .iter()
+            .filter(|(_, c)| c.dirty)
+            .map(|(&root, _)| root)
+            .collect();
+        outcome.dirty_components = dirty_roots.len();
+        let dirty_members: usize = dirty_roots
+            .iter()
+            .map(|root| {
+                self.components
+                    .get(root)
+                    .expect("dirty roots are live component roots")
+                    .members
+                    .len()
+            })
+            .sum();
+        // Safe fallback: when the deltas dirtied most of the snapshot,
+        // per-component bookkeeping only adds overhead over the
+        // optimized whole-snapshot extraction — recompute cold.
+        if !self.originals.is_empty() && 2 * dirty_members > self.originals.len() {
+            outcome.full_recompute = true;
+            self.full_recompute();
+        } else {
+            for root in dirty_roots {
+                if self.solve_component(root) {
+                    outcome.screened_components += 1;
+                }
+            }
+        }
+        (self.assemble(), outcome)
+    }
+
+    /// Takes the snapshot and forest artifacts produced by the most
+    /// recent full-recompute fallback, if one has happened since the
+    /// last take. The serving engine adopts them into its artifact
+    /// cache (evicting the entry they supersede) so a later one-shot
+    /// `rid` of the same snapshot is a cache hit.
+    pub fn take_fallback_artifacts(&mut self) -> Option<(InfectedNetwork, ForestArtifacts)> {
+        self.pending_artifacts.take()
+    }
+
+    /// Cold whole-snapshot recompute; repopulates every component's
+    /// per-tree outcomes (original-id based, so membership-independent)
+    /// and clears all dirty flags. Screens are dropped: the next
+    /// incremental solve of a component re-extracts it.
+    fn full_recompute(&mut self) {
+        self.fallbacks += 1;
+        let snapshot = self.snapshot();
+        let artifacts = self.rid.extract_stage(&snapshot);
+        let mut per_component: BTreeMap<usize, Vec<SolvedTree>> = BTreeMap::new();
+        for (tree, support) in artifacts.trees().iter().zip(artifacts.supports()) {
+            let solved = self.solve_tree(&snapshot, tree, support);
+            let root_slot = *self
+                .index_of
+                .get(&solved.root)
+                .expect("tree roots are infected session nodes");
+            let comp_root = self.uf.find(root_slot);
+            per_component.entry(comp_root).or_default().push(solved);
+        }
+        for (&root, comp) in &mut self.components {
+            comp.solved = Some(per_component.remove(&root).unwrap_or_default());
+            comp.dirty = false;
+            comp.screen = None;
+        }
+        debug_assert!(
+            per_component.is_empty(),
+            "every extracted tree belongs to a tracked component"
+        );
+        self.pending_artifacts = Some((snapshot, artifacts));
+    }
+
+    /// Recomputes one dirty component; returns `true` if the best-in
+    /// screen allowed reusing the cached trees without re-running the
+    /// branching.
+    fn solve_component(&mut self, root: usize) -> bool {
+        let comp = self
+            .components
+            .get(&root)
+            .expect("solve_component called with a live component root");
+        let members = comp.members.clone();
+        let sub = self.snapshot_of(&members);
+        let arcs = usable_arcs(&sub, self.rid.alpha());
+        let (signature, acyclic) = best_in_signature(sub.node_count(), &arcs);
+        // Screen: if every arc the deltas added since the last
+        // extraction *loses* its destination's best-in contest, the
+        // level-0 best-in forest — and, when it is acyclic, the whole
+        // branching — is unchanged, so the cached trees stand. Supports
+        // and the DP still rerun: losing arcs change the noisy-or
+        // external support of their destinations.
+        let comp = self
+            .components
+            .get_mut(&root)
+            .expect("solve_component called with a live component root");
+        let (screened, trees) = match comp.screen.take() {
+            Some(screen) if screen.acyclic && screen.signature == signature => (true, screen.trees),
+            _ => (false, extract_cascade_forest(&sub, self.rid.alpha()).0),
+        };
+        let mut solved = Vec::with_capacity(trees.len());
+        for tree in &trees {
+            let support = external_support(&sub, tree, self.rid.alpha());
+            solved.push(self.solve_tree(&sub, tree, &support));
+        }
+        let comp = self
+            .components
+            .get_mut(&root)
+            .expect("solve_component called with a live component root");
+        comp.solved = Some(solved);
+        comp.screen = Some(Screen {
+            signature,
+            acyclic,
+            trees,
+        });
+        comp.dirty = false;
+        screened
+    }
+
+    /// Runs the query-stage DP on one tree, mirroring
+    /// [`Rid::query_stage`] exactly, and translates the outcome to
+    /// original ids.
+    fn solve_tree(
+        &self,
+        snapshot: &InfectedNetwork,
+        tree: &CascadeTree,
+        support: &[f64],
+    ) -> SolvedTree {
+        let outcome: DpOutcome = match self.rid.objective() {
+            RidObjective::ProbabilitySum => TreeDp::solve_probability_sum_with_support(
+                tree,
+                self.rid.alpha(),
+                self.rid.beta(),
+                self.rid.external_support_enabled().then_some(support),
+            ),
+            RidObjective::LogLikelihood => {
+                TreeDp::solve_penalized(tree, self.rid.alpha(), self.rid.beta())
+            }
+        };
+        let to_original = |sub_id: NodeId| {
+            snapshot
+                .mapping()
+                .to_original(sub_id)
+                .expect("snapshot id maps to original network")
+        };
+        SolvedTree {
+            root: to_original(tree.snapshot_id(tree.root())),
+            objective: outcome.objective,
+            initiators: outcome
+                .initiators
+                .into_iter()
+                .map(|(sub_id, state)| DetectedInitiator {
+                    node: to_original(sub_id),
+                    state: NodeState::from_sign(state),
+                })
+                .collect(),
+        }
+    }
+
+    /// Assembles the global [`RidResult`] from the (now all-clean)
+    /// per-component outcomes. Trees are folded in ascending
+    /// original-root order — the same order a cold run folds them in
+    /// (tree roots ascend with snapshot ids, which ascend with original
+    /// ids) — so the objective sum is bit-identical.
+    fn assemble(&self) -> RidResult {
+        let mut trees: Vec<&SolvedTree> = self
+            .components
+            .values()
+            .flat_map(|c| {
+                c.solved
+                    .as_deref()
+                    .expect("answer solved every dirty component")
+            })
+            .collect();
+        trees.sort_by_key(|t| t.root);
+        let mut objective = 0.0;
+        let mut initiators = Vec::new();
+        for tree in &trees {
+            objective += tree.objective;
+            initiators.extend(tree.initiators.iter().cloned());
+        }
+        let mut detection = Detection {
+            initiators,
+            component_count: self.components.len(),
+            tree_count: trees.len(),
+            objective,
+        };
+        detection.sort();
+        RidResult {
+            config: self.config,
+            detection,
+        }
+    }
+
+    /// Builds the sub-snapshot induced by `slots` (which must be sorted
+    /// by original id and closed under session edges), numbering nodes
+    /// by position.
+    fn snapshot_of(&self, slots: &[usize]) -> InfectedNetwork {
+        let local_of: BTreeMap<usize, usize> = slots
+            .iter()
+            .enumerate()
+            .map(|(local, &slot)| (slot, local))
+            .collect();
+        let mut edges = Vec::new();
+        for (local, &slot) in slots.iter().enumerate() {
+            let out = self
+                .out_edges
+                .get(slot)
+                .expect("member slots index the adjacency array");
+            for &(dst_slot, sign, weight) in out {
+                let dst_local = *local_of
+                    .get(&dst_slot)
+                    .expect("session edges never cross component boundaries");
+                edges.push(Edge::new(
+                    NodeId::from_index(local),
+                    NodeId::from_index(dst_local),
+                    sign,
+                    weight,
+                ));
+            }
+        }
+        let graph = SignedDigraph::from_edge_vec(slots.len(), edges)
+            .expect("session deltas are validated on apply");
+        let states = slots
+            .iter()
+            .map(|&slot| {
+                *self
+                    .states
+                    .get(slot)
+                    .expect("member slots index the state array")
+            })
+            .collect();
+        let original_ids = slots
+            .iter()
+            .map(|&slot| {
+                *self
+                    .originals
+                    .get(slot)
+                    .expect("member slots index the originals array")
+            })
+            .collect();
+        InfectedNetwork::from_subgraph_parts(graph, states, original_ids)
+            .expect("session state forms a valid snapshot")
+    }
+}
+
+/// Merges two member lists, keeping them sorted by original id.
+fn merge_by_original(originals: &[NodeId], a: Vec<usize>, b: Vec<usize>) -> Vec<usize> {
+    let key = |slot: usize| {
+        *originals
+            .get(slot)
+            .expect("member slots index the originals array")
+    };
+    let mut merged = Vec::with_capacity(a.len() + b.len());
+    let mut ia = a.into_iter().peekable();
+    let mut ib = b.into_iter().peekable();
+    while let (Some(&x), Some(&y)) = (ia.peek(), ib.peek()) {
+        if key(x) < key(y) {
+            merged.push(x);
+            ia.next();
+        } else {
+            merged.push(y);
+            ib.next();
+        }
+    }
+    merged.extend(ia);
+    merged.extend(ib);
+    merged
+}
+
+/// Computes the level-0 best-in signature of a component's usable arcs:
+/// per destination, the winning real arc under the branching's "first
+/// strictly greater wins" rule (virtual root edges never beat a real
+/// arc), plus whether the winning-arc functional graph is acyclic.
+///
+/// When it is acyclic, Chu-Liu/Edmonds terminates at level 0 and the
+/// branching *is* this signature — which is what makes signature
+/// equality a sound screen for tree reuse. Acyclicity itself is a
+/// function of the signature, so equal signatures always agree on it.
+fn best_in_signature(n: usize, arcs: &[WeightedArc]) -> (Vec<Option<(usize, u64)>>, bool) {
+    let mut best: Vec<Option<(usize, f64)>> = vec![None; n];
+    for arc in arcs {
+        let incumbent = best
+            .get_mut(arc.dst)
+            .expect("arc endpoints lie inside the component");
+        let wins = match *incumbent {
+            None => true,
+            Some((_, held)) => arc.weight > held,
+        };
+        if wins {
+            *incumbent = Some((arc.src, arc.weight));
+        }
+    }
+    // Cycle check over the parent-pointer graph dst -> winning src.
+    // 0 = unvisited, 1 = on the current walk, 2 = known cycle-free.
+    let mut color = vec![0u8; n];
+    let mut acyclic = true;
+    let mut path = Vec::new();
+    for start in 0..n {
+        if color.get(start).copied() != Some(0) {
+            continue;
+        }
+        let mut cur = start;
+        loop {
+            let mark = color
+                .get_mut(cur)
+                .expect("the parent-pointer walk stays inside the component");
+            match *mark {
+                1 => {
+                    acyclic = false;
+                    break;
+                }
+                2 => break,
+                _ => {}
+            }
+            *mark = 1;
+            path.push(cur);
+            match best.get(cur).copied().flatten() {
+                Some((src, _)) => cur = src,
+                None => break,
+            }
+        }
+        for &v in &path {
+            *color
+                .get_mut(v)
+                .expect("walked vertices are component slots") = 2;
+        }
+        path.clear();
+        if !acyclic {
+            break;
+        }
+    }
+    let signature = best
+        .into_iter()
+        .map(|slot| slot.map(|(src, weight)| (src, weight.to_bits())))
+        .collect();
+    (signature, acyclic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detection::InitiatorDetector;
+    use crate::forest_extraction::extraction_run_count;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn infect(node: u32, state: NodeState) -> RidDelta {
+        RidDelta::Infect {
+            node: NodeId(node),
+            state,
+        }
+    }
+
+    fn edge(src: u32, dst: u32, sign: Sign, weight: f64) -> RidDelta {
+        RidDelta::AddEdge {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            sign,
+            weight,
+        }
+    }
+
+    fn session() -> IncrementalRid {
+        IncrementalRid::new(RidConfig::default()).unwrap()
+    }
+
+    /// Replays a random but valid delta stream, checking every prefix
+    /// answer against a cold run of the materialized prefix snapshot.
+    fn replay_matches_cold(seed: u64, deltas: usize, config: RidConfig) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = IncrementalRid::new(config).unwrap();
+        let rid = Rid::from_config(config).unwrap();
+        let mut infected: Vec<u32> = Vec::new();
+        let weights = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let states = [NodeState::Positive, NodeState::Negative, NodeState::Unknown];
+        let mut applied = 0;
+        while applied < deltas {
+            let roll: f64 = rng.gen_range(0.0..1.0);
+            let delta = if infected.len() < 2 || roll < 0.4 {
+                let node = rng.gen_range(0..500u32);
+                infect(node, states[rng.gen_range(0..3usize)])
+            } else if roll < 0.85 {
+                let src = infected[rng.gen_range(0..infected.len())];
+                let dst = infected[rng.gen_range(0..infected.len())];
+                let sign = if rng.gen_bool(0.5) {
+                    Sign::Positive
+                } else {
+                    Sign::Negative
+                };
+                edge(src, dst, sign, weights[rng.gen_range(0..weights.len())])
+            } else {
+                let node = infected[rng.gen_range(0..infected.len())];
+                RidDelta::FlipState {
+                    node: NodeId(node),
+                    state: states[rng.gen_range(0..3usize)],
+                }
+            };
+            match s.apply(&delta) {
+                Ok(()) => {
+                    if let RidDelta::Infect { node, .. } = delta {
+                        infected.push(node.0);
+                    }
+                    applied += 1;
+                }
+                Err(_) => continue,
+            }
+            let incremental = s.answer();
+            let cold = rid.detect(&s.snapshot());
+            assert_eq!(incremental.detection, cold, "seed {seed} delta {applied}");
+            assert_eq!(
+                incremental.detection.objective.to_bits(),
+                cold.objective.to_bits(),
+                "seed {seed} delta {applied}: objective not bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_equals_cold_across_seeds() {
+        for seed in 0..8 {
+            replay_matches_cold(seed, 40, RidConfig::default());
+        }
+    }
+
+    #[test]
+    fn replay_equals_cold_log_likelihood_objective() {
+        let config = RidConfig {
+            beta: 0.3,
+            objective: RidObjective::LogLikelihood,
+            ..RidConfig::default()
+        };
+        replay_matches_cold(99, 30, config);
+    }
+
+    #[test]
+    fn replay_equals_cold_without_external_support() {
+        let config = RidConfig {
+            external_support: false,
+            ..RidConfig::default()
+        };
+        replay_matches_cold(7, 30, config);
+    }
+
+    #[test]
+    fn empty_session_answers_an_empty_detection() {
+        let mut s = session();
+        let result = s.answer();
+        assert!(result.detection.initiators.is_empty());
+        assert_eq!(result.detection.component_count, 0);
+        assert_eq!(result.detection.tree_count, 0);
+        assert_eq!(result.detection.objective, 0.0);
+    }
+
+    #[test]
+    fn delta_validation_taxonomy() {
+        let mut s = session();
+        assert_eq!(
+            s.apply(&infect(1, NodeState::Inactive)),
+            Err(DeltaError::InactiveState(NodeId(1)))
+        );
+        s.apply(&infect(1, NodeState::Positive)).unwrap();
+        assert_eq!(
+            s.apply(&infect(1, NodeState::Negative)),
+            Err(DeltaError::AlreadyInfected(NodeId(1)))
+        );
+        assert_eq!(
+            s.apply(&edge(1, 1, Sign::Positive, 0.5)),
+            Err(DeltaError::SelfLoop(NodeId(1)))
+        );
+        assert_eq!(
+            s.apply(&edge(1, 2, Sign::Positive, 0.5)),
+            Err(DeltaError::NotInfected(NodeId(2)))
+        );
+        s.apply(&infect(2, NodeState::Positive)).unwrap();
+        assert_eq!(
+            s.apply(&edge(1, 2, Sign::Positive, 1.5)),
+            Err(DeltaError::InvalidWeight(1.5))
+        );
+        s.apply(&edge(1, 2, Sign::Positive, 0.5)).unwrap();
+        assert_eq!(
+            s.apply(&edge(1, 2, Sign::Negative, 0.25)),
+            Err(DeltaError::DuplicateEdge(NodeId(1), NodeId(2)))
+        );
+        assert_eq!(
+            s.apply(&RidDelta::FlipState {
+                node: NodeId(2),
+                state: NodeState::Positive
+            }),
+            Err(DeltaError::SameState(NodeId(2)))
+        );
+        assert_eq!(
+            s.apply(&RidDelta::FlipState {
+                node: NodeId(9),
+                state: NodeState::Positive
+            }),
+            Err(DeltaError::NotInfected(NodeId(9)))
+        );
+        // Failed deltas left the session consistent.
+        assert_eq!(s.deltas_applied(), 3);
+        assert_eq!(s.node_count(), 2);
+        assert_eq!(s.edge_count(), 1);
+        let cold = Rid::from_config(s.config()).unwrap().detect(&s.snapshot());
+        assert_eq!(s.answer().detection, cold);
+    }
+
+    #[test]
+    fn clean_components_are_not_reextracted() {
+        let mut s = session();
+        for node in 0..10 {
+            s.apply(&infect(node, NodeState::Positive)).unwrap();
+        }
+        s.apply(&edge(0, 1, Sign::Positive, 0.5)).unwrap();
+        s.answer();
+        let before = extraction_run_count();
+        // Dirty one far-away singleton; only that component recomputes.
+        s.apply(&edge(8, 9, Sign::Positive, 0.5)).unwrap();
+        let (_, outcome) = s.answer_detailed();
+        assert_eq!(outcome.dirty_components, 1);
+        assert!(!outcome.full_recompute);
+        assert_eq!(
+            extraction_run_count() - before,
+            1,
+            "only the dirtied component may be extracted"
+        );
+        // An untouched snapshot answers from cache, extracting nothing.
+        let before = extraction_run_count();
+        let (_, outcome) = s.answer_detailed();
+        assert_eq!(outcome.dirty_components, 0);
+        assert_eq!(extraction_run_count() - before, 0);
+    }
+
+    #[test]
+    fn losing_edge_is_screened_without_branching_rerun() {
+        let mut s = session();
+        for node in 0..12 {
+            s.apply(&infect(node, NodeState::Positive)).unwrap();
+        }
+        // Strong chain 0 -> 1 -> 2; weaker cross edges will lose.
+        s.apply(&edge(0, 1, Sign::Positive, 0.9)).unwrap();
+        s.apply(&edge(1, 2, Sign::Positive, 0.9)).unwrap();
+        s.apply(&edge(3, 1, Sign::Positive, 0.8)).unwrap();
+        s.answer(); // All-dirty: falls back, leaving no screen caches.
+        s.apply(&edge(0, 3, Sign::Positive, 0.2)).unwrap();
+        s.answer(); // Full component extraction populates the screen.
+        let before = extraction_run_count();
+        // Boosted to 0.3, strictly below node 2's incumbent best-in.
+        s.apply(&edge(3, 2, Sign::Positive, 0.1)).unwrap();
+        let (result, outcome) = s.answer_detailed();
+        assert_eq!(outcome.dirty_components, 1);
+        assert_eq!(
+            outcome.screened_components, 1,
+            "a strictly-losing arc must pass the best-in screen"
+        );
+        assert_eq!(
+            extraction_run_count() - before,
+            0,
+            "screened components skip the branching entirely"
+        );
+        let cold = Rid::from_config(s.config()).unwrap().detect(&s.snapshot());
+        assert_eq!(result.detection, cold);
+    }
+
+    #[test]
+    fn massive_dirtying_falls_back_to_cold_recompute() {
+        let mut s = session();
+        for node in 0..8 {
+            s.apply(&infect(node, NodeState::Positive)).unwrap();
+        }
+        let (result, outcome) = s.answer_detailed();
+        assert!(outcome.full_recompute, "all-dirty session must fall back");
+        assert_eq!(s.fallbacks(), 1);
+        let (snapshot, artifacts) = s
+            .take_fallback_artifacts()
+            .expect("fallback leaves artifacts to adopt");
+        assert_eq!(snapshot.node_count(), 8);
+        assert_eq!(artifacts.trees().len(), 8);
+        assert!(s.take_fallback_artifacts().is_none(), "take is one-shot");
+        let cold = Rid::from_config(s.config()).unwrap().detect(&snapshot);
+        assert_eq!(result.detection, cold);
+        // The fallback repopulated per-component caches: the next
+        // answer after a small delta is incremental again.
+        s.apply(&edge(0, 1, Sign::Positive, 0.5)).unwrap();
+        let (result, outcome) = s.answer_detailed();
+        assert!(!outcome.full_recompute);
+        assert_eq!(outcome.dirty_components, 1);
+        let cold = Rid::from_config(s.config()).unwrap().detect(&s.snapshot());
+        assert_eq!(result.detection, cold);
+    }
+
+    #[test]
+    fn component_merge_across_earlier_answers() {
+        let mut s = session();
+        let rid = Rid::from_config(s.config()).unwrap();
+        s.apply(&infect(10, NodeState::Positive)).unwrap();
+        s.apply(&infect(20, NodeState::Negative)).unwrap();
+        s.apply(&infect(30, NodeState::Positive)).unwrap();
+        s.answer();
+        s.apply(&edge(10, 20, Sign::Negative, 0.7)).unwrap();
+        assert_eq!(s.component_count(), 2);
+        assert_eq!(s.answer().detection, rid.detect(&s.snapshot()));
+        s.apply(&edge(30, 20, Sign::Positive, 0.9)).unwrap();
+        assert_eq!(s.component_count(), 1);
+        assert_eq!(s.answer().detection, rid.detect(&s.snapshot()));
+    }
+
+    #[test]
+    fn delta_json_round_trips() {
+        let deltas = [
+            infect(3, NodeState::Positive),
+            infect(4, NodeState::Unknown),
+            edge(0, 3, Sign::Negative, 0.125),
+            RidDelta::FlipState {
+                node: NodeId(3),
+                state: NodeState::Negative,
+            },
+        ];
+        for delta in deltas {
+            let back = RidDelta::from_json_value(&delta.to_json_value()).unwrap();
+            assert_eq!(back, delta);
+        }
+        for bad in [
+            "{\"op\": \"bogus\"}",
+            "{\"op\": \"infect\", \"node\": 1}",
+            "{\"op\": \"add_edge\", \"src\": 0, \"dst\": 1, \"sign\": \"*\", \"weight\": 0.5}",
+            "{\"node\": 1, \"state\": \"+\"}",
+        ] {
+            let value = Value::parse(bad).unwrap();
+            assert!(RidDelta::from_json_value(&value).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn delta_errors_render_their_context() {
+        assert_eq!(
+            DeltaError::DuplicateEdge(NodeId(1), NodeId(2)).to_string(),
+            "edge (n1, n2) already exists"
+        );
+        assert!(DeltaError::InvalidWeight(2.0).to_string().contains("2"));
+    }
+}

@@ -73,6 +73,7 @@ mod detection;
 mod dp;
 mod error;
 mod forest_extraction;
+mod incremental;
 mod kisomit;
 mod rid;
 mod stages;
@@ -91,6 +92,7 @@ pub use forest_extraction::{
     external_support, extract_cascade_forest, extract_cascade_forest_reference,
     extraction_run_count, usable_arcs, CascadeTree,
 };
+pub use incremental::{AnswerOutcome, DeltaError, IncrementalRid, RidDelta};
 pub use kisomit::solve_k_isomit;
 pub use rid::{Rid, RidConfig, RidObjective};
 pub use stages::ForestArtifacts;

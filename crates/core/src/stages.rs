@@ -74,6 +74,13 @@ impl ForestArtifacts {
         self.component_count
     }
 
+    /// Per-tree external-support tables, aligned with [`trees`](Self::trees).
+    /// Crate-internal: the incremental session replays the query-stage DP
+    /// tree by tree to regroup outcomes per component.
+    pub(crate) fn supports(&self) -> &[Vec<f64>] {
+        &self.supports
+    }
+
     /// Approximate heap footprint in bytes, used by cache accounting.
     pub fn approx_bytes(&self) -> usize {
         let tree_bytes: usize = self.trees.iter().map(|t| t.len() * 48).sum();

@@ -113,6 +113,54 @@ impl InfectedNetwork {
         snapshot
     }
 
+    /// Builds an infected network from a subgraph, observed states, and an
+    /// explicit original-id mapping (`original_ids[sub]` is the original
+    /// network id of subgraph node `sub`) — the constructor for producers
+    /// that materialize `G_I` themselves, like the incremental RID session
+    /// turning its accumulated deltas into a snapshot.
+    ///
+    /// The snapshot is always validated (see
+    /// [`validate`](InfectedNetwork::validate)): callers assembling
+    /// subgraphs by hand are exactly the ones that benefit from the
+    /// invariant check.
+    ///
+    /// ```
+    /// use isomit_diffusion::InfectedNetwork;
+    /// use isomit_graph::{Edge, NodeId, NodeState, Sign, SignedDigraph};
+    ///
+    /// # fn main() -> Result<(), isomit_graph::GraphError> {
+    /// let g =
+    ///     SignedDigraph::from_edges(2, [Edge::new(NodeId(0), NodeId(1), Sign::Positive, 0.5)])?;
+    /// let snapshot = InfectedNetwork::from_subgraph_parts(
+    ///     g,
+    ///     vec![NodeState::Positive, NodeState::Negative],
+    ///     vec![NodeId(7), NodeId(42)],
+    /// )?;
+    /// assert_eq!(snapshot.mapping().to_original(NodeId(1)), Some(NodeId(42)));
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Invariant`] (or the underlying mapping error)
+    /// if lengths disagree, a state is [`NodeState::Inactive`], or
+    /// `original_ids` contains duplicates.
+    pub fn from_subgraph_parts(
+        graph: SignedDigraph,
+        states: Vec<NodeState>,
+        original_ids: Vec<NodeId>,
+    ) -> Result<Self, GraphError> {
+        let mapping = NodeMapping::from_original_ids(original_ids)?;
+        let snapshot = InfectedNetwork {
+            graph,
+            states,
+            mapping,
+        };
+        snapshot.validate()?;
+        Ok(snapshot)
+    }
+
     /// The infected diffusion subgraph (dense subgraph ids).
     pub fn graph(&self) -> &SignedDigraph {
         &self.graph

@@ -85,6 +85,30 @@ impl UnionFind {
         true
     }
 
+    /// Appends a fresh singleton set and returns its index.
+    ///
+    /// Lets incremental callers grow the universe one element at a time
+    /// (e.g. a streaming session infecting a node it has never seen)
+    /// without rebuilding the structure.
+    ///
+    /// ```
+    /// use isomit_forest::UnionFind;
+    ///
+    /// let mut uf = UnionFind::new(2);
+    /// let c = uf.push();
+    /// assert_eq!(c, 2);
+    /// assert_eq!(uf.component_count(), 3);
+    /// uf.union(0, c);
+    /// assert!(uf.connected(0, 2));
+    /// ```
+    pub fn push(&mut self) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.rank.push(0);
+        self.components += 1;
+        id
+    }
+
     /// `true` if `a` and `b` are in the same set.
     pub fn connected(&mut self, a: usize, b: usize) -> bool {
         self.find(a) == self.find(b)
@@ -172,6 +196,24 @@ mod tests {
         assert!(!uf.connected(0, 4));
         assert_eq!(uf.component_count(), 3);
         assert_eq!(uf.len(), 5);
+    }
+
+    #[test]
+    fn union_find_push_grows_the_universe() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.push(), 0);
+        assert_eq!(uf.push(), 1);
+        assert_eq!(uf.len(), 2);
+        assert_eq!(uf.component_count(), 2);
+        assert!(uf.union(0, 1));
+        assert_eq!(uf.component_count(), 1);
+        let c = uf.push();
+        assert_eq!(c, 2);
+        assert_eq!(uf.component_count(), 2);
+        assert!(!uf.connected(0, c));
+        assert!(uf.union(c, 1));
+        assert_eq!(uf.find(2), uf.find(0));
     }
 
     #[test]

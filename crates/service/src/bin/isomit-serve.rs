@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! isomit-serve [--addr HOST:PORT] [--workers N] [--queue N]
-//!              [--timeout-ms MS] [--cache N] [--alpha A] [--beta B]
+//!              [--timeout-ms MS] [--cache N] [--max-watch N]
+//!              [--alpha A] [--beta B]
 //!              (--graph FILE | --generate epinions|slashdot)
 //!              [--scale S] [--seed N]
 //! ```
@@ -26,6 +27,7 @@ struct Options {
     queue: usize,
     timeout_ms: u64,
     cache: usize,
+    max_watch: usize,
     alpha: f64,
     beta: f64,
     graph_file: Option<String>,
@@ -42,6 +44,7 @@ impl Options {
             queue: 64,
             timeout_ms: 30_000,
             cache: 32,
+            max_watch: 4,
             alpha: 3.0,
             beta: 0.1,
             graph_file: None,
@@ -63,6 +66,9 @@ impl Options {
                     opts.timeout_ms = value("--timeout-ms").parse().expect("--timeout-ms: u64")
                 }
                 "--cache" => opts.cache = value("--cache").parse().expect("--cache: usize"),
+                "--max-watch" => {
+                    opts.max_watch = value("--max-watch").parse().expect("--max-watch: usize")
+                }
                 "--alpha" => opts.alpha = value("--alpha").parse().expect("--alpha: f64"),
                 "--beta" => opts.beta = value("--beta").parse().expect("--beta: f64"),
                 "--graph" => opts.graph_file = Some(value("--graph")),
@@ -72,7 +78,7 @@ impl Options {
                 "--help" | "-h" => {
                     println!(
                         "usage: isomit-serve [--addr HOST:PORT] [--workers N] [--queue N] \
-                         [--timeout-ms MS] [--cache N] [--alpha A] [--beta B] \
+                         [--timeout-ms MS] [--cache N] [--max-watch N] [--alpha A] [--beta B] \
                          (--graph FILE | --generate epinions|slashdot) [--scale S] [--seed N]"
                     );
                     std::process::exit(0);
@@ -123,6 +129,7 @@ fn main() {
             workers: opts.workers,
             queue_capacity: opts.queue,
             request_timeout: Duration::from_millis(opts.timeout_ms),
+            max_watch_sessions: opts.max_watch,
         },
     )
     .expect("cannot bind listener");

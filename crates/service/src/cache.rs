@@ -129,6 +129,15 @@ impl<K: Ord + Clone, V: Clone> LruCache<K, V> {
         );
     }
 
+    /// Removes `key`, returning its value if it was cached.
+    ///
+    /// A targeted removal is not an eviction (nothing was displaced to
+    /// make room) and is not counted as one; callers tracking
+    /// supersession keep their own counter.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.entries.remove(key).map(|e| e.value)
+    }
+
     /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -196,6 +205,21 @@ mod tests {
         assert_eq!(c.evictions(), 0);
         assert_eq!(c.get(&1), Some(11));
         assert_eq!(c.get(&2), Some(20));
+    }
+
+    #[test]
+    fn remove_is_targeted_and_not_an_eviction() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.remove(&1), Some(10));
+        assert_eq!(c.remove(&1), None);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&2), Some(20), "unrelated entries survive removal");
+        // The freed slot is reusable without displacing anything.
+        c.insert(3, 30);
+        assert_eq!(c.evictions(), 0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::engine::EngineStats;
 use crate::protocol::{encode_request, parse_response, RequestBody, WireError};
-use isomit_core::{RidConfig, RidResult};
+use isomit_core::{RidConfig, RidDelta, RidResult};
 use isomit_detectors::DetectorKind;
 use isomit_diffusion::{InfectedNetwork, InfectionEstimate, SeedSet};
 use isomit_graph::json::{JsonError, Value};
@@ -43,6 +43,31 @@ impl From<std::io::Error> for ClientError {
 impl From<JsonError> for ClientError {
     fn from(e: JsonError) -> Self {
         ClientError::Protocol(e)
+    }
+}
+
+/// The server's reply to one `watch_delta`: a full answer when the
+/// delta was due under the session's `answer_every` cadence, a cheap
+/// ack otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WatchReply {
+    /// The updated detection over the session's current network.
+    Answer(Box<RidResult>),
+    /// The delta was applied without answering; `deltas` is the number
+    /// applied so far.
+    Ack {
+        /// Deltas applied to the session so far.
+        deltas: u64,
+    },
+}
+
+impl WatchReply {
+    /// The answer payload, when this reply carries one.
+    pub fn answer(&self) -> Option<&RidResult> {
+        match self {
+            WatchReply::Answer(result) => Some(result),
+            WatchReply::Ack { .. } => None,
+        }
     }
 }
 
@@ -197,6 +222,57 @@ impl Client {
             seed,
         })?;
         InfectionEstimate::from_json_value(&value).map_err(ClientError::Protocol)
+    }
+
+    /// Opens an incremental watch session on this connection. `config`
+    /// defaults to the server's, `answer_every` to 1 (answer every
+    /// delta).
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request); an `overloaded` wire error
+    /// means the server's watch admission cap is reached.
+    pub fn watch_open(
+        &mut self,
+        config: Option<RidConfig>,
+        answer_every: Option<u64>,
+    ) -> Result<(), ClientError> {
+        self.request(&RequestBody::WatchOpen {
+            config,
+            answer_every,
+        })
+        .map(|_| ())
+    }
+
+    /// Streams one delta into the open watch session, returning the
+    /// updated [`RidResult`] when the delta was due for an answer or an
+    /// ack otherwise.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request); a rejected delta surfaces as
+    /// an `invalid_delta` wire error and leaves the session (and this
+    /// connection) usable.
+    pub fn watch_delta(&mut self, delta: &RidDelta) -> Result<WatchReply, ClientError> {
+        let value = self.request(&RequestBody::WatchDelta { delta: *delta })?;
+        if value.get("detection").is_some() {
+            let result = RidResult::from_json_value(&value).map_err(ClientError::Protocol)?;
+            return Ok(WatchReply::Answer(Box::new(result)));
+        }
+        let deltas = value
+            .get("deltas")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ClientError::Protocol(JsonError::new("ack without `deltas` count")))?;
+        Ok(WatchReply::Ack { deltas })
+    }
+
+    /// Closes the open watch session, freeing its admission slot.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request).
+    pub fn watch_close(&mut self) -> Result<(), ClientError> {
+        self.request(&RequestBody::WatchClose).map(|_| ())
     }
 
     /// Asks the server to shut down gracefully.

@@ -48,6 +48,9 @@ pub struct EngineStats {
     pub cache_misses: u64,
     /// Artifact-cache entries evicted to make room.
     pub cache_evictions: u64,
+    /// Artifact-cache entries removed because a newer snapshot of the
+    /// same watch session superseded them (not counted as evictions).
+    pub cache_superseded: u64,
     /// Artifact-cache entries currently resident.
     pub cache_entries: u64,
 }
@@ -85,6 +88,10 @@ impl EngineStats {
                 Value::Number(self.cache_evictions as f64),
             ),
             (
+                "cache_superseded".into(),
+                Value::Number(self.cache_superseded as f64),
+            ),
+            (
                 "cache_entries".into(),
                 Value::Number(self.cache_entries as f64),
             ),
@@ -111,6 +118,7 @@ impl EngineStats {
             cache_hits: field("cache_hits")?,
             cache_misses: field("cache_misses")?,
             cache_evictions: field("cache_evictions")?,
+            cache_superseded: field("cache_superseded")?,
             cache_entries: field("cache_entries")?,
         })
     }
@@ -130,6 +138,7 @@ pub struct RidEngine {
     registry: Arc<Registry>,
     rid_requests: Counter,
     simulate_requests: Counter,
+    cache_superseded: Counter,
 }
 
 impl RidEngine {
@@ -175,6 +184,7 @@ impl RidEngine {
         let cache = LruCache::with_metrics(cache_capacity, CacheMetrics::registered(&registry));
         let rid_requests = registry.counter(names::SERVICE_RID_REQUESTS);
         let simulate_requests = registry.counter(names::SERVICE_SIMULATE_REQUESTS);
+        let cache_superseded = registry.counter(names::SERVICE_CACHE_SUPERSEDED);
         Ok(RidEngine {
             graph,
             model,
@@ -183,6 +193,7 @@ impl RidEngine {
             registry,
             rid_requests,
             simulate_requests,
+            cache_superseded,
         })
     }
 
@@ -314,6 +325,34 @@ impl RidEngine {
         )
     }
 
+    /// Adopts forest artifacts computed outside the engine — a watch
+    /// session's full-recompute fallback — into the artifact cache, so
+    /// a later `rid` query on the same snapshot is a warm hit.
+    ///
+    /// `previous` is the key returned by the session's last adoption:
+    /// the superseded entry is removed in the same lock acquisition
+    /// (counted under `cache_superseded`, not as an eviction), so a
+    /// long watch session keeps at most one resident cache entry
+    /// instead of crowding out unrelated snapshots. Returns the key the
+    /// caller should pass back on its next adoption.
+    pub fn adopt_artifacts(
+        &self,
+        snapshot: &InfectedNetwork,
+        config: &RidConfig,
+        artifacts: ForestArtifacts,
+        previous: Option<(u64, u64)>,
+    ) -> (u64, u64) {
+        let key = (snapshot_fingerprint(snapshot), config.alpha.to_bits());
+        let mut cache = self.cache_lock();
+        if let Some(prev) = previous {
+            if prev != key && cache.remove(&prev).is_some() {
+                self.cache_superseded.inc();
+            }
+        }
+        cache.insert(key, Arc::new(artifacts));
+        key
+    }
+
     /// Current counter snapshot.
     pub fn stats(&self) -> EngineStats {
         let cache = self.cache_lock();
@@ -323,6 +362,7 @@ impl RidEngine {
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
             cache_evictions: cache.evictions(),
+            cache_superseded: self.cache_superseded.get(),
             cache_entries: cache.len() as u64,
         }
     }
@@ -479,6 +519,80 @@ mod tests {
         let out_of_bounds = SeedSet::single(NodeId(1_000_000), Sign::Positive);
         assert!(engine.simulate(&out_of_bounds, 8, 9).is_err());
         assert_eq!(engine.stats().simulate_requests, 3);
+    }
+
+    #[test]
+    fn watch_adoption_keeps_at_most_one_resident_session_entry() {
+        let engine = engine(8);
+        // Prewarm the cache with two unrelated snapshots.
+        let a = scenario_snapshot(4);
+        let b = scenario_snapshot(5);
+        engine.rid(&a, None).unwrap();
+        engine.rid(&b, None).unwrap();
+        assert_eq!(engine.stats().cache_entries, 2);
+
+        // A long watch session adopts one fallback after another; each
+        // adoption supersedes the previous session entry in place.
+        let config = engine.default_config();
+        let mut previous = None;
+        for seed in 10..18 {
+            let snapshot = scenario_snapshot(seed);
+            let rid = Rid::from_config(config).unwrap();
+            let artifacts = rid.extract_stage(&snapshot);
+            previous = Some(engine.adopt_artifacts(&snapshot, &config, artifacts, previous));
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.cache_entries, 3, "two prewarmed + one session entry");
+        assert_eq!(stats.cache_superseded, 7);
+        assert_eq!(stats.cache_evictions, 0, "supersession displaced nothing");
+
+        // The prewarmed snapshots were never crowded out.
+        let hits_before = engine.stats().cache_hits;
+        engine.rid(&a, None).unwrap();
+        engine.rid(&b, None).unwrap();
+        assert_eq!(engine.stats().cache_hits, hits_before + 2);
+    }
+
+    #[test]
+    fn adopted_fallback_makes_the_final_snapshot_a_warm_hit() {
+        use isomit_core::{IncrementalRid, RidDelta};
+
+        let engine = engine(8);
+        let config = engine.default_config();
+        let mut session = IncrementalRid::new(config).unwrap();
+        for i in 0..6u32 {
+            session
+                .apply(&RidDelta::Infect {
+                    node: NodeId(i),
+                    state: NodeState::Positive,
+                })
+                .unwrap();
+        }
+        for i in 0..5u32 {
+            session
+                .apply(&RidDelta::AddEdge {
+                    src: NodeId(i),
+                    dst: NodeId(i + 1),
+                    sign: Sign::Positive,
+                    weight: 0.8,
+                })
+                .unwrap();
+        }
+        // An all-dirty session answers via the cold fallback, stashing
+        // adoptable artifacts.
+        let (answer, outcome) = session.answer_detailed();
+        assert!(outcome.full_recompute);
+        let (snapshot, artifacts) = session.take_fallback_artifacts().unwrap();
+        engine.adopt_artifacts(&snapshot, &config, artifacts, None);
+
+        let misses_before = engine.stats().cache_misses;
+        let served = engine.rid(&session.snapshot(), None).unwrap();
+        assert_eq!(served, answer);
+        assert_eq!(
+            engine.stats().cache_misses,
+            misses_before,
+            "adopted artifacts made the rid query a warm hit"
+        );
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod queue;
 pub mod server;
 
 pub use cache::{CacheMetrics, LruCache};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, WatchReply};
 pub use engine::{EngineStats, RidEngine};
 pub use isomit_detectors::DetectorKind;
 pub use queue::{BoundedQueue, PushError, QueueMetrics};

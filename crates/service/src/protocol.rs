@@ -10,11 +10,13 @@
 //! ← {"id": 3, "ok": false, "error": {"kind": "overloaded", "message": "..."}}
 //! ```
 //!
-//! Request types: `health`, `stats`, `rid`, `simulate`, `shutdown`.
-//! Everything is built on the in-repo [`isomit_graph::json`] codec, so
-//! floating-point payloads survive the wire bit-exactly.
+//! Request types: `health`, `stats`, `rid`, `simulate`, `shutdown`,
+//! plus the stateful watch-session verbs `watch_open`, `watch_delta`
+//! and `watch_close` (see `docs/PROTOCOL.md` for the session state
+//! machine). Everything is built on the in-repo [`isomit_graph::json`]
+//! codec, so floating-point payloads survive the wire bit-exactly.
 
-use isomit_core::RidConfig;
+use isomit_core::{RidConfig, RidDelta};
 use isomit_detectors::DetectorKind;
 use isomit_diffusion::{DiffusionError, InfectedNetwork, SeedSet};
 use isomit_graph::json::{JsonError, Value};
@@ -39,6 +41,10 @@ pub enum ErrorKind {
     /// The `rid` verb named a detector the server does not know;
     /// `detail` carries the list of known names under `"known"`.
     UnknownDetector,
+    /// A `watch_delta` was rejected by the session's validator (e.g.
+    /// infecting an already-infected node); the session state is
+    /// unchanged and the connection stays usable.
+    InvalidDelta,
     /// Unexpected server-side failure.
     Internal,
 }
@@ -53,6 +59,7 @@ impl ErrorKind {
             ErrorKind::Diffusion => "diffusion",
             ErrorKind::ShuttingDown => "shutting_down",
             ErrorKind::UnknownDetector => "unknown_detector",
+            ErrorKind::InvalidDelta => "invalid_delta",
             ErrorKind::Internal => "internal",
         }
     }
@@ -70,6 +77,7 @@ impl ErrorKind {
             "diffusion" => Ok(ErrorKind::Diffusion),
             "shutting_down" => Ok(ErrorKind::ShuttingDown),
             "unknown_detector" => Ok(ErrorKind::UnknownDetector),
+            "invalid_delta" => Ok(ErrorKind::InvalidDelta),
             "internal" => Ok(ErrorKind::Internal),
             other => Err(JsonError::new(format!("unknown error kind `{other}`"))),
         }
@@ -180,6 +188,24 @@ pub enum RequestBody {
         /// Master RNG seed (results are deterministic in it).
         seed: u64,
     },
+    /// Open an incremental watch session on this connection, starting
+    /// from an empty infected network.
+    WatchOpen {
+        /// Detector parameters for every answer in the session; the
+        /// server default applies when absent.
+        config: Option<RidConfig>,
+        /// Answer cadence: every N-th delta gets a full [`RidResult`],
+        /// the others a cheap ack. `None` means 1 (answer every delta).
+        answer_every: Option<u64>,
+    },
+    /// Apply one delta to the connection's open watch session.
+    WatchDelta {
+        /// The typed mutation to apply.
+        delta: RidDelta,
+    },
+    /// Close the connection's watch session, freeing its admission
+    /// slot.
+    WatchClose,
 }
 
 /// A parsed request line.
@@ -200,6 +226,9 @@ pub fn encode_request(id: u64, body: &RequestBody) -> String {
         RequestBody::Shutdown => "shutdown",
         RequestBody::Rid { .. } => "rid",
         RequestBody::Simulate { .. } => "simulate",
+        RequestBody::WatchOpen { .. } => "watch_open",
+        RequestBody::WatchDelta { .. } => "watch_delta",
+        RequestBody::WatchClose => "watch_close",
     };
     fields.push(("type".into(), Value::String(type_label.into())));
     match body {
@@ -221,7 +250,24 @@ pub fn encode_request(id: u64, body: &RequestBody) -> String {
             fields.push(("runs".into(), Value::Number(*runs as f64)));
             fields.push(("seed".into(), Value::Number(*seed as f64)));
         }
-        RequestBody::Health | RequestBody::Stats | RequestBody::Shutdown => {}
+        RequestBody::WatchOpen {
+            config,
+            answer_every,
+        } => {
+            if let Some(config) = config {
+                fields.push(("config".into(), config.to_json_value()));
+            }
+            if let Some(every) = answer_every {
+                fields.push(("answer_every".into(), Value::Number(*every as f64)));
+            }
+        }
+        RequestBody::WatchDelta { delta } => {
+            fields.push(("delta".into(), delta.to_json_value()));
+        }
+        RequestBody::Health
+        | RequestBody::Stats
+        | RequestBody::Shutdown
+        | RequestBody::WatchClose => {}
     }
     Value::Object(fields).to_json()
 }
@@ -312,6 +358,46 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, WireError)> {
                 })?;
                 RequestBody::Simulate { seeds, runs, seed }
             }
+            "watch_open" => {
+                let config = match doc.get("config") {
+                    None => None,
+                    Some(v) => Some(
+                        RidConfig::from_json_value(v)
+                            .map_err(|e| bad(Some(id), format!("invalid config: {e}")))?,
+                    ),
+                };
+                let answer_every = match doc.get("answer_every") {
+                    None => None,
+                    Some(v) => {
+                        let every = v.as_u64().ok_or_else(|| {
+                            bad(
+                                Some(id),
+                                "`answer_every` must be a positive integer".to_owned(),
+                            )
+                        })?;
+                        if every == 0 {
+                            return Err(bad(
+                                Some(id),
+                                "`answer_every` must be a positive integer".to_owned(),
+                            ));
+                        }
+                        Some(every)
+                    }
+                };
+                RequestBody::WatchOpen {
+                    config,
+                    answer_every,
+                }
+            }
+            "watch_delta" => {
+                let delta_value = doc
+                    .require("delta")
+                    .map_err(|e| bad(Some(id), e.to_string()))?;
+                let delta = RidDelta::from_json_value(delta_value)
+                    .map_err(|e| bad(Some(id), format!("invalid delta: {e}")))?;
+                RequestBody::WatchDelta { delta }
+            }
+            "watch_close" => RequestBody::WatchClose,
             other => {
                 return Err(bad(Some(id), format!("unknown request type `{other}`")));
             }
@@ -413,6 +499,35 @@ mod tests {
                 runs: 128,
                 seed: 7,
             },
+            RequestBody::WatchOpen {
+                config: None,
+                answer_every: None,
+            },
+            RequestBody::WatchOpen {
+                config: Some(RidConfig::default()),
+                answer_every: Some(16),
+            },
+            RequestBody::WatchDelta {
+                delta: RidDelta::Infect {
+                    node: NodeId(3),
+                    state: NodeState::Positive,
+                },
+            },
+            RequestBody::WatchDelta {
+                delta: RidDelta::AddEdge {
+                    src: NodeId(3),
+                    dst: NodeId(4),
+                    sign: Sign::Negative,
+                    weight: 0.25,
+                },
+            },
+            RequestBody::WatchDelta {
+                delta: RidDelta::FlipState {
+                    node: NodeId(3),
+                    state: NodeState::Negative,
+                },
+            },
+            RequestBody::WatchClose,
         ];
         for (i, body) in bodies.into_iter().enumerate() {
             let line = encode_request(i as u64, &body);
@@ -507,6 +622,26 @@ mod tests {
     }
 
     #[test]
+    fn watch_requests_reject_malformed_payloads() {
+        let (id, err) = parse_request("{\"id\": 2, \"type\": \"watch_open\", \"answer_every\": 0}")
+            .unwrap_err();
+        assert_eq!(id, Some(2));
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        assert!(err.message.contains("answer_every"), "{}", err.message);
+
+        let (id, err) = parse_request("{\"id\": 3, \"type\": \"watch_delta\"}").unwrap_err();
+        assert_eq!(id, Some(3));
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+
+        let (id, err) =
+            parse_request("{\"id\": 4, \"type\": \"watch_delta\", \"delta\": {\"op\": \"melt\"}}")
+                .unwrap_err();
+        assert_eq!(id, Some(4));
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        assert!(err.message.contains("invalid delta"), "{}", err.message);
+    }
+
+    #[test]
     fn error_kind_labels_round_trip() {
         for kind in [
             ErrorKind::BadRequest,
@@ -515,6 +650,7 @@ mod tests {
             ErrorKind::Diffusion,
             ErrorKind::ShuttingDown,
             ErrorKind::UnknownDetector,
+            ErrorKind::InvalidDelta,
             ErrorKind::Internal,
         ] {
             assert_eq!(ErrorKind::from_label(kind.as_label()).unwrap(), kind);

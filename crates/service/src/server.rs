@@ -28,14 +28,14 @@ use crate::protocol::{
     PROTOCOL_VERSION,
 };
 use crate::queue::{BoundedQueue, PushError, QueueMetrics};
-use isomit_core::{RidConfig, RidError};
+use isomit_core::{IncrementalRid, RidConfig, RidDelta, RidError};
 use isomit_detectors::DetectorKind;
 use isomit_diffusion::{InfectedNetwork, SeedSet};
 use isomit_graph::json::Value;
-use isomit_telemetry::{names, Counter, Histogram};
+use isomit_telemetry::{names, Counter, Histogram, Stopwatch};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -49,8 +49,12 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Per-request deadline, measured from arrival; jobs still queued
     /// past it are answered with `deadline_exceeded` instead of
-    /// computed.
+    /// computed. Also bounds a watch session's lifetime, measured from
+    /// `watch_open`.
     pub request_timeout: Duration,
+    /// Concurrent watch sessions admitted across all connections;
+    /// beyond it `watch_open` is answered with `overloaded`.
+    pub max_watch_sessions: usize,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +63,7 @@ impl Default for ServerConfig {
             workers: 4,
             queue_capacity: 64,
             request_timeout: Duration::from_secs(30),
+            max_watch_sessions: 4,
         }
     }
 }
@@ -97,6 +102,32 @@ struct Shared {
     queue_wait_ns: Histogram,
     /// Jobs dropped at dequeue because their deadline had passed.
     deadline_exceeded: Counter,
+    /// Watch sessions currently open across all connections.
+    watch_active: AtomicUsize,
+    /// Admission cap on concurrent watch sessions.
+    max_watch: usize,
+    /// Wall time to apply one watch delta (and answer it, when due).
+    watch_delta_ns: Histogram,
+    /// Components watch answers recomputed, summed across answers.
+    watch_dirty_components: Counter,
+    /// Watch answers that fell back to a full cold recompute.
+    watch_fallbacks: Counter,
+    /// `watch_open` requests rejected by the admission cap.
+    watch_shed: Counter,
+}
+
+/// Per-connection state of an open watch session. Lives on the reader
+/// thread; deltas are applied inline (never queued) because the stream
+/// is ordered and the incremental state is connection-local.
+struct WatchSession {
+    session: IncrementalRid,
+    /// Session deadline anchor: `watch_open` arrival time.
+    opened: Stopwatch,
+    /// Every N-th delta gets a full answer; the rest get acks.
+    answer_every: u64,
+    /// Cache key of the last fallback artifacts adopted into the
+    /// engine, superseded on the next adoption.
+    adopted_key: Option<(u64, u64)>,
 }
 
 /// A running daemon. Dropping the handle does **not** stop the server;
@@ -144,6 +175,12 @@ impl Server {
             request_ns: registry.histogram(names::SERVICE_REQUEST_NS),
             queue_wait_ns: registry.histogram(names::SERVICE_QUEUE_WAIT_NS),
             deadline_exceeded: registry.counter(names::SERVICE_DEADLINE_EXCEEDED),
+            watch_active: AtomicUsize::new(0),
+            max_watch: config.max_watch_sessions,
+            watch_delta_ns: registry.histogram(names::WATCH_DELTA_NS),
+            watch_dirty_components: registry.counter(names::WATCH_DIRTY_COMPONENTS),
+            watch_fallbacks: registry.counter(names::WATCH_FULL_RECOMPUTE_FALLBACKS),
+            watch_shed: registry.counter(names::WATCH_SESSIONS_SHED),
             engine,
         });
 
@@ -238,27 +275,43 @@ fn reader_loop(stream: TcpStream, shared: &Arc<Shared>) {
     };
     let writer = Arc::new(Mutex::new(stream));
     let mut lines = BufReader::new(read_half).lines();
+    let mut watch: Option<WatchSession> = None;
     while let Some(Ok(line)) = lines.next() {
         if line.trim().is_empty() {
             continue;
         }
-        let request = match parse_request(&line) {
-            Ok(request) => request,
-            Err((id, error)) => {
-                if !write_line(&writer, &error_line(id, &error)) {
-                    return;
-                }
-                continue;
-            }
+        let alive = match parse_request(&line) {
+            Ok(request) => serve_request(request, &writer, shared, &mut watch),
+            Err((id, error)) => write_line(&writer, &error_line(id, &error)),
         };
-        if !serve_request(request, &writer, shared) {
-            return;
+        if !alive {
+            break;
         }
+    }
+    // A disconnect (or error) while a watch session is open frees its
+    // admission slot; the session state dies with this thread.
+    if watch.is_some() {
+        shared.watch_active.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
+/// Closes the connection's watch session (if any), freeing its
+/// admission slot, and returns it.
+fn close_watch(watch: &mut Option<WatchSession>, shared: &Shared) -> Option<WatchSession> {
+    let closed = watch.take();
+    if closed.is_some() {
+        shared.watch_active.fetch_sub(1, Ordering::SeqCst);
+    }
+    closed
+}
+
 /// Handles one parsed request; returns `false` when the client is gone.
-fn serve_request(request: Request, writer: &Arc<Mutex<TcpStream>>, shared: &Arc<Shared>) -> bool {
+fn serve_request(
+    request: Request,
+    writer: &Arc<Mutex<TcpStream>>,
+    shared: &Arc<Shared>,
+    watch: &mut Option<WatchSession>,
+) -> bool {
     let Request { id, body } = request;
     match body {
         // Control-plane requests bypass the queue so they stay
@@ -340,7 +393,172 @@ fn serve_request(request: Request, writer: &Arc<Mutex<TcpStream>>, shared: &Arc<
             writer,
             shared,
         ),
+        // Watch verbs run inline on the reader thread: the delta stream
+        // is ordered and the incremental state is connection-local, so
+        // queueing would only reorder or interleave it.
+        RequestBody::WatchOpen {
+            config,
+            answer_every,
+        } => serve_watch_open(id, config, answer_every, writer, shared, watch),
+        RequestBody::WatchDelta { delta } => serve_watch_delta(id, &delta, writer, shared, watch),
+        RequestBody::WatchClose => {
+            let Some(closed) = close_watch(watch, shared) else {
+                let error = WireError::new(
+                    ErrorKind::BadRequest,
+                    "no watch session open on this connection",
+                );
+                return write_line(writer, &error_line(Some(id), &error));
+            };
+            let result = Value::Object(vec![
+                ("closed".into(), Value::Bool(true)),
+                (
+                    "deltas".into(),
+                    Value::Number(closed.session.deltas_applied() as f64),
+                ),
+            ]);
+            write_line(writer, &ok_line(id, result))
+        }
     }
+}
+
+/// Opens a watch session on this connection, subject to the global
+/// admission cap.
+fn serve_watch_open(
+    id: u64,
+    config: Option<RidConfig>,
+    answer_every: Option<u64>,
+    writer: &Arc<Mutex<TcpStream>>,
+    shared: &Arc<Shared>,
+    watch: &mut Option<WatchSession>,
+) -> bool {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        let error = WireError::new(ErrorKind::ShuttingDown, "server is shutting down");
+        return write_line(writer, &error_line(Some(id), &error));
+    }
+    if watch.is_some() {
+        let error = WireError::new(
+            ErrorKind::BadRequest,
+            "a watch session is already open on this connection",
+        );
+        return write_line(writer, &error_line(Some(id), &error));
+    }
+    let admitted = shared
+        .watch_active
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |active| {
+            (active < shared.max_watch).then_some(active + 1)
+        })
+        .is_ok();
+    if !admitted {
+        shared.watch_shed.inc();
+        let error = WireError::new(
+            ErrorKind::Overloaded,
+            format!(
+                "watch session cap reached ({} active); retry later",
+                shared.max_watch
+            ),
+        );
+        return write_line(writer, &error_line(Some(id), &error));
+    }
+    let config = config.unwrap_or_else(|| shared.engine.default_config());
+    let session = match IncrementalRid::new(config) {
+        Ok(session) => session,
+        Err(error) => {
+            // The slot reserved above goes back unused.
+            shared.watch_active.fetch_sub(1, Ordering::SeqCst);
+            let error = WireError::new(ErrorKind::BadRequest, error.to_string());
+            return write_line(writer, &error_line(Some(id), &error));
+        }
+    };
+    let answer_every = answer_every.unwrap_or(1).max(1);
+    *watch = Some(WatchSession {
+        session,
+        opened: Stopwatch::start(),
+        answer_every,
+        adopted_key: None,
+    });
+    let result = Value::Object(vec![
+        ("opened".into(), Value::Bool(true)),
+        ("answer_every".into(), Value::Number(answer_every as f64)),
+    ]);
+    write_line(writer, &ok_line(id, result))
+}
+
+/// Applies one delta to the connection's watch session and answers it
+/// (full `RidResult` when due under the session's cadence, cheap ack
+/// otherwise).
+fn serve_watch_delta(
+    id: u64,
+    delta: &RidDelta,
+    writer: &Arc<Mutex<TcpStream>>,
+    shared: &Arc<Shared>,
+    watch: &mut Option<WatchSession>,
+) -> bool {
+    let Some(ws) = watch.as_mut() else {
+        let error = WireError::new(
+            ErrorKind::BadRequest,
+            "no watch session open on this connection; send watch_open first",
+        );
+        return write_line(writer, &error_line(Some(id), &error));
+    };
+    if ws.opened.elapsed() > shared.timeout {
+        close_watch(watch, shared);
+        let error = WireError::new(
+            ErrorKind::DeadlineExceeded,
+            format!(
+                "watch session outlived its {:?} deadline; reopen to continue",
+                shared.timeout
+            ),
+        );
+        return write_line(writer, &error_line(Some(id), &error));
+    }
+    let started = Stopwatch::start();
+    if let Err(error) = ws.session.apply(delta) {
+        // Validation rejected the delta before any mutation: the
+        // session state is intact and the connection stays usable.
+        let error = WireError::new(ErrorKind::InvalidDelta, error.to_string());
+        return write_line(writer, &error_line(Some(id), &error));
+    }
+    let deltas = ws.session.deltas_applied();
+    let line = if deltas % ws.answer_every == 0 {
+        let (result, outcome) = ws.session.answer_detailed();
+        shared
+            .watch_dirty_components
+            .add(outcome.dirty_components as u64);
+        if outcome.full_recompute {
+            shared.watch_fallbacks.inc();
+        }
+        // A fallback recomputed the full forest from scratch; adopt it
+        // into the engine's artifact cache (superseding this session's
+        // previous entry) so a plain `rid` on the same snapshot is warm.
+        if let Some((snapshot, artifacts)) = ws.session.take_fallback_artifacts() {
+            ws.adopted_key = Some(shared.engine.adopt_artifacts(
+                &snapshot,
+                &ws.session.config(),
+                artifacts,
+                ws.adopted_key,
+            ));
+        }
+        let mut payload = result.to_json_value();
+        if let Value::Object(fields) = &mut payload {
+            fields.push(("deltas".into(), Value::Number(deltas as f64)));
+            fields.push((
+                "dirty_components".into(),
+                Value::Number(outcome.dirty_components as f64),
+            ));
+            fields.push(("full_recompute".into(), Value::Bool(outcome.full_recompute)));
+        }
+        ok_line(id, payload)
+    } else {
+        ok_line(
+            id,
+            Value::Object(vec![
+                ("acked".into(), Value::Bool(true)),
+                ("deltas".into(), Value::Number(deltas as f64)),
+            ]),
+        )
+    };
+    shared.watch_delta_ns.record_duration(started.elapsed());
+    write_line(writer, &line)
 }
 
 /// Admits a job to the bounded queue or answers with backpressure.

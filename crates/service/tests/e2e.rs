@@ -2,11 +2,11 @@
 //! ephemeral port, query it through the client library, and check every
 //! answer byte-for-byte against the in-process pipeline.
 
-use isomit_core::{InitiatorDetector, Rid, RidConfig, RidTree};
+use isomit_core::{IncrementalRid, InitiatorDetector, Rid, RidConfig, RidDelta, RidTree};
 use isomit_diffusion::{par_estimate_infection_probabilities_wide, InfectedNetwork, Mfc, SeedSet};
-use isomit_graph::{NodeId, Sign, SignedDigraph};
+use isomit_graph::{NodeId, NodeState, Sign, SignedDigraph};
 use isomit_service::protocol::ErrorKind;
-use isomit_service::{Client, ClientError, DetectorKind};
+use isomit_service::{Client, ClientError, DetectorKind, WatchReply};
 use isomit_telemetry::names;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -417,6 +417,274 @@ fn overload_yields_structured_errors_not_hangs() {
     client.health().expect("health under overload");
 
     // Cleanup: kill the daemon via Drop; the long jobs never finish.
+}
+
+/// A deterministic watch-session delta script: three components that
+/// grow, merge and flip — enough to exercise incremental, screened and
+/// fallback answers.
+fn watch_script() -> Vec<RidDelta> {
+    let mut deltas = Vec::new();
+    for i in 0..10u32 {
+        deltas.push(RidDelta::Infect {
+            node: NodeId(i),
+            state: if i % 3 == 0 {
+                NodeState::Negative
+            } else {
+                NodeState::Positive
+            },
+        });
+    }
+    for &(src, dst, weight) in &[
+        (0u32, 1u32, 0.9),
+        (1, 2, 0.8),
+        (3, 4, 0.7),
+        (4, 5, 0.6),
+        (6, 7, 0.9),
+        (2, 3, 0.5), // merges the first two chains
+        (8, 9, 0.4),
+    ] {
+        deltas.push(RidDelta::AddEdge {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            sign: if (src + dst) % 2 == 0 {
+                Sign::Positive
+            } else {
+                Sign::Negative
+            },
+            weight,
+        });
+    }
+    deltas.push(RidDelta::FlipState {
+        node: NodeId(5),
+        state: NodeState::Negative,
+    });
+    deltas
+}
+
+fn infect(node: u32) -> RidDelta {
+    RidDelta::Infect {
+        node: NodeId(node),
+        state: NodeState::Positive,
+    }
+}
+
+#[test]
+fn watch_answers_are_bit_identical_to_cold_recompute() {
+    let daemon = Daemon::spawn(&[]);
+    let mut client = daemon.client();
+    client.watch_open(None, None).expect("watch_open");
+
+    // Mirror the stream locally only to materialize each prefix
+    // snapshot; the reference answer is a *cold* detector run on it.
+    let mut mirror = IncrementalRid::new(RidConfig::default()).expect("mirror session");
+    let rid = Rid::from_config(RidConfig::default()).expect("valid config");
+    for delta in watch_script() {
+        let reply = client.watch_delta(&delta).expect("watch_delta");
+        mirror.apply(&delta).expect("mirror apply");
+        let served = reply
+            .answer()
+            .expect("answer_every defaults to 1: every delta answers");
+        let cold = rid.detect(&mirror.snapshot());
+        assert_eq!(served.detection, cold);
+        assert_eq!(
+            served.detection.to_json_value().to_json(),
+            cold.to_json_value().to_json(),
+            "wire answer must be byte-identical to cold recompute"
+        );
+    }
+    client.watch_close().expect("watch_close");
+    client.shutdown().expect("shutdown");
+}
+
+#[test]
+fn watch_ack_cadence_answers_every_nth_delta() {
+    let daemon = Daemon::spawn(&[]);
+    let mut client = daemon.client();
+    client
+        .watch_open(None, Some(4))
+        .expect("watch_open with cadence");
+
+    let mut mirror = IncrementalRid::new(RidConfig::default()).expect("mirror session");
+    let rid = Rid::from_config(RidConfig::default()).expect("valid config");
+    for (i, delta) in watch_script().into_iter().enumerate() {
+        let reply = client.watch_delta(&delta).expect("watch_delta");
+        mirror.apply(&delta).expect("mirror apply");
+        let applied = (i + 1) as u64;
+        if applied.is_multiple_of(4) {
+            let served = reply.answer().expect("every 4th delta answers");
+            assert_eq!(served.detection, rid.detect(&mirror.snapshot()));
+        } else {
+            assert_eq!(
+                reply,
+                WatchReply::Ack { deltas: applied },
+                "delta {applied}"
+            );
+        }
+    }
+    client.watch_close().expect("watch_close");
+    client.shutdown().expect("shutdown");
+}
+
+#[test]
+fn watch_sessions_survive_malformed_and_invalid_deltas() {
+    let daemon = Daemon::spawn(&[]);
+    let mut raw = daemon.raw();
+    let mut reader = BufReader::new(raw.try_clone().expect("clone stream"));
+
+    let mut exchange = |line: &str| -> String {
+        raw.write_all(line.as_bytes()).expect("write");
+        raw.write_all(b"\n").expect("write newline");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read reply");
+        assert!(!reply.is_empty(), "server disconnected on {line:?}");
+        reply
+    };
+
+    // A delta without an open session is a structured error.
+    let reply = exchange(
+        "{\"id\":1,\"type\":\"watch_delta\",\"delta\":{\"op\":\"infect\",\"node\":0,\"state\":\"+\"}}",
+    );
+    assert!(reply.contains("bad_request"), "{reply}");
+
+    let reply = exchange("{\"id\":2,\"type\":\"watch_open\"}");
+    assert!(reply.contains("\"opened\":true"), "{reply}");
+
+    let reply = exchange(
+        "{\"id\":3,\"type\":\"watch_delta\",\"delta\":{\"op\":\"infect\",\"node\":0,\"state\":\"+\"}}",
+    );
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+
+    // A malformed delta payload is rejected at parse time...
+    let reply = exchange("{\"id\":4,\"type\":\"watch_delta\",\"delta\":{\"op\":\"melt\"}}");
+    assert!(reply.contains("bad_request"), "{reply}");
+
+    // ...a well-formed but semantically invalid one at validation time.
+    let reply = exchange(
+        "{\"id\":5,\"type\":\"watch_delta\",\"delta\":{\"op\":\"infect\",\"node\":0,\"state\":\"+\"}}",
+    );
+    assert!(reply.contains("invalid_delta"), "{reply}");
+
+    // Neither closed the session: the next valid delta still answers.
+    let reply = exchange(
+        "{\"id\":6,\"type\":\"watch_delta\",\"delta\":{\"op\":\"infect\",\"node\":1,\"state\":\"-\"}}",
+    );
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+    assert!(reply.contains("\"detection\""), "{reply}");
+
+    // Close reports only the deltas that were actually applied.
+    let reply = exchange("{\"id\":7,\"type\":\"watch_close\"}");
+    assert!(reply.contains("\"closed\":true"), "{reply}");
+    assert!(reply.contains("\"deltas\":2"), "{reply}");
+
+    let mut client = daemon.client();
+    client.shutdown().expect("shutdown");
+}
+
+#[test]
+fn watch_sessions_expire_at_their_deadline() {
+    let daemon = Daemon::spawn(&["--timeout-ms", "100"]);
+    let mut client = daemon.client();
+    client.watch_open(None, None).expect("watch_open");
+    client.watch_delta(&infect(0)).expect("within deadline");
+
+    std::thread::sleep(std::time::Duration::from_millis(250));
+    match client.watch_delta(&infect(1)) {
+        Err(ClientError::Remote(err)) => {
+            assert_eq!(err.kind, ErrorKind::DeadlineExceeded, "{err}");
+        }
+        other => panic!("expected deadline_exceeded, got {other:?}"),
+    }
+
+    // The expired session was closed and its slot freed: the same
+    // connection can open a fresh one and stream again.
+    client.watch_open(None, None).expect("reopen after expiry");
+    let reply = client.watch_delta(&infect(0)).expect("fresh session");
+    assert!(reply.answer().is_some());
+    client.watch_close().expect("watch_close");
+    client.shutdown().expect("shutdown");
+}
+
+#[test]
+fn watch_admission_cap_sheds_excess_sessions_while_active_ones_stream() {
+    let daemon = Daemon::spawn(&["--max-watch", "1"]);
+    let mut active = daemon.client();
+    active.watch_open(None, None).expect("first session");
+    active.watch_delta(&infect(0)).expect("first delta");
+
+    let mut shed = daemon.client();
+    match shed.watch_open(None, None) {
+        Err(ClientError::Remote(err)) => {
+            assert_eq!(err.kind, ErrorKind::Overloaded, "{err}");
+        }
+        other => panic!("expected overloaded, got {other:?}"),
+    }
+
+    // The admitted session streams on, unaffected by the shed one.
+    let reply = active.watch_delta(&infect(1)).expect("active streams on");
+    assert!(reply.answer().is_some());
+
+    // Shedding is visible in telemetry.
+    let telemetry = shed.telemetry().expect("telemetry");
+    assert!(
+        telemetry
+            .counter(names::WATCH_SESSIONS_SHED)
+            .is_some_and(|n| n >= 1),
+        "shed session must increment {}",
+        names::WATCH_SESSIONS_SHED
+    );
+
+    // Closing the active session frees the slot for the shed client.
+    active.watch_close().expect("watch_close");
+    shed.watch_open(None, None).expect("slot freed after close");
+    shed.watch_close().expect("close second session");
+    shed.shutdown().expect("shutdown");
+}
+
+#[test]
+fn stats_expose_watch_telemetry() {
+    let daemon = Daemon::spawn(&[]);
+    let mut client = daemon.client();
+    client.watch_open(None, None).expect("watch_open");
+    let script = watch_script();
+    for delta in &script {
+        client.watch_delta(delta).expect("watch_delta");
+    }
+
+    let telemetry = client.telemetry().expect("telemetry");
+    assert_eq!(
+        telemetry
+            .histogram(names::WATCH_DELTA_NS)
+            .map(|h| h.count()),
+        Some(script.len() as u64),
+        "every applied delta records one {} sample",
+        names::WATCH_DELTA_NS
+    );
+    assert!(
+        telemetry.counter(names::WATCH_DIRTY_COMPONENTS).is_some(),
+        "{} must be registered",
+        names::WATCH_DIRTY_COMPONENTS
+    );
+    // The very first answer (one node, all dirty) is always a fallback.
+    assert!(
+        telemetry
+            .counter(names::WATCH_FULL_RECOMPUTE_FALLBACKS)
+            .is_some_and(|n| n >= 1),
+        "{} must count the initial cold answer",
+        names::WATCH_FULL_RECOMPUTE_FALLBACKS
+    );
+
+    // The stats payload carries the supersession counter.
+    let stats = client
+        .request(&isomit_service::protocol::RequestBody::Stats)
+        .expect("stats");
+    assert!(
+        stats.get("cache_superseded").is_some(),
+        "stats payload must expose cache_superseded: {}",
+        stats.to_json()
+    );
+
+    client.watch_close().expect("watch_close");
+    client.shutdown().expect("shutdown");
 }
 
 #[test]

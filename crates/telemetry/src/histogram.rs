@@ -158,6 +158,31 @@ impl Drop for SpanTimer {
     }
 }
 
+/// A free-standing monotonic timer for deadline math and manual
+/// measurements that are recorded conditionally (where [`SpanTimer`]'s
+/// record-on-drop is wrong). Keeps raw clock reads inside the telemetry
+/// layer: callers never touch [`Instant`] directly.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts the clock.
+    #[must_use]
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
 /// Immutable bucket counts + sum captured from a [`Histogram`]; the unit
 /// of percentile extraction, merging, and JSON serialization.
 #[derive(Debug, Clone, PartialEq, Eq)]

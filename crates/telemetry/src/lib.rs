@@ -44,7 +44,7 @@ mod registry;
 
 pub use histogram::{
     bucket_index, bucket_lower_bound, bucket_upper_bound, Histogram, HistogramSnapshot, SpanTimer,
-    BUCKET_COUNT,
+    Stopwatch, BUCKET_COUNT,
 };
 pub use metrics::{Counter, Gauge};
 pub use registry::{Registry, RegistrySnapshot};
@@ -97,6 +97,19 @@ pub mod names {
     /// Wall time of one Jordan-center detection pass (histogram, global
     /// registry).
     pub const DETECTOR_JORDAN_CENTER_NS: &str = "detector.jordan_center_ns";
+    /// Wall time to apply one watch-session delta and (when due) answer
+    /// it (histogram).
+    pub const WATCH_DELTA_NS: &str = "watch.delta_ns";
+    /// Components a watch answer had to recompute (counter, summed
+    /// across answers).
+    pub const WATCH_DIRTY_COMPONENTS: &str = "watch.dirty_components";
+    /// Watch answers that fell back to a full cold recompute (counter).
+    pub const WATCH_FULL_RECOMPUTE_FALLBACKS: &str = "watch.full_recompute_fallbacks";
+    /// Watch sessions rejected by the admission cap (counter).
+    pub const WATCH_SESSIONS_SHED: &str = "watch.sessions_shed";
+    /// Artifact-cache entries evicted because a newer snapshot of the
+    /// same watch session superseded them (counter).
+    pub const SERVICE_CACHE_SUPERSEDED: &str = "service.cache.superseded";
 }
 
 static GLOBAL: OnceLock<Registry> = OnceLock::new();

@@ -19,7 +19,11 @@
 //! * any detector's F1 on the paper-family workload (the `epinions_mfc`
 //!   cell of `BENCH_detectors.json`) falls below its committed
 //!   `floors.detector_f1_<label>` floor — a broken estimator must not
-//!   land silently even when the artifact was regenerated.
+//!   land silently even when the artifact was regenerated;
+//! * the incremental watch-session amortized speedup over cold
+//!   recompute (`speedup_amortized` in `BENCH_incremental.json`) falls
+//!   below `floors.incremental_speedup`, or any of its answers diverged
+//!   from the cold reference (`bit_identical`).
 //!
 //! `--update-baselines` rewrites the sampling baselines in
 //! `bench_baselines.json` from the current artifacts, preserving the
@@ -133,12 +137,13 @@ fn check_thread_labels(name: &str, entries: &[Metrics<'_>], out: &mut BenchCheck
     }
 }
 
-/// The wide-vs-scalar speedup of `(group, id)` must meet `floor`.
+/// The speedup metric `key` of `(group, id)` must meet `floor`.
 fn check_speedup_floor(
     name: &str,
     entries: &[Metrics<'_>],
     group: &str,
     id: &str,
+    key: &str,
     floor: f64,
     out: &mut BenchCheckOutcome,
 ) {
@@ -148,15 +153,15 @@ fn check_speedup_floor(
         ));
         return;
     };
-    match m.get("speedup") {
+    match m.get(key) {
         Some(speedup) if speedup < floor => out.failures.push(format!(
-            "{name}: {group}/{id} wide-vs-scalar speedup {speedup:.2}x is below the \
+            "{name}: {group}/{id} {key} {speedup:.2}x is below the \
              committed floor {floor:.2}x (bench_baselines.json)"
         )),
         Some(_) => {}
         None => out
             .failures
-            .push(format!("{name}: {group}/{id} has no `speedup` metric")),
+            .push(format!("{name}: {group}/{id} has no `{key}` metric")),
     }
 }
 
@@ -290,14 +295,17 @@ pub fn run_bench_check(root: &Path, update: bool) -> Result<BenchCheckOutcome, S
     let montecarlo = load_json(&root.join("BENCH_montecarlo.json"))?;
     let scale = load_json(&root.join("BENCH_scale.json"))?;
     let detectors = load_json(&root.join("BENCH_detectors.json"))?;
+    let incremental = load_json(&root.join("BENCH_incremental.json"))?;
     let mc_entries = metrics_entries(&montecarlo);
     let scale_entries = metrics_entries(&scale);
     let detector_entries = metrics_entries(&detectors);
+    let incremental_entries = metrics_entries(&incremental);
 
     let mut out = BenchCheckOutcome::default();
     check_bit_identical("BENCH_montecarlo.json", &mc_entries, &mut out);
     check_bit_identical("BENCH_scale.json", &scale_entries, &mut out);
     check_bit_identical("BENCH_detectors.json", &detector_entries, &mut out);
+    check_bit_identical("BENCH_incremental.json", &incremental_entries, &mut out);
     check_detector_f1(
         "BENCH_detectors.json",
         &detector_entries,
@@ -310,6 +318,7 @@ pub fn run_bench_check(root: &Path, update: bool) -> Result<BenchCheckOutcome, S
         &mc_entries,
         "montecarlo_wide",
         "summary",
+        "speedup",
         floor(&baselines, "montecarlo_wide_speedup")?,
         &mut out,
     );
@@ -318,7 +327,17 @@ pub fn run_bench_check(root: &Path, update: bool) -> Result<BenchCheckOutcome, S
         &scale_entries,
         "montecarlo_wide",
         "sampling",
+        "speedup",
         floor(&baselines, "scale_wide_speedup")?,
+        &mut out,
+    );
+    check_speedup_floor(
+        "BENCH_incremental.json",
+        &incremental_entries,
+        "incremental",
+        "watch_load",
+        "speedup_amortized",
+        floor(&baselines, "incremental_speedup")?,
         &mut out,
     );
     check_sampling_regression("BENCH_scale.json", &scale_entries, &baselines, &mut out);
@@ -429,6 +448,7 @@ mod tests {
             &metrics_entries(&doc),
             "montecarlo_wide",
             "summary",
+            "speedup",
             1.4,
             &mut out,
         );
@@ -439,10 +459,75 @@ mod tests {
             &metrics_entries(&doc),
             "montecarlo_wide",
             "summary",
+            "speedup",
             1.0,
             &mut ok,
         );
         assert!(ok.failures.is_empty());
+    }
+
+    #[test]
+    fn incremental_speedup_gates_on_the_amortized_metric() {
+        let doc = artifact(
+            r#"{"group":"incremental","id":"watch_load","metrics":{"speedup_amortized":8.5,"bit_identical":1}}"#,
+        );
+        let entries = metrics_entries(&doc);
+        let mut out = BenchCheckOutcome::default();
+        check_speedup_floor(
+            "BENCH_incremental.json",
+            &entries,
+            "incremental",
+            "watch_load",
+            "speedup_amortized",
+            10.0,
+            &mut out,
+        );
+        assert_eq!(out.failures.len(), 1, "8.5x under a 10x floor must fail");
+        let mut ok = BenchCheckOutcome::default();
+        check_speedup_floor(
+            "BENCH_incremental.json",
+            &entries,
+            "incremental",
+            "watch_load",
+            "speedup_amortized",
+            8.5,
+            &mut ok,
+        );
+        assert!(ok.failures.is_empty(), "{:?}", ok.failures);
+    }
+
+    #[test]
+    fn missing_incremental_entry_fails() {
+        let doc = artifact(r#"{"group":"incremental","id":"cold_recompute","metrics":{}}"#);
+        let mut out = BenchCheckOutcome::default();
+        check_speedup_floor(
+            "BENCH_incremental.json",
+            &metrics_entries(&doc),
+            "incremental",
+            "watch_load",
+            "speedup_amortized",
+            10.0,
+            &mut out,
+        );
+        assert_eq!(out.failures.len(), 1, "{:?}", out.failures);
+    }
+
+    #[test]
+    fn incremental_floor_survives_baseline_updates() {
+        let doc = artifact(
+            r#"{"group":"dataset","id":"graph","metrics":{"nodes":10,"edges":20}},
+               {"group":"dataset","id":"snapshots","metrics":{"count":1,"sampling_ns":100}}"#,
+        );
+        let base = Value::parse(r#"{"floors":{"incremental_speedup":10}}"#).expect("parses");
+        let updated = updated_baselines(&base, &metrics_entries(&doc)).expect("update succeeds");
+        assert_eq!(
+            updated
+                .get("floors")
+                .and_then(|f| f.get("incremental_speedup"))
+                .and_then(Value::as_f64),
+            Some(10.0),
+            "the incremental floor must survive --update-baselines"
+        );
     }
 
     #[test]
