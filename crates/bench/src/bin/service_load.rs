@@ -1,29 +1,52 @@
-//! Load generator for the `isomit-service` daemon: starts an in-process
-//! [`Server`] on an ephemeral loopback port, drives it with concurrent
-//! TCP clients at several concurrency levels, verifies **every** served
-//! answer against the precomputed in-process result, and writes
-//! p50/p95/p99 latency + throughput + cache statistics to
+//! Load generator for the sharded `isomit-service` daemon: starts an
+//! in-process [`Server`] on an ephemeral loopback port, drives it with
+//! concurrent TCP clients at several concurrency levels, verifies
+//! **every** served answer against the precomputed in-process result,
+//! and writes latency/throughput/cache statistics to
 //! `BENCH_service.json`. The server's merged telemetry registry —
-//! per-stage histograms included — lands in the report's `telemetry`
-//! section and, in raw form, in `STATS_service.json` next to it.
+//! per-stage and per-shard metrics included — lands in the report's
+//! `telemetry` section and, in raw form, in `STATS_service.json` next
+//! to it.
+//!
+//! Two phases run per concurrency level:
+//!
+//! * **mixed** — a hot/cold/watch schedule: most requests are
+//!   by-fingerprint lookups served from the shards' result caches, one
+//!   in [`COLD_EVERY`] ships the full snapshot through the engine, and
+//!   a background connection streams watch deltas throughout. Hot and
+//!   cold latencies are reported as **separate** percentile sets so a
+//!   p99 regression is attributable to the path that moved.
+//! * **hot storm** — by-fingerprint requests only, measuring the
+//!   cached-snapshot ceiling. The best storm level defines the
+//!   `service`/`summary` `service_rps` and `hot_p99_ns` metrics that
+//!   `cargo xtask bench-check` gates on.
 //!
 //! Options: `--scale S` (network scale, default 0.02), `--seed N`,
-//! `--requests N` (requests **per connection** per level, default 125 —
-//! so the top level, 8 connections, issues 1000), `--snapshots N`
-//! (distinct snapshots cycled through, default 8).
+//! `--requests N` (requests **per connection** per phase, default 125),
+//! `--snapshots N` (distinct snapshots cycled through, default 8).
 
 use isomit_bench::report::BenchReport;
-use isomit_core::{InitiatorDetector, Rid, RidConfig};
+use isomit_core::{InitiatorDetector, Rid, RidConfig, RidDelta};
 use isomit_diffusion::InfectedNetwork;
-use isomit_service::{Client, RidEngine, Server, ServerConfig};
+use isomit_graph::{NodeId, NodeState};
+use isomit_service::fingerprint::snapshot_fingerprint;
+use isomit_service::protocol::{encode_request, ErrorKind, RequestBody};
+use isomit_service::{Client, ClientError, RidEngine, Server, ServerConfig};
 use isomit_telemetry::names;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Concurrency levels exercised, in order.
-const LEVELS: [usize; 4] = [1, 2, 4, 8];
+const LEVELS: [usize; 3] = [8, 64, 256];
+
+/// In the mixed phase, every `COLD_EVERY`-th request ships the full
+/// snapshot (the cold path); the rest go by fingerprint (the hot path).
+const COLD_EVERY: usize = 16;
 
 struct Options {
     scale: f64,
@@ -74,6 +97,87 @@ fn percentile(sorted_ns: &[f64], q: f64) -> f64 {
         .expect("nearest-rank index is below the sample length")
 }
 
+fn sorted(mut ns: Vec<f64>) -> Vec<f64> {
+    ns.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    ns
+}
+
+/// One benchmark case: a snapshot, its fingerprint, and the expected
+/// answer bytes from the in-process oracle.
+struct Case {
+    snapshot: InfectedNetwork,
+    fingerprint: u64,
+    expected: String,
+    /// The expected reply line minus its `{"id":N` head — everything a
+    /// hot-storm client needs to verify a reply with one memcmp, no
+    /// JSON parse competing with the server for the core.
+    reply_suffix: String,
+}
+
+/// Per-connection mixed-phase tally.
+#[derive(Default)]
+struct ConnTally {
+    hot_ns: Vec<f64>,
+    cold_ns: Vec<f64>,
+    wrong: usize,
+    /// Cold requests shed (`overloaded` / `deadline_exceeded`) and
+    /// retried after a short backoff — the documented client response
+    /// to per-shard admission-control pushback.
+    shed_retries: usize,
+}
+
+/// Streams cheap valid watch deltas (state flips on one node) until
+/// `stop` is set; returns the number of deltas acknowledged.
+fn watch_background(addr: std::net::SocketAddr, stop: &AtomicBool) -> u64 {
+    let mut client = Client::connect(addr).expect("watch connect");
+    // Answer sparsely: the stream is background load, not the metric.
+    client
+        .watch_open(None, Some(64))
+        .expect("watch_open for background stream");
+    let mut deltas = 0u64;
+    let mut infected = false;
+    let mut positive = false;
+    while !stop.load(Ordering::Relaxed) {
+        let delta = if infected {
+            // Alternate the node's state; flipping to the current state
+            // would be rejected as a no-op delta.
+            positive = !positive;
+            RidDelta::FlipState {
+                node: NodeId(0),
+                state: if positive {
+                    NodeState::Positive
+                } else {
+                    NodeState::Negative
+                },
+            }
+        } else {
+            infected = true;
+            positive = true;
+            RidDelta::Infect {
+                node: NodeId(0),
+                state: NodeState::Positive,
+            }
+        };
+        match client.watch_delta(&delta) {
+            Ok(_) => deltas += 1,
+            // Sessions have a bounded lifetime; the server asks the
+            // client to reopen. The fresh session starts from an empty
+            // infection, so the next delta is an infect again.
+            Err(ClientError::Remote(err)) if err.kind == ErrorKind::DeadlineExceeded => {
+                client
+                    .watch_open(None, Some(64))
+                    .expect("reopen expired watch session");
+                infected = false;
+            }
+            Err(err) => panic!("watch_delta #{deltas} failed: {err}"),
+        }
+    }
+    // The session may expire between the last delta and the close;
+    // either way the server frees its admission slot.
+    let _ = client.watch_close();
+    deltas
+}
+
 fn main() {
     let opts = Options::parse(std::env::args());
 
@@ -91,7 +195,7 @@ fn main() {
 
     // Distinct snapshots plus their in-process ground-truth answers.
     let oracle = Rid::from_config(RidConfig::default()).expect("valid config");
-    let cases: Vec<(InfectedNetwork, String)> = (0..opts.snapshots)
+    let mut cases: Vec<Case> = (0..opts.snapshots)
         .map(|i| {
             let mut rng = StdRng::seed_from_u64(opts.seed ^ (0xA5A5 + i as u64));
             let social = isomit_datasets::epinions_like_scaled(opts.scale, &mut rng);
@@ -101,7 +205,12 @@ fn main() {
                 &mut rng,
             );
             let expected = oracle.detect(&scenario.snapshot).to_json_value().to_json();
-            (scenario.snapshot, expected)
+            Case {
+                fingerprint: snapshot_fingerprint(&scenario.snapshot),
+                snapshot: scenario.snapshot,
+                expected,
+                reply_suffix: String::new(),
+            }
         })
         .collect();
 
@@ -112,29 +221,226 @@ fn main() {
         .expect("bind loopback listener");
     let addr = server.local_addr();
 
+    // Prime every shard's result cache once, untimed, so hot-path
+    // requests in the phases below measure steady state — and capture
+    // each case's exact reply bytes for the storm phase's memcmp
+    // verification (replies are deterministic; the e2e suite asserts
+    // by-fingerprint answers are byte-identical to full-form ones).
+    {
+        let mut primer = Client::connect(addr).expect("primer connect");
+        for case in &cases {
+            let served = primer.rid(&case.snapshot, None).expect("priming rid");
+            assert_eq!(
+                served.detection.to_json_value().to_json(),
+                case.expected,
+                "priming answer diverged from the in-process pipeline"
+            );
+        }
+        let mut raw = TcpStream::connect(addr).expect("raw primer connect");
+        raw.set_nodelay(true).expect("set_nodelay");
+        let mut reader = BufReader::new(raw.try_clone().expect("clone raw primer"));
+        for (i, case) in cases.iter_mut().enumerate() {
+            let id = i as u64 + 1;
+            let mut request = encode_request(
+                id,
+                &RequestBody::RidByFingerprint {
+                    fingerprint: case.fingerprint,
+                    config: None,
+                    detector: None,
+                },
+            );
+            request.push('\n');
+            raw.write_all(request.as_bytes()).expect("raw primer write");
+            let mut reply = String::new();
+            reader.read_line(&mut reply).expect("raw primer read");
+            let head = format!("{{\"id\":{id}");
+            let trimmed = reply.trim_end();
+            assert!(
+                trimmed.starts_with(&head) && trimmed.contains("\"ok\":true"),
+                "priming by-fingerprint reply was not ok: {trimmed}"
+            );
+            assert!(
+                trimmed.contains(&case.expected),
+                "cached reply does not embed the oracle's detection"
+            );
+            case.reply_suffix = trimmed
+                .get(head.len()..)
+                .expect("reply starts with the id head")
+                .to_string();
+        }
+    }
+
     let mut report = BenchReport::new("service");
     let mut total_wrong = 0usize;
+    let mut best_storm: Option<(usize, f64, f64)> = None; // (level, rps, p99)
     for level in LEVELS {
+        // --- mixed phase: hot + cold + background watch stream ---
         let total_requests = level * opts.requests;
+        let stop = AtomicBool::new(false);
         let started = Instant::now();
-        // Each connection measures its own request latencies; wrong
-        // answers are counted, never tolerated.
-        let per_conn: Vec<(Vec<f64>, usize)> = std::thread::scope(|scope| {
+        let (tallies, watch_deltas): (Vec<ConnTally>, u64) = std::thread::scope(|scope| {
+            let watch = scope.spawn(|| watch_background(addr, &stop));
             let handles: Vec<_> = (0..level)
                 .map(|conn| {
                     let cases = &cases;
                     scope.spawn(move || {
                         let mut client = Client::connect(addr).expect("connect");
-                        let mut latencies = Vec::with_capacity(opts.requests);
-                        let mut wrong = 0usize;
+                        let mut tally = ConnTally::default();
                         for round in 0..opts.requests {
-                            let (snapshot, expected) = cases
+                            let case = cases
                                 .get((conn + round) % cases.len())
                                 .expect("index is reduced modulo cases.len()");
+                            let cold = round % COLD_EVERY == 0;
                             let t0 = Instant::now();
-                            let result = client.rid(snapshot, None).expect("rid request");
+                            let result = if cold {
+                                loop {
+                                    match client.rid(&case.snapshot, None) {
+                                        Ok(result) => break result,
+                                        // Per-shard admission control
+                                        // pushed back; back off and
+                                        // retry, as the operations
+                                        // playbook prescribes. The
+                                        // retries stay inside the timed
+                                        // window — shedding is part of
+                                        // this request's latency.
+                                        Err(ClientError::Remote(err))
+                                            if matches!(
+                                                err.kind,
+                                                ErrorKind::Overloaded | ErrorKind::DeadlineExceeded
+                                            ) =>
+                                        {
+                                            tally.shed_retries += 1;
+                                            std::thread::sleep(Duration::from_millis(5));
+                                        }
+                                        Err(other) => panic!("cold rid failed: {other}"),
+                                    }
+                                }
+                            } else {
+                                match client.rid_by_fingerprint(case.fingerprint, None, None) {
+                                    Ok(result) => result,
+                                    // Evicted between priming and now
+                                    // (never at these cache sizes, but
+                                    // the fallback is the protocol's
+                                    // contract): re-prime via the full
+                                    // form.
+                                    Err(ClientError::Remote(err))
+                                        if err.kind == ErrorKind::UnknownSnapshot =>
+                                    {
+                                        client.rid(&case.snapshot, None).expect("fallback rid")
+                                    }
+                                    Err(other) => panic!("hot rid failed: {other}"),
+                                }
+                            };
+                            let elapsed = t0.elapsed().as_nanos() as f64;
+                            if cold {
+                                tally.cold_ns.push(elapsed);
+                            } else {
+                                tally.hot_ns.push(elapsed);
+                            }
+                            if result.detection.to_json_value().to_json() != case.expected {
+                                tally.wrong += 1;
+                            }
+                        }
+                        tally
+                    })
+                })
+                .collect();
+            let tallies = handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect();
+            stop.store(true, Ordering::Relaxed);
+            (tallies, watch.join().expect("watch thread"))
+        });
+        let elapsed = started.elapsed().as_secs_f64();
+
+        let hot = sorted(
+            tallies
+                .iter()
+                .flat_map(|t| t.hot_ns.iter().copied())
+                .collect(),
+        );
+        let cold = sorted(
+            tallies
+                .iter()
+                .flat_map(|t| t.cold_ns.iter().copied())
+                .collect(),
+        );
+        let wrong: usize = tallies.iter().map(|t| t.wrong).sum();
+        let shed_retries: usize = tallies.iter().map(|t| t.shed_retries).sum();
+        total_wrong += wrong;
+        let rps = total_requests as f64 / elapsed;
+        println!(
+            "mixed c={level}: {total_requests} reqs (+{watch_deltas} watch deltas, \
+             {shed_retries} shed retries) in \
+             {elapsed:.2}s — {rps:.0} req/s, hot p50 {:.3}ms p99 {:.3}ms, \
+             cold p50 {:.2}ms p99 {:.2}ms, wrong={wrong}",
+            percentile(&hot, 0.50) / 1e6,
+            percentile(&hot, 0.99) / 1e6,
+            percentile(&cold, 0.50) / 1e6,
+            percentile(&cold, 0.99) / 1e6,
+        );
+        report.add_metrics(
+            "mixed",
+            format!("c{level}"),
+            vec![
+                ("connections".into(), level as f64),
+                ("requests".into(), total_requests as f64),
+                ("watch_deltas".into(), watch_deltas as f64),
+                ("hot_p50_ns".into(), percentile(&hot, 0.50)),
+                ("hot_p95_ns".into(), percentile(&hot, 0.95)),
+                ("hot_p99_ns".into(), percentile(&hot, 0.99)),
+                ("cold_p50_ns".into(), percentile(&cold, 0.50)),
+                ("cold_p95_ns".into(), percentile(&cold, 0.95)),
+                ("cold_p99_ns".into(), percentile(&cold, 0.99)),
+                ("rps".into(), rps),
+                ("shed_retries".into(), shed_retries as f64),
+                ("wrong_answers".into(), wrong as f64),
+            ],
+        );
+
+        // --- hot storm: cached-snapshot throughput ceiling ---
+        // Raw sockets and memcmp verification against the captured
+        // reply bytes: the generator must not spend the (shared) core
+        // parsing JSON it already knows byte-for-byte.
+        let started = Instant::now();
+        let storm: Vec<(Vec<f64>, usize)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..level)
+                .map(|conn| {
+                    let cases = &cases;
+                    scope.spawn(move || {
+                        let mut stream = TcpStream::connect(addr).expect("connect");
+                        stream.set_nodelay(true).expect("set_nodelay");
+                        let mut reader =
+                            BufReader::new(stream.try_clone().expect("clone storm stream"));
+                        let mut latencies = Vec::with_capacity(opts.requests);
+                        let mut wrong = 0usize;
+                        let mut reply = String::new();
+                        for round in 0..opts.requests {
+                            let case = cases
+                                .get((conn + round) % cases.len())
+                                .expect("index is reduced modulo cases.len()");
+                            let id = round as u64 + 1;
+                            let mut request = encode_request(
+                                id,
+                                &RequestBody::RidByFingerprint {
+                                    fingerprint: case.fingerprint,
+                                    config: None,
+                                    detector: None,
+                                },
+                            );
+                            request.push('\n');
+                            let t0 = Instant::now();
+                            stream.write_all(request.as_bytes()).expect("storm write");
+                            reply.clear();
+                            reader.read_line(&mut reply).expect("storm read");
                             latencies.push(t0.elapsed().as_nanos() as f64);
-                            if &result.detection.to_json_value().to_json() != expected {
+                            let head = format!("{{\"id\":{id}");
+                            let trimmed = reply.trim_end();
+                            let ok = trimmed.len() == head.len() + case.reply_suffix.len()
+                                && trimmed.starts_with(&head)
+                                && trimmed.ends_with(case.reply_suffix.as_str());
+                            if !ok {
                                 wrong += 1;
                             }
                         }
@@ -148,39 +454,54 @@ fn main() {
                 .collect()
         });
         let elapsed = started.elapsed().as_secs_f64();
-
-        let mut all: Vec<f64> = per_conn
-            .iter()
-            .flat_map(|(l, _)| l.iter().copied())
-            .collect();
-        all.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        let wrong: usize = per_conn.iter().map(|(_, w)| w).sum();
+        let all = sorted(storm.iter().flat_map(|(l, _)| l.iter().copied()).collect());
+        let wrong: usize = storm.iter().map(|(_, w)| w).sum();
         total_wrong += wrong;
-        let p50 = percentile(&all, 0.50);
-        let p95 = percentile(&all, 0.95);
-        let p99 = percentile(&all, 0.99);
         let rps = total_requests as f64 / elapsed;
+        let p99 = percentile(&all, 0.99);
         println!(
-            "c={level}: {total_requests} reqs in {elapsed:.2}s — {rps:.0} req/s, \
-             p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms, wrong={wrong}",
-            p50 / 1e6,
-            p95 / 1e6,
+            "storm c={level}: {total_requests} reqs in {elapsed:.2}s — {rps:.0} req/s, \
+             p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms, wrong={wrong}",
+            percentile(&all, 0.50) / 1e6,
+            percentile(&all, 0.95) / 1e6,
             p99 / 1e6
         );
         report.add_metrics(
-            "rid_load",
+            "hot_storm",
             format!("c{level}"),
             vec![
                 ("connections".into(), level as f64),
                 ("requests".into(), total_requests as f64),
-                ("p50_ns".into(), p50),
-                ("p95_ns".into(), p95),
+                ("p50_ns".into(), percentile(&all, 0.50)),
+                ("p95_ns".into(), percentile(&all, 0.95)),
                 ("p99_ns".into(), p99),
                 ("rps".into(), rps),
                 ("wrong_answers".into(), wrong as f64),
             ],
         );
+        if best_storm.is_none_or(|(_, best_rps, _)| rps > best_rps) {
+            best_storm = Some((level, rps, p99));
+        }
     }
+
+    // Headline gate metrics: the best hot-storm level's throughput and
+    // tail latency. `cargo xtask bench-check` floors/ceils these.
+    let (best_level, service_rps, hot_p99_ns) = best_storm.expect("at least one level ran");
+    println!(
+        "summary: service_rps {service_rps:.0} (hot storm c={best_level}), \
+         hot p99 {:.3}ms, wrong={total_wrong}",
+        hot_p99_ns / 1e6
+    );
+    report.add_metrics(
+        "service",
+        "summary",
+        vec![
+            ("service_rps".into(), service_rps),
+            ("hot_p99_ns".into(), hot_p99_ns),
+            ("best_level".into(), best_level as f64),
+            ("wrong_answers".into(), total_wrong as f64),
+        ],
+    );
 
     // Engine-side counters after the full run.
     let mut client = Client::connect(addr).expect("connect for stats");
@@ -239,6 +560,19 @@ fn main() {
             ],
         );
     }
+    // Per-shard request placement, as routed (result-cache hits
+    // included): the shard.<i>.requests aliases from the same snapshot.
+    for shard in 0.. {
+        let Some(requests) = telemetry.counter(&format!("shard.{shard}.requests")) else {
+            break;
+        };
+        println!("shard {shard}: {requests} rid requests");
+        report.add_metrics(
+            "shards",
+            format!("shard{shard}"),
+            vec![("requests".into(), requests as f64)],
+        );
+    }
     let stats_path = report.path().with_file_name("STATS_service.json");
     if let Some(dir) = stats_path.parent() {
         // This write can precede report.write(), which is what otherwise
@@ -257,7 +591,8 @@ fn main() {
     );
     report.write().expect("write BENCH_service.json");
     println!("wrote {}", report.path().display());
-    println!("all {} answers verified against the in-process pipeline", {
-        LEVELS.iter().map(|l| l * opts.requests).sum::<usize>()
-    });
+    println!(
+        "all {} answers verified against the in-process pipeline",
+        LEVELS.iter().map(|l| 2 * l * opts.requests).sum::<usize>() + 2 * opts.snapshots
+    );
 }

@@ -1,12 +1,16 @@
 //! `isomit-serve` — the RID inference daemon.
 //!
 //! ```text
-//! isomit-serve [--addr HOST:PORT] [--workers N] [--queue N]
-//!              [--timeout-ms MS] [--cache N] [--max-watch N]
+//! isomit-serve [--addr HOST:PORT] [--shards N] [--queue N]
+//!              [--timeout-ms MS] [--cache N] [--result-cache N]
+//!              [--io-threads N] [--max-watch N]
 //!              [--alpha A] [--beta B]
 //!              (--graph FILE | --generate epinions|slashdot)
 //!              [--scale S] [--seed N]
 //! ```
+//!
+//! `--workers N` is accepted as a deprecated alias of `--shards N`
+//! (each shard owns exactly one worker thread).
 //!
 //! Loads (or generates) the diffusion network once, then serves the
 //! newline-delimited JSON protocol until a client sends `shutdown`.
@@ -23,7 +27,9 @@ use std::time::Duration;
 
 struct Options {
     addr: String,
-    workers: usize,
+    shards: usize,
+    io_threads: usize,
+    result_cache: usize,
     queue: usize,
     timeout_ms: u64,
     cache: usize,
@@ -40,7 +46,9 @@ impl Options {
     fn parse(mut args: std::env::Args) -> Options {
         let mut opts = Options {
             addr: "127.0.0.1:7878".to_owned(),
-            workers: 4,
+            shards: 4,
+            io_threads: 1,
+            result_cache: 512,
             queue: 64,
             timeout_ms: 30_000,
             cache: 32,
@@ -60,7 +68,18 @@ impl Options {
             };
             match flag.as_str() {
                 "--addr" => opts.addr = value("--addr"),
-                "--workers" => opts.workers = value("--workers").parse().expect("--workers: usize"),
+                "--shards" => opts.shards = value("--shards").parse().expect("--shards: usize"),
+                // Deprecated alias from the pre-sharded server: one
+                // worker thread per shard, so the counts coincide.
+                "--workers" => opts.shards = value("--workers").parse().expect("--workers: usize"),
+                "--io-threads" => {
+                    opts.io_threads = value("--io-threads").parse().expect("--io-threads: usize")
+                }
+                "--result-cache" => {
+                    opts.result_cache = value("--result-cache")
+                        .parse()
+                        .expect("--result-cache: usize")
+                }
                 "--queue" => opts.queue = value("--queue").parse().expect("--queue: usize"),
                 "--timeout-ms" => {
                     opts.timeout_ms = value("--timeout-ms").parse().expect("--timeout-ms: u64")
@@ -77,8 +96,9 @@ impl Options {
                 "--seed" => opts.seed = value("--seed").parse().expect("--seed: u64"),
                 "--help" | "-h" => {
                     println!(
-                        "usage: isomit-serve [--addr HOST:PORT] [--workers N] [--queue N] \
-                         [--timeout-ms MS] [--cache N] [--max-watch N] [--alpha A] [--beta B] \
+                        "usage: isomit-serve [--addr HOST:PORT] [--shards N] [--queue N] \
+                         [--timeout-ms MS] [--cache N] [--result-cache N] [--io-threads N] \
+                         [--max-watch N] [--alpha A] [--beta B] \
                          (--graph FILE | --generate epinions|slashdot) [--scale S] [--seed N]"
                     );
                     std::process::exit(0);
@@ -126,10 +146,12 @@ fn main() {
         engine,
         &opts.addr,
         ServerConfig {
-            workers: opts.workers,
+            shards: opts.shards,
             queue_capacity: opts.queue,
             request_timeout: Duration::from_millis(opts.timeout_ms),
             max_watch_sessions: opts.max_watch,
+            io_threads: opts.io_threads,
+            result_cache_capacity: opts.result_cache,
         },
     )
     .expect("cannot bind listener");

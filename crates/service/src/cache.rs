@@ -42,6 +42,17 @@ impl CacheMetrics {
             evictions: registry.counter(names::SERVICE_CACHE_EVICTIONS),
         }
     }
+
+    /// Counters registered under the `service.result_cache.*` names —
+    /// the sharded server's serialized-result cache, kept distinct from
+    /// the artifact cache so hot-path hit rates are attributable.
+    pub fn registered_for_results(registry: &Registry) -> CacheMetrics {
+        CacheMetrics {
+            hits: registry.counter(names::SERVICE_RESULT_CACHE_HITS),
+            misses: registry.counter(names::SERVICE_RESULT_CACHE_MISSES),
+            evictions: registry.counter(names::SERVICE_RESULT_CACHE_EVICTIONS),
+        }
+    }
 }
 
 #[derive(Debug)]

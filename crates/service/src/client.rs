@@ -90,6 +90,10 @@ impl Client {
     /// Returns any [`std::io::Error`] from the connection attempt.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let writer = TcpStream::connect(addr)?;
+        // Each request is one small line followed by a blocking read of
+        // the reply; Nagle + delayed ACK would serialize that into
+        // ~40ms round trips.
+        writer.set_nodelay(true)?;
         let read_half = writer.try_clone()?;
         Ok(Client {
             reader: BufReader::new(read_half),
@@ -109,9 +113,9 @@ impl Client {
     pub fn request(&mut self, body: &RequestBody) -> Result<Value, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        let line = encode_request(id, body);
+        let mut line = encode_request(id, body);
+        line.push('\n');
         self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
         self.writer.flush()?;
         let mut reply = String::new();
         let n = self.reader.read_line(&mut reply)?;
@@ -198,6 +202,36 @@ impl Client {
     ) -> Result<RidResult, ClientError> {
         let value = self.request(&RequestBody::Rid {
             snapshot: Box::new(snapshot.clone()),
+            config,
+            detector,
+        })?;
+        RidResult::from_json_value(&value).map_err(ClientError::Protocol)
+    }
+
+    /// Detects rumor initiators in a snapshot the server has answered
+    /// before, addressed by its content fingerprint
+    /// ([`crate::fingerprint::snapshot_fingerprint`]) instead of the
+    /// snapshot itself — a few dozen bytes on the wire instead of the
+    /// full infection state.
+    ///
+    /// Serves from the owning shard's serialized-result cache; `config`
+    /// and `detector` must match the priming request exactly (the cache
+    /// key covers them).
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request); an `unknown_snapshot` wire
+    /// error means no cached answer exists (never answered, or since
+    /// evicted) — fall back to [`Client::rid_with_detector`] with the
+    /// full snapshot, which re-primes the cache.
+    pub fn rid_by_fingerprint(
+        &mut self,
+        fingerprint: u64,
+        config: Option<RidConfig>,
+        detector: Option<DetectorKind>,
+    ) -> Result<RidResult, ClientError> {
+        let value = self.request(&RequestBody::RidByFingerprint {
+            fingerprint,
             config,
             detector,
         })?;

@@ -131,9 +131,10 @@ impl EngineStats {
 /// [`simulate`](RidEngine::simulate) from any number of threads.
 #[derive(Debug)]
 pub struct RidEngine {
-    graph: SignedDigraph,
+    graph: Arc<SignedDigraph>,
     model: Mfc,
     default_config: RidConfig,
+    cache_capacity: usize,
     cache: Mutex<LruCache<(u64, u64), Arc<ForestArtifacts>>>,
     registry: Arc<Registry>,
     rid_requests: Counter,
@@ -186,15 +187,40 @@ impl RidEngine {
         let simulate_requests = registry.counter(names::SERVICE_SIMULATE_REQUESTS);
         let cache_superseded = registry.counter(names::SERVICE_CACHE_SUPERSEDED);
         Ok(RidEngine {
-            graph,
+            graph: Arc::new(graph),
             model,
             default_config,
+            cache_capacity,
             cache: Mutex::new(cache),
             registry,
             rid_requests,
             simulate_requests,
             cache_superseded,
         })
+    }
+
+    /// A sibling engine for one shard of the sharded server: shares the
+    /// loaded network (an [`Arc`] clone, not a copy) but has its own
+    /// artifact cache and records into its own `registry` — shards
+    /// never contend on each other's cache lock, and per-shard counters
+    /// stay attributable.
+    pub fn shard_clone(&self, registry: Arc<Registry>) -> RidEngine {
+        let cache =
+            LruCache::with_metrics(self.cache_capacity, CacheMetrics::registered(&registry));
+        let rid_requests = registry.counter(names::SERVICE_RID_REQUESTS);
+        let simulate_requests = registry.counter(names::SERVICE_SIMULATE_REQUESTS);
+        let cache_superseded = registry.counter(names::SERVICE_CACHE_SUPERSEDED);
+        RidEngine {
+            graph: Arc::clone(&self.graph),
+            model: self.model,
+            default_config: self.default_config,
+            cache_capacity: self.cache_capacity,
+            cache: Mutex::new(cache),
+            registry,
+            rid_requests,
+            simulate_requests,
+            cache_superseded,
+        }
     }
 
     /// The loaded diffusion network.
@@ -592,6 +618,26 @@ mod tests {
             engine.stats().cache_misses,
             misses_before,
             "adopted artifacts made the rid query a warm hit"
+        );
+    }
+
+    #[test]
+    fn shard_clones_share_the_network_but_not_the_cache() {
+        let engine = engine(4);
+        let shard = engine.shard_clone(Arc::new(Registry::new()));
+        let snapshot = scenario_snapshot(9);
+        let a = engine.rid(&snapshot, None).unwrap();
+        let b = shard.rid(&snapshot, None).unwrap();
+        assert_eq!(a, b, "shards answer bit-identically");
+        assert_eq!(engine.stats().cache_misses, 1);
+        assert_eq!(shard.stats().cache_misses, 1, "caches are independent");
+        assert_eq!(engine.stats().rid_requests, 1);
+        assert_eq!(shard.stats().rid_requests, 1, "counters are per-shard");
+        let seeds = SeedSet::single(NodeId(0), Sign::Positive);
+        assert_eq!(
+            engine.simulate(&seeds, 32, 11).unwrap(),
+            shard.simulate(&seeds, 32, 11).unwrap(),
+            "the shared network serves both shards"
         );
     }
 

@@ -1,10 +1,10 @@
 //! # isomit-service
 //!
 //! The serving subsystem: a persistent RID inference engine and a
-//! TCP/JSON-lines daemon, turning the per-invocation pipeline of
-//! `isomit-core` into an online, repeated-query service — the setting
-//! rumor-source monitoring actually runs in (snapshots of one network
-//! arriving over time).
+//! sharded TCP/JSON-lines daemon, turning the per-invocation pipeline
+//! of `isomit-core` into an online, repeated-query service — the
+//! setting rumor-source monitoring actually runs in (snapshots of one
+//! network arriving over time).
 //!
 //! Layers:
 //!
@@ -13,12 +13,26 @@
 //!   caches per-snapshot [`isomit_core::ForestArtifacts`] in a bounded
 //!   LRU ([`LruCache`]) keyed by content [`fingerprint`]; cached
 //!   answers are bit-identical to cold ones.
+//!   [`RidEngine::shard_clone`] stamps out siblings that share the
+//!   loaded network but keep private caches and registries — the unit
+//!   the server shards over.
 //! * [`Server`] — `std::net` daemon speaking the newline-delimited JSON
-//!   [`protocol`], with a fixed worker pool over a [`BoundedQueue`]
-//!   (explicit `overloaded` backpressure), per-request deadlines, and
-//!   graceful drain-on-shutdown.
+//!   [`protocol`]. Event-driven io over nonblocking sockets (no
+//!   thread-per-connection), with requests routed by rendezvous hashing
+//!   on the snapshot fingerprint to one of N independent shards, each
+//!   owning an engine sibling, a [`BoundedQueue`] admission queue
+//!   (per-shard `overloaded` backpressure), a serialized-result cache
+//!   for the by-fingerprint fast path, and one worker thread. Watch
+//!   sessions are pinned to their owning shard. Per-request deadlines
+//!   and graceful drain-on-shutdown carry over from the single-queue
+//!   design; the wire protocol is byte-compatible with it.
+//! * [`framing`] — zero-copy request scanner the io threads route with:
+//!   borrows the verb and key spans straight out of the request line so
+//!   cache-hit fast paths never materialize a JSON value, and falls
+//!   back to the full [`protocol`] parser on any anomaly.
 //! * [`Client`] — blocking client library used by `isomit-cli`, the
-//!   `service_load` generator, and the end-to-end tests.
+//!   `service_load` generator, and the end-to-end tests; speaks both
+//!   the full-snapshot and the by-fingerprint request forms.
 //!
 //! Everything is `std`-only on top of the existing workspace crates; no
 //! new external dependencies.
@@ -31,6 +45,7 @@ pub mod cache;
 pub mod client;
 pub mod engine;
 pub mod fingerprint;
+pub mod framing;
 pub mod protocol;
 pub mod queue;
 pub mod server;
@@ -38,6 +53,7 @@ pub mod server;
 pub use cache::{CacheMetrics, LruCache};
 pub use client::{Client, ClientError, WatchReply};
 pub use engine::{EngineStats, RidEngine};
+pub use framing::Frame;
 pub use isomit_detectors::DetectorKind;
 pub use queue::{BoundedQueue, PushError, QueueMetrics};
 pub use server::{Server, ServerConfig};

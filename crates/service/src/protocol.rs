@@ -45,6 +45,9 @@ pub enum ErrorKind {
     /// infecting an already-infected node); the session state is
     /// unchanged and the connection stays usable.
     InvalidDelta,
+    /// A by-fingerprint `rid` request named a snapshot the serving
+    /// shard has no cached answer for; resend the full snapshot.
+    UnknownSnapshot,
     /// Unexpected server-side failure.
     Internal,
 }
@@ -60,6 +63,7 @@ impl ErrorKind {
             ErrorKind::ShuttingDown => "shutting_down",
             ErrorKind::UnknownDetector => "unknown_detector",
             ErrorKind::InvalidDelta => "invalid_delta",
+            ErrorKind::UnknownSnapshot => "unknown_snapshot",
             ErrorKind::Internal => "internal",
         }
     }
@@ -78,6 +82,7 @@ impl ErrorKind {
             "shutting_down" => Ok(ErrorKind::ShuttingDown),
             "unknown_detector" => Ok(ErrorKind::UnknownDetector),
             "invalid_delta" => Ok(ErrorKind::InvalidDelta),
+            "unknown_snapshot" => Ok(ErrorKind::UnknownSnapshot),
             "internal" => Ok(ErrorKind::Internal),
             other => Err(JsonError::new(format!("unknown error kind `{other}`"))),
         }
@@ -178,6 +183,25 @@ pub enum RequestBody {
         /// keeping the field wire-compatible with older clients.
         detector: Option<DetectorKind>,
     },
+    /// Detect rumor initiators in a snapshot the server has already
+    /// seen, addressed by its content fingerprint instead of resending
+    /// the (much larger) snapshot. Served exclusively from the owning
+    /// shard's result cache; a miss is an
+    /// [`ErrorKind::UnknownSnapshot`] error and the client falls back
+    /// to the full [`RequestBody::Rid`] form.
+    RidByFingerprint {
+        /// The [`crate::fingerprint::snapshot_fingerprint`] of the
+        /// snapshot. Carried on the wire as a decimal *string*: the
+        /// JSON codec stores numbers as `f64`, which cannot represent
+        /// every `u64` fingerprint exactly.
+        fingerprint: u64,
+        /// Detector parameters; the server default applies when absent.
+        /// Must match the config of the priming full-form request for
+        /// the cached answer to be found.
+        config: Option<RidConfig>,
+        /// Which detector to run; `None` means the default (`rid`).
+        detector: Option<DetectorKind>,
+    },
     /// Monte-Carlo infection-probability estimation on the loaded
     /// network.
     Simulate {
@@ -194,7 +218,8 @@ pub enum RequestBody {
         /// Detector parameters for every answer in the session; the
         /// server default applies when absent.
         config: Option<RidConfig>,
-        /// Answer cadence: every N-th delta gets a full [`RidResult`],
+        /// Answer cadence: every N-th delta gets a full
+        /// [`RidResult`](isomit_core::RidResult),
         /// the others a cheap ack. `None` means 1 (answer every delta).
         answer_every: Option<u64>,
     },
@@ -224,7 +249,7 @@ pub fn encode_request(id: u64, body: &RequestBody) -> String {
         RequestBody::Health => "health",
         RequestBody::Stats => "stats",
         RequestBody::Shutdown => "shutdown",
-        RequestBody::Rid { .. } => "rid",
+        RequestBody::Rid { .. } | RequestBody::RidByFingerprint { .. } => "rid",
         RequestBody::Simulate { .. } => "simulate",
         RequestBody::WatchOpen { .. } => "watch_open",
         RequestBody::WatchDelta { .. } => "watch_delta",
@@ -238,6 +263,19 @@ pub fn encode_request(id: u64, body: &RequestBody) -> String {
             detector,
         } => {
             fields.push(("snapshot".into(), snapshot.to_json_value()));
+            if let Some(config) = config {
+                fields.push(("config".into(), config.to_json_value()));
+            }
+            if let Some(detector) = detector {
+                fields.push(("detector".into(), Value::String(detector.as_label().into())));
+            }
+        }
+        RequestBody::RidByFingerprint {
+            fingerprint,
+            config,
+            detector,
+        } => {
+            fields.push(("fingerprint".into(), Value::String(fingerprint.to_string())));
             if let Some(config) = config {
                 fields.push(("config".into(), config.to_json_value()));
             }
@@ -297,11 +335,6 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, WireError)> {
             "stats" => RequestBody::Stats,
             "shutdown" => RequestBody::Shutdown,
             "rid" => {
-                let snapshot_value = doc
-                    .require("snapshot")
-                    .map_err(|e| bad(Some(id), e.to_string()))?;
-                let snapshot = InfectedNetwork::from_json_value(snapshot_value)
-                    .map_err(|e| bad(Some(id), format!("invalid snapshot: {e}")))?;
                 let config = match doc.get("config") {
                     None => None,
                     Some(v) => Some(
@@ -338,10 +371,33 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, WireError)> {
                         })?)
                     }
                 };
-                RequestBody::Rid {
-                    snapshot: Box::new(snapshot),
-                    config,
-                    detector,
+                if let Some(fp) = doc.get("fingerprint") {
+                    let fingerprint =
+                        fp.as_str()
+                            .and_then(|s| s.parse::<u64>().ok())
+                            .ok_or_else(|| {
+                                bad(
+                                    Some(id),
+                                    "`fingerprint` must be a decimal u64 carried as a string"
+                                        .to_owned(),
+                                )
+                            })?;
+                    RequestBody::RidByFingerprint {
+                        fingerprint,
+                        config,
+                        detector,
+                    }
+                } else {
+                    let snapshot_value = doc
+                        .require("snapshot")
+                        .map_err(|e| bad(Some(id), e.to_string()))?;
+                    let snapshot = InfectedNetwork::from_json_value(snapshot_value)
+                        .map_err(|e| bad(Some(id), format!("invalid snapshot: {e}")))?;
+                    RequestBody::Rid {
+                        snapshot: Box::new(snapshot),
+                        config,
+                        detector,
+                    }
                 }
             }
             "simulate" => {
@@ -413,6 +469,22 @@ pub fn ok_line(id: u64, result: Value) -> String {
         ("result".into(), result),
     ])
     .to_json()
+}
+
+/// Encodes a success response line from an already-serialized `result`
+/// payload (no trailing newline). Byte-identical to
+/// [`ok_line`]`(id, result)` whenever `result_json` is
+/// `result.to_json()` — the sharded server's cache-hit fast path uses
+/// this to splice a stored payload string into the envelope without
+/// re-parsing or re-serializing it.
+pub fn ok_line_raw(id: u64, result_json: &str) -> String {
+    let mut line = String::with_capacity(result_json.len() + 32);
+    line.push_str("{\"id\":");
+    line.push_str(&id.to_string());
+    line.push_str(",\"ok\":true,\"result\":");
+    line.push_str(result_json);
+    line.push('}');
+    line
 }
 
 /// Encodes an error response line (no trailing newline). A request
@@ -528,6 +600,18 @@ mod tests {
                 },
             },
             RequestBody::WatchClose,
+            RequestBody::RidByFingerprint {
+                // Above 2^53: would be mangled as a JSON number, must
+                // survive as a string.
+                fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+                config: None,
+                detector: None,
+            },
+            RequestBody::RidByFingerprint {
+                fingerprint: 42,
+                config: Some(RidConfig::default()),
+                detector: Some(DetectorKind::RidTree),
+            },
         ];
         for (i, body) in bodies.into_iter().enumerate() {
             let line = encode_request(i as u64, &body);
@@ -642,6 +726,40 @@ mod tests {
     }
 
     #[test]
+    fn raw_ok_lines_match_the_value_encoder_byte_for_byte() {
+        let payloads = [
+            Value::Object(vec![
+                ("status".into(), Value::String("ok".into())),
+                ("nodes".into(), Value::Number(120.0)),
+            ]),
+            Value::Object(vec![(
+                "nested".into(),
+                Value::Array(vec![Value::Number(1.5), Value::Null, Value::Bool(true)]),
+            )]),
+        ];
+        for (id, payload) in payloads.into_iter().enumerate() {
+            let raw = ok_line_raw(id as u64, &payload.to_json());
+            assert_eq!(raw, ok_line(id as u64, payload));
+        }
+    }
+
+    #[test]
+    fn malformed_fingerprints_are_bad_requests() {
+        for field in [
+            "\"fingerprint\": 42",          // number, not string
+            "\"fingerprint\": \"not-hex\"", // non-decimal
+            "\"fingerprint\": \"-3\"",      // negative
+            "\"fingerprint\": \"\"",        // empty
+        ] {
+            let line = format!("{{\"id\": 6, \"type\": \"rid\", {field}}}");
+            let (id, err) = parse_request(&line).unwrap_err();
+            assert_eq!(id, Some(6), "line: {line}");
+            assert_eq!(err.kind, ErrorKind::BadRequest, "line: {line}");
+            assert!(err.message.contains("fingerprint"), "{}", err.message);
+        }
+    }
+
+    #[test]
     fn error_kind_labels_round_trip() {
         for kind in [
             ErrorKind::BadRequest,
@@ -651,6 +769,7 @@ mod tests {
             ErrorKind::ShuttingDown,
             ErrorKind::UnknownDetector,
             ErrorKind::InvalidDelta,
+            ErrorKind::UnknownSnapshot,
             ErrorKind::Internal,
         ] {
             assert_eq!(ErrorKind::from_label(kind.as_label()).unwrap(), kind);

@@ -37,6 +37,18 @@ impl QueueMetrics {
             rejected_full: registry.counter(names::SERVICE_OVERLOADED),
         }
     }
+
+    /// [`registered`](QueueMetrics::registered) handles additionally
+    /// aliased under the per-shard names `shard.<i>.queue_depth` and
+    /// `shard.<i>.shed`, so a merged stats snapshot shows both the
+    /// fleet-wide `service.*` aggregates (shared names sum across shard
+    /// registries) and each shard's own numbers.
+    pub fn registered_for_shard(registry: &Registry, shard: usize) -> QueueMetrics {
+        let metrics = QueueMetrics::registered(registry);
+        registry.alias_gauge(&names::shard_queue_depth(shard), &metrics.depth);
+        registry.alias_counter(&names::shard_shed(shard), &metrics.rejected_full);
+        metrics
+    }
 }
 
 /// Why a [`BoundedQueue::try_push`] was refused.
@@ -109,6 +121,28 @@ impl<T> BoundedQueue<T> {
         if inner.items.len() >= self.capacity {
             self.metrics.rejected_full.inc();
             return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        self.metrics.depth.set(inner.items.len() as i64);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues past the capacity bound (still refused after
+    /// [`close`](BoundedQueue::close)). Reserved for *internal*
+    /// bookkeeping work that must never be shed — the sharded server's
+    /// watch-session cleanup on disconnect — so a full queue can delay
+    /// a slot release but never leak it.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Closed`] after [`close`](BoundedQueue::close),
+    /// returning the item.
+    pub fn force_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed(item));
         }
         inner.items.push_back(item);
         self.metrics.depth.set(inner.items.len() as i64);
@@ -197,6 +231,33 @@ mod tests {
             registry.snapshot().gauge(names::SERVICE_QUEUE_DEPTH),
             Some(0)
         );
+    }
+
+    #[test]
+    fn force_push_bypasses_capacity_but_not_close() {
+        let q = BoundedQueue::new(1);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2), Err(PushError::Full(2)));
+        q.force_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        q.close();
+        assert_eq!(q.force_push(3), Err(PushError::Closed(3)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn shard_metrics_alias_the_service_names() {
+        let registry = Registry::new();
+        let q = BoundedQueue::with_metrics(1, QueueMetrics::registered_for_shard(&registry, 3));
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2), Err(PushError::Full(2)));
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge(names::SERVICE_QUEUE_DEPTH), Some(1));
+        assert_eq!(snap.gauge("shard.3.queue_depth"), Some(1));
+        assert_eq!(snap.counter(names::SERVICE_OVERLOADED), Some(1));
+        assert_eq!(snap.counter("shard.3.shed"), Some(1));
     }
 
     #[test]

@@ -1,30 +1,51 @@
-//! The TCP daemon: accept loop, per-connection readers, a fixed worker
-//! pool over the bounded queue, and graceful drain-on-shutdown.
+//! The sharded, event-driven TCP daemon.
 //!
-//! Threading model:
+//! Threading model (one thread per shard, a small fixed set of io
+//! threads, no thread-per-connection):
 //!
-//! * one **accept** thread hands each connection to a detached
-//!   **reader** thread;
-//! * readers parse request lines; `health` / `stats` / `shutdown` are
-//!   answered inline (they must stay responsive under load), while
-//!   `rid` / `simulate` jobs go through the bounded queue — a full
-//!   queue is answered immediately with a structured `overloaded`
-//!   error, never queued unboundedly;
-//! * `workers` threads pop jobs, enforce the per-request deadline
-//!   (time spent queued counts against it), compute on the shared
-//!   [`RidEngine`] and write the reply to the job's connection.
+//! * **io threads** own the connections. Sockets are nonblocking; each
+//!   io thread sweeps its connections for readable data, frames
+//!   complete lines with the zero-copy [`crate::framing`] scanner, and
+//!   routes. `health` / `stats` / `shutdown` are answered inline (they
+//!   must stay responsive under load), by-fingerprint `rid` requests
+//!   that hit a shard's serialized-result cache are answered inline
+//!   without materializing any JSON, and everything else is parsed and
+//!   enqueued on its owning shard. io thread 0 additionally polls the
+//!   nonblocking listener, so there is no separate accept thread to
+//!   poke at shutdown. When a full sweep makes no progress the thread
+//!   backs off (50 µs doubling to 500 µs) instead of spinning — the
+//!   workspace forbids `unsafe`, so there is no `poll(2)`/`epoll`
+//!   registration; readiness is observed by attempting the reads.
+//! * **shards** are independent serving units: each owns a
+//!   [`RidEngine`] sibling (shared network, private artifact cache,
+//!   private registry), a bounded admission queue, a serialized-result
+//!   cache, and exactly one worker thread. Requests are routed by
+//!   rendezvous hashing on the snapshot fingerprint, so one snapshot's
+//!   traffic always lands on the same shard — its caches stay hot and
+//!   shards never contend on a lock. A full shard queue is answered
+//!   immediately with a structured `overloaded` error while the other
+//!   shards keep serving.
+//! * **watch sessions** are pinned to the shard chosen at `watch_open`;
+//!   the per-shard queue is FIFO and the worker is single-threaded, so
+//!   the delta stream applies in order and the `IncrementalRid` state
+//!   never migrates. Session deadlines are enforced on the io thread
+//!   (which owns the connection and its `opened` clock), so an expired
+//!   session can be reopened on the same connection immediately.
 //!
 //! Shutdown (via the protocol `shutdown` request or
-//! [`Server::trigger_shutdown`]) closes the queue: queued work drains,
-//! new work is refused with `shutting_down`, the accept loop stops, and
-//! [`Server::join`] returns once the workers finish. There is no signal
-//! handler — `unsafe` (and thus libc) is forbidden workspace-wide — so
-//! process supervisors should send the protocol `shutdown` request;
-//! SIGTERM still works, just without the drain.
+//! [`Server::trigger_shutdown`]) closes every shard queue: queued work
+//! drains, new work is refused with `shutting_down`, and the io threads
+//! exit once the last worker finishes. There is no signal handler —
+//! `unsafe` (and thus libc) is forbidden workspace-wide — so process
+//! supervisors should send the protocol `shutdown` request; SIGTERM
+//! still works, just without the drain.
 
-use crate::engine::RidEngine;
+use crate::cache::{CacheMetrics, LruCache};
+use crate::engine::{EngineStats, RidEngine};
+use crate::fingerprint::{fingerprint_bytes, snapshot_fingerprint};
+use crate::framing::{self, Frame};
 use crate::protocol::{
-    error_line, ok_line, parse_request, ErrorKind, Request, RequestBody, WireError,
+    error_line, ok_line, ok_line_raw, parse_request, ErrorKind, Request, RequestBody, WireError,
     PROTOCOL_VERSION,
 };
 use crate::queue::{BoundedQueue, PushError, QueueMetrics};
@@ -32,10 +53,11 @@ use isomit_core::{IncrementalRid, RidConfig, RidDelta, RidError};
 use isomit_detectors::DetectorKind;
 use isomit_diffusion::{InfectedNetwork, SeedSet};
 use isomit_graph::json::Value;
-use isomit_telemetry::{names, Counter, Histogram, Stopwatch};
-use std::io::{BufRead, BufReader, Write};
+use isomit_telemetry::{names, Counter, Gauge, Histogram, Registry, Stopwatch};
+use std::collections::HashMap;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -43,9 +65,13 @@ use std::time::{Duration, Instant};
 /// Tunables of a [`Server`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Worker threads computing `rid` / `simulate` jobs.
-    pub workers: usize,
-    /// Bounded queue capacity; beyond it requests get `overloaded`.
+    /// Independent engine shards, each with its own artifact cache,
+    /// result cache, admission queue and worker thread. Requests route
+    /// to shards by rendezvous hashing on the snapshot fingerprint.
+    pub shards: usize,
+    /// Bounded admission-queue capacity **per shard**; beyond it that
+    /// shard's requests get `overloaded` while other shards keep
+    /// serving.
     pub queue_capacity: usize,
     /// Per-request deadline, measured from arrival; jobs still queued
     /// past it are answered with `deadline_exceeded` instead of
@@ -55,24 +81,82 @@ pub struct ServerConfig {
     /// Concurrent watch sessions admitted across all connections;
     /// beyond it `watch_open` is answered with `overloaded`.
     pub max_watch_sessions: usize,
+    /// io threads sweeping connections for readable data. One is right
+    /// for small machines; add more only when io itself saturates a
+    /// core.
+    pub io_threads: usize,
+    /// Serialized-result cache entries **per shard**, serving the
+    /// by-fingerprint `rid` fast path.
+    pub result_cache_capacity: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
-            workers: 4,
+            shards: 4,
             queue_capacity: 64,
             request_timeout: Duration::from_secs(30),
             max_watch_sessions: 4,
+            io_threads: 1,
+            result_cache_capacity: 512,
         }
     }
+}
+
+/// Write-stall bound: how many 100 µs sleeps a blocked writer tolerates
+/// before giving the connection up (~10 s of an unread socket).
+const MAX_WRITE_STALLS: u32 = 100_000;
+
+/// Lines one connection may have processed per io sweep, bounding how
+/// long a pipelining client can monopolize its io thread.
+const MAX_LINES_PER_SWEEP: usize = 128;
+
+/// Backoff window of an idle io sweep.
+const MIN_BACKOFF: Duration = Duration::from_micros(50);
+const MAX_BACKOFF: Duration = Duration::from_micros(500);
+
+/// One accepted connection. The owning io thread is the only reader;
+/// writes come from io and worker threads under `write_lock`.
+#[derive(Debug)]
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    write_lock: Mutex<()>,
+}
+
+/// Writes one response line (plus newline) to a nonblocking socket;
+/// returns `false` when the client is gone or persistently stalled.
+fn send(conn: &Conn, mut line: String) -> bool {
+    line.push('\n');
+    let _guard = conn.write_lock.lock().unwrap_or_else(|p| p.into_inner());
+    let mut remaining = line.as_bytes();
+    let mut stalls = 0u32;
+    while !remaining.is_empty() {
+        match (&conn.stream).write(remaining) {
+            Ok(0) => return false,
+            Ok(n) => {
+                remaining = remaining.get(n..).unwrap_or_default();
+                stalls = 0;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                stalls += 1;
+                if stalls > MAX_WRITE_STALLS {
+                    return false;
+                }
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    true
 }
 
 /// A queued unit of work plus everything needed to answer it.
 struct Job {
     id: u64,
     received: Instant,
-    writer: Arc<Mutex<TcpStream>>,
+    conn: Arc<Conn>,
     work: Work,
 }
 
@@ -81,24 +165,63 @@ enum Work {
         snapshot: Box<InfectedNetwork>,
         config: Option<RidConfig>,
         detector: Option<DetectorKind>,
+        /// Result-cache key under which to file the serialized answer,
+        /// when the request line framed cleanly (canonical clients).
+        result_key: Option<(u64, u64)>,
     },
     Simulate {
         seeds: SeedSet,
         runs: usize,
         seed: u64,
     },
+    /// Install a pre-validated watch session for this job's connection.
+    WatchOpen {
+        session: Box<IncrementalRid>,
+        answer_every: u64,
+    },
+    /// Apply one delta to this connection's pinned session.
+    WatchDelta { delta: RidDelta },
+    /// Close this connection's session and report its delta count.
+    WatchClose,
+    /// Drop this connection's session without replying (disconnect or
+    /// io-side deadline expiry). Enqueued with `force_push`: cleanup is
+    /// never shed.
+    WatchCleanup,
 }
 
-/// Shared state the reader threads need to serve and shut down.
+/// One serving shard: a sibling engine (shared network, private
+/// caches), its bounded admission queue, its serialized-result cache,
+/// and the registry its metrics (plus per-shard aliases) record into.
+struct Shard {
+    engine: Arc<RidEngine>,
+    registry: Arc<Registry>,
+    queue: BoundedQueue<Job>,
+    results: Mutex<LruCache<(u64, u64), Arc<str>>>,
+    /// The shard's `service.rid_requests` handle, bumped by the io-side
+    /// fast path so cached answers still count as served requests.
+    rid_requests: Counter,
+}
+
+impl Shard {
+    fn lock_results(&self) -> std::sync::MutexGuard<'_, LruCache<(u64, u64), Arc<str>>> {
+        self.results.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// State shared by the io threads and shard workers.
 struct Shared {
     engine: Arc<RidEngine>,
-    queue: BoundedQueue<Job>,
+    shards: Vec<Arc<Shard>>,
     shutdown: AtomicBool,
+    /// Shard workers still draining; io threads exit at shutdown once
+    /// this reaches zero.
+    workers_alive: AtomicUsize,
     addr: SocketAddr,
     timeout: Duration,
+    conn_seq: AtomicU64,
     /// End-to-end latency of data-plane jobs, receipt to reply written.
     request_ns: Histogram,
-    /// Time a job spent in the bounded queue before a worker took it.
+    /// Time a job spent in its shard's queue before the worker took it.
     queue_wait_ns: Histogram,
     /// Jobs dropped at dequeue because their deadline had passed.
     deadline_exceeded: Counter,
@@ -114,20 +237,19 @@ struct Shared {
     watch_fallbacks: Counter,
     /// `watch_open` requests rejected by the admission cap.
     watch_shed: Counter,
+    /// Largest-minus-smallest per-shard request share, in percent,
+    /// refreshed on every `stats` request.
+    imbalance_pct: Gauge,
 }
 
-/// Per-connection state of an open watch session. Lives on the reader
-/// thread; deltas are applied inline (never queued) because the stream
-/// is ordered and the incremental state is connection-local.
-struct WatchSession {
-    session: IncrementalRid,
-    /// Session deadline anchor: `watch_open` arrival time.
-    opened: Stopwatch,
-    /// Every N-th delta gets a full answer; the rest get acks.
-    answer_every: u64,
-    /// Cache key of the last fallback artifacts adopted into the
-    /// engine, superseded on the next adoption.
-    adopted_key: Option<(u64, u64)>,
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("addr", &self.addr)
+            .field("timeout", &self.timeout)
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
 }
 
 /// A running daemon. Dropping the handle does **not** stop the server;
@@ -136,22 +258,17 @@ struct WatchSession {
 #[derive(Debug)]
 pub struct Server {
     shared: Arc<Shared>,
-    accept_thread: JoinHandle<()>,
+    io_threads: Vec<JoinHandle<()>>,
     worker_threads: Vec<JoinHandle<()>>,
-}
-
-impl std::fmt::Debug for Shared {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Shared")
-            .field("addr", &self.addr)
-            .field("timeout", &self.timeout)
-            .finish_non_exhaustive()
-    }
 }
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// accept loop and worker pool.
+    /// io threads and one worker per shard.
+    ///
+    /// `engine` becomes shard 0 and its registry the primary registry
+    /// carrying the server-level histograms; shards 1..N are
+    /// [`RidEngine::shard_clone`] siblings with their own registries.
     ///
     /// # Errors
     ///
@@ -162,43 +279,103 @@ impl Server {
         config: ServerConfig,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let registry = Arc::clone(engine.registry());
-        let shared = Arc::new(Shared {
-            queue: BoundedQueue::with_metrics(
-                config.queue_capacity,
-                QueueMetrics::registered(&registry),
-            ),
-            shutdown: AtomicBool::new(false),
-            addr: local_addr,
-            timeout: config.request_timeout,
-            request_ns: registry.histogram(names::SERVICE_REQUEST_NS),
-            queue_wait_ns: registry.histogram(names::SERVICE_QUEUE_WAIT_NS),
-            deadline_exceeded: registry.counter(names::SERVICE_DEADLINE_EXCEEDED),
-            watch_active: AtomicUsize::new(0),
-            max_watch: config.max_watch_sessions,
-            watch_delta_ns: registry.histogram(names::WATCH_DELTA_NS),
-            watch_dirty_components: registry.counter(names::WATCH_DIRTY_COMPONENTS),
-            watch_fallbacks: registry.counter(names::WATCH_FULL_RECOMPUTE_FALLBACKS),
-            watch_shed: registry.counter(names::WATCH_SESSIONS_SHED),
-            engine,
-        });
 
-        let worker_threads = (0..config.workers.max(1))
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+        let shard_count = config.shards.max(1);
+        let shards: Vec<Arc<Shard>> = (0..shard_count)
+            .map(|i| {
+                let shard_engine = if i == 0 {
+                    Arc::clone(&engine)
+                } else {
+                    Arc::new(engine.shard_clone(Arc::new(Registry::new())))
+                };
+                let registry = Arc::clone(shard_engine.registry());
+                // Per-shard aliases: the same atomics show up both under
+                // the fleet-wide service.* names (summed across shards on
+                // merge) and under shard.<i>.* for attribution.
+                registry.alias_counter(
+                    &names::shard_cache_hits(i),
+                    &registry.counter(names::SERVICE_CACHE_HITS),
+                );
+                registry.alias_counter(
+                    &names::shard_requests(i),
+                    &registry.counter(names::SERVICE_RID_REQUESTS),
+                );
+                let queue = BoundedQueue::with_metrics(
+                    config.queue_capacity,
+                    QueueMetrics::registered_for_shard(&registry, i),
+                );
+                let results = Mutex::new(LruCache::with_metrics(
+                    config.result_cache_capacity,
+                    CacheMetrics::registered_for_results(&registry),
+                ));
+                let rid_requests = registry.counter(names::SERVICE_RID_REQUESTS);
+                Arc::new(Shard {
+                    engine: shard_engine,
+                    registry,
+                    queue,
+                    results,
+                    rid_requests,
+                })
             })
             .collect();
 
-        let accept_thread = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(&listener, &shared))
-        };
+        let primary = Arc::clone(engine.registry());
+        let shared = Arc::new(Shared {
+            shards,
+            shutdown: AtomicBool::new(false),
+            workers_alive: AtomicUsize::new(shard_count),
+            addr: local_addr,
+            timeout: config.request_timeout,
+            conn_seq: AtomicU64::new(0),
+            request_ns: primary.histogram(names::SERVICE_REQUEST_NS),
+            queue_wait_ns: primary.histogram(names::SERVICE_QUEUE_WAIT_NS),
+            deadline_exceeded: primary.counter(names::SERVICE_DEADLINE_EXCEEDED),
+            watch_active: AtomicUsize::new(0),
+            max_watch: config.max_watch_sessions,
+            watch_delta_ns: primary.histogram(names::WATCH_DELTA_NS),
+            watch_dirty_components: primary.counter(names::WATCH_DIRTY_COMPONENTS),
+            watch_fallbacks: primary.counter(names::WATCH_FULL_RECOMPUTE_FALLBACKS),
+            watch_shed: primary.counter(names::WATCH_SESSIONS_SHED),
+            imbalance_pct: primary.gauge(names::SERVICE_SHARD_IMBALANCE_PCT),
+            engine,
+        });
+
+        let worker_threads = shared
+            .shards
+            .iter()
+            .map(|shard| {
+                let shard = Arc::clone(shard);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shard, &shared))
+            })
+            .collect();
+
+        let io_count = config.io_threads.max(1);
+        let inboxes: Vec<Arc<Mutex<Vec<Arc<Conn>>>>> = (0..io_count)
+            .map(|_| Arc::new(Mutex::new(Vec::new())))
+            .collect();
+        let mut listener = Some(listener);
+        let io_threads = inboxes
+            .iter()
+            .enumerate()
+            .map(|(i, inbox)| {
+                let shared = Arc::clone(&shared);
+                let inbox = Arc::clone(inbox);
+                let all = inboxes.clone();
+                // io thread 0 owns the (nonblocking) listener; the rest
+                // only sweep the connections handed to their inboxes.
+                let listener = if i == 0 { listener.take() } else { None };
+                std::thread::spawn(move || {
+                    io_loop(&shared, listener.as_ref(), &inbox, &all);
+                })
+            })
+            .collect();
 
         Ok(Server {
             shared,
-            accept_thread,
+            io_threads,
             worker_threads,
         })
     }
@@ -215,15 +392,17 @@ impl Server {
         trigger_shutdown(&self.shared);
     }
 
-    /// Waits for the accept loop and all workers to finish. Call after
-    /// [`trigger_shutdown`](Server::trigger_shutdown) or once a client
-    /// has sent the protocol `shutdown` request.
+    /// Waits for the io threads and all shard workers to finish. Call
+    /// after [`trigger_shutdown`](Server::trigger_shutdown) or once a
+    /// client has sent the protocol `shutdown` request.
     pub fn join(self) {
-        // A panicked worker already wrote its poison; nothing useful to
+        // A panicked thread already wrote its poison; nothing useful to
         // do beyond surfacing the panic payloads to the caller's logs.
-        let _ = self.accept_thread.join();
         for worker in self.worker_threads {
             let _ = worker.join();
+        }
+        for io in self.io_threads {
+            let _ = io.join();
         }
     }
 
@@ -239,82 +418,293 @@ fn trigger_shutdown(shared: &Shared) {
     if shared.shutdown.swap(true, Ordering::SeqCst) {
         return; // already shutting down
     }
-    shared.queue.close();
-    // The accept loop blocks in `accept`; poke it with a throwaway
-    // connection so it observes the flag and exits.
-    let _ = TcpStream::connect(shared.addr);
+    for shard in &shared.shards {
+        shard.queue.close();
+    }
+    // The io threads poll the flag each sweep; no wake-up poke needed.
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
+/// The shard index (out of `shards`) that requests for snapshot
+/// fingerprint `fp` route to. This is exactly the io threads' routing
+/// function, exposed so tests and capacity tooling can predict
+/// placement.
+pub fn shard_for_fingerprint(fp: u64, shards: usize) -> usize {
+    rendezvous(fp, shards.max(1))
+}
+
+/// Rendezvous (highest-random-weight) shard choice: every key ranks all
+/// shards by a mixed hash and takes the best, so keys spread evenly and
+/// one key always lands on the same shard.
+fn rendezvous(key: u64, shards: usize) -> usize {
+    let mut best = 0usize;
+    let mut best_score = 0u64;
+    for i in 0..shards {
+        let mut bytes = [0u8; 16];
+        let (key_half, index_half) = bytes.split_at_mut(8);
+        key_half.copy_from_slice(&key.to_le_bytes());
+        index_half.copy_from_slice(&(i as u64).to_le_bytes());
+        let score = fingerprint_bytes(&bytes);
+        if i == 0 || score > best_score {
+            best = i;
+            best_score = score;
+        }
+    }
+    best
+}
+
+/// Result-cache key half covering the request's `config` and `detector`
+/// spans (raw bytes, `0xFF`-separated — a byte no JSON span contains
+/// outside strings, and a fixed frame either way). Canonical clients
+/// serialize a given config identically on every request, so the full
+/// form primes exactly the key the by-fingerprint form looks up.
+fn span_config_key(config: Option<&str>, detector: Option<&str>) -> u64 {
+    let mut bytes = Vec::with_capacity(80);
+    if let Some(config) = config {
+        bytes.extend_from_slice(config.as_bytes());
+    }
+    bytes.push(0xFF);
+    if let Some(detector) = detector {
+        bytes.extend_from_slice(detector.as_bytes());
+    }
+    fingerprint_bytes(&bytes)
+}
+
+/// The io thread's record of a connection's open watch session: which
+/// shard owns the `IncrementalRid` state, and the deadline clock.
+struct WatchPin {
+    shard: usize,
+    opened: Stopwatch,
+}
+
+/// Per-connection io-thread state.
+struct ConnState {
+    conn: Arc<Conn>,
+    /// Bytes read but not yet framed into complete lines.
+    buf: Vec<u8>,
+    watch: Option<WatchPin>,
+}
+
+enum Pump {
+    /// Nothing readable, nothing processed.
+    Idle,
+    /// Read bytes or served lines this sweep.
+    Progress,
+    /// Peer gone (EOF or hard error); release the connection.
+    Closed,
+}
+
+fn io_loop(
+    shared: &Arc<Shared>,
+    listener: Option<&TcpListener>,
+    inbox: &Mutex<Vec<Arc<Conn>>>,
+    all_inboxes: &[Arc<Mutex<Vec<Arc<Conn>>>>],
+) {
+    let mut conns: Vec<ConnState> = Vec::new();
+    let mut backoff = MIN_BACKOFF;
+    let mut next_io = 0usize;
+    loop {
+        let draining = shared.shutdown.load(Ordering::SeqCst);
+        if draining && shared.workers_alive.load(Ordering::SeqCst) == 0 {
             break;
         }
-        let Ok(stream) = stream else { continue };
-        let shared = Arc::clone(shared);
-        // Readers are detached: they exit when their client disconnects
-        // (or at process end). Joining them would make shutdown wait on
-        // idle keep-alive connections.
-        std::thread::spawn(move || reader_loop(stream, &shared));
+        let mut progress = false;
+        if let Some(listener) = listener {
+            if !draining {
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            progress = true;
+                            if stream.set_nonblocking(true).is_err() {
+                                continue;
+                            }
+                            // Replies are single small lines; without
+                            // nodelay, Nagle + the client's delayed ACK
+                            // put a ~40ms floor under every round trip.
+                            let _ = stream.set_nodelay(true);
+                            let conn = Arc::new(Conn {
+                                id: shared.conn_seq.fetch_add(1, Ordering::Relaxed),
+                                stream,
+                                write_lock: Mutex::new(()),
+                            });
+                            let slot = all_inboxes
+                                .get(next_io % all_inboxes.len())
+                                .expect("index is reduced modulo the inbox count");
+                            slot.lock().unwrap_or_else(|p| p.into_inner()).push(conn);
+                            next_io += 1;
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+        {
+            let mut adopted = inbox.lock().unwrap_or_else(|p| p.into_inner());
+            for conn in adopted.drain(..) {
+                conns.push(ConnState {
+                    conn,
+                    buf: Vec::new(),
+                    watch: None,
+                });
+                progress = true;
+            }
+        }
+        let mut i = 0;
+        while let Some(state) = conns.get_mut(i) {
+            match pump_conn(state, shared) {
+                Pump::Idle => i += 1,
+                Pump::Progress => {
+                    progress = true;
+                    i += 1;
+                }
+                Pump::Closed => {
+                    let state = conns.swap_remove(i);
+                    release_watch(&state.conn, state.watch, shared);
+                    progress = true;
+                }
+            }
+        }
+        if progress {
+            backoff = MIN_BACKOFF;
+        } else {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(MAX_BACKOFF);
+        }
     }
 }
 
-/// Writes one response line; returns `false` when the client is gone.
-fn write_line(writer: &Arc<Mutex<TcpStream>>, line: &str) -> bool {
-    let mut stream = writer.lock().unwrap_or_else(|p| p.into_inner());
-    let ok = stream
-        .write_all(line.as_bytes())
-        .and_then(|()| stream.write_all(b"\n"))
-        .and_then(|()| stream.flush());
-    ok.is_ok()
+/// Frees a disconnected (or expired) connection's watch slot by handing
+/// session teardown to the owning shard (cleanup jobs are never shed).
+/// If the shard's queue already closed at shutdown, the session stays in
+/// the worker's map and the drain-end sweep returns its slot instead.
+fn release_watch(conn: &Arc<Conn>, watch: Option<WatchPin>, shared: &Arc<Shared>) {
+    let Some(pin) = watch else { return };
+    let job = Job {
+        id: 0,
+        // lint:allow(telemetry) arrival timestamp for deadline math; the derived latencies go through registry histograms
+        received: Instant::now(),
+        conn: Arc::clone(conn),
+        work: Work::WatchCleanup,
+    };
+    if let Some(shard) = shared.shards.get(pin.shard) {
+        let _ = shard.queue.force_push(job);
+    }
 }
 
-fn reader_loop(stream: TcpStream, shared: &Arc<Shared>) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let writer = Arc::new(Mutex::new(stream));
-    let mut lines = BufReader::new(read_half).lines();
-    let mut watch: Option<WatchSession> = None;
-    while let Some(Ok(line)) = lines.next() {
-        if line.trim().is_empty() {
+/// One read + bounded line processing for a connection.
+fn pump_conn(state: &mut ConnState, shared: &Arc<Shared>) -> Pump {
+    let mut chunk = [0u8; 16 * 1024];
+    let mut read_any = false;
+    let mut eof = false;
+    match (&state.conn.stream).read(&mut chunk) {
+        Ok(0) => eof = true,
+        Ok(n) => {
+            state
+                .buf
+                .extend_from_slice(chunk.get(..n).unwrap_or_default());
+            read_any = true;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+        Err(_) => eof = true,
+    }
+
+    let buf = std::mem::take(&mut state.buf);
+    let mut cursor = 0usize;
+    let mut processed = 0usize;
+    let mut alive = true;
+    while processed < MAX_LINES_PER_SWEEP {
+        let rest = buf.get(cursor..).unwrap_or_default();
+        let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+            break;
+        };
+        let raw = rest.get(..nl).expect("position is within the slice");
+        cursor += nl + 1;
+        let Ok(text) = std::str::from_utf8(raw) else {
+            // Matches the old line-reader: undecodable input drops the
+            // connection rather than guessing at a reply.
+            alive = false;
+            break;
+        };
+        let line = text.trim();
+        if line.is_empty() {
             continue;
         }
-        let alive = match parse_request(&line) {
-            Ok(request) => serve_request(request, &writer, shared, &mut watch),
-            Err((id, error)) => write_line(&writer, &error_line(id, &error)),
-        };
-        if !alive {
+        processed += 1;
+        if !handle_line(line, &state.conn, &mut state.watch, shared) {
+            alive = false;
             break;
         }
     }
-    // A disconnect (or error) while a watch session is open frees its
-    // admission slot; the session state dies with this thread.
-    if watch.is_some() {
-        shared.watch_active.fetch_sub(1, Ordering::SeqCst);
+    state.buf = buf.get(cursor..).unwrap_or_default().to_vec();
+
+    if !alive {
+        return Pump::Closed;
+    }
+    if eof && processed == 0 {
+        // The peer is gone and no further line can complete (anything
+        // left in the buffer has no trailing newline). Buffered complete
+        // lines were served on earlier iterations of this sweep or on
+        // previous sweeps, matching the old line-reader's EOF behavior.
+        return Pump::Closed;
+    }
+    if read_any || processed > 0 {
+        Pump::Progress
+    } else {
+        Pump::Idle
     }
 }
 
-/// Closes the connection's watch session (if any), freeing its
-/// admission slot, and returns it.
-fn close_watch(watch: &mut Option<WatchSession>, shared: &Shared) -> Option<WatchSession> {
-    let closed = watch.take();
-    if closed.is_some() {
-        shared.watch_active.fetch_sub(1, Ordering::SeqCst);
+/// Serves one framed request line; returns `false` when the client is
+/// gone.
+fn handle_line(
+    line: &str,
+    conn: &Arc<Conn>,
+    watch: &mut Option<WatchPin>,
+    shared: &Arc<Shared>,
+) -> bool {
+    let frame = framing::scan(line);
+    // By-fingerprint fast path: route on the scanned spans and answer a
+    // result-cache hit inline, touching no JSON values at all. A miss
+    // (or any framing anomaly) falls through to the full parser, which
+    // owns validation and structured errors.
+    if let Some(f) = &frame {
+        if f.verb == "rid" {
+            if let Some(fp) = f.fingerprint.and_then(|s| s.parse::<u64>().ok()) {
+                let started = Stopwatch::start();
+                let shard = shared
+                    .shards
+                    .get(rendezvous(fp, shared.shards.len()))
+                    .expect("rendezvous picks a shard below the count");
+                let key = (fp, span_config_key(f.config, f.detector));
+                let hit = shard.lock_results().get(&key);
+                if let Some(payload) = hit {
+                    shard.rid_requests.inc();
+                    let alive = send(conn, ok_line_raw(f.id, &payload));
+                    shared.request_ns.record_duration(started.elapsed());
+                    return alive;
+                }
+            }
+        }
     }
-    closed
+    match parse_request(line) {
+        Ok(request) => serve_request(request, frame.as_ref(), conn, watch, shared),
+        Err((id, error)) => send(conn, error_line(id, &error)),
+    }
 }
 
 /// Handles one parsed request; returns `false` when the client is gone.
 fn serve_request(
     request: Request,
-    writer: &Arc<Mutex<TcpStream>>,
+    frame: Option<&Frame<'_>>,
+    conn: &Arc<Conn>,
+    watch: &mut Option<WatchPin>,
     shared: &Arc<Shared>,
-    watch: &mut Option<WatchSession>,
 ) -> bool {
     let Request { id, body } = request;
     match body {
-        // Control-plane requests bypass the queue so they stay
+        // Control-plane requests bypass the queues so they stay
         // responsive (and observable) even when the data plane is
         // saturated.
         RequestBody::Health => {
@@ -330,32 +720,13 @@ fn serve_request(
                     Value::Number(shared.engine.graph().edge_count() as f64),
                 ),
             ]);
-            write_line(writer, &ok_line(id, result))
+            send(conn, ok_line(id, result))
         }
-        RequestBody::Stats => {
-            let mut stats = shared.engine.stats().to_json_value();
-            if let Value::Object(fields) = &mut stats {
-                fields.push((
-                    "queue_depth".into(),
-                    Value::Number(shared.queue.len() as f64),
-                ));
-                fields.push((
-                    "queue_capacity".into(),
-                    Value::Number(shared.queue.capacity() as f64),
-                ));
-                // Full registry view: engine metrics merged with the
-                // process-global stage/Monte-Carlo timings.
-                fields.push((
-                    "telemetry".into(),
-                    shared.engine.telemetry_snapshot().to_json_value(),
-                ));
-            }
-            write_line(writer, &ok_line(id, stats))
-        }
+        RequestBody::Stats => send(conn, ok_line(id, stats_payload(shared))),
         RequestBody::Shutdown => {
-            let alive = write_line(
-                writer,
-                &ok_line(
+            let alive = send(
+                conn,
+                ok_line(
                     id,
                     Value::Object(vec![("stopping".into(), Value::Bool(true))]),
                 ),
@@ -367,80 +738,222 @@ fn serve_request(
             snapshot,
             config,
             detector,
-        } => enqueue(
-            Job {
-                id,
-                // lint:allow(telemetry) arrival timestamp for deadline math; the derived latencies go through registry histograms
-                received: Instant::now(),
-                writer: Arc::clone(writer),
-                work: Work::Rid {
-                    snapshot,
-                    config,
-                    detector,
+        } => {
+            // Route on the raw snapshot span when the line framed
+            // cleanly (canonical encodings hash to the true snapshot
+            // fingerprint); otherwise fall back to fingerprinting the
+            // parsed snapshot. The result cache is only primed on the
+            // span path — its keys must match what by-fingerprint
+            // lookups compute from their own spans.
+            let (fp, result_key) = match frame.and_then(|f| f.snapshot) {
+                Some(span) => {
+                    let fp = fingerprint_bytes(span.as_bytes());
+                    let key = span_config_key(
+                        frame.and_then(|f| f.config),
+                        frame.and_then(|f| f.detector),
+                    );
+                    (fp, Some((fp, key)))
+                }
+                None => (snapshot_fingerprint(&snapshot), None),
+            };
+            let shard = rendezvous(fp, shared.shards.len());
+            enqueue(
+                shard,
+                Job {
+                    id,
+                    // lint:allow(telemetry) arrival timestamp for deadline math; the derived latencies go through registry histograms
+                    received: Instant::now(),
+                    conn: Arc::clone(conn),
+                    work: Work::Rid {
+                        snapshot,
+                        config,
+                        detector,
+                        result_key,
+                    },
                 },
-            },
-            writer,
-            shared,
-        ),
-        RequestBody::Simulate { seeds, runs, seed } => enqueue(
-            Job {
-                id,
-                // lint:allow(telemetry) arrival timestamp for deadline math; the derived latencies go through registry histograms
-                received: Instant::now(),
-                writer: Arc::clone(writer),
-                work: Work::Simulate { seeds, runs, seed },
-            },
-            writer,
-            shared,
-        ),
-        // Watch verbs run inline on the reader thread: the delta stream
-        // is ordered and the incremental state is connection-local, so
-        // queueing would only reorder or interleave it.
+                conn,
+                shared,
+            )
+        }
+        RequestBody::RidByFingerprint { fingerprint, .. } => {
+            // Reaching here means the fast path found no cached answer
+            // (or the line needed the full parser). The request is
+            // valid; the snapshot just is not resident on its shard.
+            let error = WireError::new(
+                ErrorKind::UnknownSnapshot,
+                format!(
+                    "no cached answer for snapshot fingerprint {fingerprint}; \
+                     resend the full snapshot"
+                ),
+            );
+            send(conn, error_line(Some(id), &error))
+        }
+        RequestBody::Simulate { seeds, runs, seed } => {
+            let fp = frame
+                .and_then(|f| f.seeds)
+                .map(|span| fingerprint_bytes(span.as_bytes()))
+                .unwrap_or(conn.id);
+            let shard = rendezvous(fp, shared.shards.len());
+            enqueue(
+                shard,
+                Job {
+                    id,
+                    // lint:allow(telemetry) arrival timestamp for deadline math; the derived latencies go through registry histograms
+                    received: Instant::now(),
+                    conn: Arc::clone(conn),
+                    work: Work::Simulate { seeds, runs, seed },
+                },
+                conn,
+                shared,
+            )
+        }
         RequestBody::WatchOpen {
             config,
             answer_every,
-        } => serve_watch_open(id, config, answer_every, writer, shared, watch),
-        RequestBody::WatchDelta { delta } => serve_watch_delta(id, &delta, writer, shared, watch),
+        } => serve_watch_open(id, config, answer_every, conn, watch, shared),
+        RequestBody::WatchDelta { delta } => {
+            let Some(pin) = watch.as_ref() else {
+                let error = WireError::new(
+                    ErrorKind::BadRequest,
+                    "no watch session open on this connection; send watch_open first",
+                );
+                return send(conn, error_line(Some(id), &error));
+            };
+            let expired = pin.opened.elapsed() > shared.timeout;
+            let shard = pin.shard;
+            if expired {
+                // The io thread owns the deadline: clear the pin here so
+                // this very connection can reopen immediately, and hand
+                // the state teardown to the owning shard.
+                release_watch(conn, watch.take(), shared);
+                let error = WireError::new(
+                    ErrorKind::DeadlineExceeded,
+                    format!(
+                        "watch session outlived its {:?} deadline; reopen to continue",
+                        shared.timeout
+                    ),
+                );
+                return send(conn, error_line(Some(id), &error));
+            }
+            forward_watch(
+                shard,
+                Job {
+                    id,
+                    // lint:allow(telemetry) arrival timestamp for deadline math; the derived latencies go through registry histograms
+                    received: Instant::now(),
+                    conn: Arc::clone(conn),
+                    work: Work::WatchDelta { delta },
+                },
+                conn,
+                shared,
+            )
+        }
         RequestBody::WatchClose => {
-            let Some(closed) = close_watch(watch, shared) else {
+            let Some(pin) = watch.take() else {
                 let error = WireError::new(
                     ErrorKind::BadRequest,
                     "no watch session open on this connection",
                 );
-                return write_line(writer, &error_line(Some(id), &error));
+                return send(conn, error_line(Some(id), &error));
             };
-            let result = Value::Object(vec![
-                ("closed".into(), Value::Bool(true)),
-                (
-                    "deltas".into(),
-                    Value::Number(closed.session.deltas_applied() as f64),
-                ),
-            ]);
-            write_line(writer, &ok_line(id, result))
+            forward_watch(
+                pin.shard,
+                Job {
+                    id,
+                    // lint:allow(telemetry) arrival timestamp for deadline math; the derived latencies go through registry histograms
+                    received: Instant::now(),
+                    conn: Arc::clone(conn),
+                    work: Work::WatchClose,
+                },
+                conn,
+                shared,
+            )
         }
     }
 }
 
+/// The `stats` payload: shard-summed engine counters, queue occupancy,
+/// and the merged telemetry registry (process-global + every shard's,
+/// so `service.*` names aggregate and `shard.<i>.*` aliases stay
+/// attributable).
+fn stats_payload(shared: &Shared) -> Value {
+    let mut total = EngineStats {
+        rid_requests: 0,
+        simulate_requests: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_evictions: 0,
+        cache_superseded: 0,
+        cache_entries: 0,
+    };
+    let mut per_shard_requests = Vec::with_capacity(shared.shards.len());
+    let mut queue_depth = 0usize;
+    let mut queue_capacity = 0usize;
+    for shard in &shared.shards {
+        let stats = shard.engine.stats();
+        per_shard_requests.push(stats.rid_requests);
+        total.rid_requests += stats.rid_requests;
+        total.simulate_requests += stats.simulate_requests;
+        total.cache_hits += stats.cache_hits;
+        total.cache_misses += stats.cache_misses;
+        total.cache_evictions += stats.cache_evictions;
+        total.cache_superseded += stats.cache_superseded;
+        total.cache_entries += stats.cache_entries;
+        queue_depth += shard.queue.len();
+        queue_capacity += shard.queue.capacity();
+    }
+    // Imbalance: spread of per-shard request shares, refreshed here so
+    // the merged snapshot below carries a current value.
+    let sum: u64 = per_shard_requests.iter().sum();
+    let imbalance = if sum == 0 {
+        0
+    } else {
+        let max = per_shard_requests.iter().max().copied().unwrap_or(0);
+        let min = per_shard_requests.iter().min().copied().unwrap_or(0);
+        (((max - min) as f64 / sum as f64) * 100.0).round() as i64
+    };
+    shared.imbalance_pct.set(imbalance);
+
+    let mut telemetry = isomit_telemetry::global().snapshot();
+    for shard in &shared.shards {
+        telemetry = telemetry.merge(&shard.registry.snapshot());
+    }
+
+    let mut stats = total.to_json_value();
+    if let Value::Object(fields) = &mut stats {
+        fields.push(("queue_depth".into(), Value::Number(queue_depth as f64)));
+        fields.push((
+            "queue_capacity".into(),
+            Value::Number(queue_capacity as f64),
+        ));
+        fields.push(("shards".into(), Value::Number(shared.shards.len() as f64)));
+        fields.push(("telemetry".into(), telemetry.to_json_value()));
+    }
+    stats
+}
+
 /// Opens a watch session on this connection, subject to the global
-/// admission cap.
+/// admission cap; the session itself is installed by the owning shard
+/// (chosen by rendezvous on the connection id) so its state lives where
+/// its deltas will be applied.
 fn serve_watch_open(
     id: u64,
     config: Option<RidConfig>,
     answer_every: Option<u64>,
-    writer: &Arc<Mutex<TcpStream>>,
+    conn: &Arc<Conn>,
+    watch: &mut Option<WatchPin>,
     shared: &Arc<Shared>,
-    watch: &mut Option<WatchSession>,
 ) -> bool {
     if shared.shutdown.load(Ordering::SeqCst) {
         let error = WireError::new(ErrorKind::ShuttingDown, "server is shutting down");
-        return write_line(writer, &error_line(Some(id), &error));
+        return send(conn, error_line(Some(id), &error));
     }
     if watch.is_some() {
         let error = WireError::new(
             ErrorKind::BadRequest,
             "a watch session is already open on this connection",
         );
-        return write_line(writer, &error_line(Some(id), &error));
+        return send(conn, error_line(Some(id), &error));
     }
     let admitted = shared
         .watch_active
@@ -457,7 +970,7 @@ fn serve_watch_open(
                 shared.max_watch
             ),
         );
-        return write_line(writer, &error_line(Some(id), &error));
+        return send(conn, error_line(Some(id), &error));
     }
     let config = config.unwrap_or_else(|| shared.engine.default_config());
     let session = match IncrementalRid::new(config) {
@@ -466,57 +979,264 @@ fn serve_watch_open(
             // The slot reserved above goes back unused.
             shared.watch_active.fetch_sub(1, Ordering::SeqCst);
             let error = WireError::new(ErrorKind::BadRequest, error.to_string());
-            return write_line(writer, &error_line(Some(id), &error));
+            return send(conn, error_line(Some(id), &error));
         }
     };
     let answer_every = answer_every.unwrap_or(1).max(1);
-    *watch = Some(WatchSession {
-        session,
-        opened: Stopwatch::start(),
-        answer_every,
-        adopted_key: None,
-    });
-    let result = Value::Object(vec![
-        ("opened".into(), Value::Bool(true)),
-        ("answer_every".into(), Value::Number(answer_every as f64)),
-    ]);
-    write_line(writer, &ok_line(id, result))
+    let shard = rendezvous(conn.id, shared.shards.len());
+    let job = Job {
+        id,
+        // lint:allow(telemetry) arrival timestamp for deadline math; the derived latencies go through registry histograms
+        received: Instant::now(),
+        conn: Arc::clone(conn),
+        work: Work::WatchOpen {
+            session: Box::new(session),
+            answer_every,
+        },
+    };
+    let queue = &shard_at(shared, shard).queue;
+    match queue.try_push(job) {
+        Ok(()) => {
+            *watch = Some(WatchPin {
+                shard,
+                opened: Stopwatch::start(),
+            });
+            true
+        }
+        Err(PushError::Full(job)) => {
+            shared.watch_active.fetch_sub(1, Ordering::SeqCst);
+            let error = WireError::new(
+                ErrorKind::Overloaded,
+                format!("work queue full ({} queued); retry later", queue.capacity()),
+            );
+            send(conn, error_line(Some(job.id), &error))
+        }
+        Err(PushError::Closed(job)) => {
+            shared.watch_active.fetch_sub(1, Ordering::SeqCst);
+            let error = WireError::new(ErrorKind::ShuttingDown, "server is shutting down");
+            send(conn, error_line(Some(job.id), &error))
+        }
+    }
 }
 
-/// Applies one delta to the connection's watch session and answers it
+/// The shard at `index`; every caller derives the index from
+/// [`rendezvous`] over the current shard count, so it is always in
+/// range.
+fn shard_at(shared: &Shared, index: usize) -> &Shard {
+    shared
+        .shards
+        .get(index)
+        .expect("rendezvous picks a shard below the count")
+}
+
+/// Forwards a watch verb to the session's pinned shard with
+/// [`BoundedQueue::force_push`]: stateful session verbs are never shed
+/// (shedding them would desynchronize the session bookkeeping), only
+/// refused at shutdown.
+fn forward_watch(shard: usize, job: Job, conn: &Arc<Conn>, shared: &Arc<Shared>) -> bool {
+    match shard_at(shared, shard).queue.force_push(job) {
+        Ok(()) => true,
+        Err(PushError::Full(job)) | Err(PushError::Closed(job)) => {
+            let error = WireError::new(ErrorKind::ShuttingDown, "server is shutting down");
+            send(conn, error_line(Some(job.id), &error))
+        }
+    }
+}
+
+/// Admits a job to a shard's bounded queue or answers with structured
+/// backpressure for that shard alone.
+fn enqueue(shard: usize, job: Job, conn: &Arc<Conn>, shared: &Arc<Shared>) -> bool {
+    let queue = &shard_at(shared, shard).queue;
+    match queue.try_push(job) {
+        Ok(()) => true,
+        Err(PushError::Full(job)) => {
+            let error = WireError::new(
+                ErrorKind::Overloaded,
+                format!("work queue full ({} queued); retry later", queue.capacity()),
+            );
+            send(conn, error_line(Some(job.id), &error))
+        }
+        Err(PushError::Closed(job)) => {
+            let error = WireError::new(ErrorKind::ShuttingDown, "server is shutting down");
+            send(conn, error_line(Some(job.id), &error))
+        }
+    }
+}
+
+/// One shard's open watch session, keyed by connection id in the
+/// worker's local map.
+struct WatchSession {
+    session: IncrementalRid,
+    /// Every N-th delta gets a full answer; the rest get acks.
+    answer_every: u64,
+    /// Cache key of the last fallback artifacts adopted into the
+    /// shard's engine, superseded on the next adoption.
+    adopted_key: Option<(u64, u64)>,
+}
+
+fn worker_loop(shard: &Arc<Shard>, shared: &Arc<Shared>) {
+    let mut sessions: HashMap<u64, WatchSession> = HashMap::new();
+    while let Some(job) = shard.queue.pop() {
+        let Job {
+            id,
+            received,
+            conn,
+            work,
+        } = job;
+        match work {
+            Work::Rid { .. } | Work::Simulate { .. } => {
+                let queue_wait = received.elapsed();
+                shared.queue_wait_ns.record_duration(queue_wait);
+                if queue_wait > shared.timeout {
+                    shared.deadline_exceeded.inc();
+                    let error = WireError::new(
+                        ErrorKind::DeadlineExceeded,
+                        format!(
+                            "request spent more than {:?} queued; increase capacity or shed load",
+                            shared.timeout
+                        ),
+                    );
+                    let _ = send(&conn, error_line(Some(id), &error));
+                    shared.request_ns.record_duration(received.elapsed());
+                    continue;
+                }
+                let line = match work {
+                    Work::Rid {
+                        snapshot,
+                        config,
+                        detector,
+                        result_key,
+                    } => match shard.engine.rid_with_detector(&snapshot, config, detector) {
+                        Ok(result) => {
+                            let mut payload = result.to_json_value();
+                            // Echo the detector only when the request
+                            // chose one, keeping legacy responses
+                            // byte-identical.
+                            if let (Some(kind), Value::Object(fields)) = (detector, &mut payload) {
+                                fields.push((
+                                    "detector".into(),
+                                    Value::String(kind.as_label().into()),
+                                ));
+                            }
+                            let serialized = payload.to_json();
+                            if let Some(key) = result_key {
+                                shard
+                                    .lock_results()
+                                    .insert(key, Arc::<str>::from(serialized.as_str()));
+                            }
+                            ok_line_raw(id, &serialized)
+                        }
+                        Err(error) => {
+                            let kind = match &error {
+                                RidError::InvalidParameter { .. } => ErrorKind::BadRequest,
+                                // Engine cache keys include alpha, so a
+                                // mismatch here is a server bug.
+                                _ => ErrorKind::Internal,
+                            };
+                            error_line(Some(id), &WireError::new(kind, error.to_string()))
+                        }
+                    },
+                    Work::Simulate { seeds, runs, seed } => {
+                        match shard.engine.simulate(&seeds, runs, seed) {
+                            Ok(estimate) => ok_line(id, estimate.to_json_value()),
+                            Err(error) => error_line(Some(id), &WireError::from_diffusion(&error)),
+                        }
+                    }
+                    _ => unreachable!("outer match narrowed to data-plane work"),
+                };
+                let _ = send(&conn, line);
+                shared.request_ns.record_duration(received.elapsed());
+            }
+            Work::WatchOpen {
+                session,
+                answer_every,
+            } => {
+                sessions.insert(
+                    conn.id,
+                    WatchSession {
+                        session: *session,
+                        answer_every,
+                        adopted_key: None,
+                    },
+                );
+                let result = Value::Object(vec![
+                    ("opened".into(), Value::Bool(true)),
+                    ("answer_every".into(), Value::Number(answer_every as f64)),
+                ]);
+                let _ = send(&conn, ok_line(id, result));
+            }
+            Work::WatchDelta { delta } => {
+                serve_watch_delta(id, &delta, &conn, &mut sessions, shard, shared);
+            }
+            Work::WatchClose => {
+                let line = match sessions.remove(&conn.id) {
+                    Some(ws) => {
+                        shared.watch_active.fetch_sub(1, Ordering::SeqCst);
+                        ok_line(
+                            id,
+                            Value::Object(vec![
+                                ("closed".into(), Value::Bool(true)),
+                                (
+                                    "deltas".into(),
+                                    Value::Number(ws.session.deltas_applied() as f64),
+                                ),
+                            ]),
+                        )
+                    }
+                    None => error_line(
+                        Some(id),
+                        &WireError::new(
+                            ErrorKind::BadRequest,
+                            "no watch session open on this connection",
+                        ),
+                    ),
+                };
+                let _ = send(&conn, line);
+            }
+            Work::WatchCleanup => {
+                if sessions.remove(&conn.id).is_some() {
+                    shared.watch_active.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+    // Drain finished: any sessions still resident die with the shard;
+    // return their admission slots for bookkeeping symmetry.
+    if !sessions.is_empty() {
+        shared
+            .watch_active
+            .fetch_sub(sessions.len(), Ordering::SeqCst);
+    }
+    shared.workers_alive.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Applies one delta to this connection's pinned session and answers it
 /// (full `RidResult` when due under the session's cadence, cheap ack
-/// otherwise).
+/// otherwise). Runs on the shard worker; the io thread has already
+/// enforced the session deadline.
 fn serve_watch_delta(
     id: u64,
     delta: &RidDelta,
-    writer: &Arc<Mutex<TcpStream>>,
+    conn: &Arc<Conn>,
+    sessions: &mut HashMap<u64, WatchSession>,
+    shard: &Arc<Shard>,
     shared: &Arc<Shared>,
-    watch: &mut Option<WatchSession>,
-) -> bool {
-    let Some(ws) = watch.as_mut() else {
+) {
+    let Some(ws) = sessions.get_mut(&conn.id) else {
         let error = WireError::new(
             ErrorKind::BadRequest,
             "no watch session open on this connection; send watch_open first",
         );
-        return write_line(writer, &error_line(Some(id), &error));
+        let _ = send(conn, error_line(Some(id), &error));
+        return;
     };
-    if ws.opened.elapsed() > shared.timeout {
-        close_watch(watch, shared);
-        let error = WireError::new(
-            ErrorKind::DeadlineExceeded,
-            format!(
-                "watch session outlived its {:?} deadline; reopen to continue",
-                shared.timeout
-            ),
-        );
-        return write_line(writer, &error_line(Some(id), &error));
-    }
     let started = Stopwatch::start();
     if let Err(error) = ws.session.apply(delta) {
         // Validation rejected the delta before any mutation: the
         // session state is intact and the connection stays usable.
         let error = WireError::new(ErrorKind::InvalidDelta, error.to_string());
-        return write_line(writer, &error_line(Some(id), &error));
+        let _ = send(conn, error_line(Some(id), &error));
+        return;
     }
     let deltas = ws.session.deltas_applied();
     let line = if deltas % ws.answer_every == 0 {
@@ -528,10 +1248,10 @@ fn serve_watch_delta(
             shared.watch_fallbacks.inc();
         }
         // A fallback recomputed the full forest from scratch; adopt it
-        // into the engine's artifact cache (superseding this session's
+        // into this shard's artifact cache (superseding the session's
         // previous entry) so a plain `rid` on the same snapshot is warm.
         if let Some((snapshot, artifacts)) = ws.session.take_fallback_artifacts() {
-            ws.adopted_key = Some(shared.engine.adopt_artifacts(
+            ws.adopted_key = Some(shard.engine.adopt_artifacts(
                 &snapshot,
                 &ws.session.config(),
                 artifacts,
@@ -558,88 +1278,77 @@ fn serve_watch_delta(
         )
     };
     shared.watch_delta_ns.record_duration(started.elapsed());
-    write_line(writer, &line)
+    let _ = send(conn, line);
 }
 
-/// Admits a job to the bounded queue or answers with backpressure.
-fn enqueue(job: Job, writer: &Arc<Mutex<TcpStream>>, shared: &Arc<Shared>) -> bool {
-    match shared.queue.try_push(job) {
-        Ok(()) => true,
-        Err(PushError::Full(job)) => {
-            let error = WireError::new(
-                ErrorKind::Overloaded,
-                format!(
-                    "work queue full ({} queued); retry later",
-                    shared.queue.capacity()
-                ),
-            );
-            write_line(writer, &error_line(Some(job.id), &error))
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendezvous_is_stable_and_in_range() {
+        for key in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF_CAFE_F00D] {
+            for shards in 1..=8 {
+                let chosen = shard_for_fingerprint(key, shards);
+                assert!(chosen < shards);
+                assert_eq!(
+                    chosen,
+                    shard_for_fingerprint(key, shards),
+                    "placement must be deterministic"
+                );
+            }
         }
-        Err(PushError::Closed(job)) => {
-            let error = WireError::new(ErrorKind::ShuttingDown, "server is shutting down");
-            write_line(writer, &error_line(Some(job.id), &error))
+        // Zero shards is clamped rather than a panic path.
+        assert_eq!(shard_for_fingerprint(7, 0), 0);
+    }
+
+    #[test]
+    fn rendezvous_spreads_keys_across_shards() {
+        let shards = 4;
+        let mut counts = vec![0u32; shards];
+        for key in 0..4000u64 {
+            counts[shard_for_fingerprint(key, shards)] += 1;
+        }
+        for (i, &count) in counts.iter().enumerate() {
+            // Perfectly even would be 1000 per shard; a wide tolerance
+            // still catches a broken mix (everything on one shard).
+            assert!(
+                (600..=1400).contains(&count),
+                "shard {i} got {count} of 4000 keys"
+            );
         }
     }
-}
 
-fn worker_loop(shared: &Shared) {
-    while let Some(job) = shared.queue.pop() {
-        let Job {
-            id,
-            received,
-            writer,
-            work,
-        } = job;
-        let queue_wait = received.elapsed();
-        shared.queue_wait_ns.record_duration(queue_wait);
-        if queue_wait > shared.timeout {
-            shared.deadline_exceeded.inc();
-            let error = WireError::new(
-                ErrorKind::DeadlineExceeded,
-                format!(
-                    "request spent more than {:?} queued; increase capacity or shed load",
-                    shared.timeout
-                ),
-            );
-            let _ = write_line(&writer, &error_line(Some(id), &error));
-            shared.request_ns.record_duration(received.elapsed());
-            continue;
+    #[test]
+    fn rendezvous_moves_few_keys_when_a_shard_is_added() {
+        // The property rendezvous hashing buys over `key % shards`:
+        // growing the fleet relocates roughly 1/(n+1) of keys, not all
+        // of them, so hot caches mostly survive a resize.
+        let moved = (0..4000u64)
+            .filter(|&key| shard_for_fingerprint(key, 4) != shard_for_fingerprint(key, 5))
+            .count();
+        assert!(
+            (400..=1400).contains(&moved),
+            "expected ~1/5 of 4000 keys to move, got {moved}"
+        );
+    }
+
+    #[test]
+    fn config_keys_separate_config_and_detector_spans() {
+        // The 0xFF frame keeps (config, detector) span pairs injective:
+        // content sliding between the two fields must change the key.
+        let a = span_config_key(Some("{\"alpha\":3}"), None);
+        let b = span_config_key(None, Some("{\"alpha\":3}"));
+        let c = span_config_key(Some("{\"alpha\":3}"), Some("\"rid_tree\""));
+        let d = span_config_key(None, None);
+        let keys = [a, b, c, d];
+        for (i, x) in keys.iter().enumerate() {
+            for (j, y) in keys.iter().enumerate() {
+                if i != j {
+                    assert_ne!(x, y, "keys {i} and {j} collide");
+                }
+            }
         }
-        let line = match work {
-            Work::Rid {
-                snapshot,
-                config,
-                detector,
-            } => {
-                match shared.engine.rid_with_detector(&snapshot, config, detector) {
-                    Ok(result) => {
-                        let mut payload = result.to_json_value();
-                        // Echo the detector only when the request chose
-                        // one, keeping legacy responses byte-identical.
-                        if let (Some(kind), Value::Object(fields)) = (detector, &mut payload) {
-                            fields.push(("detector".into(), Value::String(kind.as_label().into())));
-                        }
-                        ok_line(id, payload)
-                    }
-                    Err(error) => {
-                        let kind = match &error {
-                            RidError::InvalidParameter { .. } => ErrorKind::BadRequest,
-                            // Engine cache keys include alpha, so a
-                            // mismatch here is a server bug.
-                            _ => ErrorKind::Internal,
-                        };
-                        error_line(Some(id), &WireError::new(kind, error.to_string()))
-                    }
-                }
-            }
-            Work::Simulate { seeds, runs, seed } => {
-                match shared.engine.simulate(&seeds, runs, seed) {
-                    Ok(estimate) => ok_line(id, estimate.to_json_value()),
-                    Err(error) => error_line(Some(id), &WireError::from_diffusion(&error)),
-                }
-            }
-        };
-        let _ = write_line(&writer, &line);
-        shared.request_ns.record_duration(received.elapsed());
+        assert_eq!(a, span_config_key(Some("{\"alpha\":3}"), None));
     }
 }

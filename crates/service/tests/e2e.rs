@@ -728,3 +728,311 @@ fn queued_work_past_its_deadline_is_rejected() {
         "queue wait of the expired job must be recorded"
     );
 }
+
+// ---------------------------------------------------------------------
+// Sharded-serving correctness: routing, the by-fingerprint fast path,
+// per-shard overload isolation, and watch pinning under load.
+// ---------------------------------------------------------------------
+
+use isomit_service::fingerprint::{fingerprint_bytes, snapshot_fingerprint};
+use isomit_service::server::shard_for_fingerprint;
+
+#[test]
+fn by_fingerprint_requests_match_the_full_form_byte_for_byte() {
+    let daemon = Daemon::spawn(&["--shards", "4"]);
+    let mut client = daemon.client();
+
+    let snap = snapshot(1);
+    let fp = snapshot_fingerprint(&snap);
+
+    // Cold by-fingerprint: the snapshot has never been answered, so the
+    // structured miss tells the client to fall back to the full form.
+    match client.rid_by_fingerprint(fp, None, None) {
+        Err(ClientError::Remote(err)) => {
+            assert_eq!(err.kind, ErrorKind::UnknownSnapshot, "{err}");
+        }
+        other => panic!("expected unknown_snapshot, got {other:?}"),
+    }
+
+    // Prime with the full form, then re-ask by fingerprint.
+    let full = client.rid(&snap, None).expect("full-form rid");
+    let cached = client
+        .rid_by_fingerprint(fp, None, None)
+        .expect("by-fingerprint rid after priming");
+    assert_eq!(
+        full.to_json_value().to_json(),
+        cached.to_json_value().to_json(),
+        "cached fast-path answer must be byte-identical to the full form"
+    );
+    assert_eq!(
+        cached.detection,
+        expected_detection(&snap, RidConfig::default())
+    );
+
+    // The cache key covers the config: the same snapshot under a
+    // different config is a different (unprimed) entry.
+    let tweaked = RidConfig {
+        beta: 0.0,
+        ..RidConfig::default()
+    };
+    match client.rid_by_fingerprint(fp, Some(tweaked), None) {
+        Err(ClientError::Remote(err)) => {
+            assert_eq!(err.kind, ErrorKind::UnknownSnapshot, "{err}");
+        }
+        other => panic!("expected unknown_snapshot for unprimed config, got {other:?}"),
+    }
+    let full_tweaked = client.rid(&snap, Some(tweaked)).expect("prime tweaked");
+    let cached_tweaked = client
+        .rid_by_fingerprint(fp, Some(tweaked), None)
+        .expect("by-fingerprint with tweaked config");
+    assert_eq!(
+        full_tweaked.to_json_value().to_json(),
+        cached_tweaked.to_json_value().to_json()
+    );
+
+    // A fingerprint the server never saw stays a structured miss.
+    match client.rid_by_fingerprint(fp.wrapping_add(1), None, None) {
+        Err(ClientError::Remote(err)) => {
+            assert_eq!(err.kind, ErrorKind::UnknownSnapshot, "{err}");
+        }
+        other => panic!("expected unknown_snapshot, got {other:?}"),
+    }
+
+    // Fast-path hits are attributable in telemetry.
+    let telemetry = client.telemetry().expect("telemetry");
+    assert!(
+        telemetry
+            .counter(names::SERVICE_RESULT_CACHE_HITS)
+            .is_some_and(|hits| hits >= 2),
+        "result-cache hits must be recorded"
+    );
+    client.shutdown().expect("shutdown");
+}
+
+#[test]
+fn same_fingerprint_requests_land_on_the_same_shard() {
+    const SHARDS: usize = 4;
+    let daemon = Daemon::spawn(&["--shards", "4"]);
+
+    let snap = snapshot(1);
+    let expected_shard = shard_for_fingerprint(snapshot_fingerprint(&snap), SHARDS);
+
+    // Six requests for one snapshot across three connections.
+    for _ in 0..3 {
+        let mut client = daemon.client();
+        for _ in 0..2 {
+            client.rid(&snap, None).expect("rid");
+        }
+    }
+
+    let mut client = daemon.client();
+    let telemetry = client.telemetry().expect("telemetry");
+    for shard in 0..SHARDS {
+        let requests = telemetry
+            .counter(&format!("shard.{shard}.requests"))
+            .unwrap_or_else(|| panic!("shard.{shard}.requests missing from stats"));
+        if shard == expected_shard {
+            assert_eq!(requests, 6, "all six requests belong on shard {shard}");
+        } else {
+            assert_eq!(requests, 0, "shard {shard} must stay idle");
+        }
+    }
+    assert_eq!(
+        telemetry.counter(names::SERVICE_RID_REQUESTS),
+        Some(6),
+        "fleet-wide total is the per-shard sum"
+    );
+    client.shutdown().expect("shutdown");
+}
+
+#[test]
+fn sixty_four_concurrent_clients_get_bit_identical_answers() {
+    let daemon = Daemon::spawn(&["--shards", "4"]);
+
+    let cases: Vec<(InfectedNetwork, String)> = [1u64, 2, 3, 4]
+        .into_iter()
+        .map(|seed| {
+            let snap = snapshot(seed);
+            let expected = expected_detection(&snap, RidConfig::default())
+                .to_json_value()
+                .to_json();
+            (snap, expected)
+        })
+        .collect();
+    let cases = std::sync::Arc::new(cases);
+
+    let handles: Vec<_> = (0..64)
+        .map(|i| {
+            let cases = std::sync::Arc::clone(&cases);
+            let addr = daemon.addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let (snap, expected) = &cases[i % cases.len()];
+                let served = client.rid(snap, None).expect("rid");
+                assert_eq!(
+                    &served.detection.to_json_value().to_json(),
+                    expected,
+                    "client {i} got a divergent answer"
+                );
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+
+    let mut client = daemon.client();
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.rid_requests, 64);
+    // Four distinct snapshots: every request after a shard's first for
+    // that snapshot is an artifact-cache hit.
+    assert_eq!(stats.cache_misses, 4);
+    assert_eq!(stats.cache_hits, 60);
+    client.shutdown().expect("shutdown");
+}
+
+/// Finds a deterministic snapshot routed to each of the two shards.
+fn snapshots_on_both_shards() -> [(InfectedNetwork, usize); 2] {
+    let mut found: [Option<InfectedNetwork>; 2] = [None, None];
+    for seed in 1..=16 {
+        let snap = snapshot(seed);
+        let shard = shard_for_fingerprint(snapshot_fingerprint(&snap), 2);
+        if found[shard].is_none() {
+            found[shard] = Some(snap);
+        }
+        if found.iter().all(Option::is_some) {
+            break;
+        }
+    }
+    let [a, b] = found;
+    [
+        (a.expect("no snapshot routed to shard 0 in 16 seeds"), 0),
+        (b.expect("no snapshot routed to shard 1 in 16 seeds"), 1),
+    ]
+}
+
+#[test]
+fn per_shard_overload_sheds_while_other_shards_keep_serving() {
+    // Two shards, queue of one each: one long simulation plus one queued
+    // job saturate exactly one shard; the other must stay unaffected.
+    let daemon = Daemon::spawn(&["--shards", "2", "--queue", "1"]);
+    let [(snap_a, shard_a), (snap_b, shard_b)] = snapshots_on_both_shards();
+    assert_ne!(shard_a, shard_b);
+
+    // A simulate routes by its raw seeds span; search one that lands on
+    // the shard we want to saturate.
+    let seeds_json = (0..64)
+        .map(|node| format!("[[{node},1],[5,-1]]"))
+        .find(|span| shard_for_fingerprint(fingerprint_bytes(span.as_bytes()), 2) == shard_a)
+        .expect("no seeds span routed to the busy shard in 64 tries");
+    let long_job = format!(
+        "{{\"id\":1,\"type\":\"simulate\",\"seeds\":{seeds_json},\"runs\":4000,\"seed\":1}}"
+    );
+    let mut busy = daemon.raw();
+    busy.write_all(long_job.as_bytes()).expect("write long job");
+    busy.write_all(b"\n").expect("newline");
+    wait_for_stats(&daemon, |stats| {
+        stats.get("simulate_requests").and_then(|v| v.as_u64()) == Some(1)
+    });
+
+    // Fill the busy shard's queue (capacity 1) without blocking on the
+    // reply.
+    let filler = isomit_service::protocol::encode_request(
+        2,
+        &isomit_service::protocol::RequestBody::Rid {
+            snapshot: Box::new(snap_a.clone()),
+            config: None,
+            detector: None,
+        },
+    );
+    let mut filler_conn = daemon.raw();
+    filler_conn
+        .write_all(filler.as_bytes())
+        .expect("write filler");
+    filler_conn.write_all(b"\n").expect("newline");
+    wait_for_stats(&daemon, |stats| {
+        stats.get("queue_depth").and_then(|v| v.as_u64()) == Some(1)
+    });
+
+    // The saturated shard sheds with a structured `overloaded` error...
+    let mut client = daemon.client();
+    match client.rid(&snap_a, None) {
+        Err(ClientError::Remote(err)) => {
+            assert_eq!(err.kind, ErrorKind::Overloaded, "{err}");
+        }
+        other => panic!("expected overloaded on the busy shard, got {other:?}"),
+    }
+
+    // ...while the other shard answers normally, and correctly.
+    let served = client.rid(&snap_b, None).expect("healthy shard serves");
+    assert_eq!(
+        served.detection,
+        expected_detection(&snap_b, RidConfig::default())
+    );
+
+    // The shed is attributed to the busy shard alone.
+    let telemetry = client.telemetry().expect("telemetry");
+    assert!(
+        telemetry
+            .counter(&format!("shard.{shard_a}.shed"))
+            .is_some_and(|shed| shed >= 1),
+        "busy shard must record its shed"
+    );
+    assert_eq!(
+        telemetry.counter(&format!("shard.{shard_b}.shed")),
+        Some(0),
+        "healthy shard must not shed"
+    );
+    // Cleanup: kill the daemon via Drop; the long jobs never finish.
+}
+
+#[test]
+fn watch_session_survives_on_its_pinned_shard_under_cross_shard_load() {
+    let daemon = Daemon::spawn(&["--shards", "4"]);
+    let mut client = daemon.client();
+    client.watch_open(None, None).expect("watch_open");
+
+    // Hammer all shards from four background connections while the
+    // watch stream runs.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let hammers: Vec<_> = (0..4u64)
+        .map(|i| {
+            let stop = std::sync::Arc::clone(&stop);
+            let addr = daemon.addr.clone();
+            std::thread::spawn(move || {
+                let snap = snapshot(i + 1);
+                let expected = expected_detection(&snap, RidConfig::default())
+                    .to_json_value()
+                    .to_json();
+                let mut client = Client::connect(&addr).expect("connect");
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let served = client.rid(&snap, None).expect("hammer rid");
+                    assert_eq!(served.detection.to_json_value().to_json(), expected);
+                }
+            })
+        })
+        .collect();
+
+    // The pinned session's answers stay byte-identical to cold
+    // recomputes of every prefix, delta ordering intact.
+    let mut mirror = IncrementalRid::new(RidConfig::default()).expect("mirror session");
+    let rid = Rid::from_config(RidConfig::default()).expect("valid config");
+    for delta in watch_script() {
+        let reply = client.watch_delta(&delta).expect("watch_delta under load");
+        mirror.apply(&delta).expect("mirror apply");
+        let served = reply.answer().expect("answer_every defaults to 1");
+        let cold = rid.detect(&mirror.snapshot());
+        assert_eq!(
+            served.detection.to_json_value().to_json(),
+            cold.to_json_value().to_json(),
+            "watch answer diverged under cross-shard load"
+        );
+    }
+    client.watch_close().expect("watch_close");
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for hammer in hammers {
+        hammer.join().expect("hammer thread");
+    }
+    client.shutdown().expect("shutdown");
+}

@@ -110,6 +110,41 @@ pub mod names {
     /// Artifact-cache entries evicted because a newer snapshot of the
     /// same watch session superseded them (counter).
     pub const SERVICE_CACHE_SUPERSEDED: &str = "service.cache.superseded";
+    /// Serialized-result cache hits on the by-fingerprint fast path
+    /// (counter).
+    pub const SERVICE_RESULT_CACHE_HITS: &str = "service.result_cache.hits";
+    /// Serialized-result cache misses on the by-fingerprint fast path
+    /// (counter).
+    pub const SERVICE_RESULT_CACHE_MISSES: &str = "service.result_cache.misses";
+    /// Serialized-result cache evictions (counter).
+    pub const SERVICE_RESULT_CACHE_EVICTIONS: &str = "service.result_cache.evictions";
+    /// Largest-minus-smallest per-shard request share at the last stats
+    /// snapshot, in percent (gauge; 0 means perfectly balanced shards).
+    pub const SERVICE_SHARD_IMBALANCE_PCT: &str = "service.shard_imbalance_pct";
+
+    /// `shard.<i>.queue_depth` — per-shard admission-queue depth
+    /// (gauge alias of that shard's `service.queue_depth`).
+    pub fn shard_queue_depth(shard: usize) -> String {
+        format!("shard.{shard}.queue_depth")
+    }
+
+    /// `shard.<i>.cache.hits` — per-shard artifact-cache hits (counter
+    /// alias of that shard's `service.cache.hits`).
+    pub fn shard_cache_hits(shard: usize) -> String {
+        format!("shard.{shard}.cache.hits")
+    }
+
+    /// `shard.<i>.shed` — requests the shard rejected with `overloaded`
+    /// (counter alias of that shard's `service.overloaded`).
+    pub fn shard_shed(shard: usize) -> String {
+        format!("shard.{shard}.shed")
+    }
+
+    /// `shard.<i>.requests` — rid requests routed to the shard (counter
+    /// alias of that shard's `service.rid_requests`).
+    pub fn shard_requests(shard: usize) -> String {
+        format!("shard.{shard}.requests")
+    }
 }
 
 static GLOBAL: OnceLock<Registry> = OnceLock::new();

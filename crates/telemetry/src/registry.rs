@@ -113,6 +113,29 @@ impl Registry {
         }
     }
 
+    /// Registers the existing `counter` handle under `name` as well, so
+    /// one underlying atomic shows up in snapshots under two names.
+    ///
+    /// The sharded service uses this to expose one physical counter both
+    /// under its shard-local name (`shard.3.cache.hits`) and — via the
+    /// shared-name summation of [`RegistrySnapshot::merge`] — under the
+    /// fleet-wide aggregate (`service.cache.hits`). If `name` is already
+    /// taken the alias is dropped (first registration wins, mirroring
+    /// the kind-conflict policy of [`counter`](Registry::counter)).
+    pub fn alias_counter(&self, name: &str, counter: &Counter) {
+        self.lock()
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(counter.clone()));
+    }
+
+    /// Registers the existing `gauge` handle under `name` as well
+    /// (see [`alias_counter`](Registry::alias_counter)).
+    pub fn alias_gauge(&self, name: &str, gauge: &Gauge) {
+        self.lock()
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(gauge.clone()));
+    }
+
     /// A point-in-time copy of every registered metric.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let map = self.lock();
@@ -339,6 +362,26 @@ mod tests {
         r.counter("a").inc();
         r.counter("a").add(2);
         assert_eq!(r.snapshot().counter("a"), Some(3));
+    }
+
+    #[test]
+    fn aliases_share_storage_with_their_source_handle() {
+        let r = Registry::new();
+        let hits = r.counter("service.cache.hits");
+        r.alias_counter("shard.0.cache.hits", &hits);
+        hits.add(4);
+        let depth = r.gauge("service.queue_depth");
+        r.alias_gauge("shard.0.queue_depth", &depth);
+        depth.set(3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("service.cache.hits"), Some(4));
+        assert_eq!(snap.counter("shard.0.cache.hits"), Some(4));
+        assert_eq!(snap.gauge("shard.0.queue_depth"), Some(3));
+        // An occupied name keeps its first registration.
+        let other = Counter::new();
+        other.add(99);
+        r.alias_counter("service.cache.hits", &other);
+        assert_eq!(r.snapshot().counter("service.cache.hits"), Some(4));
     }
 
     #[test]

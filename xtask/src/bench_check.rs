@@ -23,11 +23,16 @@
 //! * the incremental watch-session amortized speedup over cold
 //!   recompute (`speedup_amortized` in `BENCH_incremental.json`) falls
 //!   below `floors.incremental_speedup`, or any of its answers diverged
-//!   from the cold reference (`bit_identical`).
+//!   from the cold reference (`bit_identical`);
+//! * the serving layer's cached-snapshot throughput (`service_rps` in
+//!   `BENCH_service.json`'s `service/summary` entry) falls below
+//!   `floors.service_rps`, its hot-path tail latency (`hot_p99_ns`)
+//!   exceeds `ceilings.service_hot_p99_ns`, or the load generator saw
+//!   any answer diverge from the in-process oracle (`wrong_answers`).
 //!
 //! `--update-baselines` rewrites the sampling baselines in
 //! `bench_baselines.json` from the current artifacts, preserving the
-//! hand-committed speedup and F1 floors.
+//! hand-committed speedup/F1/throughput floors and latency ceilings.
 
 use isomit_graph::json::Value;
 use std::fs;
@@ -284,6 +289,65 @@ fn floor(baselines: &Value, key: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("bench_baselines.json: missing floors.{key}"))
 }
 
+/// Reads a committed latency ceiling out of the baselines policy file.
+fn ceiling(baselines: &Value, key: &str) -> Result<f64, String> {
+    baselines
+        .get("ceilings")
+        .and_then(|c| c.get(key))
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("bench_baselines.json: missing ceilings.{key}"))
+}
+
+/// The serving layer's `service/summary` entry must meet the committed
+/// throughput floor and tail-latency ceiling, and must have verified
+/// every answer against the in-process oracle.
+fn check_service(
+    name: &str,
+    entries: &[Metrics<'_>],
+    baselines: &Value,
+    out: &mut BenchCheckOutcome,
+) -> Result<(), String> {
+    let rps_floor = floor(baselines, "service_rps")?;
+    let p99_ceiling = ceiling(baselines, "service_hot_p99_ns")?;
+    let Some(m) = find(entries, "service", "summary") else {
+        out.failures.push(format!(
+            "{name}: missing service/summary entry — regenerate the artifact"
+        ));
+        return Ok(());
+    };
+    match m.get("service_rps") {
+        Some(rps) if rps < rps_floor => out.failures.push(format!(
+            "{name}: service/summary service_rps {rps:.0} is below the committed \
+             floor {rps_floor:.0} (bench_baselines.json)"
+        )),
+        Some(_) => {}
+        None => out.failures.push(format!(
+            "{name}: service/summary has no `service_rps` metric"
+        )),
+    }
+    match m.get("hot_p99_ns") {
+        Some(p99) if p99 > p99_ceiling => out.failures.push(format!(
+            "{name}: service/summary hot_p99_ns {p99:.0} exceeds the committed \
+             ceiling {p99_ceiling:.0} (bench_baselines.json)"
+        )),
+        Some(_) => {}
+        None => out.failures.push(format!(
+            "{name}: service/summary has no `hot_p99_ns` metric"
+        )),
+    }
+    match m.get("wrong_answers") {
+        Some(wrong) if wrong != 0.0 => out.failures.push(format!(
+            "{name}: service/summary reports {wrong} wrong answers — the daemon \
+             diverged from the in-process pipeline"
+        )),
+        Some(_) => {}
+        None => out.failures.push(format!(
+            "{name}: service/summary has no `wrong_answers` metric"
+        )),
+    }
+    Ok(())
+}
+
 /// Runs the gate over the artifacts at the workspace `root`.
 ///
 /// With `update`, rewrites the sampling baselines from the current
@@ -296,10 +360,12 @@ pub fn run_bench_check(root: &Path, update: bool) -> Result<BenchCheckOutcome, S
     let scale = load_json(&root.join("BENCH_scale.json"))?;
     let detectors = load_json(&root.join("BENCH_detectors.json"))?;
     let incremental = load_json(&root.join("BENCH_incremental.json"))?;
+    let service = load_json(&root.join("BENCH_service.json"))?;
     let mc_entries = metrics_entries(&montecarlo);
     let scale_entries = metrics_entries(&scale);
     let detector_entries = metrics_entries(&detectors);
     let incremental_entries = metrics_entries(&incremental);
+    let service_entries = metrics_entries(&service);
 
     let mut out = BenchCheckOutcome::default();
     check_bit_identical("BENCH_montecarlo.json", &mc_entries, &mut out);
@@ -341,6 +407,7 @@ pub fn run_bench_check(root: &Path, update: bool) -> Result<BenchCheckOutcome, S
         &mut out,
     );
     check_sampling_regression("BENCH_scale.json", &scale_entries, &baselines, &mut out);
+    check_service("BENCH_service.json", &service_entries, &baselines, &mut out)?;
 
     if update {
         let updated = updated_baselines(&baselines, &scale_entries)?;
@@ -657,6 +724,122 @@ mod tests {
                 "floor for {label} must survive --update-baselines"
             );
         }
+    }
+
+    /// Baselines carrying the service throughput floor and tail ceiling.
+    fn service_baselines(rps_floor: f64, p99_ceiling: f64) -> Value {
+        Value::parse(&format!(
+            r#"{{"floors":{{"service_rps":{rps_floor}}},"ceilings":{{"service_hot_p99_ns":{p99_ceiling}}}}}"#
+        ))
+        .expect("test baselines parse")
+    }
+
+    fn service_artifact(rps: f64, p99: f64, wrong: f64) -> Value {
+        artifact(&format!(
+            r#"{{"group":"service","id":"summary","metrics":{{"service_rps":{rps},"hot_p99_ns":{p99},"wrong_answers":{wrong}}}}}"#
+        ))
+    }
+
+    #[test]
+    fn service_rps_below_floor_fails() {
+        let doc = service_artifact(3000.0, 1e7, 0.0);
+        let mut out = BenchCheckOutcome::default();
+        check_service(
+            "a",
+            &metrics_entries(&doc),
+            &service_baselines(5000.0, 5e7),
+            &mut out,
+        )
+        .expect("policy present");
+        assert_eq!(out.failures.len(), 1, "{:?}", out.failures);
+
+        let mut ok = BenchCheckOutcome::default();
+        check_service(
+            "a",
+            &metrics_entries(&doc),
+            &service_baselines(3000.0, 5e7),
+            &mut ok,
+        )
+        .expect("policy present");
+        assert!(ok.failures.is_empty(), "{:?}", ok.failures);
+    }
+
+    #[test]
+    fn service_p99_above_ceiling_fails() {
+        let doc = service_artifact(9000.0, 9e7, 0.0);
+        let mut out = BenchCheckOutcome::default();
+        check_service(
+            "a",
+            &metrics_entries(&doc),
+            &service_baselines(5000.0, 5e7),
+            &mut out,
+        )
+        .expect("policy present");
+        assert_eq!(out.failures.len(), 1, "{:?}", out.failures);
+    }
+
+    #[test]
+    fn service_wrong_answers_fail() {
+        let doc = service_artifact(9000.0, 1e7, 2.0);
+        let mut out = BenchCheckOutcome::default();
+        check_service(
+            "a",
+            &metrics_entries(&doc),
+            &service_baselines(5000.0, 5e7),
+            &mut out,
+        )
+        .expect("policy present");
+        assert_eq!(out.failures.len(), 1, "{:?}", out.failures);
+    }
+
+    #[test]
+    fn missing_service_summary_fails() {
+        let doc = artifact(r#"{"group":"hot_storm","id":"c64","metrics":{"rps":9000}}"#);
+        let mut out = BenchCheckOutcome::default();
+        check_service(
+            "a",
+            &metrics_entries(&doc),
+            &service_baselines(5000.0, 5e7),
+            &mut out,
+        )
+        .expect("policy present");
+        assert_eq!(out.failures.len(), 1, "{:?}", out.failures);
+    }
+
+    #[test]
+    fn missing_service_policy_is_an_error() {
+        let doc = service_artifact(9000.0, 1e7, 0.0);
+        let base = Value::parse(r#"{"floors":{}}"#).expect("parses");
+        let mut out = BenchCheckOutcome::default();
+        let err = check_service("a", &metrics_entries(&doc), &base, &mut out)
+            .expect_err("missing floor must be a policy error");
+        assert!(err.contains("service_rps"), "{err}");
+    }
+
+    #[test]
+    fn service_floor_and_ceiling_survive_baseline_updates() {
+        let doc = artifact(
+            r#"{"group":"dataset","id":"graph","metrics":{"nodes":10,"edges":20}},
+               {"group":"dataset","id":"snapshots","metrics":{"count":1,"sampling_ns":100}}"#,
+        );
+        let updated = updated_baselines(&service_baselines(5000.0, 5e7), &metrics_entries(&doc))
+            .expect("update succeeds");
+        assert_eq!(
+            updated
+                .get("floors")
+                .and_then(|f| f.get("service_rps"))
+                .and_then(Value::as_f64),
+            Some(5000.0),
+            "the service throughput floor must survive --update-baselines"
+        );
+        assert_eq!(
+            updated
+                .get("ceilings")
+                .and_then(|c| c.get("service_hot_p99_ns"))
+                .and_then(Value::as_f64),
+            Some(5e7),
+            "the service tail-latency ceiling must survive --update-baselines"
+        );
     }
 
     #[test]
